@@ -1,0 +1,121 @@
+//! Kramers-form radiative recombination cross sections.
+//!
+//! `sigma_rec_n(E_e)` in paper Eq. 1 is the cross section for a free
+//! electron of kinetic energy `E_e` to recombine into level `n`. We use
+//! the classical Kramers result (via the Milne relation from the Kramers
+//! bound-free photoionization cross section):
+//!
+//! ```text
+//! sigma_rec_n(E_e)  ∝  I_n^2 / ( n * E_e * (E_e + I_n) )
+//! ```
+//!
+//! which captures the physically relevant behaviour for the integrand:
+//! it diverges like `1/E_e` at threshold (making the bins nearest the
+//! recombination edge the hardest to integrate) and falls off like
+//! `1/E_e^2` far above it.
+
+/// Normalization constant in cm² (order of the Kramers cross section at
+/// threshold for hydrogen): purely a scale factor for the synthetic
+/// database; spectra are reported as normalized flux.
+pub const SIGMA0_CM2: f64 = 2.105e-22;
+
+/// Radiative recombination cross section into level `n` (binding energy
+/// `binding_ev`) for an electron of kinetic energy `electron_ev`.
+///
+/// Returns 0 for non-positive electron energies (no free electron).
+/// Units: cm² when energies are in eV.
+#[must_use]
+pub fn recombination_cross_section(n: u16, binding_ev: f64, electron_ev: f64) -> f64 {
+    if electron_ev <= 0.0 || binding_ev <= 0.0 || n == 0 {
+        return 0.0;
+    }
+    let i2 = binding_ev * binding_ev;
+    SIGMA0_CM2 * i2 / (f64::from(n) * electron_ev * (electron_ev + binding_ev))
+}
+
+/// The product `sigma_rec_n(E_e) * E_e` with the `1/E_e` threshold
+/// divergence cancelled analytically:
+///
+/// ```text
+/// sigma * E_e = SIGMA0 * I^2 / ( n * (E_e + I) )
+/// ```
+///
+/// This is the combination the RRC integrand actually needs (Eq. 1
+/// multiplies the cross section by the electron energy), and unlike the
+/// raw cross section it is finite and continuous at threshold — closed
+/// quadrature rules that sample the threshold endpoint (Simpson on the
+/// GPU) would otherwise see a spurious zero there.
+#[must_use]
+pub fn recombination_cross_section_times_energy(n: u16, binding_ev: f64, electron_ev: f64) -> f64 {
+    if electron_ev < 0.0 || binding_ev <= 0.0 || n == 0 {
+        return 0.0;
+    }
+    let i2 = binding_ev * binding_ev;
+    SIGMA0_CM2 * i2 / (f64::from(n) * (electron_ev + binding_ev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_below_threshold() {
+        assert_eq!(recombination_cross_section(1, 13.6, 0.0), 0.0);
+        assert_eq!(recombination_cross_section(1, 13.6, -1.0), 0.0);
+        assert_eq!(recombination_cross_section(0, 13.6, 1.0), 0.0);
+        assert_eq!(recombination_cross_section(1, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn decreases_with_electron_energy() {
+        let lo = recombination_cross_section(1, 13.6, 1.0);
+        let mid = recombination_cross_section(1, 13.6, 10.0);
+        let hi = recombination_cross_section(1, 13.6, 100.0);
+        assert!(lo > mid && mid > hi);
+    }
+
+    #[test]
+    fn decreases_with_level_number() {
+        let ground = recombination_cross_section(1, 13.6, 5.0);
+        let excited = recombination_cross_section(4, 13.6, 5.0);
+        assert!(ground > excited);
+    }
+
+    #[test]
+    fn high_energy_tail_is_inverse_square() {
+        let e = 1.0e4;
+        let a = recombination_cross_section(2, 54.4, e);
+        let b = recombination_cross_section(2, 54.4, 2.0 * e);
+        let ratio = a / b;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn threshold_divergence_is_inverse_linear() {
+        let a = recombination_cross_section(1, 13.6, 1e-3);
+        let b = recombination_cross_section(1, 13.6, 2e-3);
+        let ratio = a / b;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sigma_times_energy_is_continuous_at_threshold() {
+        let at_zero = recombination_cross_section_times_energy(1, 13.6, 0.0);
+        let near_zero = recombination_cross_section_times_energy(1, 13.6, 1e-9);
+        assert!(at_zero > 0.0);
+        assert!((at_zero - near_zero).abs() / at_zero < 1e-9);
+        // And it matches sigma * E away from threshold.
+        let e = 7.5;
+        let product = recombination_cross_section(1, 13.6, e) * e;
+        let direct = recombination_cross_section_times_energy(1, 13.6, e);
+        assert!((product - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn scales_with_binding_energy() {
+        // More tightly bound levels capture more strongly at fixed E.
+        let weak = recombination_cross_section(1, 13.6, 50.0);
+        let strong = recombination_cross_section(1, 544.0, 50.0);
+        assert!(strong > weak);
+    }
+}

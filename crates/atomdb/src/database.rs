@@ -1,0 +1,202 @@
+//! The assembled synthetic database.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Element, MAX_Z};
+use crate::ion::Ion;
+use crate::levels::{Level, LevelModel};
+
+/// Generation parameters for [`AtomDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseConfig {
+    /// The level-census model (cutoff range per ion).
+    pub level_model: LevelModel,
+    /// Restrict the database to elements `1..=max_z`; defaults to the full
+    /// range (496 ions). Smaller values give scaled-down workloads for
+    /// tests and examples.
+    pub max_z: u8,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            level_model: LevelModel::default(),
+            max_z: MAX_Z,
+        }
+    }
+}
+
+/// Aggregate counts used by workload generators and the calibration
+/// module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseStats {
+    /// Number of ions in the database.
+    pub ions: usize,
+    /// Total number of levels across all ions.
+    pub levels: u64,
+    /// Largest level count of any single ion.
+    pub max_levels_per_ion: u16,
+}
+
+/// The synthetic atomic database: ions, their levels, and the physics
+/// lookups the spectral and NEI substrates need.
+///
+/// Levels are materialized eagerly — the full default database is ~5000
+/// levels, trivially small — and stored ion-major so an ion task can
+/// borrow its level slice without indirection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomDatabase {
+    config: DatabaseConfig,
+    ions: Vec<Ion>,
+    /// `levels[i]` holds the levels of `ions[i]`.
+    levels: Vec<Vec<Level>>,
+}
+
+impl AtomDatabase {
+    /// Generate the database deterministically from `config`.
+    #[must_use]
+    pub fn generate(config: DatabaseConfig) -> AtomDatabase {
+        let max_z = config.max_z.clamp(1, MAX_Z);
+        let mut ions = Vec::new();
+        let mut levels = Vec::new();
+        for z in 1..=max_z {
+            for charge in 1..=z {
+                let ion = Ion::new(z, charge).expect("valid by construction");
+                ions.push(ion);
+                levels.push(config.level_model.levels(ion));
+            }
+        }
+        AtomDatabase {
+            config,
+            ions,
+            levels,
+        }
+    }
+
+    /// The generation parameters.
+    #[must_use]
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// All ions, element-major then charge-minor.
+    #[must_use]
+    pub fn ions(&self) -> &[Ion] {
+        &self.ions
+    }
+
+    /// Levels of the `i`-th ion of [`AtomDatabase::ions`].
+    #[must_use]
+    pub fn levels_by_index(&self, i: usize) -> &[Level] {
+        &self.levels[i]
+    }
+
+    /// Levels of `ion`, or `None` if the ion is outside this database's
+    /// element range.
+    #[must_use]
+    pub fn levels(&self, ion: Ion) -> Option<&[Level]> {
+        if ion.z > self.config.max_z.clamp(1, MAX_Z) {
+            return None;
+        }
+        // ions are stored in dense_index order restricted to max_z.
+        let idx = ion.dense_index();
+        self.levels.get(idx).map(Vec::as_slice)
+    }
+
+    /// The element of the `i`-th ion.
+    #[must_use]
+    pub fn element_by_index(&self, i: usize) -> &'static Element {
+        self.ions[i].element()
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> DatabaseStats {
+        let levels: u64 = self.levels.iter().map(|l| l.len() as u64).sum();
+        let max = self
+            .levels
+            .iter()
+            .map(|l| l.len() as u16)
+            .max()
+            .unwrap_or(0);
+        DatabaseStats {
+            ions: self.ions.len(),
+            levels,
+            max_levels_per_ion: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_database_has_496_ions() {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        assert_eq!(db.stats().ions, 496);
+    }
+
+    #[test]
+    fn restricted_database_is_smaller() {
+        let db = AtomDatabase::generate(DatabaseConfig {
+            max_z: 8,
+            ..DatabaseConfig::default()
+        });
+        // 1+2+...+8 = 36 ions.
+        assert_eq!(db.stats().ions, 36);
+    }
+
+    #[test]
+    fn levels_lookup_matches_index_lookup() {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        for (i, &ion) in db.ions().iter().enumerate() {
+            assert_eq!(db.levels(ion), Some(db.levels_by_index(i)));
+        }
+    }
+
+    #[test]
+    fn lookup_outside_range_is_none() {
+        let db = AtomDatabase::generate(DatabaseConfig {
+            max_z: 8,
+            ..DatabaseConfig::default()
+        });
+        assert!(db.levels(Ion::new(26, 1).unwrap()).is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = AtomDatabase::generate(DatabaseConfig::default());
+        let b = AtomDatabase::generate(DatabaseConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_levels_agree_with_model_census() {
+        let cfg = DatabaseConfig::default();
+        let db = AtomDatabase::generate(cfg);
+        assert_eq!(db.stats().levels, cfg.level_model.total_levels());
+        assert!(db.stats().max_levels_per_ion <= cfg.level_model.max_levels);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let db = AtomDatabase::generate(DatabaseConfig {
+            max_z: 4,
+            ..DatabaseConfig::default()
+        });
+        let json = serde_json::to_string(&db).unwrap();
+        let back: AtomDatabase = serde_json::from_str(&json).unwrap();
+        // serde_json's default float parsing may drop the last ULP, so
+        // compare structurally with a tolerance on binding energies.
+        assert_eq!(db.ions, back.ions);
+        assert_eq!(db.config, back.config);
+        for (a, b) in db.levels.iter().zip(&back.levels) {
+            assert_eq!(a.len(), b.len());
+            for (la, lb) in a.iter().zip(b) {
+                assert_eq!(la.n, lb.n);
+                assert!((la.binding_energy_ev - lb.binding_energy_ev).abs() < 1e-12);
+            }
+        }
+    }
+}

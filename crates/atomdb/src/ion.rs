@@ -1,0 +1,176 @@
+//! Ions and ionization stages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Element, MAX_Z};
+
+/// An ion identified by element and charge.
+///
+/// In the paper's notation an RRC event is a free electron recombining
+/// with the ion `(Z, j+1)` into level `n` of `(Z, j)`. Here `charge` is
+/// the charge of the *recombining* ion, so `charge` runs from 1 (singly
+/// ionized) to `Z` (bare nucleus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ion {
+    /// Atomic number of the element.
+    pub z: u8,
+    /// Charge of the recombining ion, `1..=z`.
+    pub charge: u8,
+}
+
+impl Ion {
+    /// Construct an ion, validating `1 <= charge <= z <= MAX_Z`.
+    #[must_use]
+    pub fn new(z: u8, charge: u8) -> Option<Ion> {
+        if z == 0 || z > MAX_Z || charge == 0 || charge > z {
+            None
+        } else {
+            Some(Ion { z, charge })
+        }
+    }
+
+    /// The element this ion belongs to.
+    #[must_use]
+    pub fn element(&self) -> &'static Element {
+        Element::by_z(self.z).expect("Ion::new validated z")
+    }
+
+    /// Effective nuclear charge seen by the captured electron once bound
+    /// (hydrogenic screening approximation): the recombined system has
+    /// charge `charge - 1`, so the outer electron sees `charge`.
+    #[must_use]
+    pub fn effective_charge(&self) -> f64 {
+        f64::from(self.charge)
+    }
+
+    /// Spectroscopic-style label, e.g. `Fe+16`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.element().symbol, self.charge)
+    }
+
+    /// Dense index of this ion in the canonical enumeration
+    /// (element-major, charge-minor), `0..496`.
+    #[must_use]
+    pub fn dense_index(&self) -> usize {
+        // Ions of elements with atomic number < z contribute sum_{k<z} k.
+        let prior = (usize::from(self.z) - 1) * usize::from(self.z) / 2;
+        prior + usize::from(self.charge) - 1
+    }
+
+    /// Inverse of [`Ion::dense_index`].
+    #[must_use]
+    pub fn from_dense_index(index: usize) -> Option<Ion> {
+        let mut z = 1usize;
+        let mut base = 0usize;
+        while z <= MAX_Z as usize {
+            if index < base + z {
+                return Ion::new(z as u8, (index - base + 1) as u8);
+            }
+            base += z;
+            z += 1;
+        }
+        None
+    }
+}
+
+/// One ionization stage of an element, including the neutral stage —
+/// used by the NEI substrate, where the state vector of element `Z`
+/// has `Z + 1` entries (charge `0..=Z`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IonStage {
+    /// Atomic number.
+    pub z: u8,
+    /// Charge of the stage, `0..=z`.
+    pub charge: u8,
+}
+
+impl IonStage {
+    /// Construct a stage, validating `charge <= z <= MAX_Z`.
+    #[must_use]
+    pub fn new(z: u8, charge: u8) -> Option<IonStage> {
+        if z == 0 || z > MAX_Z || charge > z {
+            None
+        } else {
+            Some(IonStage { z, charge })
+        }
+    }
+
+    /// Ground-state ionization potential of this stage in eV (hydrogenic
+    /// scaling from the effective charge the outermost electron sees).
+    #[must_use]
+    pub fn ionization_potential_ev(&self) -> f64 {
+        let q_eff = f64::from(self.charge) + 1.0;
+        crate::RYDBERG_EV * q_eff * q_eff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_is_496() {
+        let mut count = 0usize;
+        for z in 1..=MAX_Z {
+            for charge in 1..=z {
+                assert!(Ion::new(z, charge).is_some());
+                count += 1;
+            }
+        }
+        assert_eq!(count, 496);
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let mut seen = vec![false; 496];
+        for z in 1..=MAX_Z {
+            for charge in 1..=z {
+                let ion = Ion::new(z, charge).unwrap();
+                let idx = ion.dense_index();
+                assert!(idx < 496, "{ion:?} -> {idx}");
+                assert!(!seen[idx], "collision at {idx}");
+                seen[idx] = true;
+                assert_eq!(Ion::from_dense_index(idx), Some(ion));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validation_rejects_bad_ions() {
+        assert!(Ion::new(0, 1).is_none());
+        assert!(Ion::new(5, 0).is_none());
+        assert!(Ion::new(5, 6).is_none());
+        assert!(Ion::new(MAX_Z + 1, 1).is_none());
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        assert_eq!(Ion::new(26, 16).unwrap().label(), "Fe+16");
+        assert_eq!(Ion::new(1, 1).unwrap().label(), "H+1");
+    }
+
+    #[test]
+    fn stage_ionization_potential_scales_with_charge() {
+        let neutral = IonStage::new(8, 0).unwrap();
+        let high = IonStage::new(8, 7).unwrap();
+        assert!(high.ionization_potential_ev() > neutral.ionization_potential_ev());
+        // Hydrogen neutral stage: 13.6 eV.
+        let h = IonStage::new(1, 0).unwrap();
+        assert!((h.ionization_potential_ev() - crate::RYDBERG_EV).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_dense_index_out_of_range() {
+        assert!(Ion::from_dense_index(496).is_none());
+        assert_eq!(
+            Ion::from_dense_index(0),
+            Some(Ion { z: 1, charge: 1 })
+        );
+        assert_eq!(
+            Ion::from_dense_index(495),
+            Some(Ion { z: 31, charge: 31 })
+        );
+    }
+}

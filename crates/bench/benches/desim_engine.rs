@@ -1,0 +1,47 @@
+//! Microbench: the discrete-event kernel's raw event and resource
+//! throughput (every performance figure replays ~100k such events).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::Simulation;
+use std::hint::black_box;
+
+fn bench_desim(c: &mut Criterion) {
+    c.bench_function("event_cascade_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            fn step(sim: &mut Simulation<u64>) {
+                if sim.world < 10_000 {
+                    sim.world += 1;
+                    sim.schedule(1.0, step);
+                }
+            }
+            sim.schedule(0.0, step);
+            black_box(sim.run())
+        });
+    });
+
+    c.bench_function("resource_pingpong_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            let res = sim.create_resource(2);
+            for _ in 0..16 {
+                sim.schedule(0.0, move |sim| hold(sim, res));
+            }
+            fn hold(sim: &mut Simulation<u64>, res: desim::ResourceId) {
+                sim.acquire(res, move |sim| {
+                    sim.schedule(1.0, move |sim| {
+                        sim.release(res);
+                        if sim.world < 10_000 {
+                            sim.world += 1;
+                            hold(sim, res);
+                        }
+                    });
+                });
+            }
+            black_box(sim.run())
+        });
+    });
+}
+
+criterion_group!(benches, bench_desim);
+criterion_main!(benches);

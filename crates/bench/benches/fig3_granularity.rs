@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 3 regeneration: one discrete-event
+//! replay of the 24-point hybrid run per (granularity, GPU count).
+//! The measured quantity is the cost of regenerating the figure; the
+//! figure's *values* are printed by `repro-fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_spectral::desmodel::{self, spectral_config};
+use hybrid_spectral::Granularity;
+use spectral_bench::paper_inputs;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let (workload, calib) = paper_inputs();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for granularity in [Granularity::Ion, Granularity::Level] {
+        for gpus in [1usize, 4] {
+            let id = BenchmarkId::new(format!("{granularity:?}"), gpus);
+            group.bench_with_input(id, &gpus, |b, &gpus| {
+                b.iter(|| {
+                    let cfg = spectral_config(
+                        &workload,
+                        &calib,
+                        granularity,
+                        gpus,
+                        12,
+                        None,
+                    );
+                    black_box(desmodel::run(cfg).makespan_s)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 4 / Fig. 5 regeneration: one
+//! discrete-event replay per maximum queue length (Ion granularity,
+//! 2 GPUs). `repro-fig4` / `repro-fig5` print the actual series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_spectral::desmodel::{self, spectral_config};
+use hybrid_spectral::Granularity;
+use spectral_bench::paper_inputs;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let (workload, calib) = paper_inputs();
+    let mut group = c.benchmark_group("fig4_qlen");
+    group.sample_size(10);
+    for qlen in [2u64, 8, 14] {
+        group.bench_with_input(BenchmarkId::from_parameter(qlen), &qlen, |b, &qlen| {
+            b.iter(|| {
+                let cfg =
+                    spectral_config(&workload, &calib, Granularity::Ion, 2, qlen, None);
+                let report = desmodel::run(cfg);
+                black_box((report.makespan_s, report.gpu_ratio_percent))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Fig. 7 / Fig. 8 regeneration: the real-mode
+//! accuracy run (serial QAGS reference + hybrid GPU Simpson) on a
+//! reduced database so the bench completes in seconds. `repro-fig7` /
+//! `repro-fig8` print the full-scale spectra and error histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_spectral::experiments::accuracy::{self, AccuracyConfig};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_accuracy");
+    group.sample_size(10);
+    group.bench_function("reduced_scale_run", |b| {
+        b.iter(|| {
+            let report = accuracy::run(AccuracyConfig {
+                max_z: 8,
+                bins: 64,
+                ranks: 4,
+                gpus: 2,
+            });
+            black_box(report.within_half_milli_percent)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbench: the per-bin integration methods on a realistic RRC
+//! integrand — the cost ladder behind the paper's method choices
+//! (Simpson-64 on the GPU, QAGS on the CPU, Romberg-k for accuracy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quadrature::{qags_with, romberg, simpson, AdaptiveConfig, GaussLegendre, QagsWorkspace};
+use rrc_spectral::RrcIntegrand;
+use std::hint::black_box;
+
+fn integrand() -> RrcIntegrand {
+    RrcIntegrand {
+        kt_ev: 862.0,
+        binding_ev: 870.0,
+        n: 1,
+        electron_density: 1.0,
+        ion_density: 1e-4,
+    }
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let f = integrand();
+    let (lo, hi) = (880.0, 910.0); // one energy bin above the edge
+    let mut group = c.benchmark_group("quadrature_per_bin");
+
+    group.bench_function("simpson_64", |b| {
+        b.iter(|| black_box(simpson(|e| f.evaluate(e), lo, hi, 64).value));
+    });
+    for k in [7u32, 9, 11, 13] {
+        group.bench_with_input(BenchmarkId::new("romberg", k), &k, |b, &k| {
+            b.iter(|| black_box(romberg(|e| f.evaluate(e), lo, hi, k).value));
+        });
+    }
+    group.bench_function("qags", |b| {
+        let mut ws = QagsWorkspace::new();
+        let cfg = AdaptiveConfig::default();
+        b.iter(|| {
+            black_box(
+                qags_with(&mut ws, cfg, |e| f.evaluate(e), lo, hi)
+                    .map(|e| e.value)
+                    .unwrap_or(0.0),
+            )
+        });
+    });
+    group.bench_function("gauss_legendre_21", |b| {
+        let rule = GaussLegendre::new(21);
+        b.iter(|| black_box(rule.integrate(|e| f.evaluate(e), lo, hi).value));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

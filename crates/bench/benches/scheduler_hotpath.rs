@@ -1,0 +1,47 @@
+//! Microbench: the scheduler's SCHE-ALLOC / SCHE-FREE hot path — the
+//! operation the paper keeps lock-free in shared memory to beat the
+//! MPS client-server round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_sched::policy::select_device;
+use hybrid_sched::Scheduler;
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("sche_alloc_free_uncontended", |b| {
+        let s = Scheduler::new(4, 12);
+        b.iter(|| {
+            let g = s.alloc().expect("queues empty");
+            s.free(black_box(g));
+        });
+    });
+
+    c.bench_function("sche_alloc_free_contended_8_threads", |b| {
+        let s = Scheduler::new(4, 12);
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let s = s.clone();
+                    scope.spawn(move || {
+                        for _ in 0..iters / 8 {
+                            if let Some(g) = s.alloc() {
+                                s.free(g);
+                            }
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        });
+    });
+
+    c.bench_function("policy_select_16_devices", |b| {
+        let loads: Vec<u64> = (0..16).map(|i| (i * 7 % 5) as u64).collect();
+        let histories: Vec<u64> = (0..16).map(|i| (i * 13 % 11) as u64).collect();
+        b.iter(|| black_box(select_device(&loads, &histories, 12)));
+    });
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbench: the SIMT bin-integration kernel (paper Algorithm 2)
+//! at Ion-task shape — many levels accumulated in-device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{BinIntegrationKernel, DeviceRule, LaunchConfig, Precision};
+use rrc_spectral::RrcIntegrand;
+use std::hint::black_box;
+
+fn bench_kernel(c: &mut Criterion) {
+    let levels: Vec<RrcIntegrand> = (1..=10u16)
+        .map(|n| RrcIntegrand {
+            kt_ev: 862.0,
+            binding_ev: 13.6 * 64.0 / f64::from(n * n),
+            n,
+            electron_density: 1.0,
+            ion_density: 1e-4,
+        })
+        .collect();
+    let closures: Vec<_> = levels
+        .iter()
+        .map(|f| {
+            let f = *f;
+            move |e: f64| f.evaluate(e)
+        })
+        .collect();
+    let bins: Vec<(f64, f64)> = (0..512)
+        .map(|i| (100.0 + 3.0 * i as f64, 103.0 + 3.0 * i as f64))
+        .collect();
+
+    let mut group = c.benchmark_group("simt_ion_kernel");
+    for threads in [1u32, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let kernel = BinIntegrationKernel {
+                    integrands: &closures,
+                    bins: &bins,
+                    precision: Precision::Double,
+                    windows: None,
+                    rule: DeviceRule::Simpson { panels: 64 },
+                };
+                let cfg = LaunchConfig::new(threads.div_ceil(64).max(1), threads.min(64));
+                b.iter(|| {
+                    let mut emi = vec![0.0; bins.len()];
+                    black_box(kernel.execute(cfg, &mut emi));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Table II regeneration: the NEI
+//! discrete-event scaling run per GPU count, plus one real LSODA task
+//! batch (the numerics behind the cost anchors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_spectral::desmodel::{self, nei_config};
+use hybrid_spectral::Calibration;
+use nei::{LsodaSolver, NeiTask, NeiWorkload};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let calib = Calibration::paper();
+    let mut group = c.benchmark_group("table2_nei");
+    group.sample_size(10);
+    for gpus in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("des", gpus), &gpus, |b, &gpus| {
+            b.iter(|| {
+                let cfg = nei_config(&calib, 24, 1000, gpus, 8);
+                black_box(desmodel::run(cfg).makespan_s)
+            });
+        });
+    }
+    group.bench_function("real_task_batch", |b| {
+        let workload = NeiWorkload {
+            points: 1,
+            timesteps: 10,
+            steps_per_task: 10,
+            dt_s: 1e4,
+        };
+        let task = workload.task(0, 0, 1e7, 1.0);
+        let solver = LsodaSolver::default();
+        b.iter(|| {
+            let mut state = NeiTask::neutral_state();
+            black_box(task.execute(&solver, &mut state).steps)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

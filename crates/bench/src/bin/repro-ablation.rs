@@ -1,0 +1,43 @@
+//! Run the design-choice ablations (tie-break rule, asynchronous
+//! submission window, Hyper-Q concurrency) and print the comparison.
+
+use hybrid_spectral::experiments::ablation;
+use spectral_bench::{f1, paper_inputs, pct, render_table};
+
+fn main() {
+    let (workload, calib) = paper_inputs();
+    let report = ablation::run(&workload, &calib);
+
+    let table = |title: &str, rows: &[ablation::AblationRow]| {
+        println!("== {title} ==\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    f1(r.total_s),
+                    pct(r.gpu_ratio_percent),
+                    format!("{:.3}", r.history_imbalance),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["variant", "total (s)", "GPU share", "history max/min"],
+                &body
+            )
+        );
+    };
+
+    table("Ablation 1: tie-break rule (2 GPUs, qlen 6)", &report.tie_break);
+    table(
+        "Ablation 2: submission window on heavy k=13 tasks (paper SV future work)",
+        &report.async_window,
+    );
+    table("Ablation 3: per-device active tasks (Fermi=1 vs Hyper-Q)", &report.hyper_q);
+    table(
+        "Ablation 4: count-based vs work-aware selection (paper SV ongoing work; k=11 tasks)",
+        &report.work_aware,
+    );
+}

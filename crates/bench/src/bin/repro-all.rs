@@ -1,0 +1,39 @@
+//! Run every experiment and write a machine-readable bundle
+//! (`repro_results.json`) for `EXPERIMENTS.md` bookkeeping.
+
+use hybrid_spectral::experiments::{accuracy, granularity, nei_scaling, qlen_sweep, romberg_load};
+use hybrid_spectral::Calibration;
+use spectral_bench::paper_inputs;
+
+fn main() {
+    let (workload, calib) = paper_inputs();
+
+    eprintln!("fig3: granularity speedups ...");
+    let fig3 = granularity::run(&workload, &calib);
+    eprintln!("fig4/fig5: queue-length sweep ...");
+    let qlen = qlen_sweep::run(&workload, &calib);
+    eprintln!("fig6/table1: Romberg load sweep ...");
+    let romberg = romberg_load::run(&workload, &calib);
+    eprintln!("table2: NEI scaling ...");
+    let nei = nei_scaling::run(&Calibration::paper(), 4000);
+    eprintln!("fig7/fig8: accuracy (real numerics, this takes the longest) ...");
+    let acc = accuracy::run(accuracy::AccuracyConfig::default());
+
+    let bundle = serde_json::json!({
+        "fig3": fig3,
+        "fig4_fig5": qlen,
+        "fig6_table1": romberg,
+        "table2": nei,
+        "fig7_fig8": {
+            "error_min_percent": acc.min_error,
+            "error_max_percent": acc.max_error,
+            "within_0_0005_percent": acc.within_half_milli_percent,
+            "gpu_ratio_percent": acc.gpu_ratio_percent,
+            "bins": acc.errors_percent.len(),
+        },
+    });
+    let path = "repro_results.json";
+    std::fs::write(path, serde_json::to_string_pretty(&bundle).expect("serialize"))
+        .expect("write results");
+    println!("wrote {path}");
+}

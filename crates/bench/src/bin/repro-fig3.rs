@@ -1,0 +1,53 @@
+//! Regenerate paper Fig. 3: speedup over serial APEC vs GPU count, for
+//! Ion vs Level task granularity, plus the §IV baselines.
+
+use hybrid_spectral::experiments::granularity;
+use spectral_bench::{f1, paper_inputs, pct, render_table};
+
+fn main() {
+    let (workload, calib) = paper_inputs();
+    let report = granularity::run(&workload, &calib);
+
+    println!("== Fig. 3: speedup on different task granularities ==\n");
+    println!(
+        "serial baseline: {} s for 24 grid points ({} ion tasks)",
+        f1(report.serial_s),
+        workload.total_tasks(hybrid_spectral::Granularity::Ion)
+    );
+    println!(
+        "24-rank MPI-only: {} s -> speedup {} (paper: 13.5)\n",
+        f1(report.mpi_s),
+        f1(report.mpi_speedup)
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gpus.to_string(),
+                f1(r.ion_speedup),
+                f1(r.paper_ion),
+                f1(r.level_speedup),
+                f1(r.paper_level),
+                pct(r.ion_gpu_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "GPUs",
+                "Ion (ours)",
+                "Ion (paper)",
+                "Level (ours)",
+                "Level (paper)",
+                "Ion GPU ratio",
+            ],
+            &rows
+        )
+    );
+    println!("(1- and 4-GPU Ion/Level values are calibration anchors; 2- and 3-GPU");
+    println!(" values and all ratios are emergent from the discrete-event replica.)");
+}

@@ -1,0 +1,33 @@
+//! Regenerate paper Fig. 8: the distribution of per-bin relative
+//! errors between the serial (QAGS) and hybrid (GPU Simpson) spectra.
+
+use hybrid_spectral::experiments::accuracy::{self, AccuracyConfig};
+use spectral_bench::pct;
+
+fn main() {
+    let report = accuracy::run(AccuracyConfig::default());
+
+    println!("== Fig. 8: distribution of numerical error (hybrid vs serial) ==\n");
+    println!(
+        "error range: [{:.6}%, {:.6}%]   (paper: [-0.0003%, 0.0033%])",
+        report.min_error, report.max_error
+    );
+    println!(
+        "errors with |e| <= 0.0005%: {}   (paper: \"more than 99%\")\n",
+        pct(report.within_half_milli_percent)
+    );
+    println!("  error bin (%)        probability");
+    for (edge, prob) in report
+        .histogram
+        .edges
+        .iter()
+        .zip(&report.histogram.probability)
+    {
+        if *prob > 0.0 {
+            let bar = "#".repeat((prob * 0.8).round() as usize);
+            println!("  {edge:+.6}  {prob:6.2}%  |{bar}");
+        }
+    }
+    println!("\n(relative error over the flux-carrying bins of the 10-45 A band;");
+    println!(" the mass concentrates at |e| < 5e-4 %, like the paper's curve.)");
+}

@@ -1,0 +1,33 @@
+//! Strong scaling over MPI ranks: the companion sweep to the paper's
+//! "13.5x at 24 ranks" quote, for the pure-MPI and the hybrid versions.
+
+use hybrid_spectral::experiments::rank_scaling;
+use spectral_bench::{f1, f2, paper_inputs, render_table};
+
+fn main() {
+    let (workload, calib) = paper_inputs();
+    let report = rank_scaling::run(&workload, &calib);
+
+    println!("== Strong scaling over MPI ranks (2 GPUs for the hybrid column) ==\n");
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                f2(r.mpi_speedup),
+                f2(r.mpi_model),
+                f1(r.hybrid_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["ranks", "MPI speedup", "contention model", "hybrid speedup"],
+            &rows
+        )
+    );
+    println!("(the MPI column must track k/(1 + alpha(k-1)) with alpha fitted to the");
+    println!(" paper's 13.5x anchor; the hybrid column saturates at device capacity.)");
+}

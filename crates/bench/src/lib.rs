@@ -1,0 +1,90 @@
+//! Shared helpers for the `repro-*` regenerator binaries and the
+//! Criterion benches: table rendering and the standard experiment
+//! inputs (full 496-ion database, paper workload, paper calibration).
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use hybrid_spectral::{Calibration, SpectralWorkload};
+
+/// The paper-scale inputs every performance regenerator uses.
+#[must_use]
+pub fn paper_inputs() -> (SpectralWorkload, Calibration) {
+    let db = AtomDatabase::generate(DatabaseConfig::default());
+    (SpectralWorkload::paper(&db), Calibration::paper())
+}
+
+/// Render an aligned ASCII table: a header row then data rows.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format a float with 1 decimal.
+#[must_use]
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 2 decimals.
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 2 decimals.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn paper_inputs_are_full_scale() {
+        let (w, c) = paper_inputs();
+        assert_eq!(w.ions(), 496);
+        assert_eq!(c.ranks, 24);
+    }
+}

@@ -1,0 +1,271 @@
+//! Calibration of the virtual-time model against the paper's anchors.
+//!
+//! We cannot time a 2011 Xeon/Tesla testbed, so the DES service times
+//! are *derived* from the paper's own published numbers, then every
+//! other curve (queue-length sweeps, task ratios, load histograms,
+//! mid-range GPU counts) is **emergent** from the simulation:
+//!
+//! * serial APEC: 800 s per grid point on one E5-2640 core, 496 ion
+//!   tasks per point → 1.613 s per mean ion task;
+//! * 24-rank MPI speedup of 13.5 (not 24) → a memory-contention model
+//!   `t_eff = t * (1 + alpha * (active - 1))` with `alpha = 0.0338`;
+//! * Fig. 3 endpoints: 1-GPU and 4-GPU speedups pin the two components
+//!   of GPU task service — the **shared** stage (host dispatch + PCIe,
+//!   serialized across devices) and the **exclusive** stage (on-device
+//!   compute, parallel across devices). With devices serially draining
+//!   their queues (Fermi), the 1-GPU run costs `N*(shared+exclusive)`
+//!   and the 4-GPU run saturates the shared stage at `N*shared`;
+//! * Romberg complexity (Fig. 6 / Table I): the GPU's per-task compute
+//!   scales by `2^(k-7)` (at `k = 7` the 2^7+1 evaluations per bin
+//!   match the Simpson-64 baseline's 129); the CPU fallback stays QAGS,
+//!   whose adaptive cost does not scale with `k` — this asymmetry is
+//!   what pushes tasks back to the CPU at high `k` (Table I);
+//! * Table II (NEI): same construction from its 1-GPU and 4-GPU
+//!   anchors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// Paper-derived anchor constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Seconds one grid point takes on one serial CPU core (paper §I).
+    pub serial_point_s: f64,
+    /// Speedup of the 24-rank MPI version over serial (paper §IV).
+    pub mpi_speedup: f64,
+    /// Rank/core count of the testbed.
+    pub ranks: usize,
+    /// Fig. 3 Ion-granularity speedups at 1 and 4 GPUs.
+    pub ion_speedup: (f64, f64),
+    /// Fig. 3 Level-granularity speedups at 1 and 4 GPUs.
+    pub level_speedup: (f64, f64),
+    /// Table II NEI: per-task MPI-only CPU seconds and the 1-/4-GPU
+    /// total seconds at paper scale (10⁸ tasks).
+    pub nei_mpi_total_s: f64,
+    /// Table II: 1-GPU and 4-GPU total times in seconds.
+    pub nei_gpu_total_s: (f64, f64),
+    /// Paper-scale NEI task count.
+    pub nei_tasks: u64,
+}
+
+/// Host-side preparation seconds per mean Ion task (building the
+/// level/cross-section arrays and staging buffers before submission).
+/// Fitted to Fig. 4's queue-length sensitivity: with negligible rank-side
+/// latency two queued tasks would already saturate a device and the
+/// maximum queue length would not matter; the paper's ~2x gap between
+/// queue lengths 2 and 12 pins this at tens of milliseconds.
+pub const HOST_PREP_ION_S: f64 = 0.025;
+
+/// One task's GPU service split into the stage serialized across
+/// devices (host dispatch + PCIe bus) and the device-exclusive stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuService {
+    /// Shared-stage seconds at mean task size.
+    pub shared_s: f64,
+    /// Device-exclusive seconds at mean task size.
+    pub exclusive_s: f64,
+}
+
+impl GpuService {
+    /// Total service at mean task size.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.shared_s + self.exclusive_s
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::paper()
+    }
+}
+
+impl Calibration {
+    /// The constants as published in the paper.
+    #[must_use]
+    pub fn paper() -> Calibration {
+        Calibration {
+            serial_point_s: 800.0,
+            mpi_speedup: 13.5,
+            ranks: 24,
+            ion_speedup: (196.4, 311.4),
+            level_speedup: (97.9, 158.5),
+            nei_mpi_total_s: 8784.0,
+            nei_gpu_total_s: (3137.0, 582.0),
+            nei_tasks: 100_000_000,
+        }
+    }
+
+    /// The CPU memory-contention coefficient `alpha` such that 24 active
+    /// ranks are only `mpi_speedup`× faster than one:
+    /// `ranks / mpi_speedup = 1 + alpha * (ranks - 1)`.
+    #[must_use]
+    pub fn contention_alpha(&self) -> f64 {
+        if self.ranks <= 1 {
+            return 0.0;
+        }
+        (self.ranks as f64 / self.mpi_speedup - 1.0) / (self.ranks as f64 - 1.0)
+    }
+
+    /// Effective CPU slowdown factor with `active` ranks computing
+    /// concurrently.
+    #[must_use]
+    pub fn contention_factor(&self, active: usize) -> f64 {
+        1.0 + self.contention_alpha() * (active.saturating_sub(1)) as f64
+    }
+
+    /// Serial seconds of the mean task at `granularity` on one
+    /// uncontended CPU core (QAGS path).
+    #[must_use]
+    pub fn cpu_task_s(&self, workload: &SpectralWorkload, granularity: Granularity) -> f64 {
+        let tasks_per_point =
+            workload.total_tasks(granularity) as f64 / workload.points as f64;
+        self.serial_point_s / tasks_per_point
+    }
+
+    /// GPU service of the mean task at `granularity`, derived from the
+    /// Fig. 3 anchors (see module docs).
+    #[must_use]
+    pub fn gpu_service(
+        &self,
+        workload: &SpectralWorkload,
+        granularity: Granularity,
+    ) -> GpuService {
+        let (s1, s4) = match granularity {
+            Granularity::Ion => self.ion_speedup,
+            Granularity::Level => self.level_speedup,
+        };
+        let serial_total = self.serial_point_s * workload.points as f64;
+        let n = workload.total_tasks(granularity) as f64;
+        let total = serial_total / s1 / n; // 1 GPU: N*(shared+exclusive)
+        let shared = (serial_total / s4 / n).min(total * 0.95); // 4 GPUs: N*shared
+        GpuService {
+            shared_s: shared,
+            exclusive_s: total - shared,
+        }
+    }
+
+    /// Host-side preparation time of the mean task at `granularity`
+    /// (scales with the task's data volume, i.e. its level count).
+    #[must_use]
+    pub fn host_prep_s(&self, workload: &SpectralWorkload, granularity: Granularity) -> f64 {
+        let ion_mean = workload.mean_evals(Granularity::Ion);
+        let mean = workload.mean_evals(granularity);
+        if ion_mean <= 0.0 {
+            return 0.0;
+        }
+        HOST_PREP_ION_S * mean / ion_mean
+    }
+
+    /// GPU compute scale factor of Romberg level `k` relative to the
+    /// Simpson-64 baseline (`2^(k-7)`; paper Table I's "computation
+    /// amount/task 2^k").
+    #[must_use]
+    pub fn romberg_factor(k: u32) -> f64 {
+        2f64.powi(k as i32 - 7)
+    }
+
+    /// NEI per-task CPU seconds (the pure-MPI path, contention already
+    /// folded in because the anchor *is* the 24-rank measurement).
+    #[must_use]
+    pub fn nei_cpu_task_s(&self) -> f64 {
+        self.nei_mpi_total_s * self.ranks as f64 / self.nei_tasks as f64
+    }
+
+    /// NEI GPU service from the Table II anchors.
+    #[must_use]
+    pub fn nei_gpu_service(&self) -> GpuService {
+        let n = self.nei_tasks as f64;
+        let total = self.nei_gpu_total_s.0 / n;
+        let shared = (self.nei_gpu_total_s.1 / n).min(total * 0.95);
+        GpuService {
+            shared_s: shared,
+            exclusive_s: total - shared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn workload() -> SpectralWorkload {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        SpectralWorkload::paper(&db)
+    }
+
+    #[test]
+    fn contention_matches_mpi_anchor() {
+        let c = Calibration::paper();
+        // 24 ranks at factor f have aggregate speedup 24/f = 13.5.
+        let f = c.contention_factor(24);
+        assert!((24.0 / f - 13.5).abs() < 1e-9);
+        assert_eq!(c.contention_factor(1), 1.0);
+    }
+
+    #[test]
+    fn cpu_ion_task_is_about_1_6_seconds() {
+        let c = Calibration::paper();
+        let t = c.cpu_task_s(&workload(), Granularity::Ion);
+        assert!((t - 800.0 / 496.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn ion_gpu_service_matches_fig3_endpoints() {
+        let c = Calibration::paper();
+        let w = workload();
+        let svc = c.gpu_service(&w, Granularity::Ion);
+        let n = w.total_tasks(Granularity::Ion) as f64;
+        let serial_total = 800.0 * 24.0;
+        // 1 GPU: N * total = serial/196.4.
+        assert!((n * svc.total_s() - serial_total / 196.4).abs() < 1e-6);
+        // 4 GPUs (shared-stage bound): N * shared = serial/311.4.
+        assert!((n * svc.shared_s - serial_total / 311.4).abs() < 1e-6);
+        // Milli-second scale sanity.
+        assert!(svc.total_s() > 5e-3 && svc.total_s() < 12e-3, "{svc:?}");
+    }
+
+    #[test]
+    fn level_service_is_smaller_but_overhead_heavier() {
+        let c = Calibration::paper();
+        let w = workload();
+        let ion = c.gpu_service(&w, Granularity::Ion);
+        let level = c.gpu_service(&w, Granularity::Level);
+        assert!(level.total_s() < ion.total_s());
+        // Overhead (shared) fraction is the fine-granularity disease.
+        let level_frac = level.shared_s / level.total_s();
+        assert!(level_frac > 0.4, "shared fraction {level_frac}");
+    }
+
+    #[test]
+    fn romberg_factor_doubles_per_level() {
+        assert_eq!(Calibration::romberg_factor(7), 1.0);
+        assert_eq!(Calibration::romberg_factor(9), 4.0);
+        assert_eq!(Calibration::romberg_factor(13), 64.0);
+    }
+
+    #[test]
+    fn nei_anchors_roundtrip() {
+        let c = Calibration::paper();
+        assert!((c.nei_cpu_task_s() - 8784.0 * 24.0 / 1e8).abs() < 1e-12);
+        let svc = c.nei_gpu_service();
+        assert!((1e8 * svc.total_s() - 3137.0).abs() < 1e-6);
+        assert!((1e8 * svc.shared_s - 582.0).abs() < 1e-6);
+        // GPU task is ~67x cheaper than its CPU fallback.
+        let ratio = c.nei_cpu_task_s() / svc.total_s();
+        assert!(ratio > 30.0 && ratio < 120.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_beats_cpu_per_task_by_fig3_magnitude() {
+        let c = Calibration::paper();
+        let w = workload();
+        let cpu = c.cpu_task_s(&w, Granularity::Ion);
+        let gpu = c.gpu_service(&w, Granularity::Ion).total_s();
+        // Serial CPU vs serial-through-1-GPU: the Fig. 3 196x.
+        assert!((cpu / gpu - 196.4).abs() < 1.0, "{}", cpu / gpu);
+    }
+}

@@ -1,0 +1,180 @@
+//! Ablations of the design choices the paper motivates but does not
+//! isolate:
+//!
+//! 1. **Tie-breaking by history count** (Algorithm 1) vs plain index
+//!    order — does remembering history matter, or does load alone
+//!    suffice?
+//! 2. **Synchronous vs asynchronous submission** — the paper's §V
+//!    limitation: "when the single task is time-consuming to GPU, some
+//!    asynchronous task queuing mechanism must be introduced"; we sweep
+//!    the submission window on the heavy Romberg k=13 workload.
+//! 3. **Fermi serial queues vs Kepler Hyper-Q** — §III-A: "the Hyper-Q
+//!    technique can allow for up to 32 simultaneous connections"; we
+//!    sweep the per-device concurrency window.
+
+use hybrid_sched::TieBreak;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, spectral_config};
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// Result of one ablation variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which knob and setting.
+    pub variant: String,
+    /// Total virtual time of the 24-point run.
+    pub total_s: f64,
+    /// GPU task share, percent.
+    pub gpu_ratio_percent: f64,
+    /// Max/min ratio of per-device history counts (1.0 = perfectly
+    /// balanced).
+    pub history_imbalance: f64,
+}
+
+/// The three ablation families.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationReport {
+    /// Tie-break rule comparison (2 GPUs, qlen 6).
+    pub tie_break: Vec<AblationRow>,
+    /// Submission window sweep on the heavy k=13 workload (2 GPUs).
+    pub async_window: Vec<AblationRow>,
+    /// Per-device concurrency sweep (2 GPUs, qlen 6).
+    pub hyper_q: Vec<AblationRow>,
+    /// Count-based vs work-aware device selection (paper §V's "improved
+    /// scheme for load balancing"), on the size-heterogeneous workload.
+    pub work_aware: Vec<AblationRow>,
+}
+
+fn summarize(variant: String, report: &desmodel::DesReport) -> AblationRow {
+    let max = report.device_history.iter().max().copied().unwrap_or(0) as f64;
+    let min = report.device_history.iter().min().copied().unwrap_or(0) as f64;
+    AblationRow {
+        variant,
+        total_s: report.makespan_s,
+        gpu_ratio_percent: report.gpu_ratio_percent,
+        history_imbalance: if min > 0.0 { max / min } else { f64::INFINITY },
+    }
+}
+
+/// Run all three ablations.
+#[must_use]
+pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> AblationReport {
+    // 1. Tie-break rule.
+    let tie_break = [TieBreak::History, TieBreak::Index]
+        .into_iter()
+        .map(|tie| {
+            let mut cfg = spectral_config(workload, calib, Granularity::Ion, 2, 6, None);
+            cfg.tie_break = tie;
+            summarize(format!("{tie:?}"), &desmodel::run(cfg))
+        })
+        .collect();
+
+    // 2. Async window on long tasks (Romberg k = 13).
+    let async_window = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|window| {
+            let mut cfg =
+                spectral_config(workload, calib, Granularity::Ion, 2, 6, Some(13));
+            cfg.async_window = window;
+            summarize(format!("window={window}"), &desmodel::run(cfg))
+        })
+        .collect();
+
+    // 3. Hyper-Q concurrency.
+    let hyper_q = [1usize, 4, 32]
+        .into_iter()
+        .map(|slots| {
+            let mut cfg = spectral_config(workload, calib, Granularity::Ion, 2, 6, None);
+            cfg.concurrent_per_gpu = slots;
+            summarize(format!("active_tasks={slots}"), &desmodel::run(cfg))
+        })
+        .collect();
+
+    // 4. Work-aware balancing: the per-ion level census makes task sizes
+    //    heterogeneous (4x spread); weigh queues by backlog instead of
+    //    count.
+    let work_aware = [false, true]
+        .into_iter()
+        .map(|aware| {
+            let mut cfg = spectral_config(workload, calib, Granularity::Ion, 2, 6, Some(11));
+            cfg.work_aware = aware;
+            summarize(
+                if aware { "work-aware" } else { "count-based" }.to_string(),
+                &desmodel::run(cfg),
+            )
+        })
+        .collect();
+
+    AblationReport {
+        tie_break,
+        async_window,
+        hyper_q,
+        work_aware,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn report() -> AblationReport {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        let workload = SpectralWorkload::paper(&db);
+        run(&workload, &Calibration::paper())
+    }
+
+    #[test]
+    fn history_tiebreak_balances_devices() {
+        let r = report();
+        let history = &r.tie_break[0];
+        let index = &r.tie_break[1];
+        // The paper's rule keeps per-device history counts tight.
+        assert!(history.history_imbalance < 1.05, "{history:?}");
+        // Index order must not beat the paper's rule on balance.
+        assert!(index.history_imbalance >= history.history_imbalance * 0.999);
+    }
+
+    #[test]
+    fn async_window_helps_heavy_tasks() {
+        let r = report();
+        let sync = r.async_window[0].total_s;
+        let windowed = r.async_window.last().unwrap().total_s;
+        // The paper's own prediction: async queuing pays off when single
+        // tasks are expensive.
+        assert!(
+            windowed < sync,
+            "window 8 ({windowed}) should beat sync ({sync})"
+        );
+    }
+
+    #[test]
+    fn hyper_q_never_hurts_throughput_materially() {
+        let r = report();
+        let fermi = r.hyper_q[0].total_s;
+        for row in &r.hyper_q[1..] {
+            assert!(row.total_s <= fermi * 1.05, "{row:?} vs fermi {fermi}");
+        }
+    }
+
+    #[test]
+    fn work_aware_balancing_does_not_regress() {
+        // The improved scheme must never be materially worse; with the
+        // 4x task-size spread it should help or tie.
+        let r = report();
+        let count = r.work_aware[0].total_s;
+        let aware = r.work_aware[1].total_s;
+        assert!(aware <= count * 1.01, "work-aware {aware} vs count {count}");
+    }
+
+    #[test]
+    fn all_variants_conserve_high_gpu_share() {
+        let r = report();
+        for row in r.tie_break.iter().chain(&r.hyper_q) {
+            assert!(row.gpu_ratio_percent > 90.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Paper Fig. 3: speedup vs GPU count for the two task granularities,
+//! plus the serial and 24-rank MPI baselines quoted in §IV.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, spectral_config};
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// One GPU-count sample of Fig. 3.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Number of GPU devices.
+    pub gpus: usize,
+    /// Measured Ion-granularity speedup over serial.
+    pub ion_speedup: f64,
+    /// Measured Level-granularity speedup over serial.
+    pub level_speedup: f64,
+    /// Paper's Ion value for this GPU count.
+    pub paper_ion: f64,
+    /// Paper's Level value for this GPU count.
+    pub paper_level: f64,
+    /// Fraction of Ion tasks that ran on GPUs, percent.
+    pub ion_gpu_ratio: f64,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Report {
+    /// Serial baseline (virtual seconds for all 24 points).
+    pub serial_s: f64,
+    /// 24-rank MPI-only time and its speedup (paper: 13.5×).
+    pub mpi_s: f64,
+    /// MPI speedup over serial.
+    pub mpi_speedup: f64,
+    /// One row per GPU count 1..=4.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Paper Fig. 3 values.
+pub const PAPER_ION: [f64; 4] = [196.4, 278.7, 305.8, 311.4];
+/// Paper Fig. 3 values (Level granularity).
+pub const PAPER_LEVEL: [f64; 4] = [97.9, 132.9, 155.7, 158.5];
+
+/// Run the experiment at the paper's configuration (24 points, qlen 12).
+#[must_use]
+pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> Fig3Report {
+    let serial_s = calib.serial_point_s * workload.points as f64;
+
+    // MPI-only baseline: 24 ranks, no GPUs.
+    let mpi = desmodel::run(spectral_config(
+        workload,
+        calib,
+        Granularity::Ion,
+        0,
+        1,
+        None,
+    ));
+
+    let qlen = 12;
+    let rows = (1..=4)
+        .map(|gpus| {
+            let ion = desmodel::run(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                gpus,
+                qlen,
+                None,
+            ));
+            let level = desmodel::run(spectral_config(
+                workload,
+                calib,
+                Granularity::Level,
+                gpus,
+                qlen,
+                None,
+            ));
+            Fig3Row {
+                gpus,
+                ion_speedup: serial_s / ion.makespan_s,
+                level_speedup: serial_s / level.makespan_s,
+                paper_ion: PAPER_ION[gpus - 1],
+                paper_level: PAPER_LEVEL[gpus - 1],
+                ion_gpu_ratio: ion.gpu_ratio_percent,
+            }
+        })
+        .collect();
+
+    Fig3Report {
+        serial_s,
+        mpi_s: mpi.makespan_s,
+        mpi_speedup: serial_s / mpi.makespan_s,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn report() -> Fig3Report {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        let workload = SpectralWorkload::paper(&db);
+        run(&workload, &Calibration::paper())
+    }
+
+    #[test]
+    fn mpi_baseline_is_13_5x() {
+        let r = report();
+        assert!((r.mpi_speedup - 13.5).abs() < 0.5, "{}", r.mpi_speedup);
+    }
+
+    #[test]
+    fn ion_beats_level_at_every_gpu_count() {
+        let r = report();
+        for row in &r.rows {
+            assert!(
+                row.ion_speedup > row.level_speedup * 1.5,
+                "gpus={}: ion {} vs level {}",
+                row.gpus,
+                row.ion_speedup,
+                row.level_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_increase_with_gpus_then_saturate() {
+        let r = report();
+        let s: Vec<f64> = r.rows.iter().map(|r| r.ion_speedup).collect();
+        assert!(s[1] > s[0]);
+        // Saturation: 3 -> 4 gains less than 1 -> 2.
+        assert!((s[3] - s[2]) < (s[1] - s[0]));
+        assert!(s[3] >= s[2] * 0.99);
+    }
+
+    #[test]
+    fn measured_speedups_track_paper_shape() {
+        // Within 25% of the paper at the anchored endpoints and within
+        // 2x everywhere (mid points are emergent, not fitted).
+        let r = report();
+        for row in &r.rows {
+            let rel = row.ion_speedup / row.paper_ion;
+            assert!(
+                rel > 0.6 && rel < 1.45,
+                "gpus={}: measured {} vs paper {}",
+                row.gpus,
+                row.ion_speedup,
+                row.paper_ion
+            );
+        }
+    }
+}

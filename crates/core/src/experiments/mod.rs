@@ -1,0 +1,26 @@
+//! Experiment drivers — one per table/figure of the paper's
+//! evaluation (§IV). Each driver returns a serializable report that
+//! carries both our measured series and the paper's published series,
+//! so the `spectral-bench` regenerator binaries (and `EXPERIMENTS.md`)
+//! can print them side by side.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 3 (granularity speedups) | [`granularity::run`] |
+//! | Fig. 4 (time vs max queue length) | [`qlen_sweep::run`] |
+//! | Fig. 5 (GPU task ratio vs max queue length) | [`qlen_sweep::run`] |
+//! | Fig. 6 (device-0 load distribution vs Romberg k) | [`romberg_load::run`] |
+//! | Table I (task distribution vs computation amount) | [`romberg_load::run`] |
+//! | Fig. 7 (serial vs hybrid spectra) | [`accuracy::run`] |
+//! | Fig. 8 (relative-error distribution) | [`accuracy::run`] |
+//! | Table II (NEI speedups) | [`nei_scaling::run`] |
+//! | Design-choice ablations (tie-break, async window, Hyper-Q) | [`ablation::run`] |
+//! | §IV text (13.5× MPI baseline) | [`granularity::run`] preamble |
+
+pub mod ablation;
+pub mod accuracy;
+pub mod granularity;
+pub mod nei_scaling;
+pub mod qlen_sweep;
+pub mod rank_scaling;
+pub mod romberg_load;

@@ -1,0 +1,126 @@
+//! Paper Table II: NEI speedup on 1–4 GPUs vs the 24-rank MPI version.
+//!
+//! The paper's run is 10⁶ grid points × 1000 timesteps with ten
+//! timesteps per task — 10⁸ tasks, far more than a discrete-event run
+//! needs (or should) replay one by one. We simulate a 1/`scale` subset
+//! and multiply the makespan back; with tasks ≫ ranks × queue length
+//! by four orders of magnitude even in the subset, the steady-state
+//! regime dominates and the scaling is exact to the drain transient.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, nei_config};
+
+/// One GPU count of Table II.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// GPU count.
+    pub gpus: usize,
+    /// Projected total seconds at paper scale (10⁸ tasks).
+    pub time_s: f64,
+    /// Speedup vs the 24-rank MPI-only run.
+    pub speedup: f64,
+    /// Paper's time for this GPU count.
+    pub paper_time_s: f64,
+    /// Paper's speedup.
+    pub paper_speedup: f64,
+    /// GPU task share, percent.
+    pub gpu_ratio_percent: f64,
+}
+
+/// The Table II reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Report {
+    /// MPI-only baseline at paper scale (anchor: 8784 s).
+    pub mpi_s: f64,
+    /// One row per GPU count.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Paper Table II: `(gpus, speedup, seconds)`.
+pub const PAPER_TABLE2: [(usize, f64, f64); 4] = [
+    (1, 2.8, 3137.0),
+    (2, 5.9, 1494.0),
+    (3, 10.8, 810.0),
+    (4, 15.1, 582.0),
+];
+
+/// Run the NEI scaling experiment, simulating `tasks_per_rank` tasks
+/// per rank (paper scale / simulated scale is projected back).
+#[must_use]
+pub fn run(calib: &Calibration, tasks_per_rank: usize) -> Table2Report {
+    let ranks = calib.ranks;
+    let sim_tasks = (ranks * tasks_per_rank) as f64;
+    let scale = calib.nei_tasks as f64 / sim_tasks;
+    let qlen = 8; // paper: "the maximum queue length is 8"
+
+    let mpi = desmodel::run(nei_config(calib, ranks, tasks_per_rank, 0, qlen));
+    let mpi_s = mpi.makespan_s * scale;
+
+    let rows = (1..=4)
+        .map(|gpus| {
+            let report =
+                desmodel::run(nei_config(calib, ranks, tasks_per_rank, gpus, qlen));
+            let time_s = report.makespan_s * scale;
+            let (_, paper_speedup, paper_time_s) = PAPER_TABLE2[gpus - 1];
+            Table2Row {
+                gpus,
+                time_s,
+                speedup: mpi_s / time_s,
+                paper_time_s,
+                paper_speedup,
+                gpu_ratio_percent: report.gpu_ratio_percent,
+            }
+        })
+        .collect();
+    Table2Report { mpi_s, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Table2Report {
+        run(&Calibration::paper(), 2000)
+    }
+
+    #[test]
+    fn mpi_baseline_matches_anchor() {
+        let r = report();
+        assert!(
+            (r.mpi_s - 8784.0).abs() / 8784.0 < 0.01,
+            "baseline {}",
+            r.mpi_s
+        );
+    }
+
+    #[test]
+    fn speedup_grows_monotonically_with_gpus() {
+        let r = report();
+        for pair in r.rows.windows(2) {
+            assert!(pair[1].speedup > pair[0].speedup);
+        }
+        // And the hybrid always beats pure MPI.
+        assert!(r.rows[0].speedup > 1.5, "{:?}", r.rows[0]);
+    }
+
+    #[test]
+    fn four_gpu_speedup_is_double_digit() {
+        let r = report();
+        let s4 = r.rows[3].speedup;
+        assert!(s4 > 8.0 && s4 < 25.0, "4-GPU speedup {s4}");
+    }
+
+    #[test]
+    fn scaling_projection_is_stable() {
+        // Doubling the simulated subset must not change the projected
+        // times materially (steady-state argument).
+        let a = run(&Calibration::paper(), 1000);
+        let b = run(&Calibration::paper(), 2000);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            let rel = (ra.time_s - rb.time_s).abs() / rb.time_s;
+            assert!(rel < 0.03, "gpus={}: {} vs {}", ra.gpus, ra.time_s, rb.time_s);
+        }
+    }
+}

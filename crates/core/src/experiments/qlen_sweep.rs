@@ -1,0 +1,182 @@
+//! Paper Fig. 4 (total time vs maximum queue length) and Fig. 5 (GPU
+//! task ratio vs maximum queue length), plus the automatic
+//! queue-length tuner of §III-A.
+
+use hybrid_sched::AutoTuner;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, spectral_config};
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// One (gpu count, queue length) cell of Figs. 4 and 5.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QlenCell {
+    /// GPU count.
+    pub gpus: usize,
+    /// Maximum queue length.
+    pub qlen: u64,
+    /// Total virtual time of the 24-point run (Fig. 4 y-axis).
+    pub total_s: f64,
+    /// GPU task ratio percent (Fig. 5 y-axis).
+    pub gpu_ratio_percent: f64,
+}
+
+/// The sweep plus the autotuner's pick per GPU count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QlenReport {
+    /// All cells, qlen-major per GPU count.
+    pub cells: Vec<QlenCell>,
+    /// The queue length the automatic test settles on, per GPU count
+    /// (paper: the inflexion is at 10–12).
+    pub tuned_qlen: Vec<(usize, u64)>,
+}
+
+/// Paper Fig. 4: total seconds for queue lengths 2,4,...,14 (rows:
+/// 1..=4 GPUs).
+pub const PAPER_FIG4: [[f64; 7]; 4] = [
+    [356.0, 251.0, 221.0, 194.0, 186.0, 176.0, 179.0],
+    [221.0, 182.0, 178.0, 135.0, 124.0, 124.0, 128.0],
+    [184.0, 124.0, 119.0, 155.0, 119.0, 114.0, 117.0],
+    [155.0, 119.0, 114.0, 117.0, 111.0, 113.0, 118.0],
+];
+
+/// Paper Fig. 5: GPU task ratios (%) for queue lengths 2,4,...,14.
+pub const PAPER_FIG5: [[f64; 7]; 4] = [
+    [95.57, 97.25, 98.12, 98.78, 98.93, 99.40, 99.54],
+    [97.47, 99.00, 99.25, 99.76, 99.90, 100.00, 100.00],
+    [98.88, 99.68, 99.90, 99.22, 99.85, 100.00, 100.00],
+    [99.22, 99.85, 100.00, 100.00, 100.00, 100.00, 100.00],
+];
+
+/// The swept queue lengths.
+pub const QLENS: [u64; 7] = [2, 4, 6, 8, 10, 12, 14];
+
+/// Run the sweep at the paper's configuration.
+#[must_use]
+pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> QlenReport {
+    let mut cells = Vec::new();
+    let mut tuned = Vec::new();
+    for gpus in 1..=4usize {
+        for &qlen in &QLENS {
+            let report = desmodel::run(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                gpus,
+                qlen,
+                None,
+            ));
+            cells.push(QlenCell {
+                gpus,
+                qlen,
+                total_s: report.makespan_s,
+                gpu_ratio_percent: report.gpu_ratio_percent,
+            });
+        }
+        // The paper's automatic test: raise qlen until the inflexion.
+        let best = AutoTuner::paper_sweep().with_patience(2).tune(|q| {
+            desmodel::run(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                gpus,
+                q,
+                None,
+            ))
+            .makespan_s
+        });
+        tuned.push((gpus, best));
+    }
+    QlenReport {
+        cells,
+        tuned_qlen: tuned,
+    }
+}
+
+impl QlenReport {
+    /// The cells of one GPU count, in qlen order.
+    #[must_use]
+    pub fn series(&self, gpus: usize) -> Vec<QlenCell> {
+        self.cells.iter().filter(|c| c.gpus == gpus).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn report() -> QlenReport {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        let workload = SpectralWorkload::paper(&db);
+        run(&workload, &Calibration::paper())
+    }
+
+    #[test]
+    fn time_improves_from_tiny_to_moderate_queue() {
+        let r = report();
+        for gpus in 1..=4 {
+            let s = r.series(gpus);
+            assert!(
+                s[0].total_s > s[4].total_s,
+                "gpus={gpus}: qlen 2 ({}) should be slower than qlen 10 ({})",
+                s[0].total_s,
+                s[4].total_s
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_ratio_rises_with_queue_length() {
+        let r = report();
+        for gpus in 1..=4 {
+            let s = r.series(gpus);
+            assert!(s[0].gpu_ratio_percent <= s[6].gpu_ratio_percent + 1e-9);
+            // High ratios throughout, as in Fig. 5.
+            assert!(
+                s[0].gpu_ratio_percent > 85.0,
+                "gpus={gpus}: ratio {}",
+                s[0].gpu_ratio_percent
+            );
+            assert!(s[6].gpu_ratio_percent > 95.0);
+            if gpus >= 2 {
+                assert!(s[6].gpu_ratio_percent > 99.5);
+            }
+        }
+    }
+
+    #[test]
+    fn more_gpus_are_never_slower_at_fixed_qlen() {
+        let r = report();
+        for i in 0..QLENS.len() {
+            let t1 = r.series(1)[i].total_s;
+            let t4 = r.series(4)[i].total_s;
+            assert!(t4 <= t1 + 1e-9, "qlen {}: {t4} vs {t1}", QLENS[i]);
+        }
+    }
+
+    #[test]
+    fn tuner_picks_a_moderate_queue_length() {
+        let r = report();
+        for &(gpus, q) in &r.tuned_qlen {
+            assert!(
+                (4..=14).contains(&q),
+                "gpus={gpus}: tuned qlen {q} out of the plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn two_vs_three_gpu_gap_narrows_at_large_qlen() {
+        // Paper: "the difference ... between 2 GPUs and 3 GPUs is
+        // getting smaller and smaller when the maximum queue length is
+        // larger than 6".
+        let r = report();
+        let gap = |i: usize| (r.series(2)[i].total_s - r.series(3)[i].total_s).abs();
+        let early = gap(0).max(gap(1));
+        let late = gap(5).max(gap(6));
+        assert!(late <= early + 1e-9, "early gap {early}, late gap {late}");
+    }
+}

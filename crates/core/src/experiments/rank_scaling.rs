@@ -1,0 +1,130 @@
+//! Strong scaling over MPI ranks (not a paper figure, but the natural
+//! companion to its 13.5×-at-24-ranks quote): how the pure-MPI version
+//! and the hybrid version scale as ranks are added, under the
+//! calibrated memory-contention model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, spectral_config};
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// One rank-count sample.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RankRow {
+    /// Rank count.
+    pub ranks: usize,
+    /// Pure-MPI speedup over serial.
+    pub mpi_speedup: f64,
+    /// Hybrid (2 GPUs, qlen 12) speedup over serial.
+    pub hybrid_speedup: f64,
+    /// The contention model's closed-form prediction for pure MPI:
+    /// `k / (1 + alpha (k-1))`.
+    pub mpi_model: f64,
+}
+
+/// The sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankReport {
+    /// Rows at 1, 2, 4, 8, 16, 24 ranks.
+    pub rows: Vec<RankRow>,
+}
+
+/// Run the sweep. Rank counts that do not divide 24 still work — the
+/// parameter space partitions unevenly and the makespan follows the
+/// largest share.
+#[must_use]
+pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> RankReport {
+    let serial = calib.serial_point_s * workload.points as f64;
+    let alpha = calib.contention_alpha();
+    let rows = [1usize, 2, 4, 8, 16, 24]
+        .into_iter()
+        .map(|ranks| {
+            let truncate = |mut cfg: desmodel::DesConfig| {
+                // Re-partition the 24 points over `ranks` ranks.
+                let all: Vec<_> = cfg.rank_tasks.drain(..).flatten().collect();
+                let per = all.len().div_ceil(ranks);
+                cfg.rank_tasks = all.chunks(per).map(<[_]>::to_vec).collect();
+                cfg
+            };
+            let mpi = desmodel::run(truncate(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                0,
+                1,
+                None,
+            )));
+            let hybrid = desmodel::run(truncate(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                2,
+                12,
+                None,
+            )));
+            RankRow {
+                ranks,
+                mpi_speedup: serial / mpi.makespan_s,
+                hybrid_speedup: serial / hybrid.makespan_s,
+                mpi_model: ranks as f64 / (1.0 + alpha * (ranks as f64 - 1.0)),
+            }
+        })
+        .collect();
+    RankReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn report() -> RankReport {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        let workload = SpectralWorkload::paper(&db);
+        run(&workload, &Calibration::paper())
+    }
+
+    #[test]
+    fn mpi_scaling_matches_the_contention_model() {
+        let r = report();
+        for row in &r.rows {
+            let rel = (row.mpi_speedup - row.mpi_model).abs() / row.mpi_model;
+            assert!(
+                rel < 0.05,
+                "ranks={}: measured {} vs model {}",
+                row.ranks,
+                row.mpi_speedup,
+                row.mpi_model
+            );
+        }
+        // Endpoint: the paper's 13.5x at 24 ranks.
+        let last = r.rows.last().unwrap();
+        assert!((last.mpi_speedup - 13.5).abs() < 0.7);
+    }
+
+    #[test]
+    fn hybrid_beats_mpi_at_every_rank_count() {
+        let r = report();
+        for row in &r.rows {
+            assert!(
+                row.hybrid_speedup > row.mpi_speedup * 2.0,
+                "ranks={}: hybrid {} vs mpi {}",
+                row.ranks,
+                row.hybrid_speedup,
+                row.mpi_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_scaling_saturates_at_the_device_capacity() {
+        // With 2 GPUs the hybrid curve flattens long before 24 ranks —
+        // extra submitters cannot push a saturated device pipeline.
+        let r = report();
+        let at8 = r.rows.iter().find(|r| r.ranks == 8).unwrap().hybrid_speedup;
+        let at24 = r.rows.iter().find(|r| r.ranks == 24).unwrap().hybrid_speedup;
+        assert!(at24 < at8 * 1.6, "8 ranks {at8}, 24 ranks {at24}");
+    }
+}

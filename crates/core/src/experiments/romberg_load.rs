@@ -1,0 +1,150 @@
+//! Paper Fig. 6 (time-weighted load distribution of GPU device 0 for
+//! Romberg complexities k = 7, 9, 11, 13) and Table I (task
+//! distribution between GPU and CPU for the same sweep).
+//!
+//! Setup per the paper: 2 GPUs, maximum queue length fixed at 6. The
+//! GPU's per-task compute scales as `2^(k-7)` while the CPU fallback
+//! stays QAGS (fixed cost), so higher k drives load onto the queues
+//! first and then overflows tasks back to the CPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+use crate::desmodel::{self, spectral_config};
+use crate::task::Granularity;
+use crate::workload::SpectralWorkload;
+
+/// Results for one Romberg complexity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RombergRow {
+    /// Dichotomy level `k` (computation amount per task ∝ 2^k).
+    pub k: u32,
+    /// Tasks that ran on GPUs.
+    pub tasks_on_gpu: u64,
+    /// GPU share of all tasks, percent (Table I col 3).
+    pub gpu_ratio_percent: f64,
+    /// Fraction of run time device 0 spent at load ≥ 3, percent
+    /// (Table I col 4).
+    pub load_ge3_percent: f64,
+    /// Device-0 time share at each load level 0..=6, percent
+    /// (Fig. 6 bars).
+    pub load_percent: [f64; 7],
+    /// Total virtual time of the run.
+    pub total_s: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RombergReport {
+    /// One row per k in [7, 9, 11, 13].
+    pub rows: Vec<RombergRow>,
+}
+
+/// Paper Table I: (k, tasks on GPU, GPU ratio %, load>=3 %).
+pub const PAPER_TABLE1: [(u32, u64, f64, f64); 4] = [
+    (7, 6674, 98.26, 37.85),
+    (9, 6344, 93.40, 65.46),
+    (11, 4518, 66.52, 70.76),
+    (13, 2779, 40.92, 66.64),
+];
+
+/// The swept complexities.
+pub const KS: [u32; 4] = [7, 9, 11, 13];
+
+/// Run the sweep (2 GPUs, qlen 6, Ion granularity).
+#[must_use]
+pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> RombergReport {
+    let rows = KS
+        .iter()
+        .map(|&k| {
+            let report = desmodel::run(spectral_config(
+                workload,
+                calib,
+                Granularity::Ion,
+                2,
+                6,
+                Some(k),
+            ));
+            let hist = &report.device_load[0];
+            let mut load_percent = [0.0; 7];
+            for (level, slot) in load_percent.iter_mut().enumerate() {
+                *slot = hist.percent_at(level as u32);
+            }
+            RombergRow {
+                k,
+                tasks_on_gpu: report.gpu_tasks,
+                gpu_ratio_percent: report.gpu_ratio_percent,
+                load_ge3_percent: hist.percent_at_least(3),
+                load_percent,
+                total_s: report.makespan_s,
+            }
+        })
+        .collect();
+    RombergReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{AtomDatabase, DatabaseConfig};
+
+    fn report() -> RombergReport {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        let workload = SpectralWorkload::paper(&db);
+        run(&workload, &Calibration::paper())
+    }
+
+    #[test]
+    fn gpu_share_falls_as_complexity_rises() {
+        let r = report();
+        let ratios: Vec<f64> = r.rows.iter().map(|r| r.gpu_ratio_percent).collect();
+        for pair in ratios.windows(2) {
+            assert!(pair[1] < pair[0], "{ratios:?}");
+        }
+        // Endpoints in the paper's neighbourhood: ~98% at k=7, well
+        // under 70% at k=13.
+        assert!(ratios[0] > 90.0, "{ratios:?}");
+        assert!(ratios[3] < 75.0, "{ratios:?}");
+    }
+
+    #[test]
+    fn load_distribution_shifts_right_with_complexity() {
+        let r = report();
+        let mean_load = |row: &RombergRow| -> f64 {
+            row.load_percent
+                .iter()
+                .enumerate()
+                .map(|(l, &p)| l as f64 * p / 100.0)
+                .sum()
+        };
+        let m7 = mean_load(&r.rows[0]);
+        let m13 = mean_load(&r.rows[3]);
+        assert!(m13 > m7, "mean load k=7 {m7} vs k=13 {m13}");
+    }
+
+    #[test]
+    fn load_percentages_are_a_distribution() {
+        let r = report();
+        for row in &r.rows {
+            let sum: f64 = row.load_percent.iter().sum();
+            // Levels above 6 cannot occur with qlen 6.
+            assert!((sum - 100.0).abs() < 1e-6, "k={}: sum {}", row.k, sum);
+            assert!(row.load_percent.iter().all(|&p| (0.0..=100.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn heavier_tasks_take_longer_overall() {
+        let r = report();
+        for pair in r.rows.windows(2) {
+            assert!(pair[1].total_s > pair[0].total_s);
+        }
+    }
+
+    #[test]
+    fn load_ge3_is_substantial_at_high_k() {
+        let r = report();
+        assert!(r.rows[3].load_ge3_percent > 40.0, "{:?}", r.rows[3]);
+        assert!(r.rows[0].load_ge3_percent < r.rows[3].load_ge3_percent + 60.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The hybrid CPU/GPU spectral-calculation framework — the paper's
+//! primary contribution.
+//!
+//! Two execution paths share one scheduling policy
+//! ([`hybrid_sched::policy`]):
+//!
+//! * [`runtime`] — the **real** runtime: `mpi-sim` rank threads submit
+//!   coarse-grained tasks through the shared-memory scheduler to
+//!   `gpu-sim` devices that numerically execute the RRC kernel, with
+//!   QAGS CPU fallback. Produces actual spectra (paper Fig. 7/8, and
+//!   all correctness tests).
+//! * [`desmodel`] — the **virtual-time replica**: the same ranks /
+//!   scheduler / devices / PCIe bus / contended CPU cores replayed on
+//!   [`desim`] with service times from [`calib`]. Produces the paper's
+//!   timing results (Fig. 3–6, Tables I–II) deterministically.
+//!
+//! [`task`] defines the two task granularities the paper compares (one
+//! *ion* vs one *energy level*); [`workload`] materializes the paper's
+//! test workload (24 grid points × 496 ions); [`experiments`] contains
+//! one driver per paper table/figure.
+
+pub mod calib;
+pub mod desmodel;
+pub mod experiments;
+pub mod hydro;
+pub mod runtime;
+pub mod spec;
+pub mod task;
+pub mod workload;
+
+pub use calib::Calibration;
+pub use desmodel::{DesConfig, DesReport};
+pub use hydro::SedovBlast;
+pub use runtime::{HybridConfig, HybridRunner, RunReport};
+pub use spec::{RuleSpec, RunSpec};
+pub use task::{Granularity, TaskSpec};
+pub use workload::SpectralWorkload;

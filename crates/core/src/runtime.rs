@@ -1,0 +1,455 @@
+//! The real-threaded hybrid runtime — paper Fig. 2 end to end.
+//!
+//! The main program partitions the parameter space over MPI ranks
+//! ([`mpi_sim`] threads); each rank walks its grid points' task lists
+//! and, per task, asks the shared-memory scheduler for a device
+//! (paper Algorithm 1). Granted tasks run the RRC kernel on a
+//! [`gpu_sim::SimGpu`] (real SIMT execution, synchronous wait — the
+//! paper's blocking mode); rejected tasks run QAGS on the rank's own
+//! thread. Results are per-point spectra, numerically comparable with
+//! the serial reference.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use atomdb::AtomDatabase;
+use gpu_sim::{BinIntegrationKernel, DeviceRule, LaunchConfig, Precision, SimGpu};
+use hybrid_sched::Scheduler;
+use quadrature::QagsWorkspace;
+use rrc_spectral::{
+    emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
+    ParameterSpace, Spectrum,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::task::Granularity;
+
+/// Configuration of a real hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Atomic database (shared read-only by every rank and device).
+    pub db: Arc<AtomDatabase>,
+    /// Energy grid of the output spectra.
+    pub grid: EnergyGrid,
+    /// Grid points to compute.
+    pub space: ParameterSpace,
+    /// MPI rank count (paper: 24).
+    pub ranks: usize,
+    /// Simulated GPU count (0 = pure CPU run; the paper's "run normally
+    /// in the runtime environment without GPU device").
+    pub gpus: usize,
+    /// Maximum queue length per device.
+    pub max_queue_len: u64,
+    /// Task granularity.
+    pub granularity: Granularity,
+    /// Device-side integration rule (paper: Simpson over 64 pieces).
+    pub gpu_rule: DeviceRule,
+    /// Device arithmetic precision (Fermi-era kernels ran in f32; see
+    /// [`gpu_sim::Precision`]). `Double` keeps the GPU path bit-exact
+    /// against the CPU path under the same rule.
+    pub gpu_precision: Precision,
+    /// CPU fallback integrator (paper: QAGS).
+    pub cpu_integrator: Integrator,
+    /// Outstanding GPU submissions a rank may hold before blocking.
+    /// `1` reproduces the paper's synchronous mode; larger windows
+    /// implement the asynchronous queuing named as future work in §V.
+    pub async_window: usize,
+}
+
+impl HybridConfig {
+    /// A small configuration suitable for tests and examples: a reduced
+    /// database (`max_z`), a modest grid, 4 ranks, 2 GPUs.
+    #[must_use]
+    pub fn small(max_z: u8, bins: usize, points: usize) -> HybridConfig {
+        let db = AtomDatabase::generate(atomdb::DatabaseConfig {
+            max_z,
+            ..atomdb::DatabaseConfig::default()
+        });
+        HybridConfig {
+            db: Arc::new(db),
+            grid: EnergyGrid::linear(50.0, 2000.0, bins),
+            space: ParameterSpace {
+                temperatures_k: (0..points).map(|i| 9.0e6 + 5e4 * i as f64).collect(),
+                densities_cm3: vec![1.0],
+                times_s: vec![0.0],
+            },
+            ranks: 4,
+            gpus: 2,
+            max_queue_len: 6,
+            granularity: Granularity::Ion,
+            gpu_rule: DeviceRule::Simpson { panels: 64 },
+            gpu_precision: Precision::Double,
+            cpu_integrator: Integrator::paper_cpu(),
+            async_window: 1,
+        }
+    }
+}
+
+/// Outcome of a real hybrid run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// One spectrum per grid point, in point order.
+    pub spectra: Vec<Spectrum>,
+    /// Tasks executed on devices.
+    pub gpu_tasks: u64,
+    /// Tasks that fell back to rank CPUs.
+    pub cpu_tasks: u64,
+    /// Wall-clock seconds of the run (host machine time; *not* the
+    /// virtual-time model — see `desmodel` for paper-scale timing).
+    pub wall_s: f64,
+    /// Per-device history task counts from the scheduler.
+    pub device_history: Vec<u64>,
+    /// Per-device modeled busy time (cost-model seconds: launch + PCIe
+    /// + kernel per task) — what the run would cost on real C2075s.
+    pub device_virtual_seconds: Vec<f64>,
+    /// Per-device peak on-board memory (bytes) over the run.
+    pub device_peak_memory: Vec<u64>,
+}
+
+impl RunReport {
+    /// Fraction of tasks that ran on GPUs, percent.
+    #[must_use]
+    pub fn gpu_ratio_percent(&self) -> f64 {
+        let total = self.gpu_tasks + self.cpu_tasks;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.gpu_tasks as f64 / total as f64
+        }
+    }
+}
+
+/// The runtime: owns the devices and the scheduler for one or more
+/// runs of the same configuration.
+pub struct HybridRunner {
+    config: HybridConfig,
+}
+
+impl HybridRunner {
+    /// Create a runner for `config`.
+    #[must_use]
+    pub fn new(config: HybridConfig) -> HybridRunner {
+        HybridRunner { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Execute the whole parameter space. Brings devices up, runs the
+    /// rank threads to completion, tears devices down.
+    #[must_use]
+    pub fn run(&self) -> RunReport {
+        let cfg = &self.config;
+        let start = Instant::now();
+        let devices: Arc<Vec<SimGpu>> = Arc::new(
+            (0..cfg.gpus)
+                .map(|_| SimGpu::new(gpu_sim::DeviceProps::tesla_c2075()))
+                .collect(),
+        );
+        let scheduler = Scheduler::new(cfg.gpus, cfg.max_queue_len);
+        let partitions = cfg.space.partition(cfg.ranks);
+
+        let per_rank = mpi_sim::run(cfg.ranks, |ctx| {
+            let rank = ctx.rank();
+            let mut out = Vec::new();
+            let mut ws = QagsWorkspace::new();
+            let mut scratch = vec![0.0f64; cfg.grid.bins()];
+            let mut gpu_tasks = 0u64;
+            let mut cpu_tasks = 0u64;
+            let window = cfg.async_window.max(1);
+            for point_idx in partitions[rank].clone() {
+                let point = cfg.space.point(point_idx).expect("partition in range");
+                let mut spectrum = Spectrum::zeros(cfg.grid.clone());
+                // Outstanding asynchronous submissions of this point.
+                type Pending = std::collections::VecDeque<(
+                    gpu_sim::runtime::TaskHandle<(Option<Vec<f64>>, u64)>,
+                    hybrid_sched::Grant,
+                    Option<gpu_sim::DevicePtr>,
+                    u64, // bytes_in
+                )>;
+                let mut pending: Pending = Pending::new();
+                let settle = |pending: &mut Pending, spectrum: &mut Spectrum| {
+                    if let Some((handle, grant, ptr, bytes_in)) = pending.pop_front() {
+                        let (partial, evals) = handle.wait();
+                        let device = &devices[grant.device.0];
+                        // Post-task accounting: D2H done, device buffer
+                        // freed, cost-model time charged.
+                        let bytes_out = ptr.map_or(0, |p| p.bytes);
+                        if let Some(p) = ptr {
+                            device.free(p);
+                        }
+                        device.charge_task(evals, bytes_in, bytes_out);
+                        scheduler.free(grant);
+                        if let Some(partial) = partial {
+                            for (acc, v) in spectrum.bins_mut().iter_mut().zip(&partial) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                };
+                for ion_index in 0..cfg.db.ions().len() {
+                    let level_count = cfg.db.levels_by_index(ion_index).len();
+                    let ranges: Vec<std::ops::Range<usize>> = match cfg.granularity {
+                        #[allow(clippy::single_range_in_vec_init)] // one task covering all levels
+                        Granularity::Ion => vec![0..level_count],
+                        Granularity::Level => {
+                            (0..level_count).map(|l| l..l + 1).collect()
+                        }
+                    };
+                    for range in ranges {
+                        if pending.len() >= window {
+                            settle(&mut pending, &mut spectrum);
+                        }
+                        match scheduler.alloc() {
+                            Some(grant) => {
+                                let device = &devices[grant.device.0];
+                                // Device-side result buffer for the task
+                                // (one f64 per bin, like the paper's
+                                // `emi` array).
+                                let ptr = device
+                                    .malloc(8 * cfg.grid.bins() as u64)
+                                    .ok();
+                                let bytes_in =
+                                    64 + 16 * (range.end - range.start) as u64;
+                                let handle = submit_gpu_task(
+                                    device,
+                                    &cfg.db,
+                                    ion_index,
+                                    range,
+                                    point,
+                                    &cfg.grid,
+                                    cfg.gpu_rule,
+                                    cfg.gpu_precision,
+                                );
+                                pending.push_back((handle, grant, ptr, bytes_in));
+                                gpu_tasks += 1;
+                            }
+                            None => {
+                                // Accumulate through a per-task scratch
+                                // buffer, exactly like the GPU path does
+                                // with its D2H result array — results are
+                                // then bitwise placement-invariant.
+                                scratch.fill(0.0);
+                                emissivity_into(
+                                    &cfg.db,
+                                    ion_index,
+                                    range,
+                                    &point,
+                                    &cfg.grid,
+                                    cfg.cpu_integrator,
+                                    &mut ws,
+                                    &mut scratch,
+                                );
+                                for (acc, v) in
+                                    spectrum.bins_mut().iter_mut().zip(&scratch)
+                                {
+                                    *acc += v;
+                                }
+                                cpu_tasks += 1;
+                            }
+                        }
+                    }
+                }
+                while !pending.is_empty() {
+                    settle(&mut pending, &mut spectrum);
+                }
+                out.push((point_idx, spectrum));
+            }
+            (out, gpu_tasks, cpu_tasks)
+        });
+
+        let mut gpu_tasks = 0u64;
+        let mut cpu_tasks = 0u64;
+        let mut spectra: Vec<Option<Spectrum>> = vec![None; cfg.space.len()];
+        for (rank_out, g, c) in per_rank {
+            gpu_tasks += g;
+            cpu_tasks += c;
+            for (idx, spectrum) in rank_out {
+                spectra[idx] = Some(spectrum);
+            }
+        }
+        let device_history = (0..cfg.gpus)
+            .map(|d| scheduler.history(hybrid_sched::DeviceId(d)))
+            .collect();
+        let device_virtual_seconds = devices.iter().map(SimGpu::virtual_busy_seconds).collect();
+        let device_peak_memory = devices.iter().map(SimGpu::memory_peak).collect();
+        RunReport {
+            spectra: spectra
+                .into_iter()
+                .map(|s| s.expect("every point computed"))
+                .collect(),
+            gpu_tasks,
+            cpu_tasks,
+            wall_s: start.elapsed().as_secs_f64(),
+            device_history,
+            device_virtual_seconds,
+            device_peak_memory,
+        }
+    }
+}
+
+/// Submit one task to a device: build the level integrands, ship the
+/// kernel, return a completion handle (the caller decides whether to
+/// block immediately — the paper's synchronous mode — or keep a window
+/// of submissions in flight). The task resolves to `None` for ions with
+/// zero population at this plasma state.
+#[allow(clippy::too_many_arguments)]
+fn submit_gpu_task(
+    device: &SimGpu,
+    db: &Arc<AtomDatabase>,
+    ion_index: usize,
+    level_range: std::ops::Range<usize>,
+    point: GridPoint,
+    grid: &EnergyGrid,
+    rule: DeviceRule,
+    precision: Precision,
+) -> gpu_sim::runtime::TaskHandle<(Option<Vec<f64>>, u64)> {
+    let db = Arc::clone(db);
+    let grid = grid.clone();
+    device.submit(move || {
+        let Some(integrands) = ion_integrands(&db, ion_index, level_range, &point) else {
+            return (None, 0);
+        };
+        let kt = point.kt_ev();
+        let windows: Vec<(f64, f64)> = integrands
+            .iter()
+            .map(|f| level_window(f.binding_ev, kt))
+            .collect();
+        let bins: Vec<(f64, f64)> = (0..grid.bins()).map(|i| grid.bin(i)).collect();
+        let closures: Vec<_> = integrands
+            .iter()
+            .map(|f| {
+                let f = *f;
+                move |e: f64| f.evaluate(e)
+            })
+            .collect();
+        let kernel = BinIntegrationKernel {
+            integrands: &closures,
+            bins: &bins,
+            precision,
+            windows: Some(&windows),
+            rule,
+        };
+        let mut emi = vec![0.0; grid.bins()];
+        let evals = kernel.execute(LaunchConfig::cover(grid.bins()), &mut emi);
+        (Some(emi), evals)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_spectral::SerialCalculator;
+
+    #[test]
+    fn hybrid_matches_serial_reference_exactly_with_same_rule() {
+        // With Simpson on both paths, hybrid and serial must agree to
+        // round-off regardless of where each task ran.
+        let mut cfg = HybridConfig::small(6, 48, 3);
+        cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        let runner = HybridRunner::new(cfg);
+        let report = runner.run();
+        let serial = SerialCalculator::new(
+            (*runner.config().db).clone(),
+            runner.config().grid.clone(),
+            Integrator::Simpson { panels: 64 },
+        );
+        for (i, spectrum) in report.spectra.iter().enumerate() {
+            let point = runner.config().space.point(i).unwrap();
+            let reference = serial.spectrum_at(&point);
+            for (a, b) in spectrum.bins().iter().zip(reference.bins()) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1e-300),
+                    "point {i}: {a} vs {b}"
+                );
+            }
+        }
+        assert_eq!(
+            report.gpu_tasks + report.cpu_tasks,
+            (runner.config().space.len() * runner.config().db.ions().len()) as u64
+        );
+    }
+
+    #[test]
+    fn qags_fallback_stays_close_to_gpu_simpson() {
+        let cfg = HybridConfig::small(6, 48, 2);
+        let report = HybridRunner::new(cfg).run();
+        assert_eq!(report.spectra.len(), 2);
+        assert!(report.spectra.iter().all(|s| s.total() > 0.0));
+    }
+
+    #[test]
+    fn no_gpu_configuration_runs_everything_on_cpu() {
+        let mut cfg = HybridConfig::small(4, 32, 2);
+        cfg.gpus = 0;
+        let report = HybridRunner::new(cfg).run();
+        assert_eq!(report.gpu_tasks, 0);
+        assert!(report.cpu_tasks > 0);
+        assert!(report.spectra.iter().all(|s| s.total() > 0.0));
+    }
+
+    #[test]
+    fn level_granularity_produces_identical_spectra() {
+        let mut ion_cfg = HybridConfig::small(5, 40, 2);
+        ion_cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        let mut level_cfg = ion_cfg.clone();
+        level_cfg.granularity = Granularity::Level;
+        let a = HybridRunner::new(ion_cfg).run();
+        let b = HybridRunner::new(level_cfg).run();
+        for (sa, sb) in a.spectra.iter().zip(&b.spectra) {
+            for (x, y) in sa.bins().iter().zip(sb.bins()) {
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1e-300));
+            }
+        }
+        // Level granularity schedules strictly more tasks.
+        assert!(
+            b.gpu_tasks + b.cpu_tasks > a.gpu_tasks + a.cpu_tasks,
+            "{b:?} vs {a:?}"
+        );
+    }
+
+    #[test]
+    fn device_accounting_is_populated() {
+        let cfg = HybridConfig::small(6, 32, 2);
+        let report = HybridRunner::new(cfg).run();
+        assert_eq!(report.device_virtual_seconds.len(), 2);
+        assert_eq!(report.device_peak_memory.len(), 2);
+        // Every device that did work charged virtual time and held the
+        // per-task result buffer.
+        for (d, &h) in report.device_history.iter().enumerate() {
+            if h > 0 {
+                assert!(report.device_virtual_seconds[d] > 0.0, "device {d}");
+                assert!(report.device_peak_memory[d] >= 32 * 8, "device {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn async_window_preserves_results() {
+        let mut sync_cfg = HybridConfig::small(5, 40, 2);
+        sync_cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        let mut async_cfg = sync_cfg.clone();
+        async_cfg.async_window = 6;
+        let a = HybridRunner::new(sync_cfg).run();
+        let b = HybridRunner::new(async_cfg).run();
+        // Task placement races differ run to run, so accumulation order
+        // (and hence the last ulp) may differ; physics must not.
+        for (sa, sb) in a.spectra.iter().zip(&b.spectra) {
+            for (x, y) in sa.bins().iter().zip(sb.bins()) {
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1e-300));
+            }
+        }
+        assert_eq!(a.gpu_tasks + a.cpu_tasks, b.gpu_tasks + b.cpu_tasks);
+    }
+
+    #[test]
+    fn device_histories_account_for_gpu_tasks() {
+        let cfg = HybridConfig::small(6, 32, 3);
+        let report = HybridRunner::new(cfg).run();
+        let history_total: u64 = report.device_history.iter().sum();
+        assert_eq!(history_total, report.gpu_tasks);
+    }
+}

@@ -1,0 +1,226 @@
+//! Serializable run specifications — "a configuration file", the second
+//! source of parameter spaces paper Fig. 1 names.
+//!
+//! A [`RunSpec`] is the JSON-friendly description of a hybrid run: it
+//! owns no atomic database or device handles, just the knobs. The
+//! `hspec` CLI and batch scripts deserialize one and call
+//! [`RunSpec::into_config`].
+
+use std::sync::Arc;
+
+use gpu_sim::{DeviceRule, Precision};
+use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace};
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::HybridConfig;
+use crate::task::Granularity;
+
+/// The integration rule, JSON-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "rule", rename_all = "snake_case")]
+pub enum RuleSpec {
+    /// Composite Simpson (paper GPU default: 64 panels).
+    Simpson {
+        /// Panels per bin.
+        panels: usize,
+    },
+    /// Romberg with k dichotomy levels.
+    Romberg {
+        /// Dichotomy levels.
+        k: u32,
+    },
+    /// Fixed-order Gauss–Legendre.
+    GaussLegendre {
+        /// Points per bin.
+        order: usize,
+    },
+}
+
+impl From<RuleSpec> for DeviceRule {
+    fn from(spec: RuleSpec) -> DeviceRule {
+        match spec {
+            RuleSpec::Simpson { panels } => DeviceRule::Simpson { panels },
+            RuleSpec::Romberg { k } => DeviceRule::Romberg { k },
+            RuleSpec::GaussLegendre { order } => DeviceRule::GaussLegendre { order },
+        }
+    }
+}
+
+/// A complete, file-loadable description of one hybrid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RunSpec {
+    /// Database cutoff element (31 = the full 496-ion census).
+    pub max_z: u8,
+    /// Energy bins over the waveband.
+    pub bins: usize,
+    /// Waveband in eV (`[min, max]`); defaults to the paper's 10–45 Å.
+    pub band_ev: [f64; 2],
+    /// Sampled temperatures, kelvin.
+    pub temperatures_k: Vec<f64>,
+    /// Sampled densities, cm^-3.
+    pub densities_cm3: Vec<f64>,
+    /// MPI-style rank count.
+    pub ranks: usize,
+    /// Simulated GPU count.
+    pub gpus: usize,
+    /// Maximum queue length.
+    pub max_queue_len: u64,
+    /// `"ion"` or `"level"`.
+    pub granularity: String,
+    /// Device rule. Unlike the other fields this one is required in
+    /// JSON (serde cannot default a flattened tagged enum): e.g.
+    /// `"rule": "simpson", "panels": 64`.
+    #[serde(flatten)]
+    pub rule: RuleSpec,
+    /// `"single"` or `"double"` kernel arithmetic.
+    pub precision: String,
+    /// Outstanding submissions per rank (1 = synchronous).
+    pub async_window: usize,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            max_z: 31,
+            bins: 400,
+            band_ev: [
+                rrc_spectral::HC_EV_ANGSTROM / 45.0,
+                rrc_spectral::HC_EV_ANGSTROM / 10.0,
+            ],
+            temperatures_k: vec![3.5e6],
+            densities_cm3: vec![1.0],
+            ranks: 8,
+            gpus: 2,
+            max_queue_len: 6,
+            granularity: "ion".to_string(),
+            rule: RuleSpec::Simpson { panels: 64 },
+            precision: "double".to_string(),
+            async_window: 1,
+        }
+    }
+}
+
+impl RunSpec {
+    /// Load from a JSON string.
+    ///
+    /// # Errors
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<RunSpec, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Materialize into a runnable [`HybridConfig`] (generates the
+    /// database).
+    ///
+    /// # Errors
+    /// Rejects out-of-range or unknown enum-like fields.
+    pub fn into_config(self) -> Result<HybridConfig, String> {
+        if self.max_z == 0 || self.max_z > atomdb::MAX_Z {
+            return Err(format!("max_z must be 1..={}", atomdb::MAX_Z));
+        }
+        if self.temperatures_k.is_empty() || self.densities_cm3.is_empty() {
+            return Err("need at least one temperature and one density".into());
+        }
+        let granularity = match self.granularity.as_str() {
+            "ion" => Granularity::Ion,
+            "level" => Granularity::Level,
+            other => return Err(format!("granularity must be ion|level, got '{other}'")),
+        };
+        let precision = match self.precision.as_str() {
+            "double" => Precision::Double,
+            "single" => Precision::Single,
+            other => return Err(format!("precision must be single|double, got '{other}'")),
+        };
+        let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
+            max_z: self.max_z,
+            ..atomdb::DatabaseConfig::default()
+        });
+        Ok(HybridConfig {
+            db: Arc::new(db),
+            grid: EnergyGrid::linear(self.band_ev[0], self.band_ev[1], self.bins.max(1)),
+            space: ParameterSpace {
+                temperatures_k: self.temperatures_k,
+                densities_cm3: self.densities_cm3,
+                times_s: vec![0.0],
+            },
+            ranks: self.ranks.max(1),
+            gpus: self.gpus,
+            max_queue_len: self.max_queue_len.max(1),
+            granularity,
+            gpu_rule: self.rule.into(),
+            gpu_precision: precision,
+            cpu_integrator: Integrator::paper_cpu(),
+            async_window: self.async_window.max(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::HybridRunner;
+
+    #[test]
+    fn default_spec_materializes() {
+        let cfg = RunSpec {
+            max_z: 4,
+            bins: 16,
+            ..RunSpec::default()
+        }
+        .into_config()
+        .unwrap();
+        assert_eq!(cfg.grid.bins(), 16);
+        assert_eq!(cfg.space.len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_and_run() {
+        let json = r#"{
+            "max_z": 4,
+            "bins": 24,
+            "temperatures_k": [2e6, 4e6],
+            "gpus": 1,
+            "rule": "simpson",
+            "panels": 32
+        }"#;
+        let spec = RunSpec::from_json(json).unwrap();
+        assert_eq!(spec.rule, RuleSpec::Simpson { panels: 32 });
+        let cfg = spec.into_config().unwrap();
+        assert_eq!(cfg.space.len(), 2);
+        let report = HybridRunner::new(cfg).run();
+        assert_eq!(report.spectra.len(), 2);
+        assert!(report.spectra.iter().all(|s| s.total() > 0.0));
+    }
+
+    #[test]
+    fn bad_fields_are_rejected_with_messages() {
+        let mut spec = RunSpec::default();
+        spec.granularity = "atom".into();
+        assert!(spec.clone().into_config().unwrap_err().contains("granularity"));
+        spec.granularity = "ion".into();
+        spec.precision = "quad".into();
+        assert!(spec.clone().into_config().unwrap_err().contains("precision"));
+        spec.precision = "double".into();
+        spec.max_z = 99;
+        assert!(spec.clone().into_config().unwrap_err().contains("max_z"));
+        spec.max_z = 8;
+        spec.temperatures_k.clear();
+        assert!(spec.into_config().is_err());
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let spec = RunSpec::default();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = RunSpec::from_json(&json).unwrap();
+        // serde_json's default float parsing can drop the last ulp of the
+        // band edges; everything else roundtrips exactly.
+        assert!((spec.band_ev[0] - back.band_ev[0]).abs() < 1e-9);
+        assert!((spec.band_ev[1] - back.band_ev[1]).abs() < 1e-9);
+        let (mut a, mut b) = (spec, back);
+        a.band_ev = [0.0, 1.0];
+        b.band_ev = [0.0, 1.0];
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Task definitions: the paper's two scheduling granularities.
+
+use serde::{Deserialize, Serialize};
+
+/// The unit of work handed to the scheduler.
+///
+/// Paper §III-B: "both the energy level and the ion ... can be used to
+/// define the task scope". Ion granularity batches all of an ion's
+/// levels (tens of thousands of integrals) into one kernel launch and
+/// one result copy; Level granularity launches per level. Fig. 3 shows
+/// Ion winning by ~2× — the headline result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One task = one ion (coarse; the paper's recommendation).
+    Ion,
+    /// One task = one energy level of one ion (fine; the baseline).
+    Level,
+}
+
+/// One schedulable task, with the bookkeeping both execution paths
+/// need: identity (for result routing) and work/transfer measures (for
+/// the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Grid-point index the task belongs to.
+    pub point: usize,
+    /// Ion index within the database enumeration.
+    pub ion_index: usize,
+    /// For [`Granularity::Level`] tasks, which level of the ion
+    /// (index into the ion's level list); `None` for ion tasks.
+    pub level: Option<u16>,
+    /// Work measure: integrand evaluations the task performs on the
+    /// full-size (paper-scale) grid.
+    pub evals: u64,
+    /// Host-to-device bytes (parameters; small).
+    pub bytes_in: u64,
+    /// Device-to-host bytes (the per-bin emissivity array).
+    pub bytes_out: u64,
+}
+
+impl TaskSpec {
+    /// Work of this task relative to `mean_evals` — the scale factor the
+    /// calibration applies to mean service times.
+    #[must_use]
+    pub fn relative_work(&self, mean_evals: f64) -> f64 {
+        if mean_evals <= 0.0 {
+            1.0
+        } else {
+            self.evals as f64 / mean_evals
+        }
+    }
+}
+
+/// Where a task ended up running, with its virtual-time cost — the
+/// per-task record the experiment drivers aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Ran on the GPU with this device index.
+    Gpu {
+        /// Device index.
+        device: usize,
+    },
+    /// Fell back to the submitting rank's CPU core.
+    Cpu,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_work_scales_linearly() {
+        let t = TaskSpec {
+            point: 0,
+            ion_index: 1,
+            level: None,
+            evals: 300,
+            bytes_in: 64,
+            bytes_out: 800,
+        };
+        assert!((t.relative_work(100.0) - 3.0).abs() < 1e-12);
+        assert!((t.relative_work(300.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_mean_defaults_to_unity() {
+        let t = TaskSpec {
+            point: 0,
+            ion_index: 0,
+            level: Some(2),
+            evals: 10,
+            bytes_in: 1,
+            bytes_out: 1,
+        };
+        assert_eq!(t.relative_work(0.0), 1.0);
+    }
+}

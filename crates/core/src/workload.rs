@@ -1,0 +1,187 @@
+//! Workload materialization: the paper's test setup as task lists.
+
+use atomdb::AtomDatabase;
+use rrc_spectral::ParameterSpace;
+use serde::{Deserialize, Serialize};
+
+use crate::task::{Granularity, TaskSpec};
+
+/// The spectral workload of the paper's evaluation: a parameter space
+/// (24 grid points, one per MPI process) where every point spawns one
+/// task per ion (or per level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpectralWorkload {
+    /// Number of grid points.
+    pub points: usize,
+    /// Energy bins per level at paper scale (the paper quotes ~50k bins
+    /// per level; this only enters the work measure, not real-mode
+    /// memory).
+    pub bins_per_level: u64,
+    /// Integrand evaluations per bin (Simpson-64 → 129; Romberg-k →
+    /// 2^k + 1).
+    pub evals_per_bin: u64,
+    /// Level count of every ion, from the database census.
+    pub levels_per_ion: Vec<u16>,
+}
+
+impl SpectralWorkload {
+    /// Build from a database and a parameter space at paper scale.
+    #[must_use]
+    pub fn new(db: &AtomDatabase, space: &ParameterSpace, bins_per_level: u64, evals_per_bin: u64) -> SpectralWorkload {
+        SpectralWorkload {
+            points: space.len(),
+            bins_per_level,
+            evals_per_bin,
+            levels_per_ion: (0..db.ions().len())
+                .map(|i| db.levels_by_index(i).len() as u16)
+                .collect(),
+        }
+    }
+
+    /// The paper's configuration: 24 points, 496 ions, 50k bins/level,
+    /// Simpson over 64 panels (129 evaluations per bin).
+    #[must_use]
+    pub fn paper(db: &AtomDatabase) -> SpectralWorkload {
+        SpectralWorkload::new(db, &ParameterSpace::paper_test_space(), 50_000, 129)
+    }
+
+    /// Number of ions.
+    #[must_use]
+    pub fn ions(&self) -> usize {
+        self.levels_per_ion.len()
+    }
+
+    /// Tasks of one grid point at `granularity`.
+    #[must_use]
+    pub fn point_tasks(&self, point: usize, granularity: Granularity) -> Vec<TaskSpec> {
+        let mut out = Vec::new();
+        for (ion_index, &levels) in self.levels_per_ion.iter().enumerate() {
+            match granularity {
+                Granularity::Ion => {
+                    let evals = u64::from(levels) * self.bins_per_level * self.evals_per_bin;
+                    out.push(TaskSpec {
+                        point,
+                        ion_index,
+                        level: None,
+                        evals,
+                        bytes_in: 64 + 16 * u64::from(levels),
+                        // One f64 per bin; levels accumulate on device.
+                        bytes_out: 8 * self.bins_per_level,
+                    });
+                }
+                Granularity::Level => {
+                    for level in 0..levels {
+                        out.push(TaskSpec {
+                            point,
+                            ion_index,
+                            level: Some(level),
+                            evals: self.bins_per_level * self.evals_per_bin,
+                            bytes_in: 80,
+                            bytes_out: 8 * self.bins_per_level,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total task count at `granularity` over all points.
+    #[must_use]
+    pub fn total_tasks(&self, granularity: Granularity) -> usize {
+        self.points * self.point_tasks(0, granularity).len()
+    }
+
+    /// Mean evaluations per task at `granularity`.
+    #[must_use]
+    pub fn mean_evals(&self, granularity: Granularity) -> f64 {
+        let tasks = self.point_tasks(0, granularity);
+        if tasks.is_empty() {
+            return 0.0;
+        }
+        tasks.iter().map(|t| t.evals as f64).sum::<f64>() / tasks.len() as f64
+    }
+
+    /// Total evaluations of one grid point (granularity independent).
+    #[must_use]
+    pub fn evals_per_point(&self) -> u64 {
+        self.levels_per_ion
+            .iter()
+            .map(|&l| u64::from(l) * self.bins_per_level * self.evals_per_bin)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::DatabaseConfig;
+
+    fn workload() -> SpectralWorkload {
+        let db = AtomDatabase::generate(DatabaseConfig::default());
+        SpectralWorkload::paper(&db)
+    }
+
+    #[test]
+    fn paper_workload_has_24x496_ion_tasks() {
+        let w = workload();
+        assert_eq!(w.points, 24);
+        assert_eq!(w.ions(), 496);
+        assert_eq!(w.total_tasks(Granularity::Ion), 24 * 496);
+    }
+
+    #[test]
+    fn level_tasks_outnumber_ion_tasks_by_mean_levels() {
+        let w = workload();
+        let ion = w.total_tasks(Granularity::Ion);
+        let level = w.total_tasks(Granularity::Level);
+        let mean_levels: f64 = w.levels_per_ion.iter().map(|&l| f64::from(l)).sum::<f64>()
+            / w.ions() as f64;
+        assert!((level as f64 / ion as f64 - mean_levels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_is_conserved_across_granularities() {
+        let w = workload();
+        let sum = |g: Granularity| -> u64 {
+            w.point_tasks(3, g).iter().map(|t| t.evals).sum()
+        };
+        assert_eq!(sum(Granularity::Ion), sum(Granularity::Level));
+        assert_eq!(sum(Granularity::Ion), w.evals_per_point());
+    }
+
+    #[test]
+    fn ion_tasks_move_fewer_bytes_total() {
+        // The paper's communication argument: ion tasks copy the result
+        // array once per ion, level tasks once per level.
+        let w = workload();
+        let bytes = |g: Granularity| -> u64 {
+            w.point_tasks(0, g).iter().map(|t| t.bytes_out).sum()
+        };
+        assert!(bytes(Granularity::Ion) < bytes(Granularity::Level));
+    }
+
+    #[test]
+    fn per_point_magnitude_matches_paper_order() {
+        // Paper: ~2e8 integrals per grid point (order of magnitude).
+        let w = workload();
+        let integrals: u64 = w
+            .levels_per_ion
+            .iter()
+            .map(|&l| u64::from(l) * w.bins_per_level)
+            .sum();
+        assert!(
+            integrals > 5e7 as u64 && integrals < 2e9 as u64,
+            "integrals per point: {integrals}"
+        );
+    }
+
+    #[test]
+    fn task_sizes_vary_across_ions() {
+        let w = workload();
+        let tasks = w.point_tasks(0, Granularity::Ion);
+        let min = tasks.iter().map(|t| t.evals).min().unwrap();
+        let max = tasks.iter().map(|t| t.evals).max().unwrap();
+        assert!(max > min, "level census must vary ion task sizes");
+    }
+}

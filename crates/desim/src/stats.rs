@@ -1,0 +1,203 @@
+//! Time-weighted statistics.
+
+/// A time-weighted histogram of an integer-valued signal (e.g. the load
+/// of a GPU task queue): for each observed level it accumulates the
+/// virtual time the signal spent at that level.
+///
+/// Paper Fig. 6 ("the time percentage of load 0..6") is exactly this
+/// histogram, normalized, for GPU device 0.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadHistogram {
+    /// `durations[level]` = seconds spent at `level`.
+    durations: Vec<f64>,
+    last_time: f64,
+    current: u32,
+    started: bool,
+}
+
+impl LoadHistogram {
+    /// An empty histogram (signal starts at level 0 at time 0).
+    #[must_use]
+    pub fn new() -> LoadHistogram {
+        LoadHistogram::default()
+    }
+
+    /// Record that the signal changed to `level` at time `now`,
+    /// attributing the elapsed time since the previous change to the
+    /// previous level. Out-of-order times are clamped (no negative
+    /// durations).
+    pub fn record(&mut self, now: f64, level: u32) {
+        if !self.started {
+            self.started = true;
+            self.last_time = now;
+            self.current = level;
+            return;
+        }
+        let dt = (now - self.last_time).max(0.0);
+        if dt > 0.0 {
+            let idx = self.current as usize;
+            if self.durations.len() <= idx {
+                self.durations.resize(idx + 1, 0.0);
+            }
+            self.durations[idx] += dt;
+        }
+        self.last_time = now;
+        self.current = level;
+    }
+
+    /// Seconds spent at `level`.
+    #[must_use]
+    pub fn time_at(&self, level: u32) -> f64 {
+        self.durations.get(level as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Total observed time.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.durations.iter().sum()
+    }
+
+    /// Fraction (percent) of the total time spent at `level`.
+    /// Returns 0 when nothing has been observed.
+    #[must_use]
+    pub fn percent_at(&self, level: u32) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.time_at(level) / total
+        }
+    }
+
+    /// Fraction (percent) of the total time spent at levels `>= level` —
+    /// the paper's Table I "ratio of GPU load >= 3" column.
+    #[must_use]
+    pub fn percent_at_least(&self, level: u32) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let above: f64 = self
+            .durations
+            .iter()
+            .skip(level as usize)
+            .sum();
+        100.0 * above / total
+    }
+
+    /// Time-average of the signal.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .durations
+            .iter()
+            .enumerate()
+            .map(|(level, &t)| level as f64 * t)
+            .sum();
+        weighted / total
+    }
+
+    /// Highest level with nonzero duration.
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.durations
+            .iter()
+            .rposition(|&t| t > 0.0)
+            .map_or(0, |i| i as u32)
+    }
+
+    /// Integral over time of `min(level, cap)` — the busy-server-seconds
+    /// of a capacity-`cap` FCFS resource whose load this histogram
+    /// tracks.
+    #[must_use]
+    pub fn busy_integral(&self, cap: u32) -> f64 {
+        self.durations
+            .iter()
+            .enumerate()
+            .map(|(level, &t)| (level as u32).min(cap) as f64 * t)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_time_to_previous_level() {
+        let mut h = LoadHistogram::new();
+        h.record(0.0, 2);
+        h.record(3.0, 5); // 3 s at level 2
+        h.record(4.0, 0); // 1 s at level 5
+        h.record(10.0, 0); // 6 s at level 0
+        assert_eq!(h.time_at(2), 3.0);
+        assert_eq!(h.time_at(5), 1.0);
+        assert_eq!(h.time_at(0), 6.0);
+        assert_eq!(h.total_time(), 10.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut h = LoadHistogram::new();
+        h.record(0.0, 0);
+        h.record(1.0, 1);
+        h.record(4.0, 2);
+        h.record(10.0, 0);
+        let sum: f64 = (0..=h.max_level()).map(|l| h.percent_at(l)).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_at_least_is_complementary() {
+        let mut h = LoadHistogram::new();
+        h.record(0.0, 1);
+        h.record(5.0, 3);
+        h.record(10.0, 0);
+        // 5 s at 1, 5 s at 3.
+        assert!((h.percent_at_least(0) - 100.0).abs() < 1e-9);
+        assert!((h.percent_at_least(2) - 50.0).abs() < 1e-9);
+        assert!((h.percent_at_least(4) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let mut h = LoadHistogram::new();
+        h.record(0.0, 4);
+        h.record(1.0, 0); // 1 s at 4
+        h.record(4.0, 0); // 3 s at 0
+        assert!((h.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_integral_caps_levels() {
+        let mut h = LoadHistogram::new();
+        h.record(0.0, 5);
+        h.record(2.0, 1); // 2 s at load 5
+        h.record(3.0, 0); // 1 s at load 1
+        // cap 2: min(5,2)*2 + min(1,2)*1 = 5.
+        assert!((h.busy_integral(2) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LoadHistogram::new();
+        assert_eq!(h.total_time(), 0.0);
+        assert_eq!(h.percent_at(0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_level(), 0);
+    }
+
+    #[test]
+    fn out_of_order_records_are_clamped() {
+        let mut h = LoadHistogram::new();
+        h.record(5.0, 1);
+        h.record(3.0, 2); // time went backwards: contributes 0
+        assert_eq!(h.total_time(), 0.0);
+        h.record(6.0, 0); // 3 s at level 2 (from t=3 clamped to 3->6)
+        assert!(h.total_time() > 0.0);
+    }
+}

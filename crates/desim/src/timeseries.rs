@@ -1,0 +1,171 @@
+//! Time-series tracing of simulation signals.
+//!
+//! Where [`crate::stats::LoadHistogram`] aggregates *how long* a signal
+//! sat at each level, a [`TimeSeries`] keeps the *trajectory*: every
+//! `(time, value)` change event, with change-point compression and an
+//! optional resampler for plotting. The experiment drivers use it to
+//! export queue-depth timelines alongside the paper's aggregate
+//! figures.
+
+/// A recorded step function: the value changes at each sample time and
+/// holds until the next.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Record that the signal became `value` at `time`. Consecutive
+    /// identical values are compressed away; out-of-order times are
+    /// clamped to the last recorded time.
+    pub fn record(&mut self, time: f64, value: f64) {
+        let time = match self.points.last() {
+            Some(&(t_last, v_last)) => {
+                if v_last == value {
+                    return; // change-point compression
+                }
+                time.max(t_last)
+            }
+            None => time,
+        };
+        self.points.push((time, value));
+    }
+
+    /// The raw change points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of recorded change points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The signal's value at `time` (step semantics; the value before
+    /// the first record is 0).
+    #[must_use]
+    pub fn at(&self, time: f64) -> f64 {
+        match self.points.partition_point(|&(t, _)| t <= time) {
+            0 => 0.0,
+            idx => self.points[idx - 1].1,
+        }
+    }
+
+    /// Resample onto `n` uniform instants across `[t0, t1]` — the shape
+    /// a plotting tool wants.
+    #[must_use]
+    pub fn resample(&self, t0: f64, t1: f64, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+                (t, self.at(t))
+            })
+            .collect()
+    }
+
+    /// Time-weighted mean over `[t0, t1]`.
+    #[must_use]
+    pub fn mean(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return self.at(t0);
+        }
+        // Integrate the step function across the window.
+        let mut acc = 0.0;
+        let mut t_prev = t0;
+        let mut v_prev = self.at(t0);
+        for &(t, v) in &self.points {
+            if t <= t0 {
+                continue;
+            }
+            if t >= t1 {
+                break;
+            }
+            acc += v_prev * (t - t_prev);
+            t_prev = t;
+            v_prev = v;
+        }
+        acc += v_prev * (t1 - t_prev);
+        acc / (t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_steps() {
+        let mut ts = TimeSeries::new();
+        ts.record(1.0, 2.0);
+        ts.record(3.0, 5.0);
+        assert_eq!(ts.at(0.5), 0.0);
+        assert_eq!(ts.at(1.0), 2.0);
+        assert_eq!(ts.at(2.9), 2.0);
+        assert_eq!(ts.at(3.0), 5.0);
+        assert_eq!(ts.at(100.0), 5.0);
+    }
+
+    #[test]
+    fn compresses_repeated_values() {
+        let mut ts = TimeSeries::new();
+        ts.record(1.0, 4.0);
+        ts.record(2.0, 4.0);
+        ts.record(3.0, 4.0);
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn clamps_out_of_order_times() {
+        let mut ts = TimeSeries::new();
+        ts.record(5.0, 1.0);
+        ts.record(3.0, 2.0); // goes backwards: lands at t=5
+        assert_eq!(ts.points(), &[(5.0, 1.0), (5.0, 2.0)]);
+        assert_eq!(ts.at(5.0), 2.0);
+    }
+
+    #[test]
+    fn resamples_uniformly() {
+        let mut ts = TimeSeries::new();
+        ts.record(0.0, 1.0);
+        ts.record(5.0, 3.0);
+        let samples = ts.resample(0.0, 10.0, 5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0.0, 1.0));
+        assert_eq!(samples[2], (5.0, 3.0));
+        assert_eq!(samples[4], (10.0, 3.0));
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let mut ts = TimeSeries::new();
+        ts.record(0.0, 0.0);
+        ts.record(2.0, 10.0);
+        // Over [0, 4]: half at 0, half at 10.
+        assert!((ts.mean(0.0, 4.0) - 5.0).abs() < 1e-12);
+        // Degenerate window.
+        assert_eq!(ts.mean(3.0, 3.0), 10.0);
+    }
+
+    #[test]
+    fn empty_series_is_zero_everywhere() {
+        let ts = TimeSeries::new();
+        assert_eq!(ts.at(7.0), 0.0);
+        assert_eq!(ts.mean(0.0, 5.0), 0.0);
+        assert!(ts.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The device timing model.
+//!
+//! The paper's performance results hinge on the *economics* of small
+//! tasks: a fixed kernel-launch cost plus PCIe transfer time can dwarf
+//! the compute of a single small integral, which is why the paper
+//! batches an ion's tens of thousands of integrals into one task. This
+//! module prices each component so the discrete-event replica can
+//! reproduce those trade-offs.
+
+use crate::props::DeviceProps;
+
+/// Virtual-time prices for device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of one kernel launch (driver + dispatch), seconds.
+    pub kernel_launch_s: f64,
+    /// Fixed per-transfer latency (DMA setup), seconds.
+    pub transfer_latency_s: f64,
+    /// Host link bandwidth, bytes/second.
+    pub pcie_bytes_per_sec: f64,
+    /// Integrand evaluations per second the device sustains on this
+    /// workload (derived from peak FLOP/s and an efficiency factor —
+    /// real codes reach a fraction of peak).
+    pub evals_per_sec: f64,
+    /// Host-side dispatch/synchronization overhead charged per task on
+    /// the *shared* host path (scheduler + synchronous blocking), in
+    /// seconds. This is the component that does not scale with more
+    /// GPUs.
+    pub host_overhead_s: f64,
+}
+
+/// FLOPs one RRC integrand evaluation costs (exp + sqrt + arithmetic);
+/// used to derive `evals_per_sec` from a device's peak GFLOP/s.
+pub const FLOPS_PER_EVAL: f64 = 40.0;
+
+/// Fraction of peak double-precision throughput sustained by the
+/// memory- and divergence-bound integration kernel.
+pub const KERNEL_EFFICIENCY: f64 = 0.10;
+
+impl CostModel {
+    /// Derive a cost model from device properties with typical CUDA-era
+    /// constants: ~10 µs launch, ~10 µs DMA setup.
+    #[must_use]
+    pub fn from_props(props: &DeviceProps) -> CostModel {
+        CostModel {
+            kernel_launch_s: 10e-6,
+            transfer_latency_s: 10e-6,
+            pcie_bytes_per_sec: props.pcie_bytes_per_sec,
+            evals_per_sec: props.dp_gflops * 1e9 * KERNEL_EFFICIENCY / FLOPS_PER_EVAL,
+            host_overhead_s: 50e-6,
+        }
+    }
+
+    /// Time to move `bytes` across the host link.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.transfer_latency_s + bytes as f64 / self.pcie_bytes_per_sec
+    }
+
+    /// Time for the device to perform `evals` integrand evaluations.
+    #[must_use]
+    pub fn compute_time(&self, evals: u64) -> f64 {
+        evals as f64 / self.evals_per_sec
+    }
+
+    /// End-to-end device-side time of one task: launch + H2D + kernel +
+    /// D2H (the Fermi synchronous sequence of paper §III).
+    #[must_use]
+    pub fn task_time(&self, evals: u64, bytes_in: u64, bytes_out: u64) -> f64 {
+        self.kernel_launch_s
+            + self.transfer_time(bytes_in)
+            + self.compute_time(evals)
+            + self.transfer_time(bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::from_props(&DeviceProps::tesla_c2075())
+    }
+
+    #[test]
+    fn transfer_time_increases_with_bytes() {
+        let m = model();
+        assert!(m.transfer_time(1 << 20) > m.transfer_time(1 << 10));
+        // Latency floor.
+        assert!(m.transfer_time(0) >= m.transfer_latency_s);
+    }
+
+    #[test]
+    fn compute_time_is_linear_in_evals() {
+        let m = model();
+        let one = m.compute_time(1_000_000);
+        let two = m.compute_time(2_000_000);
+        assert!((two / one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_tasks_are_overhead_dominated() {
+        // The core premise of the paper: a single 64-panel Simpson bin
+        // (129 evals) is launch/transfer dominated, a whole ion task
+        // (hundreds of thousands of evals) is compute dominated.
+        let m = model();
+        let single_bin = m.task_time(129, 64, 8);
+        let overhead = m.kernel_launch_s + 2.0 * m.transfer_latency_s;
+        assert!(overhead / single_bin > 0.5, "overhead should dominate");
+
+        let ion_task = m.task_time(500_000 * 129, 1024, 400_000);
+        let compute = m.compute_time(500_000 * 129);
+        assert!(compute / ion_task > 0.9, "compute should dominate");
+    }
+
+    #[test]
+    fn c2075_sustains_about_a_gigaeval() {
+        let m = model();
+        // 515 GFLOP/s * 0.10 / 40 ≈ 1.3e9 evals/s.
+        assert!(m.evals_per_sec > 1e9 && m.evals_per_sec < 2e9);
+    }
+
+    #[test]
+    fn task_time_is_sum_of_parts() {
+        let m = model();
+        let t = m.task_time(1000, 100, 200);
+        let expect = m.kernel_launch_s
+            + m.transfer_time(100)
+            + m.compute_time(1000)
+            + m.transfer_time(200);
+        assert!((t - expect).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,198 @@
+//! On-board device memory arena.
+//!
+//! A deliberately simple first-fit allocator over a fixed capacity: the
+//! point is to make device memory *finite* (allocating beyond 6 GB fails
+//! like `cudaMalloc` does) and to account the bytes that tasks move, not
+//! to win allocator benchmarks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevicePtr {
+    offset: u64,
+    /// Size of the allocation in bytes.
+    pub bytes: u64,
+}
+
+/// Allocation failure: the device is out of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free (possibly fragmented).
+    pub free: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// A fixed-capacity device memory arena with first-fit allocation.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    /// Allocated ranges: offset -> size.
+    allocations: BTreeMap<u64, u64>,
+    used: u64,
+    peak: u64,
+}
+
+impl DeviceMemory {
+    /// An arena of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> DeviceMemory {
+        DeviceMemory {
+            capacity,
+            allocations: BTreeMap::new(),
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of [`DeviceMemory::used`].
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocate `bytes` (zero-byte requests round up to one byte so
+    /// every pointer is distinct).
+    ///
+    /// # Errors
+    /// [`OutOfDeviceMemory`] if no gap fits the request.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DevicePtr, OutOfDeviceMemory> {
+        let bytes = bytes.max(1);
+        // First fit: scan gaps between allocations.
+        let mut cursor = 0u64;
+        let mut chosen: Option<u64> = None;
+        for (&offset, &size) in &self.allocations {
+            if offset - cursor >= bytes {
+                chosen = Some(cursor);
+                break;
+            }
+            cursor = offset + size;
+        }
+        if chosen.is_none() && self.capacity - cursor >= bytes {
+            chosen = Some(cursor);
+        }
+        match chosen {
+            Some(offset) => {
+                self.allocations.insert(offset, bytes);
+                self.used += bytes;
+                self.peak = self.peak.max(self.used);
+                Ok(DevicePtr { offset, bytes })
+            }
+            None => Err(OutOfDeviceMemory {
+                requested: bytes,
+                free: self.capacity - self.used,
+            }),
+        }
+    }
+
+    /// Free an allocation. Double frees panic (a debug aid: in CUDA they
+    /// are undefined behaviour).
+    ///
+    /// # Panics
+    /// Panics if `ptr` is not currently allocated.
+    pub fn free(&mut self, ptr: DevicePtr) {
+        let size = self
+            .allocations
+            .remove(&ptr.offset)
+            .expect("free of unallocated device pointer");
+        assert_eq!(size, ptr.bytes, "free with mismatched size");
+        self.used -= size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut mem = DeviceMemory::new(1000);
+        let a = mem.alloc(100).unwrap();
+        let b = mem.alloc(200).unwrap();
+        assert_eq!(mem.used(), 300);
+        mem.free(a);
+        assert_eq!(mem.used(), 200);
+        mem.free(b);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.peak(), 300);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let mut mem = DeviceMemory::new(100);
+        let _a = mem.alloc(80).unwrap();
+        let err = mem.alloc(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.free, 20);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn freed_space_is_reused() {
+        let mut mem = DeviceMemory::new(100);
+        let a = mem.alloc(60).unwrap();
+        let _b = mem.alloc(40).unwrap();
+        assert!(mem.alloc(10).is_err());
+        mem.free(a);
+        // First-fit places the new allocation in the freed hole.
+        let c = mem.alloc(50).unwrap();
+        assert!(c.offset < 60);
+    }
+
+    #[test]
+    fn fragmentation_can_block_large_requests() {
+        let mut mem = DeviceMemory::new(100);
+        let a = mem.alloc(30).unwrap();
+        let b = mem.alloc(30).unwrap();
+        let _c = mem.alloc(30).unwrap();
+        mem.free(a);
+        mem.free(b);
+        // 70 bytes free but the 30+30 hole is contiguous (adjacent), so
+        // 60 fits; 65 does not (only 10 at the tail after c).
+        assert!(mem.alloc(60).is_ok());
+        assert!(mem.alloc(20).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated device pointer")]
+    fn double_free_panics() {
+        let mut mem = DeviceMemory::new(100);
+        let a = mem.alloc(10).unwrap();
+        mem.free(a);
+        mem.free(a);
+    }
+
+    #[test]
+    fn zero_byte_allocations_are_distinct() {
+        let mut mem = DeviceMemory::new(100);
+        let a = mem.alloc(0).unwrap();
+        let b = mem.alloc(0).unwrap();
+        assert_ne!(a, b);
+    }
+}

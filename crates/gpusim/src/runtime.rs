@@ -1,0 +1,322 @@
+//! Real-threaded device instances.
+//!
+//! A [`SimGpu`] is one simulated GPU as the hybrid runtime sees it: a
+//! FIFO command queue drained by worker threads. On Fermi there is one
+//! worker — queued tasks run strictly serially in submission order, the
+//! paper's "application-level context switching". With Hyper-Q
+//! (Kepler) several workers drain the same queue concurrently.
+//!
+//! Submitted closures run on the worker; the submitting rank blocks on
+//! [`TaskHandle::wait`], which is the paper's synchronous mode ("when a
+//! task is submitted to GPU, the CPU will be blocked until the result
+//! is back").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
+use crate::props::DeviceProps;
+
+type Command = Box<dyn FnOnce() + Send>;
+
+/// Monotonic counters of one device.
+#[derive(Debug, Default)]
+pub struct DeviceCounters {
+    /// Tasks completed.
+    pub tasks: AtomicU64,
+    /// Wall-clock nanoseconds workers spent executing task bodies.
+    pub busy_nanos: AtomicU64,
+}
+
+/// One simulated GPU: props + command queue + workers + on-board
+/// memory arena + virtual-time cost accounting.
+pub struct SimGpu {
+    props: DeviceProps,
+    sender: Option<Sender<Command>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    counters: Arc<DeviceCounters>,
+    memory: Arc<Mutex<DeviceMemory>>,
+    cost: CostModel,
+    virtual_nanos: Arc<AtomicU64>,
+}
+
+/// Completion handle of a submitted task.
+#[must_use = "wait on the handle or the task result is lost"]
+pub struct TaskHandle<R> {
+    result: Receiver<R>,
+}
+
+impl<R> TaskHandle<R> {
+    /// Block until the task finishes and return its result.
+    ///
+    /// # Panics
+    /// Panics if the device was dropped with the task still queued.
+    pub fn wait(self) -> R {
+        self.result.recv().expect("device dropped with task queued")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<R> {
+        self.result.try_recv().ok()
+    }
+}
+
+impl SimGpu {
+    /// Bring up a device: spawns `props.concurrent_tasks` worker
+    /// threads sharing one FIFO queue.
+    #[must_use]
+    pub fn new(props: DeviceProps) -> SimGpu {
+        let (sender, receiver) = unbounded::<Command>();
+        let counters = Arc::new(DeviceCounters::default());
+        let workers = (0..props.concurrent_tasks.max(1))
+            .map(|w| {
+                let receiver: Receiver<Command> = receiver.clone();
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("{}-worker-{w}", props.name))
+                    .spawn(move || {
+                        while let Ok(cmd) = receiver.recv() {
+                            let start = Instant::now();
+                            cmd();
+                            counters
+                                .busy_nanos
+                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            counters.tasks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn device worker")
+            })
+            .collect();
+        let memory = Arc::new(Mutex::new(DeviceMemory::new(props.memory_bytes)));
+        let cost = CostModel::from_props(&props);
+        SimGpu {
+            props,
+            sender: Some(sender),
+            workers,
+            counters,
+            memory,
+            cost,
+            virtual_nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Device properties.
+    #[must_use]
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// Completed-task count.
+    #[must_use]
+    pub fn tasks_completed(&self) -> u64 {
+        self.counters.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock seconds workers spent in task bodies.
+    #[must_use]
+    pub fn busy_seconds(&self) -> f64 {
+        self.counters.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Allocate `bytes` of on-board memory (like `cudaMalloc`).
+    ///
+    /// # Errors
+    /// [`OutOfDeviceMemory`] when the arena cannot fit the request.
+    pub fn malloc(&self, bytes: u64) -> Result<DevicePtr, OutOfDeviceMemory> {
+        self.memory.lock().alloc(bytes)
+    }
+
+    /// Free an on-board allocation (like `cudaFree`).
+    pub fn free(&self, ptr: DevicePtr) {
+        self.memory.lock().free(ptr);
+    }
+
+    /// Bytes currently allocated on the device.
+    #[must_use]
+    pub fn memory_used(&self) -> u64 {
+        self.memory.lock().used()
+    }
+
+    /// High-water mark of on-board allocation.
+    #[must_use]
+    pub fn memory_peak(&self) -> u64 {
+        self.memory.lock().peak()
+    }
+
+    /// Charge the cost model for one task (launch + H2D + kernel + D2H)
+    /// and return the charged virtual seconds. This is what the device
+    /// *would* have taken on the modeled hardware, independent of host
+    /// wall-clock.
+    pub fn charge_task(&self, evals: u64, bytes_in: u64, bytes_out: u64) -> f64 {
+        let t = self.cost.task_time(evals, bytes_in, bytes_out);
+        self.virtual_nanos
+            .fetch_add((t * 1e9) as u64, Ordering::Relaxed);
+        t
+    }
+
+    /// Total virtual seconds charged via [`SimGpu::charge_task`].
+    #[must_use]
+    pub fn virtual_busy_seconds(&self) -> f64 {
+        self.virtual_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Enqueue `task`; returns a handle the caller can block on.
+    pub fn submit<R, F>(&self, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = unbounded();
+        let cmd: Command = Box::new(move || {
+            let result = task();
+            // The submitter may have given up waiting; that is fine.
+            let _ = tx.send(result);
+        });
+        self.sender
+            .as_ref()
+            .expect("device is live until drop")
+            .send(cmd)
+            .expect("worker threads outlive the sender");
+        TaskHandle { result: rx }
+    }
+
+    /// Submit and block — the paper's synchronous task mode.
+    pub fn execute_sync<R, F>(&self, task: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.submit(task).wait()
+    }
+}
+
+impl Drop for SimGpu {
+    fn drop(&mut self) {
+        // Close the queue, then join the workers (they drain what is
+        // already queued first).
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fermi() -> DeviceProps {
+        DeviceProps::tesla_c2075()
+    }
+
+    #[test]
+    fn executes_submitted_work() {
+        let gpu = SimGpu::new(fermi());
+        let result = gpu.execute_sync(|| 21 * 2);
+        assert_eq!(result, 42);
+        assert_eq!(gpu.tasks_completed(), 1);
+    }
+
+    #[test]
+    fn fermi_queue_is_fifo_and_serial() {
+        let gpu = SimGpu::new(fermi());
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                gpu.submit(move || {
+                    log.lock().push(i);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        assert_eq!(*log.lock(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hyper_q_runs_tasks_concurrently() {
+        let mut props = DeviceProps::tesla_k20();
+        props.concurrent_tasks = 4;
+        let gpu = SimGpu::new(props);
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let in_flight = Arc::clone(&in_flight);
+                let peak = Arc::clone(&peak);
+                gpu.submit(move || {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak >= 2, "expected concurrency, peak {peak}");
+        assert!(peak <= 4, "bounded by worker count, peak {peak}");
+    }
+
+    #[test]
+    fn counters_track_busy_time() {
+        let gpu = SimGpu::new(fermi());
+        gpu.execute_sync(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        assert!(gpu.busy_seconds() >= 0.009);
+    }
+
+    #[test]
+    fn drop_drains_queued_tasks() {
+        let flag = Arc::new(AtomicU64::new(0));
+        {
+            let gpu = SimGpu::new(fermi());
+            for _ in 0..4 {
+                let flag = Arc::clone(&flag);
+                // Fire-and-forget handles: drop must still run the tasks.
+                let _ = gpu.submit(move || {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins workers
+        assert_eq!(flag.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn memory_and_cost_accounting() {
+        let gpu = SimGpu::new(fermi());
+        let a = gpu.malloc(1 << 20).unwrap();
+        assert_eq!(gpu.memory_used(), 1 << 20);
+        gpu.free(a);
+        assert_eq!(gpu.memory_used(), 0);
+        assert_eq!(gpu.memory_peak(), 1 << 20);
+
+        let t = gpu.charge_task(1_000_000, 1024, 400_000);
+        assert!(t > 0.0);
+        assert!((gpu.virtual_busy_seconds() - t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_memory_exhaustion_surfaces() {
+        let mut props = fermi();
+        props.memory_bytes = 1024;
+        let gpu = SimGpu::new(props);
+        assert!(gpu.malloc(2048).is_err());
+    }
+
+    #[test]
+    fn results_route_to_the_right_handle() {
+        let gpu = SimGpu::new(fermi());
+        let handles: Vec<_> = (0..10).map(|i| gpu.submit(move || i * i)).collect();
+        let results: Vec<i32> = handles.into_iter().map(TaskHandle::wait).collect();
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+}

@@ -1,0 +1,260 @@
+//! The alpha-chain nucleosynthesis network — the "nucleosynthesis
+//! reactive network" the paper's §V names as the next application for
+//! the hybrid framework.
+//!
+//! Thirteen isotopes from ⁴He to ⁵⁶Ni connected by successive
+//! alpha-captures, seeded by the triple-alpha reaction:
+//!
+//! ```text
+//! 3 He4          -> C12               (rate ~ rho^2 Y_He^3)
+//! X_i + He4      -> X_{i+1}           (rate ~ rho   Y_He Y_i)
+//! ```
+//!
+//! Reaction rates use synthetic Arrhenius-in-`T9^{-1/3}` forms with
+//! Coulomb barriers growing along the chain (the Gamow-peak scaling of
+//! real rates; see `DESIGN.md` on synthetic substitutions). State is
+//! molar abundance `Y_i = X_i / A_i`; the invariant is mass
+//! conservation `sum A_i Y_i = 1`.
+
+use crate::solver::OdeSystem;
+
+/// Mass numbers of the chain: He4, C12, O16, ..., Ni56.
+pub const A: [f64; 13] = [
+    4.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 36.0, 40.0, 44.0, 48.0, 52.0, 56.0,
+];
+
+/// Isotope labels, index-aligned with [`A`].
+pub const LABELS: [&str; 13] = [
+    "He4", "C12", "O16", "Ne20", "Mg24", "Si28", "S32", "Ar36", "Ca40", "Ti44", "Cr48",
+    "Fe52", "Ni56",
+];
+
+/// The alpha network at fixed thermodynamic conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaChain {
+    /// Temperature in units of 1e9 K (`T9`).
+    pub t9: f64,
+    /// Mass density in g/cm^3.
+    pub rho: f64,
+}
+
+impl AlphaChain {
+    /// Number of species.
+    pub const N: usize = 13;
+
+    /// Triple-alpha rate factor (per `Y_He^3`), 1/s.
+    #[must_use]
+    pub fn rate_3a(&self) -> f64 {
+        if self.t9 <= 0.0 {
+            return 0.0;
+        }
+        let rho6 = self.rho / 1e6;
+        // Synthetic: steep T dependence around the helium-flash regime.
+        1.0e2 * rho6 * rho6 * (-4.4 / self.t9).exp() / self.t9.powi(3)
+    }
+
+    /// Alpha-capture rate factor onto chain member `i` (0 = capture on
+    /// C12 making O16), per `Y_He * Y_i`, 1/s. The Coulomb barrier grows
+    /// with the target charge `Z = 6 + 2 i`.
+    #[must_use]
+    pub fn rate_capture(&self, i: usize) -> f64 {
+        if self.t9 <= 0.0 || i + 2 >= Self::N {
+            return 0.0;
+        }
+        let rho6 = self.rho / 1e6;
+        let z_target = 6.0 + 2.0 * i as f64;
+        // Gamow scaling: exp(-b Z / T9^(1/3)).
+        let barrier = 0.9 * z_target / self.t9.cbrt();
+        1.0e7 * rho6 * (-barrier).exp()
+    }
+
+    /// Pure-helium initial composition (`Y_He = 1/4`).
+    #[must_use]
+    pub fn pure_helium() -> Vec<f64> {
+        let mut y = vec![0.0; Self::N];
+        y[0] = 1.0 / A[0];
+        y
+    }
+
+    /// Total mass fraction `sum A_i Y_i` (conserved, = 1).
+    #[must_use]
+    pub fn total_mass(y: &[f64]) -> f64 {
+        y.iter().zip(A.iter()).map(|(y, a)| y * a).sum()
+    }
+}
+
+impl OdeSystem for AlphaChain {
+    fn dim(&self) -> usize {
+        Self::N
+    }
+
+    fn rhs(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), Self::N);
+        assert_eq!(out.len(), Self::N);
+        out.fill(0.0);
+        let he = y[0].max(0.0);
+        // Triple-alpha: 3 He4 -> C12.
+        let r3a = self.rate_3a() * he * he * he / 6.0;
+        out[0] -= 3.0 * r3a;
+        out[1] += r3a;
+        // Captures: X_{i+1} + He4 -> X_{i+2} for chain slots 1..N-1.
+        for (i, &yi) in y.iter().enumerate().take(Self::N - 1).skip(1) {
+            let r = self.rate_capture(i - 1) * he * yi.max(0.0);
+            out[0] -= r;
+            out[i] -= r;
+            out[i + 1] += r;
+        }
+    }
+
+    fn jacobian(&self, y: &[f64], jac: &mut [f64]) {
+        let n = Self::N;
+        assert_eq!(y.len(), n);
+        assert_eq!(jac.len(), n * n);
+        jac.fill(0.0);
+        let he = y[0].max(0.0);
+        let r3a_dhe = self.rate_3a() * he * he / 2.0; // d(r3a)/dY_He
+        jac[0] -= 3.0 * r3a_dhe;
+        jac[n] += r3a_dhe; // row 1 (C12), column 0
+        for i in 1..n - 1 {
+            let k = self.rate_capture(i - 1);
+            let yi = y[i].max(0.0);
+            // d r / d he = k yi ; d r / d yi = k he
+            let dr_dhe = k * yi;
+            let dr_dyi = k * he;
+            jac[0] -= dr_dhe;
+            jac[i] -= dr_dyi;
+            jac[i * n] -= dr_dhe;
+            jac[i * n + i] -= dr_dyi;
+            jac[(i + 1) * n] += dr_dhe;
+            jac[(i + 1) * n + i] += dr_dyi;
+        }
+    }
+
+    fn max_rate(&self, y: &[f64]) -> f64 {
+        let he = y[0].max(0.0);
+        let mut max = self.rate_3a() * he * he * 3.0 / 6.0;
+        for (i, &yi) in y.iter().enumerate().take(Self::N - 1).skip(1) {
+            let k = self.rate_capture(i - 1);
+            max = max.max(k * he).max(k * yi.max(0.0));
+        }
+        max
+    }
+
+    fn project(&self, y: &mut [f64]) {
+        // Clamp round-off negatives, then restore total mass exactly.
+        for v in y.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let mass = AlphaChain::total_mass(y);
+        if mass > 0.0 {
+            for v in y.iter_mut() {
+                *v /= mass;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::LsodaSolver;
+
+    #[test]
+    fn rhs_conserves_mass() {
+        let net = AlphaChain { t9: 2.0, rho: 1e6 };
+        let mut y = AlphaChain::pure_helium();
+        y[1] = 0.01; // some carbon
+        y[0] -= 0.03; // keep mass = 1
+        let mut dy = vec![0.0; AlphaChain::N];
+        net.rhs(&y, &mut dy);
+        let dm: f64 = dy.iter().zip(A.iter()).map(|(d, a)| d * a).sum();
+        assert!(dm.abs() < 1e-12 * net.max_rate(&y).max(1.0), "dm/dt = {dm}");
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let net = AlphaChain { t9: 1.5, rho: 1e5 };
+        let n = AlphaChain::N;
+        // Strictly positive state: the RHS clamps negatives to zero, and
+        // a central difference straddling that kink would halve.
+        let mut y = vec![1e-3; n];
+        y[0] = 0.2;
+        y[1] = 0.005;
+        y[2] = 0.002;
+        let mut jac = vec![0.0; n * n];
+        net.jacobian(&y, &mut jac);
+        // Central differences with a generous step: the RHS is at most
+        // cubic and spans ~14 orders of magnitude across terms, so a
+        // small step drowns in the big terms' ulp quantization.
+        let eps = 1e-4;
+        for j in 0..n {
+            let mut yp = y.clone();
+            let mut ym = y.clone();
+            yp[j] += eps;
+            ym[j] -= eps;
+            let mut fp = vec![0.0; n];
+            let mut fm = vec![0.0; n];
+            net.rhs(&yp, &mut fp);
+            net.rhs(&ym, &mut fm);
+            for i in 0..n {
+                let fd = (fp[i] - fm[i]) / (2.0 * eps);
+                let an = jac[i * n + j];
+                let scale = an.abs().max(fd.abs()).max(1e-6);
+                assert!(
+                    (fd - an).abs() / scale < 1e-3,
+                    "J[{i}][{j}]: fd {fd} vs {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cold_helium_does_not_burn() {
+        let net = AlphaChain { t9: 0.05, rho: 1e4 };
+        let mut y = AlphaChain::pure_helium();
+        let stats = LsodaSolver::default().integrate(&net, &mut y, 0.0, 1e6);
+        assert!(!stats.truncated);
+        assert!(y[0] > 0.2499, "helium burned at 5e7 K: Y_He = {}", y[0]);
+    }
+
+    #[test]
+    fn hot_dense_helium_burns_toward_the_iron_group() {
+        // Explosive conditions: the chain should run well past carbon.
+        let net = AlphaChain { t9: 5.0, rho: 1e7 };
+        let mut y = AlphaChain::pure_helium();
+        let stats = LsodaSolver::new(1e-6, 1e-12).integrate(&net, &mut y, 0.0, 1.0);
+        assert!(!stats.truncated, "{stats:?}");
+        let mass = AlphaChain::total_mass(&y);
+        assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+        // Heavy half of the chain (Ca and beyond) holds real mass.
+        let heavy: f64 = y[8..].iter().zip(&A[8..]).map(|(y, a)| y * a).sum();
+        assert!(heavy > 0.1, "heavy mass fraction {heavy}");
+        assert!(y[0] < 0.20, "Y_He = {}", y[0]);
+    }
+
+    #[test]
+    fn burning_stalls_mid_chain_at_moderate_temperature() {
+        // At T9 = 0.6 the Coulomb barrier freezes the chain before the
+        // iron group: mass piles up in the intermediate isotopes while
+        // Ni56 stays marginal.
+        let net = AlphaChain { t9: 0.6, rho: 1e6 };
+        let mut y = AlphaChain::pure_helium();
+        let stats = LsodaSolver::default().integrate(&net, &mut y, 0.0, 1e4);
+        assert!(!stats.truncated, "{stats:?}");
+        let intermediate: f64 = y[1..11].iter().zip(&A[1..11]).map(|(y, a)| y * a).sum();
+        let ni = y[12] * A[12];
+        assert!(intermediate > 0.01, "no intermediate products: {intermediate}");
+        assert!(ni < intermediate / 2.0, "nickel {ni} vs intermediate {intermediate}");
+    }
+
+    #[test]
+    fn mass_stays_on_the_manifold_under_projection() {
+        let net = AlphaChain { t9: 3.0, rho: 1e6 };
+        let mut y = AlphaChain::pure_helium();
+        LsodaSolver::default().integrate(&net, &mut y, 0.0, 10.0);
+        assert!((AlphaChain::total_mass(&y) - 1.0).abs() < 1e-9);
+        assert!(y.iter().all(|&v| v >= 0.0));
+    }
+}

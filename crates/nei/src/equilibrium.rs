@@ -1,0 +1,145 @@
+//! Collisional ionization equilibrium — the steady state of Eq. 4.
+//!
+//! The NEI system is a birth–death chain (stage `i` exchanges population
+//! only with `i ± 1`), so its steady state satisfies detailed balance:
+//!
+//! ```text
+//! x_{i+1} / x_i = S_i / alpha_{i+1}
+//! ```
+//!
+//! which gives a closed form by running the recurrence and normalizing.
+//! Used as the solver's test oracle and as physically sensible initial
+//! conditions.
+
+use crate::system::NeiSystem;
+
+/// The equilibrium ion fractions of `sys` (length `dim`, sums to 1).
+///
+/// Computed in log space so extreme rate ratios (many hundreds of
+/// orders of magnitude across a 30-stage chain) cannot overflow.
+#[must_use]
+pub fn equilibrium_fractions(sys: &NeiSystem) -> Vec<f64> {
+    let n = sys.dim();
+    // log_weights[i] = log(x_i / x_0)
+    let mut log_weights = vec![0.0f64; n];
+    for i in 0..n - 1 {
+        let s = sys.s(i);
+        let a = sys.alpha(i + 1);
+        let ratio = if s <= 0.0 {
+            f64::NEG_INFINITY // chain truncates: stages above are empty
+        } else if a <= 0.0 {
+            f64::INFINITY
+        } else {
+            (s / a).ln()
+        };
+        log_weights[i + 1] = log_weights[i] + ratio;
+    }
+    // Normalize via the max trick.
+    let max = log_weights
+        .iter()
+        .cloned()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut out: Vec<f64> = log_weights
+        .iter()
+        .map(|&lw| {
+            if lw.is_finite() {
+                (lw - max).exp()
+            } else if lw == f64::INFINITY {
+                1.0 // dominated stage handled by normalization below
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 {
+        for v in &mut out {
+            *v /= sum;
+        }
+    } else {
+        out[0] = 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_form_a_distribution() {
+        for t in [1e5, 1e6, 1e7, 1e8] {
+            let sys = NeiSystem {
+                z: 8,
+                electron_density: 1.0,
+                temperature_k: t,
+            };
+            let eq = equilibrium_fractions(&sys);
+            assert_eq!(eq.len(), 9);
+            let sum: f64 = eq.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "T={t}: sum {sum}");
+            assert!(eq.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point_of_the_rhs() {
+        let sys = NeiSystem {
+            z: 6,
+            electron_density: 1.0,
+            temperature_k: 3e6,
+        };
+        let eq = equilibrium_fractions(&sys);
+        let mut dx = vec![0.0; sys.dim()];
+        sys.rhs(&eq, &mut dx);
+        // Residual should vanish relative to the fastest rate present.
+        let scale = sys.stiffness_estimate(1.0).max(1e-300);
+        for (i, &d) in dx.iter().enumerate() {
+            assert!(d.abs() / scale < 1e-10, "stage {i}: residual {d}");
+        }
+    }
+
+    #[test]
+    fn hot_equilibrium_is_highly_ionized() {
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e9,
+        };
+        let eq = equilibrium_fractions(&sys);
+        // Population should concentrate in the top stages.
+        let top: f64 = eq[7..].iter().sum();
+        assert!(top > 0.9, "top fraction {top}");
+    }
+
+    #[test]
+    fn cold_equilibrium_is_neutral() {
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e4,
+        };
+        let eq = equilibrium_fractions(&sys);
+        assert!(eq[0] > 0.9, "neutral fraction {}", eq[0]);
+    }
+
+    #[test]
+    fn equilibrium_is_density_independent() {
+        // Both S and alpha scale with Ne in Eq. 4, so the balance point
+        // does not move with density.
+        let a = equilibrium_fractions(&NeiSystem {
+            z: 10,
+            electron_density: 1.0,
+            temperature_k: 5e6,
+        });
+        let b = equilibrium_fractions(&NeiSystem {
+            z: 10,
+            electron_density: 1e8,
+            temperature_k: 5e6,
+        });
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Time-dependent plasma histories.
+//!
+//! In a hydrodynamic simulation each tracer particle carries a
+//! temperature and density *history* — the NEI state must be integrated
+//! along it (this is the workload of the paper's companion work
+//! [Xiao et al., ICA3PP 2014] that §IV-D builds on). A
+//! [`PlasmaHistory`] is a piecewise-linear `(t, T, n_e)` track; the
+//! solver advances segment by segment, re-evaluating the rate
+//! coefficients as the plasma evolves.
+
+use crate::solver::{LsodaSolver, SolverStats};
+use crate::system::NeiSystem;
+
+/// One sample of a tracer's thermodynamic track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlasmaSample {
+    /// Epoch in seconds.
+    pub time_s: f64,
+    /// Electron temperature in kelvin.
+    pub temperature_k: f64,
+    /// Electron density in cm^-3.
+    pub electron_density: f64,
+}
+
+/// A piecewise-linear plasma history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlasmaHistory {
+    samples: Vec<PlasmaSample>,
+}
+
+impl PlasmaHistory {
+    /// Build from samples; they must be strictly increasing in time and
+    /// non-empty.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-monotonic sample list.
+    #[must_use]
+    pub fn new(samples: Vec<PlasmaSample>) -> PlasmaHistory {
+        assert!(!samples.is_empty(), "history needs at least one sample");
+        for pair in samples.windows(2) {
+            assert!(
+                pair[0].time_s < pair[1].time_s,
+                "history samples must increase in time"
+            );
+        }
+        PlasmaHistory { samples }
+    }
+
+    /// A constant-state history (reduces the solver to the fixed-state
+    /// path; used as a consistency oracle in tests).
+    #[must_use]
+    pub fn constant(temperature_k: f64, electron_density: f64) -> PlasmaHistory {
+        PlasmaHistory::new(vec![PlasmaSample {
+            time_s: 0.0,
+            temperature_k,
+            electron_density,
+        }])
+    }
+
+    /// An (effectively) instantaneous shock at `t_shock`: cold before,
+    /// hot after, with the transition confined to a 1e-6-relative sliver
+    /// — the canonical supernova-remnant driver.
+    #[must_use]
+    pub fn shock(t_shock: f64, t_cold_k: f64, t_hot_k: f64, ne: f64) -> PlasmaHistory {
+        let eps = t_shock * 1e-6;
+        PlasmaHistory::new(vec![
+            PlasmaSample {
+                time_s: 0.0,
+                temperature_k: t_cold_k,
+                electron_density: ne,
+            },
+            PlasmaSample {
+                time_s: t_shock - eps,
+                temperature_k: t_cold_k,
+                electron_density: ne,
+            },
+            PlasmaSample {
+                time_s: t_shock,
+                temperature_k: t_hot_k,
+                electron_density: ne,
+            },
+        ])
+    }
+
+    /// The samples.
+    #[must_use]
+    pub fn samples(&self) -> &[PlasmaSample] {
+        &self.samples
+    }
+
+    /// Interpolated `(temperature, density)` at time `t` (clamped to the
+    /// track's ends).
+    #[must_use]
+    pub fn at(&self, t: f64) -> (f64, f64) {
+        let first = self.samples.first().expect("non-empty");
+        if t <= first.time_s {
+            return (first.temperature_k, first.electron_density);
+        }
+        let last = self.samples.last().expect("non-empty");
+        if t >= last.time_s {
+            return (last.temperature_k, last.electron_density);
+        }
+        let idx = self
+            .samples
+            .partition_point(|s| s.time_s <= t)
+            .saturating_sub(1);
+        let a = self.samples[idx];
+        let b = self.samples[idx + 1];
+        let w = (t - a.time_s) / (b.time_s - a.time_s);
+        (
+            a.temperature_k + w * (b.temperature_k - a.temperature_k),
+            a.electron_density + w * (b.electron_density - a.electron_density),
+        )
+    }
+
+    /// Integrate element `z`'s ion fractions along this history from
+    /// `t0` to `t1`, splitting the solve into `substeps` per sample
+    /// segment (rates are re-evaluated at each substep's midpoint
+    /// state, second-order accurate in the history resolution).
+    pub fn integrate(
+        &self,
+        solver: &LsodaSolver,
+        z: u8,
+        x: &mut [f64],
+        t0: f64,
+        t1: f64,
+        substeps: usize,
+    ) -> SolverStats {
+        let substeps = substeps.max(1);
+        let mut total = SolverStats::default();
+        if t1 <= t0 {
+            return total;
+        }
+        // Build the breakpoints: t0, interior sample times, t1.
+        let mut cuts: Vec<f64> = vec![t0];
+        for s in &self.samples {
+            if s.time_s > t0 && s.time_s < t1 {
+                cuts.push(s.time_s);
+            }
+        }
+        cuts.push(t1);
+        for pair in cuts.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let dt = (b - a) / substeps as f64;
+            for k in 0..substeps {
+                let lo = a + k as f64 * dt;
+                let hi = lo + dt;
+                let (temperature_k, electron_density) = self.at(0.5 * (lo + hi));
+                let sys = NeiSystem {
+                    z,
+                    electron_density,
+                    temperature_k,
+                };
+                let stats = solver.integrate(&sys, x, lo, hi);
+                total.steps += stats.steps;
+                total.rejected += stats.rejected;
+                total.rhs_evals += stats.rhs_evals;
+                total.jac_evals += stats.jac_evals;
+                total.lu_factorizations += stats.lu_factorizations;
+                total.method_switches += stats.method_switches;
+                total.truncated |= stats.truncated;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::equilibrium_fractions;
+
+    #[test]
+    fn constant_history_matches_fixed_state_solver() {
+        let solver = LsodaSolver::default();
+        let history = PlasmaHistory::constant(1e7, 1.0);
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        };
+        let mut x_hist = vec![0.0; sys.dim()];
+        x_hist[0] = 1.0;
+        let mut x_fixed = x_hist.clone();
+        history.integrate(&solver, 8, &mut x_hist, 0.0, 1e9, 1);
+        solver.integrate(&sys, &mut x_fixed, 0.0, 1e9);
+        for (a, b) in x_hist.iter().zip(&x_fixed) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_linear_and_clamped() {
+        let h = PlasmaHistory::new(vec![
+            PlasmaSample { time_s: 0.0, temperature_k: 1e6, electron_density: 1.0 },
+            PlasmaSample { time_s: 10.0, temperature_k: 3e6, electron_density: 2.0 },
+        ]);
+        assert_eq!(h.at(-5.0), (1e6, 1.0));
+        assert_eq!(h.at(20.0), (3e6, 2.0));
+        let (t, ne) = h.at(5.0);
+        assert!((t - 2e6).abs() < 1.0);
+        assert!((ne - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shock_history_ionizes_after_the_jump() {
+        let solver = LsodaSolver::default();
+        let history = PlasmaHistory::shock(1e8, 1e4, 1e7, 1.0);
+        let mut x = vec![0.0; 9];
+        x[0] = 1.0;
+        // Before the shock: cold, nothing happens.
+        history.integrate(&solver, 8, &mut x, 0.0, 5e7, 4);
+        assert!(x[0] > 0.99, "pre-shock neutral fraction {}", x[0]);
+        // Long after the shock: approaches the hot equilibrium.
+        history.integrate(&solver, 8, &mut x, 5e7, 1e13, 4);
+        let eq = equilibrium_fractions(&NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        });
+        for (i, (a, b)) in x.iter().zip(&eq).enumerate() {
+            assert!((a - b).abs() < 5e-3, "stage {i}: {a} vs eq {b}");
+        }
+    }
+
+    #[test]
+    fn simplex_is_preserved_along_histories() {
+        let solver = LsodaSolver::default();
+        let history = PlasmaHistory::new(vec![
+            PlasmaSample { time_s: 0.0, temperature_k: 1e5, electron_density: 0.5 },
+            PlasmaSample { time_s: 1e8, temperature_k: 2e7, electron_density: 1.5 },
+            PlasmaSample { time_s: 2e8, temperature_k: 5e5, electron_density: 3.0 },
+        ]);
+        let mut x = vec![0.0; 13];
+        x[0] = 1.0;
+        history.integrate(&solver, 12, &mut x, 0.0, 3e8, 8);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-7, "sum {sum}");
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase in time")]
+    fn non_monotonic_history_panics() {
+        let _ = PlasmaHistory::new(vec![
+            PlasmaSample { time_s: 1.0, temperature_k: 1e6, electron_density: 1.0 },
+            PlasmaSample { time_s: 1.0, temperature_k: 2e6, electron_density: 1.0 },
+        ]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Non-equilibrium ionization (NEI) substrate.
+//!
+//! Paper §IV-D evaluates the hybrid framework's adaptability on NEI: at
+//! every point of the parameter space, "about a dozen of ODE groups"
+//! (one per element) evolve the ion-stage populations under paper
+//! Eq. 4:
+//!
+//! ```text
+//! dn_i/dt = Ne [ n_{i+1} a_{i+1} + n_{i-1} S_{i-1} - n_i (a_i + S_i) ]
+//! ```
+//!
+//! The ODEs are "stiff and sparse" (tridiagonal, with rate contrasts of
+//! many orders of magnitude), and the paper solves them with LSODA.
+//! This crate provides:
+//!
+//! * [`system`] — the rate equations over the synthetic
+//!   [`atomdb`] coefficients, with their tridiagonal Jacobian;
+//! * [`linalg`] — the dense LU solver the implicit method needs
+//!   (systems are at most 32×32, one row per ionization stage);
+//! * [`solver`] — an LSODA-style switching integrator: an explicit
+//!   adaptive Runge–Kutta method while the problem is non-stiff, an
+//!   implicit BDF with Newton iteration when stiffness is detected,
+//!   with automatic switching like LSODA's;
+//! * [`equilibrium`] — the closed-form CIE steady state (the birth–
+//!   death chain balance), used for initial conditions and as a test
+//!   oracle;
+//! * [`task`] — packing of timestep batches into scheduler tasks ("every
+//!   ten time-dependent calculations are packed into one task");
+//! * [`alpha`] — the alpha-chain nucleosynthesis network (the paper's
+//!   §V future-work application), integrated by the same solver through
+//!   the [`OdeSystem`] trait.
+
+pub mod alpha;
+pub mod equilibrium;
+pub mod history;
+pub mod linalg;
+pub mod solver;
+pub mod system;
+pub mod task;
+
+pub use alpha::AlphaChain;
+pub use equilibrium::equilibrium_fractions;
+pub use history::{PlasmaHistory, PlasmaSample};
+pub use linalg::LuMatrix;
+pub use solver::{LsodaSolver, Method, OdeSystem, SolverConfig, SolverStats};
+pub use system::NeiSystem;
+pub use task::{NeiTask, NeiWorkload};

@@ -1,0 +1,229 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The BDF Newton iteration solves `(I - h*beta*J) dx = r` with `J` at
+//! most 32×32 (one row per ionization stage of one element), so a plain
+//! dense LU is both simpler and faster than anything clever at this
+//! size.
+
+/// A dense square matrix in row-major storage with LU-with-partial-
+/// pivoting factorization.
+#[derive(Debug, Clone)]
+pub struct LuMatrix {
+    n: usize,
+    /// Row-major entries; after [`LuMatrix::factorize`] holds L\U.
+    data: Vec<f64>,
+    pivots: Vec<usize>,
+    factored: bool,
+}
+
+impl LuMatrix {
+    /// An `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> LuMatrix {
+        LuMatrix {
+            n,
+            data: vec![0.0; n * n],
+            pivots: vec![0; n],
+            factored: false,
+        }
+    }
+
+    /// Build from row-major entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    #[must_use]
+    pub fn from_rows(n: usize, data: Vec<f64>) -> LuMatrix {
+        assert_eq!(data.len(), n * n, "row-major n*n entries");
+        LuMatrix {
+            n,
+            data,
+            pivots: vec![0; n],
+            factored: false,
+        }
+    }
+
+    /// Dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Mutable access to entry `(i, j)`; invalidates any factorization.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.factored = false;
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Entry `(i, j)` (of the factored form after `factorize`).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Raw mutable row-major storage; invalidates any factorization.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        self.factored = false;
+        &mut self.data
+    }
+
+    /// Factorize in place. Returns `false` if the matrix is singular to
+    /// working precision (zero pivot).
+    pub fn factorize(&mut self) -> bool {
+        let n = self.n;
+        for col in 0..n {
+            // Partial pivot: largest magnitude in the column at/below
+            // the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = self.data[col * n + col].abs();
+            for row in col + 1..n {
+                let v = self.data[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE * 16.0 {
+                self.factored = false;
+                return false;
+            }
+            self.pivots[col] = pivot_row;
+            if pivot_row != col {
+                for j in 0..n {
+                    self.data.swap(col * n + j, pivot_row * n + j);
+                }
+            }
+            let pivot = self.data[col * n + col];
+            for row in col + 1..n {
+                let factor = self.data[row * n + col] / pivot;
+                self.data[row * n + col] = factor;
+                for j in col + 1..n {
+                    self.data[row * n + j] -= factor * self.data[col * n + j];
+                }
+            }
+        }
+        self.factored = true;
+        true
+    }
+
+    /// Solve `A x = b` in place in `b` using the factorization.
+    ///
+    /// # Panics
+    /// Panics if the matrix has not been successfully factorized or
+    /// `b.len() != n`.
+    #[allow(clippy::needless_range_loop)] // triangular loops index two arrays
+    pub fn solve(&self, b: &mut [f64]) {
+        assert!(self.factored, "factorize before solve");
+        assert_eq!(b.len(), self.n, "rhs dimension");
+        let n = self.n;
+        // Apply row permutation.
+        for col in 0..n {
+            let p = self.pivots[col];
+            if p != col {
+                b.swap(col, p);
+            }
+        }
+        // Forward substitution (unit lower triangle).
+        for i in 1..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.data[i * n + j] * b[j];
+            }
+            b[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in i + 1..n {
+                sum -= self.data[i * n + j] * b[j];
+            }
+            b[i] = sum / self.data[i * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiply(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut m = LuMatrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        assert!(m.factorize());
+        let mut b = vec![3.0, -1.0, 2.0];
+        m.solve(&mut b);
+        assert_eq!(b, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let mut m = LuMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]);
+        assert!(m.factorize());
+        let mut b = vec![3.0, 5.0];
+        m.solve(&mut b);
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let mut m = LuMatrix::from_rows(2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!(m.factorize());
+        let mut b = vec![5.0, 7.0];
+        m.solve(&mut b);
+        assert!((b[0] - 7.0).abs() < 1e-12);
+        assert!((b[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = LuMatrix::from_rows(2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(!m.factorize());
+    }
+
+    #[test]
+    fn random_systems_roundtrip() {
+        use rand::Rng;
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(11)
+        };
+        for n in [1usize, 2, 5, 12, 31] {
+            let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut b = multiply(n, &a, &x_true);
+            let mut m = LuMatrix::from_rows(n, a);
+            if !m.factorize() {
+                continue; // singular draw: skip
+            }
+            m.solve(&mut b);
+            for i in 0..n {
+                assert!(
+                    (b[i] - x_true[i]).abs() < 1e-8,
+                    "n={n} i={i}: {} vs {}",
+                    b[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factorize before solve")]
+    fn solve_requires_factorization() {
+        let m = LuMatrix::zeros(2);
+        let mut b = vec![1.0, 2.0];
+        m.solve(&mut b);
+    }
+}

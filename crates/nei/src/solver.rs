@@ -1,0 +1,681 @@
+//! LSODA-style switching ODE solver.
+//!
+//! The paper's NEI solver is LSODA: it integrates with a cheap explicit
+//! method while the problem is non-stiff and switches to an implicit
+//! stiff method when it is not. We reproduce that *cost structure* with
+//!
+//! * a Cash–Karp embedded Runge–Kutta 4(5) pair (from Numerical
+//!   Recipes, which the paper itself cites) for the non-stiff phase, and
+//! * an adaptive backward-Euler/Newton method with the tridiagonal
+//!   Jacobian and dense LU for the stiff phase,
+//!
+//! switching when the explicit method's stability limit — not its
+//! accuracy — is what pins the step size, which is LSODA's own
+//! switching criterion in spirit.
+
+use crate::linalg::LuMatrix;
+use crate::system::NeiSystem;
+
+/// An autonomous ODE system the switching solver can integrate.
+///
+/// Implemented by [`NeiSystem`] (the paper's ionization equations) and
+/// by [`crate::alpha::AlphaChain`] (the nucleosynthesis network the
+/// paper's §V names as the next target application).
+pub trait OdeSystem {
+    /// State dimension.
+    fn dim(&self) -> usize;
+    /// Evaluate `dx/dt` into `out`.
+    fn rhs(&self, x: &[f64], out: &mut [f64]);
+    /// Dense row-major Jacobian into `jac` (`dim*dim`).
+    fn jacobian(&self, x: &[f64], jac: &mut [f64]);
+    /// Magnitude of the fastest local rate (1/s) at state `x` — drives
+    /// the stiffness switch and the explicit stability clamp.
+    fn max_rate(&self, x: &[f64]) -> f64;
+    /// Project the state back onto its invariant manifold after a step
+    /// (e.g. the unit simplex for populations). Default: no-op.
+    fn project(&self, _x: &mut [f64]) {}
+}
+
+impl OdeSystem for NeiSystem {
+    fn dim(&self) -> usize {
+        NeiSystem::dim(self)
+    }
+    fn rhs(&self, x: &[f64], out: &mut [f64]) {
+        NeiSystem::rhs(self, x, out);
+    }
+    fn jacobian(&self, x: &[f64], jac: &mut [f64]) {
+        NeiSystem::jacobian(self, x, jac);
+    }
+    fn max_rate(&self, _x: &[f64]) -> f64 {
+        self.stiffness_estimate(1.0)
+    }
+    fn project(&self, x: &mut [f64]) {
+        clamp_fractions(x);
+    }
+}
+
+/// Which integration family is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Explicit Cash–Karp RK4(5) — the non-stiff ("Adams") phase.
+    NonStiff,
+    /// Implicit backward differentiation with Newton — the stiff phase.
+    Stiff,
+}
+
+/// Solver tolerances and limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Relative tolerance on each component.
+    pub rtol: f64,
+    /// Absolute tolerance on each component.
+    pub atol: f64,
+    /// Maximum accepted+rejected steps per `integrate` call before
+    /// giving up (the state so far is still returned).
+    pub max_steps: u64,
+    /// e-foldings of the fastest mode over the remaining span above
+    /// which the problem counts as stiff (switch threshold).
+    pub stiff_efoldings: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            rtol: 1e-6,
+            atol: 1e-10,
+            max_steps: 200_000,
+            stiff_efoldings: 50.0,
+        }
+    }
+}
+
+/// Counters describing one `integrate` call — the cost profile the
+/// hybrid framework's NEI cost model consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Accepted steps.
+    pub steps: u64,
+    /// Rejected (re-tried) steps.
+    pub rejected: u64,
+    /// Right-hand-side evaluations.
+    pub rhs_evals: u64,
+    /// Jacobian evaluations.
+    pub jac_evals: u64,
+    /// LU factorizations.
+    pub lu_factorizations: u64,
+    /// Times the method switched (non-stiff ↔ stiff).
+    pub method_switches: u64,
+    /// Whether the solve hit `max_steps` before reaching `t1`.
+    pub truncated: bool,
+}
+
+/// The switching solver. Stateless between calls apart from config, so
+/// one instance can serve many systems.
+///
+/// ```
+/// use nei::{LsodaSolver, NeiSystem};
+///
+/// let sys = NeiSystem { z: 8, electron_density: 1.0, temperature_k: 1e7 };
+/// let mut fractions = vec![0.0; sys.dim()];
+/// fractions[0] = 1.0; // start neutral
+/// let stats = LsodaSolver::default().integrate(&sys, &mut fractions, 0.0, 1e8);
+/// assert!(stats.steps > 0);
+/// let sum: f64 = fractions.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-9); // populations stay a distribution
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsodaSolver {
+    /// Configuration used by [`LsodaSolver::integrate`].
+    pub config: SolverConfig,
+}
+
+// Cash-Karp tableau (Numerical Recipes 3rd ed., §17.2).
+const A2: f64 = 0.2;
+const A3: f64 = 0.3;
+const A4: f64 = 0.6;
+const A5: f64 = 1.0;
+const A6: f64 = 0.875;
+const B21: f64 = 0.2;
+const B31: f64 = 3.0 / 40.0;
+const B32: f64 = 9.0 / 40.0;
+const B41: f64 = 0.3;
+const B42: f64 = -0.9;
+const B43: f64 = 1.2;
+const B51: f64 = -11.0 / 54.0;
+const B52: f64 = 2.5;
+const B53: f64 = -70.0 / 27.0;
+const B54: f64 = 35.0 / 27.0;
+const B61: f64 = 1631.0 / 55296.0;
+const B62: f64 = 175.0 / 512.0;
+const B63: f64 = 575.0 / 13824.0;
+const B64: f64 = 44275.0 / 110592.0;
+const B65: f64 = 253.0 / 4096.0;
+const C1: f64 = 37.0 / 378.0;
+const C3: f64 = 250.0 / 621.0;
+const C4: f64 = 125.0 / 594.0;
+const C6: f64 = 512.0 / 1771.0;
+const DC1: f64 = C1 - 2825.0 / 27648.0;
+const DC3: f64 = C3 - 18575.0 / 48384.0;
+const DC4: f64 = C4 - 13525.0 / 55296.0;
+const DC5: f64 = -277.0 / 14336.0;
+const DC6: f64 = C6 - 0.25;
+
+impl LsodaSolver {
+    /// A solver with the given tolerances.
+    #[must_use]
+    pub fn new(rtol: f64, atol: f64) -> LsodaSolver {
+        LsodaSolver {
+            config: SolverConfig {
+                rtol,
+                atol,
+                ..SolverConfig::default()
+            },
+        }
+    }
+
+    /// Integrate `sys` from `t0` to `t1`, advancing `x` in place.
+    /// Returns the cost/stat counters.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != sys.dim()`.
+    pub fn integrate<S: OdeSystem>(&self, sys: &S, x: &mut [f64], t0: f64, t1: f64) -> SolverStats {
+        let n = sys.dim();
+        assert_eq!(x.len(), n, "state dimension");
+        let mut stats = SolverStats::default();
+        if t1 <= t0 {
+            return stats;
+        }
+        let span = t1 - t0;
+        let mut t = t0;
+        let mut h = (span / 100.0).min(self.initial_step(sys, x, span));
+        let mut method = self.pick_method(sys, x, span);
+
+        // Workspaces reused across steps.
+        let mut k = vec![vec![0.0; n]; 6];
+        let mut ytmp = vec![0.0; n];
+        let mut yerr = vec![0.0; n];
+        let mut ynew = vec![0.0; n];
+        let mut jac = vec![0.0; n * n];
+        let mut lu = LuMatrix::zeros(n);
+        let mut newton_rhs = vec![0.0; n];
+        let mut f_new = vec![0.0; n];
+        // BDF history: the previous accepted state, its step size and
+        // the end-of-step second-derivative estimate (None right after a
+        // start or a method switch — the first stiff step is then
+        // backward Euler).
+        let mut bdf_prev: Option<(Vec<f64>, f64, Vec<f64>)> = None;
+        let mut f_x = vec![0.0; n];
+
+        while t < t1 {
+            if stats.steps + stats.rejected >= self.config.max_steps {
+                stats.truncated = true;
+                break;
+            }
+            h = h.min(t1 - t);
+            if h <= 0.0 {
+                break;
+            }
+            match method {
+                Method::NonStiff => {
+                    // Stiffness check: if the fastest mode would need far
+                    // more explicit steps than the span justifies, switch.
+                    let lambda = sys.max_rate(x); // 1/s
+                    if lambda * (t1 - t) > self.config.stiff_efoldings
+                        && h * lambda > 2.0_f64
+                    {
+                        method = Method::Stiff;
+                        stats.method_switches += 1;
+                        continue;
+                    }
+                    // Stability clamp for the explicit method.
+                    if lambda > 0.0 {
+                        h = h.min(2.0 / lambda);
+                    }
+                    let accepted = self.rk_step(
+                        sys, x, t, h, &mut k, &mut ytmp, &mut yerr, &mut ynew, &mut stats,
+                    );
+                    if let Some(err) = accepted {
+                        t += h;
+                        x.copy_from_slice(&ynew);
+                        sys.project(x);
+                        stats.steps += 1;
+                        bdf_prev = None; // RK steps break the BDF history
+                        // PI-ish step growth.
+                        let grow = if err > 0.0 {
+                            0.9 * (1.0 / err).powf(0.2)
+                        } else {
+                            5.0
+                        };
+                        h *= grow.clamp(0.2, 5.0);
+                    } else {
+                        stats.rejected += 1;
+                        h *= 0.5;
+                    }
+                }
+                Method::Stiff => {
+                    // If the problem relaxed (e.g. small remaining span or
+                    // rates dropped), allow switching back.
+                    let lambda = sys.max_rate(x);
+                    if lambda * (t1 - t) < self.config.stiff_efoldings * 0.1 {
+                        method = Method::NonStiff;
+                        stats.method_switches += 1;
+                        bdf_prev = None;
+                        continue;
+                    }
+                    let ok = self.bdf_step(
+                        sys,
+                        x,
+                        bdf_prev.as_ref().map(|(y, hp, _)| (y.as_slice(), *hp)),
+                        h,
+                        &mut jac,
+                        &mut lu,
+                        &mut newton_rhs,
+                        &mut f_new,
+                        &mut ynew,
+                        &mut stats,
+                    );
+                    if ok {
+                        // Local truncation error from divided differences:
+                        // y'' at the step end feeds the BE estimate
+                        // (h^2 y''/2); with history, y''' feeds BDF2's
+                        // (~2/9 h^3 y''').
+                        sys.rhs(x, &mut f_x);
+                        sys.rhs(&ynew, &mut f_new);
+                        stats.rhs_evals += 2;
+                        let ydd: Vec<f64> =
+                            (0..n).map(|i| (f_new[i] - f_x[i]) / h).collect();
+                        let second_order = bdf_prev.is_some();
+                        let mut err: f64 = 0.0;
+                        for i in 0..n {
+                            let scale =
+                                self.config.atol + self.config.rtol * ynew[i].abs().max(x[i].abs());
+                            let lte = match &bdf_prev {
+                                Some((_, h_prev, ydd_prev)) => {
+                                    let yddd =
+                                        (ydd[i] - ydd_prev[i]) / (0.5 * (h + h_prev));
+                                    (2.0 / 9.0) * h * h * h * yddd.abs()
+                                }
+                                None => 0.5 * h * h * ydd[i].abs(),
+                            };
+                            err = err.max(lte / scale);
+                        }
+                        if err <= 1.0 || h <= span * 1e-12 {
+                            bdf_prev = Some((x.to_vec(), h, ydd));
+                            t += h;
+                            x.copy_from_slice(&ynew);
+                            sys.project(x);
+                            stats.steps += 1;
+                            let grow = if err > 0.0 {
+                                if second_order {
+                                    0.9 * (1.0 / err).powf(1.0 / 3.0)
+                                } else {
+                                    0.9 / err.sqrt()
+                                }
+                            } else {
+                                3.0
+                            };
+                            h *= grow.clamp(0.3, 4.0);
+                        } else {
+                            stats.rejected += 1;
+                            h *= 0.5;
+                        }
+                    } else {
+                        stats.rejected += 1;
+                        h *= 0.25;
+                        bdf_prev = None; // restart with backward Euler
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Method choice for a fresh interval, from the a-priori stiffness
+    /// estimate (LSODA also starts non-stiff; we skip the warm-up when
+    /// the estimate is overwhelming).
+    fn pick_method<S: OdeSystem>(&self, sys: &S, x: &[f64], span: f64) -> Method {
+        if sys.max_rate(x) * span > self.config.stiff_efoldings * 100.0 {
+            Method::Stiff
+        } else {
+            Method::NonStiff
+        }
+    }
+
+    fn initial_step<S: OdeSystem>(&self, sys: &S, x: &[f64], span: f64) -> f64 {
+        let lambda = sys.max_rate(x);
+        if lambda > 0.0 {
+            (1.0 / lambda).min(span)
+        } else {
+            span
+        }
+    }
+
+    /// One Cash–Karp attempt. Returns `Some(normalized_error)` when the
+    /// step is acceptable (error <= 1), `None` to reject.
+    #[allow(clippy::too_many_arguments)]
+    fn rk_step<S: OdeSystem>(
+        &self,
+        sys: &S,
+        x: &[f64],
+        _t: f64,
+        h: f64,
+        k: &mut [Vec<f64>],
+        ytmp: &mut [f64],
+        yerr: &mut [f64],
+        ynew: &mut [f64],
+        stats: &mut SolverStats,
+    ) -> Option<f64> {
+        let n = x.len();
+        let _ = (A2, A3, A4, A5, A6); // autonomous system: stage times unused
+        sys.rhs(x, &mut k[0]);
+        for i in 0..n {
+            ytmp[i] = x[i] + h * B21 * k[0][i];
+        }
+        sys.rhs(ytmp, &mut k[1]);
+        for i in 0..n {
+            ytmp[i] = x[i] + h * (B31 * k[0][i] + B32 * k[1][i]);
+        }
+        sys.rhs(ytmp, &mut k[2]);
+        for i in 0..n {
+            ytmp[i] = x[i] + h * (B41 * k[0][i] + B42 * k[1][i] + B43 * k[2][i]);
+        }
+        sys.rhs(ytmp, &mut k[3]);
+        for i in 0..n {
+            ytmp[i] =
+                x[i] + h * (B51 * k[0][i] + B52 * k[1][i] + B53 * k[2][i] + B54 * k[3][i]);
+        }
+        sys.rhs(ytmp, &mut k[4]);
+        for i in 0..n {
+            ytmp[i] = x[i]
+                + h * (B61 * k[0][i]
+                    + B62 * k[1][i]
+                    + B63 * k[2][i]
+                    + B64 * k[3][i]
+                    + B65 * k[4][i]);
+        }
+        sys.rhs(ytmp, &mut k[5]);
+        stats.rhs_evals += 6;
+
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            ynew[i] = x[i] + h * (C1 * k[0][i] + C3 * k[2][i] + C4 * k[3][i] + C6 * k[5][i]);
+            yerr[i] = h
+                * (DC1 * k[0][i] + DC3 * k[2][i] + DC4 * k[3][i] + DC5 * k[4][i]
+                    + DC6 * k[5][i]);
+            let scale = self.config.atol + self.config.rtol * x[i].abs().max(ynew[i].abs());
+            err = err.max((yerr[i] / scale).abs());
+        }
+        if err <= 1.0 {
+            Some(err)
+        } else {
+            None
+        }
+    }
+
+    /// One implicit BDF step with Newton iteration. With no history the
+    /// step is backward Euler (`y = x + h f(y)`); with the previous
+    /// accepted state `(x_prev, h_prev)` it is variable-step BDF2:
+    ///
+    /// ```text
+    /// y = a0 * x + a1 * x_prev + beta * h * f(y)
+    /// r  = h / h_prev
+    /// a0 = (1+r)^2 / (1+2r),  a1 = -r^2 / (1+2r),  beta = (1+r)/(1+2r)
+    /// ```
+    ///
+    /// Writes the solution into `ynew`; returns `false` when Newton
+    /// fails to converge.
+    #[allow(clippy::too_many_arguments)]
+    fn bdf_step<S: OdeSystem>(
+        &self,
+        sys: &S,
+        x: &[f64],
+        prev: Option<(&[f64], f64)>,
+        h: f64,
+        jac: &mut [f64],
+        lu: &mut LuMatrix,
+        rhs: &mut [f64],
+        f_new: &mut [f64],
+        ynew: &mut [f64],
+        stats: &mut SolverStats,
+    ) -> bool {
+        let n = x.len();
+        // Fixed part of the BDF formula and the f-coefficient.
+        let mut fixed = vec![0.0; n];
+        let beta = match prev {
+            Some((x_prev, h_prev)) if h_prev > 0.0 => {
+                let r = h / h_prev;
+                let denom = 1.0 + 2.0 * r;
+                let a0 = (1.0 + r) * (1.0 + r) / denom;
+                let a1 = -(r * r) / denom;
+                for i in 0..n {
+                    fixed[i] = a0 * x[i] + a1 * x_prev[i];
+                }
+                (1.0 + r) / denom
+            }
+            _ => {
+                fixed.copy_from_slice(x);
+                1.0
+            }
+        };
+        // Newton matrix M = I - beta h J, evaluated at the predictor.
+        ynew.copy_from_slice(x);
+        sys.jacobian(ynew, jac);
+        stats.jac_evals += 1;
+        {
+            let data = lu.data_mut();
+            for i in 0..n {
+                for j in 0..n {
+                    data[i * n + j] = -beta * h * jac[i * n + j];
+                }
+                data[i * n + i] += 1.0;
+            }
+        }
+        if !lu.factorize() {
+            return false;
+        }
+        stats.lu_factorizations += 1;
+
+        for _iter in 0..12 {
+            sys.rhs(ynew, f_new);
+            stats.rhs_evals += 1;
+            // Residual G = y - fixed - beta h f(y); Newton: M dy = -G.
+            let mut norm: f64 = 0.0;
+            for i in 0..n {
+                rhs[i] = -(ynew[i] - fixed[i] - beta * h * f_new[i]);
+                let scale = self.config.atol + self.config.rtol * ynew[i].abs();
+                norm = norm.max((rhs[i] / scale).abs());
+            }
+            if norm < 0.1 {
+                return true;
+            }
+            lu.solve(rhs);
+            for i in 0..n {
+                ynew[i] += rhs[i];
+            }
+        }
+        false
+    }
+}
+
+/// Project tiny negative round-off back into `[0, 1]` and renormalize —
+/// ion fractions are populations, and both the physics and downstream
+/// emissivity code assume a unit simplex.
+fn clamp_fractions(x: &mut [f64]) {
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::equilibrium_fractions;
+
+    fn start_neutral(n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        x[0] = 1.0;
+        x
+    }
+
+    #[test]
+    fn conserves_total_population() {
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        };
+        let mut x = start_neutral(sys.dim());
+        let solver = LsodaSolver::default();
+        solver.integrate(&sys, &mut x, 0.0, 1e6);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn relaxes_to_equilibrium() {
+        let sys = NeiSystem {
+            z: 6,
+            electron_density: 1.0,
+            temperature_k: 2e6,
+        };
+        let mut x = start_neutral(sys.dim());
+        let solver = LsodaSolver::default();
+        // Long enough for many e-foldings of every mode.
+        let stats = solver.integrate(&sys, &mut x, 0.0, 1e13);
+        assert!(!stats.truncated);
+        let eq = equilibrium_fractions(&sys);
+        for i in 0..sys.dim() {
+            assert!(
+                (x[i] - eq[i]).abs() < 1e-3,
+                "stage {i}: {} vs equilibrium {}",
+                x[i],
+                eq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn stiff_interval_uses_implicit_method() {
+        // Dense, hot plasma over a long span: hugely stiff.
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1e10,
+            temperature_k: 1e7,
+        };
+        assert!(sys.stiffness_estimate(1e6) > 1e8);
+        let mut x = start_neutral(sys.dim());
+        let solver = LsodaSolver::default();
+        let stats = solver.integrate(&sys, &mut x, 0.0, 1e6);
+        // The implicit path must have been used: LU factorizations happen
+        // only there — and the step count must be sane (an explicit
+        // method at its stability limit would need ~4e9 steps; the
+        // first-order implicit method with error control needs ~4e4).
+        assert!(stats.lu_factorizations > 0, "{stats:?}");
+        assert!(stats.steps < 100_000, "{stats:?}");
+        assert!(!stats.truncated);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonstiff_interval_uses_explicit_method() {
+        let sys = NeiSystem {
+            z: 2,
+            electron_density: 1e-4,
+            temperature_k: 1e5,
+        };
+        let mut x = start_neutral(sys.dim());
+        let solver = LsodaSolver::default();
+        let stats = solver.integrate(&sys, &mut x, 0.0, 1.0);
+        assert_eq!(stats.lu_factorizations, 0, "{stats:?}");
+        assert!(stats.rhs_evals > 0);
+    }
+
+    #[test]
+    fn stiff_and_nonstiff_agree_where_both_work() {
+        // Moderate stiffness: force each method and compare endpoints.
+        let sys = NeiSystem {
+            z: 4,
+            electron_density: 100.0,
+            temperature_k: 3e6,
+        };
+        let span = 1e4;
+        let solver = LsodaSolver::new(1e-9, 1e-13);
+
+        let mut x_auto = start_neutral(sys.dim());
+        solver.integrate(&sys, &mut x_auto, 0.0, span);
+
+        // Explicit-only reference: tiny fixed steps of RK (use the solver
+        // with a huge stiffness threshold so it never switches).
+        let mut explicit_solver = LsodaSolver::new(1e-9, 1e-13);
+        explicit_solver.config.stiff_efoldings = f64::MAX;
+        let mut x_exp = start_neutral(sys.dim());
+        let stats = explicit_solver.integrate(&sys, &mut x_exp, 0.0, span);
+        assert!(!stats.truncated);
+
+        for i in 0..sys.dim() {
+            assert!(
+                (x_auto[i] - x_exp[i]).abs() < 1e-4,
+                "stage {i}: {} vs {}",
+                x_auto[i],
+                x_exp[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_span_is_a_noop() {
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        };
+        let mut x = start_neutral(sys.dim());
+        let before = x.clone();
+        let stats = LsodaSolver::default().integrate(&sys, &mut x, 5.0, 5.0);
+        assert_eq!(x, before);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn bdf2_needs_far_fewer_steps_than_first_order_alone() {
+        // The stiff test problem at a fairly tight tolerance: with BDF2
+        // history the step count must stay modest. (Before the BDF2
+        // upgrade this took ~40k backward-Euler steps.)
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1e10,
+            temperature_k: 1e7,
+        };
+        let mut x = vec![0.0; sys.dim()];
+        x[0] = 1.0;
+        let stats = LsodaSolver::new(1e-8, 1e-12).integrate(&sys, &mut x, 0.0, 1e6);
+        assert!(!stats.truncated, "{stats:?}");
+        assert!(stats.steps < 20_000, "{stats:?}");
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let sys = NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        };
+        let mut x = start_neutral(sys.dim());
+        let stats = LsodaSolver::default().integrate(&sys, &mut x, 0.0, 1e8);
+        assert!(stats.steps > 0);
+        assert!(stats.rhs_evals >= 6 * stats.steps);
+    }
+}

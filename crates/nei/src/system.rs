@@ -1,0 +1,209 @@
+//! The NEI rate equations (paper Eq. 4).
+
+use atomdb::{ionization_rate, recombination_rate, IonStage};
+
+/// The ionization-balance ODE system of one element in a plasma with a
+/// (possibly time-dependent) temperature and electron density history.
+///
+/// The state vector holds the ion *fractions* `x_0..=x_Z` (they sum to
+/// one; the absolute densities factor out of Eq. 4). Rate coefficients
+/// are evaluated on demand at the current temperature — the paper notes
+/// they "need to be computed on real time", and that evaluation cost is
+/// part of what the GPU offload buys back.
+#[derive(Debug, Clone, Copy)]
+pub struct NeiSystem {
+    /// Atomic number of the element.
+    pub z: u8,
+    /// Electron number density `Ne` in cm^-3.
+    pub electron_density: f64,
+    /// Plasma temperature in kelvin (constant over a solve interval;
+    /// drivers re-set it per timestep for time-dependent histories).
+    pub temperature_k: f64,
+}
+
+impl NeiSystem {
+    /// Dimension of the state vector (`Z + 1` ionization stages).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        usize::from(self.z) + 1
+    }
+
+    /// Ionization rate out of stage `i` at the current temperature.
+    #[must_use]
+    pub fn s(&self, i: usize) -> f64 {
+        IonStage::new(self.z, i as u8)
+            .map_or(0.0, |st| ionization_rate(st, self.temperature_k))
+    }
+
+    /// Recombination rate out of stage `i` (to `i - 1`).
+    #[must_use]
+    pub fn alpha(&self, i: usize) -> f64 {
+        IonStage::new(self.z, i as u8)
+            .map_or(0.0, |st| recombination_rate(st, self.temperature_k))
+    }
+
+    /// Evaluate the right-hand side `dx/dt` into `out`.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from [`NeiSystem::dim`].
+    pub fn rhs(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "state dimension");
+        assert_eq!(out.len(), n, "output dimension");
+        let ne = self.electron_density;
+        for i in 0..n {
+            let gain_from_below = if i > 0 { x[i - 1] * self.s(i - 1) } else { 0.0 };
+            let gain_from_above = if i + 1 < n {
+                x[i + 1] * self.alpha(i + 1)
+            } else {
+                0.0
+            };
+            let loss = x[i] * (self.s(i) + self.alpha(i));
+            out[i] = ne * (gain_from_below + gain_from_above - loss);
+        }
+    }
+
+    /// Dense Jacobian `J[i][j] = d(dx_i/dt)/dx_j` (tridiagonal) written
+    /// row-major into `jac` (`dim*dim` entries).
+    ///
+    /// # Panics
+    /// Panics if `jac.len() != dim * dim` or `x.len() != dim`.
+    pub fn jacobian(&self, x: &[f64], jac: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "state dimension");
+        assert_eq!(jac.len(), n * n, "jacobian dimension");
+        let ne = self.electron_density;
+        jac.fill(0.0);
+        for i in 0..n {
+            if i > 0 {
+                jac[i * n + (i - 1)] = ne * self.s(i - 1);
+            }
+            jac[i * n + i] = -ne * (self.s(i) + self.alpha(i));
+            if i + 1 < n {
+                jac[i * n + (i + 1)] = ne * self.alpha(i + 1);
+            }
+        }
+    }
+
+    /// Stiffness ratio estimate: `max|J_ii| * interval` — large values
+    /// mean the fastest relaxation is much quicker than the solve span,
+    /// i.e. the system is stiff on that span.
+    #[must_use]
+    pub fn stiffness_estimate(&self, interval_s: f64) -> f64 {
+        let n = self.dim();
+        let mut max_rate: f64 = 0.0;
+        for i in 0..n {
+            max_rate = max_rate.max(self.electron_density * (self.s(i) + self.alpha(i)));
+        }
+        max_rate * interval_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oxygen() -> NeiSystem {
+        NeiSystem {
+            z: 8,
+            electron_density: 1.0,
+            temperature_k: 1e7,
+        }
+    }
+
+    #[test]
+    fn rhs_conserves_total_population() {
+        let sys = oxygen();
+        let n = sys.dim();
+        let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64 / 45.0).collect();
+        let mut dx = vec![0.0; n];
+        sys.rhs(&x, &mut dx);
+        let sum: f64 = dx.iter().sum();
+        assert!(sum.abs() < 1e-18, "sum of dx/dt = {sum}");
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let sys = oxygen();
+        let n = sys.dim();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let mut jac = vec![0.0; n * n];
+        sys.jacobian(&x, &mut jac);
+        let eps = 1e-3; // RHS is linear in x: larger eps only reduces cancellation
+        let mut base = vec![0.0; n];
+        sys.rhs(&x, &mut base);
+        for j in 0..n {
+            let mut xp = x.clone();
+            xp[j] += eps;
+            let mut fp = vec![0.0; n];
+            sys.rhs(&xp, &mut fp);
+            for i in 0..n {
+                let fd = (fp[i] - base[i]) / eps;
+                let an = jac[i * n + j];
+                let scale = an.abs().max(fd.abs()).max(1e-12);
+                assert!(
+                    (fd - an).abs() / scale < 1e-6,
+                    "J[{i}][{j}]: fd {fd} vs {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_is_tridiagonal() {
+        let sys = oxygen();
+        let n = sys.dim();
+        let x = vec![1.0 / n as f64; n];
+        let mut jac = vec![0.0; n * n];
+        sys.jacobian(&x, &mut jac);
+        for i in 0..n {
+            for j in 0..n {
+                if i.abs_diff(j) > 1 {
+                    assert_eq!(jac[i * n + j], 0.0, "J[{i}][{j}] off tridiagonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_plasma_drives_ionization() {
+        // Starting neutral at high temperature, the neutral fraction must
+        // decrease.
+        let sys = NeiSystem {
+            temperature_k: 1e8,
+            ..oxygen()
+        };
+        let mut x = vec![0.0; sys.dim()];
+        x[0] = 1.0;
+        let mut dx = vec![0.0; sys.dim()];
+        sys.rhs(&x, &mut dx);
+        assert!(dx[0] < 0.0);
+        assert!(dx[1] > 0.0);
+    }
+
+    #[test]
+    fn cold_plasma_drives_recombination() {
+        let sys = NeiSystem {
+            temperature_k: 1e4,
+            ..oxygen()
+        };
+        let mut x = vec![0.0; sys.dim()];
+        let last = sys.dim() - 1;
+        x[last] = 1.0;
+        let mut dx = vec![0.0; sys.dim()];
+        sys.rhs(&x, &mut dx);
+        assert!(dx[last] < 0.0);
+        assert!(dx[last - 1] > 0.0);
+    }
+
+    #[test]
+    fn stiffness_scales_with_density_and_span() {
+        let sys = oxygen();
+        let dense = NeiSystem {
+            electron_density: 1e6,
+            ..sys
+        };
+        assert!(dense.stiffness_estimate(1.0) > sys.stiffness_estimate(1.0));
+        assert!(sys.stiffness_estimate(100.0) > sys.stiffness_estimate(1.0));
+    }
+}

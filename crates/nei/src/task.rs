@@ -1,0 +1,221 @@
+//! NEI task packing.
+//!
+//! Paper §IV-D: "every ten time-dependent calculations are packed into
+//! one task for reducing the frequency of data copy between host and
+//! device". A [`NeiTask`] is therefore a batch of consecutive timesteps
+//! of one grid point's ODE groups; [`NeiWorkload`] describes the full
+//! experiment (10⁶ points × 1000 timesteps in the paper) and hands out
+//! tasks.
+
+use crate::solver::{LsodaSolver, SolverStats};
+use crate::system::NeiSystem;
+
+/// The elements whose ODE groups one grid point evolves — "about a
+/// dozen of ODE groups" (paper §IV-D): the astrophysically abundant
+/// dozen.
+pub const NEI_ELEMENTS: [u8; 12] = [1, 2, 6, 7, 8, 10, 12, 14, 16, 18, 20, 26];
+
+/// One schedulable NEI task: `steps` consecutive timesteps of every ODE
+/// group of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeiTask {
+    /// Index of the grid point this task belongs to.
+    pub point: usize,
+    /// First timestep covered (inclusive).
+    pub first_step: usize,
+    /// Number of consecutive timesteps packed into the task.
+    pub steps: usize,
+    /// Duration of one timestep in seconds.
+    pub dt_s: f64,
+    /// Plasma temperature at this point, kelvin.
+    pub temperature_k: f64,
+    /// Electron density at this point, cm^-3.
+    pub electron_density: f64,
+}
+
+impl NeiTask {
+    /// Execute the task for real: advance every element's ion-fraction
+    /// vector through the packed timesteps. `state` holds one vector per
+    /// element of [`NEI_ELEMENTS`] and is advanced in place. Returns
+    /// aggregate solver statistics (the task's true cost).
+    ///
+    /// # Panics
+    /// Panics if `state` does not have one correctly sized vector per
+    /// element.
+    pub fn execute(&self, solver: &LsodaSolver, state: &mut [Vec<f64>]) -> SolverStats {
+        assert_eq!(state.len(), NEI_ELEMENTS.len(), "one state per element");
+        let mut total = SolverStats::default();
+        for (z, x) in NEI_ELEMENTS.iter().zip(state.iter_mut()) {
+            let sys = NeiSystem {
+                z: *z,
+                electron_density: self.electron_density,
+                temperature_k: self.temperature_k,
+            };
+            assert_eq!(x.len(), sys.dim(), "state dim for Z={z}");
+            let t0 = self.first_step as f64 * self.dt_s;
+            let t1 = t0 + self.steps as f64 * self.dt_s;
+            let stats = solver.integrate(&sys, x, t0, t1);
+            total.steps += stats.steps;
+            total.rejected += stats.rejected;
+            total.rhs_evals += stats.rhs_evals;
+            total.jac_evals += stats.jac_evals;
+            total.lu_factorizations += stats.lu_factorizations;
+            total.method_switches += stats.method_switches;
+            total.truncated |= stats.truncated;
+        }
+        total
+    }
+
+    /// Fresh per-element state vectors, all population neutral — the
+    /// standard NEI initial condition for a suddenly heated plasma.
+    #[must_use]
+    pub fn neutral_state() -> Vec<Vec<f64>> {
+        NEI_ELEMENTS
+            .iter()
+            .map(|&z| {
+                let mut x = vec![0.0; usize::from(z) + 1];
+                x[0] = 1.0;
+                x
+            })
+            .collect()
+    }
+}
+
+/// The full NEI experiment shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeiWorkload {
+    /// Number of grid points (paper: 10⁶).
+    pub points: usize,
+    /// Timesteps evolved per point (paper: 1000).
+    pub timesteps: usize,
+    /// Timesteps packed per task (paper: 10).
+    pub steps_per_task: usize,
+    /// Physical timestep, seconds.
+    pub dt_s: f64,
+}
+
+impl NeiWorkload {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> NeiWorkload {
+        NeiWorkload {
+            points: 1_000_000,
+            timesteps: 1000,
+            steps_per_task: 10,
+            dt_s: 1e4,
+        }
+    }
+
+    /// Tasks per point (ceiling division: a final short task covers the
+    /// remainder).
+    #[must_use]
+    pub fn tasks_per_point(&self) -> usize {
+        self.timesteps.div_ceil(self.steps_per_task.max(1))
+    }
+
+    /// Total task count.
+    #[must_use]
+    pub fn total_tasks(&self) -> usize {
+        self.points * self.tasks_per_point()
+    }
+
+    /// Materialize the `k`-th task of `point` (plasma state supplied by
+    /// the caller's parameter space).
+    ///
+    /// # Panics
+    /// Panics if `k >= tasks_per_point()` or `point >= points`.
+    #[must_use]
+    pub fn task(
+        &self,
+        point: usize,
+        k: usize,
+        temperature_k: f64,
+        electron_density: f64,
+    ) -> NeiTask {
+        assert!(point < self.points, "point out of range");
+        assert!(k < self.tasks_per_point(), "task index out of range");
+        let first_step = k * self.steps_per_task;
+        let steps = self.steps_per_task.min(self.timesteps - first_step);
+        NeiTask {
+            point,
+            first_step,
+            steps,
+            dt_s: self.dt_s,
+            temperature_k,
+            electron_density,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_dimensions() {
+        let w = NeiWorkload::paper();
+        assert_eq!(w.tasks_per_point(), 100);
+        assert_eq!(w.total_tasks(), 100_000_000);
+    }
+
+    #[test]
+    fn remainder_timesteps_form_a_short_task() {
+        let w = NeiWorkload {
+            points: 1,
+            timesteps: 25,
+            steps_per_task: 10,
+            dt_s: 1.0,
+        };
+        assert_eq!(w.tasks_per_point(), 3);
+        let last = w.task(0, 2, 1e7, 1.0);
+        assert_eq!(last.first_step, 20);
+        assert_eq!(last.steps, 5);
+    }
+
+    #[test]
+    fn executing_a_task_advances_all_elements() {
+        let w = NeiWorkload {
+            points: 1,
+            timesteps: 10,
+            steps_per_task: 10,
+            dt_s: 1e4,
+        };
+        let task = w.task(0, 0, 1e7, 1.0);
+        let mut state = NeiTask::neutral_state();
+        let solver = LsodaSolver::default();
+        let stats = task.execute(&solver, &mut state);
+        assert!(stats.steps > 0);
+        // Every element still has a unit-sum distribution.
+        for (z, x) in NEI_ELEMENTS.iter().zip(&state) {
+            let sum: f64 = x.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-8, "Z={z}: sum {sum}");
+        }
+        // Hydrogen at 1e7 K for 1e5 s with Ne=1 ionizes measurably.
+        assert!(state[0][0] < 1.0);
+    }
+
+    #[test]
+    fn consecutive_tasks_tile_the_timeline() {
+        let w = NeiWorkload {
+            points: 2,
+            timesteps: 30,
+            steps_per_task: 10,
+            dt_s: 2.0,
+        };
+        let mut covered = 0;
+        for k in 0..w.tasks_per_point() {
+            let t = w.task(1, k, 1e6, 1.0);
+            assert_eq!(t.first_step, covered);
+            covered += t.steps;
+        }
+        assert_eq!(covered, 30);
+    }
+
+    #[test]
+    fn dozen_ode_groups_per_point() {
+        assert_eq!(NEI_ELEMENTS.len(), 12);
+        let state = NeiTask::neutral_state();
+        assert_eq!(state.len(), 12);
+        assert_eq!(state[11].len(), 27); // iron: 27 stages
+    }
+}

@@ -1,0 +1,127 @@
+//! Long-horizon and cross-API consistency tests for the NEI substrate.
+
+use nei::{
+    equilibrium_fractions, LsodaSolver, NeiSystem, NeiTask, NeiWorkload, PlasmaHistory,
+};
+
+#[test]
+fn all_twelve_elements_relax_to_their_equilibria() {
+    let solver = LsodaSolver::default();
+    for &z in &nei::task::NEI_ELEMENTS {
+        let sys = NeiSystem {
+            z,
+            electron_density: 1.0,
+            temperature_k: 3e6,
+        };
+        let mut x = vec![0.0; sys.dim()];
+        x[0] = 1.0;
+        let stats = solver.integrate(&sys, &mut x, 0.0, 1e14);
+        assert!(!stats.truncated, "Z={z} truncated: {stats:?}");
+        let eq = equilibrium_fractions(&sys);
+        for (i, (a, b)) in x.iter().zip(&eq).enumerate() {
+            assert!(
+                (a - b).abs() < 5e-3,
+                "Z={z} stage {i}: {a} vs equilibrium {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn task_packing_is_equivalent_to_one_long_solve() {
+    // 10 packed timesteps must land on the same state as a single solve
+    // over the same span (the solver is restartable).
+    let workload = NeiWorkload {
+        points: 1,
+        timesteps: 50,
+        steps_per_task: 10,
+        dt_s: 1e5,
+    };
+    let solver = LsodaSolver::new(1e-9, 1e-13);
+
+    let mut packed = NeiTask::neutral_state();
+    for k in 0..workload.tasks_per_point() {
+        let task = workload.task(0, k, 8e6, 1.0);
+        task.execute(&solver, &mut packed);
+    }
+
+    let mut single = NeiTask::neutral_state();
+    let span = workload.timesteps as f64 * workload.dt_s;
+    for (z, x) in nei::task::NEI_ELEMENTS.iter().zip(single.iter_mut()) {
+        let sys = NeiSystem {
+            z: *z,
+            electron_density: 1.0,
+            temperature_k: 8e6,
+        };
+        solver.integrate(&sys, x, 0.0, span);
+    }
+
+    for (z, (a, b)) in nei::task::NEI_ELEMENTS.iter().zip(packed.iter().zip(&single)) {
+        for (i, (xa, xb)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (xa - xb).abs() < 1e-5,
+                "Z={z} stage {i}: packed {xa} vs single {xb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn history_with_cooling_recombines() {
+    // Heat, then cool: the final state must be more recombined than the
+    // hot equilibrium.
+    let solver = LsodaSolver::default();
+    let history = PlasmaHistory::new(vec![
+        nei::PlasmaSample { time_s: 0.0, temperature_k: 2e7, electron_density: 1.0 },
+        nei::PlasmaSample { time_s: 1e12, temperature_k: 2e7, electron_density: 1.0 },
+        nei::PlasmaSample { time_s: 1.01e12, temperature_k: 1e5, electron_density: 100.0 },
+    ]);
+    let mut x = vec![0.0; 9];
+    x[0] = 1.0;
+    // Through heating and deep into the cold phase.
+    history.integrate(&solver, 8, &mut x, 0.0, 1e14, 4);
+    let hot_eq = equilibrium_fractions(&NeiSystem {
+        z: 8,
+        electron_density: 1.0,
+        temperature_k: 2e7,
+    });
+    let mean = |v: &[f64]| -> f64 { v.iter().enumerate().map(|(q, f)| q as f64 * f).sum() };
+    assert!(
+        mean(&x) < mean(&hot_eq),
+        "cooled plasma should be less ionized: {} vs {}",
+        mean(&x),
+        mean(&hot_eq)
+    );
+}
+
+#[test]
+fn tightening_tolerances_converges_to_the_reference() {
+    let sys = NeiSystem {
+        z: 6,
+        electron_density: 1.0,
+        temperature_k: 2e6,
+    };
+    let solve = |rtol: f64, atol: f64| {
+        let mut x = vec![0.0; sys.dim()];
+        x[0] = 1.0;
+        let stats = LsodaSolver::new(rtol, atol).integrate(&sys, &mut x, 0.0, 1e10);
+        // A tolerance the step budget cannot honor would silently stop
+        // early; the comparison is only meaningful on completed solves.
+        assert!(!stats.truncated, "rtol={rtol} truncated: {stats:?}");
+        x
+    };
+    let reference = solve(1e-9, 1e-13);
+    let medium = solve(1e-6, 1e-10);
+    let loose = solve(1e-3, 1e-7);
+    let err = |x: &[f64]| -> f64 {
+        x.iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    };
+    // Global error shrinks as tolerances tighten (a first-order method
+    // accumulates error at loose tolerance; the ordering is the
+    // contract).
+    assert!(err(&medium) < err(&loose), "medium {} vs loose {}", err(&medium), err(&loose));
+    assert!(err(&medium) < 1e-4, "medium error {}", err(&medium));
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors reported by the adaptive quadrature routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuadError {
+    /// The integration interval is degenerate or reversed in a way the
+    /// routine cannot normalize (e.g. NaN endpoints).
+    BadInterval { lo: f64, hi: f64 },
+    /// Requested tolerances are unsatisfiable (both effectively zero or
+    /// below machine precision for the magnitude of the integral).
+    BadTolerance { errabs: f64, errrel: f64 },
+    /// The subdivision limit was reached before the tolerance was met.
+    /// The best estimate obtained so far is carried in the error so the
+    /// caller can still use it (QUADPACK convention).
+    MaxSubdivisions {
+        best: crate::Estimate,
+        limit: usize,
+    },
+    /// Round-off error was detected: further subdivision cannot improve
+    /// the estimate. Carries the best estimate so far.
+    RoundoffDetected { best: crate::Estimate },
+    /// The integrand returned a non-finite value at the given abscissa.
+    NonFiniteIntegrand { at: f64 },
+}
+
+impl fmt::Display for QuadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuadError::BadInterval { lo, hi } => {
+                write!(f, "bad integration interval [{lo}, {hi}]")
+            }
+            QuadError::BadTolerance { errabs, errrel } => {
+                write!(f, "unsatisfiable tolerances errabs={errabs}, errrel={errrel}")
+            }
+            QuadError::MaxSubdivisions { limit, best } => write!(
+                f,
+                "subdivision limit {limit} reached (best value {} +/- {})",
+                best.value, best.abs_error
+            ),
+            QuadError::RoundoffDetected { best } => write!(
+                f,
+                "round-off detected (best value {} +/- {})",
+                best.value, best.abs_error
+            ),
+            QuadError::NonFiniteIntegrand { at } => {
+                write!(f, "integrand returned a non-finite value at x={at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuadError {}
+
+/// Convenience alias for quadrature results.
+pub type QuadResult<T> = Result<T, QuadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuadError::BadInterval { lo: 1.0, hi: 0.0 };
+        assert!(e.to_string().contains("bad integration interval"));
+        let e = QuadError::NonFiniteIntegrand { at: 2.5 };
+        assert!(e.to_string().contains("x=2.5"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Gauss–Legendre quadrature with computed nodes.
+//!
+//! Nodes and weights are found by Newton iteration on the Legendre
+//! polynomial `P_n`, seeded with the Chebyshev-like asymptotic guess.
+//! This reproduces tabulated values to machine precision for all orders
+//! used here, avoiding any hand-copied constant tables.
+
+use crate::Estimate;
+
+/// A Gauss–Legendre rule of fixed order `n` on the reference interval
+/// `[-1, 1]`, mappable to any finite `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussLegendre {
+    /// Positive-half nodes (the rule is symmetric); `nodes[i]` in `(0, 1]`
+    /// plus possibly 0 for odd orders.
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+    order: usize,
+}
+
+impl GaussLegendre {
+    /// Construct the `n`-point rule. `n` is clamped to `[1, 256]`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let n = n.clamp(1, 256);
+        let m = n.div_ceil(2);
+        let mut nodes = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        for i in 0..m {
+            // Initial guess (Abramowitz & Stegun 25.4.30 style).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            // Newton iteration on P_n(x) = 0.
+            for _ in 0..100 {
+                let (p, dp) = legendre_and_derivative(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let (_, dp) = legendre_and_derivative(n, x);
+            nodes.push(x);
+            weights.push(2.0 / ((1.0 - x * x) * dp * dp));
+        }
+        GaussLegendre {
+            nodes,
+            weights,
+            order: n,
+        }
+    }
+
+    /// The order (number of points) of the rule.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Integrate `f` over `[lo, hi]` with this rule.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F, lo: f64, hi: f64) -> Estimate {
+        let c = 0.5 * (hi + lo);
+        let h = 0.5 * (hi - lo);
+        let mut sum = 0.0;
+        let mut evals = 0u64;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            if x.abs() < 1e-14 && self.order % 2 == 1 {
+                // The central node of an odd-order rule: count once.
+                sum += w * f(c);
+                evals += 1;
+            } else {
+                sum += w * (f(c + h * x) + f(c - h * x));
+                evals += 2;
+            }
+        }
+        let value = sum * h;
+        Estimate {
+            value,
+            abs_error: f64::EPSILON * value.abs() * self.order as f64,
+            evaluations: evals,
+        }
+    }
+}
+
+/// Evaluate `(P_n(x), P_n'(x))` via the standard three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0; // P_0
+    let mut p1 = x; // P_1
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+    let dp = (n as f64) * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33, 64] {
+            let rule = GaussLegendre::new(n);
+            let mut total = 0.0;
+            for (i, &w) in rule.weights.iter().enumerate() {
+                let x = rule.nodes[i];
+                if x.abs() < 1e-14 && n % 2 == 1 {
+                    total += w;
+                } else {
+                    total += 2.0 * w;
+                }
+            }
+            assert!((total - 2.0).abs() < 1e-12, "order {n}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn n_point_rule_exact_to_degree_2n_minus_1() {
+        for n in [2usize, 4, 7, 12] {
+            let rule = GaussLegendre::new(n);
+            let deg = 2 * n - 1;
+            // Integrate x^deg over [0, 1]; exact value 1/(deg+1).
+            let est = rule.integrate(|x| x.powi(deg as i32), 0.0, 1.0);
+            let exact = 1.0 / (deg as f64 + 1.0);
+            assert!(
+                (est.value - exact).abs() < 1e-12,
+                "n={n}: {} vs {exact}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn two_point_nodes_match_known_value() {
+        // x = 1/sqrt(3) for the 2-point rule.
+        let rule = GaussLegendre::new(2);
+        assert!((rule.nodes[0] - 1.0 / 3.0f64.sqrt()).abs() < 1e-14);
+        assert!((rule.weights[0] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn converges_on_transcendental() {
+        let exact = 1.0 - (-2.0f64).exp();
+        let r8 = GaussLegendre::new(8).integrate(|x| (-x).exp(), 0.0, 2.0);
+        assert!((r8.value - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_order_has_central_node() {
+        let rule = GaussLegendre::new(5);
+        assert!(rule.nodes.iter().any(|x| x.abs() < 1e-14));
+        let est = rule.integrate(|x| x.powi(9), -1.0, 1.0);
+        assert!(est.value.abs() < 1e-13); // odd function
+    }
+
+    #[test]
+    fn evaluation_count_equals_order() {
+        for n in [2usize, 5, 10, 21] {
+            let mut calls = 0u64;
+            let est = GaussLegendre::new(n).integrate(
+                |x| {
+                    calls += 1;
+                    x
+                },
+                0.0,
+                1.0,
+            );
+            assert_eq!(calls, n as u64);
+            assert_eq!(est.evaluations, n as u64);
+        }
+    }
+}

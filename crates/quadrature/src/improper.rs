@@ -1,0 +1,186 @@
+//! Improper (semi-infinite) integrals and recursive adaptive Simpson.
+//!
+//! QUADPACK pairs `QAGS` with `QAGI` for infinite ranges; the RRC
+//! physics occasionally wants `[E0, ∞)` integrals (total recombination
+//! power, Maxwellian normalizations), so we provide the same
+//! transformation: `x = a + t/(1-t)` maps `[a, ∞)` onto `[0, 1)` with
+//! Jacobian `1/(1-t)^2`, after which the finite-interval machinery
+//! applies unchanged.
+
+use crate::adaptive::{qags_with, AdaptiveConfig, QagsWorkspace};
+use crate::{Estimate, QuadResult};
+
+/// Integrate `f` over `[a, +inf)` to the given tolerances, via the
+/// `t/(1-t)` compactification and QAGS on the transformed integrand.
+///
+/// # Errors
+/// Propagates the underlying QAGS failure modes (bad tolerance,
+/// subdivision limit, non-finite integrand).
+pub fn qagi<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    errabs: f64,
+    errrel: f64,
+) -> QuadResult<Estimate> {
+    let mut ws = QagsWorkspace::new();
+    let cfg = AdaptiveConfig {
+        errabs,
+        errrel,
+        ..AdaptiveConfig::default()
+    };
+    // t = 1 is the image of x = +inf; stop a hair short of it. The
+    // integrand must decay for the integral to exist; the Jacobian
+    // blow-up at t -> 1 is then tamed by that decay.
+    qags_with(
+        &mut ws,
+        cfg,
+        |t| {
+            let one_minus = 1.0 - t;
+            let x = a + t / one_minus;
+            f(x) / (one_minus * one_minus)
+        },
+        0.0,
+        1.0 - 1e-14,
+    )
+}
+
+/// Recursive adaptive Simpson with Richardson acceptance: the textbook
+/// alternative to the global heap strategy — it subdivides locally and
+/// accepts a panel when `|S(left)+S(right) - S(whole)| <= 15 tol`.
+/// Provided as an independent cross-check of [`crate::adaptive::qags`]
+/// (two adaptive codes agreeing is worth more than one).
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Estimate {
+    fn simpson3(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+        h / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<F: FnMut(f64) -> f64>(
+        f: &mut F,
+        lo: f64,
+        hi: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: u32,
+        evals: &mut u64,
+    ) -> (f64, f64) {
+        let mid = 0.5 * (lo + hi);
+        let lm = 0.5 * (lo + mid);
+        let rm = 0.5 * (mid + hi);
+        let flm = f(lm);
+        let frm = f(rm);
+        *evals += 2;
+        let left = simpson3(fa, flm, fm, mid - lo);
+        let right = simpson3(fm, frm, fb, hi - mid);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            // Richardson: the refined sum plus the extrapolated error.
+            (left + right + delta / 15.0, delta.abs() / 15.0)
+        } else {
+            let (lv, le) = recurse(f, lo, mid, fa, flm, fm, left, tol * 0.5, depth - 1, evals);
+            let (rv, re) = recurse(f, mid, hi, fm, frm, fb, right, tol * 0.5, depth - 1, evals);
+            (lv + rv, le + re)
+        }
+    }
+
+    if lo == hi {
+        return Estimate::ZERO;
+    }
+    let (a, b, sign) = if lo < hi { (lo, hi, 1.0) } else { (hi, lo, -1.0) };
+    let mut evals = 3u64;
+    let fa = f(a);
+    let mid = 0.5 * (a + b);
+    let fm = f(mid);
+    let fb = f(b);
+    let whole = simpson3(fa, fm, fb, b - a);
+    let (value, err) =
+        recurse(&mut f, a, b, fa, fm, fb, whole, tol.max(1e-300), 48, &mut evals);
+    Estimate {
+        value: sign * value,
+        abs_error: err.max(f64::EPSILON * value.abs()),
+        evaluations: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qagi_integrates_exponential_tail() {
+        // integral over [0, inf) of e^-x = 1.
+        let est = qagi(|x| (-x).exp(), 0.0, 1e-12, 1e-10).unwrap();
+        assert!((est.value - 1.0).abs() < 1e-8, "{}", est.value);
+    }
+
+    #[test]
+    fn qagi_gaussian_half_line() {
+        // integral over [0, inf) of e^{-x^2} = sqrt(pi)/2.
+        let est = qagi(|x| (-x * x).exp(), 0.0, 1e-12, 1e-10).unwrap();
+        let exact = std::f64::consts::PI.sqrt() / 2.0;
+        assert!((est.value - exact).abs() < 1e-8, "{}", est.value);
+    }
+
+    #[test]
+    fn qagi_respects_the_lower_bound() {
+        // integral over [2, inf) of e^-x = e^-2.
+        let est = qagi(|x| (-x).exp(), 2.0, 1e-13, 1e-11).unwrap();
+        assert!((est.value - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qagi_matches_maxwellian_normalization() {
+        // The RRC prefactor's Maxwellian: integral over [0,inf) of
+        // sqrt(E) e^{-E/kT} dE = sqrt(pi)/2 (kT)^{3/2}.
+        let kt = 861.7;
+        let est = qagi(|e| e.sqrt() * (-e / kt).exp(), 0.0, 1e-10, 1e-10).unwrap();
+        let exact = std::f64::consts::PI.sqrt() / 2.0 * kt.powf(1.5);
+        assert!((est.value - exact).abs() / exact < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_simpson_matches_qags() {
+        let f = |x: f64| (3.0 * x).sin() * (-0.5 * x).exp() + 2.0;
+        let a = adaptive_simpson(f, 0.0, 5.0, 1e-11);
+        let q = crate::adaptive::qags(f, 0.0, 5.0, 1e-12, 1e-12).unwrap();
+        assert!((a.value - q.value).abs() < 1e-8, "{} vs {}", a.value, q.value);
+    }
+
+    #[test]
+    fn adaptive_simpson_concentrates_work_at_features() {
+        // A narrow bump: adaptive evaluation count must be far below a
+        // uniform grid achieving the same accuracy.
+        let bump = |x: f64| 1.0 / (1e-4 + (x - 0.3) * (x - 0.3));
+        let est = adaptive_simpson(bump, 0.0, 1.0, 1e-9);
+        let exact = ((0.7f64 / 1e-2).atan() + (0.3f64 / 1e-2).atan()) / 1e-2;
+        assert!(
+            (est.value - exact).abs() / exact < 1e-6,
+            "{} vs {exact}",
+            est.value
+        );
+        assert!(est.evaluations < 100_000, "{} evals", est.evaluations);
+    }
+
+    #[test]
+    fn adaptive_simpson_handles_reversed_and_empty_intervals() {
+        let fwd = adaptive_simpson(|x| x * x, 0.0, 2.0, 1e-12);
+        let rev = adaptive_simpson(|x| x * x, 2.0, 0.0, 1e-12);
+        assert!((fwd.value + rev.value).abs() < 1e-12);
+        assert_eq!(adaptive_simpson(|x| x, 1.0, 1.0, 1e-12).value, 0.0);
+    }
+
+    #[test]
+    fn error_estimates_are_honest() {
+        let f = |x: f64| (10.0 * x).cos();
+        let est = adaptive_simpson(f, 0.0, 1.0, 1e-10);
+        let exact = (10.0f64).sin() / 10.0;
+        assert!((est.value - exact).abs() <= est.abs_error.max(1e-9) * 100.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Romberg integration (Richardson-extrapolated trapezoid rule).
+//!
+//! The paper's higher-accuracy GPU path (§IV-B, Eq. 3):
+//!
+//! ```text
+//! T_m^(k) = 4^m/(4^m-1) * T_{m-1}^(k+1)  -  1/(4^m-1) * T_{m-1}^(k)
+//! ```
+//!
+//! where `k` is "the times of dichotomy". The computational cost of a
+//! single integral grows as `2^k` integrand evaluations, which is exactly
+//! the knob the paper sweeps in Fig. 6 / Table I (k = 7, 9, 11, 13).
+
+use crate::Estimate;
+
+/// Romberg integration of `f` over `[lo, hi]` with `k` dichotomy levels.
+///
+/// Level 0 is the plain trapezoid rule on the whole interval; each further
+/// level halves the step (doubling the evaluation count) and extends the
+/// Richardson tableau one column. The returned error estimate is the
+/// difference between the last two diagonal entries.
+///
+/// `k` is clamped to `[1, 30]`: below 1 there is no extrapolation to do,
+/// above 30 the evaluation count (`2^k + 1`) would overflow any realistic
+/// budget.
+pub fn romberg<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, k: u32) -> Estimate {
+    let k = k.clamp(1, 30) as usize;
+    let mut row: Vec<f64> = Vec::with_capacity(k + 1);
+    let mut prev: Vec<f64> = Vec::with_capacity(k + 1);
+
+    let h0 = hi - lo;
+    let mut evaluations: u64 = 2;
+    let mut trap = 0.5 * h0 * (f(lo) + f(hi));
+    prev.push(trap);
+
+    let mut diag_prev = trap;
+    let mut abs_error = trap.abs();
+
+    for level in 1..=k {
+        // Refine the trapezoid estimate: add the midpoints of the current
+        // panels. After `level` refinements there are 2^level panels.
+        let panels_before = 1usize << (level - 1);
+        let h = h0 / panels_before as f64;
+        let mut mid_sum = 0.0;
+        for i in 0..panels_before {
+            mid_sum += f(lo + (i as f64 + 0.5) * h);
+        }
+        evaluations += panels_before as u64;
+        trap = 0.5 * (trap + h * mid_sum);
+
+        row.clear();
+        row.push(trap);
+        // Richardson extrapolation across the tableau row (paper Eq. 3).
+        let mut pow4 = 1.0;
+        for m in 1..=level {
+            pow4 *= 4.0;
+            let t = (pow4 * row[m - 1] - prev[m - 1]) / (pow4 - 1.0);
+            row.push(t);
+        }
+        let diag = row[level];
+        abs_error = (diag - diag_prev).abs();
+        diag_prev = diag;
+        std::mem::swap(&mut prev, &mut row);
+    }
+
+    Estimate {
+        value: diag_prev,
+        abs_error: abs_error.max(f64::EPSILON * diag_prev.abs()),
+        evaluations,
+    }
+}
+
+/// Number of integrand evaluations [`romberg`] performs for `k` levels.
+/// Used by the GPU cost model: work per task is `2^k + 1`.
+#[must_use]
+pub fn romberg_evaluations(k: u32) -> u64 {
+    let k = k.clamp(1, 30);
+    (1u64 << k) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_low_degree_polynomials() {
+        // k levels of Romberg integrate polynomials of degree <= 2k+1 exactly.
+        let est = romberg(|x| x.powi(5) - 2.0 * x.powi(3) + x, 0.0, 2.0, 3);
+        let exact = 64.0 / 6.0 - 2.0 * 4.0 + 2.0;
+        assert!((est.value - exact).abs() < 1e-10, "{} vs {exact}", est.value);
+    }
+
+    #[test]
+    fn converges_on_exp_with_level() {
+        let exact = std::f64::consts::E - 1.0;
+        let e3 = (romberg(f64::exp, 0.0, 1.0, 3).value - exact).abs();
+        let e6 = (romberg(f64::exp, 0.0, 1.0, 6).value - exact).abs();
+        assert!(e6 < e3);
+        assert!(e6 < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_count_is_two_to_k_plus_one() {
+        for k in [1u32, 3, 7, 10] {
+            let mut calls = 0u64;
+            let est = romberg(
+                |x| {
+                    calls += 1;
+                    x * x
+                },
+                0.0,
+                1.0,
+                k,
+            );
+            assert_eq!(calls, romberg_evaluations(k), "k={k}");
+            assert_eq!(est.evaluations, calls, "k={k}");
+        }
+    }
+
+    #[test]
+    fn error_estimate_bounds_true_error_on_smooth_f() {
+        let exact = 2.0; // integral of sin over [0, pi]
+        let est = romberg(f64::sin, 0.0, std::f64::consts::PI, 8);
+        let true_err = (est.value - exact).abs();
+        // The diagonal-difference estimate should be within a couple of
+        // orders of magnitude of the truth and not wildly optimistic.
+        assert!(true_err <= est.abs_error * 100.0 + 1e-14);
+    }
+
+    #[test]
+    fn beats_simpson_at_same_evaluation_budget() {
+        // Paper: "Romberg algorithm can obtain higher accuracy but without
+        // adding any extra computational complexity" (relative to Simpson at
+        // the same sample count).
+        let exact = (1.0f64).exp() - 1.0;
+        let k = 7u32;
+        let romb = romberg(f64::exp, 0.0, 1.0, k);
+        // Same evaluation budget for Simpson: 2n+1 = 2^k + 1 => n = 2^(k-1).
+        let simp = crate::rules::simpson(f64::exp, 0.0, 1.0, 1 << (k - 1));
+        assert!((romb.value - exact).abs() <= (simp.value - exact).abs());
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let a = romberg(|x| x, 0.0, 1.0, 0);
+        let b = romberg(|x| x, 0.0, 1.0, 1);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

@@ -1,0 +1,254 @@
+//! Fixed composite Newton–Cotes rules.
+//!
+//! These are the cheap, non-adaptive back-ends. Composite Simpson with 64
+//! panels per energy bin is what the paper's GPU kernel evaluates (it
+//! "can provide enough accuracy just by dividing the integral range into
+//! 64 equal pieces", paper §IV-B); trapezoid and Boole exist as cheaper /
+//! higher-order alternatives for the pluggable kernel interface.
+
+use crate::Estimate;
+
+/// A composite Newton–Cotes rule selector, used where a caller wants to
+/// pick the rule at run time (the paper's "general interface of the
+/// GPU-accelerated component ... different numerical integration
+/// algorithms can be connected on demand").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompositeRule {
+    /// Composite midpoint rule, order 2.
+    Midpoint,
+    /// Composite trapezoid rule, order 2.
+    Trapezoid,
+    /// Composite Simpson rule, order 4. The paper's GPU default.
+    Simpson,
+    /// Composite Boole rule, order 6.
+    Boole,
+}
+
+impl CompositeRule {
+    /// Apply the rule to `f` over `[lo, hi]` with `panels` subintervals.
+    pub fn integrate<F: FnMut(f64) -> f64>(self, f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+        match self {
+            CompositeRule::Midpoint => midpoint(f, lo, hi, panels),
+            CompositeRule::Trapezoid => trapezoid(f, lo, hi, panels),
+            CompositeRule::Simpson => simpson(f, lo, hi, panels),
+            CompositeRule::Boole => boole(f, lo, hi, panels),
+        }
+    }
+
+    /// Number of integrand evaluations the rule performs for `panels`
+    /// subintervals. Used by the GPU cost model to charge work.
+    #[must_use]
+    pub fn evaluations(self, panels: usize) -> u64 {
+        let panels = panels.max(1) as u64;
+        match self {
+            CompositeRule::Midpoint => panels,
+            CompositeRule::Trapezoid => panels + 1,
+            CompositeRule::Simpson => 2 * panels + 1,
+            CompositeRule::Boole => 4 * panels + 1,
+        }
+    }
+
+    /// Algebraic order of accuracy of the rule (error ~ h^order).
+    #[must_use]
+    pub fn order(self) -> u32 {
+        match self {
+            CompositeRule::Midpoint | CompositeRule::Trapezoid => 2,
+            CompositeRule::Simpson => 4,
+            CompositeRule::Boole => 6,
+        }
+    }
+}
+
+fn span(lo: f64, hi: f64, panels: usize) -> (f64, usize) {
+    let panels = panels.max(1);
+    ((hi - lo) / panels as f64, panels)
+}
+
+/// Composite midpoint rule with `panels` subintervals.
+pub fn midpoint<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+    let (h, n) = span(lo, hi, panels);
+    let mut sum = 0.0;
+    for i in 0..n {
+        sum += f(lo + (i as f64 + 0.5) * h);
+    }
+    let value = sum * h;
+    Estimate {
+        value,
+        abs_error: rough_error(value, n, 2),
+        evaluations: n as u64,
+    }
+}
+
+/// Composite trapezoid rule with `panels` subintervals.
+pub fn trapezoid<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+    let (h, n) = span(lo, hi, panels);
+    let mut sum = 0.5 * (f(lo) + f(hi));
+    for i in 1..n {
+        sum += f(lo + i as f64 * h);
+    }
+    let value = sum * h;
+    Estimate {
+        value,
+        abs_error: rough_error(value, n, 2),
+        evaluations: (n + 1) as u64,
+    }
+}
+
+/// Composite Simpson rule with `panels` subintervals (each panel uses the
+/// three-point Simpson formula, so the total node count is `2*panels + 1`).
+///
+/// This is the exact arithmetic performed per energy bin by the simulated
+/// GPU kernel (the `gpu-sim` crate's port of paper Algorithm 2), kept here so the
+/// CPU reference path and the device path share one implementation.
+pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+    let (h, n) = span(lo, hi, panels);
+    let mut sum = f(lo) + f(hi);
+    for i in 0..n {
+        let a = lo + i as f64 * h;
+        sum += 4.0 * f(a + 0.5 * h);
+        if i + 1 < n {
+            sum += 2.0 * f(a + h);
+        }
+    }
+    let value = sum * h / 6.0;
+    Estimate {
+        value,
+        abs_error: rough_error(value, n, 4),
+        evaluations: (2 * n + 1) as u64,
+    }
+}
+
+/// Composite Boole (5-point Newton–Cotes) rule with `panels` subintervals.
+pub fn boole<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+    let (h, n) = span(lo, hi, panels);
+    let q = h / 4.0;
+    let mut value = 0.0;
+    // Panels share their endpoints; evaluate each node exactly once.
+    let mut left_val = f(lo);
+    for i in 0..n {
+        let a = lo + i as f64 * h;
+        let right_val = f(a + 4.0 * q);
+        let s = 7.0 * left_val + 32.0 * f(a + q) + 12.0 * f(a + 2.0 * q) + 32.0 * f(a + 3.0 * q)
+            + 7.0 * right_val;
+        value += s * h / 90.0;
+        left_val = right_val;
+    }
+    Estimate {
+        value,
+        abs_error: rough_error(value, n, 6),
+        evaluations: (4 * n + 1) as u64,
+    }
+}
+
+/// A cheap a-priori error heuristic: `|I| * C / panels^order`, clamped to
+/// machine precision. Fixed rules cannot measure their own error; callers
+/// that need certified errors use [`crate::adaptive::qags`].
+fn rough_error(value: f64, panels: usize, order: u32) -> f64 {
+    let scale = (panels as f64).powi(order as i32);
+    (value.abs() / scale).max(f64::EPSILON * value.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn simpson_exact_on_cubics() {
+        // Simpson integrates polynomials of degree <= 3 exactly.
+        let est = simpson(|x| 3.0 * x * x * x - x + 2.0, -1.0, 2.0, 1);
+        let exact = |x: f64| 0.75 * x.powi(4) - 0.5 * x * x + 2.0 * x;
+        assert!(close(est.value, exact(2.0) - exact(-1.0), 1e-14));
+    }
+
+    #[test]
+    fn boole_exact_on_quintics() {
+        let est = boole(|x| x.powi(5), 0.0, 1.0, 1);
+        assert!(close(est.value, 1.0 / 6.0, 1e-14));
+    }
+
+    #[test]
+    fn trapezoid_exact_on_linear() {
+        let est = trapezoid(|x| 2.0 * x + 1.0, 0.0, 3.0, 4);
+        assert!(close(est.value, 12.0, 1e-14));
+    }
+
+    #[test]
+    fn midpoint_exact_on_linear() {
+        let est = midpoint(|x| 5.0 * x - 2.0, -1.0, 1.0, 3);
+        assert!(close(est.value, -4.0, 1e-14));
+    }
+
+    #[test]
+    fn simpson_converges_on_exp() {
+        let exact = std::f64::consts::E - 1.0;
+        let coarse = simpson(f64::exp, 0.0, 1.0, 2);
+        let fine = simpson(f64::exp, 0.0, 1.0, 64);
+        assert!((fine.value - exact).abs() < (coarse.value - exact).abs());
+        assert!((fine.value - exact).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_64_panels_matches_paper_accuracy_claim() {
+        // Paper: "the Simpson algorithm can provide enough accuracy just by
+        // dividing the integral range into 64 equal pieces". Check a smooth,
+        // exponentially decaying integrand like the RRC kernel.
+        let exact = 1.0 - (-1.0f64).exp();
+        let est = simpson(|x| (-x).exp(), 0.0, 1.0, 64);
+        assert!((est.value - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_counts_match_actual_calls() {
+        for rule in [
+            CompositeRule::Midpoint,
+            CompositeRule::Trapezoid,
+            CompositeRule::Simpson,
+            CompositeRule::Boole,
+        ] {
+            let mut calls = 0u64;
+            let est = rule.integrate(
+                |x| {
+                    calls += 1;
+                    x
+                },
+                0.0,
+                1.0,
+                7,
+            );
+            assert_eq!(calls, rule.evaluations(7), "{rule:?}");
+            assert_eq!(est.evaluations, calls, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn zero_panels_clamps_to_one() {
+        let est = simpson(|x| x, 0.0, 2.0, 0);
+        assert!(close(est.value, 2.0, 1e-14));
+    }
+
+    #[test]
+    fn reversed_interval_gives_negated_value() {
+        let fwd = simpson(|x| x * x, 0.0, 1.0, 8);
+        let rev = simpson(|x| x * x, 1.0, 0.0, 8);
+        assert!(close(fwd.value, -rev.value, 1e-14));
+    }
+
+    #[test]
+    fn rule_order_increases_accuracy_on_smooth_f() {
+        let exact = (std::f64::consts::PI / 2.0).sin() - 0.0f64.sin();
+        let n = 8;
+        let et = trapezoid(f64::cos, 0.0, std::f64::consts::PI / 2.0, n);
+        let es = simpson(f64::cos, 0.0, std::f64::consts::PI / 2.0, n);
+        let eb = boole(f64::cos, 0.0, std::f64::consts::PI / 2.0, n);
+        let errs = [
+            (et.value - exact).abs(),
+            (es.value - exact).abs(),
+            (eb.value - exact).abs(),
+        ];
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "{errs:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Wynn's ε-algorithm for sequence extrapolation.
+//!
+//! QUADPACK's `QAGS` accelerates the sequence of global integral
+//! estimates with the ε-algorithm so that integrands with endpoint
+//! singularities still converge quickly. This module implements the same
+//! accelerator for our [`crate::adaptive::qags`].
+
+/// Incremental ε-algorithm table.
+///
+/// Push successive partial estimates with [`EpsilonTable::push`]; after at
+/// least three entries, [`EpsilonTable::extrapolated`] returns the current
+/// accelerated value together with a crude error estimate (the change
+/// between the last two accelerated values).
+#[derive(Debug, Clone, Default)]
+pub struct EpsilonTable {
+    /// Last row of the ε table (even columns only are estimates).
+    row: Vec<f64>,
+    last: Option<f64>,
+    prev: Option<f64>,
+}
+
+impl EpsilonTable {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of raw sequence entries pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Whether the table holds no entries yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.row.is_empty()
+    }
+
+    /// Feed the next raw sequence element, updating the table diagonal.
+    pub fn push(&mut self, s: f64) {
+        // Standard in-place diagonal update: row holds the previous
+        // anti-diagonal; we rebuild it extended by one.
+        let n = self.row.len();
+        let mut new_row = Vec::with_capacity(n + 1);
+        new_row.push(s);
+        let mut aux = 0.0; // epsilon_{-1} = 0
+        for j in 0..n {
+            let denom = new_row[j] - self.row[j];
+            let e = if denom.abs() < f64::MIN_POSITIVE * 16.0 {
+                // Degenerate difference: propagate a huge value so this
+                // column stops influencing the extrapolation.
+                f64::MAX
+            } else {
+                aux + 1.0 / denom
+            };
+            aux = self.row[j];
+            new_row.push(e);
+        }
+        self.row = new_row;
+
+        // Even-indexed entries of the anti-diagonal are estimates; take the
+        // highest usable one.
+        let mut best = s;
+        let mut idx = 0;
+        while idx + 2 < self.row.len() {
+            idx += 2;
+            let cand = self.row[idx];
+            if cand.is_finite() && cand.abs() < f64::MAX / 2.0 {
+                best = cand;
+            } else {
+                break;
+            }
+        }
+        self.prev = self.last;
+        self.last = Some(best);
+    }
+
+    /// Current accelerated estimate and a crude error estimate, if at
+    /// least two pushes have happened.
+    #[must_use]
+    pub fn extrapolated(&self) -> Option<(f64, f64)> {
+        match (self.last, self.prev) {
+            (Some(l), Some(p)) => Some((l, (l - p).abs())),
+            (Some(l), None) => Some((l, l.abs())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerates_geometric_series() {
+        // Partial sums of sum 1/2^k -> 2. The epsilon algorithm should hit
+        // the limit essentially exactly after a few terms.
+        let mut table = EpsilonTable::new();
+        let mut partial = 0.0;
+        for k in 0..10 {
+            partial += 0.5f64.powi(k);
+            table.push(partial);
+        }
+        let (value, _err) = table.extrapolated().unwrap();
+        assert!((value - 2.0).abs() < 1e-12, "value {value}");
+    }
+
+    #[test]
+    fn accelerates_pi_leibniz() {
+        // The Leibniz series converges like 1/n; epsilon acceleration makes
+        // it usable. After 12 terms the raw sum is off by ~0.08; the
+        // accelerated value should be far closer.
+        let mut table = EpsilonTable::new();
+        let mut partial = 0.0;
+        for k in 0..12 {
+            partial += 4.0 * (-1.0f64).powi(k) / (2.0 * k as f64 + 1.0);
+            table.push(partial);
+        }
+        let (value, _) = table.extrapolated().unwrap();
+        let raw_err = (partial - std::f64::consts::PI).abs();
+        let acc_err = (value - std::f64::consts::PI).abs();
+        assert!(acc_err < raw_err / 1000.0, "raw {raw_err}, acc {acc_err}");
+    }
+
+    #[test]
+    fn constant_sequence_is_fixed_point() {
+        let mut table = EpsilonTable::new();
+        for _ in 0..5 {
+            table.push(3.25);
+        }
+        let (value, err) = table.extrapolated().unwrap();
+        assert_eq!(value, 3.25);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn empty_table_has_no_estimate() {
+        let table = EpsilonTable::new();
+        assert!(table.extrapolated().is_none());
+        assert!(table.is_empty());
+    }
+}

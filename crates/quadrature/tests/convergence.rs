@@ -1,0 +1,114 @@
+//! Convergence-order and property tests for the integration methods.
+
+use proptest::prelude::*;
+use quadrature::{boole, qags, romberg, simpson, trapezoid, CompositeRule, GaussLegendre};
+
+/// Empirical order of a composite rule: fit the error decay between two
+/// panel counts on a smooth integrand.
+fn empirical_order(rule: CompositeRule, n1: usize, n2: usize) -> f64 {
+    let exact = 1.0 - (-2.0f64).exp();
+    let f = |x: f64| (-x).exp();
+    let e1 = (rule.integrate(f, 0.0, 2.0, n1).value - exact).abs();
+    let e2 = (rule.integrate(f, 0.0, 2.0, n2).value - exact).abs();
+    (e1 / e2).ln() / (n2 as f64 / n1 as f64).ln()
+}
+
+#[test]
+fn composite_rules_show_their_theoretical_orders() {
+    // Order 2 rules.
+    for rule in [CompositeRule::Midpoint, CompositeRule::Trapezoid] {
+        let p = empirical_order(rule, 8, 32);
+        assert!((p - 2.0).abs() < 0.2, "{rule:?}: order {p}");
+    }
+    // Simpson: order 4.
+    let p = empirical_order(CompositeRule::Simpson, 8, 32);
+    assert!((p - 4.0).abs() < 0.3, "simpson order {p}");
+    // Boole: order 6.
+    let p = empirical_order(CompositeRule::Boole, 4, 16);
+    assert!((p - 6.0).abs() < 0.5, "boole order {p}");
+}
+
+#[test]
+fn romberg_converges_superalgebraically_on_analytic_f() {
+    let exact = (1.0f64).sin();
+    let errs: Vec<f64> = (3..9)
+        .map(|k| (romberg(f64::cos, 0.0, 1.0, k).value - exact).abs())
+        .collect();
+    // Each extra level multiplies accuracy by far more than the factor-4
+    // an order-2 method would give (until hitting machine precision).
+    for pair in errs.windows(2) {
+        if pair[0] > 1e-14 {
+            assert!(pair[1] < pair[0] / 4.0, "{errs:?}");
+        }
+    }
+}
+
+#[test]
+fn gauss_legendre_converges_exponentially_on_analytic_f() {
+    let exact = (1.0f64).exp() - 1.0;
+    let e4 = (GaussLegendre::new(4).integrate(f64::exp, 0.0, 1.0).value - exact).abs();
+    let e8 = (GaussLegendre::new(8).integrate(f64::exp, 0.0, 1.0).value - exact).abs();
+    assert!(e8 < e4 * 1e-4 || e8 < 1e-15, "e4={e4}, e8={e8}");
+}
+
+#[test]
+fn qags_resolves_a_sharp_edge_automatically() {
+    // An RRC-like integrand: zero below the edge, sharply rising above.
+    let edge = 0.37;
+    let f = move |x: f64| if x < edge { 0.0 } else { (x - edge).sqrt() };
+    let exact = (1.0 - edge).powf(1.5) * 2.0 / 3.0;
+    let est = qags(f, 0.0, 1.0, 1e-10, 1e-10).unwrap();
+    assert!(
+        (est.value - exact).abs() < 1e-7,
+        "{} vs {exact}",
+        est.value
+    );
+}
+
+proptest! {
+    /// Linearity: integral of a*f + b*g = a*I(f) + b*I(g).
+    #[test]
+    fn integration_is_linear(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let f = |x: f64| x.sin();
+        let g = |x: f64| (2.0 * x).cos();
+        let combined = simpson(|x| a * f(x) + b * g(x), 0.0, 2.0, 128).value;
+        let separate = a * simpson(f, 0.0, 2.0, 128).value + b * simpson(g, 0.0, 2.0, 128).value;
+        prop_assert!((combined - separate).abs() < 1e-12 * (1.0 + combined.abs()));
+    }
+
+    /// Substitution invariance: integrating f(cx)/c over [0, c*L] equals
+    /// integrating f over [0, L].
+    #[test]
+    fn scaling_substitution(c in 0.2f64..5.0) {
+        let f = |x: f64| (-x).exp() * x;
+        let direct = romberg(f, 0.0, 2.0, 10).value;
+        let scaled = romberg(|x| f(x / c) / c, 0.0, 2.0 * c, 10).value;
+        prop_assert!((direct - scaled).abs() < 1e-8 * (1.0 + direct.abs()));
+    }
+
+    /// Positive integrands give positive integrals for every method.
+    #[test]
+    fn positivity(lo in -3.0f64..3.0, span in 0.1f64..4.0) {
+        let hi = lo + span;
+        let f = |x: f64| x.cos().powi(2) + 0.1;
+        prop_assert!(trapezoid(f, lo, hi, 16).value > 0.0);
+        prop_assert!(simpson(f, lo, hi, 16).value > 0.0);
+        prop_assert!(boole(f, lo, hi, 8).value > 0.0);
+        prop_assert!(romberg(f, lo, hi, 6).value > 0.0);
+        prop_assert!(qags(f, lo, hi, 1e-9, 1e-9).unwrap().value > 0.0);
+    }
+
+    /// All methods agree with each other on smooth integrands.
+    #[test]
+    fn cross_method_agreement(freq in 0.2f64..3.0, phase in 0.0f64..6.28) {
+        let f = move |x: f64| (freq * x + phase).sin().exp();
+        let s = simpson(f, 0.0, 3.0, 512).value;
+        let r = romberg(f, 0.0, 3.0, 12).value;
+        let q = qags(f, 0.0, 3.0, 1e-11, 1e-11).unwrap().value;
+        let g = GaussLegendre::new(48).integrate(f, 0.0, 3.0).value;
+        let scale = 1.0 + s.abs();
+        prop_assert!((s - r).abs() / scale < 1e-8);
+        prop_assert!((s - q).abs() / scale < 1e-8);
+        prop_assert!((s - g).abs() / scale < 1e-8);
+    }
+}

@@ -1,0 +1,198 @@
+//! Maximum-queue-length autotuning.
+//!
+//! Paper §III-A: "the scheduler chooses the maximum queue length through
+//! an automatic test. At the beginning the scheduler will try to find
+//! the most proper maximum queue length by increasing the value of it
+//! gradually until the performance inflexion occurs. And then the
+//! maximum queue length will be fixed at the value leading to the
+//! inflexion point."
+//!
+//! [`AutoTuner`] is measurement-agnostic: callers feed it
+//! `(queue_length, total_time)` observations and ask for the next
+//! candidate until it converges.
+
+/// Incremental inflexion finder over `(qlen, time)` observations.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    /// Candidate step between probes (paper sweeps even lengths).
+    step: u64,
+    /// Largest queue length worth probing.
+    max_candidate: u64,
+    /// Consecutive non-improving probes required to declare the
+    /// inflexion (1 = stop at first worsening; 2 tolerates one noisy
+    /// probe).
+    patience: u32,
+    observations: Vec<(u64, f64)>,
+    best: Option<(u64, f64)>,
+    non_improving: u32,
+    next: u64,
+    done: bool,
+}
+
+impl AutoTuner {
+    /// A tuner probing `start, start+step, ...` up to `max_candidate`.
+    #[must_use]
+    pub fn new(start: u64, step: u64, max_candidate: u64) -> AutoTuner {
+        let start = start.max(1);
+        AutoTuner {
+            step: step.max(1),
+            max_candidate: max_candidate.max(start),
+            patience: 1,
+            observations: Vec::new(),
+            best: None,
+            non_improving: 0,
+            next: start,
+            done: false,
+        }
+    }
+
+    /// The paper's sweep: even lengths 2..=14.
+    #[must_use]
+    pub fn paper_sweep() -> AutoTuner {
+        AutoTuner::new(2, 2, 14)
+    }
+
+    /// Allow `patience` consecutive non-improving probes before
+    /// stopping.
+    #[must_use]
+    pub fn with_patience(mut self, patience: u32) -> AutoTuner {
+        self.patience = patience.max(1);
+        self
+    }
+
+    /// The next queue length to measure, or `None` once converged.
+    #[must_use]
+    pub fn next_candidate(&self) -> Option<u64> {
+        if self.done {
+            None
+        } else {
+            Some(self.next)
+        }
+    }
+
+    /// Record that running with `qlen` took `total_time`. `qlen` must be
+    /// the current candidate.
+    ///
+    /// # Panics
+    /// Panics if `qlen` is not the pending candidate or the tuner is
+    /// done.
+    pub fn observe(&mut self, qlen: u64, total_time: f64) {
+        assert!(!self.done, "tuner already converged");
+        assert_eq!(Some(qlen), self.next_candidate(), "observe the candidate");
+        self.observations.push((qlen, total_time));
+        let improved = match self.best {
+            None => true,
+            Some((_, best_time)) => total_time < best_time,
+        };
+        if improved {
+            self.best = Some((qlen, total_time));
+            self.non_improving = 0;
+        } else {
+            self.non_improving += 1;
+            if self.non_improving >= self.patience {
+                self.done = true;
+                return;
+            }
+        }
+        if self.next + self.step > self.max_candidate {
+            self.done = true;
+        } else {
+            self.next += self.step;
+        }
+    }
+
+    /// The best `(qlen, time)` seen so far, i.e. the inflexion point
+    /// once [`AutoTuner::next_candidate`] returns `None`.
+    #[must_use]
+    pub fn best(&self) -> Option<(u64, f64)> {
+        self.best
+    }
+
+    /// All observations in probe order.
+    #[must_use]
+    pub fn observations(&self) -> &[(u64, f64)] {
+        &self.observations
+    }
+
+    /// Convenience: drive the tuner to convergence with `measure` and
+    /// return the chosen queue length.
+    pub fn tune<F: FnMut(u64) -> f64>(mut self, mut measure: F) -> u64 {
+        while let Some(q) = self.next_candidate() {
+            let t = measure(q);
+            self.observe(q, t);
+        }
+        self.best().map(|(q, _)| q).unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A convex curve with a minimum at qlen 10 (like paper Fig. 4).
+    fn convex(q: u64) -> f64 {
+        let d = q as f64 - 10.0;
+        100.0 + d * d
+    }
+
+    #[test]
+    fn finds_the_inflexion_of_a_convex_curve() {
+        let best = AutoTuner::paper_sweep().tune(convex);
+        assert_eq!(best, 10);
+    }
+
+    #[test]
+    fn stops_probing_after_the_inflexion() {
+        let mut tuner = AutoTuner::paper_sweep();
+        let mut probes = Vec::new();
+        while let Some(q) = tuner.next_candidate() {
+            probes.push(q);
+            tuner.observe(q, convex(q));
+        }
+        // Probes 2,4,6,8,10 improve; 12 worsens and stops the sweep.
+        assert_eq!(probes, vec![2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn monotone_decreasing_curve_probes_to_the_cap() {
+        let best = AutoTuner::new(1, 1, 5).tune(|q| 100.0 / q as f64);
+        assert_eq!(best, 5);
+    }
+
+    #[test]
+    fn patience_survives_one_noisy_probe() {
+        // Time dips at 4, blips at 6, truly improves again at 8.
+        let times = |q: u64| match q {
+            2 => 50.0,
+            4 => 40.0,
+            6 => 41.0,
+            8 => 30.0,
+            _ => 100.0,
+        };
+        let impatient = AutoTuner::new(2, 2, 10).tune(times);
+        assert_eq!(impatient, 4);
+        let patient = AutoTuner::new(2, 2, 10).with_patience(2).tune(times);
+        assert_eq!(patient, 8);
+    }
+
+    #[test]
+    fn observations_are_recorded_in_order() {
+        let mut tuner = AutoTuner::new(1, 1, 3);
+        tuner.observe(1, 3.0);
+        tuner.observe(2, 2.0);
+        tuner.observe(3, 1.0);
+        assert_eq!(
+            tuner.observations(),
+            &[(1, 3.0), (2, 2.0), (3, 1.0)]
+        );
+        assert_eq!(tuner.best(), Some((3, 1.0)));
+        assert!(tuner.next_candidate().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "observe the candidate")]
+    fn observing_wrong_candidate_panics() {
+        let mut tuner = AutoTuner::new(2, 2, 14);
+        tuner.observe(4, 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's shared-memory dynamic load balancer.
+//!
+//! Paper Algorithm 1: each MPI process asks the local scheduler for a
+//! GPU before every task. The scheduler keeps, in shared memory, two
+//! arrays indexed by device — the current *load* (active + waiting
+//! tasks) and the *history task count* — and picks the device with the
+//! minimum load, breaking ties by minimum history count. If every
+//! device is at the *maximum queue length*, the process computes the
+//! task itself on its CPU (QAGS).
+//!
+//! Split into:
+//!
+//! * [`policy`] — the pure selection function, shared verbatim by the
+//!   real-thread runtime and the discrete-event performance replica, so
+//!   the two cannot drift;
+//! * [`Scheduler`] — the concurrent implementation over a
+//!   [`mpi_sim::SharedRegion`] (atomic reservation via CAS so the queue
+//!   bound holds under races);
+//! * [`autotune`] — the paper's "automatic test" that raises the maximum
+//!   queue length until the performance inflexion point.
+
+pub mod autotune;
+pub mod policy;
+
+pub use autotune::AutoTuner;
+pub use policy::{select_device, select_device_with, select_device_work_aware, Selection, TieBreak};
+
+use mpi_sim::SharedRegion;
+
+/// Identifier of a GPU device managed by a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+/// A granted queue slot. Dropping it without
+/// [`Scheduler::free`] would leak queue capacity, so it is
+/// `#[must_use]`; the runtime calls `free` when the GPU reports task
+/// completion (paper `SCHE-FREE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a granted slot must be freed via Scheduler::free"]
+pub struct Grant {
+    /// The device the task was queued on.
+    pub device: DeviceId,
+}
+
+/// The concurrent scheduler state over shared memory.
+///
+/// Word layout in the region: `[0, d)` = per-device load,
+/// `[d, 2d)` = per-device history count. Cloning shares state, like
+/// multiple ranks attaching the same shm segment.
+///
+/// ```
+/// use hybrid_sched::Scheduler;
+///
+/// // 2 GPUs, maximum queue length 1 (paper Algorithm 1).
+/// let scheduler = Scheduler::new(2, 1);
+/// let a = scheduler.alloc().expect("device 0 free");
+/// let b = scheduler.alloc().expect("device 1 free");
+/// assert!(scheduler.alloc().is_none()); // all full -> CPU fallback
+/// scheduler.free(a);
+/// scheduler.free(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    region: SharedRegion,
+    devices: usize,
+    max_queue_len: u64,
+}
+
+impl Scheduler {
+    /// Create a scheduler for `devices` GPUs with the given maximum
+    /// queue length (`>= 1`).
+    #[must_use]
+    pub fn new(devices: usize, max_queue_len: u64) -> Scheduler {
+        Scheduler {
+            region: SharedRegion::new(2 * devices),
+            devices,
+            max_queue_len: max_queue_len.max(1),
+        }
+    }
+
+    /// Number of managed devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The configured maximum queue length.
+    #[must_use]
+    pub fn max_queue_len(&self) -> u64 {
+        self.max_queue_len
+    }
+
+    /// Paper `SCHE-ALLOC`: pick the least-loaded device (ties: least
+    /// history) and reserve one queue slot on it. Returns `None` when
+    /// all devices are at the maximum queue length — the caller must
+    /// then run the task on its own CPU.
+    ///
+    /// The reservation is a CAS on the load word so that two racing
+    /// ranks cannot push a queue past the bound.
+    pub fn alloc(&self) -> Option<Grant> {
+        if self.devices == 0 {
+            return None;
+        }
+        loop {
+            let loads: Vec<u64> = (0..self.devices).map(|i| self.region.load(i)).collect();
+            let histories: Vec<u64> = (0..self.devices)
+                .map(|i| self.region.load(self.devices + i))
+                .collect();
+            match policy::select_device(&loads, &histories, self.max_queue_len) {
+                Selection::Device(d) => {
+                    // Reserve: load[d] observed -> observed + 1.
+                    if self
+                        .region
+                        .compare_exchange(d, loads[d], loads[d] + 1)
+                        .is_ok()
+                    {
+                        self.region.fetch_add(self.devices + d, 1);
+                        return Some(Grant {
+                            device: DeviceId(d),
+                        });
+                    }
+                    // Lost a race; re-read and retry.
+                }
+                Selection::AllBusy => return None,
+            }
+        }
+    }
+
+    /// Paper `SCHE-FREE`: release the queue slot of a completed task.
+    pub fn free(&self, grant: Grant) {
+        self.region.fetch_sub_saturating(grant.device.0);
+    }
+
+    /// Current load of `device`.
+    #[must_use]
+    pub fn load(&self, device: DeviceId) -> u64 {
+        self.region.load(device.0)
+    }
+
+    /// History task count of `device`.
+    #[must_use]
+    pub fn history(&self, device: DeviceId) -> u64 {
+        self.region.load(self.devices + device.0)
+    }
+
+    /// Snapshot `(loads, histories)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<u64>, Vec<u64>) {
+        let snap = self.region.snapshot();
+        (
+            snap[..self.devices].to_vec(),
+            snap[self.devices..].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_prefers_least_loaded() {
+        let s = Scheduler::new(3, 4);
+        // Occupy device 0 twice and device 1 once.
+        let g0 = s.alloc().unwrap();
+        let g1 = s.alloc().unwrap();
+        let g2 = s.alloc().unwrap();
+        // Round-robin by history when loads tie, so 0, 1, 2.
+        assert_eq!(g0.device, DeviceId(0));
+        assert_eq!(g1.device, DeviceId(1));
+        assert_eq!(g2.device, DeviceId(2));
+        s.free(g1); // device 1 now least loaded
+        let g3 = s.alloc().unwrap();
+        assert_eq!(g3.device, DeviceId(1));
+    }
+
+    #[test]
+    fn alloc_respects_max_queue_length() {
+        let s = Scheduler::new(2, 2);
+        let grants: Vec<_> = (0..4).map(|_| s.alloc().unwrap()).collect();
+        assert!(s.alloc().is_none(), "all queues full");
+        assert_eq!(s.load(DeviceId(0)), 2);
+        assert_eq!(s.load(DeviceId(1)), 2);
+        for g in grants {
+            s.free(g);
+        }
+        assert!(s.alloc().is_some());
+    }
+
+    #[test]
+    fn history_counts_accumulate() {
+        let s = Scheduler::new(2, 8);
+        for _ in 0..6 {
+            let g = s.alloc().unwrap();
+            s.free(g);
+        }
+        let total = s.history(DeviceId(0)) + s.history(DeviceId(1));
+        assert_eq!(total, 6);
+        // Tie-breaking by history keeps the split even.
+        assert_eq!(s.history(DeviceId(0)), 3);
+        assert_eq!(s.history(DeviceId(1)), 3);
+    }
+
+    #[test]
+    fn zero_devices_always_falls_back() {
+        let s = Scheduler::new(0, 4);
+        assert!(s.alloc().is_none());
+    }
+
+    #[test]
+    fn concurrent_alloc_free_preserves_invariants() {
+        let s = Scheduler::new(3, 5);
+        let total_granted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = s.clone();
+                let total = &total_granted;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(g) = s.alloc() {
+                            // Queue bound must hold at all times.
+                            assert!(s.load(g.device) <= 5);
+                            total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            s.free(g);
+                        }
+                    }
+                });
+            }
+        });
+        let (loads, histories) = s.snapshot();
+        assert!(loads.iter().all(|&l| l == 0), "all slots freed: {loads:?}");
+        let history_sum: u64 = histories.iter().sum();
+        assert_eq!(
+            history_sum,
+            total_granted.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Scheduler::new(1, 1);
+        let b = a.clone();
+        let g = a.alloc().unwrap();
+        assert!(b.alloc().is_none());
+        b.free(g);
+        assert!(b.alloc().is_some());
+    }
+}

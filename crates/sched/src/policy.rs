@@ -1,0 +1,241 @@
+//! The pure device-selection policy (paper Algorithm 1, `SCHE-ALLOC`).
+//!
+//! Kept free of any synchronization so the real-thread scheduler and the
+//! discrete-event replica run the *same* function — differences between
+//! real mode and virtual-time mode can then never come from policy
+//! drift.
+
+/// How ties at the minimum load are broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Paper Algorithm 1: minimum history task count wins.
+    #[default]
+    History,
+    /// Ablation baseline: lowest device index wins (no history state).
+    Index,
+}
+
+/// Outcome of a selection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Queue the task on this device index.
+    Device(usize),
+    /// Every device is at the maximum queue length; compute on the CPU.
+    AllBusy,
+}
+
+/// Select the target device given per-device `loads` and `histories`
+/// and the maximum queue length:
+///
+/// 1. the device with the minimum load wins;
+/// 2. among devices tied at the minimum load, the one with the minimum
+///    history task count wins (paper: "If there are two or above GPUs
+///    with the same load, the GPU with the minimum history task count
+///    will be chosen");
+/// 3. if the winning load is not below `max_queue_len`, every device is
+///    full → [`Selection::AllBusy`].
+///
+/// Ties on both load *and* history resolve to the lowest device index,
+/// which makes the policy total and deterministic.
+///
+/// # Panics
+/// Panics if `loads` and `histories` differ in length.
+#[must_use]
+pub fn select_device(loads: &[u64], histories: &[u64], max_queue_len: u64) -> Selection {
+    select_device_with(loads, histories, max_queue_len, TieBreak::History)
+}
+
+/// [`select_device`] with an explicit tie-breaking rule (the ablation
+/// hook; the paper's scheduler always uses [`TieBreak::History`]).
+///
+/// # Panics
+/// Panics if `loads` and `histories` differ in length.
+#[must_use]
+pub fn select_device_with(
+    loads: &[u64],
+    histories: &[u64],
+    max_queue_len: u64,
+    tie: TieBreak,
+) -> Selection {
+    assert_eq!(loads.len(), histories.len(), "per-device arrays must match");
+    let mut best: Option<usize> = None;
+    for i in 0..loads.len() {
+        best = Some(match best {
+            None => i,
+            Some(b) => {
+                let wins = loads[i] < loads[b]
+                    || (loads[i] == loads[b]
+                        && tie == TieBreak::History
+                        && histories[i] < histories[b]);
+                if wins {
+                    i
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    match best {
+        Some(b) if loads[b] < max_queue_len => Selection::Device(b),
+        _ => Selection::AllBusy,
+    }
+}
+
+/// Work-aware selection — the "improved scheme for load balancing" the
+/// paper's §V names as ongoing work. Instead of counting *tasks*, each
+/// device's queue is weighed by its outstanding *work* (e.g. integrand
+/// evaluations); the device with the least backlog wins, ties broken by
+/// history. The queue-length bound still applies to task counts, so the
+/// CPU-fallback semantics are unchanged.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn select_device_work_aware(
+    loads: &[u64],
+    outstanding_work: &[u64],
+    histories: &[u64],
+    max_queue_len: u64,
+) -> Selection {
+    assert_eq!(loads.len(), outstanding_work.len(), "per-device arrays");
+    assert_eq!(loads.len(), histories.len(), "per-device arrays");
+    let mut best: Option<usize> = None;
+    for i in 0..loads.len() {
+        if loads[i] >= max_queue_len {
+            continue; // this queue is full regardless of its backlog
+        }
+        best = Some(match best {
+            None => i,
+            Some(b) => {
+                let key_i = (outstanding_work[i], histories[i], i);
+                let key_b = (outstanding_work[b], histories[b], b);
+                if key_i < key_b {
+                    i
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    match best {
+        Some(b) => Selection::Device(b),
+        None => Selection::AllBusy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_load() {
+        assert_eq!(
+            select_device(&[3, 1, 2], &[0, 0, 0], 10),
+            Selection::Device(1)
+        );
+    }
+
+    #[test]
+    fn ties_break_by_history() {
+        assert_eq!(
+            select_device(&[2, 2, 2], &[5, 3, 9], 10),
+            Selection::Device(1)
+        );
+    }
+
+    #[test]
+    fn double_ties_break_by_index() {
+        assert_eq!(
+            select_device(&[1, 1], &[4, 4], 10),
+            Selection::Device(0)
+        );
+    }
+
+    #[test]
+    fn full_queues_mean_all_busy() {
+        assert_eq!(select_device(&[4, 4], &[0, 1], 4), Selection::AllBusy);
+        // One below the bound is still schedulable.
+        assert_eq!(select_device(&[4, 3], &[0, 1], 4), Selection::Device(1));
+    }
+
+    #[test]
+    fn empty_device_list_is_all_busy() {
+        assert_eq!(select_device(&[], &[], 4), Selection::AllBusy);
+    }
+
+    #[test]
+    fn index_tiebreak_ignores_history() {
+        assert_eq!(
+            select_device_with(&[2, 2], &[9, 1], 10, TieBreak::Index),
+            Selection::Device(0)
+        );
+        assert_eq!(
+            select_device_with(&[2, 2], &[9, 1], 10, TieBreak::History),
+            Selection::Device(1)
+        );
+        // Load still dominates either way.
+        assert_eq!(
+            select_device_with(&[3, 2], &[0, 9], 10, TieBreak::Index),
+            Selection::Device(1)
+        );
+    }
+
+    #[test]
+    fn work_aware_prefers_light_backlog_over_short_queue() {
+        // Device 0 has fewer tasks but far more outstanding work.
+        let loads = [1u64, 3];
+        let work = [1_000_000u64, 5_000];
+        let histories = [0u64, 0];
+        assert_eq!(
+            select_device_work_aware(&loads, &work, &histories, 6),
+            Selection::Device(1)
+        );
+        // The count-based policy would pick device 0.
+        assert_eq!(select_device(&loads, &histories, 6), Selection::Device(0));
+    }
+
+    #[test]
+    fn work_aware_still_respects_the_queue_bound() {
+        let loads = [6u64, 2];
+        let work = [10u64, 1_000_000];
+        let histories = [0u64, 0];
+        // Device 0 is at the bound despite tiny backlog.
+        assert_eq!(
+            select_device_work_aware(&loads, &work, &histories, 6),
+            Selection::Device(1)
+        );
+        assert_eq!(
+            select_device_work_aware(&[6, 6], &work, &histories, 6),
+            Selection::AllBusy
+        );
+    }
+
+    #[test]
+    fn selection_is_argmin_under_lexicographic_order() {
+        // Exhaustive check on a small domain: the selected device must be
+        // lexicographically minimal in (load, history, index).
+        for l0 in 0..4u64 {
+            for l1 in 0..4u64 {
+                for h0 in 0..3u64 {
+                    for h1 in 0..3u64 {
+                        let loads = [l0, l1];
+                        let histories = [h0, h1];
+                        match select_device(&loads, &histories, 3) {
+                            Selection::Device(d) => {
+                                for other in 0..2 {
+                                    let chosen = (loads[d], histories[d], d);
+                                    let alt = (loads[other], histories[other], other);
+                                    assert!(chosen <= alt, "{loads:?} {histories:?}");
+                                }
+                                assert!(loads[d] < 3);
+                            }
+                            Selection::AllBusy => {
+                                assert!(loads.iter().all(|&l| l >= 3));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Ion population model.
+//!
+//! The emissivity (paper Eq. 1) needs the density `n_{Z,j+1}` of each
+//! recombining ion. APEC takes these from a collisional-ionization-
+//! equilibrium (CIE) calculation; we use a compact analytic stand-in
+//! with the right qualitative behaviour: each charge state `j` of
+//! element `Z` peaks at a formation temperature proportional to its
+//! ionization potential, with a log-normal profile around the peak, and
+//! the fractions of an element sum to one.
+
+use atomdb::{IonStage, K_BOLTZMANN_EV_PER_K};
+
+/// Width (in dex of temperature) of each charge state's formation peak.
+const PEAK_WIDTH_DEX: f64 = 0.35;
+
+/// Formation temperature of a stage: the temperature where `kT` is about
+/// one sixth of the stage's ionization potential — the familiar CIE rule
+/// of thumb for collisionally ionized plasmas.
+fn formation_temperature_k(stage: IonStage) -> f64 {
+    stage.ionization_potential_ev() / (6.0 * K_BOLTZMANN_EV_PER_K)
+}
+
+/// Equilibrium charge-state fractions of element `z` at `temperature_k`:
+/// returns `z + 1` values (charge 0..=z) summing to 1.
+///
+/// Returns all population in the neutral stage for non-positive
+/// temperatures.
+#[must_use]
+pub fn cie_fractions(z: u8, temperature_k: f64) -> Vec<f64> {
+    let stages = usize::from(z) + 1;
+    let mut out = vec![0.0; stages];
+    if temperature_k <= 0.0 {
+        out[0] = 1.0;
+        return out;
+    }
+    let log_t = temperature_k.log10();
+    let mut total = 0.0;
+    for (charge, slot) in out.iter_mut().enumerate() {
+        let stage = IonStage::new(z, charge as u8).expect("charge <= z");
+        let peak = formation_temperature_k(stage).log10();
+        let d = (log_t - peak) / PEAK_WIDTH_DEX;
+        let w = (-0.5 * d * d).exp();
+        *slot = w;
+        total += w;
+    }
+    if total <= f64::MIN_POSITIVE {
+        // Far outside every peak: everything in the extreme stage.
+        let idx = if log_t > formation_temperature_k(IonStage::new(z, z).expect("valid")).log10() {
+            stages - 1
+        } else {
+            0
+        };
+        out.iter_mut().for_each(|v| *v = 0.0);
+        out[idx] = 1.0;
+        return out;
+    }
+    for v in &mut out {
+        *v /= total;
+    }
+    out
+}
+
+/// Density (cm^-3) of the recombining ion `(z, charge)` in a plasma of
+/// electron density `ne_cm3` at `temperature_k`: element abundance ×
+/// charge-state fraction × electron density.
+#[must_use]
+pub fn ion_density(z: u8, charge: u8, temperature_k: f64, ne_cm3: f64) -> f64 {
+    let Some(element) = atomdb::Element::by_z(z) else {
+        return 0.0;
+    };
+    if charge > z {
+        return 0.0;
+    }
+    let fractions = cie_fractions(z, temperature_k);
+    element.abundance() * fractions[usize::from(charge)] * ne_cm3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for z in [1u8, 2, 8, 26] {
+            for t in [1e4, 1e6, 1e7, 1e9] {
+                let f = cie_fractions(z, t);
+                assert_eq!(f.len(), usize::from(z) + 1);
+                let sum: f64 = f.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "z={z} t={t}: {sum}");
+                assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn cold_plasma_is_neutral() {
+        let f = cie_fractions(8, 1e3);
+        let argmax = f
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 0);
+    }
+
+    #[test]
+    fn hot_plasma_is_fully_stripped() {
+        let f = cie_fractions(8, 1e9);
+        let argmax = f
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 8);
+    }
+
+    #[test]
+    fn dominant_charge_rises_with_temperature() {
+        let dominant = |t: f64| {
+            cie_fractions(26, t)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let d1 = dominant(1e5);
+        let d2 = dominant(1e7);
+        let d3 = dominant(5e8);
+        assert!(d1 <= d2 && d2 <= d3);
+        assert!(d3 > d1);
+    }
+
+    #[test]
+    fn zero_temperature_is_handled() {
+        let f = cie_fractions(6, 0.0);
+        assert_eq!(f[0], 1.0);
+        assert!(f[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ion_density_scales_with_ne_and_abundance() {
+        let d_h = ion_density(1, 1, 2e5, 1.0);
+        let d_h2 = ion_density(1, 1, 2e5, 2.0);
+        assert!((d_h2 / d_h - 2.0).abs() < 1e-12);
+        // Lithium is ~11 dex rarer than hydrogen.
+        let d_li = ion_density(3, 1, 2e5, 1.0);
+        assert!(d_li < d_h);
+    }
+
+    #[test]
+    fn ion_density_out_of_range_is_zero() {
+        assert_eq!(ion_density(99, 1, 1e6, 1.0), 0.0);
+        assert_eq!(ion_density(8, 9, 1e6, 1.0), 0.0);
+    }
+}

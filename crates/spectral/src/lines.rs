@@ -1,0 +1,325 @@
+//! Line emission — the other half of APEC.
+//!
+//! The paper accelerates the *continuum* (RRC) part of APEC, but APEC
+//! itself "calculates both line and continuum emissivity" (paper §II-C
+//! / Smith et al. 2001). This module provides the line side over the
+//! same synthetic database so the assembled spectra are
+//! APEC-complete:
+//!
+//! * hydrogenic transition energies `E = Ry q^2 (1/n_lo^2 - 1/n_up^2)`,
+//! * Kramers-scaling Einstein A coefficients,
+//! * a coronal excitation model (collisional excitation from the ground
+//!   state balanced by radiative decay — valid in the low-density
+//!   regime the paper's plasmas occupy),
+//! * thermal Doppler broadening, Gaussian profiles binned onto the
+//!   energy grid.
+
+use atomdb::{AtomDatabase, Ion};
+
+use crate::grid::EnergyGrid;
+use crate::ionpop::ion_density;
+use crate::params::GridPoint;
+use crate::spectrum::Spectrum;
+
+/// Proton rest energy in eV (Doppler widths scale with the emitter
+/// mass `A m_p`).
+const MP_C2_EV: f64 = 938.272e6;
+
+/// Base Einstein-A scale for the hydrogenic 2→1 transition of hydrogen,
+/// in 1/s.
+const A0_PER_S: f64 = 4.7e8;
+
+/// Coronal excitation normalization (cm³/s scale); only the relative
+/// line strengths matter for normalized spectra.
+const C0_EXCITATION: f64 = 8.6e-8;
+
+/// One bound-bound transition of an ion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Upper principal quantum number.
+    pub n_up: u16,
+    /// Lower principal quantum number.
+    pub n_lo: u16,
+    /// Photon energy in eV.
+    pub energy_ev: f64,
+    /// Excitation energy of the upper level from the ground state, eV
+    /// (what the exciting electron must supply in the coronal model).
+    pub excitation_ev: f64,
+    /// Einstein A coefficient, 1/s.
+    pub einstein_a: f64,
+}
+
+/// All lines of `ion` that fall inside `[min_ev, max_ev]`, built from
+/// the database's level census for that ion.
+#[must_use]
+pub fn lines_for_ion(db: &AtomDatabase, ion: Ion, min_ev: f64, max_ev: f64) -> Vec<Line> {
+    let Some(levels) = db.levels(ion) else {
+        return Vec::new();
+    };
+    let q = ion.effective_charge();
+    let ground_binding = levels[0].binding_energy_ev;
+    let mut out = Vec::new();
+    for (i, lo) in levels.iter().enumerate() {
+        for up in &levels[i + 1..] {
+            let energy = lo.binding_energy_ev - up.binding_energy_ev;
+            if energy < min_ev || energy > max_ev {
+                continue;
+            }
+            let nu = f64::from(up.n);
+            let nl = f64::from(lo.n);
+            // Kramers scaling of the hydrogenic A-value.
+            let einstein_a = A0_PER_S * q.powi(4)
+                / (nu.powi(3) * nl * (nu * nu - nl * nl).max(1.0));
+            out.push(Line {
+                n_up: up.n,
+                n_lo: lo.n,
+                energy_ev: energy,
+                excitation_ev: ground_binding - up.binding_energy_ev,
+                einstein_a,
+            });
+        }
+    }
+    out
+}
+
+/// Coronal line emissivity of one transition: electron-impact
+/// excitation of the *upper level from the ground state*
+/// (`exp(-E_exc/kT)/sqrt(kT)` Arrhenius shape) times the photon
+/// energy; every excitation radiates (coronal limit).
+#[must_use]
+pub fn line_power(line: &Line, kt_ev: f64, ne_cm3: f64, ion_density_cm3: f64) -> f64 {
+    if kt_ev <= 0.0 {
+        return 0.0;
+    }
+    let excitation = C0_EXCITATION * (-line.excitation_ev / kt_ev).exp() / kt_ev.sqrt();
+    ne_cm3 * ion_density_cm3 * excitation * line.energy_ev
+}
+
+/// Thermal Doppler width (1-sigma, in eV) of a line from an emitter of
+/// mass number `a` at temperature `kt_ev`.
+#[must_use]
+pub fn doppler_sigma_ev(energy_ev: f64, kt_ev: f64, a: f64) -> f64 {
+    energy_ev * (kt_ev / (a.max(1.0) * MP_C2_EV)).sqrt()
+}
+
+/// Accumulate the line emission of the `ion_index`-th ion at `point`
+/// into `out` (one slot per grid bin), Gaussian-broadened. Returns the
+/// number of lines deposited.
+///
+/// # Panics
+/// Panics if `out.len() != grid.bins()`.
+pub fn ion_lines_into(
+    db: &AtomDatabase,
+    ion_index: usize,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+    out: &mut [f64],
+) -> usize {
+    assert_eq!(out.len(), grid.bins(), "output slice / grid mismatch");
+    let ion = db.ions()[ion_index];
+    let n_ion = ion_density(ion.z, ion.charge, point.temperature_k, point.density_cm3);
+    if n_ion <= 0.0 {
+        return 0;
+    }
+    let kt = point.kt_ev();
+    // Mass number ~ 2 Z for everything heavier than hydrogen.
+    let a = if ion.z == 1 { 1.0 } else { 2.0 * f64::from(ion.z) };
+    let lines = lines_for_ion(db, ion, grid.min_ev(), grid.max_ev());
+    let mut deposited = 0;
+    for line in &lines {
+        let power = line_power(line, kt, point.density_cm3, n_ion)
+            * (line.einstein_a / (line.einstein_a + A0_PER_S * 1e-3));
+        if power <= 0.0 {
+            continue;
+        }
+        let sigma = doppler_sigma_ev(line.energy_ev, kt, a).max(1e-6);
+        deposit_gaussian(grid, line.energy_ev, sigma, power, out);
+        deposited += 1;
+    }
+    deposited
+}
+
+/// Deposit a Gaussian of total weight `power` centred at `center` with
+/// width `sigma` onto the grid, by integrating the profile over each
+/// bin (erf differences — exact binning, no sampling artifacts).
+fn deposit_gaussian(grid: &EnergyGrid, center: f64, sigma: f64, power: f64, out: &mut [f64]) {
+    // Only bins within 6 sigma matter.
+    let lo = center - 6.0 * sigma;
+    let hi = center + 6.0 * sigma;
+    let first = grid.locate(lo).unwrap_or(0);
+    let last = grid.locate(hi).unwrap_or(grid.bins() - 1);
+    let norm = 1.0 / (sigma * std::f64::consts::SQRT_2);
+    for (bin, slot) in out.iter_mut().enumerate().take(last + 1).skip(first) {
+        let (a, b) = grid.bin(bin);
+        let weight = 0.5 * (erf((b - center) * norm) - erf((a - center) * norm));
+        *slot += power * weight;
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of erf (max error
+/// 1.5e-7 — far below the physics accuracy of the coronal model).
+pub(crate) fn erf_pub(x: f64) -> f64 {
+    erf(x)
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
+            - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A complete APEC-style spectrum: RRC continuum plus coronal lines.
+#[must_use]
+pub fn full_spectrum(
+    db: &AtomDatabase,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+    continuum_integrator: crate::calculator::Integrator,
+) -> Spectrum {
+    let mut spectrum = Spectrum::zeros(grid.clone());
+    let mut ws = quadrature::QagsWorkspace::new();
+    for ion_index in 0..db.ions().len() {
+        crate::calculator::ion_emissivity_into(
+            db,
+            ion_index,
+            point,
+            grid,
+            continuum_integrator,
+            &mut ws,
+            spectrum.bins_mut(),
+        );
+        ion_lines_into(db, ion_index, point, grid, spectrum.bins_mut());
+    }
+    spectrum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::{DatabaseConfig, RYDBERG_EV};
+
+    fn db() -> AtomDatabase {
+        AtomDatabase::generate(DatabaseConfig {
+            max_z: 8,
+            ..DatabaseConfig::default()
+        })
+    }
+
+    fn point() -> GridPoint {
+        GridPoint {
+            temperature_k: 3e6,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn hydrogenic_line_energies_are_rydberg_series() {
+        let d = db();
+        // O+8 recombined (hydrogen-like oxygen): Lyman-alpha at
+        // Ry * 64 * (1 - 1/4) = 653.1 eV.
+        let ion = Ion::new(8, 8).unwrap();
+        let lines = lines_for_ion(&d, ion, 1.0, 2000.0);
+        let lya = lines
+            .iter()
+            .find(|l| l.n_up == 2 && l.n_lo == 1)
+            .expect("Ly-alpha present");
+        let expected = RYDBERG_EV * 64.0 * 0.75;
+        assert!((lya.energy_ev - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_values_fall_with_upper_level() {
+        let d = db();
+        let ion = Ion::new(8, 8).unwrap();
+        let lines = lines_for_ion(&d, ion, 1.0, 2000.0);
+        let a2 = lines.iter().find(|l| l.n_up == 2 && l.n_lo == 1).unwrap();
+        let a5 = lines.iter().find(|l| l.n_up == 5 && l.n_lo == 1).unwrap();
+        assert!(a2.einstein_a > a5.einstein_a);
+    }
+
+    #[test]
+    fn line_deposition_conserves_power() {
+        let grid = EnergyGrid::linear(100.0, 1000.0, 256);
+        let mut out = vec![0.0; grid.bins()];
+        deposit_gaussian(&grid, 500.0, 2.0, 3.5, &mut out);
+        let total: f64 = out.iter().sum();
+        assert!((total - 3.5).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn lines_near_the_grid_edge_lose_the_clipped_tail() {
+        let grid = EnergyGrid::linear(100.0, 1000.0, 128);
+        let mut out = vec![0.0; grid.bins()];
+        deposit_gaussian(&grid, 100.5, 3.0, 1.0, &mut out);
+        let total: f64 = out.iter().sum();
+        assert!(total < 0.99 && total > 0.4, "total {total}");
+    }
+
+    #[test]
+    fn ion_lines_land_in_the_spectrum() {
+        let d = db();
+        let grid = EnergyGrid::linear(50.0, 1000.0, 512);
+        let mut out = vec![0.0; grid.bins()];
+        let idx = Ion::new(8, 8).unwrap().dense_index();
+        let n = ion_lines_into(&d, idx, &point(), &grid, &mut out);
+        assert!(n > 0, "no lines deposited");
+        assert!(out.iter().sum::<f64>() > 0.0);
+        // The strongest feature should be Ly-alpha at ~653 eV. Compare
+        // alignment-robust window sums (a line can straddle a bin edge).
+        let window = |center: f64| -> f64 {
+            out.iter()
+                .enumerate()
+                .filter(|(i, _)| (grid.center_ev(*i) - center).abs() < 3.0)
+                .map(|(_, &v)| v)
+                .sum()
+        };
+        let lya = window(653.1); // 2 -> 1
+        let lyb = window(774.0); // 3 -> 1
+        assert!(lya > lyb, "Ly-a {lya} should beat Ly-b {lyb}");
+        assert!(lya > 0.0);
+    }
+
+    #[test]
+    fn hotter_lines_are_broader() {
+        let cold = doppler_sigma_ev(650.0, 100.0, 16.0);
+        let hot = doppler_sigma_ev(650.0, 1000.0, 16.0);
+        assert!(hot > cold * 3.0 * 0.99);
+    }
+
+    #[test]
+    fn full_spectrum_exceeds_continuum_alone() {
+        let d = db();
+        let grid = EnergyGrid::linear(50.0, 1000.0, 128);
+        let p = point();
+        let integrator = crate::calculator::Integrator::Simpson { panels: 64 };
+        let full = full_spectrum(&d, &p, &grid, integrator);
+        let continuum = crate::calculator::SerialCalculator::new(
+            d,
+            grid,
+            integrator,
+        )
+        .spectrum_at(&p);
+        assert!(full.total() > continuum.total());
+        for (f, c) in full.bins().iter().zip(continuum.bins()) {
+            assert!(f >= c, "line emission is additive");
+        }
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,191 @@
+//! The three-dimensional parameter space of paper Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the parameter space: a determinate
+/// `(temperature, density, time)` triple. Every point spawns the three
+/// nested loops (ions → levels → bins) of the spectral calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Electron temperature in kelvin.
+    pub temperature_k: f64,
+    /// Electron density in cm^-3.
+    pub density_cm3: f64,
+    /// Simulation epoch in seconds (used by time-dependent workloads;
+    /// the equilibrium RRC spectrum itself does not depend on it).
+    pub time_s: f64,
+    /// Flat index of this point in its parameter space.
+    pub index: usize,
+}
+
+impl GridPoint {
+    /// `kT` of this point in eV.
+    #[must_use]
+    pub fn kt_ev(&self) -> f64 {
+        self.temperature_k * atomdb::K_BOLTZMANN_EV_PER_K
+    }
+}
+
+/// A rectangular (temperature × density × time) sampling, "often given by
+/// a result of astrophysical simulation or a configuration file".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    /// Sampled temperatures in kelvin.
+    pub temperatures_k: Vec<f64>,
+    /// Sampled electron densities in cm^-3.
+    pub densities_cm3: Vec<f64>,
+    /// Sampled epochs in seconds.
+    pub times_s: Vec<f64>,
+}
+
+impl ParameterSpace {
+    /// A small cube around typical hot-plasma conditions with `n` samples
+    /// per axis (so `n^3` points).
+    #[must_use]
+    pub fn cube(n: usize) -> ParameterSpace {
+        let n = n.max(1);
+        let sample = |lo: f64, hi: f64, i: usize| {
+            if n == 1 {
+                0.5 * (lo + hi)
+            } else {
+                lo + (hi - lo) * i as f64 / (n - 1) as f64
+            }
+        };
+        ParameterSpace {
+            temperatures_k: (0..n).map(|i| sample(8e6, 1.2e7, i)).collect(),
+            densities_cm3: (0..n).map(|i| sample(0.5, 2.0, i)).collect(),
+            times_s: (0..n).map(|i| sample(0.0, 3.15e10, i)).collect(),
+        }
+    }
+
+    /// The paper's test space: 24 grid points "within a small region", so
+    /// per-point work is approximately equal. We lay them out as
+    /// 24 temperatures × 1 density × 1 time.
+    #[must_use]
+    pub fn paper_test_space() -> ParameterSpace {
+        ParameterSpace {
+            temperatures_k: (0..24).map(|i| 9.0e6 + 5e4 * i as f64).collect(),
+            densities_cm3: vec![1.0],
+            times_s: vec![0.0],
+        }
+    }
+
+    /// Total number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.temperatures_k.len() * self.densities_cm3.len() * self.times_s.len()
+    }
+
+    /// Whether the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th point (time-major, then density, then temperature).
+    #[must_use]
+    pub fn point(&self, index: usize) -> Option<GridPoint> {
+        let nt = self.temperatures_k.len();
+        let nd = self.densities_cm3.len();
+        if index >= self.len() {
+            return None;
+        }
+        let it = index % nt;
+        let id = (index / nt) % nd;
+        let ix = index / (nt * nd);
+        Some(GridPoint {
+            temperature_k: self.temperatures_k[it],
+            density_cm3: self.densities_cm3[id],
+            time_s: self.times_s[ix],
+            index,
+        })
+    }
+
+    /// Iterate over all points in index order.
+    pub fn points(&self) -> impl Iterator<Item = GridPoint> + '_ {
+        (0..self.len()).map(|i| self.point(i).expect("index in range"))
+    }
+
+    /// Split the space into `parts` contiguous index ranges, as the
+    /// paper's main program does "by dividing the whole parameter space
+    /// into several equal subspaces". Earlier parts get the remainder.
+    #[must_use]
+    pub fn partition(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let parts = parts.max(1);
+        let total = self.len();
+        let base = total / parts;
+        let extra = total % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let size = base + usize::from(p < extra);
+            out.push(start..start + size);
+            start += size;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_has_n_cubed_points() {
+        assert_eq!(ParameterSpace::cube(3).len(), 27);
+        assert_eq!(ParameterSpace::cube(1).len(), 1);
+    }
+
+    #[test]
+    fn paper_test_space_has_24_points() {
+        let s = ParameterSpace::paper_test_space();
+        assert_eq!(s.len(), 24);
+        // All close together: temperatures within ~13%.
+        let min = s.temperatures_k.iter().cloned().fold(f64::MAX, f64::min);
+        let max = s.temperatures_k.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min < 1.15);
+    }
+
+    #[test]
+    fn point_indexing_roundtrips() {
+        let s = ParameterSpace::cube(3);
+        for (i, p) in s.points().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(s.point(i).unwrap(), p);
+        }
+        assert!(s.point(s.len()).is_none());
+    }
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        let s = ParameterSpace::paper_test_space();
+        for parts in [1usize, 3, 5, 24, 30] {
+            let ranges = s.partition(parts);
+            assert_eq!(ranges.len(), parts);
+            let mut covered = 0usize;
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, s.len());
+            // No part differs from another by more than one point.
+            let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn kt_conversion() {
+        let p = GridPoint {
+            temperature_k: 1e7,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        };
+        assert!((p.kt_ev() - 861.7).abs() < 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The RRC integrand (paper Eq. 1).
+//!
+//! For a free electron of a Maxwellian plasma at temperature `kT`
+//! recombining onto level `n` (binding energy `I = I_{Z,j,n}`) of ion
+//! `(Z, j)`, the differential emitted power per photon energy is
+//!
+//! ```text
+//! dP/dE = n_e * n_{Z,j+1} * 4 * (E_g - I)/kT * sqrt(1/(2 pi m_e kT)) * A
+//! A     = sigma_rec_n(E_g - I) * exp(-(E_g - I)/kT) * E_g
+//! ```
+//!
+//! The photon energy `E_g` must exceed the binding energy: below
+//! threshold the integrand is identically zero, which puts a kink at the
+//! recombination edge — the feature that makes per-bin adaptive
+//! quadrature worthwhile near edges.
+
+use atomdb::recombination_cross_section_times_energy;
+
+use crate::ME_C2_EV;
+
+/// The fully bound RRC integrand for one (ion, level, plasma state)
+/// triple: a reusable `E_gamma -> dP/dE` function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrcIntegrand {
+    /// Plasma temperature as `kT` in eV.
+    pub kt_ev: f64,
+    /// Level binding energy `I_{Z,j,n}` in eV.
+    pub binding_ev: f64,
+    /// Principal quantum number of the capturing level.
+    pub n: u16,
+    /// Electron density `n_e` in cm^-3.
+    pub electron_density: f64,
+    /// Density of the recombining ion `n_{Z,j+1}` in cm^-3.
+    pub ion_density: f64,
+}
+
+impl RrcIntegrand {
+    /// The Maxwellian prefactor `4/kT * sqrt(1/(2 pi m_e kT))` with the
+    /// electron mass expressed through its rest energy (natural units:
+    /// the overall absolute scale is arbitrary for a normalized-flux
+    /// spectrum, the *shape* in `kT` is what matters).
+    #[must_use]
+    pub fn prefactor(&self) -> f64 {
+        self.electron_density * self.ion_density * 4.0 / self.kt_ev
+            * (1.0 / (2.0 * std::f64::consts::PI * ME_C2_EV * self.kt_ev)).sqrt()
+    }
+
+    /// Evaluate `dP/dE` at photon energy `e_gamma_ev`. Zero below the
+    /// recombination threshold; *at* threshold the `1/E_e` divergence of
+    /// the Kramers cross section cancels the Maxwellian `E_e` factor, so
+    /// the continuous limit value is returned (closed quadrature rules
+    /// sample the threshold endpoint).
+    #[must_use]
+    pub fn evaluate(&self, e_gamma_ev: f64) -> f64 {
+        let electron_ev = e_gamma_ev - self.binding_ev;
+        if electron_ev < 0.0 || self.kt_ev <= 0.0 {
+            return 0.0;
+        }
+        let sigma_e =
+            recombination_cross_section_times_energy(self.n, self.binding_ev, electron_ev);
+        let a = sigma_e * (-electron_ev / self.kt_ev).exp() * e_gamma_ev;
+        self.prefactor() * a / self.kt_ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrand() -> RrcIntegrand {
+        RrcIntegrand {
+            kt_ev: 862.0, // ~1e7 K
+            binding_ev: 870.0,
+            n: 1,
+            electron_density: 1.0,
+            ion_density: 1e-4,
+        }
+    }
+
+    #[test]
+    fn zero_below_threshold_finite_at_threshold() {
+        let f = integrand();
+        assert_eq!(f.evaluate(f.binding_ev - 1.0), 0.0);
+        assert_eq!(f.evaluate(0.0), 0.0);
+        // At the edge the continuous limit is positive and matches the
+        // just-above-threshold value.
+        let at = f.evaluate(f.binding_ev);
+        let above = f.evaluate(f.binding_ev + 1e-9);
+        assert!(at > 0.0);
+        assert!((at - above).abs() / at < 1e-9);
+    }
+
+    #[test]
+    fn positive_above_threshold() {
+        let f = integrand();
+        assert!(f.evaluate(f.binding_ev + 1.0) > 0.0);
+        assert!(f.evaluate(f.binding_ev + 500.0) > 0.0);
+    }
+
+    #[test]
+    fn exponential_cutoff_far_above_threshold() {
+        let f = integrand();
+        let near = f.evaluate(f.binding_ev + f.kt_ev);
+        let far = f.evaluate(f.binding_ev + 20.0 * f.kt_ev);
+        assert!(far < near * 1e-4);
+    }
+
+    #[test]
+    fn scales_linearly_with_densities() {
+        let f = integrand();
+        let mut f2 = f;
+        f2.electron_density *= 3.0;
+        f2.ion_density *= 2.0;
+        let e = f.binding_ev + 100.0;
+        assert!((f2.evaluate(e) / f.evaluate(e) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_plasma_has_harder_tail() {
+        let cold = integrand();
+        let hot = RrcIntegrand {
+            kt_ev: 4.0 * cold.kt_ev,
+            ..cold
+        };
+        let e = cold.binding_ev + 10.0 * cold.kt_ev;
+        // Relative to its near-threshold value, the hot plasma keeps more
+        // flux far above threshold.
+        let cold_ratio = cold.evaluate(e) / cold.evaluate(cold.binding_ev + cold.kt_ev);
+        let hot_ratio = hot.evaluate(e) / hot.evaluate(cold.binding_ev + cold.kt_ev);
+        assert!(hot_ratio > cold_ratio);
+    }
+
+    #[test]
+    fn integrand_is_finite_and_smooth_above_edge() {
+        let f = integrand();
+        let mut prev = f.evaluate(f.binding_ev + 1e-6);
+        assert!(prev.is_finite());
+        for i in 1..1000 {
+            let e = f.binding_ev + 1e-6 + i as f64;
+            let v = f.evaluate(e);
+            assert!(v.is_finite());
+            // No wild oscillation: neighbouring samples stay within 10x.
+            if prev > 0.0 && v > 0.0 {
+                let r = v / prev;
+                assert!(r < 10.0 && r > 0.1, "jump at {e}: {r}");
+            }
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Accumulated spectra, normalization and error analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::EnergyGrid;
+
+/// A spectrum: per-bin integrated emissivity `Lambda_RRC(E_bin)`
+/// (paper Eq. 2) on an [`EnergyGrid`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    grid: EnergyGrid,
+    bins: Vec<f64>,
+}
+
+impl Spectrum {
+    /// An all-zero spectrum on `grid`.
+    #[must_use]
+    pub fn zeros(grid: EnergyGrid) -> Spectrum {
+        let bins = vec![0.0; grid.bins()];
+        Spectrum { grid, bins }
+    }
+
+    /// Wrap existing per-bin values.
+    ///
+    /// # Panics
+    /// Panics if `bins.len() != grid.bins()`.
+    #[must_use]
+    pub fn from_bins(grid: EnergyGrid, bins: Vec<f64>) -> Spectrum {
+        assert_eq!(bins.len(), grid.bins(), "bin count mismatch");
+        Spectrum { grid, bins }
+    }
+
+    /// The underlying grid.
+    #[must_use]
+    pub fn grid(&self) -> &EnergyGrid {
+        &self.grid
+    }
+
+    /// Per-bin values.
+    #[must_use]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Mutable per-bin values (accumulation target for calculators).
+    pub fn bins_mut(&mut self) -> &mut [f64] {
+        &mut self.bins
+    }
+
+    /// Add another spectrum on the same grid bin-by-bin.
+    ///
+    /// # Panics
+    /// Panics if the grids differ.
+    pub fn accumulate(&mut self, other: &Spectrum) {
+        assert_eq!(self.grid, other.grid, "grid mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+
+    /// Total (sum over bins) emissivity.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// The spectrum scaled so its peak bin is 1 — the "normalized flux"
+    /// of paper Fig. 7. Returns an all-zero spectrum if empty.
+    #[must_use]
+    pub fn normalized(&self) -> Spectrum {
+        let peak = self.bins.iter().cloned().fold(0.0f64, f64::max);
+        let mut out = self.clone();
+        if peak > 0.0 {
+            for v in &mut out.bins {
+                *v /= peak;
+            }
+        }
+        out
+    }
+
+    /// Signed per-bin relative error of `self` against `reference`, in
+    /// percent, skipping bins where the reference is zero — the raw data
+    /// behind paper Fig. 8.
+    #[must_use]
+    pub fn relative_errors_percent(&self, reference: &Spectrum) -> Vec<f64> {
+        assert_eq!(self.grid, reference.grid, "grid mismatch");
+        self.bins
+            .iter()
+            .zip(&reference.bins)
+            .filter(|&(_, &r)| r != 0.0)
+            .map(|(&v, &r)| 100.0 * (v - r) / r)
+            .collect()
+    }
+
+    /// Like [`Spectrum::relative_errors_percent`] but only over bins
+    /// whose reference flux is at least `floor_fraction` of the reference
+    /// peak. Bins in the exponentially dead tail carry relative errors
+    /// dominated by round-off, not by integration method — the paper's
+    /// Fig. 8 distribution is implicitly over the flux-carrying band.
+    #[must_use]
+    pub fn significant_relative_errors_percent(
+        &self,
+        reference: &Spectrum,
+        floor_fraction: f64,
+    ) -> Vec<f64> {
+        assert_eq!(self.grid, reference.grid, "grid mismatch");
+        let peak = reference.bins.iter().cloned().fold(0.0f64, f64::max);
+        let floor = peak * floor_fraction;
+        self.bins
+            .iter()
+            .zip(&reference.bins)
+            .filter(|&(_, &r)| r > floor && r != 0.0)
+            .map(|(&v, &r)| 100.0 * (v - r) / r)
+            .collect()
+    }
+
+    /// `(wavelength_angstrom, value)` series in increasing wavelength,
+    /// for plotting against paper Fig. 7.
+    #[must_use]
+    pub fn wavelength_series(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = (0..self.grid.bins())
+            .map(|i| (self.grid.center_angstrom(i), self.bins[i]))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite wavelengths"));
+        out
+    }
+}
+
+/// A histogram of relative errors — the "probability (%)" curve of paper
+/// Fig. 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorHistogram {
+    /// Left edges of the histogram bins, in percent.
+    pub edges: Vec<f64>,
+    /// Probability (percent of samples) per bin.
+    pub probability: Vec<f64>,
+    /// Smallest observed error (percent).
+    pub min: f64,
+    /// Largest observed error (percent).
+    pub max: f64,
+}
+
+impl ErrorHistogram {
+    /// Histogram `errors` (percent) into `bins` equal-width bins.
+    /// Returns an empty histogram when `errors` is empty.
+    #[must_use]
+    pub fn build(errors: &[f64], bins: usize) -> ErrorHistogram {
+        let bins = bins.max(1);
+        if errors.is_empty() {
+            return ErrorHistogram {
+                edges: vec![],
+                probability: vec![],
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let min = errors.iter().cloned().fold(f64::MAX, f64::min);
+        let max = errors.iter().cloned().fold(f64::MIN, f64::max);
+        let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &e in errors {
+            let idx = (((e - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let n = errors.len() as f64;
+        ErrorHistogram {
+            edges: (0..bins).map(|i| min + i as f64 * width).collect(),
+            probability: counts.iter().map(|&c| 100.0 * c as f64 / n).collect(),
+            min,
+            max,
+        }
+    }
+
+    /// Fraction (percent) of samples with absolute value below
+    /// `threshold` percent — the paper's ">99% of errors within
+    /// 0–0.0005%" claim.
+    #[must_use]
+    pub fn fraction_within(errors: &[f64], threshold: f64) -> f64 {
+        if errors.is_empty() {
+            return 100.0;
+        }
+        let n = errors.iter().filter(|e| e.abs() <= threshold).count();
+        100.0 * n as f64 / errors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> EnergyGrid {
+        EnergyGrid::linear(100.0, 200.0, 4)
+    }
+
+    #[test]
+    fn accumulate_adds_binwise() {
+        let mut a = Spectrum::from_bins(grid(), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Spectrum::from_bins(grid(), vec![0.5, 0.5, 0.5, 0.5]);
+        a.accumulate(&b);
+        assert_eq!(a.bins(), &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(a.total(), 12.0);
+    }
+
+    #[test]
+    fn normalized_peak_is_one() {
+        let s = Spectrum::from_bins(grid(), vec![1.0, 5.0, 2.0, 0.0]);
+        let n = s.normalized();
+        assert_eq!(n.bins(), &[0.2, 1.0, 0.4, 0.0]);
+    }
+
+    #[test]
+    fn normalizing_zero_spectrum_is_safe() {
+        let s = Spectrum::zeros(grid());
+        assert_eq!(s.normalized().bins(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn relative_errors_skip_zero_reference_bins() {
+        let a = Spectrum::from_bins(grid(), vec![1.01, 2.0, 0.0, 4.0]);
+        let r = Spectrum::from_bins(grid(), vec![1.0, 2.0, 0.0, 5.0]);
+        let errs = a.relative_errors_percent(&r);
+        assert_eq!(errs.len(), 3);
+        assert!((errs[0] - 1.0).abs() < 1e-9);
+        assert_eq!(errs[1], 0.0);
+        assert!((errs[2] + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_series_is_increasing() {
+        let s = Spectrum::from_bins(grid(), vec![1.0, 2.0, 3.0, 4.0]);
+        let series = s.wavelength_series();
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        // Highest energy bin = shortest wavelength = first entry.
+        assert_eq!(series[0].1, 4.0);
+    }
+
+    #[test]
+    fn histogram_probabilities_sum_to_100() {
+        let errors = vec![0.0, 0.1, 0.1, 0.2, 0.4, 0.9];
+        let h = ErrorHistogram::build(&errors, 5);
+        let sum: f64 = h.probability.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.9);
+    }
+
+    #[test]
+    fn histogram_of_empty_input() {
+        let h = ErrorHistogram::build(&[], 10);
+        assert!(h.edges.is_empty());
+        assert_eq!(ErrorHistogram::fraction_within(&[], 0.1), 100.0);
+    }
+
+    #[test]
+    fn fraction_within_counts_correctly() {
+        let errors = vec![0.0001, -0.0002, 0.5, 0.0004];
+        assert!((ErrorHistogram::fraction_within(&errors, 0.0005) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn from_bins_checks_length() {
+        let _ = Spectrum::from_bins(grid(), vec![1.0]);
+    }
+}

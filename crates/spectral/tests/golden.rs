@@ -1,0 +1,49 @@
+//! Golden regression pin: the exact per-bin emissivity of a small fixed
+//! configuration. Any change to the physics constants, the level
+//! census, the CIE populations, or the Simpson arithmetic will move
+//! these numbers — which is precisely the alarm this test provides.
+//! (If a change is *intended* to alter the physics, regenerate the
+//! constants below and say so in the commit.)
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator, SerialCalculator};
+
+/// H..Be, 12 bins over 50-500 eV, T = 1.2e6 K, Simpson-64.
+const GOLDEN: [f64; 12] = [
+    5.212240990094297e-26,
+    3.991164870097384e-26,
+    2.7771964438707676e-26,
+    1.932473433408076e-26,
+    1.344684704360853e-26,
+    9.356801098341646e-27,
+    6.510799617410912e-27,
+    4.530449158055865e-27,
+    3.1524498955308145e-27,
+    2.1935883169908184e-27,
+    1.5263778533832627e-27,
+    1.0621087527011331e-27,
+];
+
+#[test]
+fn small_spectrum_matches_pinned_values() {
+    let db = AtomDatabase::generate(DatabaseConfig {
+        max_z: 4,
+        ..DatabaseConfig::default()
+    });
+    let grid = EnergyGrid::linear(50.0, 500.0, 12);
+    let point = GridPoint {
+        temperature_k: 1.2e6,
+        density_cm3: 1.0,
+        time_s: 0.0,
+        index: 0,
+    };
+    let spectrum = SerialCalculator::new(db, grid, Integrator::Simpson { panels: 64 })
+        .spectrum_at(&point);
+    for (i, (&got, &want)) in spectrum.bins().iter().zip(&GOLDEN).enumerate() {
+        // Allow a few ulps of cross-platform libm drift, nothing more.
+        assert!(
+            (got - want).abs() <= 1e-12 * want.abs(),
+            "bin {i}: {got:e} vs pinned {want:e}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Physical-consistency properties of the spectral substrate.
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator, SerialCalculator};
+
+fn db() -> AtomDatabase {
+    AtomDatabase::generate(DatabaseConfig {
+        max_z: 8,
+        ..DatabaseConfig::default()
+    })
+}
+
+fn point(t: f64, ne: f64) -> GridPoint {
+    GridPoint {
+        temperature_k: t,
+        density_cm3: ne,
+        time_s: 0.0,
+        index: 0,
+    }
+}
+
+#[test]
+fn emissivity_scales_as_density_squared() {
+    // dP/dE ~ n_e * n_ion and n_ion ~ n_e: doubling density quadruples
+    // the emissivity bin by bin.
+    let calc = SerialCalculator::new(
+        db(),
+        EnergyGrid::linear(50.0, 1500.0, 48),
+        Integrator::Simpson { panels: 64 },
+    );
+    let s1 = calc.spectrum_at(&point(1e7, 1.0));
+    let s2 = calc.spectrum_at(&point(1e7, 2.0));
+    for (a, b) in s1.bins().iter().zip(s2.bins()) {
+        if *a > 0.0 {
+            assert!((b / a - 4.0).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn total_flux_is_stable_under_grid_refinement() {
+    // Binned integral of a fixed physical spectrum: refining the grid
+    // must not change the total (it is the same definite integral).
+    let d = db();
+    let coarse = SerialCalculator::new(
+        d.clone(),
+        EnergyGrid::linear(200.0, 1200.0, 40),
+        Integrator::paper_cpu(),
+    );
+    let fine = SerialCalculator::new(
+        d,
+        EnergyGrid::linear(200.0, 1200.0, 160),
+        Integrator::paper_cpu(),
+    );
+    let p = point(1e7, 1.0);
+    let a = coarse.spectrum_at(&p).total();
+    let b = fine.spectrum_at(&p).total();
+    assert!((a - b).abs() / a < 1e-6, "coarse {a} vs fine {b}");
+}
+
+#[test]
+fn log_grid_agrees_with_linear_grid_on_totals() {
+    let d = db();
+    let p = point(8e6, 1.0);
+    let linear = SerialCalculator::new(
+        d.clone(),
+        EnergyGrid::linear(100.0, 1600.0, 128),
+        Integrator::paper_cpu(),
+    );
+    let log = SerialCalculator::new(
+        d,
+        EnergyGrid::logarithmic(100.0, 1600.0, 128),
+        Integrator::paper_cpu(),
+    );
+    let a = linear.spectrum_at(&p).total();
+    let b = log.spectrum_at(&p).total();
+    assert!((a - b).abs() / a < 1e-6, "linear {a} vs log {b}");
+}
+
+#[test]
+fn recombination_edges_appear_in_the_spectrum() {
+    // The fully stripped oxygen edge at 871 eV must produce a visible
+    // jump: bins just above the edge carry much more flux than just
+    // below once only O+8 contributes.
+    let d = AtomDatabase::generate(DatabaseConfig {
+        max_z: 8,
+        ..DatabaseConfig::default()
+    });
+    let grid = EnergyGrid::linear(850.0, 890.0, 40);
+    let calc = SerialCalculator::new(d.clone(), grid, Integrator::paper_cpu());
+    // Only the O+8 -> O+7 ground level has its edge at 871 eV.
+    let o8 = atomdb::Ion::new(8, 8).unwrap().dense_index();
+    let s = calc.ion_spectrum(o8, &point(3e6, 1.0));
+    let edge_ev = 13.605693 * 64.0; // 870.76 eV
+    let below = s.grid().locate(edge_ev - 5.0).unwrap();
+    let above = s.grid().locate(edge_ev + 5.0).unwrap();
+    assert!(
+        s.bins()[above] > s.bins()[below] * 3.0,
+        "below {} above {}",
+        s.bins()[below],
+        s.bins()[above]
+    );
+}
+
+#[test]
+fn cie_population_peaks_move_the_dominant_ion() {
+    // At low T oxygen's low charge states dominate the RRC; at high T
+    // the hydrogen-like stage does.
+    let d = db();
+    let grid = EnergyGrid::linear(50.0, 1500.0, 64);
+    let calc = SerialCalculator::new(d.clone(), grid, Integrator::Simpson { panels: 64 });
+    let flux_of = |charge: u8, t: f64| {
+        let idx = atomdb::Ion::new(8, charge).unwrap().dense_index();
+        calc.ion_spectrum(idx, &point(t, 1.0)).total()
+    };
+    // Low charge wins cold; high charge wins hot. (The Kramers cross
+    // section scales as I^2, giving O+8 a ~256x per-ion advantage, so
+    // the cold point must be cold enough for the population contrast to
+    // dominate.)
+    assert!(flux_of(2, 5e4) > flux_of(8, 5e4));
+    assert!(flux_of(8, 3e7) > flux_of(2, 3e7));
+}

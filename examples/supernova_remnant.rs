@@ -1,0 +1,105 @@
+//! Supernova-remnant scenario: non-equilibrium ionization behind a
+//! shock front, then the RRC spectrum of the evolving plasma.
+//!
+//! A young supernova remnant's reverse shock heats cold ejecta to
+//! X-ray temperatures almost instantaneously; the ionization state lags
+//! the electron temperature for thousands of years (the NEI effect the
+//! paper's §IV-D workload computes). This example evolves the ion
+//! populations of oxygen and iron through the shock with the
+//! LSODA-style solver and prints how the RRC emissivity hardens as the
+//! plasma ionizes.
+//!
+//! ```sh
+//! cargo run --release --example supernova_remnant
+//! ```
+
+use hybridspec::nei::{LsodaSolver, NeiSystem};
+use hybridspec::spectral::{EnergyGrid, GridPoint, Integrator};
+use quadrature::QagsWorkspace;
+
+/// Electron density behind the shock, cm^-3.
+const NE: f64 = 1.0;
+/// Post-shock electron temperature, kelvin.
+const T_SHOCK: f64 = 1.2e7;
+
+fn main() {
+    let solver = LsodaSolver::default();
+    let grid = EnergyGrid::paper_waveband(200);
+    let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig::default());
+    let point = GridPoint {
+        temperature_k: T_SHOCK,
+        density_cm3: NE,
+        time_s: 0.0,
+        index: 0,
+    };
+
+    println!("reverse shock: T_e = {T_SHOCK:.1e} K, n_e = {NE} cm^-3");
+    println!("evolving O and Fe ionization from neutral...\n");
+
+    // Evolve oxygen (Z=8) and iron (Z=26) from neutral through the
+    // shock, sampling a few epochs (seconds; ~30 to ~30k years).
+    let epochs_s = [1e9, 1e10, 1e11, 1e12];
+    for &z in &[8u8, 26] {
+        let sys = NeiSystem {
+            z,
+            electron_density: NE,
+            temperature_k: T_SHOCK,
+        };
+        let mut x = vec![0.0; sys.dim()];
+        x[0] = 1.0;
+        let mut t_prev = 0.0;
+        println!("element Z={z}:");
+        for &t in &epochs_s {
+            let stats = solver.integrate(&sys, &mut x, t_prev, t);
+            t_prev = t;
+            let mean_charge: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(q, &f)| q as f64 * f)
+                .sum();
+            let dominant = x
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("fractions finite"))
+                .expect("non-empty")
+                .0;
+            // RRC emissivity of the currently dominant recombining ion.
+            let flux = dominant_ion_flux(&db, z, dominant, &point, &grid);
+            println!(
+                "  t = {t:8.1e} s: <q> = {mean_charge:5.2}, dominant stage +{dominant:<2} \
+                 (solver: {} steps, {} switches), RRC flux {flux:.3e}",
+                stats.steps, stats.method_switches
+            );
+        }
+        println!();
+    }
+    println!("the mean charge climbs toward the CIE value while the RRC edge of the");
+    println!("dominant stage sweeps blueward — the signature the paper's pipeline");
+    println!("computes for every grid point of a hydrodynamic simulation.");
+}
+
+/// Integrated RRC emissivity of the (z, charge) ion over the waveband —
+/// zero for the neutral stage, which cannot recombine further.
+fn dominant_ion_flux(
+    db: &atomdb::AtomDatabase,
+    z: u8,
+    charge: usize,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+) -> f64 {
+    let Some(ion) = atomdb::Ion::new(z, charge as u8) else {
+        return 0.0;
+    };
+    let mut out = vec![0.0; grid.bins()];
+    let mut ws = QagsWorkspace::new();
+    rrc_spectral::ion_emissivity_into(
+        db,
+        ion.dense_index(),
+        point,
+        grid,
+        Integrator::Simpson { panels: 64 },
+        &mut ws,
+        &mut out,
+    );
+    out.iter().sum()
+}

@@ -1,0 +1,27 @@
+//! # hybridspec
+//!
+//! Umbrella crate for the reproduction of *"Accelerating Spectral
+//! Calculation through Hybrid GPU-based Computing"* (Xiao et al., ICPP
+//! 2015). It re-exports every subsystem so examples and integration tests
+//! can reach the whole stack through one dependency:
+//!
+//! * [`quadrature`] — 1-D numerical integration (Simpson, Romberg, QAGS).
+//! * [`atomdb`] — synthetic atomic database (ions, levels, cross sections).
+//! * [`spectral`] — the mini-APEC RRC spectral calculator.
+//! * [`desim`] — deterministic discrete-event simulation kernel.
+//! * [`gpu`] — the software GPU device model (SIMT executor + cost model).
+//! * [`mpi`] — thread-backed message-passing runtime and shared memory.
+//! * [`sched`] — the paper's shared-memory dynamic load balancer.
+//! * [`nei`] — non-equilibrium ionization ODE substrate.
+//! * [`hybrid`] — the hybrid CPU/GPU framework (the paper's contribution)
+//!   plus per-figure experiment drivers.
+
+pub use atomdb;
+pub use desim;
+pub use gpu_sim as gpu;
+pub use hybrid_sched as sched;
+pub use hybrid_spectral as hybrid;
+pub use mpi_sim as mpi;
+pub use nei;
+pub use quadrature;
+pub use rrc_spectral as spectral;

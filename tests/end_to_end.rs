@@ -1,0 +1,170 @@
+//! Cross-crate integration: the full hybrid pipeline against the serial
+//! reference, across granularities, device counts and precisions.
+
+use std::sync::Arc;
+
+use hybridspec::gpu::{DeviceRule, Precision};
+use hybridspec::hybrid::{Granularity, HybridConfig, HybridRunner};
+use hybridspec::spectral::{Integrator, SerialCalculator};
+
+fn base_config() -> HybridConfig {
+    HybridConfig::small(6, 64, 3)
+}
+
+#[test]
+fn hybrid_matches_serial_under_same_rule() {
+    let mut cfg = base_config();
+    cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+    let runner = HybridRunner::new(cfg);
+    let report = runner.run();
+    let serial = SerialCalculator::new(
+        (*runner.config().db).clone(),
+        runner.config().grid.clone(),
+        Integrator::Simpson { panels: 64 },
+    );
+    for (i, spectrum) in report.spectra.iter().enumerate() {
+        let point = runner.config().space.point(i).unwrap();
+        let reference = serial.spectrum_at(&point);
+        // Same arithmetic, different accumulation grouping (per-task
+        // partials vs per-level): round-off level agreement only.
+        for (a, b) in spectrum.bins().iter().zip(reference.bins()) {
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1e-300),
+                "point {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_count_does_not_change_results() {
+    let mut results = Vec::new();
+    for gpus in [0usize, 1, 3] {
+        let mut cfg = base_config();
+        cfg.gpus = gpus;
+        cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        let report = HybridRunner::new(cfg).run();
+        results.push(report);
+    }
+    // Placement-invariance is exact: every task accumulates through a
+    // per-task buffer on both paths, so device count cannot change bits.
+    for pair in results.windows(2) {
+        for (sa, sb) in pair[0].spectra.iter().zip(&pair[1].spectra) {
+            assert_eq!(sa.bins(), sb.bins());
+        }
+    }
+}
+
+#[test]
+fn rank_count_does_not_change_results() {
+    let mut baseline = None;
+    for ranks in [1usize, 2, 5] {
+        let mut cfg = base_config();
+        cfg.ranks = ranks;
+        cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        let report = HybridRunner::new(cfg).run();
+        match &baseline {
+            None => baseline = Some(report),
+            Some(b) => {
+                for (sa, sb) in b.spectra.iter().zip(&report.spectra) {
+                    assert_eq!(sa.bins(), sb.bins());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qags_fallback_and_gpu_simpson_agree_to_paper_accuracy() {
+    // Force heavy CPU fallback with a tiny queue and one device.
+    let mut cfg = base_config();
+    cfg.gpus = 1;
+    cfg.max_queue_len = 1;
+    cfg.ranks = 6;
+    let report = HybridRunner::new(cfg.clone()).run();
+    assert!(report.cpu_tasks > 0, "wanted some CPU fallback");
+
+    let serial = SerialCalculator::new(
+        (*cfg.db).clone(),
+        cfg.grid.clone(),
+        Integrator::paper_cpu(),
+    );
+    for (i, spectrum) in report.spectra.iter().enumerate() {
+        let point = cfg.space.point(i).unwrap();
+        let reference = serial.spectrum_at(&point);
+        let errors = spectrum.significant_relative_errors_percent(&reference, 1e-9);
+        let worst = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        assert!(worst < 0.01, "point {i}: worst {worst}%");
+    }
+}
+
+#[test]
+fn single_precision_gpu_stays_within_fig8_band() {
+    let mut cfg = base_config();
+    cfg.gpu_precision = Precision::Single;
+    let report = HybridRunner::new(cfg.clone()).run();
+    let serial = SerialCalculator::new(
+        (*cfg.db).clone(),
+        cfg.grid.clone(),
+        Integrator::paper_cpu(),
+    );
+    let reference = serial.spectrum_at(&cfg.space.point(0).unwrap());
+    let errors = report.spectra[0].significant_relative_errors_percent(&reference, 1e-9);
+    let worst = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+    // Float-kernel errors: bigger than f64 round-off, far below 0.01%.
+    assert!(worst < 3.3e-3, "worst {worst}%");
+}
+
+#[test]
+fn romberg_gpu_rule_works_end_to_end() {
+    let mut cfg = base_config();
+    cfg.gpu_rule = DeviceRule::Romberg { k: 9 };
+    let report = HybridRunner::new(cfg.clone()).run();
+    let serial = SerialCalculator::new(
+        (*cfg.db).clone(),
+        cfg.grid.clone(),
+        Integrator::paper_cpu(),
+    );
+    let reference = serial.spectrum_at(&cfg.space.point(0).unwrap());
+    let errors = report.spectra[0].significant_relative_errors_percent(&reference, 1e-9);
+    let worst = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+    assert!(worst < 0.01, "worst {worst}%");
+}
+
+#[test]
+fn task_accounting_is_exact() {
+    for granularity in [Granularity::Ion, Granularity::Level] {
+        let mut cfg = base_config();
+        cfg.granularity = granularity;
+        let report = HybridRunner::new(cfg.clone()).run();
+        let expected: u64 = match granularity {
+            Granularity::Ion => (cfg.space.len() * cfg.db.ions().len()) as u64,
+            Granularity::Level => {
+                (cfg.space.len() as u64) * cfg.db.stats().levels
+            }
+        };
+        assert_eq!(report.gpu_tasks + report.cpu_tasks, expected, "{granularity:?}");
+        let history: u64 = report.device_history.iter().sum();
+        assert_eq!(history, report.gpu_tasks, "{granularity:?}");
+    }
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Every subsystem is reachable through the umbrella crate.
+    let est = hybridspec::quadrature::simpson(|x| x, 0.0, 1.0, 4);
+    assert!((est.value - 0.5).abs() < 1e-14);
+    let db = hybridspec::atomdb::AtomDatabase::generate(Default::default());
+    assert_eq!(db.ions().len(), 496);
+    let region = hybridspec::mpi::SharedRegion::new(2);
+    region.fetch_add(0, 3);
+    assert_eq!(region.load(0), 3);
+    let s = hybridspec::sched::Scheduler::new(1, 1);
+    let g = s.alloc().unwrap();
+    s.free(g);
+    let mut sim = hybridspec::desim::Simulation::new(0u8);
+    sim.schedule(1.0, |sim| sim.world = 7);
+    sim.run();
+    assert_eq!(sim.world, 7);
+    let _ = Arc::new(hybridspec::gpu::DeviceProps::tesla_c2075());
+}
