@@ -1,13 +1,11 @@
 //! Chemical elements hydrogen through gallium.
 
-use serde::{Deserialize, Serialize};
-
 /// Highest atomic number in the database (gallium). With every
 /// recombining stage of every element this yields the paper's 496 ions.
 pub const MAX_Z: u8 = 31;
 
 /// A chemical element.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Element {
     /// Atomic number.
     pub z: u8,
@@ -39,37 +37,161 @@ impl Element {
 
 /// The element table, indexed by `z - 1`.
 pub static ELEMENTS: [Element; MAX_Z as usize] = [
-    Element { z: 1, symbol: "H", log_abundance: 12.00 },
-    Element { z: 2, symbol: "He", log_abundance: 10.99 },
-    Element { z: 3, symbol: "Li", log_abundance: 1.16 },
-    Element { z: 4, symbol: "Be", log_abundance: 1.15 },
-    Element { z: 5, symbol: "B", log_abundance: 2.60 },
-    Element { z: 6, symbol: "C", log_abundance: 8.56 },
-    Element { z: 7, symbol: "N", log_abundance: 8.05 },
-    Element { z: 8, symbol: "O", log_abundance: 8.93 },
-    Element { z: 9, symbol: "F", log_abundance: 4.56 },
-    Element { z: 10, symbol: "Ne", log_abundance: 8.09 },
-    Element { z: 11, symbol: "Na", log_abundance: 6.33 },
-    Element { z: 12, symbol: "Mg", log_abundance: 7.58 },
-    Element { z: 13, symbol: "Al", log_abundance: 6.47 },
-    Element { z: 14, symbol: "Si", log_abundance: 7.55 },
-    Element { z: 15, symbol: "P", log_abundance: 5.45 },
-    Element { z: 16, symbol: "S", log_abundance: 7.21 },
-    Element { z: 17, symbol: "Cl", log_abundance: 5.50 },
-    Element { z: 18, symbol: "Ar", log_abundance: 6.56 },
-    Element { z: 19, symbol: "K", log_abundance: 5.12 },
-    Element { z: 20, symbol: "Ca", log_abundance: 6.36 },
-    Element { z: 21, symbol: "Sc", log_abundance: 3.10 },
-    Element { z: 22, symbol: "Ti", log_abundance: 4.99 },
-    Element { z: 23, symbol: "V", log_abundance: 4.00 },
-    Element { z: 24, symbol: "Cr", log_abundance: 5.67 },
-    Element { z: 25, symbol: "Mn", log_abundance: 5.39 },
-    Element { z: 26, symbol: "Fe", log_abundance: 7.67 },
-    Element { z: 27, symbol: "Co", log_abundance: 4.92 },
-    Element { z: 28, symbol: "Ni", log_abundance: 6.25 },
-    Element { z: 29, symbol: "Cu", log_abundance: 4.21 },
-    Element { z: 30, symbol: "Zn", log_abundance: 4.60 },
-    Element { z: 31, symbol: "Ga", log_abundance: 3.13 },
+    Element {
+        z: 1,
+        symbol: "H",
+        log_abundance: 12.00,
+    },
+    Element {
+        z: 2,
+        symbol: "He",
+        log_abundance: 10.99,
+    },
+    Element {
+        z: 3,
+        symbol: "Li",
+        log_abundance: 1.16,
+    },
+    Element {
+        z: 4,
+        symbol: "Be",
+        log_abundance: 1.15,
+    },
+    Element {
+        z: 5,
+        symbol: "B",
+        log_abundance: 2.60,
+    },
+    Element {
+        z: 6,
+        symbol: "C",
+        log_abundance: 8.56,
+    },
+    Element {
+        z: 7,
+        symbol: "N",
+        log_abundance: 8.05,
+    },
+    Element {
+        z: 8,
+        symbol: "O",
+        log_abundance: 8.93,
+    },
+    Element {
+        z: 9,
+        symbol: "F",
+        log_abundance: 4.56,
+    },
+    Element {
+        z: 10,
+        symbol: "Ne",
+        log_abundance: 8.09,
+    },
+    Element {
+        z: 11,
+        symbol: "Na",
+        log_abundance: 6.33,
+    },
+    Element {
+        z: 12,
+        symbol: "Mg",
+        log_abundance: 7.58,
+    },
+    Element {
+        z: 13,
+        symbol: "Al",
+        log_abundance: 6.47,
+    },
+    Element {
+        z: 14,
+        symbol: "Si",
+        log_abundance: 7.55,
+    },
+    Element {
+        z: 15,
+        symbol: "P",
+        log_abundance: 5.45,
+    },
+    Element {
+        z: 16,
+        symbol: "S",
+        log_abundance: 7.21,
+    },
+    Element {
+        z: 17,
+        symbol: "Cl",
+        log_abundance: 5.50,
+    },
+    Element {
+        z: 18,
+        symbol: "Ar",
+        log_abundance: 6.56,
+    },
+    Element {
+        z: 19,
+        symbol: "K",
+        log_abundance: 5.12,
+    },
+    Element {
+        z: 20,
+        symbol: "Ca",
+        log_abundance: 6.36,
+    },
+    Element {
+        z: 21,
+        symbol: "Sc",
+        log_abundance: 3.10,
+    },
+    Element {
+        z: 22,
+        symbol: "Ti",
+        log_abundance: 4.99,
+    },
+    Element {
+        z: 23,
+        symbol: "V",
+        log_abundance: 4.00,
+    },
+    Element {
+        z: 24,
+        symbol: "Cr",
+        log_abundance: 5.67,
+    },
+    Element {
+        z: 25,
+        symbol: "Mn",
+        log_abundance: 5.39,
+    },
+    Element {
+        z: 26,
+        symbol: "Fe",
+        log_abundance: 7.67,
+    },
+    Element {
+        z: 27,
+        symbol: "Co",
+        log_abundance: 4.92,
+    },
+    Element {
+        z: 28,
+        symbol: "Ni",
+        log_abundance: 6.25,
+    },
+    Element {
+        z: 29,
+        symbol: "Cu",
+        log_abundance: 4.21,
+    },
+    Element {
+        z: 30,
+        symbol: "Zn",
+        log_abundance: 4.60,
+    },
+    Element {
+        z: 31,
+        symbol: "Ga",
+        log_abundance: 3.13,
+    },
 ];
 
 #[cfg(test)]

@@ -1,7 +1,5 @@
 //! Ions and ionization stages.
 
-use serde::{Deserialize, Serialize};
-
 use crate::element::{Element, MAX_Z};
 
 /// An ion identified by element and charge.
@@ -10,7 +8,7 @@ use crate::element::{Element, MAX_Z};
 /// with the ion `(Z, j+1)` into level `n` of `(Z, j)`. Here `charge` is
 /// the charge of the *recombining* ion, so `charge` runs from 1 (singly
 /// ionized) to `Z` (bare nucleus).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ion {
     /// Atomic number of the element.
     pub z: u8,
@@ -77,7 +75,7 @@ impl Ion {
 /// One ionization stage of an element, including the neutral stage —
 /// used by the NEI substrate, where the state vector of element `Z`
 /// has `Z + 1` entries (charge `0..=Z`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IonStage {
     /// Atomic number.
     pub z: u8,
@@ -164,13 +162,7 @@ mod tests {
     #[test]
     fn from_dense_index_out_of_range() {
         assert!(Ion::from_dense_index(496).is_none());
-        assert_eq!(
-            Ion::from_dense_index(0),
-            Some(Ion { z: 1, charge: 1 })
-        );
-        assert_eq!(
-            Ion::from_dense_index(495),
-            Some(Ion { z: 31, charge: 31 })
-        );
+        assert_eq!(Ion::from_dense_index(0), Some(Ion { z: 1, charge: 1 }));
+        assert_eq!(Ion::from_dense_index(495), Some(Ion { z: 31, charge: 31 }));
     }
 }

@@ -8,13 +8,11 @@
 //! per ion task — varies across ions exactly like a real database's
 //! level census does.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ion::Ion;
 use crate::RYDBERG_EV;
 
 /// One bound level of a recombined ion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Level {
     /// Principal quantum number, `1..=n_max`.
     pub n: u16,
@@ -31,7 +29,7 @@ pub struct Level {
 /// ion spreading cutoffs over `[min_levels, max_levels]`. The defaults
 /// give a mean of ~10 levels per ion, making per-ion task sizes uneven —
 /// which is what exercises the load balancer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelModel {
     /// Smallest allowed cutoff (inclusive).
     pub min_levels: u16,

@@ -15,8 +15,6 @@
 //! plasmas, and high charge states have stiff fast/slow rate contrasts —
 //! the property that makes the ODEs "stiff and sparse" (paper §IV-D).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ion::IonStage;
 use crate::K_BOLTZMANN_EV_PER_K;
 
@@ -55,7 +53,7 @@ pub fn recombination_rate(stage: IonStage, temperature_k: f64) -> f64 {
 /// solver's right-hand side consumes. The paper notes these "need to be
 /// computed in real time", i.e. per evaluation — we preserve that cost
 /// structure by not caching.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateCoefficients {
     /// Ionization rate out of this stage, cm³/s.
     pub ionization: f64,

@@ -8,9 +8,9 @@
 //! discrete-event replica (printed once per run), while Criterion
 //! measures regeneration cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_spectral::desmodel::{self, nei_config, spectral_config};
 use hybrid_spectral::{Calibration, Granularity};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spectral_bench::paper_inputs;
 use std::hint::black_box;
 
@@ -27,14 +27,7 @@ fn bench_ablations(c: &mut Criterion) {
             &concurrent,
             |b, &concurrent| {
                 b.iter(|| {
-                    let mut cfg = spectral_config(
-                        &workload,
-                        &calib,
-                        Granularity::Ion,
-                        2,
-                        6,
-                        None,
-                    );
+                    let mut cfg = spectral_config(&workload, &calib, Granularity::Ion, 2, 6, None);
                     cfg.concurrent_per_gpu = concurrent;
                     black_box(desmodel::run(cfg).makespan_s)
                 });
@@ -46,27 +39,22 @@ fn bench_ablations(c: &mut Criterion) {
     // per-task service scales with the packing while the per-task
     // overhead does not.
     for pack in [1usize, 10, 100] {
-        group.bench_with_input(
-            BenchmarkId::new("nei_packing", pack),
-            &pack,
-            |b, &pack| {
-                let calib = Calibration::paper();
-                b.iter(|| {
-                    // pack>10 makes tasks heavier and fewer: scale the
-                    // service by pack/10 and the count by 10/pack.
-                    let mut cfg =
-                        nei_config(&calib, 24, 24_000 / pack.max(1), 2, 8);
-                    for tasks in &mut cfg.rank_tasks {
-                        for t in tasks {
-                            let scale = pack as f64 / 10.0;
-                            t.exclusive_s *= scale;
-                            t.cpu_s *= scale;
-                        }
+        group.bench_with_input(BenchmarkId::new("nei_packing", pack), &pack, |b, &pack| {
+            let calib = Calibration::paper();
+            b.iter(|| {
+                // pack>10 makes tasks heavier and fewer: scale the
+                // service by pack/10 and the count by 10/pack.
+                let mut cfg = nei_config(&calib, 24, 24_000 / pack.max(1), 2, 8);
+                for tasks in &mut cfg.rank_tasks {
+                    for t in tasks {
+                        let scale = pack as f64 / 10.0;
+                        t.exclusive_s *= scale;
+                        t.cpu_s *= scale;
                     }
-                    black_box(desmodel::run(cfg).makespan_s)
-                });
-            },
-        );
+                }
+                black_box(desmodel::run(cfg).makespan_s)
+            });
+        });
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Microbench: the discrete-event kernel's raw event and resource
 //! throughput (every performance figure replays ~100k such events).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use desim::Simulation;
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_desim(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 //! The measured quantity is the cost of regenerating the figure; the
 //! figure's *values* are printed by `repro-fig3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_spectral::desmodel::{self, spectral_config};
 use hybrid_spectral::Granularity;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spectral_bench::paper_inputs;
 use std::hint::black_box;
 
@@ -18,14 +18,7 @@ fn bench_fig3(c: &mut Criterion) {
             let id = BenchmarkId::new(format!("{granularity:?}"), gpus);
             group.bench_with_input(id, &gpus, |b, &gpus| {
                 b.iter(|| {
-                    let cfg = spectral_config(
-                        &workload,
-                        &calib,
-                        granularity,
-                        gpus,
-                        12,
-                        None,
-                    );
+                    let cfg = spectral_config(&workload, &calib, granularity, gpus, 12, None);
                     black_box(desmodel::run(cfg).makespan_s)
                 });
             });

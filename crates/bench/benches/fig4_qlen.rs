@@ -2,9 +2,9 @@
 //! discrete-event replay per maximum queue length (Ion granularity,
 //! 2 GPUs). `repro-fig4` / `repro-fig5` print the actual series.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_spectral::desmodel::{self, spectral_config};
 use hybrid_spectral::Granularity;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spectral_bench::paper_inputs;
 use std::hint::black_box;
 
@@ -15,8 +15,7 @@ fn bench_fig4(c: &mut Criterion) {
     for qlen in [2u64, 8, 14] {
         group.bench_with_input(BenchmarkId::from_parameter(qlen), &qlen, |b, &qlen| {
             b.iter(|| {
-                let cfg =
-                    spectral_config(&workload, &calib, Granularity::Ion, 2, qlen, None);
+                let cfg = spectral_config(&workload, &calib, Granularity::Ion, 2, qlen, None);
                 let report = desmodel::run(cfg);
                 black_box((report.makespan_s, report.gpu_ratio_percent))
             });

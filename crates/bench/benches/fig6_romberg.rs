@@ -2,9 +2,9 @@
 //! discrete-event replay per Romberg complexity k (2 GPUs, queue
 //! length 6). `repro-fig6` / `repro-table1` print the distributions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_spectral::desmodel::{self, spectral_config};
 use hybrid_spectral::Granularity;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spectral_bench::paper_inputs;
 use std::hint::black_box;
 
@@ -15,8 +15,7 @@ fn bench_fig6(c: &mut Criterion) {
     for k in [7u32, 13] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let cfg =
-                    spectral_config(&workload, &calib, Granularity::Ion, 2, 6, Some(k));
+                let cfg = spectral_config(&workload, &calib, Granularity::Ion, 2, 6, Some(k));
                 let report = desmodel::run(cfg);
                 black_box(report.device_load[0].percent_at_least(3))
             });

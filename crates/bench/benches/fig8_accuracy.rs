@@ -3,8 +3,8 @@
 //! reduced database so the bench completes in seconds. `repro-fig7` /
 //! `repro-fig8` print the full-scale spectra and error histogram.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hybrid_spectral::experiments::accuracy::{self, AccuracyConfig};
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig8(c: &mut Criterion) {

@@ -1,20 +1,20 @@
 //! Microbench: the per-bin integration methods on a realistic RRC
 //! integrand — the cost ladder behind the paper's method choices
-//! (Simpson-64 on the GPU, QAGS on the CPU, Romberg-k for accuracy).
+//! (Simpson-64 on the GPU, QAGS on the CPU, Romberg-k for accuracy) —
+//! plus the A/B for this repo's fused hot path: bin-range
+//! `integrate_bins` over a prepared integrand vs the seed's
+//! bin-at-a-time loop over the unprepared arithmetic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use quadrature::{qags_with, romberg, simpson, AdaptiveConfig, GaussLegendre, QagsWorkspace};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quadrature::{
+    integrate_bins, integrate_bins_sampled, qags_with, romberg, simpson, AdaptiveConfig, BinRule,
+    GaussLegendre, QagsWorkspace,
+};
 use rrc_spectral::RrcIntegrand;
 use std::hint::black_box;
 
 fn integrand() -> RrcIntegrand {
-    RrcIntegrand {
-        kt_ev: 862.0,
-        binding_ev: 870.0,
-        n: 1,
-        electron_density: 1.0,
-        ion_density: 1e-4,
-    }
+    RrcIntegrand::new(862.0, 870.0, 1, 1.0, 1e-4)
 }
 
 fn bench_methods(c: &mut Criterion) {
@@ -48,5 +48,69 @@ fn bench_methods(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methods);
+/// The hot-path A/B: one level integrated over a 512-bin grid.
+///
+/// * `seed_per_bin` — the seed pipeline: one `simpson` call per bin, the
+///   Maxwellian prefactor and cross section recomputed on every sample.
+/// * `prepared_per_bin` — same loop, per-sample invariants hoisted.
+/// * `fused_bins` — `integrate_bins`: prepared integrand plus shared
+///   bin-edge samples evaluated once.
+/// * `fused_bins_sampled` — `integrate_bins_sampled` over the
+///   [`rrc_spectral::PreparedIntegrand`] sampler: the full hot path,
+///   with one `exp` per bin grid via the exponential recurrence.
+fn bench_fused_vs_seed(c: &mut Criterion) {
+    let f = integrand();
+    let p = f.prepare();
+    let bins: Vec<(f64, f64)> = (0..512)
+        .map(|i| (880.0 + 3.0 * f64::from(i), 883.0 + 3.0 * f64::from(i)))
+        .collect();
+    let mut group = c.benchmark_group("quadrature_hotpath");
+
+    group.bench_function("seed_per_bin_simpson_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(lo, hi) in &bins {
+                acc += simpson(|e| f.evaluate_unprepared(e), lo, hi, 64).value;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("prepared_per_bin_simpson_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(lo, hi) in &bins {
+                acc += simpson(|e| p.evaluate(e), lo, hi, 64).value;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("fused_bins_simpson_64", |b| {
+        let mut out = vec![0.0; bins.len()];
+        b.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            black_box(integrate_bins(
+                BinRule::Simpson { panels: 64 },
+                |e| p.evaluate(e),
+                &bins,
+                &mut out,
+            ))
+        });
+    });
+    group.bench_function("fused_bins_sampled_simpson_64", |b| {
+        let mut p = f.prepare();
+        let mut out = vec![0.0; bins.len()];
+        b.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            black_box(integrate_bins_sampled(
+                BinRule::Simpson { panels: 64 },
+                &mut p,
+                &bins,
+                &mut out,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_fused_vs_seed);
 criterion_main!(benches);

@@ -2,9 +2,9 @@
 //! operation the paper keeps lock-free in shared memory to beat the
 //! MPS client-server round trip.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hybrid_sched::policy::select_device;
 use hybrid_sched::Scheduler;
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_scheduler(c: &mut Criterion) {

@@ -1,21 +1,28 @@
 //! Microbench: the SIMT bin-integration kernel (paper Algorithm 2)
-//! at Ion-task shape — many levels accumulated in-device.
+//! at Ion-task shape — many levels accumulated in-device — with the
+//! fused-vs-seed A/B the hot-path work targets: `FusedBinKernel` over
+//! prepared integrands vs the seed `BinIntegrationKernel` over the
+//! unprepared per-sample arithmetic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpu_sim::{BinIntegrationKernel, DeviceRule, LaunchConfig, Precision};
+use gpu_sim::{BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rrc_spectral::RrcIntegrand;
 use std::hint::black_box;
 
+fn ion_levels() -> Vec<RrcIntegrand> {
+    (1..=10u16)
+        .map(|n| RrcIntegrand::new(862.0, 13.6 * 64.0 / f64::from(n * n), n, 1.0, 1e-4))
+        .collect()
+}
+
+fn ion_bins() -> Vec<(f64, f64)> {
+    (0..512)
+        .map(|i| (100.0 + 3.0 * f64::from(i), 103.0 + 3.0 * f64::from(i)))
+        .collect()
+}
+
 fn bench_kernel(c: &mut Criterion) {
-    let levels: Vec<RrcIntegrand> = (1..=10u16)
-        .map(|n| RrcIntegrand {
-            kt_ev: 862.0,
-            binding_ev: 13.6 * 64.0 / f64::from(n * n),
-            n,
-            electron_density: 1.0,
-            ion_density: 1e-4,
-        })
-        .collect();
+    let levels = ion_levels();
     let closures: Vec<_> = levels
         .iter()
         .map(|f| {
@@ -23,9 +30,7 @@ fn bench_kernel(c: &mut Criterion) {
             move |e: f64| f.evaluate(e)
         })
         .collect();
-    let bins: Vec<(f64, f64)> = (0..512)
-        .map(|i| (100.0 + 3.0 * i as f64, 103.0 + 3.0 * i as f64))
-        .collect();
+    let bins = ion_bins();
 
     let mut group = c.benchmark_group("simt_ion_kernel");
     for threads in [1u32, 64, 512] {
@@ -51,5 +56,91 @@ fn bench_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel);
+/// Fused hot path vs the seed per-bin path, same Ion-task workload.
+///
+/// * `seed_per_bin` — `BinIntegrationKernel` over closures that
+///   recompute the Maxwellian prefactor and cross section per sample
+///   (the seed's exact per-sample arithmetic).
+/// * `prepared_per_bin` — seed kernel, prepared integrands: isolates
+///   the invariant-hoisting win from the edge-sharing win.
+/// * `fused` — `FusedBinKernel` over `PreparedIntegrand` samplers:
+///   hoisted invariants, shared bin-edge samples, per-level windows,
+///   and batched node grids (one `exp` per bin via the exponential
+///   recurrence).
+fn bench_fused_vs_seed(c: &mut Criterion) {
+    let levels = ion_levels();
+    let bins = ion_bins();
+    let seed_closures: Vec<_> = levels
+        .iter()
+        .map(|f| {
+            let f = *f;
+            move |e: f64| f.evaluate_unprepared(e)
+        })
+        .collect();
+    let prepared_closures: Vec<_> = levels
+        .iter()
+        .map(|f| {
+            let p = f.prepare();
+            move |e: f64| p.evaluate(e)
+        })
+        .collect();
+    let prepared: Vec<_> = levels.iter().map(RrcIntegrand::prepare).collect();
+    let windows: Vec<(f64, f64)> = levels
+        .iter()
+        .map(|f| (f.binding_ev, f.binding_ev + 40.0 * f.kt_ev))
+        .collect();
+
+    let mut group = c.benchmark_group("simt_hotpath");
+    for threads in [64u32, 512] {
+        let cfg = LaunchConfig::new(threads.div_ceil(64).max(1), threads.min(64));
+        group.bench_with_input(
+            BenchmarkId::new("seed_per_bin", threads),
+            &threads,
+            |b, _| {
+                let kernel = BinIntegrationKernel {
+                    integrands: &seed_closures,
+                    bins: &bins,
+                    precision: Precision::Double,
+                    windows: Some(&windows),
+                    rule: DeviceRule::Simpson { panels: 64 },
+                };
+                b.iter(|| {
+                    let mut emi = vec![0.0; bins.len()];
+                    black_box(kernel.execute(cfg, &mut emi));
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prepared_per_bin", threads),
+            &threads,
+            |b, _| {
+                let kernel = BinIntegrationKernel {
+                    integrands: &prepared_closures,
+                    bins: &bins,
+                    precision: Precision::Double,
+                    windows: Some(&windows),
+                    rule: DeviceRule::Simpson { panels: 64 },
+                };
+                b.iter(|| {
+                    let mut emi = vec![0.0; bins.len()];
+                    black_box(kernel.execute(cfg, &mut emi));
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fused", threads), &threads, |b, _| {
+            let kernel = FusedBinKernel {
+                integrands: &prepared,
+                bins: &bins,
+                precision: Precision::Double,
+                windows: Some(&windows),
+                rule: DeviceRule::Simpson { panels: 64 },
+            };
+            let mut emi = vec![0.0; bins.len()];
+            b.iter(|| black_box(kernel.execute(cfg, &mut emi)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_fused_vs_seed);
 criterion_main!(benches);

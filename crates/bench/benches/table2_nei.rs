@@ -2,9 +2,9 @@
 //! discrete-event scaling run per GPU count, plus one real LSODA task
 //! batch (the numerics behind the cost anchors).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hybrid_spectral::desmodel::{self, nei_config};
 use hybrid_spectral::Calibration;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nei::{LsodaSolver, NeiTask, NeiWorkload};
 use std::hint::black_box;
 

@@ -30,12 +30,18 @@ fn main() {
         );
     };
 
-    table("Ablation 1: tie-break rule (2 GPUs, qlen 6)", &report.tie_break);
+    table(
+        "Ablation 1: tie-break rule (2 GPUs, qlen 6)",
+        &report.tie_break,
+    );
     table(
         "Ablation 2: submission window on heavy k=13 tasks (paper SV future work)",
         &report.async_window,
     );
-    table("Ablation 3: per-device active tasks (Fermi=1 vs Hyper-Q)", &report.hyper_q);
+    table(
+        "Ablation 3: per-device active tasks (Fermi=1 vs Hyper-Q)",
+        &report.hyper_q,
+    );
     table(
         "Ablation 4: count-based vs work-aware selection (paper SV ongoing work; k=11 tasks)",
         &report.work_aware,

@@ -3,7 +3,105 @@
 
 use hybrid_spectral::experiments::{accuracy, granularity, nei_scaling, qlen_sweep, romberg_load};
 use hybrid_spectral::Calibration;
+use jsonlite::{ObjectBuilder, Value};
 use spectral_bench::paper_inputs;
+
+fn fig3_json(r: &granularity::Fig3Report) -> Value {
+    ObjectBuilder::new()
+        .field("serial_s", r.serial_s)
+        .field("mpi_s", r.mpi_s)
+        .field("mpi_speedup", r.mpi_speedup)
+        .field(
+            "rows",
+            r.rows
+                .iter()
+                .map(|row| {
+                    ObjectBuilder::new()
+                        .field("gpus", row.gpus)
+                        .field("ion_speedup", row.ion_speedup)
+                        .field("level_speedup", row.level_speedup)
+                        .field("paper_ion", row.paper_ion)
+                        .field("paper_level", row.paper_level)
+                        .field("ion_gpu_ratio", row.ion_gpu_ratio)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build()
+}
+
+fn qlen_json(r: &qlen_sweep::QlenReport) -> Value {
+    ObjectBuilder::new()
+        .field(
+            "cells",
+            r.cells
+                .iter()
+                .map(|c| {
+                    ObjectBuilder::new()
+                        .field("gpus", c.gpus)
+                        .field("qlen", c.qlen as f64)
+                        .field("total_s", c.total_s)
+                        .field("gpu_ratio_percent", c.gpu_ratio_percent)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .field(
+            "tuned_qlen",
+            r.tuned_qlen
+                .iter()
+                .map(|&(gpus, qlen)| {
+                    ObjectBuilder::new()
+                        .field("gpus", gpus)
+                        .field("qlen", qlen as f64)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build()
+}
+
+fn romberg_json(r: &romberg_load::RombergReport) -> Value {
+    ObjectBuilder::new()
+        .field(
+            "rows",
+            r.rows
+                .iter()
+                .map(|row| {
+                    ObjectBuilder::new()
+                        .field("k", row.k)
+                        .field("tasks_on_gpu", row.tasks_on_gpu as f64)
+                        .field("gpu_ratio_percent", row.gpu_ratio_percent)
+                        .field("load_percent", row.load_percent.to_vec())
+                        .field("total_s", row.total_s)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build()
+}
+
+fn nei_json(r: &nei_scaling::Table2Report) -> Value {
+    ObjectBuilder::new()
+        .field("mpi_s", r.mpi_s)
+        .field(
+            "rows",
+            r.rows
+                .iter()
+                .map(|row| {
+                    ObjectBuilder::new()
+                        .field("gpus", row.gpus)
+                        .field("time_s", row.time_s)
+                        .field("speedup", row.speedup)
+                        .field("paper_time_s", row.paper_time_s)
+                        .field("paper_speedup", row.paper_speedup)
+                        .field("gpu_ratio_percent", row.gpu_ratio_percent)
+                        .build()
+                })
+                .collect::<Vec<_>>(),
+        )
+        .build()
+}
 
 fn main() {
     let (workload, calib) = paper_inputs();
@@ -19,21 +117,23 @@ fn main() {
     eprintln!("fig7/fig8: accuracy (real numerics, this takes the longest) ...");
     let acc = accuracy::run(accuracy::AccuracyConfig::default());
 
-    let bundle = serde_json::json!({
-        "fig3": fig3,
-        "fig4_fig5": qlen,
-        "fig6_table1": romberg,
-        "table2": nei,
-        "fig7_fig8": {
-            "error_min_percent": acc.min_error,
-            "error_max_percent": acc.max_error,
-            "within_0_0005_percent": acc.within_half_milli_percent,
-            "gpu_ratio_percent": acc.gpu_ratio_percent,
-            "bins": acc.errors_percent.len(),
-        },
-    });
+    let bundle = ObjectBuilder::new()
+        .field("fig3", fig3_json(&fig3))
+        .field("fig4_fig5", qlen_json(&qlen))
+        .field("fig6_table1", romberg_json(&romberg))
+        .field("table2", nei_json(&nei))
+        .field(
+            "fig7_fig8",
+            ObjectBuilder::new()
+                .field("error_min_percent", acc.min_error)
+                .field("error_max_percent", acc.max_error)
+                .field("within_0_0005_percent", acc.within_half_milli_percent)
+                .field("gpu_ratio_percent", acc.gpu_ratio_percent)
+                .field("bins", acc.errors_percent.len())
+                .build(),
+        )
+        .build();
     let path = "repro_results.json";
-    std::fs::write(path, serde_json::to_string_pretty(&bundle).expect("serialize"))
-        .expect("write results");
+    std::fs::write(path, bundle.to_pretty()).expect("write results");
     println!("wrote {path}");
 }

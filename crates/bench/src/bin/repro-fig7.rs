@@ -22,10 +22,7 @@ fn main() {
         let (wl, fs) = report.serial_series[i];
         let (_, fh) = report.hybrid_series[i];
         let bar_len = (fs * 40.0).round() as usize;
-        println!(
-            "  {wl:8.2}  {fs:8.5}  {fh:8.5}  |{}",
-            "#".repeat(bar_len)
-        );
+        println!("  {wl:8.2}  {fs:8.5}  {fh:8.5}  |{}", "#".repeat(bar_len));
     }
     println!("\n(the two columns agree to ~1e-7 of the peak — the two panels of the");
     println!(" paper's Fig. 7 are likewise indistinguishable by eye.)");

@@ -18,9 +18,7 @@ fn main() {
             6,
             Some(k),
         ));
-        let samples = report
-            .device0_timeline
-            .resample(0.0, report.makespan_s, 64);
+        let samples = report.device0_timeline.resample(0.0, report.makespan_s, 64);
         let glyphs = [' ', '.', ':', '-', '=', '#', '@'];
         let strip: String = samples
             .iter()

@@ -23,13 +23,11 @@
 //! * Table II (NEI): same construction from its 1-GPU and 4-GPU
 //!   anchors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// Paper-derived anchor constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Seconds one grid point takes on one serial CPU core (paper §I).
     pub serial_point_s: f64,
@@ -60,7 +58,7 @@ pub const HOST_PREP_ION_S: f64 = 0.025;
 
 /// One task's GPU service split into the stage serialized across
 /// devices (host dispatch + PCIe bus) and the device-exclusive stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuService {
     /// Shared-stage seconds at mean task size.
     pub shared_s: f64,
@@ -120,19 +118,14 @@ impl Calibration {
     /// uncontended CPU core (QAGS path).
     #[must_use]
     pub fn cpu_task_s(&self, workload: &SpectralWorkload, granularity: Granularity) -> f64 {
-        let tasks_per_point =
-            workload.total_tasks(granularity) as f64 / workload.points as f64;
+        let tasks_per_point = workload.total_tasks(granularity) as f64 / workload.points as f64;
         self.serial_point_s / tasks_per_point
     }
 
     /// GPU service of the mean task at `granularity`, derived from the
     /// Fig. 3 anchors (see module docs).
     #[must_use]
-    pub fn gpu_service(
-        &self,
-        workload: &SpectralWorkload,
-        granularity: Granularity,
-    ) -> GpuService {
+    pub fn gpu_service(&self, workload: &SpectralWorkload, granularity: Granularity) -> GpuService {
         let (s1, s4) = match granularity {
             Granularity::Ion => self.ion_speedup,
             Granularity::Level => self.level_speedup,

@@ -15,7 +15,6 @@
 
 use desim::{LoadHistogram, ResourceId, Simulation, TimeSeries};
 use hybrid_sched::policy::{select_device_with, select_device_work_aware, Selection, TieBreak};
-use serde::{Deserialize, Serialize};
 
 use crate::calib::Calibration;
 use crate::task::Granularity;
@@ -64,7 +63,7 @@ pub struct DesConfig {
 }
 
 /// Results of one virtual-time run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DesReport {
     /// Virtual seconds until the last task completed.
     pub makespan_s: f64,
@@ -75,13 +74,11 @@ pub struct DesReport {
     /// `gpu_tasks / total * 100` (paper Fig. 5 / Table I).
     pub gpu_ratio_percent: f64,
     /// Per-device time-weighted load histograms (paper Fig. 6).
-    #[serde(skip)]
     pub device_load: Vec<LoadHistogram>,
     /// Per-device history task counts.
     pub device_history: Vec<u64>,
     /// Queue-depth trajectory of device 0 (change points), for timeline
     /// plots alongside Fig. 6's aggregate histogram.
-    #[serde(skip)]
     pub device0_timeline: TimeSeries,
 }
 
@@ -457,9 +454,7 @@ mod tests {
     fn device0_timeline_matches_histogram_mean() {
         let report = run(uniform_config(24, 100, 2, 6));
         let hist_mean = report.device_load[0].mean();
-        let ts_mean = report
-            .device0_timeline
-            .mean(0.0, report.makespan_s);
+        let ts_mean = report.device0_timeline.mean(0.0, report.makespan_s);
         assert!(
             (hist_mean - ts_mean).abs() < 0.05 * hist_mean.max(1.0),
             "histogram {hist_mean} vs timeline {ts_mean}"

@@ -13,7 +13,6 @@
 //!    sweep the per-device concurrency window.
 
 use hybrid_sched::TieBreak;
-use serde::{Deserialize, Serialize};
 
 use crate::calib::Calibration;
 use crate::desmodel::{self, spectral_config};
@@ -21,7 +20,7 @@ use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// Result of one ablation variant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Which knob and setting.
     pub variant: String,
@@ -35,7 +34,7 @@ pub struct AblationRow {
 }
 
 /// The three ablation families.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationReport {
     /// Tie-break rule comparison (2 GPUs, qlen 6).
     pub tie_break: Vec<AblationRow>,
@@ -76,8 +75,7 @@ pub fn run(workload: &SpectralWorkload, calib: &Calibration) -> AblationReport {
     let async_window = [1usize, 2, 4, 8]
         .into_iter()
         .map(|window| {
-            let mut cfg =
-                spectral_config(workload, calib, Granularity::Ion, 2, 6, Some(13));
+            let mut cfg = spectral_config(workload, calib, Granularity::Ion, 2, 6, Some(13));
             cfg.async_window = window;
             summarize(format!("window={window}"), &desmodel::run(cfg))
         })

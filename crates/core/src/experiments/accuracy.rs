@@ -10,17 +10,14 @@
 use std::sync::Arc;
 
 use gpu_sim::{DeviceRule, Precision};
-use rrc_spectral::{
-    ErrorHistogram, Integrator, ParameterSpace, SerialCalculator, Spectrum,
-};
-use serde::{Deserialize, Serialize};
+use rrc_spectral::{ErrorHistogram, Integrator, ParameterSpace, SerialCalculator, Spectrum};
 
 use crate::runtime::{HybridConfig, HybridRunner};
 use crate::task::Granularity;
 
 /// Scale knobs for the accuracy run (the physics is identical at any
 /// scale; bins and `max_z` only set how long the run takes).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AccuracyConfig {
     /// Database cutoff element.
     pub max_z: u8,
@@ -44,7 +41,7 @@ impl Default for AccuracyConfig {
 }
 
 /// The Fig. 7 + Fig. 8 bundle.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyReport {
     /// Serial (QAGS) normalized flux vs wavelength (Fig. 7a).
     pub serial_series: Vec<(f64, f64)>,
@@ -81,8 +78,7 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
     };
     let point = space.point(0).expect("one point");
 
-    let serial =
-        SerialCalculator::new(db.clone(), grid.clone(), Integrator::paper_cpu());
+    let serial = SerialCalculator::new(db.clone(), grid.clone(), Integrator::paper_cpu());
     let serial_spectrum = serial.spectrum_at(&point);
 
     let hybrid_cfg = HybridConfig {
@@ -99,6 +95,7 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
         gpu_precision: Precision::Single,
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
+        fused: true,
     };
     let report = HybridRunner::new(hybrid_cfg).run();
     let hybrid_spectrum = &report.spectra[0];
@@ -115,8 +112,7 @@ fn build_report(
     hybrid_spectrum: &Spectrum,
     gpu_ratio_percent: f64,
 ) -> AccuracyReport {
-    let errors =
-        hybrid_spectrum.significant_relative_errors_percent(serial_spectrum, 1e-9);
+    let errors = hybrid_spectrum.significant_relative_errors_percent(serial_spectrum, 1e-9);
     let histogram = ErrorHistogram::build(&errors, 40);
     let within = ErrorHistogram::fraction_within(&errors, 5e-4);
     AccuracyReport {
@@ -180,7 +176,7 @@ mod tests {
         let r = small_report();
         let first = r.serial_series.first().unwrap().0;
         let last = r.serial_series.last().unwrap().0;
-        assert!(first >= 10.0 && first < 11.0, "{first}");
+        assert!((10.0..11.0).contains(&first), "{first}");
         assert!(last > 44.0 && last <= 45.0, "{last}");
     }
 

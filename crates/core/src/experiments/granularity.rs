@@ -1,15 +1,13 @@
 //! Paper Fig. 3: speedup vs GPU count for the two task granularities,
 //! plus the serial and 24-rank MPI baselines quoted in §IV.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib::Calibration;
 use crate::desmodel::{self, spectral_config};
 use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// One GPU-count sample of Fig. 3.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig3Row {
     /// Number of GPU devices.
     pub gpus: usize,
@@ -26,7 +24,7 @@ pub struct Fig3Row {
 }
 
 /// The whole experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Report {
     /// Serial baseline (virtual seconds for all 24 points).
     pub serial_s: f64,

@@ -7,13 +7,11 @@
 //! by four orders of magnitude even in the subset, the steady-state
 //! regime dominates and the scaling is exact to the drain transient.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib::Calibration;
 use crate::desmodel::{self, nei_config};
 
 /// One GPU count of Table II.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Table2Row {
     /// GPU count.
     pub gpus: usize,
@@ -30,7 +28,7 @@ pub struct Table2Row {
 }
 
 /// The Table II reproduction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Report {
     /// MPI-only baseline at paper scale (anchor: 8784 s).
     pub mpi_s: f64,
@@ -60,8 +58,7 @@ pub fn run(calib: &Calibration, tasks_per_rank: usize) -> Table2Report {
 
     let rows = (1..=4)
         .map(|gpus| {
-            let report =
-                desmodel::run(nei_config(calib, ranks, tasks_per_rank, gpus, qlen));
+            let report = desmodel::run(nei_config(calib, ranks, tasks_per_rank, gpus, qlen));
             let time_s = report.makespan_s * scale;
             let (_, paper_speedup, paper_time_s) = PAPER_TABLE2[gpus - 1];
             Table2Row {
@@ -120,7 +117,13 @@ mod tests {
         let b = run(&Calibration::paper(), 2000);
         for (ra, rb) in a.rows.iter().zip(&b.rows) {
             let rel = (ra.time_s - rb.time_s).abs() / rb.time_s;
-            assert!(rel < 0.03, "gpus={}: {} vs {}", ra.gpus, ra.time_s, rb.time_s);
+            assert!(
+                rel < 0.03,
+                "gpus={}: {} vs {}",
+                ra.gpus,
+                ra.time_s,
+                rb.time_s
+            );
         }
     }
 }

@@ -3,7 +3,6 @@
 //! queue-length tuner of §III-A.
 
 use hybrid_sched::AutoTuner;
-use serde::{Deserialize, Serialize};
 
 use crate::calib::Calibration;
 use crate::desmodel::{self, spectral_config};
@@ -11,7 +10,7 @@ use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// One (gpu count, queue length) cell of Figs. 4 and 5.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct QlenCell {
     /// GPU count.
     pub gpus: usize,
@@ -24,7 +23,7 @@ pub struct QlenCell {
 }
 
 /// The sweep plus the autotuner's pick per GPU count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QlenReport {
     /// All cells, qlen-major per GPU count.
     pub cells: Vec<QlenCell>,
@@ -99,7 +98,11 @@ impl QlenReport {
     /// The cells of one GPU count, in qlen order.
     #[must_use]
     pub fn series(&self, gpus: usize) -> Vec<QlenCell> {
-        self.cells.iter().filter(|c| c.gpus == gpus).copied().collect()
+        self.cells
+            .iter()
+            .filter(|c| c.gpus == gpus)
+            .copied()
+            .collect()
     }
 }
 
@@ -150,10 +153,10 @@ mod tests {
     #[test]
     fn more_gpus_are_never_slower_at_fixed_qlen() {
         let r = report();
-        for i in 0..QLENS.len() {
+        for (i, &qlen) in QLENS.iter().enumerate() {
             let t1 = r.series(1)[i].total_s;
             let t4 = r.series(4)[i].total_s;
-            assert!(t4 <= t1 + 1e-9, "qlen {}: {t4} vs {t1}", QLENS[i]);
+            assert!(t4 <= t1 + 1e-9, "qlen {qlen}: {t4} vs {t1}");
         }
     }
 

@@ -3,15 +3,13 @@
 //! and the hybrid version scale as ranks are added, under the
 //! calibrated memory-contention model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib::Calibration;
 use crate::desmodel::{self, spectral_config};
 use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// One rank-count sample.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RankRow {
     /// Rank count.
     pub ranks: usize,
@@ -25,7 +23,7 @@ pub struct RankRow {
 }
 
 /// The sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RankReport {
     /// Rows at 1, 2, 4, 8, 16, 24 ranks.
     pub rows: Vec<RankRow>,
@@ -124,7 +122,12 @@ mod tests {
         // extra submitters cannot push a saturated device pipeline.
         let r = report();
         let at8 = r.rows.iter().find(|r| r.ranks == 8).unwrap().hybrid_speedup;
-        let at24 = r.rows.iter().find(|r| r.ranks == 24).unwrap().hybrid_speedup;
+        let at24 = r
+            .rows
+            .iter()
+            .find(|r| r.ranks == 24)
+            .unwrap()
+            .hybrid_speedup;
         assert!(at24 < at8 * 1.6, "8 ranks {at8}, 24 ranks {at24}");
     }
 }

@@ -7,15 +7,13 @@
 //! stays QAGS (fixed cost), so higher k drives load onto the queues
 //! first and then overflows tasks back to the CPUs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::calib::Calibration;
 use crate::desmodel::{self, spectral_config};
 use crate::task::Granularity;
 use crate::workload::SpectralWorkload;
 
 /// Results for one Romberg complexity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RombergRow {
     /// Dichotomy level `k` (computation amount per task ∝ 2^k).
     pub k: u32,
@@ -34,7 +32,7 @@ pub struct RombergRow {
 }
 
 /// The full sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RombergReport {
     /// One row per k in [7, 9, 11, 13].
     pub rows: Vec<RombergRow>,

@@ -9,10 +9,9 @@
 //! NEI pipeline.
 
 use rrc_spectral::ParameterSpace;
-use serde::{Deserialize, Serialize};
 
 /// Physical setup of a Sedov–Taylor blast.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SedovBlast {
     /// Explosion energy in erg (canonical supernova: 1e51).
     pub energy_erg: f64,
@@ -118,12 +117,7 @@ impl SedovBlast {
     /// post-shock conditions after (adiabatic decay of the remnant
     /// sampled at `samples` epochs).
     #[must_use]
-    pub fn tracer_history(
-        &self,
-        t_sweep: f64,
-        t_end: f64,
-        samples: usize,
-    ) -> nei::PlasmaHistory {
+    pub fn tracer_history(&self, t_sweep: f64, t_end: f64, samples: usize) -> nei::PlasmaHistory {
         let samples = samples.max(2);
         let mut points = vec![nei::PlasmaSample {
             time_s: 0.0,

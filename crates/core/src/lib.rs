@@ -23,6 +23,7 @@ pub mod calib;
 pub mod desmodel;
 pub mod experiments;
 pub mod hydro;
+pub mod pool;
 pub mod runtime;
 pub mod spec;
 pub mod task;
@@ -31,6 +32,7 @@ pub mod workload;
 pub use calib::Calibration;
 pub use desmodel::{DesConfig, DesReport};
 pub use hydro::SedovBlast;
+pub use pool::WorkspacePool;
 pub use runtime::{HybridConfig, HybridRunner, RunReport};
 pub use spec::{RuleSpec, RunSpec};
 pub use task::{Granularity, TaskSpec};

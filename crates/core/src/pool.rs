@@ -1,0 +1,102 @@
+//! Reusable QAGS workspaces for the CPU-fallback path.
+//!
+//! Every rejected task used to build a fresh [`QagsWorkspace`] (interval
+//! heap + extrapolation table) before integrating; in steady state a
+//! rank only ever needs as many workspaces as it has concurrent CPU
+//! tasks (one, on the blocking path). [`WorkspacePool`] keeps released
+//! workspaces on a free list so their heap allocations are recycled, and
+//! counts creations vs. acquisitions so runs can *prove* the steady
+//! state allocates nothing.
+
+use quadrature::QagsWorkspace;
+
+/// A free-list pool of [`QagsWorkspace`]s with reuse accounting.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Vec<QagsWorkspace>,
+    created: u64,
+    acquired: u64,
+}
+
+impl WorkspacePool {
+    /// An empty pool: no workspace is built until first acquired.
+    #[must_use]
+    pub fn new() -> WorkspacePool {
+        WorkspacePool::default()
+    }
+
+    /// Take a workspace, reusing a released one when available. Only
+    /// allocates when the free list is empty.
+    pub fn acquire(&mut self) -> QagsWorkspace {
+        self.acquired += 1;
+        self.free.pop().unwrap_or_else(|| {
+            self.created += 1;
+            QagsWorkspace::new()
+        })
+    }
+
+    /// Return a workspace to the free list for reuse.
+    pub fn release(&mut self, ws: QagsWorkspace) {
+        self.free.push(ws);
+    }
+
+    /// Workspaces actually constructed over the pool's lifetime.
+    #[must_use]
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Acquisitions served (from the free list or by construction).
+    #[must_use]
+    pub fn acquired(&self) -> u64 {
+        self.acquired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_acquire_release_creates_exactly_one() {
+        let mut pool = WorkspacePool::new();
+        for _ in 0..100 {
+            let ws = pool.acquire();
+            pool.release(ws);
+        }
+        assert_eq!(pool.created(), 1, "steady state must reuse, not allocate");
+        assert_eq!(pool.acquired(), 100);
+    }
+
+    #[test]
+    fn concurrent_holds_create_as_many_as_outstanding() {
+        let mut pool = WorkspacePool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.release(a);
+        pool.release(b);
+        let c = pool.acquire();
+        pool.release(c);
+        assert_eq!(pool.created(), 2);
+        assert_eq!(pool.acquired(), 3);
+    }
+
+    #[test]
+    fn pooled_workspace_still_integrates() {
+        let mut pool = WorkspacePool::new();
+        for _ in 0..3 {
+            let mut ws = pool.acquire();
+            let est = quadrature::qags_with(
+                &mut ws,
+                quadrature::AdaptiveConfig::default(),
+                |x: f64| (-x).exp(),
+                0.0,
+                1.0,
+            )
+            .expect("smooth integrand converges");
+            assert!((est.value - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+            pool.release(ws);
+        }
+        assert_eq!(pool.created(), 1);
+    }
+}

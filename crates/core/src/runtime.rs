@@ -13,15 +13,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use atomdb::AtomDatabase;
-use gpu_sim::{BinIntegrationKernel, DeviceRule, LaunchConfig, Precision, SimGpu};
+use gpu_sim::{BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision, SimGpu};
 use hybrid_sched::Scheduler;
-use quadrature::QagsWorkspace;
 use rrc_spectral::{
     emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
-    ParameterSpace, Spectrum,
+    ParameterSpace, PreparedIntegrand, Spectrum,
 };
-use serde::{Deserialize, Serialize};
 
+use crate::pool::WorkspacePool;
 use crate::task::Granularity;
 
 /// Configuration of a real hybrid run.
@@ -54,6 +53,13 @@ pub struct HybridConfig {
     /// `1` reproduces the paper's synchronous mode; larger windows
     /// implement the asynchronous queuing named as future work in §V.
     pub async_window: usize,
+    /// Route device tasks through the fused hot path
+    /// ([`FusedBinKernel`] over prepared integrands, shared bin edges
+    /// evaluated once, bin grids sampled with the exponential
+    /// recurrence). `false` keeps the seed's per-bin
+    /// [`BinIntegrationKernel`] for A/B comparison; f64 results agree
+    /// to within the fused pipeline's `1e-13`-relative budget.
+    pub fused: bool,
 }
 
 impl HybridConfig {
@@ -81,12 +87,13 @@ impl HybridConfig {
             gpu_precision: Precision::Double,
             cpu_integrator: Integrator::paper_cpu(),
             async_window: 1,
+            fused: true,
         }
     }
 }
 
 /// Outcome of a real hybrid run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// One spectrum per grid point, in point order.
     pub spectra: Vec<Spectrum>,
@@ -104,6 +111,13 @@ pub struct RunReport {
     pub device_virtual_seconds: Vec<f64>,
     /// Per-device peak on-board memory (bytes) over the run.
     pub device_peak_memory: Vec<u64>,
+    /// QAGS workspaces actually constructed across the rank pools
+    /// (steady state: at most one per rank that ever fell back to CPU).
+    pub workspaces_created: u64,
+    /// Workspace acquisitions served by the rank pools (one per CPU
+    /// task); `workspace_acquisitions - workspaces_created` is the
+    /// number of allocations the pooling avoided.
+    pub workspace_acquisitions: u64,
 }
 
 impl RunReport {
@@ -151,78 +165,90 @@ impl HybridRunner {
         );
         let scheduler = Scheduler::new(cfg.gpus, cfg.max_queue_len);
         let partitions = cfg.space.partition(cfg.ranks);
+        // The bin table is identical for every task of the run: build it
+        // once and share it, instead of re-deriving it per submission.
+        let bin_pairs: Arc<Vec<(f64, f64)>> = Arc::new(cfg.grid.bin_pairs());
 
         let per_rank = mpi_sim::run(cfg.ranks, |ctx| {
             let rank = ctx.rank();
             let mut out = Vec::new();
-            let mut ws = QagsWorkspace::new();
+            let mut pool = WorkspacePool::new();
             let mut scratch = vec![0.0f64; cfg.grid.bins()];
+            // Recycled host-side emissivity buffers (the D2H result
+            // arrays) — steady state allocates none.
+            let mut emi_pool: Vec<Vec<f64>> = Vec::new();
+            // Recycled device-side result buffers, one free list per
+            // device: a task reuses the arena allocation of an earlier
+            // settled task instead of malloc/free per submission.
+            let mut dev_bufs: Vec<Vec<gpu_sim::DevicePtr>> = vec![Vec::new(); cfg.gpus];
             let mut gpu_tasks = 0u64;
             let mut cpu_tasks = 0u64;
             let window = cfg.async_window.max(1);
+            // Outstanding asynchronous submissions of this rank.
+            type Pending = std::collections::VecDeque<(
+                gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)>,
+                hybrid_sched::Grant,
+                Option<gpu_sim::DevicePtr>,
+                u64, // bytes_in
+            )>;
+            let settle = |pending: &mut Pending,
+                          spectrum: &mut Spectrum,
+                          emi_pool: &mut Vec<Vec<f64>>,
+                          dev_bufs: &mut Vec<Vec<gpu_sim::DevicePtr>>| {
+                if let Some((handle, grant, ptr, bytes_in)) = pending.pop_front() {
+                    let (partial, evals) = handle.wait();
+                    let device = &devices[grant.device.0];
+                    // Post-task accounting: D2H done, device buffer
+                    // recycled, cost-model time charged.
+                    let bytes_out = ptr.map_or(0, |p| p.bytes);
+                    if let Some(p) = ptr {
+                        dev_bufs[grant.device.0].push(p);
+                    }
+                    device.charge_task(evals, bytes_in, bytes_out);
+                    scheduler.free(grant);
+                    for (acc, v) in spectrum.bins_mut().iter_mut().zip(&partial) {
+                        *acc += v;
+                    }
+                    emi_pool.push(partial);
+                }
+            };
             for point_idx in partitions[rank].clone() {
                 let point = cfg.space.point(point_idx).expect("partition in range");
                 let mut spectrum = Spectrum::zeros(cfg.grid.clone());
-                // Outstanding asynchronous submissions of this point.
-                type Pending = std::collections::VecDeque<(
-                    gpu_sim::runtime::TaskHandle<(Option<Vec<f64>>, u64)>,
-                    hybrid_sched::Grant,
-                    Option<gpu_sim::DevicePtr>,
-                    u64, // bytes_in
-                )>;
                 let mut pending: Pending = Pending::new();
-                let settle = |pending: &mut Pending, spectrum: &mut Spectrum| {
-                    if let Some((handle, grant, ptr, bytes_in)) = pending.pop_front() {
-                        let (partial, evals) = handle.wait();
-                        let device = &devices[grant.device.0];
-                        // Post-task accounting: D2H done, device buffer
-                        // freed, cost-model time charged.
-                        let bytes_out = ptr.map_or(0, |p| p.bytes);
-                        if let Some(p) = ptr {
-                            device.free(p);
-                        }
-                        device.charge_task(evals, bytes_in, bytes_out);
-                        scheduler.free(grant);
-                        if let Some(partial) = partial {
-                            for (acc, v) in spectrum.bins_mut().iter_mut().zip(&partial) {
-                                *acc += v;
-                            }
-                        }
-                    }
-                };
                 for ion_index in 0..cfg.db.ions().len() {
                     let level_count = cfg.db.levels_by_index(ion_index).len();
                     let ranges: Vec<std::ops::Range<usize>> = match cfg.granularity {
                         #[allow(clippy::single_range_in_vec_init)] // one task covering all levels
                         Granularity::Ion => vec![0..level_count],
-                        Granularity::Level => {
-                            (0..level_count).map(|l| l..l + 1).collect()
-                        }
+                        Granularity::Level => (0..level_count).map(|l| l..l + 1).collect(),
                     };
                     for range in ranges {
                         if pending.len() >= window {
-                            settle(&mut pending, &mut spectrum);
+                            settle(&mut pending, &mut spectrum, &mut emi_pool, &mut dev_bufs);
                         }
                         match scheduler.alloc() {
                             Some(grant) => {
                                 let device = &devices[grant.device.0];
                                 // Device-side result buffer for the task
                                 // (one f64 per bin, like the paper's
-                                // `emi` array).
-                                let ptr = device
-                                    .malloc(8 * cfg.grid.bins() as u64)
-                                    .ok();
-                                let bytes_in =
-                                    64 + 16 * (range.end - range.start) as u64;
+                                // `emi` array), recycled through the
+                                // per-device free list.
+                                let ptr = dev_bufs[grant.device.0]
+                                    .pop()
+                                    .or_else(|| device.malloc(8 * cfg.grid.bins() as u64).ok());
+                                let bytes_in = 64 + 16 * (range.end - range.start) as u64;
                                 let handle = submit_gpu_task(
                                     device,
                                     &cfg.db,
                                     ion_index,
                                     range,
                                     point,
-                                    &cfg.grid,
+                                    &bin_pairs,
                                     cfg.gpu_rule,
                                     cfg.gpu_precision,
+                                    cfg.fused,
+                                    emi_pool.pop().unwrap_or_default(),
                                 );
                                 pending.push_back((handle, grant, ptr, bytes_in));
                                 gpu_tasks += 1;
@@ -233,6 +259,7 @@ impl HybridRunner {
                                 // with its D2H result array — results are
                                 // then bitwise placement-invariant.
                                 scratch.fill(0.0);
+                                let mut ws = pool.acquire();
                                 emissivity_into(
                                     &cfg.db,
                                     ion_index,
@@ -243,9 +270,8 @@ impl HybridRunner {
                                     &mut ws,
                                     &mut scratch,
                                 );
-                                for (acc, v) in
-                                    spectrum.bins_mut().iter_mut().zip(&scratch)
-                                {
+                                pool.release(ws);
+                                for (acc, v) in spectrum.bins_mut().iter_mut().zip(&scratch) {
                                     *acc += v;
                                 }
                                 cpu_tasks += 1;
@@ -254,19 +280,29 @@ impl HybridRunner {
                     }
                 }
                 while !pending.is_empty() {
-                    settle(&mut pending, &mut spectrum);
+                    settle(&mut pending, &mut spectrum, &mut emi_pool, &mut dev_bufs);
                 }
                 out.push((point_idx, spectrum));
             }
-            (out, gpu_tasks, cpu_tasks)
+            // Return the pooled device buffers to their arenas.
+            for (d, bufs) in dev_bufs.into_iter().enumerate() {
+                for p in bufs {
+                    devices[d].free(p);
+                }
+            }
+            (out, gpu_tasks, cpu_tasks, pool.created(), pool.acquired())
         });
 
         let mut gpu_tasks = 0u64;
         let mut cpu_tasks = 0u64;
+        let mut workspaces_created = 0u64;
+        let mut workspace_acquisitions = 0u64;
         let mut spectra: Vec<Option<Spectrum>> = vec![None; cfg.space.len()];
-        for (rank_out, g, c) in per_rank {
+        for (rank_out, g, c, created, acquired) in per_rank {
             gpu_tasks += g;
             cpu_tasks += c;
+            workspaces_created += created;
+            workspace_acquisitions += acquired;
             for (idx, spectrum) in rank_out {
                 spectra[idx] = Some(spectrum);
             }
@@ -287,6 +323,8 @@ impl HybridRunner {
             device_history,
             device_virtual_seconds,
             device_peak_memory,
+            workspaces_created,
+            workspace_acquisitions,
         }
     }
 }
@@ -294,8 +332,9 @@ impl HybridRunner {
 /// Submit one task to a device: build the level integrands, ship the
 /// kernel, return a completion handle (the caller decides whether to
 /// block immediately — the paper's synchronous mode — or keep a window
-/// of submissions in flight). The task resolves to `None` for ions with
-/// zero population at this plasma state.
+/// of submissions in flight). `emi` is a recycled result buffer (any
+/// stale contents are overwritten); it comes back through the handle
+/// zero-filled for ions with zero population at this plasma state.
 #[allow(clippy::too_many_arguments)]
 fn submit_gpu_task(
     device: &SimGpu,
@@ -303,39 +342,61 @@ fn submit_gpu_task(
     ion_index: usize,
     level_range: std::ops::Range<usize>,
     point: GridPoint,
-    grid: &EnergyGrid,
+    bin_pairs: &Arc<Vec<(f64, f64)>>,
     rule: DeviceRule,
     precision: Precision,
-) -> gpu_sim::runtime::TaskHandle<(Option<Vec<f64>>, u64)> {
+    fused: bool,
+    emi: Vec<f64>,
+) -> gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)> {
     let db = Arc::clone(db);
-    let grid = grid.clone();
+    let bin_pairs = Arc::clone(bin_pairs);
     device.submit(move || {
+        let mut emi = emi;
+        emi.clear();
+        emi.resize(bin_pairs.len(), 0.0);
         let Some(integrands) = ion_integrands(&db, ion_index, level_range, &point) else {
-            return (None, 0);
+            return (emi, 0);
         };
         let kt = point.kt_ev();
         let windows: Vec<(f64, f64)> = integrands
             .iter()
             .map(|f| level_window(f.binding_ev, kt))
             .collect();
-        let bins: Vec<(f64, f64)> = (0..grid.bins()).map(|i| grid.bin(i)).collect();
-        let closures: Vec<_> = integrands
-            .iter()
-            .map(|f| {
-                let f = *f;
-                move |e: f64| f.evaluate(e)
-            })
-            .collect();
-        let kernel = BinIntegrationKernel {
-            integrands: &closures,
-            bins: &bins,
-            precision,
-            windows: Some(&windows),
-            rule,
+        let cfg = LaunchConfig::cover(bin_pairs.len());
+        let evals = if fused {
+            // Hot path: prepared 24-byte integrands, fused bin runs,
+            // batched exponential-recurrence sampling per bin grid.
+            let prepared: Vec<PreparedIntegrand> = integrands
+                .iter()
+                .map(rrc_spectral::RrcIntegrand::prepare)
+                .collect();
+            let kernel = FusedBinKernel {
+                integrands: &prepared,
+                bins: &bin_pairs,
+                precision,
+                windows: Some(&windows),
+                rule,
+            };
+            kernel.execute(cfg, &mut emi)
+        } else {
+            // Seed path, kept for A/B comparison.
+            let closures: Vec<_> = integrands
+                .iter()
+                .map(|f| {
+                    let f = *f;
+                    move |e: f64| f.evaluate(e)
+                })
+                .collect();
+            let kernel = BinIntegrationKernel {
+                integrands: &closures,
+                bins: &bin_pairs,
+                precision,
+                windows: Some(&windows),
+                rule,
+            };
+            kernel.execute(cfg, &mut emi)
         };
-        let mut emi = vec![0.0; grid.bins()];
-        let evals = kernel.execute(LaunchConfig::cover(grid.bins()), &mut emi);
-        (Some(emi), evals)
+        (emi, evals)
     })
 }
 
@@ -443,6 +504,41 @@ mod tests {
             }
         }
         assert_eq!(a.gpu_tasks + a.cpu_tasks, b.gpu_tasks + b.cpu_tasks);
+    }
+
+    #[test]
+    fn fused_and_per_bin_kernels_agree() {
+        // The tentpole A/B: routing through FusedBinKernel + prepared
+        // integrands must reproduce the seed per-bin kernel's physics.
+        let mut fused_cfg = HybridConfig::small(6, 48, 2);
+        fused_cfg.cpu_integrator = Integrator::Simpson { panels: 64 };
+        fused_cfg.fused = true;
+        let mut seed_cfg = fused_cfg.clone();
+        seed_cfg.fused = false;
+        let a = HybridRunner::new(fused_cfg).run();
+        let b = HybridRunner::new(seed_cfg).run();
+        for (sa, sb) in a.spectra.iter().zip(&b.spectra) {
+            for (x, y) in sa.bins().iter().zip(sb.bins()) {
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1e-300), "{x} vs {y}");
+            }
+        }
+        assert_eq!(a.gpu_tasks + a.cpu_tasks, b.gpu_tasks + b.cpu_tasks);
+    }
+
+    #[test]
+    fn workspace_pool_reuses_across_cpu_tasks() {
+        // All-CPU run: every task acquires a workspace, but each rank
+        // builds at most one.
+        let mut cfg = HybridConfig::small(5, 32, 3);
+        cfg.gpus = 0;
+        let ranks = cfg.ranks as u64;
+        let report = HybridRunner::new(cfg).run();
+        assert_eq!(report.workspace_acquisitions, report.cpu_tasks);
+        assert!(report.workspaces_created <= ranks);
+        assert!(
+            report.workspaces_created < report.workspace_acquisitions,
+            "pooling avoided no allocations: {report:?}"
+        );
     }
 
     #[test]

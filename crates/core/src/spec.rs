@@ -10,14 +10,12 @@ use std::sync::Arc;
 
 use gpu_sim::{DeviceRule, Precision};
 use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace};
-use serde::{Deserialize, Serialize};
 
 use crate::runtime::HybridConfig;
 use crate::task::Granularity;
 
 /// The integration rule, JSON-friendly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "rule", rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RuleSpec {
     /// Composite Simpson (paper GPU default: 64 panels).
     Simpson {
@@ -47,8 +45,7 @@ impl From<RuleSpec> for DeviceRule {
 }
 
 /// A complete, file-loadable description of one hybrid run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Database cutoff element (31 = the full 496-ion census).
     pub max_z: u8,
@@ -69,14 +66,16 @@ pub struct RunSpec {
     /// `"ion"` or `"level"`.
     pub granularity: String,
     /// Device rule. Unlike the other fields this one is required in
-    /// JSON (serde cannot default a flattened tagged enum): e.g.
+    /// JSON, flattened into the top-level object: e.g.
     /// `"rule": "simpson", "panels": 64`.
-    #[serde(flatten)]
     pub rule: RuleSpec,
     /// `"single"` or `"double"` kernel arithmetic.
     pub precision: String,
     /// Outstanding submissions per rank (1 = synchronous).
     pub async_window: usize,
+    /// Use the fused prepared-integrand hot path (default). `false`
+    /// selects the legacy per-bin path for A/B comparison.
+    pub fused: bool,
 }
 
 impl Default for RunSpec {
@@ -97,17 +96,149 @@ impl Default for RunSpec {
             rule: RuleSpec::Simpson { panels: 64 },
             precision: "double".to_string(),
             async_window: 1,
+            fused: true,
         }
     }
 }
 
 impl RunSpec {
-    /// Load from a JSON string.
+    /// Load from a JSON string. Every field except `rule` is optional
+    /// and falls back to [`RunSpec::default`]; the rule is flattened
+    /// into the top-level object (`"rule": "simpson", "panels": 64`).
     ///
     /// # Errors
-    /// Returns the serde error message on malformed input.
+    /// Returns a descriptive message on malformed input or unknown
+    /// rule/field values.
     pub fn from_json(json: &str) -> Result<RunSpec, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let doc = jsonlite::Value::parse(json).map_err(|e| e.to_string())?;
+        let obj = doc.as_object().ok_or("run spec must be a JSON object")?;
+        let mut spec = RunSpec::default();
+
+        let f64_field = |key: &str| -> Result<Option<f64>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' must be a number")),
+            }
+        };
+        let usize_field = |key: &str| -> Result<Option<usize>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_usize()
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        let str_field = |key: &str| -> Result<Option<&str>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' must be a string")),
+            }
+        };
+        let f64_list = |key: &str| -> Result<Option<Vec<f64>>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_array()
+                    .and_then(|a| a.iter().map(jsonlite::Value::as_f64).collect())
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' must be an array of numbers")),
+            }
+        };
+
+        if let Some(z) = usize_field("max_z")? {
+            spec.max_z = u8::try_from(z).map_err(|_| "'max_z' out of range".to_string())?;
+        }
+        if let Some(bins) = usize_field("bins")? {
+            spec.bins = bins;
+        }
+        if let Some(band) = f64_list("band_ev")? {
+            if band.len() != 2 {
+                return Err("'band_ev' must be [min, max]".into());
+            }
+            spec.band_ev = [band[0], band[1]];
+        }
+        if let Some(t) = f64_list("temperatures_k")? {
+            spec.temperatures_k = t;
+        }
+        if let Some(d) = f64_list("densities_cm3")? {
+            spec.densities_cm3 = d;
+        }
+        if let Some(r) = usize_field("ranks")? {
+            spec.ranks = r;
+        }
+        if let Some(g) = usize_field("gpus")? {
+            spec.gpus = g;
+        }
+        if let Some(q) = f64_field("max_queue_len")? {
+            spec.max_queue_len = q as u64;
+        }
+        if let Some(g) = str_field("granularity")? {
+            spec.granularity = g.to_string();
+        }
+        if let Some(p) = str_field("precision")? {
+            spec.precision = p.to_string();
+        }
+        if let Some(w) = usize_field("async_window")? {
+            spec.async_window = w;
+        }
+        if let Some(fused) = obj.get("fused") {
+            spec.fused = fused
+                .as_bool()
+                .ok_or_else(|| "'fused' must be a boolean".to_string())?;
+        }
+
+        // The rule is the one required field: a flattened tagged enum.
+        let rule = str_field("rule")?.ok_or("missing required field 'rule'")?;
+        spec.rule = match rule {
+            "simpson" => RuleSpec::Simpson {
+                panels: usize_field("panels")?.ok_or("simpson rule requires 'panels'")?,
+            },
+            "romberg" => {
+                let k = usize_field("k")?.ok_or("romberg rule requires 'k'")?;
+                RuleSpec::Romberg {
+                    k: u32::try_from(k).map_err(|_| "'k' out of range".to_string())?,
+                }
+            }
+            "gauss_legendre" => RuleSpec::GaussLegendre {
+                order: usize_field("order")?.ok_or("gauss_legendre rule requires 'order'")?,
+            },
+            other => return Err(format!("unknown rule '{other}'")),
+        };
+        Ok(spec)
+    }
+
+    /// Serialize to the same flattened JSON dialect [`RunSpec::from_json`]
+    /// reads.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut b = jsonlite::ObjectBuilder::new()
+            .field("max_z", usize::from(self.max_z))
+            .field("bins", self.bins)
+            .field("band_ev", self.band_ev.to_vec())
+            .field("temperatures_k", self.temperatures_k.clone())
+            .field("densities_cm3", self.densities_cm3.clone())
+            .field("ranks", self.ranks)
+            .field("gpus", self.gpus)
+            .field("max_queue_len", self.max_queue_len as f64)
+            .field("granularity", self.granularity.as_str())
+            .field("precision", self.precision.as_str())
+            .field("async_window", self.async_window)
+            .field("fused", self.fused);
+        b = match self.rule {
+            RuleSpec::Simpson { panels } => b.field("rule", "simpson").field("panels", panels),
+            RuleSpec::Romberg { k } => b.field("rule", "romberg").field("k", k),
+            RuleSpec::GaussLegendre { order } => {
+                b.field("rule", "gauss_legendre").field("order", order)
+            }
+        };
+        b.build().to_pretty()
     }
 
     /// Materialize into a runnable [`HybridConfig`] (generates the
@@ -152,6 +283,7 @@ impl RunSpec {
             gpu_precision: precision,
             cpu_integrator: Integrator::paper_cpu(),
             async_window: self.async_window.max(1),
+            fused: self.fused,
         })
     }
 }
@@ -195,12 +327,22 @@ mod tests {
 
     #[test]
     fn bad_fields_are_rejected_with_messages() {
-        let mut spec = RunSpec::default();
-        spec.granularity = "atom".into();
-        assert!(spec.clone().into_config().unwrap_err().contains("granularity"));
+        let mut spec = RunSpec {
+            granularity: "atom".into(),
+            ..RunSpec::default()
+        };
+        assert!(spec
+            .clone()
+            .into_config()
+            .unwrap_err()
+            .contains("granularity"));
         spec.granularity = "ion".into();
         spec.precision = "quad".into();
-        assert!(spec.clone().into_config().unwrap_err().contains("precision"));
+        assert!(spec
+            .clone()
+            .into_config()
+            .unwrap_err()
+            .contains("precision"));
         spec.precision = "double".into();
         spec.max_z = 99;
         assert!(spec.clone().into_config().unwrap_err().contains("max_z"));
@@ -212,15 +354,21 @@ mod tests {
     #[test]
     fn serialization_is_stable() {
         let spec = RunSpec::default();
-        let json = serde_json::to_string(&spec).unwrap();
+        let json = spec.to_json();
         let back = RunSpec::from_json(&json).unwrap();
-        // serde_json's default float parsing can drop the last ulp of the
-        // band edges; everything else roundtrips exactly.
-        assert!((spec.band_ev[0] - back.band_ev[0]).abs() < 1e-9);
-        assert!((spec.band_ev[1] - back.band_ev[1]).abs() < 1e-9);
-        let (mut a, mut b) = (spec, back);
-        a.band_ev = [0.0, 1.0];
-        b.band_ev = [0.0, 1.0];
-        assert_eq!(a, b);
+        // The writer emits shortest-round-trip floats, so the spec
+        // survives a serialize/parse cycle exactly.
+        assert_eq!(spec, back);
+        for rule in [
+            RuleSpec::Romberg { k: 9 },
+            RuleSpec::GaussLegendre { order: 21 },
+        ] {
+            let spec = RunSpec {
+                rule,
+                fused: false,
+                ..RunSpec::default()
+            };
+            assert_eq!(spec, RunSpec::from_json(&spec.to_json()).unwrap());
+        }
     }
 }

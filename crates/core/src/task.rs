@@ -1,7 +1,5 @@
 //! Task definitions: the paper's two scheduling granularities.
 
-use serde::{Deserialize, Serialize};
-
 /// The unit of work handed to the scheduler.
 ///
 /// Paper §III-B: "both the energy level and the ion ... can be used to
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// levels (tens of thousands of integrals) into one kernel launch and
 /// one result copy; Level granularity launches per level. Fig. 3 shows
 /// Ion winning by ~2× — the headline result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// One task = one ion (coarse; the paper's recommendation).
     Ion,
@@ -20,7 +18,7 @@ pub enum Granularity {
 /// One schedulable task, with the bookkeeping both execution paths
 /// need: identity (for result routing) and work/transfer measures (for
 /// the cost model).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskSpec {
     /// Grid-point index the task belongs to.
     pub point: usize,
@@ -53,7 +51,7 @@ impl TaskSpec {
 
 /// Where a task ended up running, with its virtual-time cost — the
 /// per-task record the experiment drivers aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// Ran on the GPU with this device index.
     Gpu {

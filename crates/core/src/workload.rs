@@ -2,14 +2,13 @@
 
 use atomdb::AtomDatabase;
 use rrc_spectral::ParameterSpace;
-use serde::{Deserialize, Serialize};
 
 use crate::task::{Granularity, TaskSpec};
 
 /// The spectral workload of the paper's evaluation: a parameter space
 /// (24 grid points, one per MPI process) where every point spawns one
 /// task per ion (or per level).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpectralWorkload {
     /// Number of grid points.
     pub points: usize,
@@ -27,7 +26,12 @@ pub struct SpectralWorkload {
 impl SpectralWorkload {
     /// Build from a database and a parameter space at paper scale.
     #[must_use]
-    pub fn new(db: &AtomDatabase, space: &ParameterSpace, bins_per_level: u64, evals_per_bin: u64) -> SpectralWorkload {
+    pub fn new(
+        db: &AtomDatabase,
+        space: &ParameterSpace,
+        bins_per_level: u64,
+        evals_per_bin: u64,
+    ) -> SpectralWorkload {
         SpectralWorkload {
             points: space.len(),
             bins_per_level,
@@ -135,17 +139,15 @@ mod tests {
         let w = workload();
         let ion = w.total_tasks(Granularity::Ion);
         let level = w.total_tasks(Granularity::Level);
-        let mean_levels: f64 = w.levels_per_ion.iter().map(|&l| f64::from(l)).sum::<f64>()
-            / w.ions() as f64;
+        let mean_levels: f64 =
+            w.levels_per_ion.iter().map(|&l| f64::from(l)).sum::<f64>() / w.ions() as f64;
         assert!((level as f64 / ion as f64 - mean_levels).abs() < 1e-9);
     }
 
     #[test]
     fn work_is_conserved_across_granularities() {
         let w = workload();
-        let sum = |g: Granularity| -> u64 {
-            w.point_tasks(3, g).iter().map(|t| t.evals).sum()
-        };
+        let sum = |g: Granularity| -> u64 { w.point_tasks(3, g).iter().map(|t| t.evals).sum() };
         assert_eq!(sum(Granularity::Ion), sum(Granularity::Level));
         assert_eq!(sum(Granularity::Ion), w.evals_per_point());
     }
@@ -155,9 +157,8 @@ mod tests {
         // The paper's communication argument: ion tasks copy the result
         // array once per ion, level tasks once per level.
         let w = workload();
-        let bytes = |g: Granularity| -> u64 {
-            w.point_tasks(0, g).iter().map(|t| t.bytes_out).sum()
-        };
+        let bytes =
+            |g: Granularity| -> u64 { w.point_tasks(0, g).iter().map(|t| t.bytes_out).sum() };
         assert!(bytes(Granularity::Ion) < bytes(Granularity::Level));
     }
 

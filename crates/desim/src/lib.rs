@@ -25,25 +25,13 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
-pub use rand::Rng;
-
+pub mod rng;
 pub mod stats;
 pub mod timeseries;
 
+pub use rng::{rng, SimRng};
 pub use stats::LoadHistogram;
 pub use timeseries::TimeSeries;
-
-/// Reproducible RNG for simulations: a thin wrapper fixing the generator
-/// (ChaCha8) and seeding policy so two runs with the same seed agree on
-/// every platform.
-pub type SimRng = rand_chacha::ChaCha8Rng;
-
-/// Construct the standard simulation RNG from a seed.
-#[must_use]
-pub fn rng(seed: u64) -> SimRng {
-    use rand::SeedableRng;
-    SimRng::seed_from_u64(seed)
-}
 
 type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
 
@@ -435,10 +423,10 @@ mod tests {
         let mut a = rng(42);
         let mut b = rng(42);
         for _ in 0..100 {
-            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let mut c = rng(43);
-        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+        assert_ne!(a.next_u64(), c.next_u64());
     }
 
     #[test]

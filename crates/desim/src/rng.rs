@@ -1,0 +1,124 @@
+//! Seeded, reproducible randomness for workload jitter.
+//!
+//! A self-contained xoshiro256** generator seeded through splitmix64
+//! (the reference seeding procedure from Blackman & Vigna). The
+//! workspace builds hermetically, so this replaces the external
+//! `rand`/`rand_chacha` pair; determinism is the only property the
+//! simulations need, and the generator is fixed so two runs with the
+//! same seed agree on every platform.
+
+use std::ops::Range;
+
+/// Reproducible RNG for simulations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+/// Construct the standard simulation RNG from a seed.
+#[must_use]
+pub fn rng(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}
+
+impl SimRng {
+    /// Expand a 64-bit seed into the full generator state via
+    /// splitmix64, guaranteeing a non-zero state for any seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[range.start, range.end)`.
+    pub fn gen_range(&mut self, range: Range<f64>) -> f64 {
+        range.start + (range.end - range.start) * self.next_f64()
+    }
+
+    /// Uniform integer draw in `[range.start, range.end)` via rejection
+    /// sampling (unbiased).
+    pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
+        let span = (range.end - range.start) as u64;
+        assert!(span > 0, "empty range");
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return range.start + (draw % span) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng(9);
+        let mut b = rng(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rng(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_stay_in_range() {
+        let mut r = rng(1234);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.gen_range(3.0..7.0);
+            assert!((3.0..7.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn usize_draws_cover_the_range() {
+        let mut r = rng(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range_usize(0..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut r = rng(2026);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}

@@ -77,11 +77,7 @@ impl LoadHistogram {
         if total <= 0.0 {
             return 0.0;
         }
-        let above: f64 = self
-            .durations
-            .iter()
-            .skip(level as usize)
-            .sum();
+        let above: f64 = self.durations.iter().skip(level as usize).sum();
         100.0 * above / total
     }
 
@@ -178,7 +174,7 @@ mod tests {
         h.record(0.0, 5);
         h.record(2.0, 1); // 2 s at load 5
         h.record(3.0, 0); // 1 s at load 1
-        // cap 2: min(5,2)*2 + min(1,2)*1 = 5.
+                          // cap 2: min(5,2)*2 + min(1,2)*1 = 5.
         assert!((h.busy_integral(2) - 5.0).abs() < 1e-9);
     }
 

@@ -2,7 +2,7 @@
 //! if the simulator is right, an M/M/1 queue must reproduce the
 //! closed-form utilization and a two-server system must match M/M/2.
 
-use desim::{rng, Rng, Simulation};
+use desim::{rng, Simulation};
 
 struct World {
     served: u64,

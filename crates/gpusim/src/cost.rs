@@ -124,10 +124,8 @@ mod tests {
     fn task_time_is_sum_of_parts() {
         let m = model();
         let t = m.task_time(1000, 100, 200);
-        let expect = m.kernel_launch_s
-            + m.transfer_time(100)
-            + m.compute_time(1000)
-            + m.transfer_time(200);
+        let expect =
+            m.kernel_launch_s + m.transfer_time(100) + m.compute_time(1000) + m.transfer_time(200);
         assert!((t - expect).abs() < 1e-15);
     }
 }

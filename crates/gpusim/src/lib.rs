@@ -33,6 +33,9 @@ pub mod stream;
 pub use cost::CostModel;
 pub use memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 pub use props::{Architecture, DeviceProps};
+pub use runtime::TaskHandle;
 pub use runtime::{DeviceCounters, SimGpu};
+pub use simt::{
+    launch, BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision, ThreadCtx,
+};
 pub use stream::{Stream, StreamEvent};
-pub use simt::{launch, BinIntegrationKernel, DeviceRule, LaunchConfig, Precision, ThreadCtx};

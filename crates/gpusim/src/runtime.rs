@@ -11,18 +11,69 @@
 //! task is submitted to GPU, the CPU will be blocked until the result
 //! is back").
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::cost::CostModel;
 use crate::memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 use crate::props::DeviceProps;
 
 type Command = Box<dyn FnOnce() + Send>;
+
+/// The shared FIFO command queue: a mutex-guarded deque plus a condvar,
+/// giving the multi-consumer semantics the workers need (std's mpsc
+/// channels are single-consumer).
+struct CommandQueue {
+    state: Mutex<QueueState>,
+    signal: Condvar,
+}
+
+struct QueueState {
+    commands: VecDeque<Command>,
+    closed: bool,
+}
+
+impl CommandQueue {
+    fn new() -> CommandQueue {
+        CommandQueue {
+            state: Mutex::new(QueueState {
+                commands: VecDeque::new(),
+                closed: false,
+            }),
+            signal: Condvar::new(),
+        }
+    }
+
+    fn push(&self, cmd: Command) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        assert!(!state.closed, "device is live until drop");
+        state.commands.push_back(cmd);
+        drop(state);
+        self.signal.notify_one();
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<Command> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(cmd) = state.commands.pop_front() {
+                return Some(cmd);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.signal.wait(state).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.signal.notify_all();
+    }
+}
 
 /// Monotonic counters of one device.
 #[derive(Debug, Default)]
@@ -37,7 +88,7 @@ pub struct DeviceCounters {
 /// memory arena + virtual-time cost accounting.
 pub struct SimGpu {
     props: DeviceProps,
-    sender: Option<Sender<Command>>,
+    queue: Arc<CommandQueue>,
     workers: Vec<std::thread::JoinHandle<()>>,
     counters: Arc<DeviceCounters>,
     memory: Arc<Mutex<DeviceMemory>>,
@@ -71,22 +122,19 @@ impl SimGpu {
     /// threads sharing one FIFO queue.
     #[must_use]
     pub fn new(props: DeviceProps) -> SimGpu {
-        let (sender, receiver) = unbounded::<Command>();
+        let queue = Arc::new(CommandQueue::new());
         let counters = Arc::new(DeviceCounters::default());
         let workers = (0..props.concurrent_tasks.max(1))
             .map(|w| {
-                let receiver: Receiver<Command> = receiver.clone();
-                let counters = Arc::clone(&counters);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("{}-worker-{w}", props.name))
+                    // Counters are charged inside the command itself (see
+                    // `submit`) so they are visible by the time a
+                    // submitter's `wait` returns.
                     .spawn(move || {
-                        while let Ok(cmd) = receiver.recv() {
-                            let start = Instant::now();
+                        while let Some(cmd) = queue.pop() {
                             cmd();
-                            counters
-                                .busy_nanos
-                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            counters.tasks.fetch_add(1, Ordering::Relaxed);
                         }
                     })
                     .expect("spawn device worker")
@@ -96,7 +144,7 @@ impl SimGpu {
         let cost = CostModel::from_props(&props);
         SimGpu {
             props,
-            sender: Some(sender),
+            queue,
             workers,
             counters,
             memory,
@@ -128,24 +176,24 @@ impl SimGpu {
     /// # Errors
     /// [`OutOfDeviceMemory`] when the arena cannot fit the request.
     pub fn malloc(&self, bytes: u64) -> Result<DevicePtr, OutOfDeviceMemory> {
-        self.memory.lock().alloc(bytes)
+        self.memory.lock().expect("memory poisoned").alloc(bytes)
     }
 
     /// Free an on-board allocation (like `cudaFree`).
     pub fn free(&self, ptr: DevicePtr) {
-        self.memory.lock().free(ptr);
+        self.memory.lock().expect("memory poisoned").free(ptr);
     }
 
     /// Bytes currently allocated on the device.
     #[must_use]
     pub fn memory_used(&self) -> u64 {
-        self.memory.lock().used()
+        self.memory.lock().expect("memory poisoned").used()
     }
 
     /// High-water mark of on-board allocation.
     #[must_use]
     pub fn memory_peak(&self) -> u64 {
-        self.memory.lock().peak()
+        self.memory.lock().expect("memory poisoned").peak()
     }
 
     /// Charge the cost model for one task (launch + H2D + kernel + D2H)
@@ -171,17 +219,19 @@ impl SimGpu {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let counters = Arc::clone(&self.counters);
         let cmd: Command = Box::new(move || {
+            let start = Instant::now();
             let result = task();
+            counters
+                .busy_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            counters.tasks.fetch_add(1, Ordering::Relaxed);
             // The submitter may have given up waiting; that is fine.
             let _ = tx.send(result);
         });
-        self.sender
-            .as_ref()
-            .expect("device is live until drop")
-            .send(cmd)
-            .expect("worker threads outlive the sender");
+        self.queue.push(cmd);
         TaskHandle { result: rx }
     }
 
@@ -199,7 +249,7 @@ impl Drop for SimGpu {
     fn drop(&mut self) {
         // Close the queue, then join the workers (they drain what is
         // already queued first).
-        drop(self.sender.take());
+        self.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -225,19 +275,19 @@ mod tests {
     #[test]
     fn fermi_queue_is_fifo_and_serial() {
         let gpu = SimGpu::new(fermi());
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let handles: Vec<_> = (0..16)
             .map(|i| {
                 let log = Arc::clone(&log);
                 gpu.submit(move || {
-                    log.lock().push(i);
+                    log.lock().unwrap().push(i);
                 })
             })
             .collect();
         for h in handles {
             h.wait();
         }
-        assert_eq!(*log.lock(), (0..16).collect::<Vec<_>>());
+        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! per task, not per integral — the whole point of the paper's
 //! coarse-grained task).
 //!
-//! Execution is a parallel map over per-thread output chunks on the
-//! host's Rayon pool: disjoint `&mut` chunks give data-race freedom by
-//! construction.
+//! Execution is a parallel map over per-thread output chunks across
+//! scoped host threads: disjoint `&mut` chunks (carved with
+//! `split_at_mut`) give data-race freedom by construction, and the
+//! chunk table is computed arithmetically per worker instead of being
+//! heap-allocated per launch.
 
-use quadrature::{romberg, simpson, GaussLegendre};
-use rayon::prelude::*;
+use quadrature::{integrate_bins_sampled, romberg, simpson, BatchSampler, BinRule, GaussLegendre};
 
 /// A CUDA-style launch configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,30 +75,78 @@ impl ThreadCtx {
 /// Launch `body` over `out`: the output is split into one contiguous
 /// chunk per thread (threads at the front get the remainder, as in the
 /// usual CUDA chunking idiom) and every thread runs `body(ctx, chunk)`
-/// in parallel. Threads whose chunk would be empty still run with an
-/// empty slice (they would be idle lanes on real hardware).
+/// in parallel.
+///
+/// Threads whose chunk would be empty (idle lanes when
+/// `total_threads > out.len()`) are skipped entirely — no work is
+/// spawned for them. Simulated threads are partitioned across at most
+/// `available_parallelism` scoped host threads, each walking its range
+/// of chunks with `split_at_mut`; nothing is heap-allocated per launch.
 pub fn launch<T, F>(cfg: LaunchConfig, out: &mut [T], body: F)
 where
     T: Send,
     F: Fn(ThreadCtx, &mut [T]) + Sync,
 {
-    let threads = cfg.total_threads();
     let n = out.len();
-    let base = n / threads;
-    let extra = n % threads;
+    if n == 0 {
+        return;
+    }
+    let total = cfg.total_threads();
+    let base = n / total;
+    let extra = n % total;
+    // Number of simulated threads with a non-empty chunk: when base is
+    // 0 only the first `extra` lanes hold an element each.
+    let effective = if base == 0 { extra } else { total };
+    let body = &body;
 
-    // Carve disjoint chunks; thread t gets base (+1 for the first
-    // `extra` threads) elements.
-    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
-    let mut rest = out;
-    for t in 0..threads {
-        let size = base + usize::from(t < extra);
-        let (chunk, tail) = rest.split_at_mut(size.min(rest.len()));
-        chunks.push((t, chunk));
-        rest = tail;
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(effective);
+    if workers <= 1 {
+        run_thread_range(cfg, 0, effective, out, base, extra, body);
+        return;
     }
 
-    chunks.into_par_iter().for_each(|(t, chunk)| {
+    // First element index of simulated thread `t` under the chunking
+    // law (thread t owns base + (t < extra) elements).
+    let offset = |t: usize| t * base + t.min(extra);
+    let range_base = effective / workers;
+    let range_extra = effective % workers;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut t0 = 0usize;
+        for w in 0..workers {
+            let t1 = t0 + range_base + usize::from(w < range_extra);
+            let (slice, tail) = rest.split_at_mut(offset(t1) - offset(t0));
+            rest = tail;
+            if w + 1 == workers {
+                // Run the last range on the launching thread.
+                run_thread_range(cfg, t0, t1, slice, base, extra, body);
+            } else {
+                scope.spawn(move || run_thread_range(cfg, t0, t1, slice, base, extra, body));
+            }
+            t0 = t1;
+        }
+    });
+}
+
+/// Execute simulated threads `t0..t1` sequentially over `slice`, which
+/// holds exactly their concatenated chunks.
+fn run_thread_range<T, F>(
+    cfg: LaunchConfig,
+    t0: usize,
+    t1: usize,
+    mut slice: &mut [T],
+    base: usize,
+    extra: usize,
+    body: &F,
+) where
+    F: Fn(ThreadCtx, &mut [T]),
+{
+    for t in t0..t1 {
+        let size = base + usize::from(t < extra);
+        let (chunk, tail) = slice.split_at_mut(size);
+        slice = tail;
         let ctx = ThreadCtx {
             block_idx: (t / cfg.block_dim as usize) as u32,
             thread_idx: (t % cfg.block_dim as usize) as u32,
@@ -105,7 +154,7 @@ where
             grid_dim: cfg.grid_dim,
         };
         body(ctx, chunk);
-    });
+    }
 }
 
 /// Arithmetic precision of the device kernel.
@@ -161,7 +210,13 @@ impl DeviceRule {
         }
     }
 
-    fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F, lo: f64, hi: f64, precision: Precision) -> f64 {
+    fn integrate<F: FnMut(f64) -> f64>(
+        &self,
+        mut f: F,
+        lo: f64,
+        hi: f64,
+        precision: Precision,
+    ) -> f64 {
         match precision {
             Precision::Double => match *self {
                 DeviceRule::Simpson { panels } => simpson(f, lo, hi, panels).value,
@@ -283,11 +338,7 @@ where
     pub fn execute(&self, cfg: LaunchConfig, emi: &mut [f64]) -> u64 {
         assert_eq!(emi.len(), self.bins.len(), "emi / bins mismatch");
         if let Some(w) = self.windows {
-            assert_eq!(
-                w.len(),
-                self.integrands.len(),
-                "one window per integrand"
-            );
+            assert_eq!(w.len(), self.integrands.len(), "one window per integrand");
         }
         let bins = self.bins;
         let integrands = self.integrands;
@@ -332,6 +383,272 @@ where
         });
         evals.into_inner()
     }
+}
+
+/// The fused-hot-path variant of [`BinIntegrationKernel`].
+///
+/// Semantics are the same — accumulate `sum_level rule(f_level, bin)`
+/// into each bin — but each thread integrates its whole contiguous bin
+/// chunk per level with [`quadrature::integrate_bins_sampled`], so
+/// every shared bin edge is sampled exactly once, and window handling
+/// splits the chunk into (skipped bins) + (one clamped leading bin) +
+/// (a fused contiguous tail) instead of testing the window per bin.
+///
+/// Integrands are [`BatchSampler`]s rather than plain closures: every
+/// bin's node grid is evaluated in one `sample_batch` call, so
+/// structured integrands (the prepared RRC form, which needs only one
+/// `exp` per bin) get their fast path, while
+/// [`quadrature::FnSampler`]-wrapped closures behave — bitwise —
+/// exactly like the legacy kernel.
+///
+/// `emi` is *overwritten* (zeroed, then accumulated): the pooled
+/// per-task device buffers the runtime recycles may hold stale data, so
+/// the kernel owns initialization. With the buffer starting at zero the
+/// f64 results are bitwise identical to [`BinIntegrationKernel`] with
+/// [`DeviceRule::Simpson`]/[`DeviceRule::Romberg`], and `Single`
+/// precision reproduces the legacy f32 rounding sequence exactly.
+///
+/// [`DeviceRule::GaussLegendre`] has no shareable edge nodes; it runs
+/// per-bin exactly as the legacy kernel does (still benefiting from the
+/// prepared integrands and pooled buffers upstream).
+pub struct FusedBinKernel<'a, S> {
+    /// One integrand per level of the ion (a single-element slice for
+    /// Level granularity). Each thread works on a private copy, so the
+    /// sampler's `&mut self` methods never contend.
+    pub integrands: &'a [S],
+    /// Per-bin integration bounds `(lo, hi)`.
+    pub bins: &'a [(f64, f64)],
+    /// Kernel arithmetic precision (see [`Precision`]).
+    pub precision: Precision,
+    /// Optional per-integrand support window `(threshold, cutoff)`,
+    /// same semantics as [`BinIntegrationKernel::windows`].
+    pub windows: Option<&'a [(f64, f64)]>,
+    /// Per-bin rule.
+    pub rule: DeviceRule,
+}
+
+impl<S> FusedBinKernel<'_, S>
+where
+    S: BatchSampler + Copy + Sync,
+{
+    /// Execute the kernel with `cfg`, overwriting `emi` (one slot per
+    /// bin). Returns the number of integrand evaluations performed —
+    /// with fusion this is *less* than the legacy kernel charges for
+    /// the same work, which is the saving the cost model should see.
+    ///
+    /// # Panics
+    /// Panics if `emi.len() != self.bins.len()`.
+    pub fn execute(&self, cfg: LaunchConfig, emi: &mut [f64]) -> u64 {
+        assert_eq!(emi.len(), self.bins.len(), "emi / bins mismatch");
+        if let Some(w) = self.windows {
+            assert_eq!(w.len(), self.integrands.len(), "one window per integrand");
+        }
+        let bins = self.bins;
+        let integrands = self.integrands;
+        let windows = self.windows;
+        let rule = self.rule;
+        let precision = self.precision;
+        let n = bins.len();
+        let threads = cfg.total_threads();
+        let base = n / threads;
+        let extra = n % threads;
+        let evals = std::sync::atomic::AtomicU64::new(0);
+
+        launch(cfg, emi, |ctx, chunk| {
+            let t = ctx.global_id();
+            // Pooled buffers may hold a previous task's values.
+            for slot in chunk.iter_mut() {
+                *slot = 0.0;
+            }
+            let mut local_evals = 0u64;
+            // Recover this thread's bin offset from the chunking law.
+            let start = t * base + t.min(extra);
+            let my_bins = &bins[start..start + chunk.len()];
+            for (level, f) in integrands.iter().enumerate() {
+                // Private copy: sampling needs `&mut`, the slice is shared.
+                let mut f = *f;
+                let window = windows.map(|w| w[level]);
+                local_evals += integrate_chunk(rule, precision, &mut f, my_bins, window, chunk);
+            }
+            evals.fetch_add(local_evals, std::sync::atomic::Ordering::Relaxed);
+        });
+        evals.into_inner()
+    }
+}
+
+/// Accumulate one integrand over one thread's bin chunk, fusing shared
+/// edges where the rule allows it.
+fn integrate_chunk<S: BatchSampler>(
+    rule: DeviceRule,
+    precision: Precision,
+    s: &mut S,
+    bins: &[(f64, f64)],
+    window: Option<(f64, f64)>,
+    out: &mut [f64],
+) -> u64 {
+    // Resolve the window to the sub-range of bins with support:
+    // `skip..end`, with bin `skip` possibly clamped at the threshold.
+    let (skip, end, clamped_lo) = match window {
+        None => (0, bins.len(), None),
+        Some((threshold, cutoff)) => {
+            let skip = bins.partition_point(|&(_, hi)| hi <= threshold);
+            let end = bins.partition_point(|&(lo, _)| lo < cutoff);
+            if skip >= end {
+                return 0;
+            }
+            let (lo, _) = bins[skip];
+            let clamped = lo.max(threshold);
+            (skip, end, if clamped > lo { Some(clamped) } else { None })
+        }
+    };
+    let bins = &bins[skip..end];
+    let out = &mut out[skip..end];
+    match (rule, precision) {
+        (DeviceRule::Simpson { panels }, Precision::Double) => {
+            fused_f64(BinRule::Simpson { panels }, s, bins, clamped_lo, out)
+        }
+        (DeviceRule::Romberg { k }, Precision::Double) => {
+            fused_f64(BinRule::Romberg { k }, s, bins, clamped_lo, out)
+        }
+        (DeviceRule::Simpson { panels }, Precision::Single) => {
+            fused_simpson_f32(s, bins, clamped_lo, out, panels)
+        }
+        (DeviceRule::Romberg { k }, Precision::Single) => {
+            perbin_f32(rule, s, bins, clamped_lo, out, romberg_f32_adapter(k))
+        }
+        (DeviceRule::GaussLegendre { order }, _) => {
+            // No shared edge nodes: per-bin exactly like the legacy path.
+            let gl = GaussLegendre::new(order);
+            let mut evals = 0u64;
+            for (slot, (i, &(lo, hi))) in out.iter_mut().zip(bins.iter().enumerate()) {
+                let lo = if i == 0 { clamped_lo.unwrap_or(lo) } else { lo };
+                let value = match precision {
+                    Precision::Double => gl.integrate(|x| s.sample(x), lo, hi).value,
+                    Precision::Single => {
+                        gl.integrate(|x| f64::from(s.sample(x) as f32), lo, hi)
+                            .value
+                    }
+                };
+                accumulate(slot, value, precision);
+                evals += rule.evals_per_bin();
+            }
+            evals
+        }
+    }
+}
+
+/// f64 fused path: the clamped leading bin (if any) integrates alone,
+/// the contiguous remainder goes through
+/// [`quadrature::integrate_bins_sampled`].
+fn fused_f64<S: BatchSampler>(
+    rule: BinRule,
+    s: &mut S,
+    bins: &[(f64, f64)],
+    clamped_lo: Option<f64>,
+    out: &mut [f64],
+) -> u64 {
+    match clamped_lo {
+        Some(lo) => {
+            let first = [(lo, bins[0].1)];
+            let evals = integrate_bins_sampled(rule, &mut *s, &first, &mut out[..1]);
+            evals + integrate_bins_sampled(rule, &mut *s, &bins[1..], &mut out[1..])
+        }
+        None => integrate_bins_sampled(rule, s, bins, out),
+    }
+}
+
+/// Round-and-accumulate matching the legacy kernel's per-level step.
+fn accumulate(slot: &mut f64, value: f64, precision: Precision) {
+    *slot = match precision {
+        Precision::Double => *slot + value,
+        Precision::Single => f64::from(*slot as f32 + value as f32),
+    };
+}
+
+/// Fused composite Simpson with f32 accumulation: per-bin arithmetic
+/// identical to the legacy `simpson_f32` — the same node expressions and
+/// the same f32 rounding sequence — with each bin's nodes gathered into
+/// one ascending `sample_batch` call and the raw f64 edge sample cached
+/// across shared edges (rounding happens at accumulation, so reuse
+/// cannot change the result).
+fn fused_simpson_f32<S: BatchSampler>(
+    s: &mut S,
+    bins: &[(f64, f64)],
+    clamped_lo: Option<f64>,
+    out: &mut [f64],
+    panels: usize,
+) -> u64 {
+    let n = panels.max(1);
+    let mut evals = 0u64;
+    let mut edge: Option<(f64, f64)> = None;
+    // Ascending per-bin grid: lo, then (mid_j, interior_j) per panel,
+    // then hi — mid_j lands at 2j+1, interior_j at 2j+2, hi at 2n.
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * n + 1);
+    let mut vals: Vec<f64> = vec![0.0; 2 * n + 1];
+    for (i, (slot, &(lo, hi))) in out.iter_mut().zip(bins).enumerate() {
+        let lo = if i == 0 { clamped_lo.unwrap_or(lo) } else { lo };
+        xs.clear();
+        xs.push(lo);
+        for j in 0..n {
+            let a = lo + (hi - lo) * j as f64 / n as f64;
+            xs.push(a + 0.5 * (hi - lo) / n as f64);
+            if j + 1 < n {
+                xs.push(a + (hi - lo) / n as f64);
+            }
+        }
+        xs.push(hi);
+        match edge {
+            Some((x, v)) if x == lo => {
+                vals[0] = v;
+                s.sample_batch(&xs[1..], &mut vals[1..2 * n + 1]);
+                evals += 2 * n as u64;
+            }
+            _ => {
+                s.sample_batch(&xs, &mut vals[..2 * n + 1]);
+                evals += 2 * n as u64 + 1;
+            }
+        }
+        // Mirrors `simpson_f32` exactly from here.
+        let h = ((hi - lo) / n as f64) as f32;
+        let mut sum = vals[0] as f32 + vals[2 * n] as f32;
+        for j in 0..n {
+            sum += 4.0f32 * vals[2 * j + 1] as f32;
+            if j + 1 < n {
+                sum += 2.0f32 * vals[2 * j + 2] as f32;
+            }
+        }
+        accumulate(slot, f64::from(sum * h / 6.0f32), Precision::Single);
+        edge = Some((hi, vals[2 * n]));
+    }
+    evals
+}
+
+/// Adapter handing `romberg_f32` to [`perbin_f32`].
+fn romberg_f32_adapter(k: u32) -> impl Fn(&mut dyn FnMut(f64) -> f64, f64, f64) -> f64 {
+    move |f, lo, hi| romberg_f32(&mut *f, lo, hi, k)
+}
+
+/// Per-bin f32 fallback for rules without a fused f32 form; arithmetic
+/// identical to the legacy kernel.
+fn perbin_f32<S: BatchSampler>(
+    rule: DeviceRule,
+    s: &mut S,
+    bins: &[(f64, f64)],
+    clamped_lo: Option<f64>,
+    out: &mut [f64],
+    integrate: impl Fn(&mut dyn FnMut(f64) -> f64, f64, f64) -> f64,
+) -> u64 {
+    let mut evals = 0u64;
+    for (i, (slot, &(lo, hi))) in out.iter_mut().zip(bins).enumerate() {
+        let lo = if i == 0 { clamped_lo.unwrap_or(lo) } else { lo };
+        accumulate(
+            slot,
+            integrate(&mut |x| s.sample(x), lo, hi),
+            Precision::Single,
+        );
+        evals += rule.evals_per_bin();
+    }
+    evals
 }
 
 #[cfg(test)]
@@ -509,7 +826,7 @@ mod tests {
         assert!((emi[1] - 0.3).abs() < 1e-14); // clamped to [0.5, 0.8]
         assert!((emi[2] - 0.4).abs() < 1e-14); // fully inside
         assert_eq!(emi[3], 0.0); // at/after cutoff
-        // Work is only charged for the 2 bins actually integrated.
+                                 // Work is only charged for the 2 bins actually integrated.
         assert_eq!(evals, 2 * 5);
     }
 

@@ -15,8 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver};
-use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Condvar, Mutex};
 
 use crate::runtime::{SimGpu, TaskHandle};
 
@@ -38,20 +39,27 @@ pub struct Stream {
 /// A recorded synchronization point in a stream.
 pub struct StreamEvent {
     fired: Receiver<()>,
+    seen: Cell<bool>,
 }
 
 impl StreamEvent {
     /// Block until the event has fired.
     pub fn synchronize(&self) {
-        let _ = self.fired.recv();
+        if !self.seen.get() && self.fired.recv().is_ok() {
+            self.seen.set(true);
+        }
     }
 
     /// Whether the event has already fired.
     #[must_use]
     pub fn query(&self) -> bool {
-        // A fired event's channel is disconnected after the single send
-        // was consumed, or has the message pending.
-        !self.fired.is_empty() || self.fired.try_recv().is_ok()
+        if self.seen.get() {
+            return true;
+        }
+        if self.fired.try_recv().is_ok() {
+            self.seen.set(true);
+        }
+        self.seen.get()
     }
 }
 
@@ -87,14 +95,14 @@ impl Stream {
         device.submit(move || {
             // Gate: wait for our turn in the stream.
             {
-                let mut completed = state.completed.lock();
+                let mut completed = state.completed.lock().expect("stream poisoned");
                 while *completed != seq {
-                    state.signal.wait(&mut completed);
+                    completed = state.signal.wait(completed).expect("stream poisoned");
                 }
             }
             let result = task();
             {
-                let mut completed = state.completed.lock();
+                let mut completed = state.completed.lock().expect("stream poisoned");
                 *completed = seq + 1;
             }
             state.signal.notify_all();
@@ -106,12 +114,15 @@ impl Stream {
     /// returned [`StreamEvent`] fires once the stream reaches this
     /// point.
     pub fn record_event(&self, device: &SimGpu) -> StreamEvent {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = sync_channel(1);
         // The event is itself an (empty) stream task.
         let _ = self.submit(device, move || {
             let _ = tx.send(());
         });
-        StreamEvent { fired: rx }
+        StreamEvent {
+            fired: rx,
+            seen: Cell::new(false),
+        }
     }
 
     /// Make this stream wait for `event` (recorded on another stream)
@@ -148,13 +159,13 @@ mod tests {
         let handles: Vec<_> = (0..32)
             .map(|i| {
                 let log = Arc::clone(&log);
-                stream.submit(&gpu, move || log.lock().push(i))
+                stream.submit(&gpu, move || log.lock().unwrap().push(i))
             })
             .collect();
         for h in handles {
             h.wait();
         }
-        assert_eq!(*log.lock(), (0..32).collect::<Vec<_>>());
+        assert_eq!(*log.lock().unwrap(), (0..32).collect::<Vec<_>>());
     }
 
     #[test]

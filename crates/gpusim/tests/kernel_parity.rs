@@ -1,19 +1,23 @@
 //! Property tests: the SIMT kernel must agree with the host quadrature
 //! library for arbitrary launch geometries and integrand families —
 //! the "GPU" is a different execution of the same mathematics.
+//!
+//! Deterministic seeded sweeps (`desim::rng`) stand in for an external
+//! property-testing framework.
 
-use gpu_sim::{BinIntegrationKernel, DeviceRule, LaunchConfig, Precision};
-use proptest::prelude::*;
+use desim::rng;
+use gpu_sim::{BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision};
+use quadrature::FnSampler;
 
-proptest! {
-    #[test]
-    fn kernel_equals_host_simpson(
-        grid_dim in 1u32..6,
-        block_dim in 1u32..65,
-        n_bins in 1usize..80,
-        a in -2.0f64..2.0,
-        b in -2.0f64..2.0,
-    ) {
+#[test]
+fn kernel_equals_host_simpson() {
+    let mut r = rng(0x51A71);
+    for _ in 0..60 {
+        let grid_dim = r.gen_range_usize(1..6) as u32;
+        let block_dim = r.gen_range_usize(1..65) as u32;
+        let n_bins = r.gen_range_usize(1..80);
+        let a = r.gen_range(-2.0..2.0);
+        let b = r.gen_range(-2.0..2.0);
         let f = move |x: f64| (a * x).sin() + b * x * x + 1.5;
         let bins: Vec<(f64, f64)> = (0..n_bins)
             .map(|i| (i as f64 * 0.25, (i + 1) as f64 * 0.25))
@@ -29,22 +33,20 @@ proptest! {
         kernel.execute(LaunchConfig::new(grid_dim, block_dim), &mut emi);
         for (i, &(lo, hi)) in bins.iter().enumerate() {
             let host = quadrature::simpson(f, lo, hi, 16).value;
-            prop_assert_eq!(emi[i], host, "bin {}", i);
+            assert_eq!(emi[i], host, "bin {i}");
         }
     }
+}
 
-    #[test]
-    fn kernel_work_count_is_exact(
-        n_bins in 1usize..50,
-        levels in 1usize..6,
-        panels in 1usize..40,
-    ) {
-        let fs: Vec<_> = (0..levels)
-            .map(|l| move |x: f64| x + l as f64)
-            .collect();
-        let bins: Vec<(f64, f64)> = (0..n_bins)
-            .map(|i| (i as f64, i as f64 + 1.0))
-            .collect();
+#[test]
+fn kernel_work_count_is_exact() {
+    let mut r = rng(0x3C0);
+    for _ in 0..60 {
+        let n_bins = r.gen_range_usize(1..50);
+        let levels = r.gen_range_usize(1..6);
+        let panels = r.gen_range_usize(1..40);
+        let fs: Vec<_> = (0..levels).map(|l| move |x: f64| x + l as f64).collect();
+        let bins: Vec<(f64, f64)> = (0..n_bins).map(|i| (i as f64, i as f64 + 1.0)).collect();
         let kernel = BinIntegrationKernel {
             integrands: &fs,
             bins: &bins,
@@ -54,18 +56,20 @@ proptest! {
         };
         let mut emi = vec![0.0; n_bins];
         let evals = kernel.execute(LaunchConfig::cover(n_bins), &mut emi);
-        prop_assert_eq!(
+        assert_eq!(
             evals,
             (2 * panels as u64 + 1) * n_bins as u64 * levels as u64
         );
     }
+}
 
-    #[test]
-    fn windows_never_create_negative_work(
-        n_bins in 1usize..40,
-        threshold in 0.0f64..10.0,
-        width in 0.1f64..10.0,
-    ) {
+#[test]
+fn windows_never_create_negative_work() {
+    let mut r = rng(0x3149D0);
+    for _ in 0..60 {
+        let n_bins = r.gen_range_usize(1..40);
+        let threshold = r.gen_range(0.0..10.0);
+        let width = r.gen_range(0.1..10.0);
         let f = |_x: f64| 1.0;
         let bins: Vec<(f64, f64)> = (0..n_bins)
             .map(|i| (i as f64 * 0.5, (i + 1) as f64 * 0.5))
@@ -83,13 +87,133 @@ proptest! {
         // Integrating the constant 1 over clamped sub-bins: every value
         // in [0, bin width], total <= window width.
         for (i, &v) in emi.iter().enumerate() {
-            prop_assert!(v >= 0.0 && v <= 0.5 + 1e-12, "bin {}: {}", i, v);
+            assert!((0.0..=0.5 + 1e-12).contains(&v), "bin {i}: {v}");
         }
         // The cutoff is a skip heuristic, not a clamp (bins that start
         // inside the window integrate to their own upper edge, exactly
         // like the CPU path), so the straddling bin may overshoot by up
         // to one bin width.
         let total: f64 = emi.iter().sum();
-        prop_assert!(total <= width + 0.5 + 1e-9);
+        assert!(total <= width + 0.5 + 1e-9);
     }
+}
+
+/// Run both kernels on the same random task and return their outputs
+/// and eval counts.
+#[allow(clippy::type_complexity)]
+fn run_pair(
+    r: &mut desim::SimRng,
+    precision: Precision,
+    rule: DeviceRule,
+) -> (Vec<f64>, u64, Vec<f64>, u64) {
+    let grid_dim = r.gen_range_usize(1..5) as u32;
+    let block_dim = r.gen_range_usize(1..33) as u32;
+    let n_bins = r.gen_range_usize(1..70);
+    let levels = r.gen_range_usize(1..4);
+    let params: Vec<(f64, f64)> = (0..levels)
+        .map(|_| (r.gen_range(-2.0..2.0), r.gen_range(0.2..2.0)))
+        .collect();
+    let fs: Vec<_> = params
+        .iter()
+        .map(|&(a, b)| move |x: f64| (a * x).cos() * (-b * x * 0.1).exp() + 2.0)
+        .collect();
+    let bins: Vec<(f64, f64)> = (0..n_bins)
+        .map(|i| (i as f64 * 0.3, (i + 1) as f64 * 0.3))
+        .collect();
+    // Random per-level windows, sometimes clamping mid-bin.
+    let windows: Vec<(f64, f64)> = (0..levels)
+        .map(|_| {
+            let t = r.gen_range(0.0..n_bins as f64 * 0.3);
+            (t, t + r.gen_range(0.5..n_bins as f64 * 0.3 + 1.0))
+        })
+        .collect();
+    let cfg = LaunchConfig::new(grid_dim, block_dim);
+    let legacy = BinIntegrationKernel {
+        integrands: &fs,
+        bins: &bins,
+        precision,
+        windows: Some(&windows),
+        rule,
+    };
+    let mut legacy_emi = vec![0.0; n_bins];
+    let legacy_evals = legacy.execute(cfg, &mut legacy_emi);
+    // FnSampler-wrapped closures take the per-node default batch path,
+    // which the fused kernel must keep bitwise-identical to the legacy
+    // kernel.
+    let samplers: Vec<_> = fs.iter().copied().map(FnSampler).collect();
+    let fused = FusedBinKernel {
+        integrands: &samplers,
+        bins: &bins,
+        precision,
+        windows: Some(&windows),
+        rule,
+    };
+    // Poison the fused buffer: the fused kernel owns initialization.
+    let mut fused_emi = vec![f64::NAN; n_bins];
+    let fused_evals = fused.execute(cfg, &mut fused_emi);
+    (legacy_emi, legacy_evals, fused_emi, fused_evals)
+}
+
+/// The fused kernel is bitwise identical to the legacy per-bin kernel in
+/// f64, for every rule, and never does more integrand evaluations.
+#[test]
+fn fused_kernel_matches_legacy_bitwise_f64() {
+    let mut r = rng(0xF05ED);
+    for rule in [
+        DeviceRule::Simpson { panels: 16 },
+        DeviceRule::Romberg { k: 5 },
+        DeviceRule::GaussLegendre { order: 8 },
+    ] {
+        for _ in 0..25 {
+            let (legacy, legacy_evals, fused, fused_evals) =
+                run_pair(&mut r, Precision::Double, rule);
+            assert_eq!(legacy, fused, "{rule:?}");
+            assert!(fused_evals <= legacy_evals, "{rule:?}");
+        }
+    }
+}
+
+/// Emulated-f32 behavior is preserved exactly: the fused kernel rounds
+/// at the same points the legacy kernel does, so Single-precision
+/// results are bitwise identical too (the Fig. 8 error scale depends on
+/// this rounding sequence).
+#[test]
+fn fused_kernel_preserves_f32_behavior() {
+    let mut r = rng(0xF32);
+    for rule in [
+        DeviceRule::Simpson { panels: 16 },
+        DeviceRule::Romberg { k: 5 },
+        DeviceRule::GaussLegendre { order: 8 },
+    ] {
+        for _ in 0..25 {
+            let (legacy, _, fused, _) = run_pair(&mut r, Precision::Single, rule);
+            assert_eq!(legacy, fused, "{rule:?}");
+        }
+    }
+}
+
+/// Fusion saves exactly one evaluation per shared interior edge of each
+/// thread's contiguous in-window run (Simpson / Romberg; Gauss–Legendre
+/// has no edge nodes to share).
+#[test]
+fn fused_kernel_saves_shared_edges() {
+    let f = |x: f64| x * x + 1.0;
+    let n_bins = 48;
+    let bins: Vec<(f64, f64)> = (0..n_bins)
+        .map(|i| (i as f64 * 0.5, (i + 1) as f64 * 0.5))
+        .collect();
+    // One thread owns the whole run: 47 interior edges shared.
+    let cfg = LaunchConfig::new(1, 1);
+    let samplers = [FnSampler(f)];
+    let fused = FusedBinKernel {
+        integrands: &samplers,
+        bins: &bins,
+        precision: Precision::Double,
+        windows: None,
+        rule: DeviceRule::Simpson { panels: 8 },
+    };
+    let mut emi = vec![0.0; n_bins];
+    let evals = fused.execute(cfg, &mut emi);
+    let isolated = 2 * 8 + 1;
+    assert_eq!(evals, isolated + (n_bins as u64 - 1) * (isolated - 1));
 }

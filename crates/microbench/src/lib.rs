@@ -1,0 +1,409 @@
+//! A Criterion-compatible micro-benchmark harness with zero
+//! dependencies.
+//!
+//! The workspace builds hermetically (no registry access), so the
+//! `crates/bench` suites use this shim instead of the real `criterion`
+//! crate. It reproduces the subset of the API the suites use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`Bencher::iter_custom`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! fixed-batch measurement loop: a warm-up phase to stabilize caches
+//! and frequency, then repeated timed batches from which it reports
+//! median and mean per-iteration time.
+//!
+//! Measurements are also recorded in-process so callers (the
+//! `repro-hotpath` binary) can collect results programmatically via
+//! [`Criterion::take_measurements`] instead of scraping stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under the name benches import.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` path identifying the benchmark.
+    pub id: String,
+    /// Median per-iteration time across timed batches.
+    pub median: Duration,
+    /// Mean per-iteration time across timed batches.
+    pub mean: Duration,
+    /// Total iterations executed during the timed phase.
+    pub iterations: u64,
+}
+
+impl Measurement {
+    /// Median per-iteration time in nanoseconds.
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        self.median.as_secs_f64() * 1e9
+    }
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_count: usize,
+    measurements: Vec<Measurement>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor the CLI filter argument cargo-bench forwards
+        // (`cargo bench --bench x -- substring`) plus the `--bench`
+        // flag cargo appends; everything else is accepted and ignored
+        // so Criterion-style invocations keep working.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+            sample_count: 20,
+            measurements: Vec::new(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Run a single ungrouped benchmark (Criterion allows this directly
+    /// on the top-level handle).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = id.into_benchmark_id().0;
+        let samples = self.sample_count;
+        let mut bencher = Bencher::new();
+        self.run_one(full, samples, &mut bencher, f);
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Drain all measurements recorded so far.
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_count: usize,
+        bencher: &mut Bencher,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        bencher.warm_up_time = self.warm_up_time;
+        bencher.measurement_time = self.measurement_time;
+        bencher.sample_count = sample_count;
+        f(bencher);
+        let m = bencher.finish(id);
+        println!(
+            "bench {:<58} median {:>12.1} ns/iter  mean {:>12.1} ns/iter  ({} iters)",
+            m.id,
+            m.median_ns(),
+            m.mean.as_secs_f64() * 1e9,
+            m.iterations
+        );
+        self.measurements.push(m);
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let mut bencher = Bencher::new();
+        self.criterion.run_one(full, samples, &mut bencher, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_owned())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Per-benchmark measurement driver, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_count: usize,
+    samples: Vec<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+            sample_count: 20,
+            samples: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Time `routine`, called repeatedly in batches. The return value
+    /// is passed through `black_box` so the work cannot be elided.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also estimates the per-iteration cost so the timed
+        // batches each hold roughly measurement_time / sample_count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_target = self.measurement_time.as_secs_f64() / self.sample_count as f64;
+        let batch_iters = ((batch_target / per_iter.max(1e-9)) as u64).max(1);
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(
+                elapsed / u32::try_from(batch_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            );
+            self.iterations += batch_iters;
+        }
+    }
+
+    /// Criterion's escape hatch: the routine receives an iteration
+    /// count and must return the elapsed time for exactly that many
+    /// iterations (allowing setup to be excluded from the timing).
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        // Calibrate with a single iteration.
+        let once = routine(1).max(Duration::from_nanos(1));
+        let batch_target = self.measurement_time.as_secs_f64() / self.sample_count as f64;
+        let batch_iters = ((batch_target / once.as_secs_f64()) as u64).max(1);
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(batch_iters.min(16)));
+        }
+        for _ in 0..self.sample_count {
+            let elapsed = routine(batch_iters);
+            self.samples.push(
+                elapsed / u32::try_from(batch_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            );
+            self.iterations += batch_iters;
+        }
+    }
+
+    fn finish(&mut self, id: String) -> Measurement {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let total: Duration = sorted.iter().sum();
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            total / u32::try_from(sorted.len()).unwrap_or(1)
+        };
+        self.samples.clear();
+        Measurement {
+            id,
+            median,
+            mean,
+            iterations: std::mem::take(&mut self.iterations),
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function that runs
+/// each listed benchmark function against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.filter = None;
+        c.sample_count = 4;
+        c
+    }
+
+    #[test]
+    fn iter_records_a_measurement() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        // black_box the range bound so release builds cannot
+        // constant-fold the body to a zero-duration iteration.
+        g.bench_function("sum", |b| b.iter(|| (0..black_box(100u64)).sum::<u64>()));
+        g.finish();
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "g/sum");
+        assert!(ms[0].iterations > 0);
+        assert!(ms[0].median > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_custom_controls_timing() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function(BenchmarkId::new("fixed", 7), |b| {
+            b.iter_custom(|iters| {
+                Duration::from_nanos(100) * u32::try_from(iters).unwrap_or(u32::MAX)
+            })
+        });
+        g.finish();
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "g/fixed/7");
+        // Per-iteration time should come out near the synthetic 100ns.
+        assert!(ms[0].median_ns() >= 50.0 && ms[0].median_ns() <= 200.0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.take_measurements()[0].id, "g/42");
+    }
+}

@@ -99,10 +99,9 @@ impl RankCtx {
             {
                 let env = queue.remove(pos).expect("position valid");
                 let src = env.src;
-                let value = env
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!("type mismatch receiving tag {tag} from rank {src}"));
+                let value = env.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("type mismatch receiving tag {tag} from rank {src}")
+                });
                 return (src, *value);
             }
             queue = mailbox.signal.wait(queue).expect("mailbox poisoned");
@@ -314,7 +313,7 @@ mod tests {
     fn any_source_receives_from_all() {
         let results = run(4, |ctx| {
             if ctx.rank() == 0 {
-                let mut seen = vec![false; 4];
+                let mut seen = [false; 4];
                 for _ in 0..3 {
                     let (src, v) = ctx.recv::<usize>(ANY_SOURCE, 5);
                     assert_eq!(src, v);
@@ -398,8 +397,8 @@ mod tests {
                 // Nothing sent yet: must not block.
                 assert!(ctx.try_recv::<u8>(1, 3).is_none());
                 ctx.barrier(); // rank 1 sends before this barrier
-                // Message may need a moment to be observable after the
-                // barrier; poll.
+                               // Message may need a moment to be observable after the
+                               // barrier; poll.
                 loop {
                     if let Some((src, v)) = ctx.try_recv::<u8>(1, 3) {
                         return (src, v);

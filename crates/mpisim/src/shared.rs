@@ -94,7 +94,10 @@ impl SharedRegion {
     /// scanning `l_i`/`h_i` without a global lock).
     #[must_use]
     pub fn snapshot(&self) -> Vec<u64> {
-        self.words.iter().map(|w| w.load(Ordering::SeqCst)).collect()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::SeqCst))
+            .collect()
     }
 }
 

@@ -25,8 +25,8 @@ pub const A: [f64; 13] = [
 
 /// Isotope labels, index-aligned with [`A`].
 pub const LABELS: [&str; 13] = [
-    "He4", "C12", "O16", "Ne20", "Mg24", "Si28", "S32", "Ar36", "Ca40", "Ti44", "Cr48",
-    "Fe52", "Ni56",
+    "He4", "C12", "O16", "Ne20", "Mg24", "Si28", "S32", "Ar36", "Ca40", "Ti44", "Cr48", "Fe52",
+    "Ni56",
 ];
 
 /// The alpha network at fixed thermodynamic conditions.
@@ -245,8 +245,14 @@ mod tests {
         assert!(!stats.truncated, "{stats:?}");
         let intermediate: f64 = y[1..11].iter().zip(&A[1..11]).map(|(y, a)| y * a).sum();
         let ni = y[12] * A[12];
-        assert!(intermediate > 0.01, "no intermediate products: {intermediate}");
-        assert!(ni < intermediate / 2.0, "nickel {ni} vs intermediate {intermediate}");
+        assert!(
+            intermediate > 0.01,
+            "no intermediate products: {intermediate}"
+        );
+        assert!(
+            ni < intermediate / 2.0,
+            "nickel {ni} vs intermediate {intermediate}"
+        );
     }
 
     #[test]

@@ -192,8 +192,16 @@ mod tests {
     #[test]
     fn interpolation_is_linear_and_clamped() {
         let h = PlasmaHistory::new(vec![
-            PlasmaSample { time_s: 0.0, temperature_k: 1e6, electron_density: 1.0 },
-            PlasmaSample { time_s: 10.0, temperature_k: 3e6, electron_density: 2.0 },
+            PlasmaSample {
+                time_s: 0.0,
+                temperature_k: 1e6,
+                electron_density: 1.0,
+            },
+            PlasmaSample {
+                time_s: 10.0,
+                temperature_k: 3e6,
+                electron_density: 2.0,
+            },
         ]);
         assert_eq!(h.at(-5.0), (1e6, 1.0));
         assert_eq!(h.at(20.0), (3e6, 2.0));
@@ -227,9 +235,21 @@ mod tests {
     fn simplex_is_preserved_along_histories() {
         let solver = LsodaSolver::default();
         let history = PlasmaHistory::new(vec![
-            PlasmaSample { time_s: 0.0, temperature_k: 1e5, electron_density: 0.5 },
-            PlasmaSample { time_s: 1e8, temperature_k: 2e7, electron_density: 1.5 },
-            PlasmaSample { time_s: 2e8, temperature_k: 5e5, electron_density: 3.0 },
+            PlasmaSample {
+                time_s: 0.0,
+                temperature_k: 1e5,
+                electron_density: 0.5,
+            },
+            PlasmaSample {
+                time_s: 1e8,
+                temperature_k: 2e7,
+                electron_density: 1.5,
+            },
+            PlasmaSample {
+                time_s: 2e8,
+                temperature_k: 5e5,
+                electron_density: 3.0,
+            },
         ]);
         let mut x = vec![0.0; 13];
         x[0] = 1.0;
@@ -243,8 +263,16 @@ mod tests {
     #[should_panic(expected = "must increase in time")]
     fn non_monotonic_history_panics() {
         let _ = PlasmaHistory::new(vec![
-            PlasmaSample { time_s: 1.0, temperature_k: 1e6, electron_density: 1.0 },
-            PlasmaSample { time_s: 1.0, temperature_k: 2e6, electron_density: 1.0 },
+            PlasmaSample {
+                time_s: 1.0,
+                temperature_k: 1e6,
+                electron_density: 1.0,
+            },
+            PlasmaSample {
+                time_s: 1.0,
+                temperature_k: 2e6,
+                electron_density: 1.0,
+            },
         ]);
     }
 }

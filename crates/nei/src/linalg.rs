@@ -194,11 +194,7 @@ mod tests {
 
     #[test]
     fn random_systems_roundtrip() {
-        use rand::Rng;
-        let mut rng = {
-            use rand::SeedableRng;
-            rand_chacha::ChaCha8Rng::seed_from_u64(11)
-        };
+        let mut rng = desim::rng(11);
         for n in [1usize, 2, 5, 12, 31] {
             let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
             let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();

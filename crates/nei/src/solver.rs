@@ -220,9 +220,7 @@ impl LsodaSolver {
                     // Stiffness check: if the fastest mode would need far
                     // more explicit steps than the span justifies, switch.
                     let lambda = sys.max_rate(x); // 1/s
-                    if lambda * (t1 - t) > self.config.stiff_efoldings
-                        && h * lambda > 2.0_f64
-                    {
+                    if lambda * (t1 - t) > self.config.stiff_efoldings && h * lambda > 2.0_f64 {
                         method = Method::Stiff;
                         stats.method_switches += 1;
                         continue;
@@ -240,7 +238,7 @@ impl LsodaSolver {
                         sys.project(x);
                         stats.steps += 1;
                         bdf_prev = None; // RK steps break the BDF history
-                        // PI-ish step growth.
+                                         // PI-ish step growth.
                         let grow = if err > 0.0 {
                             0.9 * (1.0 / err).powf(0.2)
                         } else {
@@ -282,8 +280,7 @@ impl LsodaSolver {
                         sys.rhs(x, &mut f_x);
                         sys.rhs(&ynew, &mut f_new);
                         stats.rhs_evals += 2;
-                        let ydd: Vec<f64> =
-                            (0..n).map(|i| (f_new[i] - f_x[i]) / h).collect();
+                        let ydd: Vec<f64> = (0..n).map(|i| (f_new[i] - f_x[i]) / h).collect();
                         let second_order = bdf_prev.is_some();
                         let mut err: f64 = 0.0;
                         for i in 0..n {
@@ -291,8 +288,7 @@ impl LsodaSolver {
                                 self.config.atol + self.config.rtol * ynew[i].abs().max(x[i].abs());
                             let lte = match &bdf_prev {
                                 Some((_, h_prev, ydd_prev)) => {
-                                    let yddd =
-                                        (ydd[i] - ydd_prev[i]) / (0.5 * (h + h_prev));
+                                    let yddd = (ydd[i] - ydd_prev[i]) / (0.5 * (h + h_prev));
                                     (2.0 / 9.0) * h * h * h * yddd.abs()
                                 }
                                 None => 0.5 * h * h * ydd[i].abs(),
@@ -381,8 +377,7 @@ impl LsodaSolver {
         }
         sys.rhs(ytmp, &mut k[3]);
         for i in 0..n {
-            ytmp[i] =
-                x[i] + h * (B51 * k[0][i] + B52 * k[1][i] + B53 * k[2][i] + B54 * k[3][i]);
+            ytmp[i] = x[i] + h * (B51 * k[0][i] + B52 * k[1][i] + B53 * k[2][i] + B54 * k[3][i]);
         }
         sys.rhs(ytmp, &mut k[4]);
         for i in 0..n {
@@ -399,9 +394,8 @@ impl LsodaSolver {
         let mut err: f64 = 0.0;
         for i in 0..n {
             ynew[i] = x[i] + h * (C1 * k[0][i] + C3 * k[2][i] + C4 * k[3][i] + C6 * k[5][i]);
-            yerr[i] = h
-                * (DC1 * k[0][i] + DC3 * k[2][i] + DC4 * k[3][i] + DC5 * k[4][i]
-                    + DC6 * k[5][i]);
+            yerr[i] =
+                h * (DC1 * k[0][i] + DC3 * k[2][i] + DC4 * k[3][i] + DC5 * k[4][i] + DC6 * k[5][i]);
             let scale = self.config.atol + self.config.rtol * x[i].abs().max(ynew[i].abs());
             err = err.max((yerr[i] / scale).abs());
         }

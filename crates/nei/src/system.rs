@@ -31,15 +31,13 @@ impl NeiSystem {
     /// Ionization rate out of stage `i` at the current temperature.
     #[must_use]
     pub fn s(&self, i: usize) -> f64 {
-        IonStage::new(self.z, i as u8)
-            .map_or(0.0, |st| ionization_rate(st, self.temperature_k))
+        IonStage::new(self.z, i as u8).map_or(0.0, |st| ionization_rate(st, self.temperature_k))
     }
 
     /// Recombination rate out of stage `i` (to `i - 1`).
     #[must_use]
     pub fn alpha(&self, i: usize) -> f64 {
-        IonStage::new(self.z, i as u8)
-            .map_or(0.0, |st| recombination_rate(st, self.temperature_k))
+        IonStage::new(self.z, i as u8).map_or(0.0, |st| recombination_rate(st, self.temperature_k))
     }
 
     /// Evaluate the right-hand side `dx/dt` into `out`.

@@ -1,8 +1,6 @@
 //! Long-horizon and cross-API consistency tests for the NEI substrate.
 
-use nei::{
-    equilibrium_fractions, LsodaSolver, NeiSystem, NeiTask, NeiWorkload, PlasmaHistory,
-};
+use nei::{equilibrium_fractions, LsodaSolver, NeiSystem, NeiTask, NeiWorkload, PlasmaHistory};
 
 #[test]
 fn all_twelve_elements_relax_to_their_equilibria() {
@@ -56,7 +54,10 @@ fn task_packing_is_equivalent_to_one_long_solve() {
         solver.integrate(&sys, x, 0.0, span);
     }
 
-    for (z, (a, b)) in nei::task::NEI_ELEMENTS.iter().zip(packed.iter().zip(&single)) {
+    for (z, (a, b)) in nei::task::NEI_ELEMENTS
+        .iter()
+        .zip(packed.iter().zip(&single))
+    {
         for (i, (xa, xb)) in a.iter().zip(b).enumerate() {
             assert!(
                 (xa - xb).abs() < 1e-5,
@@ -72,9 +73,21 @@ fn history_with_cooling_recombines() {
     // hot equilibrium.
     let solver = LsodaSolver::default();
     let history = PlasmaHistory::new(vec![
-        nei::PlasmaSample { time_s: 0.0, temperature_k: 2e7, electron_density: 1.0 },
-        nei::PlasmaSample { time_s: 1e12, temperature_k: 2e7, electron_density: 1.0 },
-        nei::PlasmaSample { time_s: 1.01e12, temperature_k: 1e5, electron_density: 100.0 },
+        nei::PlasmaSample {
+            time_s: 0.0,
+            temperature_k: 2e7,
+            electron_density: 1.0,
+        },
+        nei::PlasmaSample {
+            time_s: 1e12,
+            temperature_k: 2e7,
+            electron_density: 1.0,
+        },
+        nei::PlasmaSample {
+            time_s: 1.01e12,
+            temperature_k: 1e5,
+            electron_density: 100.0,
+        },
     ]);
     let mut x = vec![0.0; 9];
     x[0] = 1.0;
@@ -122,6 +135,11 @@ fn tightening_tolerances_converges_to_the_reference() {
     // Global error shrinks as tolerances tighten (a first-order method
     // accumulates error at loose tolerance; the ordering is the
     // contract).
-    assert!(err(&medium) < err(&loose), "medium {} vs loose {}", err(&medium), err(&loose));
+    assert!(
+        err(&medium) < err(&loose),
+        "medium {} vs loose {}",
+        err(&medium),
+        err(&loose)
+    );
     assert!(err(&medium) < 1e-4, "medium error {}", err(&medium));
 }

@@ -104,7 +104,13 @@ impl Ord for Interval {
 
 /// Integrate `f` over `[lo, hi]` to tolerance `errabs` + `errrel * |I|`
 /// with a fresh workspace. Convenience wrapper over [`qags_with`].
-pub fn qags<F: FnMut(f64) -> f64>(f: F, lo: f64, hi: f64, errabs: f64, errrel: f64) -> QuadResult<Estimate> {
+pub fn qags<F: FnMut(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    errabs: f64,
+    errrel: f64,
+) -> QuadResult<Estimate> {
     let mut ws = QagsWorkspace::new();
     let cfg = AdaptiveConfig {
         errabs,
@@ -134,7 +140,11 @@ pub fn qags_with<F: FnMut(f64) -> f64>(
     if lo == hi {
         return Ok(Estimate::ZERO);
     }
-    let (a, b, sign) = if lo < hi { (lo, hi, 1.0) } else { (hi, lo, -1.0) };
+    let (a, b, sign) = if lo < hi {
+        (lo, hi, 1.0)
+    } else {
+        (hi, lo, -1.0)
+    };
 
     ws.heap.clear();
     let mut evaluations = 0u64;
@@ -254,7 +264,9 @@ fn evaluate_interval<F: FnMut(f64) -> f64>(
         f64::EPSILON * scale
     } else {
         let ratio = (200.0 * diff / scale).min(1.0);
-        (scale * ratio.powf(1.5)).max(f64::EPSILON * scale).min(diff * 200.0)
+        (scale * ratio.powf(1.5))
+            .max(f64::EPSILON * scale)
+            .min(diff * 200.0)
     };
     Ok(Interval {
         lo,

@@ -1,0 +1,343 @@
+//! Bin-range composite quadrature with shared-edge reuse.
+//!
+//! The spectral hot path integrates one integrand over a *contiguous
+//! run* of energy bins (paper Algorithm 2: each GPU thread walks its
+//! chunk of bins). Integrating the bins independently evaluates every
+//! interior bin edge twice — once as bin `i`'s upper node and once as
+//! bin `i+1`'s lower node. [`integrate_bins`] performs the whole run in
+//! one call, evaluating each shared edge exactly once and writing the
+//! per-bin results into a caller-provided slice.
+//!
+//! The per-bin arithmetic (node placement, summation order, scaling) is
+//! kept *identical* to the per-bin routines [`crate::simpson`] and
+//! [`crate::romberg`], so per-bin results are bitwise equal to the
+//! unfused path — the only change is that the cached edge sample is
+//! reused instead of recomputed. Edge reuse keys on bitwise equality of
+//! the abscissas (`bins[i].1 == bins[i+1].0`); runs whose bins do not
+//! share edges (e.g. a threshold-clamped leading bin) simply fall back
+//! to a fresh evaluation for that bin's lower node.
+
+use crate::sampler::{BatchSampler, FnSampler};
+
+/// The composite rule applied per bin by [`integrate_bins`].
+///
+/// Only the rules with shareable edge nodes are offered here;
+/// interior-node rules (Gauss–Legendre) gain nothing from fusion and
+/// keep using their per-bin form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinRule {
+    /// Composite Simpson with `panels` pieces per bin (paper GPU
+    /// default: 64).
+    Simpson {
+        /// Panels per bin.
+        panels: usize,
+    },
+    /// Romberg with `k` dichotomy levels per bin (paper Fig. 6).
+    Romberg {
+        /// Dichotomy levels.
+        k: u32,
+    },
+}
+
+impl BinRule {
+    /// Integrand evaluations per *isolated* bin (the first bin of a
+    /// run, or any bin whose lower edge cannot be reused).
+    #[must_use]
+    pub fn evals_per_isolated_bin(&self) -> u64 {
+        match *self {
+            BinRule::Simpson { panels } => 2 * panels.max(1) as u64 + 1,
+            BinRule::Romberg { k } => crate::romberg::romberg_evaluations(k),
+        }
+    }
+
+    /// Integrand evaluations per bin whose lower-edge sample is shared
+    /// with the previous bin — one fewer than the isolated count.
+    #[must_use]
+    pub fn evals_per_fused_bin(&self) -> u64 {
+        self.evals_per_isolated_bin() - 1
+    }
+}
+
+/// Integrate `f` over every bin of `bins` with `rule`, accumulating the
+/// per-bin integral into the matching slot of `out` (`out[i] +=
+/// integral of f over bins[i]`).
+///
+/// Whenever `bins[i].0` is bitwise equal to `bins[i-1].1` the sample
+/// `f` took at that edge is reused, saving one evaluation per interior
+/// edge of each contiguous run. Returns the number of integrand
+/// evaluations actually performed.
+///
+/// Per-bin results are bitwise identical to calling
+/// [`crate::simpson`] / [`crate::romberg`] on each bin separately.
+///
+/// # Panics
+/// Panics if `out.len() != bins.len()`.
+///
+/// ```
+/// use quadrature::{integrate_bins, simpson, BinRule};
+///
+/// let f = |x: f64| (-x).exp();
+/// let bins = [(0.0, 0.5), (0.5, 1.0), (1.0, 1.5)];
+/// let mut fused = [0.0; 3];
+/// let evals = integrate_bins(BinRule::Simpson { panels: 8 }, f, &bins, &mut fused);
+/// for (i, &(lo, hi)) in bins.iter().enumerate() {
+///     assert_eq!(fused[i], simpson(f, lo, hi, 8).value);
+/// }
+/// // 17 nodes for the first bin, 16 for each fused successor.
+/// assert_eq!(evals, 17 + 16 + 16);
+/// ```
+pub fn integrate_bins<F: FnMut(f64) -> f64>(
+    rule: BinRule,
+    f: F,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+) -> u64 {
+    integrate_bins_sampled(rule, &mut FnSampler(f), bins, out)
+}
+
+/// [`integrate_bins`] over a [`BatchSampler`]: each bin's node grid is
+/// evaluated with one `sample_batch` call, letting structured integrands
+/// (the prepared RRC form) amortize per-node transcendentals. With the
+/// default per-node `sample_batch` this is *exactly* [`integrate_bins`]
+/// — same nodes, same accumulation order, bitwise identical results.
+pub fn integrate_bins_sampled<S: BatchSampler>(
+    rule: BinRule,
+    s: &mut S,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+) -> u64 {
+    assert_eq!(out.len(), bins.len(), "out / bins length mismatch");
+    match rule {
+        BinRule::Simpson { panels } => simpson_bins(s, bins, out, panels),
+        BinRule::Romberg { k } => romberg_bins(s, bins, out, k),
+    }
+}
+
+/// Fill `xs` with composite-Simpson nodes in ascending order:
+/// `lo, m_0, i_1, m_1, i_2, ..., m_{n-1}, hi` (2n+1 nodes). Node
+/// expressions match `rules::simpson` bit for bit.
+fn simpson_nodes(xs: &mut Vec<f64>, lo: f64, hi: f64, n: usize) {
+    let h = (hi - lo) / n as f64;
+    xs.clear();
+    xs.push(lo);
+    for i in 0..n {
+        let a = lo + i as f64 * h;
+        xs.push(a + 0.5 * h);
+        if i + 1 < n {
+            xs.push(a + h);
+        }
+    }
+    xs.push(hi);
+}
+
+fn simpson_bins<S: BatchSampler>(
+    s: &mut S,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+    panels: usize,
+) -> u64 {
+    let n = panels.max(1);
+    let mut evals: u64 = 0;
+    // The cached sample at the previous bin's upper edge.
+    let mut edge: Option<(f64, f64)> = None;
+    // Node and value scratch, reused across bins.
+    let mut xs: Vec<f64> = Vec::with_capacity(2 * n + 1);
+    let mut vals: Vec<f64> = vec![0.0; 2 * n + 1];
+    for (slot, &(lo, hi)) in out.iter_mut().zip(bins) {
+        simpson_nodes(&mut xs, lo, hi, n);
+        match edge {
+            Some((x, v)) if x == lo => {
+                vals[0] = v;
+                s.sample_batch(&xs[1..], &mut vals[1..]);
+                evals += 2 * n as u64;
+            }
+            _ => {
+                s.sample_batch(&xs, &mut vals);
+                evals += 2 * n as u64 + 1;
+            }
+        }
+        // The accumulation mirrors `rules::simpson` exactly: endpoints
+        // first, then per panel 4x the midpoint and 2x the interior
+        // node, scaled by h/6.
+        let h = (hi - lo) / n as f64;
+        let mut sum = vals[0] + vals[2 * n];
+        for i in 0..n {
+            sum += 4.0 * vals[2 * i + 1];
+            if i + 1 < n {
+                sum += 2.0 * vals[2 * i + 2];
+            }
+        }
+        *slot += sum * h / 6.0;
+        edge = Some((hi, vals[2 * n]));
+    }
+    evals
+}
+
+fn romberg_bins<S: BatchSampler>(s: &mut S, bins: &[(f64, f64)], out: &mut [f64], k: u32) -> u64 {
+    let k = k.clamp(1, 30) as usize;
+    let mut evals: u64 = 0;
+    let mut edge: Option<(f64, f64)> = None;
+    // Tableau rows and node/value scratch hoisted out of the bin loop:
+    // allocation-free after the first bin.
+    let mut row: Vec<f64> = Vec::with_capacity(k + 1);
+    let mut prev: Vec<f64> = Vec::with_capacity(k + 1);
+    let mut xs: Vec<f64> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    for (slot, &(lo, hi)) in out.iter_mut().zip(bins) {
+        let f_lo = match edge {
+            Some((x, v)) if x == lo => v,
+            _ => {
+                evals += 1;
+                s.sample(lo)
+            }
+        };
+        let f_hi = s.sample(hi);
+        evals += 1;
+        // From here the arithmetic mirrors `romberg::romberg` exactly;
+        // each level's midpoints form one ascending uniform batch.
+        let h0 = hi - lo;
+        let mut trap = 0.5 * h0 * (f_lo + f_hi);
+        prev.clear();
+        prev.push(trap);
+        let mut diag_prev = trap;
+        for level in 1..=k {
+            let panels_before = 1usize << (level - 1);
+            let h = h0 / panels_before as f64;
+            xs.clear();
+            for i in 0..panels_before {
+                xs.push(lo + (i as f64 + 0.5) * h);
+            }
+            vals.resize(panels_before, 0.0);
+            s.sample_batch(&xs, &mut vals[..panels_before]);
+            let mut mid_sum = 0.0;
+            for &v in &vals[..panels_before] {
+                mid_sum += v;
+            }
+            evals += panels_before as u64;
+            trap = 0.5 * (trap + h * mid_sum);
+            row.clear();
+            row.push(trap);
+            let mut pow4 = 1.0;
+            for m in 1..=level {
+                pow4 *= 4.0;
+                let t = (pow4 * row[m - 1] - prev[m - 1]) / (pow4 - 1.0);
+                row.push(t);
+            }
+            diag_prev = row[level];
+            std::mem::swap(&mut prev, &mut row);
+        }
+        *slot += diag_prev;
+        edge = Some((hi, f_hi));
+    }
+    evals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{romberg, simpson};
+
+    fn grid(lo: f64, hi: f64, bins: usize) -> Vec<(f64, f64)> {
+        // Shared edges are computed once, so adjacent bins agree bitwise.
+        let edge = |i: usize| lo + (hi - lo) * (i as f64 / bins as f64);
+        (0..bins).map(|i| (edge(i), edge(i + 1))).collect()
+    }
+
+    #[test]
+    fn simpson_bins_match_per_bin_rule_bitwise() {
+        let f = |x: f64| (-(x * 0.31)).exp() * (x + 1.0).recip();
+        let bins = grid(0.3, 9.7, 41);
+        let mut out = vec![0.0; bins.len()];
+        integrate_bins(BinRule::Simpson { panels: 16 }, f, &bins, &mut out);
+        for (i, &(lo, hi)) in bins.iter().enumerate() {
+            assert_eq!(out[i], simpson(f, lo, hi, 16).value, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn romberg_bins_match_per_bin_rule_bitwise() {
+        let f = |x: f64| (x * 0.8).sin() + 2.0;
+        let bins = grid(-1.0, 4.0, 17);
+        let mut out = vec![0.0; bins.len()];
+        integrate_bins(BinRule::Romberg { k: 6 }, f, &bins, &mut out);
+        for (i, &(lo, hi)) in bins.iter().enumerate() {
+            assert_eq!(out[i], romberg(f, lo, hi, 6).value, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn shared_edges_are_evaluated_once() {
+        for (rule, isolated) in [
+            (BinRule::Simpson { panels: 8 }, 17u64),
+            (BinRule::Romberg { k: 5 }, 33u64),
+        ] {
+            assert_eq!(rule.evals_per_isolated_bin(), isolated);
+            let bins = grid(0.0, 1.0, 10);
+            let mut calls = 0u64;
+            let mut out = vec![0.0; bins.len()];
+            let reported = integrate_bins(
+                rule,
+                |x| {
+                    calls += 1;
+                    x * x
+                },
+                &bins,
+                &mut out,
+            );
+            assert_eq!(calls, reported);
+            // First bin pays full price; the 9 successors share an edge.
+            assert_eq!(reported, isolated + 9 * (isolated - 1));
+        }
+    }
+
+    #[test]
+    fn non_contiguous_bins_fall_back_to_fresh_edges() {
+        // A gap between bins 1 and 2: no reuse across the gap.
+        let bins = vec![(0.0, 1.0), (1.0, 2.0), (3.0, 4.0)];
+        let mut calls = 0u64;
+        let mut out = vec![0.0; 3];
+        let rule = BinRule::Simpson { panels: 4 };
+        let reported = integrate_bins(
+            rule,
+            |x| {
+                calls += 1;
+                x
+            },
+            &bins,
+            &mut out,
+        );
+        assert_eq!(calls, reported);
+        let full = rule.evals_per_isolated_bin();
+        assert_eq!(reported, full + (full - 1) + full);
+        for (i, &(lo, hi)) in bins.iter().enumerate() {
+            assert_eq!(out[i], simpson(|x| x, lo, hi, 4).value, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_values() {
+        let bins = vec![(0.0, 2.0)];
+        let mut out = vec![10.0];
+        integrate_bins(BinRule::Simpson { panels: 2 }, |x| x, &bins, &mut out);
+        assert!((out[0] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
+        let mut out: Vec<f64> = Vec::new();
+        let evals = integrate_bins(BinRule::Simpson { panels: 8 }, |x| x, &[], &mut out);
+        assert_eq!(evals, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut out = vec![0.0; 2];
+        let _ = integrate_bins(
+            BinRule::Simpson { panels: 8 },
+            |x| x,
+            &[(0.0, 1.0)],
+            &mut out,
+        );
+    }
+}

@@ -12,10 +12,7 @@ pub enum QuadError {
     /// The subdivision limit was reached before the tolerance was met.
     /// The best estimate obtained so far is carried in the error so the
     /// caller can still use it (QUADPACK convention).
-    MaxSubdivisions {
-        best: crate::Estimate,
-        limit: usize,
-    },
+    MaxSubdivisions { best: crate::Estimate, limit: usize },
     /// Round-off error was detected: further subdivision cannot improve
     /// the estimate. Carries the best estimate so far.
     RoundoffDetected { best: crate::Estimate },
@@ -30,7 +27,10 @@ impl fmt::Display for QuadError {
                 write!(f, "bad integration interval [{lo}, {hi}]")
             }
             QuadError::BadTolerance { errabs, errrel } => {
-                write!(f, "unsatisfiable tolerances errabs={errabs}, errrel={errrel}")
+                write!(
+                    f,
+                    "unsatisfiable tolerances errabs={errabs}, errrel={errrel}"
+                )
             }
             QuadError::MaxSubdivisions { limit, best } => write!(
                 f,

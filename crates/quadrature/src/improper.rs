@@ -49,12 +49,7 @@ pub fn qagi<F: FnMut(f64) -> f64>(
 /// accepts a panel when `|S(left)+S(right) - S(whole)| <= 15 tol`.
 /// Provided as an independent cross-check of [`crate::adaptive::qags`]
 /// (two adaptive codes agreeing is worth more than one).
-pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
-    mut f: F,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-) -> Estimate {
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> Estimate {
     fn simpson3(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
         h / 6.0 * (fa + 4.0 * fm + fb)
     }
@@ -93,15 +88,29 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(
     if lo == hi {
         return Estimate::ZERO;
     }
-    let (a, b, sign) = if lo < hi { (lo, hi, 1.0) } else { (hi, lo, -1.0) };
+    let (a, b, sign) = if lo < hi {
+        (lo, hi, 1.0)
+    } else {
+        (hi, lo, -1.0)
+    };
     let mut evals = 3u64;
     let fa = f(a);
     let mid = 0.5 * (a + b);
     let fm = f(mid);
     let fb = f(b);
     let whole = simpson3(fa, fm, fb, b - a);
-    let (value, err) =
-        recurse(&mut f, a, b, fa, fm, fb, whole, tol.max(1e-300), 48, &mut evals);
+    let (value, err) = recurse(
+        &mut f,
+        a,
+        b,
+        fa,
+        fm,
+        fb,
+        whole,
+        tol.max(1e-300),
+        48,
+        &mut evals,
+    );
     Estimate {
         value: sign * value,
         abs_error: err.max(f64::EPSILON * value.abs()),
@@ -150,7 +159,12 @@ mod tests {
         let f = |x: f64| (3.0 * x).sin() * (-0.5 * x).exp() + 2.0;
         let a = adaptive_simpson(f, 0.0, 5.0, 1e-11);
         let q = crate::adaptive::qags(f, 0.0, 5.0, 1e-12, 1e-12).unwrap();
-        assert!((a.value - q.value).abs() < 1e-8, "{} vs {}", a.value, q.value);
+        assert!(
+            (a.value - q.value).abs() < 1e-8,
+            "{} vs {}",
+            a.value,
+            q.value
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!   higher-cost experiments (paper Fig. 6, Table I).
 //! * [`gauss`] — Gauss–Legendre rules with nodes computed to machine
 //!   precision by Newton iteration on the Legendre polynomials.
+//! * [`bins`] — fused bin-range composite quadrature
+//!   ([`integrate_bins`]): one call integrates a contiguous run of
+//!   energy bins, evaluating each shared bin edge exactly once while
+//!   staying bitwise identical to the per-bin rules. This is the
+//!   kernel-side hot path (what Algorithm 2's per-thread bin loop
+//!   compiles to).
 //! * [`adaptive`] — a QAGS-style globally adaptive quadrature (interval
 //!   bisection driven by a worst-first heap, Wynn ε-extrapolation), the
 //!   CPU fallback path of the scheduler, mirroring QUADPACK's `QAGS`
@@ -36,20 +42,24 @@
 //! ```
 
 pub mod adaptive;
+pub mod bins;
 pub mod gauss;
 pub mod improper;
 pub mod romberg;
 pub mod rules;
+pub mod sampler;
 pub mod wynn;
 
 mod error;
 
 pub use adaptive::{qags, qags_with, AdaptiveConfig, QagsWorkspace};
+pub use bins::{integrate_bins, integrate_bins_sampled, BinRule};
 pub use error::{QuadError, QuadResult};
 pub use gauss::GaussLegendre;
 pub use improper::{adaptive_simpson, qagi};
 pub use romberg::romberg;
 pub use rules::{boole, midpoint, simpson, trapezoid, CompositeRule};
+pub use sampler::{BatchSampler, FnSampler};
 
 /// Outcome of a quadrature routine: the integral estimate together with an
 /// estimated absolute error.

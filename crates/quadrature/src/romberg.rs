@@ -86,7 +86,11 @@ mod tests {
         // k levels of Romberg integrate polynomials of degree <= 2k+1 exactly.
         let est = romberg(|x| x.powi(5) - 2.0 * x.powi(3) + x, 0.0, 2.0, 3);
         let exact = 64.0 / 6.0 - 2.0 * 4.0 + 2.0;
-        assert!((est.value - exact).abs() < 1e-10, "{} vs {exact}", est.value);
+        assert!(
+            (est.value - exact).abs() < 1e-10,
+            "{} vs {exact}",
+            est.value
+        );
     }
 
     #[test]

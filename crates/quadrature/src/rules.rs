@@ -26,7 +26,13 @@ pub enum CompositeRule {
 
 impl CompositeRule {
     /// Apply the rule to `f` over `[lo, hi]` with `panels` subintervals.
-    pub fn integrate<F: FnMut(f64) -> f64>(self, f: F, lo: f64, hi: f64, panels: usize) -> Estimate {
+    pub fn integrate<F: FnMut(f64) -> f64>(
+        self,
+        f: F,
+        lo: f64,
+        hi: f64,
+        panels: usize,
+    ) -> Estimate {
         match self {
             CompositeRule::Midpoint => midpoint(f, lo, hi, panels),
             CompositeRule::Trapezoid => trapezoid(f, lo, hi, panels),
@@ -128,7 +134,10 @@ pub fn boole<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, panels: usize) ->
     for i in 0..n {
         let a = lo + i as f64 * h;
         let right_val = f(a + 4.0 * q);
-        let s = 7.0 * left_val + 32.0 * f(a + q) + 12.0 * f(a + 2.0 * q) + 32.0 * f(a + 3.0 * q)
+        let s = 7.0 * left_val
+            + 32.0 * f(a + q)
+            + 12.0 * f(a + 2.0 * q)
+            + 32.0 * f(a + 3.0 * q)
             + 7.0 * right_val;
         value += s * h / 90.0;
         left_val = right_val;

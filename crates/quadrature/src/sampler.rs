@@ -1,0 +1,90 @@
+//! Batched integrand sampling.
+//!
+//! The bin-range hot path ([`crate::integrate_bins_sampled`]) evaluates
+//! an integrand on whole grids of quadrature nodes at once. For an
+//! arbitrary closure that is just a loop — bitwise identical to calling
+//! it per node — but integrands that know their own analytic structure
+//! can override [`BatchSampler::sample_batch`] and evaluate the grid
+//! far faster than node-by-node (the RRC integrand replaces one `exp`
+//! per node with one `exp` per bin plus a running multiply).
+
+/// An integrand that can be sampled one node at a time or over a whole
+/// node grid.
+///
+/// `sample_batch`'s default implementation calls [`BatchSampler::sample`]
+/// once per node in order, so implementing only `sample` gives exactly
+/// the per-node behavior. Overrides may return values that differ from
+/// the per-node path by at most a few parts in `1e-13` relative — the
+/// documented accuracy budget of the fused pipeline.
+pub trait BatchSampler {
+    /// Evaluate the integrand at `x`.
+    fn sample(&mut self, x: f64) -> f64;
+
+    /// Fill `out[j] = f(xs[j])` for every node.
+    ///
+    /// `xs` is sorted ascending whenever the quadrature routines in
+    /// this crate call it (each batch is one bin's nodes, or one
+    /// Romberg level's midpoints), which is what structured overrides
+    /// rely on.
+    ///
+    /// # Panics
+    /// Implementations may assume and assert `xs.len() == out.len()`.
+    fn sample_batch(&mut self, xs: &[f64], out: &mut [f64]) {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.sample(x);
+        }
+    }
+}
+
+/// Adapter giving any `FnMut(f64) -> f64` closure the per-node
+/// [`BatchSampler`] behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct FnSampler<F>(pub F);
+
+impl<F: FnMut(f64) -> f64> BatchSampler for FnSampler<F> {
+    #[inline]
+    fn sample(&mut self, x: f64) -> f64 {
+        (self.0)(x)
+    }
+}
+
+impl<S: BatchSampler + ?Sized> BatchSampler for &mut S {
+    #[inline]
+    fn sample(&mut self, x: f64) -> f64 {
+        (**self).sample(x)
+    }
+
+    #[inline]
+    fn sample_batch(&mut self, xs: &[f64], out: &mut [f64]) {
+        (**self).sample_batch(xs, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_batch_is_per_node() {
+        let mut calls = 0u32;
+        let mut s = FnSampler(|x: f64| {
+            calls += 1;
+            x * 2.0
+        });
+        let xs = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        s.sample_batch(&xs, &mut out);
+        assert_eq!(out, [2.0, 4.0, 6.0]);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn mut_ref_delegates() {
+        let mut s = FnSampler(|x: f64| x + 1.0);
+        let mut r = &mut s;
+        assert_eq!(r.sample(1.0), 2.0);
+        let mut out = [0.0];
+        (&mut r).sample_batch(&[4.0], &mut out);
+        assert_eq!(out, [5.0]);
+    }
+}

@@ -1,6 +1,9 @@
 //! Convergence-order and property tests for the integration methods.
+//!
+//! The randomized cases are deterministic seeded sweeps (`desim::rng`),
+//! so failures reproduce exactly.
 
-use proptest::prelude::*;
+use desim::rng;
 use quadrature::{boole, qags, romberg, simpson, trapezoid, CompositeRule, GaussLegendre};
 
 /// Empirical order of a composite rule: fit the error decay between two
@@ -58,57 +61,111 @@ fn qags_resolves_a_sharp_edge_automatically() {
     let f = move |x: f64| if x < edge { 0.0 } else { (x - edge).sqrt() };
     let exact = (1.0 - edge).powf(1.5) * 2.0 / 3.0;
     let est = qags(f, 0.0, 1.0, 1e-10, 1e-10).unwrap();
-    assert!(
-        (est.value - exact).abs() < 1e-7,
-        "{} vs {exact}",
-        est.value
-    );
+    assert!((est.value - exact).abs() < 1e-7, "{} vs {exact}", est.value);
 }
 
-proptest! {
-    /// Linearity: integral of a*f + b*g = a*I(f) + b*I(g).
-    #[test]
-    fn integration_is_linear(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+/// Linearity: integral of a*f + b*g = a*I(f) + b*I(g).
+#[test]
+fn integration_is_linear() {
+    let mut r = rng(0x11EA2);
+    for _ in 0..100 {
+        let a = r.gen_range(-3.0..3.0);
+        let b = r.gen_range(-3.0..3.0);
         let f = |x: f64| x.sin();
         let g = |x: f64| (2.0 * x).cos();
         let combined = simpson(|x| a * f(x) + b * g(x), 0.0, 2.0, 128).value;
         let separate = a * simpson(f, 0.0, 2.0, 128).value + b * simpson(g, 0.0, 2.0, 128).value;
-        prop_assert!((combined - separate).abs() < 1e-12 * (1.0 + combined.abs()));
+        assert!((combined - separate).abs() < 1e-12 * (1.0 + combined.abs()));
     }
+}
 
-    /// Substitution invariance: integrating f(cx)/c over [0, c*L] equals
-    /// integrating f over [0, L].
-    #[test]
-    fn scaling_substitution(c in 0.2f64..5.0) {
+/// Substitution invariance: integrating f(cx)/c over [0, c*L] equals
+/// integrating f over [0, L].
+#[test]
+fn scaling_substitution() {
+    let mut r = rng(0x5CA1E);
+    for _ in 0..100 {
+        let c = r.gen_range(0.2..5.0);
         let f = |x: f64| (-x).exp() * x;
         let direct = romberg(f, 0.0, 2.0, 10).value;
         let scaled = romberg(|x| f(x / c) / c, 0.0, 2.0 * c, 10).value;
-        prop_assert!((direct - scaled).abs() < 1e-8 * (1.0 + direct.abs()));
+        assert!((direct - scaled).abs() < 1e-8 * (1.0 + direct.abs()));
     }
+}
 
-    /// Positive integrands give positive integrals for every method.
-    #[test]
-    fn positivity(lo in -3.0f64..3.0, span in 0.1f64..4.0) {
-        let hi = lo + span;
+/// Positive integrands give positive integrals for every method.
+#[test]
+fn positivity() {
+    let mut r = rng(0x705);
+    for _ in 0..100 {
+        let lo = r.gen_range(-3.0..3.0);
+        let hi = lo + r.gen_range(0.1..4.0);
         let f = |x: f64| x.cos().powi(2) + 0.1;
-        prop_assert!(trapezoid(f, lo, hi, 16).value > 0.0);
-        prop_assert!(simpson(f, lo, hi, 16).value > 0.0);
-        prop_assert!(boole(f, lo, hi, 8).value > 0.0);
-        prop_assert!(romberg(f, lo, hi, 6).value > 0.0);
-        prop_assert!(qags(f, lo, hi, 1e-9, 1e-9).unwrap().value > 0.0);
+        assert!(trapezoid(f, lo, hi, 16).value > 0.0);
+        assert!(simpson(f, lo, hi, 16).value > 0.0);
+        assert!(boole(f, lo, hi, 8).value > 0.0);
+        assert!(romberg(f, lo, hi, 6).value > 0.0);
+        assert!(qags(f, lo, hi, 1e-9, 1e-9).unwrap().value > 0.0);
     }
+}
 
-    /// All methods agree with each other on smooth integrands.
-    #[test]
-    fn cross_method_agreement(freq in 0.2f64..3.0, phase in 0.0f64..6.28) {
+/// All methods agree with each other on smooth integrands.
+#[test]
+fn cross_method_agreement() {
+    let mut r = rng(0xA62EE);
+    for _ in 0..40 {
+        let freq = r.gen_range(0.2..3.0);
+        let phase = r.gen_range(0.0..std::f64::consts::TAU);
         let f = move |x: f64| (freq * x + phase).sin().exp();
         let s = simpson(f, 0.0, 3.0, 512).value;
-        let r = romberg(f, 0.0, 3.0, 12).value;
+        let romb = romberg(f, 0.0, 3.0, 12).value;
         let q = qags(f, 0.0, 3.0, 1e-11, 1e-11).unwrap().value;
         let g = GaussLegendre::new(48).integrate(f, 0.0, 3.0).value;
         let scale = 1.0 + s.abs();
-        prop_assert!((s - r).abs() / scale < 1e-8);
-        prop_assert!((s - q).abs() / scale < 1e-8);
-        prop_assert!((s - g).abs() / scale < 1e-8);
+        assert!((s - romb).abs() / scale < 1e-8);
+        assert!((s - q).abs() / scale < 1e-8);
+        assert!((s - g).abs() / scale < 1e-8);
+    }
+}
+
+/// The fused bin-range path reproduces per-bin results within 1e-12
+/// relative on random integrands and random (contiguous) grids — and in
+/// fact bitwise, which the in-crate unit tests assert; here we check the
+/// documented contract on wider random input.
+#[test]
+fn fused_bins_match_per_bin_within_1e12() {
+    use quadrature::{integrate_bins, BinRule};
+    let mut r = rng(0xB175);
+    for _ in 0..50 {
+        let lo = r.gen_range(-4.0..4.0);
+        let span = r.gen_range(0.5..20.0);
+        let n_bins = r.gen_range_usize(1..64);
+        let a = r.gen_range(0.1..3.0);
+        let b = r.gen_range(-2.0..2.0);
+        let f = move |x: f64| (-a * x * x).exp() + b * x.sin() + 2.5;
+        let edge = |i: usize| lo + span * (i as f64 / n_bins as f64);
+        let bins: Vec<(f64, f64)> = (0..n_bins).map(|i| (edge(i), edge(i + 1))).collect();
+        for (rule, per_bin) in [
+            (
+                BinRule::Simpson { panels: 16 },
+                Box::new(move |lo, hi| simpson(f, lo, hi, 16).value)
+                    as Box<dyn Fn(f64, f64) -> f64>,
+            ),
+            (
+                BinRule::Romberg { k: 6 },
+                Box::new(move |lo, hi| romberg(f, lo, hi, 6).value),
+            ),
+        ] {
+            let mut fused = vec![0.0; n_bins];
+            integrate_bins(rule, f, &bins, &mut fused);
+            for (i, &(blo, bhi)) in bins.iter().enumerate() {
+                let reference = per_bin(blo, bhi);
+                assert!(
+                    (fused[i] - reference).abs() <= 1e-12 * reference.abs().max(1e-300),
+                    "{rule:?} bin {i}: {} vs {reference}",
+                    fused[i]
+                );
+            }
+        }
     }
 }

@@ -181,10 +181,7 @@ mod tests {
         tuner.observe(1, 3.0);
         tuner.observe(2, 2.0);
         tuner.observe(3, 1.0);
-        assert_eq!(
-            tuner.observations(),
-            &[(1, 3.0), (2, 2.0), (3, 1.0)]
-        );
+        assert_eq!(tuner.observations(), &[(1, 3.0), (2, 2.0), (3, 1.0)]);
         assert_eq!(tuner.best(), Some((3, 1.0)));
         assert!(tuner.next_candidate().is_none());
     }

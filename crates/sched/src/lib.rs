@@ -23,7 +23,9 @@ pub mod autotune;
 pub mod policy;
 
 pub use autotune::AutoTuner;
-pub use policy::{select_device, select_device_with, select_device_work_aware, Selection, TieBreak};
+pub use policy::{
+    select_device, select_device_with, select_device_work_aware, Selection, TieBreak,
+};
 
 use mpi_sim::SharedRegion;
 
@@ -147,10 +149,7 @@ impl Scheduler {
     #[must_use]
     pub fn snapshot(&self) -> (Vec<u64>, Vec<u64>) {
         let snap = self.region.snapshot();
-        (
-            snap[..self.devices].to_vec(),
-            snap[self.devices..].to_vec(),
-        )
+        (snap[..self.devices].to_vec(), snap[self.devices..].to_vec())
     }
 }
 

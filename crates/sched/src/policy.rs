@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn double_ties_break_by_index() {
-        assert_eq!(
-            select_device(&[1, 1], &[4, 4], 10),
-            Selection::Device(0)
-        );
+        assert_eq!(select_device(&[1, 1], &[4, 4], 10), Selection::Device(0));
     }
 
     #[test]

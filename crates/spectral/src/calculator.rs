@@ -9,8 +9,9 @@
 //! exactly what paper Fig. 7/8 compare.
 
 use atomdb::AtomDatabase;
-use quadrature::{qags_with, romberg, simpson, AdaptiveConfig, QagsWorkspace};
-use serde::{Deserialize, Serialize};
+use quadrature::{
+    integrate_bins_sampled, qags_with, romberg, simpson, AdaptiveConfig, BinRule, QagsWorkspace,
+};
 
 use crate::grid::EnergyGrid;
 use crate::ionpop::ion_density;
@@ -19,7 +20,7 @@ use crate::physics::RrcIntegrand;
 use crate::spectrum::Spectrum;
 
 /// The integration back-end used for each energy-bin integral.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Integrator {
     /// Adaptive QAGS — the paper's serial / CPU-fallback method.
     Qags {
@@ -63,7 +64,13 @@ impl Integrator {
     /// QAGS failure (subdivision limit on a kinky edge bin) falls back to
     /// the carried best estimate — the spectral loops must never abort on
     /// one awkward bin, matching APEC's tolerant use of QUADPACK.
-    pub fn integrate<F: FnMut(f64) -> f64>(self, ws: &mut QagsWorkspace, f: F, lo: f64, hi: f64) -> f64 {
+    pub fn integrate<F: FnMut(f64) -> f64>(
+        self,
+        ws: &mut QagsWorkspace,
+        f: F,
+        lo: f64,
+        hi: f64,
+    ) -> f64 {
         match self {
             Integrator::Qags { errabs, errrel } => {
                 let cfg = AdaptiveConfig {
@@ -80,6 +87,19 @@ impl Integrator {
             }
             Integrator::Simpson { panels } => simpson(f, lo, hi, panels).value,
             Integrator::Romberg { k } => romberg(f, lo, hi, k).value,
+        }
+    }
+
+    /// The fused bin-range rule equivalent to this integrator, when one
+    /// exists. Fixed-node rules (Simpson, Romberg) fuse — their shared
+    /// bin-edge samples can be reused across a contiguous run of bins;
+    /// adaptive QAGS places nodes per bin and stays on the per-bin path.
+    #[must_use]
+    pub fn bin_rule(self) -> Option<BinRule> {
+        match self {
+            Integrator::Qags { .. } => None,
+            Integrator::Simpson { panels } => Some(BinRule::Simpson { panels }),
+            Integrator::Romberg { k } => Some(BinRule::Romberg { k }),
         }
     }
 }
@@ -117,15 +137,86 @@ pub fn ion_integrands(
     Some(
         levels[level_range]
             .iter()
-            .map(|level| RrcIntegrand {
-                kt_ev: kt,
-                binding_ev: level.binding_energy_ev,
-                n: level.n,
-                electron_density: point.density_cm3,
-                ion_density: n_ion,
+            .map(|level| {
+                RrcIntegrand::new(
+                    kt,
+                    level.binding_energy_ev,
+                    level.n,
+                    point.density_cm3,
+                    n_ion,
+                )
             })
             .collect(),
     )
+}
+
+/// Resolve a level's support window to the bin-index range it touches:
+/// `(skip, end, clamped_lo)` — bins `skip..end` overlap the window, and
+/// the leading bin's lower limit is clamped up to the threshold
+/// (`clamped_lo > bins[skip].0` exactly when the threshold falls inside
+/// that bin). Shared by the serial fused path and the SIMT kernel so
+/// both skip exactly the same bins.
+#[must_use]
+pub fn window_bin_range(bins: &[(f64, f64)], threshold: f64, cutoff: f64) -> (usize, usize, f64) {
+    let skip = bins.partition_point(|&(_, hi)| hi <= threshold);
+    let end = bins.partition_point(|&(lo, _)| lo < cutoff);
+    let clamped_lo = if skip < end {
+        bins[skip].0.max(threshold)
+    } else {
+        0.0
+    };
+    (skip, end, clamped_lo)
+}
+
+/// Accumulate the emissivity of pre-built `integrands` into `out` with
+/// the fused bin-range quadrature: per level, the contiguous run of
+/// in-window bins is integrated in one [`integrate_bins_sampled`] call (shared
+/// bin edges evaluated once), with a threshold-clamped leading bin
+/// integrated on its own. The prepared integrand samples each bin's
+/// uniform node grid with its exponential-recurrence batch path, so
+/// per-bin results agree with the per-bin path under the same rule to
+/// within a few parts in `1e13` relative (see
+/// [`crate::physics::PreparedIntegrand`]'s `sample_batch`).
+///
+/// Returns the number of bin integrals evaluated (the same work measure
+/// [`emissivity_into`] reports).
+///
+/// # Panics
+/// Panics if `out.len() != bins.len()`.
+pub fn emissivity_fused_into(
+    integrands: &[RrcIntegrand],
+    kt_ev: f64,
+    rule: BinRule,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+) -> u64 {
+    assert_eq!(out.len(), bins.len(), "output slice / bins mismatch");
+    let mut integrals = 0u64;
+    for integrand in integrands {
+        let mut p = integrand.prepare();
+        let (threshold, cutoff) = level_window(integrand.binding_ev, kt_ev);
+        let (skip, end, clamped_lo) = window_bin_range(bins, threshold, cutoff);
+        if skip >= end {
+            continue;
+        }
+        let mut start = skip;
+        if clamped_lo > bins[skip].0 {
+            // The threshold bin: integrated alone over the clamped
+            // sub-interval, exactly as the per-bin path does.
+            integrate_bins_sampled(
+                rule,
+                &mut p,
+                &[(clamped_lo, bins[skip].1)],
+                std::slice::from_mut(&mut out[skip]),
+            );
+            start += 1;
+        }
+        if start < end {
+            integrate_bins_sampled(rule, &mut p, &bins[start..end], &mut out[start..end]);
+        }
+        integrals += (end - skip) as u64;
+    }
+    integrals
 }
 
 /// Accumulate the RRC emissivity of levels `level_range` of the
@@ -144,6 +235,50 @@ pub fn ion_integrands(
 /// or `level_range` exceeds the ion's level list.
 #[allow(clippy::too_many_arguments)] // mirrors the QUADPACK-style call contract
 pub fn emissivity_into(
+    db: &AtomDatabase,
+    ion_index: usize,
+    level_range: std::ops::Range<usize>,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+    integrator: Integrator,
+    ws: &mut QagsWorkspace,
+    out: &mut [f64],
+) -> u64 {
+    assert_eq!(out.len(), grid.bins(), "output slice / grid mismatch");
+    let Some(integrands) = ion_integrands(db, ion_index, level_range, point) else {
+        return 0;
+    };
+    let kt = point.kt_ev();
+    if let Some(rule) = integrator.bin_rule() {
+        let bins = grid.bin_pairs();
+        return emissivity_fused_into(&integrands, kt, rule, &bins, out);
+    }
+    let mut integrals = 0u64;
+    for integrand in &integrands {
+        let p = integrand.prepare();
+        let (threshold, cutoff) = level_window(integrand.binding_ev, kt);
+        for (bin, slot) in out.iter_mut().enumerate() {
+            let (lo, hi) = grid.bin(bin);
+            if hi <= threshold || lo >= cutoff {
+                continue;
+            }
+            let a = lo.max(threshold);
+            let value = integrator.integrate(ws, |e| p.evaluate(e), a, hi);
+            *slot += value;
+            integrals += 1;
+        }
+    }
+    integrals
+}
+
+/// The seed's bin-at-a-time loop, kept as the A/B baseline for the
+/// hot-path benchmarks: every bin is an independent
+/// [`Integrator::integrate`] call (shared bin edges evaluated twice,
+/// integrand invariants not hoisted past the closure). Results agree
+/// with [`emissivity_into`] under the same fixed rule to within the
+/// fused pipeline's `1e-13`-relative accuracy budget.
+#[allow(clippy::too_many_arguments)]
+pub fn emissivity_per_bin_into(
     db: &AtomDatabase,
     ion_index: usize,
     level_range: std::ops::Range<usize>,
@@ -347,15 +482,7 @@ mod tests {
         let mut ws = QagsWorkspace::new();
         // Oxygen fully-stripped ion (z=8, charge 8): dense index of (8,8).
         let idx = atomdb::Ion::new(8, 8).unwrap().dense_index();
-        let n = ion_emissivity_into(
-            &db,
-            idx,
-            &p,
-            &g,
-            Integrator::paper_gpu(),
-            &mut ws,
-            &mut out,
-        );
+        let n = ion_emissivity_into(&db, idx, &p, &g, Integrator::paper_gpu(), &mut ws, &mut out);
         assert!(n > 0);
         // Upper bound: every level-bin pair.
         let levels = db.levels_by_index(idx).len() as u64;

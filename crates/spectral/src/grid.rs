@@ -1,7 +1,5 @@
 //! Energy-bin grids and wavelength conversion.
 
-use serde::{Deserialize, Serialize};
-
 use crate::HC_EV_ANGSTROM;
 
 /// A contiguous grid of photon-energy bins.
@@ -10,7 +8,7 @@ use crate::HC_EV_ANGSTROM;
 /// `[E0, E1]`; the bin count per level is the paper's "10^5 energy bins"
 /// knob (we default far smaller so real-mode runs finish in seconds; the
 /// DES performance model charges work for the full-size grid).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyGrid {
     min_ev: f64,
     max_ev: f64,
@@ -63,11 +61,7 @@ impl EnergyGrid {
     /// (photon energies ~275.5–1239.8 eV).
     #[must_use]
     pub fn paper_waveband(bins: usize) -> EnergyGrid {
-        EnergyGrid::linear(
-            HC_EV_ANGSTROM / 45.0,
-            HC_EV_ANGSTROM / 10.0,
-            bins,
-        )
+        EnergyGrid::linear(HC_EV_ANGSTROM / 45.0, HC_EV_ANGSTROM / 10.0, bins)
     }
 
     /// Number of bins.
@@ -117,6 +111,29 @@ impl EnergyGrid {
     #[must_use]
     pub fn center_angstrom(&self, i: usize) -> f64 {
         HC_EV_ANGSTROM / self.center_ev(i)
+    }
+
+    /// Materialize every bin as a `(lo, hi)` pair, reusing `out`'s
+    /// allocation. Adjacent bins share their edge value bitwise (each
+    /// edge is computed once), which is what lets the fused quadrature
+    /// path ([`quadrature`'s `integrate_bins`]) reuse edge samples.
+    pub fn fill_bin_pairs(&self, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        out.reserve(self.bins);
+        let mut lo = self.edge(0);
+        for i in 0..self.bins {
+            let hi = self.edge(i + 1);
+            out.push((lo, hi));
+            lo = hi;
+        }
+    }
+
+    /// [`EnergyGrid::fill_bin_pairs`] into a fresh vector.
+    #[must_use]
+    pub fn bin_pairs(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        self.fill_bin_pairs(&mut out);
+        out
     }
 
     /// Which bin contains `energy_ev`, or `None` outside the grid.

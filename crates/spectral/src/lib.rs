@@ -28,13 +28,16 @@ pub mod physics;
 pub mod response;
 pub mod spectrum;
 
-pub use calculator::{emissivity_into, ion_emissivity_into, ion_integrands, level_window, Integrator, SerialCalculator};
+pub use calculator::{
+    emissivity_fused_into, emissivity_into, emissivity_per_bin_into, ion_emissivity_into,
+    ion_integrands, level_window, window_bin_range, Integrator, SerialCalculator,
+};
 pub use grid::EnergyGrid;
 pub use ionpop::cie_fractions;
 pub use lines::{full_spectrum, ion_lines_into, lines_for_ion, Line};
 pub use params::{GridPoint, ParameterSpace};
+pub use physics::{PreparedIntegrand, RrcIntegrand};
 pub use response::InstrumentResponse;
-pub use physics::RrcIntegrand;
 pub use spectrum::{ErrorHistogram, Spectrum};
 
 /// Planck constant times speed of light in eV·Å: converts photon energy

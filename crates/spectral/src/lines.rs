@@ -68,8 +68,8 @@ pub fn lines_for_ion(db: &AtomDatabase, ion: Ion, min_ev: f64, max_ev: f64) -> V
             let nu = f64::from(up.n);
             let nl = f64::from(lo.n);
             // Kramers scaling of the hydrogenic A-value.
-            let einstein_a = A0_PER_S * q.powi(4)
-                / (nu.powi(3) * nl * (nu * nu - nl * nl).max(1.0));
+            let einstein_a =
+                A0_PER_S * q.powi(4) / (nu.powi(3) * nl * (nu * nu - nl * nl).max(1.0));
             out.push(Line {
                 n_up: up.n,
                 n_lo: lo.n,
@@ -123,7 +123,11 @@ pub fn ion_lines_into(
     }
     let kt = point.kt_ev();
     // Mass number ~ 2 Z for everything heavier than hydrogen.
-    let a = if ion.z == 1 { 1.0 } else { 2.0 * f64::from(ion.z) };
+    let a = if ion.z == 1 {
+        1.0
+    } else {
+        2.0 * f64::from(ion.z)
+    };
     let lines = lines_for_ion(db, ion, grid.min_ev(), grid.max_ev());
     let mut deposited = 0;
     for line in &lines {
@@ -167,9 +171,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-            - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -303,12 +305,8 @@ mod tests {
         let p = point();
         let integrator = crate::calculator::Integrator::Simpson { panels: 64 };
         let full = full_spectrum(&d, &p, &grid, integrator);
-        let continuum = crate::calculator::SerialCalculator::new(
-            d,
-            grid,
-            integrator,
-        )
-        .spectrum_at(&p);
+        let continuum =
+            crate::calculator::SerialCalculator::new(d, grid, integrator).spectrum_at(&p);
         assert!(full.total() > continuum.total());
         for (f, c) in full.bins().iter().zip(continuum.bins()) {
             assert!(f >= c, "line emission is additive");

@@ -1,11 +1,9 @@
 //! The three-dimensional parameter space of paper Fig. 1.
 
-use serde::{Deserialize, Serialize};
-
 /// One sampled point of the parameter space: a determinate
 /// `(temperature, density, time)` triple. Every point spawns the three
 /// nested loops (ions → levels → bins) of the spectral calculation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridPoint {
     /// Electron temperature in kelvin.
     pub temperature_k: f64,
@@ -28,7 +26,7 @@ impl GridPoint {
 
 /// A rectangular (temperature × density × time) sampling, "often given by
 /// a result of astrophysical simulation or a configuration file".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterSpace {
     /// Sampled temperatures in kelvin.
     pub temperatures_k: Vec<f64>,

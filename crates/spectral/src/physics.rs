@@ -13,6 +13,23 @@
 //! threshold the integrand is identically zero, which puts a kink at the
 //! recombination edge — the feature that makes per-bin adaptive
 //! quadrature worthwhile near edges.
+//!
+//! # The prepared hot path
+//!
+//! Everything in Eq. 1 except the `exp` depends only on the
+//! (ion, level, plasma-state) triple, not on the sample energy: with the
+//! Kramers cross section `sigma_rec_n(E_e) = sigma_0 I^2 / (n E_e E_g)`
+//! the `E_e` and `E_g` factors cancel and the whole integrand collapses
+//! to
+//!
+//! ```text
+//! dP/dE = C * exp(-(E_g - I)/kT),   C = prefactor * sigma_0 I^2 / (n kT)
+//! ```
+//!
+//! [`PreparedIntegrand`] hoists `C`, `1/kT` and the threshold out of the
+//! per-sample path, leaving one compare, one subtract, one multiply and
+//! one `exp` per sample. This is the form the serial calculator, the
+//! QAGS fallback and the SIMT kernel all evaluate.
 
 use atomdb::recombination_cross_section_times_energy;
 
@@ -20,6 +37,11 @@ use crate::ME_C2_EV;
 
 /// The fully bound RRC integrand for one (ion, level, plasma state)
 /// triple: a reusable `E_gamma -> dP/dE` function.
+///
+/// Constructed with [`RrcIntegrand::new`], which precomputes the
+/// per-sample invariants once; the descriptive fields stay public for
+/// reading, and the cached [`PreparedIntegrand`] keeps them consistent
+/// by being derived at construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RrcIntegrand {
     /// Plasma temperature as `kT` in eV.
@@ -32,17 +54,168 @@ pub struct RrcIntegrand {
     pub electron_density: f64,
     /// Density of the recombining ion `n_{Z,j+1}` in cm^-3.
     pub ion_density: f64,
+    /// Cached per-sample invariants (kept private so it cannot drift
+    /// from the fields above).
+    prepared: PreparedIntegrand,
+}
+
+/// The per-sample invariants of one RRC integrand, hoisted out of the
+/// evaluation loop: `dP/dE = coeff * exp(-(E_g - threshold) * inv_kt)`
+/// above threshold, zero below.
+///
+/// `Copy` and 24 bytes — kernels copy it into their hot loop instead of
+/// chasing the full [`RrcIntegrand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedIntegrand {
+    /// Recombination threshold (the level binding energy), eV.
+    pub threshold_ev: f64,
+    /// `1/kT` in 1/eV.
+    pub inv_kt: f64,
+    /// The collapsed constant `prefactor * sigma_0 I^2 / (n kT)`.
+    pub coeff: f64,
+}
+
+impl PreparedIntegrand {
+    /// Evaluate `dP/dE` at photon energy `e_gamma_ev`: the hot-path
+    /// form, one compare + subtract + multiply + `exp`.
+    #[inline]
+    #[must_use]
+    pub fn evaluate(&self, e_gamma_ev: f64) -> f64 {
+        let electron_ev = e_gamma_ev - self.threshold_ev;
+        if electron_ev < 0.0 {
+            return 0.0;
+        }
+        self.coeff * (-electron_ev * self.inv_kt).exp()
+    }
+}
+
+/// Batched evaluation for the quadrature hot path.
+///
+/// On the (uniform, ascending) node grids the bin-range quadrature
+/// routines produce, the collapsed integrand `C * exp(-(x - t)/kT)`
+/// advances from node to node by the constant factor `exp(-h/kT)` — so
+/// a whole grid costs one `exp` (re-anchored every few hundred nodes to
+/// bound round-off drift) plus one multiply per node, instead of one
+/// `exp` per node. Nodes below threshold stay exactly zero, matching
+/// [`PreparedIntegrand::evaluate`]. Grids that are not uniform and
+/// ascending fall back to per-node evaluation, so results are only ever
+/// *faster*, never different by more than ~1e-13 relative (recurrence
+/// drift plus the grid's deviation from exact uniformity).
+impl quadrature::BatchSampler for PreparedIntegrand {
+    #[inline]
+    fn sample(&mut self, x: f64) -> f64 {
+        self.evaluate(x)
+    }
+
+    fn sample_batch(&mut self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "xs / out length mismatch");
+        let n = xs.len();
+        let per_node = |out: &mut [f64]| {
+            for (o, &x) in out.iter_mut().zip(xs) {
+                *o = self.evaluate(x);
+            }
+        };
+        if n < 4 || self.coeff == 0.0 {
+            return per_node(out);
+        }
+        let x0 = xs[0];
+        let step = (xs[n - 1] - x0) / (n - 1) as f64;
+        // The grid must be ascending and uniform to within a few ulps of
+        // the node magnitudes (the rounding scale of affine node
+        // computation); anything else takes the exact per-node path.
+        let tol = 8.0 * f64::EPSILON * xs[0].abs().max(xs[n - 1].abs());
+        if step <= 0.0
+            || xs
+                .iter()
+                .enumerate()
+                .any(|(j, &x)| (x - (x0 + j as f64 * step)).abs() > tol)
+        {
+            return per_node(out);
+        }
+        // Zero prefix below threshold, same predicate as `evaluate`.
+        let zeros = xs.partition_point(|&x| x - self.threshold_ev < 0.0);
+        for o in &mut out[..zeros] {
+            *o = 0.0;
+        }
+        let decay = (-step * self.inv_kt).exp();
+        // Fresh anchor every 256 nodes: drift stays under ~3e-14.
+        let mut j = zeros;
+        while j < n {
+            let run_end = (j + 256).min(n);
+            let mut v = self.coeff * (-(xs[j] - self.threshold_ev) * self.inv_kt).exp();
+            out[j] = v;
+            for o in &mut out[j + 1..run_end] {
+                v *= decay;
+                *o = v;
+            }
+            j = run_end;
+        }
+    }
 }
 
 impl RrcIntegrand {
+    /// Bind an integrand, precomputing the per-sample invariants (the
+    /// Maxwellian prefactor, `1/kT`, and the collapsed cross-section
+    /// constant) once.
+    #[must_use]
+    pub fn new(
+        kt_ev: f64,
+        binding_ev: f64,
+        n: u16,
+        electron_density: f64,
+        ion_density: f64,
+    ) -> RrcIntegrand {
+        let prepared = if kt_ev > 0.0 {
+            let prefactor = electron_density * ion_density * 4.0 / kt_ev
+                * (1.0 / (2.0 * std::f64::consts::PI * ME_C2_EV * kt_ev)).sqrt();
+            // sigma_rec_n(E_e) * E_e * E_g = sigma_0 I^2 / n for the
+            // Kramers cross section, so the sample-dependent factors
+            // collapse; `times_energy` at E_e = 0 yields sigma_0 I / n,
+            // hence the extra factor of I.
+            let sigma_const =
+                recombination_cross_section_times_energy(n, binding_ev, 0.0) * binding_ev;
+            PreparedIntegrand {
+                threshold_ev: binding_ev,
+                inv_kt: 1.0 / kt_ev,
+                coeff: prefactor * sigma_const / kt_ev,
+            }
+        } else {
+            PreparedIntegrand {
+                threshold_ev: binding_ev,
+                inv_kt: 0.0,
+                coeff: 0.0,
+            }
+        };
+        RrcIntegrand {
+            kt_ev,
+            binding_ev,
+            n,
+            electron_density,
+            ion_density,
+            prepared,
+        }
+    }
+
     /// The Maxwellian prefactor `4/kT * sqrt(1/(2 pi m_e kT))` with the
     /// electron mass expressed through its rest energy (natural units:
     /// the overall absolute scale is arbitrary for a normalized-flux
-    /// spectrum, the *shape* in `kT` is what matters).
+    /// spectrum, the *shape* in `kT` is what matters). Cached at
+    /// construction — this used to be recomputed per sample.
     #[must_use]
     pub fn prefactor(&self) -> f64 {
+        if self.kt_ev <= 0.0 {
+            return 0.0;
+        }
         self.electron_density * self.ion_density * 4.0 / self.kt_ev
             * (1.0 / (2.0 * std::f64::consts::PI * ME_C2_EV * self.kt_ev)).sqrt()
+    }
+
+    /// The hoisted per-sample invariants, for hot loops that want the
+    /// 24-byte form instead of `&self`.
+    #[inline]
+    #[must_use]
+    pub fn prepare(&self) -> PreparedIntegrand {
+        self.prepared
     }
 
     /// Evaluate `dP/dE` at photon energy `e_gamma_ev`. Zero below the
@@ -50,8 +223,22 @@ impl RrcIntegrand {
     /// the Kramers cross section cancels the Maxwellian `E_e` factor, so
     /// the continuous limit value is returned (closed quadrature rules
     /// sample the threshold endpoint).
+    ///
+    /// Uses the cached [`PreparedIntegrand`]; agrees with the seed's
+    /// unprepared arithmetic ([`RrcIntegrand::evaluate_unprepared`]) to
+    /// a few ulp (well inside 1e-12 relative).
+    #[inline]
     #[must_use]
     pub fn evaluate(&self, e_gamma_ev: f64) -> f64 {
+        self.prepared.evaluate(e_gamma_ev)
+    }
+
+    /// The seed's per-sample arithmetic, kept verbatim (Maxwellian
+    /// prefactor — `sqrt` and several divides — recomputed on every
+    /// sample) as the A/B baseline for the hot-path benchmarks and as an
+    /// independent numerical cross-check of the prepared form.
+    #[must_use]
+    pub fn evaluate_unprepared(&self, e_gamma_ev: f64) -> f64 {
         let electron_ev = e_gamma_ev - self.binding_ev;
         if electron_ev < 0.0 || self.kt_ev <= 0.0 {
             return 0.0;
@@ -68,13 +255,10 @@ mod tests {
     use super::*;
 
     fn integrand() -> RrcIntegrand {
-        RrcIntegrand {
-            kt_ev: 862.0, // ~1e7 K
-            binding_ev: 870.0,
-            n: 1,
-            electron_density: 1.0,
-            ion_density: 1e-4,
-        }
+        RrcIntegrand::new(
+            862.0, // ~1e7 K
+            870.0, 1, 1.0, 1e-4,
+        )
     }
 
     #[test]
@@ -108,9 +292,13 @@ mod tests {
     #[test]
     fn scales_linearly_with_densities() {
         let f = integrand();
-        let mut f2 = f;
-        f2.electron_density *= 3.0;
-        f2.ion_density *= 2.0;
+        let f2 = RrcIntegrand::new(
+            f.kt_ev,
+            f.binding_ev,
+            f.n,
+            f.electron_density * 3.0,
+            f.ion_density * 2.0,
+        );
         let e = f.binding_ev + 100.0;
         assert!((f2.evaluate(e) / f.evaluate(e) - 6.0).abs() < 1e-12);
     }
@@ -118,10 +306,13 @@ mod tests {
     #[test]
     fn hotter_plasma_has_harder_tail() {
         let cold = integrand();
-        let hot = RrcIntegrand {
-            kt_ev: 4.0 * cold.kt_ev,
-            ..cold
-        };
+        let hot = RrcIntegrand::new(
+            4.0 * cold.kt_ev,
+            cold.binding_ev,
+            cold.n,
+            cold.electron_density,
+            cold.ion_density,
+        );
         let e = cold.binding_ev + 10.0 * cold.kt_ev;
         // Relative to its near-threshold value, the hot plasma keeps more
         // flux far above threshold.
@@ -146,5 +337,79 @@ mod tests {
             }
             prev = v;
         }
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_arithmetic() {
+        // The collapsed form rearranges the seed arithmetic; over the
+        // whole support (including 40 kT into the exponential tail) the
+        // two must agree far inside the 1e-12 budget the accuracy
+        // experiments assume.
+        for (kt, binding, n) in [(862.0, 870.0, 1u16), (86.2, 13.6, 2), (8620.0, 5432.1, 5)] {
+            let f = RrcIntegrand::new(kt, binding, n, 2.5, 3e-4);
+            for i in 0..4000 {
+                let e = binding + f64::from(i) * 0.01 * kt;
+                let fast = f.evaluate(e);
+                let slow = f.evaluate_unprepared(e);
+                if slow == 0.0 {
+                    assert_eq!(fast, 0.0);
+                } else {
+                    assert!(
+                        ((fast - slow) / slow).abs() < 1e-13,
+                        "kT={kt} e={e}: {fast} vs {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sampling_matches_per_node_within_budget() {
+        use quadrature::BatchSampler;
+        // Uniform ascending grids straddling the threshold: the batch
+        // recurrence must agree with per-node evaluation inside the
+        // fused pipeline's 1e-12 budget, with the zero prefix exact.
+        for (kt, binding, n_level) in [(862.0, 870.0, 1u16), (8.62, 870.0, 3), (8620.0, 13.6, 2)] {
+            let f = RrcIntegrand::new(kt, binding, n_level, 2.5, 3e-4);
+            let mut p = f.prepare();
+            let lo = binding - 2.0 * kt;
+            let step = 40.0 * kt / 1000.0;
+            let xs: Vec<f64> = (0..1000).map(|j| lo + f64::from(j) * step).collect();
+            let mut out = vec![f64::NAN; xs.len()];
+            p.sample_batch(&xs, &mut out);
+            for (j, (&x, &got)) in xs.iter().zip(&out).enumerate() {
+                let want = f.evaluate(x);
+                if want == 0.0 {
+                    assert_eq!(got, 0.0, "node {j}");
+                } else {
+                    assert!(
+                        ((got - want) / want).abs() < 1e-13,
+                        "kT={kt} node {j}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sampling_falls_back_exactly_on_nonuniform_grids() {
+        use quadrature::BatchSampler;
+        let f = integrand();
+        let mut p = f.prepare();
+        // Geometric (non-uniform) grid: must take the per-node path and
+        // therefore agree bitwise with evaluate().
+        let xs: Vec<f64> = (0..64).map(|j| 800.0 * 1.01f64.powi(j)).collect();
+        let mut out = vec![0.0; xs.len()];
+        p.sample_batch(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert_eq!(got, f.evaluate(x));
+        }
+    }
+
+    #[test]
+    fn zero_temperature_is_identically_zero() {
+        let f = RrcIntegrand::new(0.0, 870.0, 1, 1.0, 1.0);
+        assert_eq!(f.evaluate(1000.0), 0.0);
+        assert_eq!(f.prefactor(), 0.0);
     }
 }

@@ -9,12 +9,10 @@
 //! standard first-order model of an X-ray CCD — so survey examples can
 //! produce realistic mock observations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::spectrum::Spectrum;
 
 /// A simplified X-ray instrument response.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstrumentResponse {
     /// Peak effective area, cm².
     pub area_cm2: f64,

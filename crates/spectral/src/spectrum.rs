@@ -1,12 +1,10 @@
 //! Accumulated spectra, normalization and error analysis.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::EnergyGrid;
 
 /// A spectrum: per-bin integrated emissivity `Lambda_RRC(E_bin)`
 /// (paper Eq. 2) on an [`EnergyGrid`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Spectrum {
     grid: EnergyGrid,
     bins: Vec<f64>,
@@ -128,7 +126,7 @@ impl Spectrum {
 
 /// A histogram of relative errors — the "probability (%)" curve of paper
 /// Fig. 8.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ErrorHistogram {
     /// Left edges of the histogram bins, in percent.
     pub edges: Vec<f64>,

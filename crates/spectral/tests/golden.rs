@@ -37,8 +37,8 @@ fn small_spectrum_matches_pinned_values() {
         time_s: 0.0,
         index: 0,
     };
-    let spectrum = SerialCalculator::new(db, grid, Integrator::Simpson { panels: 64 })
-        .spectrum_at(&point);
+    let spectrum =
+        SerialCalculator::new(db, grid, Integrator::Simpson { panels: 64 }).spectrum_at(&point);
     for (i, (&got, &want)) in spectrum.bins().iter().zip(&GOLDEN).enumerate() {
         // Allow a few ulps of cross-platform libm drift, nothing more.
         assert!(

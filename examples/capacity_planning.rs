@@ -18,7 +18,11 @@ fn main() {
     let calib = Calibration::paper();
     let serial_s = calib.serial_point_s * workload.points as f64;
 
-    println!("workload: {} grid points, {} ion tasks, serial cost {serial_s:.0} s\n", workload.points, workload.total_tasks(Granularity::Ion));
+    println!(
+        "workload: {} grid points, {} ion tasks, serial cost {serial_s:.0} s\n",
+        workload.points,
+        workload.total_tasks(Granularity::Ion)
+    );
 
     println!("  GPUs  tuned qlen  makespan (s)  speedup  GPU share  marginal gain");
     let mut prev: Option<f64> = None;

@@ -40,6 +40,7 @@ fn main() {
         gpu_precision: hybridspec::gpu::Precision::Double,
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
+        fused: true,
     };
     println!(
         "computing {} survey spectra on {} ranks / {} simulated GPUs...",
@@ -102,4 +103,3 @@ fn chi_square(observed: &[f64], model_counts: &[f64]) -> f64 {
         .sum::<f64>()
         / o.len() as f64
 }
-

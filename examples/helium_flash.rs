@@ -13,9 +13,17 @@ use hybridspec::nei::LsodaSolver;
 fn main() {
     let solver = LsodaSolver::new(1e-7, 1e-13);
     let scenarios = [
-        ("quiescent shell burning", AlphaChain { t9: 0.18, rho: 1e5 }, 3e8),
+        (
+            "quiescent shell burning",
+            AlphaChain { t9: 0.18, rho: 1e5 },
+            3e8,
+        ),
         ("helium flash", AlphaChain { t9: 0.9, rho: 1e6 }, 1e4),
-        ("explosive (detonation)", AlphaChain { t9: 5.0, rho: 1e7 }, 1.0),
+        (
+            "explosive (detonation)",
+            AlphaChain { t9: 5.0, rho: 1e7 },
+            1.0,
+        ),
     ];
     for (name, net, span) in scenarios {
         let mut y = AlphaChain::pure_helium();

@@ -50,6 +50,7 @@ fn main() {
         gpu_precision: hybridspec::gpu::Precision::Double,
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 2,
+        fused: true,
     };
     let report = HybridRunner::new(config).run();
     println!(

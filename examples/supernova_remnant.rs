@@ -52,11 +52,7 @@ fn main() {
         for &t in &epochs_s {
             let stats = solver.integrate(&sys, &mut x, t_prev, t);
             t_prev = t;
-            let mean_charge: f64 = x
-                .iter()
-                .enumerate()
-                .map(|(q, &f)| q as f64 * f)
-                .sum();
+            let mean_charge: f64 = x.iter().enumerate().map(|(q, &f)| q as f64 * f).sum();
             let dominant = x
                 .iter()
                 .enumerate()

@@ -140,6 +140,7 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         gpu_precision: hybridspec::gpu::Precision::Double,
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
+        fused: true,
     };
     let report = HybridRunner::new(config).run();
     let mut spectrum = report.spectra.into_iter().next().expect("one point");
@@ -172,7 +173,10 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("non-empty");
-        println!("peak at {:.2} A; use --out FILE.tsv to dump the series", peak.0);
+        println!(
+            "peak at {:.2} A; use --out FILE.tsv to dump the series",
+            peak.0
+        );
     } else {
         let mut tsv = String::from("wavelength_angstrom\tnormalized_flux\n");
         for (wl, flux) in &series {
@@ -211,7 +215,10 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let serial = calib.serial_point_s * workload.points as f64;
     println!("virtual-time prediction (paper-scale workload, 24 grid points):");
     println!("  makespan:      {:.1} s", report.makespan_s);
-    println!("  speedup:       {:.1}x over serial APEC", serial / report.makespan_s);
+    println!(
+        "  speedup:       {:.1}x over serial APEC",
+        serial / report.makespan_s
+    );
     println!(
         "  task split:    {} GPU / {} CPU ({:.2}% on GPU)",
         report.gpu_tasks, report.cpu_tasks, report.gpu_ratio_percent
@@ -285,9 +292,7 @@ fn cmd_remnant(args: &Args) -> Result<(), String> {
         ..SedovBlast::default()
     };
     let age = age_yr * YEAR_S;
-    println!(
-        "Sedov remnant, E = 1e51 erg into n = {ambient} cm^-3, age {age_yr:.0} yr:"
-    );
+    println!("Sedov remnant, E = 1e51 erg into n = {ambient} cm^-3, age {age_yr:.0} yr:");
     println!(
         "  shock radius {:.2} pc, velocity {:.0} km/s, post-shock T {:.3e} K",
         blast.shock_radius_cm(age) / 3.086e18,
@@ -322,12 +327,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     let out: String = args.get("out", String::new())?;
     if !out.is_empty() {
-        let mut tsv = String::from("point	wavelength_angstrom	normalized_flux
-");
+        let mut tsv = String::from(
+            "point	wavelength_angstrom	normalized_flux
+",
+        );
         for (i, spectrum) in report.spectra.iter().enumerate() {
             for (wl, flux) in spectrum.normalized().wavelength_series() {
-                tsv.push_str(&format!("{i}	{wl:.6}	{flux:.8e}
-"));
+                tsv.push_str(&format!(
+                    "{i}	{wl:.6}	{flux:.8e}
+"
+                ));
             }
         }
         std::fs::write(&out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
@@ -386,7 +395,8 @@ mod tests {
 
     #[test]
     fn run_command_accepts_a_spec_file() {
-        let spec = r#"{"max_z": 4, "bins": 16, "gpus": 1, "ranks": 2, "rule": "simpson", "panels": 64}"#;
+        let spec =
+            r#"{"max_z": 4, "bins": 16, "gpus": 1, "ranks": 2, "rule": "simpson", "panels": 64}"#;
         let path = std::env::temp_dir().join("hspec_test_spec.json");
         std::fs::write(&path, spec).unwrap();
         let a = args(&[("spec", path.to_str().unwrap())]);

@@ -64,7 +64,11 @@ fn device_histories_stay_balanced() {
     let max = *r.device_history.iter().max().unwrap() as f64;
     let min = *r.device_history.iter().min().unwrap() as f64;
     assert!(min > 0.0);
-    assert!(max / min < 1.05, "history imbalance: {:?}", r.device_history);
+    assert!(
+        max / min < 1.05,
+        "history imbalance: {:?}",
+        r.device_history
+    );
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn sedov_to_folded_counts() {
         gpu_precision: hybridspec::gpu::Precision::Double,
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 2,
+        fused: true,
     };
     let report = HybridRunner::new(config).run();
     assert_eq!(report.spectra.len(), 4);

@@ -1,113 +1,138 @@
-//! Property-based tests of the core invariants, across crates.
+//! Randomized property tests of the core invariants, across crates.
+//!
+//! Deterministic seeded sweeps (xoshiro via `desim::rng`) stand in for
+//! an external property-testing framework: each case draws many random
+//! inputs from a fixed seed, so failures are reproducible.
 
-use proptest::prelude::*;
-
-use hybridspec::desim::{LoadHistogram, Simulation};
+use hybridspec::desim::{rng, LoadHistogram, Simulation};
 use hybridspec::quadrature::{boole, qags, romberg, simpson, trapezoid};
 use hybridspec::sched::policy::{select_device, Selection};
 use hybridspec::sched::Scheduler;
 use hybridspec::spectral::EnergyGrid;
 
-proptest! {
-    // ---------- quadrature ----------
+// ---------- quadrature ----------
 
-    /// All fixed rules agree with the exact antiderivative on cubics.
-    #[test]
-    fn rules_integrate_cubics(
-        a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0,
-        lo in -5.0f64..5.0, span in 0.01f64..5.0,
-    ) {
-        let hi = lo + span;
+/// All fixed rules agree with the exact antiderivative on cubics.
+#[test]
+fn rules_integrate_cubics() {
+    let mut r = rng(0xC0B1C5);
+    for _ in 0..200 {
+        let a = r.gen_range(-3.0..3.0);
+        let b = r.gen_range(-3.0..3.0);
+        let c = r.gen_range(-3.0..3.0);
+        let lo = r.gen_range(-5.0..5.0);
+        let hi = lo + r.gen_range(0.01..5.0);
         let f = |x: f64| a * x * x * x + b * x + c;
         let exact = |x: f64| a * x.powi(4) / 4.0 + b * x * x / 2.0 + c * x;
         let truth = exact(hi) - exact(lo);
         let scale = 1.0 + truth.abs();
-        prop_assert!((simpson(f, lo, hi, 4).value - truth).abs() / scale < 1e-10);
-        prop_assert!((boole(f, lo, hi, 2).value - truth).abs() / scale < 1e-10);
-        prop_assert!((romberg(f, lo, hi, 4).value - truth).abs() / scale < 1e-9);
+        assert!((simpson(f, lo, hi, 4).value - truth).abs() / scale < 1e-10);
+        assert!((boole(f, lo, hi, 2).value - truth).abs() / scale < 1e-10);
+        assert!((romberg(f, lo, hi, 4).value - truth).abs() / scale < 1e-9);
     }
+}
 
-    /// Refinement never makes composite rules worse on smooth functions
-    /// (up to round-off).
-    #[test]
-    fn refinement_improves_smooth(lo in -2.0f64..0.0, span in 0.5f64..3.0) {
-        let hi = lo + span;
+/// Refinement never makes composite rules worse on smooth functions
+/// (up to round-off).
+#[test]
+fn refinement_improves_smooth() {
+    let mut r = rng(0x5EF1FE);
+    for _ in 0..200 {
+        let lo = r.gen_range(-2.0..0.0);
+        let hi = lo + r.gen_range(0.5..3.0);
         let exact = hi.exp() - lo.exp();
         let coarse = (trapezoid(f64::exp, lo, hi, 4).value - exact).abs();
         let fine = (trapezoid(f64::exp, lo, hi, 64).value - exact).abs();
-        prop_assert!(fine <= coarse + 1e-12);
+        assert!(fine <= coarse + 1e-12);
     }
+}
 
-    /// QAGS honors its reported error bound on well-behaved integrands.
-    #[test]
-    fn qags_error_bound_holds(freq in 0.5f64..8.0, span in 0.5f64..4.0) {
+/// QAGS honors its reported error bound on well-behaved integrands.
+#[test]
+fn qags_error_bound_holds() {
+    let mut r = rng(0x9A95);
+    for _ in 0..100 {
+        let freq = r.gen_range(0.5..8.0);
+        let span = r.gen_range(0.5..4.0);
         let f = |x: f64| (freq * x).sin() + 2.0;
         let est = qags(f, 0.0, span, 1e-10, 1e-10).unwrap();
         let exact = span * 2.0 + (1.0 - (freq * span).cos()) / freq;
-        prop_assert!(
+        assert!(
             (est.value - exact).abs() <= est.abs_error.max(1e-8),
-            "value {} exact {exact} err {}", est.value, est.abs_error
+            "value {} exact {exact} err {}",
+            est.value,
+            est.abs_error
         );
     }
+}
 
-    /// Integration is additive over adjacent intervals.
-    #[test]
-    fn integral_additivity(mid_frac in 0.1f64..0.9, span in 0.5f64..4.0) {
+/// Integration is additive over adjacent intervals.
+#[test]
+fn integral_additivity() {
+    let mut r = rng(0xADD);
+    for _ in 0..100 {
+        let mid_frac = r.gen_range(0.1..0.9);
+        let span = r.gen_range(0.5..4.0);
         let f = |x: f64| (x * 1.3).cos() * (-x * 0.2).exp();
         let mid = span * mid_frac;
         let whole = simpson(f, 0.0, span, 256).value;
         let parts = simpson(f, 0.0, mid, 256).value + simpson(f, mid, span, 256).value;
-        prop_assert!((whole - parts).abs() < 1e-9 * (1.0 + whole.abs()));
+        assert!((whole - parts).abs() < 1e-9 * (1.0 + whole.abs()));
     }
+}
 
-    // ---------- scheduler policy ----------
+// ---------- scheduler policy ----------
 
-    /// The selected device is always a lexicographic argmin of
-    /// (load, history, index), and AllBusy iff every load >= qlen.
-    #[test]
-    fn policy_is_argmin(
-        loads in proptest::collection::vec(0u64..20, 1..8),
-        seed in 0u64..1000,
-        qlen in 1u64..16,
-    ) {
-        let histories: Vec<u64> =
-            loads.iter().enumerate().map(|(i, _)| (seed * 7 + i as u64 * 13) % 40).collect();
+/// The selected device is always a lexicographic argmin of
+/// (load, history, index), and AllBusy iff every load >= qlen.
+#[test]
+fn policy_is_argmin() {
+    let mut r = rng(0xA1);
+    for seed in 0..300u64 {
+        let n = r.gen_range_usize(1..8);
+        let loads: Vec<u64> = (0..n).map(|_| r.gen_range_usize(0..20) as u64).collect();
+        let qlen = r.gen_range_usize(1..16) as u64;
+        let histories: Vec<u64> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (seed * 7 + i as u64 * 13) % 40)
+            .collect();
         match select_device(&loads, &histories, qlen) {
             Selection::Device(d) => {
-                prop_assert!(loads[d] < qlen);
+                assert!(loads[d] < qlen);
                 for other in 0..loads.len() {
-                    prop_assert!(
-                        (loads[d], histories[d], d) <= (loads[other], histories[other], other)
-                    );
+                    assert!((loads[d], histories[d], d) <= (loads[other], histories[other], other));
                 }
             }
             Selection::AllBusy => {
-                prop_assert!(loads.iter().all(|&l| l >= qlen));
+                assert!(loads.iter().all(|&l| l >= qlen));
             }
         }
     }
+}
 
-    /// Under arbitrary alloc/free interleavings the scheduler conserves
-    /// grants and never exceeds the queue bound.
-    #[test]
-    fn scheduler_conserves_under_interleaving(
-        ops in proptest::collection::vec(any::<bool>(), 1..200),
-        devices in 1usize..5,
-        qlen in 1u64..6,
-    ) {
+/// Under arbitrary alloc/free interleavings the scheduler conserves
+/// grants and never exceeds the queue bound.
+#[test]
+fn scheduler_conserves_under_interleaving() {
+    let mut r = rng(0x5C4ED);
+    for _ in 0..50 {
+        let devices = r.gen_range_usize(1..5);
+        let qlen = r.gen_range_usize(1..6) as u64;
+        let n_ops = r.gen_range_usize(1..200);
         let s = Scheduler::new(devices, qlen);
         let mut outstanding = Vec::new();
         let mut granted = 0u64;
-        for op in ops {
-            if op {
+        for _ in 0..n_ops {
+            if r.next_u64() & 1 == 1 {
                 if let Some(g) = s.alloc() {
-                    prop_assert!(s.load(g.device) <= qlen);
+                    assert!(s.load(g.device) <= qlen);
                     outstanding.push(g);
                     granted += 1;
                 } else {
                     // AllBusy must mean all queues are at the bound.
                     for d in 0..devices {
-                        prop_assert!(s.load(hybridspec::sched::DeviceId(d)) >= qlen);
+                        assert!(s.load(hybridspec::sched::DeviceId(d)) >= qlen);
                     }
                 }
             } else if let Some(g) = outstanding.pop() {
@@ -118,68 +143,86 @@ proptest! {
             s.free(g);
         }
         let (loads, histories) = s.snapshot();
-        prop_assert!(loads.iter().all(|&l| l == 0));
-        prop_assert_eq!(histories.iter().sum::<u64>(), granted);
+        assert!(loads.iter().all(|&l| l == 0));
+        assert_eq!(histories.iter().sum::<u64>(), granted);
     }
+}
 
-    // ---------- desim ----------
+// ---------- desim ----------
 
-    /// Events always execute in nondecreasing time order regardless of
-    /// the insertion order.
-    #[test]
-    fn des_event_order(delays in proptest::collection::vec(0.0f64..100.0, 1..60)) {
-        let n = delays.len();
+/// Events always execute in nondecreasing time order regardless of
+/// the insertion order.
+#[test]
+fn des_event_order() {
+    let mut r = rng(0xDE5);
+    for _ in 0..50 {
+        let n = r.gen_range_usize(1..60);
         let mut sim = Simulation::new(Vec::<f64>::with_capacity(n));
-        for d in delays {
+        for _ in 0..n {
+            let d = r.gen_range(0.0..100.0);
             sim.schedule(d, move |sim| {
                 let now = sim.now();
                 sim.world.push(now);
             });
         }
         sim.run();
-        prop_assert_eq!(sim.world.len(), n);
+        assert_eq!(sim.world.len(), n);
         for pair in sim.world.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1]);
         }
     }
+}
 
-    /// Load-histogram percentages always form a distribution.
-    #[test]
-    fn load_histogram_is_distribution(
-        steps in proptest::collection::vec((0.0f64..10.0, 0u32..8), 2..50),
-    ) {
+/// Load-histogram percentages always form a distribution.
+#[test]
+fn load_histogram_is_distribution() {
+    let mut r = rng(0x41570);
+    for _ in 0..100 {
+        let steps = r.gen_range_usize(2..50);
         let mut h = LoadHistogram::new();
         let mut t = 0.0;
-        for (dt, level) in steps {
-            t += dt;
+        for _ in 0..steps {
+            t += r.gen_range(0.0..10.0);
+            let level = r.gen_range_usize(0..8) as u32;
             h.record(t, level);
         }
         let total = h.total_time();
         if total > 0.0 {
             let sum: f64 = (0..=h.max_level()).map(|l| h.percent_at(l)).sum();
-            prop_assert!((sum - 100.0).abs() < 1e-6);
-            prop_assert!((h.percent_at_least(0) - 100.0).abs() < 1e-6);
+            assert!((sum - 100.0).abs() < 1e-6);
+            assert!((h.percent_at_least(0) - 100.0).abs() < 1e-6);
         }
     }
+}
 
-    // ---------- spectral grid ----------
+// ---------- spectral grid ----------
 
-    /// Grid bins tile the range exactly and locate() inverts bin().
-    #[test]
-    fn grid_bins_partition(min in 1.0f64..100.0, span in 1.0f64..1000.0, bins in 1usize..200) {
+/// Grid bins tile the range exactly and locate() inverts bin().
+#[test]
+fn grid_bins_partition() {
+    let mut r = rng(0x6B1D);
+    for _ in 0..100 {
+        let min = r.gen_range(1.0..100.0);
+        let span = r.gen_range(1.0..1000.0);
+        let bins = r.gen_range_usize(1..200);
         let g = EnergyGrid::linear(min, min + span, bins);
         for i in 0..bins.min(50) {
             let (lo, hi) = g.bin(i);
-            prop_assert!(lo < hi);
+            assert!(lo < hi);
             let c = 0.5 * (lo + hi);
-            prop_assert_eq!(g.locate(c), Some(i));
+            assert_eq!(g.locate(c), Some(i));
         }
-        prop_assert!((g.edge(bins) - (min + span)).abs() < 1e-9 * (min + span));
+        assert!((g.edge(bins) - (min + span)).abs() < 1e-9 * (min + span));
     }
+}
 
-    /// Partitioning a parameter space covers all indices exactly once.
-    #[test]
-    fn space_partition_covers(n_t in 1usize..20, parts in 1usize..30) {
+/// Partitioning a parameter space covers all indices exactly once.
+#[test]
+fn space_partition_covers() {
+    let mut r = rng(0x5BACE);
+    for _ in 0..100 {
+        let n_t = r.gen_range_usize(1..20);
+        let parts = r.gen_range_usize(1..30);
         let space = hybridspec::spectral::ParameterSpace {
             temperatures_k: vec![1e6; n_t],
             densities_cm3: vec![1.0, 2.0],
@@ -187,26 +230,28 @@ proptest! {
         };
         let ranges = space.partition(parts);
         let mut seen = vec![false; space.len()];
-        for r in ranges {
-            for i in r {
-                prop_assert!(!seen[i]);
+        for range in ranges {
+            for i in range {
+                assert!(!seen[i]);
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    // ---------- NEI ----------
+// ---------- NEI ----------
 
-    /// The solver keeps ion fractions on the unit simplex for arbitrary
-    /// plasma states and spans.
-    #[test]
-    fn nei_preserves_simplex(
-        z in 1u8..12,
-        log_t in 4.0f64..8.5,
-        log_ne in -2.0f64..4.0,
-        log_span in 2.0f64..10.0,
-    ) {
+/// The solver keeps ion fractions on the unit simplex for arbitrary
+/// plasma states and spans.
+#[test]
+fn nei_preserves_simplex() {
+    let mut r = rng(0x4E1);
+    for _ in 0..25 {
+        let z = r.gen_range_usize(1..12) as u8;
+        let log_t = r.gen_range(4.0..8.5);
+        let log_ne = r.gen_range(-2.0..4.0);
+        let log_span = r.gen_range(2.0..10.0);
         let sys = hybridspec::nei::NeiSystem {
             z,
             electron_density: 10f64.powf(log_ne),
@@ -217,7 +262,7 @@ proptest! {
         let solver = hybridspec::nei::LsodaSolver::default();
         solver.integrate(&sys, &mut x, 0.0, 10f64.powf(log_span));
         let sum: f64 = x.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
-        prop_assert!(x.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(x.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
     }
 }
