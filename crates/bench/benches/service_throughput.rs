@@ -1,0 +1,76 @@
+//! Microbench: service request throughput — cache on (warm) vs cache
+//! off, on 1 vs 2 simulated GPUs.
+//!
+//! Each measured iteration drives one closed-loop wave of
+//! repeated-state whole-spectrum requests through a resident
+//! [`rrc_service::SpectralService`]; the service (and its warm cache)
+//! persists across iterations, so `cache_on` numbers measure the
+//! steady-state hit path: admission → batcher → cache → assemble.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use microbench::{criterion_group, criterion_main, Criterion};
+use rrc_service::{cycling_requests, run_closed_loop, ServiceConfig, SpectralService};
+use rrc_spectral::{EnergyGrid, GridPoint};
+
+const WAVE: usize = 12;
+const CLIENTS: usize = 4;
+
+fn db() -> Arc<AtomDatabase> {
+    Arc::new(AtomDatabase::generate(DatabaseConfig {
+        max_z: 6,
+        ..DatabaseConfig::default()
+    }))
+}
+
+fn points() -> Vec<GridPoint> {
+    (0..3)
+        .map(|i| GridPoint {
+            temperature_k: 9.5e6 + 4.4e5 * i as f64,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: i,
+        })
+        .collect()
+}
+
+fn config(gpus: usize, cache_capacity: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::deterministic(db(), vec![EnergyGrid::linear(50.0, 2000.0, 64)]);
+    cfg.engine.gpus = gpus;
+    cfg.cache_capacity = cache_capacity;
+    cfg
+}
+
+fn bench_service(c: &mut Criterion) {
+    let pts = points();
+    for gpus in [1usize, 2] {
+        for (cache_label, capacity) in [("cache_on", 4096usize), ("cache_off", 0)] {
+            let id = format!("service_wave_{gpus}gpu_{cache_label}");
+            let service = SpectralService::start(config(gpus, capacity));
+            if capacity > 0 {
+                // Warm every distinct state once so measured iterations
+                // run the steady-state hit path.
+                let report = run_closed_loop(&service, cycling_requests(&pts, 0, pts.len()), 1);
+                assert_eq!(report.completed, pts.len() as u64);
+            }
+            c.bench_function(id.as_str(), |b| {
+                b.iter_custom(|iters| {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        let report =
+                            run_closed_loop(&service, cycling_requests(&pts, 0, WAVE), CLIENTS);
+                        assert_eq!(report.completed, WAVE as u64, "{id}: wave must complete");
+                    }
+                    start.elapsed()
+                });
+            });
+            let report = service.shutdown();
+            assert_eq!(report.engine.leaked_grants, 0, "{id}: leaked grants");
+        }
+    }
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

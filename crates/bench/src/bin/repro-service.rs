@@ -1,0 +1,303 @@
+//! Regenerate `BENCH_service.json`: the spectral query service's
+//! acceptance gates, per 0/1/2-GPU configuration.
+//!
+//! For each device count this driver checks, with a fixed seed:
+//!
+//! 1. **Bitwise cache parity** — the same request set answered by a
+//!    cache-on and a cache-off service must agree to the bit (the
+//!    cached partial is the original allocation; the fold order is
+//!    fixed; the engine kernel is the deterministic single-chunk
+//!    launch).
+//! 2. **Cache throughput** — a repeated-query closed-loop workload
+//!    must run at least 5x faster against a warm cache than with the
+//!    cache disabled (full runs only; `--smoke` checks hit-rate > 0
+//!    instead of timing).
+//! 3. **Overload boundedness** — an open-loop Poisson burst far above
+//!    capacity must shed (typed `Overloaded`) under the shed policy
+//!    while the observed queue depth never exceeds the configured
+//!    bound, and must complete everything under caller-runs.
+//! 4. **Clean shutdown** — every service drains with zero leaked
+//!    scheduler grants.
+//!
+//! `--smoke` shrinks the workload for CI and skips the timing gate
+//! (counters and parity stay asserted, and the JSON is still written).
+
+use std::sync::Arc;
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use jsonlite::ObjectBuilder;
+use rrc_service::{
+    cycling_requests, poisson_arrivals, run_closed_loop, run_open_loop, AdmissionPolicy,
+    ServiceConfig, ServiceReport, SpectralService, SpectrumRequest,
+};
+use rrc_spectral::{EnergyGrid, GridPoint};
+
+const SEED: u64 = 0x05EC_72A1; // fixed: every schedule below derives from it
+
+struct Scale {
+    max_z: u8,
+    bins: usize,
+    distinct_points: usize,
+    throughput_requests: usize,
+    overload_requests: usize,
+}
+
+impl Scale {
+    fn full() -> Scale {
+        Scale {
+            max_z: 8,
+            bins: 96,
+            distinct_points: 4,
+            throughput_requests: 64,
+            overload_requests: 96,
+        }
+    }
+
+    fn smoke() -> Scale {
+        Scale {
+            max_z: 5,
+            bins: 32,
+            distinct_points: 3,
+            throughput_requests: 18,
+            overload_requests: 40,
+        }
+    }
+}
+
+fn db(scale: &Scale) -> Arc<AtomDatabase> {
+    Arc::new(AtomDatabase::generate(DatabaseConfig {
+        max_z: scale.max_z,
+        ..DatabaseConfig::default()
+    }))
+}
+
+fn points(scale: &Scale) -> Vec<GridPoint> {
+    (0..scale.distinct_points)
+        .map(|i| GridPoint {
+            temperature_k: 9.0e6 + 6.1e5 * i as f64,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: i,
+        })
+        .collect()
+}
+
+fn config(scale: &Scale, gpus: usize, cache_capacity: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::deterministic(
+        db(scale),
+        vec![EnergyGrid::linear(50.0, 2000.0, scale.bins)],
+    );
+    cfg.engine.gpus = gpus;
+    cfg.cache_capacity = cache_capacity;
+    cfg
+}
+
+fn answer_all(service: &SpectralService, requests: Vec<SpectrumRequest>) -> Vec<Vec<f64>> {
+    requests
+        .into_iter()
+        .map(|r| {
+            service
+                .submit(r)
+                .expect("admitted")
+                .wait()
+                .expect("answered")
+                .bins
+        })
+        .collect()
+}
+
+fn assert_drained(label: &str, report: &ServiceReport) {
+    assert_eq!(
+        report.engine.leaked_grants, 0,
+        "{label}: shutdown must free every grant"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let pts = points(&scale);
+    let mut configs = Vec::new();
+
+    for gpus in [0usize, 1, 2] {
+        eprintln!("[gpus={gpus}] cache parity ...");
+        // -- 1. bitwise cache parity -------------------------------------
+        // Two passes so the cached service answers pass 2 from the cache;
+        // every answer must equal the uncached service's bit for bit.
+        let reqs = cycling_requests(&pts, 0, 2 * scale.distinct_points + 3);
+        let cached = SpectralService::start(config(&scale, gpus, 4096));
+        let uncached = SpectralService::start(config(&scale, gpus, 0));
+        let from_cached = answer_all(&cached, reqs.clone());
+        let from_uncached = answer_all(&uncached, reqs.clone());
+        let mut parity_cases = 0u64;
+        for (i, (a, b)) in from_cached.iter().zip(&from_uncached).enumerate() {
+            for (j, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "gpus={gpus} request {i} bin {j}: cache-on {x} vs cache-off {y}"
+                );
+                parity_cases += 1;
+            }
+        }
+        let cached_report = cached.shutdown();
+        assert_drained("parity cached", &cached_report);
+        assert!(
+            cached_report.cache.hits > 0,
+            "repeated queries must hit the cache: {:?}",
+            cached_report.cache
+        );
+        assert_drained("parity uncached", &uncached.shutdown());
+
+        // -- 2. cache throughput -----------------------------------------
+        eprintln!("[gpus={gpus}] throughput ...");
+        let warm = SpectralService::start(config(&scale, gpus, 4096));
+        // Warm pass: every distinct state once, filling the cache.
+        let _ = answer_all(&warm, cycling_requests(&pts, 0, pts.len()));
+        let warm_run = run_closed_loop(
+            &warm,
+            cycling_requests(&pts, 0, scale.throughput_requests),
+            4,
+        );
+        let warm_report = warm.shutdown();
+        assert_drained("throughput cached", &warm_report);
+
+        let cold = SpectralService::start(config(&scale, gpus, 0));
+        let cold_run = run_closed_loop(
+            &cold,
+            cycling_requests(&pts, 0, scale.throughput_requests),
+            4,
+        );
+        assert_drained("throughput uncached", &cold.shutdown());
+
+        let speedup = warm_run.throughput_rps() / cold_run.throughput_rps().max(1e-12);
+        assert_eq!(warm_run.completed, scale.throughput_requests as u64);
+        assert_eq!(cold_run.completed, scale.throughput_requests as u64);
+        assert!(
+            warm_report.cache.hit_rate() > 0.0,
+            "warm run saw no cache hits"
+        );
+        if !smoke {
+            assert!(
+                speedup >= 5.0,
+                "gpus={gpus}: cache speedup gate: expected >= 5x, got {speedup:.2}x"
+            );
+        }
+
+        // -- 3. overload boundedness -------------------------------------
+        eprintln!("[gpus={gpus}] overload ...");
+        let mut shed_cfg = config(&scale, gpus, 0);
+        shed_cfg.request_queue_depth = 8;
+        shed_cfg.admission = AdmissionPolicy::Shed;
+        let depth = shed_cfg.request_queue_depth;
+        let shed_svc = SpectralService::start(shed_cfg);
+        // Offered far above capacity: the whole burst arrives in ~a few
+        // milliseconds while each request costs whole milliseconds.
+        let arrivals = poisson_arrivals(20_000.0, scale.overload_requests, SEED);
+        let shed_run = run_open_loop(
+            &shed_svc,
+            cycling_requests(&pts, 0, scale.overload_requests),
+            &arrivals,
+        );
+        let shed_report = shed_svc.shutdown();
+        assert_drained("overload shed", &shed_report);
+        assert!(
+            shed_run.shed > 0,
+            "burst at 20 kHz must overflow a depth-{depth} queue"
+        );
+        assert_eq!(
+            shed_run.completed + shed_run.shed,
+            scale.overload_requests as u64
+        );
+        assert!(
+            shed_report.metrics.queue_depth_peak <= depth as u64,
+            "queue depth {} exceeded bound {depth}",
+            shed_report.metrics.queue_depth_peak
+        );
+
+        let mut inline_cfg = config(&scale, gpus, 0);
+        inline_cfg.request_queue_depth = 8;
+        inline_cfg.admission = AdmissionPolicy::CallerRuns;
+        let inline_svc = SpectralService::start(inline_cfg);
+        let inline_run = run_open_loop(
+            &inline_svc,
+            cycling_requests(&pts, 0, scale.overload_requests),
+            &arrivals,
+        );
+        let inline_report = inline_svc.shutdown();
+        assert_drained("overload caller-runs", &inline_report);
+        assert_eq!(
+            inline_run.completed, scale.overload_requests as u64,
+            "caller-runs answers everything"
+        );
+
+        configs.push(
+            ObjectBuilder::new()
+                .field("gpus", gpus as u64)
+                .field(
+                    "cache_parity",
+                    ObjectBuilder::new()
+                        .field("bitwise_equal", true)
+                        .field("bins_compared", parity_cases)
+                        .field("cache_hits", cached_report.cache.hits)
+                        .field("cache_hit_rate", cached_report.cache.hit_rate())
+                        .build(),
+                )
+                .field(
+                    "throughput",
+                    ObjectBuilder::new()
+                        .field("requests", scale.throughput_requests as u64)
+                        .field("cache_on_rps", warm_run.throughput_rps())
+                        .field("cache_off_rps", cold_run.throughput_rps())
+                        .field("speedup", speedup)
+                        .field("gate_5x_enforced", !smoke)
+                        .field("warm_hit_rate", warm_report.cache.hit_rate())
+                        .field("total_p50_s", warm_report.metrics.total.p50_s)
+                        .field("total_p95_s", warm_report.metrics.total.p95_s)
+                        .field("total_p99_s", warm_report.metrics.total.p99_s)
+                        .build(),
+                )
+                .field(
+                    "overload",
+                    ObjectBuilder::new()
+                        .field("offered", shed_run.offered)
+                        .field("shed", shed_run.shed)
+                        .field("completed", shed_run.completed)
+                        .field("queue_depth_bound", depth as u64)
+                        .field("queue_depth_peak", shed_report.metrics.queue_depth_peak)
+                        .field("caller_runs_completed", inline_run.completed)
+                        .field("caller_runs_inline", inline_run.caller_ran)
+                        .build(),
+                )
+                .field(
+                    "engine",
+                    ObjectBuilder::new()
+                        .field("gpu_tasks", cached_report.engine.gpu_tasks)
+                        .field("cpu_tasks", cached_report.engine.cpu_tasks)
+                        .field("leaked_grants", 0u64)
+                        .build(),
+                )
+                .build(),
+        );
+    }
+
+    let bundle = ObjectBuilder::new()
+        .field("seed", SEED)
+        .field("smoke", smoke)
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("max_z", u64::from(scale.max_z))
+                .field("bins", scale.bins as u64)
+                .field("distinct_points", scale.distinct_points as u64)
+                .field("rule", "simpson_64_deterministic_kernel")
+                .build(),
+        )
+        .field("configs", jsonlite::Value::Array(configs))
+        .build();
+
+    let path = "BENCH_service.json";
+    std::fs::write(path, bundle.to_pretty()).expect("write results");
+    println!("wrote {path}");
+    println!("service acceptance: parity bitwise, overload bounded, zero leaked grants");
+}

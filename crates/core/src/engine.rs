@@ -1,0 +1,796 @@
+//! The resident hybrid engine — paper Fig. 2 as a long-lived service
+//! backend.
+//!
+//! [`crate::runtime::HybridRunner`] runs one fixed [`ParameterSpace`]
+//! to completion and tears everything down. A query service cannot
+//! work that way: it needs the rank workers, the shared-memory
+//! scheduler and the simulated devices brought up **once**, fed
+//! coarse-grained ion tasks for as long as the process lives, and torn
+//! down gracefully (drain the queues, free every
+//! [`hybrid_sched::Grant`], join every thread). [`Engine`] is that
+//! resident form; `HybridRunner::run` is now a thin batch client of it.
+//!
+//! Execution of one [`IonJob`] is exactly the paper's Algorithm 1 step:
+//! ask the scheduler for a device; granted tasks run the RRC kernel on
+//! a [`SimGpu`] worker, rejected tasks run the CPU integrator (QAGS in
+//! the paper) on the engine worker's own thread. Results are per-ion
+//! partial spectra delivered over the job's reply channel.
+//!
+//! ## Placement-invariant numerics
+//!
+//! With [`EngineConfig::deterministic_kernel`] set, device tasks launch
+//! the fused kernel as a **single chunk** (`LaunchConfig::new(1, 1)`),
+//! which makes the kernel's operation sequence identical to the host
+//! fused path ([`rrc_spectral::emissivity_into`] under the same bin
+//! rule). When the CPU integrator is that same bin rule, an ion
+//! partial is then **bitwise identical** no matter where the scheduler
+//! placed it — the property the service tier's cache and its
+//! bitwise-parity guarantees are built on. With it unset, device tasks
+//! use the covering launch geometry (higher simulated parallelism, bin
+//! chunks anchor the sampling recurrence at different edges, last-ulp
+//! placement dependence — the PR 1 behaviour, kept for the batch
+//! runtime and its benches).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use atomdb::AtomDatabase;
+use gpu_sim::{
+    BinIntegrationKernel, DevicePtr, DeviceRule, FusedBinKernel, LaunchConfig, Precision, SimGpu,
+};
+use hybrid_sched::{Grant, Scheduler, SchedulerSnapshot};
+use mpi_sim::{BoundedQueue, TryPushError};
+use rrc_spectral::{
+    emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
+    PreparedIntegrand,
+};
+
+use crate::pool::WorkspacePool;
+use crate::runtime::HybridConfig;
+
+/// Configuration of a resident engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Atomic database (shared read-only by every worker and device).
+    pub db: Arc<AtomDatabase>,
+    /// Worker threads (the resident analogue of MPI ranks).
+    pub workers: usize,
+    /// Simulated GPU count (0 = every task runs on worker CPUs).
+    pub gpus: usize,
+    /// Maximum queue length per device (paper Algorithm 1).
+    pub max_queue_len: u64,
+    /// Device-side integration rule.
+    pub gpu_rule: DeviceRule,
+    /// Device arithmetic precision.
+    pub gpu_precision: Precision,
+    /// CPU fallback integrator (paper: QAGS).
+    pub cpu_integrator: Integrator,
+    /// Route device tasks through the fused hot path (PR 1); `false`
+    /// keeps the seed per-bin kernel for A/B runs.
+    pub fused: bool,
+    /// Outstanding GPU submissions one worker may hold before settling
+    /// (`1` = the paper's synchronous mode).
+    pub async_window: usize,
+    /// Capacity of the bounded ion-task queue feeding the workers —
+    /// the engine-tier admission bound.
+    pub queue_depth: usize,
+    /// Single-chunk kernel launches for bitwise placement invariance
+    /// (see the module docs). The service tier turns this on; the
+    /// batch runtime leaves it off.
+    pub deterministic_kernel: bool,
+}
+
+impl EngineConfig {
+    /// Derive a resident-engine configuration from a batch
+    /// [`HybridConfig`] (same devices, ranks-as-workers, same
+    /// numerics; covering kernel launches).
+    #[must_use]
+    pub fn from_hybrid(cfg: &HybridConfig) -> EngineConfig {
+        EngineConfig {
+            db: Arc::clone(&cfg.db),
+            workers: cfg.ranks.max(1),
+            gpus: cfg.gpus,
+            max_queue_len: cfg.max_queue_len,
+            gpu_rule: cfg.gpu_rule,
+            gpu_precision: cfg.gpu_precision,
+            cpu_integrator: cfg.cpu_integrator,
+            fused: cfg.fused,
+            async_window: cfg.async_window,
+            queue_depth: 2 * cfg.ranks.max(1),
+            deterministic_kernel: false,
+        }
+    }
+}
+
+/// Where one ion task actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// On simulated GPU `device` via a scheduler grant.
+    Gpu(usize),
+    /// On an engine worker's CPU after the scheduler reported all
+    /// device queues full (paper Algorithm 1 fallback).
+    WorkerCpu,
+    /// On the submitting caller's own thread
+    /// ([`Engine::compute_inline`] — the service tier's caller-runs
+    /// overload policy).
+    CallerCpu,
+}
+
+/// One coarse-grained task: some levels of one ion at one plasma
+/// state, integrated over one bin table.
+pub struct IonJob {
+    /// Index into [`AtomDatabase::ions`].
+    pub ion_index: usize,
+    /// Level sub-range of the ion (full range for Ion granularity).
+    pub level_range: Range<usize>,
+    /// Plasma state.
+    pub point: GridPoint,
+    /// The target spectrum grid.
+    pub grid: EnergyGrid,
+    /// The grid's bin bounds, hoisted once per grid and shared by
+    /// every task (must equal `grid.bin_pairs()`; the GPU path reads
+    /// this table, the CPU path reads the grid — they see identical
+    /// bounds because `bin_pairs` is derived from the same edges).
+    pub bins: Arc<Vec<(f64, f64)>>,
+    /// Caller correlation id, echoed in the outcome (the batch client
+    /// stores the grid-point index here; the service stores the batch
+    /// slot).
+    pub tag: u64,
+    /// Where to deliver the result.
+    pub reply: Sender<IonOutcome>,
+}
+
+/// Result of one [`IonJob`].
+#[derive(Debug)]
+pub struct IonOutcome {
+    /// Echo of [`IonJob::ion_index`].
+    pub ion_index: usize,
+    /// Echo of `IonJob::level_range.start` (orders Level-granularity
+    /// partials deterministically).
+    pub level_start: usize,
+    /// Echo of [`IonJob::tag`].
+    pub tag: u64,
+    /// Per-bin partial emissivity (one slot per bin of the job's grid;
+    /// all zeros for ions with no population at this state).
+    pub partial: Vec<f64>,
+    /// Where the task ran.
+    pub path: ExecPath,
+    /// Integrand evaluations performed (the cost-model work measure).
+    pub evals: u64,
+}
+
+/// Counters one worker accumulates over its lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    gpu_tasks: u64,
+    cpu_tasks: u64,
+    workspaces_created: u64,
+    workspace_acquisitions: u64,
+}
+
+/// What [`Engine::shutdown`] reports after draining.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Tasks executed on devices.
+    pub gpu_tasks: u64,
+    /// Tasks that fell back to worker CPUs.
+    pub cpu_tasks: u64,
+    /// Per-device history task counts from the scheduler.
+    pub device_history: Vec<u64>,
+    /// Per-device modeled busy seconds (cost-model time).
+    pub device_virtual_seconds: Vec<f64>,
+    /// Per-device peak on-board memory over the engine's life (bytes).
+    pub device_peak_memory: Vec<u64>,
+    /// QAGS workspaces constructed across the worker pools.
+    pub workspaces_created: u64,
+    /// Workspace acquisitions served by the worker pools.
+    pub workspace_acquisitions: u64,
+    /// Grants still outstanding after the drain — **must** be zero; a
+    /// nonzero value means queue capacity leaked (also debug-asserted
+    /// by the scheduler's drop).
+    pub leaked_grants: u64,
+}
+
+/// The resident engine handle. Submit [`IonJob`]s from any number of
+/// threads; call [`Engine::shutdown`] (or drop) to drain and join.
+pub struct Engine {
+    config: EngineConfig,
+    queue: BoundedQueue<IonJob>,
+    scheduler: Scheduler,
+    devices: Arc<Vec<SimGpu>>,
+    workers: Vec<std::thread::JoinHandle<WorkerStats>>,
+}
+
+impl Engine {
+    /// Bring the engine up: devices, scheduler, and worker threads.
+    #[must_use]
+    pub fn start(config: EngineConfig) -> Engine {
+        let devices: Arc<Vec<SimGpu>> = Arc::new(
+            (0..config.gpus)
+                .map(|_| SimGpu::new(gpu_sim::DeviceProps::tesla_c2075()))
+                .collect(),
+        );
+        let scheduler = Scheduler::new(config.gpus, config.max_queue_len);
+        let queue: BoundedQueue<IonJob> = BoundedQueue::new(config.queue_depth.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let queue = queue.clone();
+                let scheduler = scheduler.clone();
+                let devices = Arc::clone(&devices);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{w}"))
+                    .spawn(move || worker_loop(&config, &queue, &scheduler, &devices))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            config,
+            queue,
+            scheduler,
+            devices,
+            workers,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Blocking submit: waits for a free queue slot.
+    ///
+    /// # Errors
+    /// Returns the job back if the engine is shutting down.
+    pub fn submit(&self, job: IonJob) -> Result<(), IonJob> {
+        self.queue.push(job)
+    }
+
+    /// Non-blocking submit — the admission-control edge: a `Full`
+    /// refusal hands the job back so the caller can shed it or run it
+    /// inline.
+    ///
+    /// # Errors
+    /// [`TryPushError::Full`] at capacity, [`TryPushError::Closed`]
+    /// during shutdown; the job rides back inside the error.
+    #[allow(clippy::result_large_err)] // the error carrying the job back IS the contract
+    pub fn try_submit(&self, job: IonJob) -> Result<(), TryPushError<IonJob>> {
+        self.queue.try_push(job)
+    }
+
+    /// Execute one ion task synchronously on the **caller's** thread —
+    /// the paper's QAGS fallback lifted to the service tier (caller-runs
+    /// overload policy). Uses the same CPU path as rejected tasks, so
+    /// under a bin-rule integrator the result is bitwise identical to
+    /// the queued paths.
+    #[must_use]
+    pub fn compute_inline(
+        &self,
+        ion_index: usize,
+        level_range: Range<usize>,
+        point: &GridPoint,
+        grid: &EnergyGrid,
+    ) -> IonOutcome {
+        thread_local! {
+            static POOL: std::cell::RefCell<WorkspacePool> =
+                std::cell::RefCell::new(WorkspacePool::new());
+        }
+        let mut partial = vec![0.0f64; grid.bins()];
+        let evals = POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let mut ws = pool.acquire();
+            let evals = emissivity_into(
+                &self.config.db,
+                ion_index,
+                level_range.clone(),
+                point,
+                grid,
+                self.config.cpu_integrator,
+                &mut ws,
+                &mut partial,
+            );
+            pool.release(ws);
+            evals
+        });
+        IonOutcome {
+            ion_index,
+            level_start: level_range.start,
+            tag: 0,
+            partial,
+            path: ExecPath::CallerCpu,
+            evals,
+        }
+    }
+
+    /// Current occupancy of the ion-task queue.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Capacity of the ion-task queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Number of simulated devices.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.config.gpus
+    }
+
+    /// Scheduler load/history read for the metrics layer.
+    #[must_use]
+    pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
+        self.scheduler.snapshot()
+    }
+
+    /// Graceful shutdown: refuse new work, drain queued jobs, settle
+    /// every in-flight device task (freeing its grant), join workers,
+    /// and report.
+    #[must_use]
+    pub fn shutdown(mut self) -> EngineReport {
+        self.drain_and_join()
+    }
+
+    fn drain_and_join(&mut self) -> EngineReport {
+        self.queue.close();
+        let mut totals = WorkerStats::default();
+        for handle in self.workers.drain(..) {
+            let stats = handle.join().expect("engine worker panicked");
+            totals.gpu_tasks += stats.gpu_tasks;
+            totals.cpu_tasks += stats.cpu_tasks;
+            totals.workspaces_created += stats.workspaces_created;
+            totals.workspace_acquisitions += stats.workspace_acquisitions;
+        }
+        let snap = self.scheduler.snapshot();
+        EngineReport {
+            gpu_tasks: totals.gpu_tasks,
+            cpu_tasks: totals.cpu_tasks,
+            device_history: snap.histories,
+            device_virtual_seconds: self
+                .devices
+                .iter()
+                .map(SimGpu::virtual_busy_seconds)
+                .collect(),
+            device_peak_memory: self.devices.iter().map(SimGpu::memory_peak).collect(),
+            workspaces_created: totals.workspaces_created,
+            workspace_acquisitions: totals.workspace_acquisitions,
+            leaked_grants: self.scheduler.in_flight(),
+        }
+    }
+}
+
+impl Drop for Engine {
+    /// Dropping without [`Engine::shutdown`] still drains and joins —
+    /// a resident process must never strand device tasks or grants.
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.drain_and_join();
+        }
+    }
+}
+
+/// One in-flight device submission a worker is tracking.
+struct Pending {
+    handle: gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)>,
+    grant: Grant,
+    ptr: Option<DevicePtr>,
+    bytes_in: u64,
+    ion_index: usize,
+    level_start: usize,
+    tag: u64,
+    reply: Sender<IonOutcome>,
+}
+
+fn worker_loop(
+    config: &EngineConfig,
+    queue: &BoundedQueue<IonJob>,
+    scheduler: &Scheduler,
+    devices: &Arc<Vec<SimGpu>>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut pool = WorkspacePool::new();
+    // Recycled device-side result buffers, one free list per device.
+    let mut dev_bufs: Vec<Vec<DevicePtr>> = vec![Vec::new(); config.gpus];
+    let window = config.async_window.max(1);
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+
+    let settle = |pending: &mut VecDeque<Pending>, dev_bufs: &mut Vec<Vec<DevicePtr>>| {
+        if let Some(p) = pending.pop_front() {
+            let (partial, evals) = p.handle.wait();
+            let device = &devices[p.grant.device.0];
+            let bytes_out = p.ptr.map_or(0, |b| b.bytes);
+            if let Some(buf) = p.ptr {
+                dev_bufs[p.grant.device.0].push(buf);
+            }
+            device.charge_task(evals, p.bytes_in, bytes_out);
+            scheduler.free(p.grant);
+            let _ = p.reply.send(IonOutcome {
+                ion_index: p.ion_index,
+                level_start: p.level_start,
+                tag: p.tag,
+                partial,
+                path: ExecPath::Gpu(p.grant.device.0),
+                evals,
+            });
+        }
+    };
+
+    loop {
+        // With submissions in flight, never block on an idle queue —
+        // an unsettled task holds its grant and its caller's reply
+        // hostage. Prefer new work if it is already there; otherwise
+        // settle the oldest submission and look again.
+        let job = if pending.is_empty() {
+            match queue.pop() {
+                Some(job) => job,
+                None => break,
+            }
+        } else {
+            match queue.try_pop() {
+                Some(job) => job,
+                None => {
+                    settle(&mut pending, &mut dev_bufs);
+                    continue;
+                }
+            }
+        };
+        if pending.len() >= window {
+            settle(&mut pending, &mut dev_bufs);
+        }
+        match scheduler.alloc() {
+            Some(grant) => {
+                let device = &devices[grant.device.0];
+                let ptr = dev_bufs[grant.device.0]
+                    .pop()
+                    .or_else(|| device.malloc(8 * job.bins.len() as u64).ok());
+                let bytes_in = 64 + 16 * (job.level_range.end - job.level_range.start) as u64;
+                let handle = submit_gpu_task(
+                    device,
+                    &config.db,
+                    job.ion_index,
+                    job.level_range.clone(),
+                    job.point,
+                    &job.bins,
+                    config.gpu_rule,
+                    config.gpu_precision,
+                    config.fused,
+                    config.deterministic_kernel,
+                );
+                pending.push_back(Pending {
+                    handle,
+                    grant,
+                    ptr,
+                    bytes_in,
+                    ion_index: job.ion_index,
+                    level_start: job.level_range.start,
+                    tag: job.tag,
+                    reply: job.reply,
+                });
+                stats.gpu_tasks += 1;
+            }
+            None => {
+                let mut partial = vec![0.0f64; job.grid.bins()];
+                let mut ws = pool.acquire();
+                let evals = emissivity_into(
+                    &config.db,
+                    job.ion_index,
+                    job.level_range.clone(),
+                    &job.point,
+                    &job.grid,
+                    config.cpu_integrator,
+                    &mut ws,
+                    &mut partial,
+                );
+                pool.release(ws);
+                let _ = job.reply.send(IonOutcome {
+                    ion_index: job.ion_index,
+                    level_start: job.level_range.start,
+                    tag: job.tag,
+                    partial,
+                    path: ExecPath::WorkerCpu,
+                    evals,
+                });
+                stats.cpu_tasks += 1;
+            }
+        }
+    }
+    // Drain: settle every outstanding submission (frees every grant).
+    while !pending.is_empty() {
+        settle(&mut pending, &mut dev_bufs);
+    }
+    // Return pooled device buffers to their arenas.
+    for (d, bufs) in dev_bufs.into_iter().enumerate() {
+        for ptr in bufs {
+            devices[d].free(ptr);
+        }
+    }
+    stats.workspaces_created = pool.created();
+    stats.workspace_acquisitions = pool.acquired();
+    stats
+}
+
+/// Submit one task to a device: build the level integrands, ship the
+/// kernel, return a completion handle. `single_chunk` selects the
+/// deterministic single-chunk launch (see the module docs); otherwise
+/// the covering geometry is used.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn submit_gpu_task(
+    device: &SimGpu,
+    db: &Arc<AtomDatabase>,
+    ion_index: usize,
+    level_range: Range<usize>,
+    point: GridPoint,
+    bin_pairs: &Arc<Vec<(f64, f64)>>,
+    rule: DeviceRule,
+    precision: Precision,
+    fused: bool,
+    single_chunk: bool,
+) -> gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)> {
+    let db = Arc::clone(db);
+    let bin_pairs = Arc::clone(bin_pairs);
+    device.submit(move || {
+        let mut emi = vec![0.0f64; bin_pairs.len()];
+        let Some(integrands) = ion_integrands(&db, ion_index, level_range, &point) else {
+            return (emi, 0);
+        };
+        let kt = point.kt_ev();
+        let windows: Vec<(f64, f64)> = integrands
+            .iter()
+            .map(|f| level_window(f.binding_ev, kt))
+            .collect();
+        let cfg = if single_chunk {
+            LaunchConfig::new(1, 1)
+        } else {
+            LaunchConfig::cover(bin_pairs.len())
+        };
+        let evals = if fused {
+            // Hot path: prepared 24-byte integrands, fused bin runs,
+            // batched exponential-recurrence sampling per bin grid.
+            let prepared: Vec<PreparedIntegrand> = integrands
+                .iter()
+                .map(rrc_spectral::RrcIntegrand::prepare)
+                .collect();
+            let kernel = FusedBinKernel {
+                integrands: &prepared,
+                bins: &bin_pairs,
+                precision,
+                windows: Some(&windows),
+                rule,
+            };
+            kernel.execute(cfg, &mut emi)
+        } else {
+            // Seed path, kept for A/B comparison.
+            let closures: Vec<_> = integrands
+                .iter()
+                .map(|f| {
+                    let f = *f;
+                    move |e: f64| f.evaluate(e)
+                })
+                .collect();
+            let kernel = BinIntegrationKernel {
+                integrands: &closures,
+                bins: &bin_pairs,
+                precision,
+                windows: Some(&windows),
+                rule,
+            };
+            kernel.execute(cfg, &mut emi)
+        };
+        (emi, evals)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_spectral::{EnergyGrid, SerialCalculator};
+    use std::sync::mpsc::channel;
+
+    fn small_config(gpus: usize) -> EngineConfig {
+        let db = AtomDatabase::generate(atomdb::DatabaseConfig {
+            max_z: 6,
+            ..atomdb::DatabaseConfig::default()
+        });
+        EngineConfig {
+            db: Arc::new(db),
+            workers: 3,
+            gpus,
+            max_queue_len: 4,
+            gpu_rule: DeviceRule::Simpson { panels: 64 },
+            gpu_precision: Precision::Double,
+            cpu_integrator: Integrator::Simpson { panels: 64 },
+            fused: true,
+            async_window: 1,
+            queue_depth: 8,
+            deterministic_kernel: true,
+        }
+    }
+
+    fn point() -> GridPoint {
+        GridPoint {
+            temperature_k: 1.0e7,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn resident_engine_serves_repeated_submissions() {
+        let engine = Engine::start(small_config(2));
+        let grid = EnergyGrid::linear(50.0, 2000.0, 48);
+        let bins = Arc::new(grid.bin_pairs());
+        let ions = engine.config().db.ions().len();
+        // Three successive waves through the same engine — resident
+        // reuse, not run-to-completion.
+        for wave in 0..3u64 {
+            let (tx, rx) = channel();
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: wave,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .expect("engine accepts while live");
+            }
+            drop(tx);
+            let outcomes: Vec<IonOutcome> = rx.iter().collect();
+            assert_eq!(outcomes.len(), ions);
+            assert!(outcomes.iter().all(|o| o.tag == wave));
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.gpu_tasks + report.cpu_tasks, 3 * ions as u64);
+        assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn deterministic_kernel_is_placement_invariant_bitwise() {
+        // The same ion computed via every path — GPU kernel, worker
+        // CPU (0 GPUs), caller inline — must agree bitwise when the
+        // single-chunk launch and a shared bin rule are configured.
+        let grid = EnergyGrid::linear(50.0, 2000.0, 64);
+        let bins = Arc::new(grid.bin_pairs());
+        let ions;
+        let gpu_partials: Vec<Vec<f64>>;
+        {
+            let engine = Engine::start(small_config(2));
+            ions = engine.config().db.ions().len();
+            let (tx, rx) = channel();
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: ion_index as u64,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .unwrap();
+            }
+            drop(tx);
+            let mut outcomes: Vec<IonOutcome> = rx.iter().collect();
+            outcomes.sort_by_key(|o| o.ion_index);
+            assert!(
+                outcomes.iter().any(|o| matches!(o.path, ExecPath::Gpu(_))),
+                "expected at least one device placement"
+            );
+            gpu_partials = outcomes.into_iter().map(|o| o.partial).collect();
+            let report = engine.shutdown();
+            assert_eq!(report.leaked_grants, 0);
+        }
+
+        let engine = Engine::start(small_config(0));
+        let serial = SerialCalculator::new(
+            (*engine.config().db).clone(),
+            grid.clone(),
+            Integrator::Simpson { panels: 64 },
+        );
+        for (ion_index, gpu_partial) in gpu_partials.iter().enumerate().take(ions) {
+            let levels = engine.config().db.levels_by_index(ion_index).len();
+            let inline = engine.compute_inline(ion_index, 0..levels, &point(), &grid);
+            assert_eq!(inline.path, ExecPath::CallerCpu);
+            let reference = serial.ion_spectrum(ion_index, &point());
+            for (bin, ((&a, &b), &r)) in gpu_partial
+                .iter()
+                .zip(&inline.partial)
+                .zip(reference.bins())
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "ion {ion_index} bin {bin}: device vs inline"
+                );
+                assert_eq!(
+                    b.to_bits(),
+                    r.to_bits(),
+                    "ion {ion_index} bin {bin}: inline vs serial reference"
+                );
+            }
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.gpu_tasks, 0);
+        assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn try_submit_sheds_when_queue_full() {
+        // One worker, a tiny queue, and jobs that stack up behind a
+        // single slow drain: eventually try_submit must refuse.
+        let mut cfg = small_config(0);
+        cfg.workers = 1;
+        cfg.queue_depth = 2;
+        let engine = Engine::start(cfg);
+        let grid = EnergyGrid::linear(50.0, 2000.0, 256);
+        let bins = Arc::new(grid.bin_pairs());
+        let (tx, rx) = channel();
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        for i in 0..200 {
+            let job = IonJob {
+                ion_index: i % engine.config().db.ions().len(),
+                level_range: 0..1,
+                point: point(),
+                grid: grid.clone(),
+                bins: Arc::clone(&bins),
+                tag: i as u64,
+                reply: tx.clone(),
+            };
+            match engine.try_submit(job) {
+                Ok(()) => accepted += 1,
+                Err(TryPushError::Full(_)) => refused += 1,
+                Err(TryPushError::Closed(_)) => unreachable!("engine is live"),
+            }
+        }
+        drop(tx);
+        let outcomes: Vec<IonOutcome> = rx.iter().collect();
+        assert_eq!(outcomes.len() as u64, accepted);
+        assert!(refused > 0, "queue depth 2 must refuse under a burst");
+        let report = engine.shutdown();
+        assert_eq!(report.cpu_tasks, accepted);
+        assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn drop_without_shutdown_drains_cleanly() {
+        let engine = Engine::start(small_config(1));
+        let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+        let bins = Arc::new(grid.bin_pairs());
+        let (tx, rx) = channel();
+        for ion_index in 0..engine.config().db.ions().len() {
+            engine
+                .submit(IonJob {
+                    ion_index,
+                    level_range: 0..1,
+                    point: point(),
+                    grid: grid.clone(),
+                    bins: Arc::clone(&bins),
+                    tag: 0,
+                    reply: tx.clone(),
+                })
+                .ok()
+                .unwrap();
+        }
+        drop(tx);
+        drop(engine); // must drain, free grants, join — not strand
+        let delivered = rx.iter().count();
+        assert!(delivered > 0);
+    }
+}

@@ -4,11 +4,13 @@
 //! Two execution paths share one scheduling policy
 //! ([`hybrid_sched::policy`]):
 //!
-//! * [`runtime`] — the **real** runtime: `mpi-sim` rank threads submit
-//!   coarse-grained tasks through the shared-memory scheduler to
-//!   `gpu-sim` devices that numerically execute the RRC kernel, with
-//!   QAGS CPU fallback. Produces actual spectra (paper Fig. 7/8, and
-//!   all correctness tests).
+//! * [`engine`] / [`runtime`] — the **real** runtime: a resident
+//!   [`engine::Engine`] whose worker threads pull coarse-grained ion
+//!   tasks from a bounded queue, ask the shared-memory scheduler for a
+//!   device, and run the RRC kernel on `gpu-sim` devices with QAGS CPU
+//!   fallback. [`runtime::HybridRunner`] is its batch client (paper
+//!   Fig. 7/8 and all correctness tests); the `rrc-service` crate is
+//!   its long-lived query-service client.
 //! * [`desmodel`] — the **virtual-time replica**: the same ranks /
 //!   scheduler / devices / PCIe bus / contended CPU cores replayed on
 //!   [`desim`] with service times from [`calib`]. Produces the paper's
@@ -21,6 +23,7 @@
 
 pub mod calib;
 pub mod desmodel;
+pub mod engine;
 pub mod experiments;
 pub mod hydro;
 pub mod pool;
@@ -31,6 +34,7 @@ pub mod workload;
 
 pub use calib::Calibration;
 pub use desmodel::{DesConfig, DesReport};
+pub use engine::{Engine, EngineConfig, EngineReport, ExecPath, IonJob, IonOutcome};
 pub use hydro::SedovBlast;
 pub use pool::WorkspacePool;
 pub use runtime::{HybridConfig, HybridRunner, RunReport};

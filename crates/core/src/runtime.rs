@@ -1,26 +1,28 @@
 //! The real-threaded hybrid runtime — paper Fig. 2 end to end.
 //!
-//! The main program partitions the parameter space over MPI ranks
-//! ([`mpi_sim`] threads); each rank walks its grid points' task lists
-//! and, per task, asks the shared-memory scheduler for a device
-//! (paper Algorithm 1). Granted tasks run the RRC kernel on a
-//! [`gpu_sim::SimGpu`] (real SIMT execution, synchronous wait — the
-//! paper's blocking mode); rejected tasks run QAGS on the rank's own
-//! thread. Results are per-point spectra, numerically comparable with
-//! the serial reference.
+//! The batch entry point: [`HybridRunner::run`] computes one fixed
+//! [`ParameterSpace`] and returns. Since the service PR it is a thin
+//! client of the **resident** [`crate::engine::Engine`] — it brings an
+//! engine up, streams every grid point's coarse-grained tasks through
+//! the bounded ion-task queue (each task asks the shared-memory
+//! scheduler for a device, paper Algorithm 1; granted tasks run the
+//! RRC kernel on a [`gpu_sim::SimGpu`], rejected tasks run QAGS on the
+//! engine worker's thread), reassembles per-point spectra from the
+//! per-task partials in deterministic (ion, level) order, and shuts
+//! the engine down. Results are numerically comparable with the
+//! serial reference; the deterministic reassembly makes a given
+//! configuration's output independent of task placement races up to
+//! the kernel-chunking last-ulp effects documented in
+//! [`crate::engine`].
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use atomdb::AtomDatabase;
-use gpu_sim::{BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision, SimGpu};
-use hybrid_sched::Scheduler;
-use rrc_spectral::{
-    emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
-    ParameterSpace, PreparedIntegrand, Spectrum,
-};
+use gpu_sim::{DeviceRule, Precision};
+use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace, Spectrum};
 
-use crate::pool::WorkspacePool;
+use crate::engine::{Engine, EngineConfig, IonJob, IonOutcome};
 use crate::task::Granularity;
 
 /// Configuration of a real hybrid run.
@@ -54,11 +56,12 @@ pub struct HybridConfig {
     /// implement the asynchronous queuing named as future work in §V.
     pub async_window: usize,
     /// Route device tasks through the fused hot path
-    /// ([`FusedBinKernel`] over prepared integrands, shared bin edges
-    /// evaluated once, bin grids sampled with the exponential
-    /// recurrence). `false` keeps the seed's per-bin
-    /// [`BinIntegrationKernel`] for A/B comparison; f64 results agree
-    /// to within the fused pipeline's `1e-13`-relative budget.
+    /// ([`gpu_sim::FusedBinKernel`] over prepared integrands, shared
+    /// bin edges evaluated once, bin grids sampled with the
+    /// exponential recurrence). `false` keeps the seed's per-bin
+    /// [`gpu_sim::BinIntegrationKernel`] for A/B comparison; f64
+    /// results agree to within the fused pipeline's `1e-13`-relative
+    /// budget.
     pub fused: bool,
 }
 
@@ -152,252 +155,83 @@ impl HybridRunner {
         &self.config
     }
 
-    /// Execute the whole parameter space. Brings devices up, runs the
-    /// rank threads to completion, tears devices down.
+    /// Execute the whole parameter space. Brings a resident engine up,
+    /// streams every task through it, reassembles per-point spectra in
+    /// deterministic (point, ion, level) order, shuts the engine down.
     #[must_use]
     pub fn run(&self) -> RunReport {
         let cfg = &self.config;
         let start = Instant::now();
-        let devices: Arc<Vec<SimGpu>> = Arc::new(
-            (0..cfg.gpus)
-                .map(|_| SimGpu::new(gpu_sim::DeviceProps::tesla_c2075()))
-                .collect(),
-        );
-        let scheduler = Scheduler::new(cfg.gpus, cfg.max_queue_len);
-        let partitions = cfg.space.partition(cfg.ranks);
+        let engine = Engine::start(EngineConfig::from_hybrid(cfg));
         // The bin table is identical for every task of the run: build it
         // once and share it, instead of re-deriving it per submission.
         let bin_pairs: Arc<Vec<(f64, f64)>> = Arc::new(cfg.grid.bin_pairs());
 
-        let per_rank = mpi_sim::run(cfg.ranks, |ctx| {
-            let rank = ctx.rank();
-            let mut out = Vec::new();
-            let mut pool = WorkspacePool::new();
-            let mut scratch = vec![0.0f64; cfg.grid.bins()];
-            // Recycled host-side emissivity buffers (the D2H result
-            // arrays) — steady state allocates none.
-            let mut emi_pool: Vec<Vec<f64>> = Vec::new();
-            // Recycled device-side result buffers, one free list per
-            // device: a task reuses the arena allocation of an earlier
-            // settled task instead of malloc/free per submission.
-            let mut dev_bufs: Vec<Vec<gpu_sim::DevicePtr>> = vec![Vec::new(); cfg.gpus];
-            let mut gpu_tasks = 0u64;
-            let mut cpu_tasks = 0u64;
-            let window = cfg.async_window.max(1);
-            // Outstanding asynchronous submissions of this rank.
-            type Pending = std::collections::VecDeque<(
-                gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)>,
-                hybrid_sched::Grant,
-                Option<gpu_sim::DevicePtr>,
-                u64, // bytes_in
-            )>;
-            let settle = |pending: &mut Pending,
-                          spectrum: &mut Spectrum,
-                          emi_pool: &mut Vec<Vec<f64>>,
-                          dev_bufs: &mut Vec<Vec<gpu_sim::DevicePtr>>| {
-                if let Some((handle, grant, ptr, bytes_in)) = pending.pop_front() {
-                    let (partial, evals) = handle.wait();
-                    let device = &devices[grant.device.0];
-                    // Post-task accounting: D2H done, device buffer
-                    // recycled, cost-model time charged.
-                    let bytes_out = ptr.map_or(0, |p| p.bytes);
-                    if let Some(p) = ptr {
-                        dev_bufs[grant.device.0].push(p);
-                    }
-                    device.charge_task(evals, bytes_in, bytes_out);
-                    scheduler.free(grant);
-                    for (acc, v) in spectrum.bins_mut().iter_mut().zip(&partial) {
-                        *acc += v;
-                    }
-                    emi_pool.push(partial);
-                }
-            };
-            for point_idx in partitions[rank].clone() {
-                let point = cfg.space.point(point_idx).expect("partition in range");
-                let mut spectrum = Spectrum::zeros(cfg.grid.clone());
-                let mut pending: Pending = Pending::new();
-                for ion_index in 0..cfg.db.ions().len() {
-                    let level_count = cfg.db.levels_by_index(ion_index).len();
-                    let ranges: Vec<std::ops::Range<usize>> = match cfg.granularity {
-                        #[allow(clippy::single_range_in_vec_init)] // one task covering all levels
-                        Granularity::Ion => vec![0..level_count],
-                        Granularity::Level => (0..level_count).map(|l| l..l + 1).collect(),
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut submitted = 0usize;
+        for point_idx in 0..cfg.space.len() {
+            let point = cfg.space.point(point_idx).expect("index in range");
+            for ion_index in 0..cfg.db.ions().len() {
+                let level_count = cfg.db.levels_by_index(ion_index).len();
+                let ranges: Vec<std::ops::Range<usize>> = match cfg.granularity {
+                    #[allow(clippy::single_range_in_vec_init)] // one task covering all levels
+                    Granularity::Ion => vec![0..level_count],
+                    Granularity::Level => (0..level_count).map(|l| l..l + 1).collect(),
+                };
+                for range in ranges {
+                    // Blocking submit: the bounded queue is the
+                    // backpressure edge, the workers drain it
+                    // continuously, so the producer simply waits for a
+                    // slot when it outpaces them.
+                    let job = IonJob {
+                        ion_index,
+                        level_range: range,
+                        point,
+                        grid: cfg.grid.clone(),
+                        bins: Arc::clone(&bin_pairs),
+                        tag: point_idx as u64,
+                        reply: tx.clone(),
                     };
-                    for range in ranges {
-                        if pending.len() >= window {
-                            settle(&mut pending, &mut spectrum, &mut emi_pool, &mut dev_bufs);
-                        }
-                        match scheduler.alloc() {
-                            Some(grant) => {
-                                let device = &devices[grant.device.0];
-                                // Device-side result buffer for the task
-                                // (one f64 per bin, like the paper's
-                                // `emi` array), recycled through the
-                                // per-device free list.
-                                let ptr = dev_bufs[grant.device.0]
-                                    .pop()
-                                    .or_else(|| device.malloc(8 * cfg.grid.bins() as u64).ok());
-                                let bytes_in = 64 + 16 * (range.end - range.start) as u64;
-                                let handle = submit_gpu_task(
-                                    device,
-                                    &cfg.db,
-                                    ion_index,
-                                    range,
-                                    point,
-                                    &bin_pairs,
-                                    cfg.gpu_rule,
-                                    cfg.gpu_precision,
-                                    cfg.fused,
-                                    emi_pool.pop().unwrap_or_default(),
-                                );
-                                pending.push_back((handle, grant, ptr, bytes_in));
-                                gpu_tasks += 1;
-                            }
-                            None => {
-                                // Accumulate through a per-task scratch
-                                // buffer, exactly like the GPU path does
-                                // with its D2H result array — results are
-                                // then bitwise placement-invariant.
-                                scratch.fill(0.0);
-                                let mut ws = pool.acquire();
-                                emissivity_into(
-                                    &cfg.db,
-                                    ion_index,
-                                    range,
-                                    &point,
-                                    &cfg.grid,
-                                    cfg.cpu_integrator,
-                                    &mut ws,
-                                    &mut scratch,
-                                );
-                                pool.release(ws);
-                                for (acc, v) in spectrum.bins_mut().iter_mut().zip(&scratch) {
-                                    *acc += v;
-                                }
-                                cpu_tasks += 1;
-                            }
-                        }
-                    }
+                    assert!(
+                        engine.submit(job).is_ok(),
+                        "engine stays live for the whole run"
+                    );
+                    submitted += 1;
                 }
-                while !pending.is_empty() {
-                    settle(&mut pending, &mut spectrum, &mut emi_pool, &mut dev_bufs);
-                }
-                out.push((point_idx, spectrum));
-            }
-            // Return the pooled device buffers to their arenas.
-            for (d, bufs) in dev_bufs.into_iter().enumerate() {
-                for p in bufs {
-                    devices[d].free(p);
-                }
-            }
-            (out, gpu_tasks, cpu_tasks, pool.created(), pool.acquired())
-        });
-
-        let mut gpu_tasks = 0u64;
-        let mut cpu_tasks = 0u64;
-        let mut workspaces_created = 0u64;
-        let mut workspace_acquisitions = 0u64;
-        let mut spectra: Vec<Option<Spectrum>> = vec![None; cfg.space.len()];
-        for (rank_out, g, c, created, acquired) in per_rank {
-            gpu_tasks += g;
-            cpu_tasks += c;
-            workspaces_created += created;
-            workspace_acquisitions += acquired;
-            for (idx, spectrum) in rank_out {
-                spectra[idx] = Some(spectrum);
             }
         }
-        let device_history = (0..cfg.gpus)
-            .map(|d| scheduler.history(hybrid_sched::DeviceId(d)))
+        drop(tx);
+
+        // Collect every partial, then fold them in a fixed order:
+        // accumulation no longer depends on placement races, so a given
+        // configuration's spectra are reproducible run to run.
+        let mut outcomes: Vec<IonOutcome> = rx.iter().collect();
+        assert_eq!(outcomes.len(), submitted, "every task must be answered");
+        outcomes.sort_by_key(|o| (o.tag, o.ion_index, o.level_start));
+        let mut spectra: Vec<Spectrum> = (0..cfg.space.len())
+            .map(|_| Spectrum::zeros(cfg.grid.clone()))
             .collect();
-        let device_virtual_seconds = devices.iter().map(SimGpu::virtual_busy_seconds).collect();
-        let device_peak_memory = devices.iter().map(SimGpu::memory_peak).collect();
+        for outcome in outcomes {
+            let spectrum = &mut spectra[outcome.tag as usize];
+            for (acc, v) in spectrum.bins_mut().iter_mut().zip(&outcome.partial) {
+                *acc += v;
+            }
+        }
+
+        let report = engine.shutdown();
+        debug_assert_eq!(report.leaked_grants, 0, "run leaked scheduler grants");
         RunReport {
-            spectra: spectra
-                .into_iter()
-                .map(|s| s.expect("every point computed"))
-                .collect(),
-            gpu_tasks,
-            cpu_tasks,
+            spectra,
+            gpu_tasks: report.gpu_tasks,
+            cpu_tasks: report.cpu_tasks,
             wall_s: start.elapsed().as_secs_f64(),
-            device_history,
-            device_virtual_seconds,
-            device_peak_memory,
-            workspaces_created,
-            workspace_acquisitions,
+            device_history: report.device_history,
+            device_virtual_seconds: report.device_virtual_seconds,
+            device_peak_memory: report.device_peak_memory,
+            workspaces_created: report.workspaces_created,
+            workspace_acquisitions: report.workspace_acquisitions,
         }
     }
-}
-
-/// Submit one task to a device: build the level integrands, ship the
-/// kernel, return a completion handle (the caller decides whether to
-/// block immediately — the paper's synchronous mode — or keep a window
-/// of submissions in flight). `emi` is a recycled result buffer (any
-/// stale contents are overwritten); it comes back through the handle
-/// zero-filled for ions with zero population at this plasma state.
-#[allow(clippy::too_many_arguments)]
-fn submit_gpu_task(
-    device: &SimGpu,
-    db: &Arc<AtomDatabase>,
-    ion_index: usize,
-    level_range: std::ops::Range<usize>,
-    point: GridPoint,
-    bin_pairs: &Arc<Vec<(f64, f64)>>,
-    rule: DeviceRule,
-    precision: Precision,
-    fused: bool,
-    emi: Vec<f64>,
-) -> gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)> {
-    let db = Arc::clone(db);
-    let bin_pairs = Arc::clone(bin_pairs);
-    device.submit(move || {
-        let mut emi = emi;
-        emi.clear();
-        emi.resize(bin_pairs.len(), 0.0);
-        let Some(integrands) = ion_integrands(&db, ion_index, level_range, &point) else {
-            return (emi, 0);
-        };
-        let kt = point.kt_ev();
-        let windows: Vec<(f64, f64)> = integrands
-            .iter()
-            .map(|f| level_window(f.binding_ev, kt))
-            .collect();
-        let cfg = LaunchConfig::cover(bin_pairs.len());
-        let evals = if fused {
-            // Hot path: prepared 24-byte integrands, fused bin runs,
-            // batched exponential-recurrence sampling per bin grid.
-            let prepared: Vec<PreparedIntegrand> = integrands
-                .iter()
-                .map(rrc_spectral::RrcIntegrand::prepare)
-                .collect();
-            let kernel = FusedBinKernel {
-                integrands: &prepared,
-                bins: &bin_pairs,
-                precision,
-                windows: Some(&windows),
-                rule,
-            };
-            kernel.execute(cfg, &mut emi)
-        } else {
-            // Seed path, kept for A/B comparison.
-            let closures: Vec<_> = integrands
-                .iter()
-                .map(|f| {
-                    let f = *f;
-                    move |e: f64| f.evaluate(e)
-                })
-                .collect();
-            let kernel = BinIntegrationKernel {
-                integrands: &closures,
-                bins: &bin_pairs,
-                precision,
-                windows: Some(&windows),
-                rule,
-            };
-            kernel.execute(cfg, &mut emi)
-        };
-        (emi, evals)
-    })
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ pub mod stats;
 pub mod timeseries;
 
 pub use rng::{rng, SimRng};
-pub use stats::LoadHistogram;
+pub use stats::{LatencyHistogram, LoadHistogram};
 pub use timeseries::TimeSeries;
 
 type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;

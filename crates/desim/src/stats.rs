@@ -1,4 +1,4 @@
-//! Time-weighted statistics.
+//! Time-weighted statistics and latency histograms.
 
 /// A time-weighted histogram of an integer-valued signal (e.g. the load
 /// of a GPU task queue): for each observed level it accumulates the
@@ -119,6 +119,147 @@ impl LoadHistogram {
     }
 }
 
+/// A log-bucketed latency histogram with quantile readout.
+///
+/// The service tier reports per-stage p50/p95/p99 latencies; exact
+/// order statistics would need every sample retained, so samples land
+/// in geometric buckets instead — `BUCKETS_PER_OCTAVE` buckets per
+/// doubling of latency, covering 1 ns to ~4.7 hours. The relative
+/// quantile error is bounded by one bucket width (`2^(1/8) - 1 ≈ 9 %`),
+/// constant memory, O(1) record, and deterministic for a deterministic
+/// sample stream (no sampling, no decay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+/// Buckets per factor-of-two of latency.
+const BUCKETS_PER_OCTAVE: usize = 8;
+/// Smallest representable latency (seconds): one nanosecond.
+const MIN_LATENCY_S: f64 = 1e-9;
+/// Octaves covered above [`MIN_LATENCY_S`] (2^44 ns ≈ 4.9 h).
+const OCTAVES: usize = 44;
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS_PER_OCTAVE * OCTAVES],
+            count: 0,
+            sum_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+        }
+    }
+
+    fn bucket_of(latency_s: f64) -> usize {
+        let clamped = latency_s.max(MIN_LATENCY_S);
+        let octaves = (clamped / MIN_LATENCY_S).log2();
+        let idx = (octaves * BUCKETS_PER_OCTAVE as f64).floor() as usize;
+        idx.min(BUCKETS_PER_OCTAVE * OCTAVES - 1)
+    }
+
+    /// Lower edge of bucket `i` in seconds.
+    fn bucket_lo(i: usize) -> f64 {
+        MIN_LATENCY_S * 2f64.powf(i as f64 / BUCKETS_PER_OCTAVE as f64)
+    }
+
+    /// Record one latency sample (seconds; non-finite and negative
+    /// samples clamp to the smallest bucket).
+    pub fn record(&mut self, latency_s: f64) {
+        let v = if latency_s.is_finite() && latency_s > 0.0 {
+            latency_s
+        } else {
+            MIN_LATENCY_S
+        };
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum_s += v;
+        self.min_s = self.min_s.min(v);
+        self.max_s = self.max_s.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples (seconds); 0 when empty.
+    #[must_use]
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (seconds); 0 when empty.
+    #[must_use]
+    pub fn min_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_s
+        }
+    }
+
+    /// Largest recorded sample (seconds); 0 when empty.
+    #[must_use]
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) in seconds, accurate to one
+    /// bucket width (~9 % relative). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based ceil like classic
+        // nearest-rank quantiles.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of the bucket, clamped to the
+                // observed extremes so p0/p100 stay honest.
+                let mid = Self::bucket_lo(i) * 2f64.powf(0.5 / BUCKETS_PER_OCTAVE as f64);
+                return mid.clamp(self.min_s, self.max_s);
+            }
+        }
+        self.max_s
+    }
+
+    /// Merge `other` into `self` (the combined sample stream).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        if other.count > 0 {
+            self.min_s = self.min_s.min(other.min_s);
+            self.max_s = self.max_s.max(other.max_s);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +336,76 @@ mod tests {
         assert_eq!(h.total_time(), 0.0);
         h.record(6.0, 0); // 3 s at level 2 (from t=3 clamped to 3->6)
         assert!(h.total_time() > 0.0);
+    }
+
+    #[test]
+    fn latency_quantiles_within_bucket_tolerance() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 µs uniformly: p50 ≈ 500 µs, p99 ≈ 990 µs.
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-6);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_s(0.50);
+        let p99 = h.quantile_s(0.99);
+        assert!((p50 / 500e-6 - 1.0).abs() < 0.10, "p50 {p50:e}");
+        assert!((p99 / 990e-6 - 1.0).abs() < 0.10, "p99 {p99:e}");
+        assert!(p50 <= h.quantile_s(0.95));
+        assert!(h.quantile_s(0.95) <= p99);
+        assert!(h.quantile_s(1.0) <= h.max_s());
+        assert!(h.quantile_s(0.0) >= h.min_s());
+    }
+
+    #[test]
+    fn latency_mean_and_extremes_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(1e-3);
+        h.record(3e-3);
+        assert!((h.mean_s() - 2e-3).abs() < 1e-12);
+        assert_eq!(h.min_s(), 1e-3);
+        assert_eq!(h.max_s(), 3e-3);
+    }
+
+    #[test]
+    fn latency_empty_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_s(0.5), 0.0);
+        assert_eq!(h.mean_s(), 0.0);
+        assert_eq!(h.min_s(), 0.0);
+    }
+
+    #[test]
+    fn latency_degenerate_samples_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile_s(0.5) <= 2e-9, "clamped to the 1 ns bucket");
+    }
+
+    #[test]
+    fn latency_merge_matches_combined_stream() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for i in 1..=100 {
+            let v = i as f64 * 1e-5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts, combined.counts);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min_s(), combined.min_s());
+        assert_eq!(a.max_s(), combined.max_s());
+        // Sums accumulate in a different order across the two streams,
+        // so they agree to round-off, not bitwise.
+        assert!((a.mean_s() - combined.mean_s()).abs() < 1e-12);
     }
 }

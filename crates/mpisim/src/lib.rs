@@ -12,13 +12,18 @@
 //! * [`SharedRegion`] is the `shmat` analogue: a fixed-size array of
 //!   atomic 64-bit words shared by all ranks (the scheduler keeps its
 //!   per-device *load* and *history task count* arrays in one).
+//! * [`BoundedQueue`] is a bounded, closable MPMC work queue — the
+//!   admission-control primitive of the resident engine and the
+//!   service tier (queue depth is the backpressure lever).
 //!
 //! Messages are typed at the call site; a `recv::<T>` matching a message
 //! of a different payload type panics — message misrouting is a bug, not
 //! a recoverable condition.
 
+pub mod queue;
 pub mod shared;
 
+pub use queue::{BoundedQueue, TryPushError};
 pub use shared::SharedRegion;
 
 use std::any::Any;

@@ -1,0 +1,288 @@
+//! A bounded multi-producer multi-consumer work queue.
+//!
+//! The resident engine and the service tier both need the same
+//! primitive: a FIFO with a *hard* capacity bound (queue depth is the
+//! admission-control lever — paper Algorithm 1's "maximum queue
+//! length" lifted to the request tier), shared by many submitting
+//! threads and many draining workers. `std::sync::mpsc` is
+//! single-consumer, so this is a mutex-guarded deque with two condvars
+//! (`not_empty` for consumers, `not_full` for producers), the same
+//! shape as `gpu_sim`'s command queue but bounded and closable.
+//!
+//! Cloning a [`BoundedQueue`] clones the handle; all clones address the
+//! same queue.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the item is handed back so the caller
+    /// can shed it or run it locally.
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A bounded, closable MPMC FIFO.
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (`>= 1`).
+    #[must_use]
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Current occupancy (racy by nature, exact at the instant read).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push: refused with [`TryPushError::Full`] at
+    /// capacity, [`TryPushError::Closed`] after [`close`](Self::close).
+    ///
+    /// # Errors
+    /// Returns the item back inside the error on refusal.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.inner.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for a free slot. Returns the item back as
+    /// an `Err` if the queue was closed while waiting.
+    ///
+    /// # Errors
+    /// Returns the item when the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.inner.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Blocking pop: `None` once the queue is closed *and* drained —
+    /// the worker-shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        let item = state.items.pop_front();
+        drop(state);
+        if item.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Close the queue: producers are refused from now on, consumers
+    /// drain the remaining items and then observe end-of-stream.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.inner.state.lock().expect("queue poisoned").closed = true;
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_push_refuses_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        q.try_pop().unwrap();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(TryPushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn blocking_push_unblocks_on_pop() {
+        let q = BoundedQueue::new(1);
+        q.push(0u32).unwrap();
+        std::thread::scope(|scope| {
+            let q2 = q.clone();
+            let pusher = scope.spawn(move || q2.push(1u32));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(0));
+            pusher.join().unwrap().unwrap();
+            assert_eq!(q.pop(), Some(1));
+        });
+    }
+
+    #[test]
+    fn blocking_push_returns_item_on_close() {
+        let q = BoundedQueue::new(1);
+        q.push(7u32).unwrap();
+        std::thread::scope(|scope| {
+            let q2 = q.clone();
+            let pusher = scope.spawn(move || q2.push(8u32));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            assert_eq!(pusher.join().unwrap(), Err(8));
+        });
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = BoundedQueue::new(4);
+        let produced = 4 * 1_000u64;
+        let consumed = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..4u64 {
+                let q = q.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        q.push(p * 1_000 + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let q = q.clone();
+                let consumed = &consumed;
+                scope.spawn(move || {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            // Producers finish, then close; consumers drain and exit.
+            let q_closer = q.clone();
+            let consumed_ref = &consumed;
+            scope.spawn(move || {
+                while consumed_ref.load(std::sync::atomic::Ordering::Relaxed)
+                    + q_closer.len() as u64
+                    != produced
+                {
+                    std::thread::yield_now();
+                }
+                q_closer.close();
+            });
+        });
+        assert_eq!(
+            consumed.load(std::sync::atomic::Ordering::Relaxed),
+            produced
+        );
+    }
+}

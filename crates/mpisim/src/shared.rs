@@ -89,6 +89,14 @@ impl SharedRegion {
         self.words[i].compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 
+    /// Number of live handles (clones) addressing this region — the
+    /// analogue of the shm segment's attachment count. `1` means the
+    /// caller holds the last handle.
+    #[must_use]
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.words)
+    }
+
     /// Snapshot of all words (each load is individually atomic; the
     /// vector is not a consistent cut — same as the paper's scheduler
     /// scanning `l_i`/`h_i` without a global lock).

@@ -44,11 +44,55 @@ pub struct Grant {
     pub device: DeviceId,
 }
 
+/// A coherent-enough read of the scheduler's shared arrays: per-device
+/// loads and history counts (each word individually atomic; the vector
+/// is not a consistent cut, same as the paper's scheduler scanning
+/// `l_i`/`h_i` without a global lock).
+///
+/// This is the read surface the service metrics layer and the
+/// `repro-service` regenerator use to report device utilization
+/// without poking `SharedRegion` internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    /// Current queue occupancy per device.
+    pub loads: Vec<u64>,
+    /// Completed-plus-granted task count per device since startup.
+    pub histories: Vec<u64>,
+}
+
+impl SchedulerSnapshot {
+    /// Total grants currently outstanding across all devices.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// Total grants ever issued across all devices.
+    #[must_use]
+    pub fn total_history(&self) -> u64 {
+        self.histories.iter().sum()
+    }
+
+    /// `(load, history)` of one device.
+    ///
+    /// # Panics
+    /// Panics if `device` is out of range.
+    #[must_use]
+    pub fn device(&self, device: DeviceId) -> (u64, u64) {
+        (self.loads[device.0], self.histories[device.0])
+    }
+}
+
 /// The concurrent scheduler state over shared memory.
 ///
 /// Word layout in the region: `[0, d)` = per-device load,
 /// `[d, 2d)` = per-device history count. Cloning shares state, like
 /// multiple ranks attaching the same shm segment.
+///
+/// In a resident process a leaked [`Grant`] silently removes one queue
+/// slot *forever*, so the last handle's drop debug-asserts that every
+/// granted slot was freed; [`Scheduler::in_flight`] exposes the same
+/// counter for release-mode shutdown checks.
 ///
 /// ```
 /// use hybrid_sched::Scheduler;
@@ -145,11 +189,41 @@ impl Scheduler {
         self.region.load(self.devices + device.0)
     }
 
-    /// Snapshot `(loads, histories)`.
+    /// Read the per-device load and history arrays.
     #[must_use]
-    pub fn snapshot(&self) -> (Vec<u64>, Vec<u64>) {
+    pub fn snapshot(&self) -> SchedulerSnapshot {
         let snap = self.region.snapshot();
-        (snap[..self.devices].to_vec(), snap[self.devices..].to_vec())
+        SchedulerSnapshot {
+            loads: snap[..self.devices].to_vec(),
+            histories: snap[self.devices..].to_vec(),
+        }
+    }
+
+    /// Grants currently outstanding (allocated, not yet freed) across
+    /// all devices. Zero at a clean shutdown; anything else means queue
+    /// capacity has leaked.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        (0..self.devices).map(|i| self.region.load(i)).sum()
+    }
+}
+
+impl Drop for Scheduler {
+    /// Leak detection for resident processes: when the *last* handle to
+    /// the shared region is dropped with grants still outstanding,
+    /// those queue slots can never be reclaimed — `#[must_use]` on
+    /// [`Grant`] only warns, and a dropped grant today leaks silently.
+    /// Debug builds fail fast; release builds stay silent (callers that
+    /// care check [`Scheduler::in_flight`] before dropping).
+    fn drop(&mut self) {
+        if self.region.handle_count() == 1 && !std::thread::panicking() {
+            let leaked = self.in_flight();
+            debug_assert_eq!(
+                leaked, 0,
+                "scheduler dropped with {leaked} grant(s) never freed \
+                 (leaked queue capacity)"
+            );
+        }
     }
 }
 
@@ -171,6 +245,9 @@ mod tests {
         s.free(g1); // device 1 now least loaded
         let g3 = s.alloc().unwrap();
         assert_eq!(g3.device, DeviceId(1));
+        for g in [g0, g2, g3] {
+            s.free(g);
+        }
     }
 
     #[test]
@@ -183,7 +260,8 @@ mod tests {
         for g in grants {
             s.free(g);
         }
-        assert!(s.alloc().is_some());
+        let g = s.alloc().expect("drained queues accept again");
+        s.free(g);
     }
 
     #[test]
@@ -226,13 +304,17 @@ mod tests {
                 });
             }
         });
-        let (loads, histories) = s.snapshot();
-        assert!(loads.iter().all(|&l| l == 0), "all slots freed: {loads:?}");
-        let history_sum: u64 = histories.iter().sum();
+        let snap = s.snapshot();
+        assert!(
+            snap.loads.iter().all(|&l| l == 0),
+            "all slots freed: {:?}",
+            snap.loads
+        );
         assert_eq!(
-            history_sum,
+            snap.total_history(),
             total_granted.load(std::sync::atomic::Ordering::Relaxed)
         );
+        assert_eq!(snap.in_flight(), 0);
     }
 
     #[test]
@@ -242,6 +324,72 @@ mod tests {
         let g = a.alloc().unwrap();
         assert!(b.alloc().is_none());
         b.free(g);
-        assert!(b.alloc().is_some());
+        let g = b.alloc().expect("slot visible through either handle");
+        a.free(g);
+    }
+
+    #[test]
+    fn snapshot_tracks_alloc_free_sequences() {
+        let s = Scheduler::new(2, 3);
+        assert_eq!(s.snapshot().loads, vec![0, 0]);
+        assert_eq!(s.snapshot().histories, vec![0, 0]);
+
+        // Three grants: round-robin 0, 1, 0 (load then history
+        // tie-break).
+        let g0 = s.alloc().unwrap();
+        let g1 = s.alloc().unwrap();
+        let g2 = s.alloc().unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.loads, vec![2, 1]);
+        assert_eq!(snap.histories, vec![2, 1]);
+        assert_eq!(snap.in_flight(), 3);
+        assert_eq!(snap.total_history(), 3);
+        assert_eq!(snap.device(DeviceId(0)), (2, 2));
+        assert_eq!(s.in_flight(), 3);
+
+        // Frees drain loads but never histories.
+        s.free(g0);
+        s.free(g2);
+        let snap = s.snapshot();
+        assert_eq!(snap.loads, vec![0, 1]);
+        assert_eq!(snap.histories, vec![2, 1]);
+        s.free(g1);
+        let snap = s.snapshot();
+        assert_eq!(snap.in_flight(), 0);
+        assert_eq!(snap.total_history(), 3);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_outstanding_grants() {
+        let s = Scheduler::new(3, 2);
+        let grants: Vec<Grant> = (0..5).map(|_| s.alloc().unwrap()).collect();
+        assert_eq!(s.in_flight(), 5);
+        for (i, g) in grants.into_iter().enumerate() {
+            s.free(g);
+            assert_eq!(s.in_flight(), 4 - i as u64);
+        }
+    }
+
+    /// A `Grant` that is dropped (it is `Copy`, so nothing runs) instead
+    /// of freed leaks a queue slot; the last scheduler handle's drop
+    /// must flag it in debug builds.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never freed")]
+    fn dropping_last_handle_with_leaked_grant_panics_in_debug() {
+        let s = Scheduler::new(1, 2);
+        let _leaked = s.alloc().unwrap();
+        drop(s);
+    }
+
+    #[test]
+    fn clone_drops_do_not_trigger_leak_check() {
+        let s = Scheduler::new(1, 2);
+        let g = s.alloc().unwrap();
+        // A non-final handle dropping while a grant is outstanding is
+        // fine — only the last handle audits.
+        drop(s.clone());
+        s.free(g);
     }
 }

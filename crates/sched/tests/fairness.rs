@@ -19,7 +19,7 @@ fn history_tiebreak_keeps_devices_balanced_under_contention() {
             });
         }
     });
-    let (_, histories) = s.snapshot();
+    let histories = s.snapshot().histories;
     let max = *histories.iter().max().unwrap() as f64;
     let min = *histories.iter().min().unwrap() as f64;
     assert!(min > 0.0);
@@ -84,6 +84,6 @@ fn queue_bound_holds_under_heavy_racing() {
         }
     });
     assert_eq!(violations.load(Ordering::Relaxed), 0);
-    let (loads, _) = s.snapshot();
+    let loads = s.snapshot().loads;
     assert!(loads.iter().all(|&l| l == 0));
 }

@@ -1,0 +1,126 @@
+//! Request/response types of the spectral query service.
+
+use rrc_spectral::GridPoint;
+
+/// Which ions of the database a request wants in its spectrum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementSelection {
+    /// Every ion of every element.
+    All,
+    /// Only ions whose element has one of these atomic numbers
+    /// (duplicates and unknown elements are ignored).
+    Elements(Vec<u8>),
+}
+
+impl ElementSelection {
+    /// Whether an ion of element `z` is selected.
+    #[must_use]
+    pub fn selects(&self, z: u8) -> bool {
+        match self {
+            ElementSelection::All => true,
+            ElementSelection::Elements(zs) => zs.contains(&z),
+        }
+    }
+}
+
+/// One spectral query: a plasma state, an element selection, and the
+/// id of one of the service's registered energy grids.
+#[derive(Debug, Clone)]
+pub struct SpectrumRequest {
+    /// Plasma state to evaluate at (`index` is caller metadata and
+    /// does not affect the result).
+    pub point: GridPoint,
+    /// Ions to include.
+    pub elements: ElementSelection,
+    /// Index into the grids the service was configured with.
+    pub grid_id: usize,
+}
+
+/// The answer to one [`SpectrumRequest`].
+#[derive(Debug, Clone)]
+pub struct SpectrumResponse {
+    /// Per-bin emissivity on the requested grid, summed over the
+    /// selected ions in ascending ion order (a fixed order, so the
+    /// same request always folds partials identically).
+    pub bins: Vec<f64>,
+    /// Echo of [`SpectrumRequest::grid_id`].
+    pub grid_id: usize,
+    /// Ion partials computed for this response (engine tasks or
+    /// caller-runs fallbacks).
+    pub ions_computed: u64,
+    /// Ion partials served from the cache.
+    pub ions_from_cache: u64,
+    /// `true` when the request was answered on the submitting thread
+    /// by the caller-runs overload policy instead of the batcher.
+    pub caller_ran: bool,
+}
+
+/// Why the service refused or abandoned a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control: the request queue is at capacity and the
+    /// shed policy is active. The caller may retry later.
+    Overloaded,
+    /// The request named a grid id the service was not configured with.
+    UnknownGrid,
+    /// The service is shutting down (or has shut down).
+    Closed,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "request queue full (load shed)"),
+            ServiceError::UnknownGrid => write!(f, "unknown energy grid id"),
+            ServiceError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What to do with a request that arrives while the request queue is
+/// at its bound (paper Algorithm 1's full-queue CPU fallback, lifted
+/// to the request tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse with [`ServiceError::Overloaded`]; the queue bound is a
+    /// hard backpressure signal to the caller.
+    #[default]
+    Shed,
+    /// Compute the whole request synchronously on the submitting
+    /// thread with the CPU integrator (the QAGS-fallback analogue);
+    /// always answers, at the cost of the caller's own cycles.
+    CallerRuns,
+}
+
+/// A pending answer. The batcher delivers exactly one result per
+/// admitted request.
+pub struct Ticket {
+    pub(crate) rx: std::sync::mpsc::Receiver<Result<SpectrumResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// Block until the response arrives.
+    ///
+    /// # Errors
+    /// [`ServiceError::Closed`] if the service dropped the request
+    /// during shutdown.
+    pub fn wait(self) -> Result<SpectrumResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Closed))
+    }
+
+    /// Non-blocking poll: `None` while the answer is still pending.
+    #[must_use]
+    pub fn poll(&self) -> Option<Result<SpectrumResponse, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// A ticket that is already resolved (used by the caller-runs
+    /// admission path, which computes before returning).
+    pub(crate) fn resolved(result: Result<SpectrumResponse, ServiceError>) -> Ticket {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = tx.send(result);
+        Ticket { rx }
+    }
+}

@@ -1,0 +1,271 @@
+//! Sharded LRU cache of per-ion partial spectra.
+//!
+//! The unit of caching is deliberately the **ion partial**, not the
+//! whole response: requests differing only in element selection still
+//! share every overlapping ion, and a batcher fan-out can fill many
+//! keys from one computation. Values are `Arc<Vec<f64>>`, so a hit
+//! costs a pointer clone and the cached bits are the *same* bits the
+//! original computation produced — summing them in the fixed ion
+//! order makes a cache-on response bitwise equal to the cache-off one
+//! for exact-key hits.
+//!
+//! Sharding (hash of the key picks an independently-locked shard)
+//! keeps concurrent callers from serializing on one mutex. Eviction is
+//! per-shard LRU by a monotone touch tick; capacity 0 disables the
+//! cache entirely (every get is a miss, inserts are dropped).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::quantize::StateKey;
+
+/// Cache key: one ion at one quantized plasma state on one grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Index into [`atomdb::AtomDatabase::ions`].
+    pub ion_index: usize,
+    /// The quantized plasma state and grid.
+    pub state: StateKey,
+}
+
+struct Entry {
+    value: Arc<Vec<f64>>,
+    touched: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// Counter snapshot of cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including all lookups when disabled).
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Values displaced by LRU pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; 0 when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The sharded LRU described in the module docs.
+pub struct ShardedLruCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedLruCache {
+    /// A cache of at most `capacity` entries spread over `shards`
+    /// independently locked shards. `capacity == 0` disables caching.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> ShardedLruCache {
+        let shards = shards.clamp(1, capacity.max(1));
+        let per_shard_capacity = capacity.div_ceil(shards);
+        ShardedLruCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache stores anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.per_shard_capacity > 0
+    }
+
+    /// Total entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // FNV-1a over the key words — cheap, deterministic, and spreads
+        // consecutive ion indices across shards.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [
+            key.ion_index as u64,
+            key.state.kt_q,
+            key.state.density_q,
+            key.state.grid_id as u64,
+        ] {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look `key` up, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<f64>>> {
+        if !self.enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let tick = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.touched = tick;
+                let value = Arc::clone(&entry.value);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `value` under `key`, evicting the shard's least recently
+    /// touched entry if the shard is at capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<f64>>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let tick = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(&victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                touched: tick,
+            },
+        );
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ion: usize, kt: u64) -> CacheKey {
+        CacheKey {
+            ion_index: ion,
+            state: StateKey {
+                kt_q: kt,
+                density_q: 0,
+                grid_id: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_allocation() {
+        let c = ShardedLruCache::new(8, 2);
+        let v = Arc::new(vec![1.0, 2.0]);
+        c.insert(key(0, 7), Arc::clone(&v));
+        let got = c.get(&key(0, 7)).expect("hit");
+        assert!(Arc::ptr_eq(&got, &v), "cache must hand back the same bits");
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_and_disabled_counting() {
+        let c = ShardedLruCache::new(0, 4);
+        assert!(!c.enabled());
+        assert!(c.get(&key(1, 1)).is_none());
+        c.insert(key(1, 1), Arc::new(vec![]));
+        assert!(c.get(&key(1, 1)).is_none(), "disabled cache stores nothing");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 2, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        // One shard of capacity 2 so recency is fully observable.
+        let c = ShardedLruCache::new(2, 1);
+        c.insert(key(0, 0), Arc::new(vec![0.0]));
+        c.insert(key(1, 0), Arc::new(vec![1.0]));
+        let _ = c.get(&key(0, 0)); // refresh 0; 1 is now LRU
+        c.insert(key(2, 0), Arc::new(vec![2.0]));
+        assert!(c.get(&key(1, 0)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(0, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let c = ShardedLruCache::new(64, 8);
+        for i in 0..64 {
+            c.insert(key(i, 42), Arc::new(vec![i as f64]));
+        }
+        for i in 0..64 {
+            let hit = c.get(&key(i, 42)).expect("all fit within capacity");
+            assert_eq!(hit[0], i as f64);
+        }
+        assert_eq!(c.stats().evictions, 0, "{:?}", c.stats());
+    }
+}

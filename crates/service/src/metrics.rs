@@ -1,0 +1,184 @@
+//! Service-level observability: counters, queue-depth watermark, and
+//! per-stage latency histograms.
+//!
+//! Latency is recorded into [`desim::LatencyHistogram`]s (log-bucketed,
+//! nearest-rank quantiles) at three stages of the request lifecycle:
+//!
+//! * **queue** — submit accepted → batcher picked the request up;
+//! * **compute** — batcher pickup → response ready (includes the
+//!   engine fan-out and cache fills of the request's batch);
+//! * **total** — submit accepted → response delivered (what a caller
+//!   observes on [`crate::Ticket::wait`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use desim::LatencyHistogram;
+
+/// Shared counters + histograms; every field is updated concurrently.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    submitted: AtomicU64,
+    responded: AtomicU64,
+    shed: AtomicU64,
+    caller_runs: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    queue_latency: Mutex<LatencyHistogram>,
+    compute_latency: Mutex<LatencyHistogram>,
+    total_latency: Mutex<LatencyHistogram>,
+}
+
+/// Point-in-time copy of the metrics for reporting.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses delivered by the batcher.
+    pub responded: u64,
+    /// Requests refused by the shed admission policy.
+    pub shed: u64,
+    /// Requests answered inline by the caller-runs admission policy.
+    pub caller_runs: u64,
+    /// Batches the batcher processed.
+    pub batches: u64,
+    /// Requests across all batches (mean batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+    /// Highest request-queue occupancy observed at submit time.
+    pub queue_depth_peak: u64,
+    /// Queue-stage latency quantiles/mean, seconds.
+    pub queue: StageLatency,
+    /// Compute-stage latency quantiles/mean, seconds.
+    pub compute: StageLatency,
+    /// End-to-end latency quantiles/mean, seconds.
+    pub total: StageLatency,
+}
+
+/// p50/p95/p99 + mean of one lifecycle stage, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageLatency {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+}
+
+fn stage(h: &Mutex<LatencyHistogram>) -> StageLatency {
+    let h = h.lock().expect("latency histogram poisoned");
+    StageLatency {
+        count: h.count(),
+        mean_s: h.mean_s(),
+        p50_s: h.quantile_s(0.50),
+        p95_s: h.quantile_s(0.95),
+        p99_s: h.quantile_s(0.99),
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    pub(crate) fn on_submitted(&self, queue_len_after: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth_peak
+            .fetch_max(queue_len_after as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_caller_run(&self, total_s: f64) {
+        self.caller_runs.fetch_add(1, Ordering::Relaxed);
+        self.total_latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(total_s);
+    }
+
+    pub(crate) fn on_batch(&self, requests: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(requests as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_picked_up(&self, queue_s: f64) {
+        self.queue_latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(queue_s);
+    }
+
+    pub(crate) fn on_responded(&self, compute_s: f64, total_s: f64) {
+        self.responded.fetch_add(1, Ordering::Relaxed);
+        self.compute_latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(compute_s);
+        self.total_latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(total_s);
+    }
+
+    /// Copy every counter and histogram summary out.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            responded: self.responded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            caller_runs: self.caller_runs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            queue: stage(&self.queue_latency),
+            compute: stage(&self.compute_latency),
+            total: stage(&self.total_latency),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.on_submitted(3);
+        m.on_submitted(7);
+        m.on_shed();
+        m.on_batch(2);
+        m.on_picked_up(1e-4);
+        m.on_picked_up(2e-4);
+        m.on_responded(5e-4, 7e-4);
+        m.on_responded(5e-4, 9e-4);
+        m.on_caller_run(3e-3);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.caller_runs, 1);
+        assert_eq!(s.responded, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_requests, 2);
+        assert_eq!(s.queue_depth_peak, 7);
+        assert_eq!(s.queue.count, 2);
+        assert_eq!(s.compute.count, 2);
+        assert_eq!(s.total.count, 3, "caller-runs records total latency too");
+        // Log-bucketed histograms answer within ~9% of the true value.
+        assert!((s.compute.p50_s - 5e-4).abs() / 5e-4 < 0.1);
+        assert!(s.total.p99_s >= s.total.p50_s);
+    }
+}

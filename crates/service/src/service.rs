@@ -1,0 +1,446 @@
+//! The spectral query service: admission → batching → engine fan-out →
+//! cache fill → response assembly.
+//!
+//! One batcher thread drains the bounded request queue. Each drain
+//! takes everything immediately available (up to `max_batch`), groups
+//! the requests by quantized plasma state + grid ([`StateKey`]), and
+//! per group fans the *union* of the requested ions out to the
+//! resident [`Engine`] — one [`IonJob`] per ion that the cache cannot
+//! already answer. Computed partials are wrapped in `Arc`s, stored in
+//! the cache, and every request of the group is answered by summing
+//! its selected ions **in ascending ion order**. Because the fold
+//! order is fixed and cached partials are the identical allocations
+//! the engine produced, a cache hit changes *which* computation
+//! produced the bits but never the bits themselves (with the
+//! engine's deterministic kernel configured — see
+//! [`hybrid_spectral::engine`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use atomdb::AtomDatabase;
+use gpu_sim::{DeviceRule, Precision};
+use hybrid_sched::SchedulerSnapshot;
+use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
+use mpi_sim::{BoundedQueue, TryPushError};
+use rrc_spectral::{EnergyGrid, Integrator};
+
+use crate::api::{AdmissionPolicy, ServiceError, SpectrumRequest, SpectrumResponse, Ticket};
+use crate::cache::{CacheKey, CacheStats, ShardedLruCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::quantize::{Quantizer, StateKey};
+
+/// Configuration of a [`SpectralService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The resident engine backing the service.
+    pub engine: EngineConfig,
+    /// Energy grids a request may name by index ([`SpectrumRequest::grid_id`]).
+    pub grids: Vec<EnergyGrid>,
+    /// Total per-ion cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shard count (clamped to `[1, cache_capacity]`).
+    pub cache_shards: usize,
+    /// Mantissa bits dropped when quantizing plasma states (0 = exact
+    /// keys, no state snapping).
+    pub quantize_drop_bits: u32,
+    /// What to do with requests that arrive while the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Request-queue capacity — the service-tier admission bound.
+    pub request_queue_depth: usize,
+    /// Most requests one batch may coalesce.
+    pub max_batch: usize,
+}
+
+impl ServiceConfig {
+    /// A bitwise-deterministic service over `db` and `grids`: the
+    /// engine runs the fused kernel in single-chunk mode with the same
+    /// Simpson bin rule on both the device and the CPU fallback, so an
+    /// answer is identical no matter where (or whether cached) each
+    /// ion partial was computed.
+    #[must_use]
+    pub fn deterministic(db: Arc<AtomDatabase>, grids: Vec<EnergyGrid>) -> ServiceConfig {
+        let workers = 4;
+        ServiceConfig {
+            engine: EngineConfig {
+                db,
+                workers,
+                gpus: 2,
+                max_queue_len: 6,
+                gpu_rule: DeviceRule::Simpson { panels: 64 },
+                gpu_precision: Precision::Double,
+                cpu_integrator: Integrator::Simpson { panels: 64 },
+                fused: true,
+                async_window: 1,
+                queue_depth: 2 * workers,
+                deterministic_kernel: true,
+            },
+            grids,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            quantize_drop_bits: 0,
+            admission: AdmissionPolicy::Shed,
+            request_queue_depth: 64,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Everything [`SpectralService::shutdown`] reports after draining.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The drained engine's counters (task split, device accounting,
+    /// leaked grants — must be zero).
+    pub engine: EngineReport,
+    /// Cache effectiveness counters.
+    pub cache: CacheStats,
+    /// Service counters and latency quantiles.
+    pub metrics: MetricsSnapshot,
+}
+
+struct QueuedRequest {
+    request: SpectrumRequest,
+    submitted_at: Instant,
+    reply: Sender<Result<SpectrumResponse, ServiceError>>,
+}
+
+struct Shared {
+    grids: Vec<EnergyGrid>,
+    bin_tables: Vec<Arc<Vec<(f64, f64)>>>,
+    quantizer: Quantizer,
+    max_batch: usize,
+    queue: BoundedQueue<QueuedRequest>,
+    engine: Engine,
+    cache: ShardedLruCache,
+    metrics: ServiceMetrics,
+}
+
+/// The running service. Submit from any thread; shut down (or drop)
+/// to drain the queue, stop the batcher, and tear the engine down.
+pub struct SpectralService {
+    shared: Option<Arc<Shared>>,
+    admission: AdmissionPolicy,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SpectralService {
+    /// Bring the service up: engine, cache, metrics, batcher thread.
+    ///
+    /// # Panics
+    /// Panics if `config.grids` is empty — a service with no grid can
+    /// answer nothing.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> SpectralService {
+        assert!(!config.grids.is_empty(), "service needs at least one grid");
+        let bin_tables = config
+            .grids
+            .iter()
+            .map(|g| Arc::new(g.bin_pairs()))
+            .collect();
+        let shared = Arc::new(Shared {
+            bin_tables,
+            quantizer: Quantizer::new(config.quantize_drop_bits),
+            max_batch: config.max_batch.max(1),
+            queue: BoundedQueue::new(config.request_queue_depth.max(1)),
+            engine: Engine::start(config.engine),
+            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            metrics: ServiceMetrics::new(),
+            grids: config.grids,
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("service-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn service batcher")
+        };
+        SpectralService {
+            shared: Some(shared),
+            admission: config.admission,
+            batcher: Some(batcher),
+        }
+    }
+
+    fn shared(&self) -> &Arc<Shared> {
+        self.shared
+            .as_ref()
+            .expect("service is live until consumed")
+    }
+
+    /// Submit one request. Returns a [`Ticket`] for the response, or an
+    /// admission/validation error.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownGrid`] for an out-of-range grid id;
+    /// [`ServiceError::Overloaded`] when the queue is full under the
+    /// shed policy; [`ServiceError::Closed`] during shutdown. Under the
+    /// caller-runs policy a full queue computes the answer on this
+    /// thread and returns an already-resolved ticket.
+    pub fn submit(&self, request: SpectrumRequest) -> Result<Ticket, ServiceError> {
+        let shared = self.shared();
+        if request.grid_id >= shared.grids.len() {
+            return Err(ServiceError::UnknownGrid);
+        }
+        let (tx, rx) = channel();
+        let queued = QueuedRequest {
+            request,
+            submitted_at: Instant::now(),
+            reply: tx,
+        };
+        match shared.queue.try_push(queued) {
+            Ok(()) => {
+                shared.metrics.on_submitted(shared.queue.len());
+                Ok(Ticket { rx })
+            }
+            Err(TryPushError::Closed(_)) => Err(ServiceError::Closed),
+            Err(TryPushError::Full(queued)) => match self.admission {
+                AdmissionPolicy::Shed => {
+                    shared.metrics.on_shed();
+                    Err(ServiceError::Overloaded)
+                }
+                AdmissionPolicy::CallerRuns => {
+                    let start = queued.submitted_at;
+                    let response = caller_run(shared, &queued.request);
+                    shared.metrics.on_caller_run(start.elapsed().as_secs_f64());
+                    Ok(Ticket::resolved(Ok(response)))
+                }
+            },
+        }
+    }
+
+    /// Current request-queue occupancy.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.shared().queue.len()
+    }
+
+    /// The request-queue capacity (admission bound).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared().queue.capacity()
+    }
+
+    /// Live metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared().metrics.snapshot()
+    }
+
+    /// Live cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared().cache.stats()
+    }
+
+    /// Live scheduler load/history view of the backing engine.
+    #[must_use]
+    pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
+        self.shared().engine.scheduler_snapshot()
+    }
+
+    /// Graceful shutdown: refuse new requests, answer everything
+    /// already queued, join the batcher, drain the engine, report.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.do_shutdown().expect("service not yet shut down")
+    }
+
+    fn do_shutdown(&mut self) -> Option<ServiceReport> {
+        let shared = self.shared.take()?;
+        shared.queue.close();
+        if let Some(handle) = self.batcher.take() {
+            handle.join().expect("service batcher panicked");
+        }
+        let shared = Arc::try_unwrap(shared)
+            .ok()
+            .expect("batcher joined; no other holders of the service state");
+        let cache = shared.cache.stats();
+        let metrics = shared.metrics.snapshot();
+        let engine = shared.engine.shutdown();
+        Some(ServiceReport {
+            engine,
+            cache,
+            metrics,
+        })
+    }
+}
+
+impl Drop for SpectralService {
+    /// Dropping without [`SpectralService::shutdown`] still drains and
+    /// joins — queued requests are answered, grants are freed.
+    fn drop(&mut self) {
+        let _ = self.do_shutdown();
+    }
+}
+
+/// The ions of the database a request selects, ascending.
+fn selected_ions(db: &AtomDatabase, request: &SpectrumRequest) -> Vec<usize> {
+    db.ions()
+        .iter()
+        .enumerate()
+        .filter(|(_, ion)| request.elements.selects(ion.z))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Sum `ions`' partials (ascending order is the caller's contract)
+/// into a fresh bin vector.
+fn assemble(bins: usize, ions: &[usize], partials: &BTreeMap<usize, Arc<Vec<f64>>>) -> Vec<f64> {
+    let mut out = vec![0.0f64; bins];
+    for ion in ions {
+        let partial = &partials[ion];
+        for (acc, v) in out.iter_mut().zip(partial.iter()) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+/// The caller-runs admission path: resolve the whole request on the
+/// submitting thread via [`Engine::compute_inline`], still consulting
+/// and filling the shared cache (so an overloaded burst of repeated
+/// queries stays cheap).
+fn caller_run(shared: &Shared, request: &SpectrumRequest) -> SpectrumResponse {
+    let db = &shared.engine.config().db;
+    let key = shared.quantizer.state_key(&request.point, request.grid_id);
+    let point = shared.quantizer.representative(&key);
+    let grid = &shared.grids[request.grid_id];
+    let ions = selected_ions(db, request);
+    let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
+    let mut computed = 0u64;
+    for &ion in &ions {
+        let cache_key = CacheKey {
+            ion_index: ion,
+            state: key,
+        };
+        let partial = match shared.cache.get(&cache_key) {
+            Some(hit) => hit,
+            None => {
+                let levels = db.levels_by_index(ion).len();
+                let outcome = shared.engine.compute_inline(ion, 0..levels, &point, grid);
+                computed += 1;
+                let value = Arc::new(outcome.partial);
+                shared.cache.insert(cache_key, Arc::clone(&value));
+                value
+            }
+        };
+        partials.insert(ion, partial);
+    }
+    SpectrumResponse {
+        bins: assemble(grid.bins(), &ions, &partials),
+        grid_id: request.grid_id,
+        ions_computed: computed,
+        ions_from_cache: ions.len() as u64 - computed,
+        caller_ran: true,
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    while let Some(first) = shared.queue.pop() {
+        let mut batch = vec![first];
+        while batch.len() < shared.max_batch {
+            match shared.queue.try_pop() {
+                Some(next) => batch.push(next),
+                None => break,
+            }
+        }
+        let picked_at = Instant::now();
+        for queued in &batch {
+            shared
+                .metrics
+                .on_picked_up(picked_at.duration_since(queued.submitted_at).as_secs_f64());
+        }
+        shared.metrics.on_batch(batch.len());
+        process_batch(shared, batch, picked_at);
+    }
+}
+
+fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant) {
+    let db = &shared.engine.config().db;
+    // Group requests sharing a quantized plasma state + grid; BTreeMap
+    // so group processing order is deterministic.
+    let mut groups: BTreeMap<StateKey, Vec<usize>> = BTreeMap::new();
+    for (i, queued) in batch.iter().enumerate() {
+        let key = shared
+            .quantizer
+            .state_key(&queued.request.point, queued.request.grid_id);
+        groups.entry(key).or_default().push(i);
+    }
+
+    for (key, members) in groups {
+        let point = shared.quantizer.representative(&key);
+        let grid = &shared.grids[key.grid_id];
+        let bins = &shared.bin_tables[key.grid_id];
+
+        // Per-request ion lists and their union — one fan-out serves
+        // every member of the group.
+        let member_ions: Vec<Vec<usize>> = members
+            .iter()
+            .map(|&i| selected_ions(db, &batch[i].request))
+            .collect();
+        let union: BTreeSet<usize> = member_ions.iter().flatten().copied().collect();
+
+        let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
+        let mut computed: BTreeSet<usize> = BTreeSet::new();
+        let (tx, rx) = channel();
+        for &ion in &union {
+            let cache_key = CacheKey {
+                ion_index: ion,
+                state: key,
+            };
+            if let Some(hit) = shared.cache.get(&cache_key) {
+                partials.insert(ion, hit);
+                continue;
+            }
+            computed.insert(ion);
+            let levels = db.levels_by_index(ion).len();
+            let job = IonJob {
+                ion_index: ion,
+                level_range: 0..levels,
+                point,
+                grid: grid.clone(),
+                bins: Arc::clone(bins),
+                tag: ion as u64,
+                reply: tx.clone(),
+            };
+            assert!(
+                shared.engine.submit(job).is_ok(),
+                "engine outlives the batcher"
+            );
+        }
+        drop(tx);
+        let outcomes: Vec<IonOutcome> = rx.iter().collect();
+        assert_eq!(outcomes.len(), computed.len(), "every fan-out answered");
+        for outcome in outcomes {
+            let value = Arc::new(outcome.partial);
+            shared.cache.insert(
+                CacheKey {
+                    ion_index: outcome.ion_index,
+                    state: key,
+                },
+                Arc::clone(&value),
+            );
+            partials.insert(outcome.ion_index, value);
+        }
+
+        for (&i, ions) in members.iter().zip(&member_ions) {
+            let queued = &batch[i];
+            let from_cache = ions.iter().filter(|ion| !computed.contains(ion)).count();
+            let response = SpectrumResponse {
+                bins: assemble(grid.bins(), ions, &partials),
+                grid_id: key.grid_id,
+                ions_computed: (ions.len() - from_cache) as u64,
+                ions_from_cache: from_cache as u64,
+                caller_ran: false,
+            };
+            let _ = queued.reply.send(Ok(response));
+            let now = Instant::now();
+            shared.metrics.on_responded(
+                now.duration_since(picked_at).as_secs_f64(),
+                now.duration_since(queued.submitted_at).as_secs_f64(),
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests of the service's central guarantee: a response is
+//! **bitwise identical** to the serial reference calculator — with the
+//! cache on or off, with 0 or 2 simulated GPUs, for whole-database and
+//! element-subset selections, and across repeated (cache-hitting)
+//! queries.
+//!
+//! The serial reference folds ion partials the same way the service
+//! does (ascending ion order into a zeroed accumulator), and the
+//! engine's deterministic single-chunk kernel with a shared Simpson
+//! bin rule makes each partial placement-invariant; together the
+//! whole response is reproducible to the bit.
+
+use std::sync::Arc;
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use rrc_service::{
+    ElementSelection, ServiceConfig, SpectralService, SpectrumRequest, SpectrumResponse,
+};
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator, SerialCalculator};
+
+fn db() -> Arc<AtomDatabase> {
+    Arc::new(AtomDatabase::generate(DatabaseConfig {
+        max_z: 8,
+        ..DatabaseConfig::default()
+    }))
+}
+
+fn grids() -> Vec<EnergyGrid> {
+    vec![
+        EnergyGrid::linear(50.0, 2000.0, 48),
+        EnergyGrid::linear(100.0, 5000.0, 96),
+    ]
+}
+
+fn config(gpus: usize, cache_capacity: usize) -> ServiceConfig {
+    let mut cfg = ServiceConfig::deterministic(db(), grids());
+    cfg.engine.gpus = gpus;
+    cfg.cache_capacity = cache_capacity;
+    cfg
+}
+
+fn points(n: usize) -> Vec<GridPoint> {
+    (0..n)
+        .map(|i| GridPoint {
+            temperature_k: 8.0e6 + 7.3e5 * i as f64,
+            density_cm3: 1.0 + 0.5 * (i % 3) as f64,
+            time_s: 0.0,
+            index: i,
+        })
+        .collect()
+}
+
+/// The serial reference for one request: per-ion spectra summed in
+/// ascending ion order — the service's documented fold.
+fn reference(
+    db: &AtomDatabase,
+    serial: &SerialCalculator,
+    request: &SpectrumRequest,
+    grid: &EnergyGrid,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; grid.bins()];
+    for (ion_index, ion) in db.ions().iter().enumerate() {
+        if !request.elements.selects(ion.z) {
+            continue;
+        }
+        let spectrum = serial.ion_spectrum(ion_index, &request.point);
+        for (acc, v) in out.iter_mut().zip(spectrum.bins()) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+fn assert_bitwise(context: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{context}: bin count");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: bin {i}: {a} vs {b}");
+    }
+}
+
+fn run_matrix(gpus: usize, cache_capacity: usize) {
+    let database = db();
+    let all_grids = grids();
+    let service = SpectralService::start(config(gpus, cache_capacity));
+    let selections = [
+        ElementSelection::All,
+        ElementSelection::Elements(vec![1, 2]),
+        ElementSelection::Elements(vec![6, 8]),
+        ElementSelection::Elements(vec![3]),
+    ];
+    // Two passes over the same requests: pass 2 is answered from the
+    // cache when it is on, and must not change a single bit.
+    let mut first_pass: Vec<(usize, Vec<f64>)> = Vec::new();
+    for pass in 0..2 {
+        let mut case = 0;
+        for (grid_id, grid) in all_grids.iter().enumerate() {
+            let serial = SerialCalculator::new(
+                (*database).clone(),
+                grid.clone(),
+                Integrator::Simpson { panels: 64 },
+            );
+            for point in points(3) {
+                for selection in &selections {
+                    let request = SpectrumRequest {
+                        point,
+                        elements: selection.clone(),
+                        grid_id,
+                    };
+                    let response: SpectrumResponse = service
+                        .submit(request.clone())
+                        .expect("admitted")
+                        .wait()
+                        .expect("answered");
+                    let want = reference(&database, &serial, &request, grid);
+                    let context =
+                        format!("gpus={gpus} cache={cache_capacity} pass={pass} case={case}");
+                    assert_bitwise(&context, &response.bins, &want);
+                    if pass == 0 {
+                        first_pass.push((case, response.bins));
+                    } else {
+                        let (_, ref earlier) = first_pass[case];
+                        assert_bitwise(&format!("{context} (vs pass 0)"), &response.bins, earlier);
+                        if cache_capacity > 0 {
+                            assert_eq!(
+                                response.ions_computed, 0,
+                                "{context}: repeat must be all cache hits"
+                            );
+                        }
+                    }
+                    case += 1;
+                }
+            }
+        }
+    }
+    let report = service.shutdown();
+    assert_eq!(report.engine.leaked_grants, 0, "grants must all be freed");
+    if cache_capacity > 0 {
+        assert!(
+            report.cache.hits > 0,
+            "repeated queries must hit: {:?}",
+            report.cache
+        );
+    } else {
+        assert_eq!(report.cache.hits, 0);
+    }
+    if gpus > 0 {
+        assert!(
+            report.engine.gpu_tasks > 0,
+            "devices configured but never used"
+        );
+    } else {
+        assert_eq!(report.engine.gpu_tasks, 0);
+    }
+}
+
+#[test]
+fn bitwise_parity_two_gpus_cache_on() {
+    run_matrix(2, 4096);
+}
+
+#[test]
+fn bitwise_parity_two_gpus_cache_off() {
+    run_matrix(2, 0);
+}
+
+#[test]
+fn bitwise_parity_zero_gpus_cache_on() {
+    run_matrix(0, 4096);
+}
+
+#[test]
+fn bitwise_parity_zero_gpus_cache_off() {
+    run_matrix(0, 0);
+}
+
+/// Batched requests sharing one plasma state must see the identical
+/// partials as requests submitted alone.
+#[test]
+fn coalesced_batch_matches_solo_submissions() {
+    let database = db();
+    let grid = grids().remove(0);
+    let serial = SerialCalculator::new(
+        (*database).clone(),
+        grid.clone(),
+        Integrator::Simpson { panels: 64 },
+    );
+    let service = SpectralService::start(config(2, 4096));
+    let point = points(1)[0];
+    // A burst sharing the state: one All + two overlapping subsets,
+    // submitted before any response is consumed, so the batcher can
+    // coalesce them into one fan-out.
+    let burst = [
+        ElementSelection::All,
+        ElementSelection::Elements(vec![1, 6]),
+        ElementSelection::Elements(vec![6, 8]),
+    ];
+    let tickets: Vec<_> = burst
+        .iter()
+        .map(|selection| {
+            service
+                .submit(SpectrumRequest {
+                    point,
+                    elements: selection.clone(),
+                    grid_id: 0,
+                })
+                .expect("admitted")
+        })
+        .collect();
+    for (selection, ticket) in burst.iter().zip(tickets) {
+        let response = ticket.wait().expect("answered");
+        let request = SpectrumRequest {
+            point,
+            elements: selection.clone(),
+            grid_id: 0,
+        };
+        let want = reference(&database, &serial, &request, &grid);
+        assert_bitwise(&format!("burst {selection:?}"), &response.bins, &want);
+    }
+    let report = service.shutdown();
+    assert_eq!(report.engine.leaked_grants, 0);
+}

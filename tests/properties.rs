@@ -142,9 +142,9 @@ fn scheduler_conserves_under_interleaving() {
         for g in outstanding.drain(..) {
             s.free(g);
         }
-        let (loads, histories) = s.snapshot();
-        assert!(loads.iter().all(|&l| l == 0));
-        assert_eq!(histories.iter().sum::<u64>(), granted);
+        let snap = s.snapshot();
+        assert!(snap.loads.iter().all(|&l| l == 0));
+        assert_eq!(snap.total_history(), granted);
     }
 }
 
