@@ -1,0 +1,162 @@
+//! The per-task cost model feeding cost-aware placement.
+//!
+//! The scheduler's weighted policy (`hybrid_sched::SchedPolicy::
+//! CostAware`) needs an *a-priori* estimate of how much work an ion
+//! task carries. The dominant work of the RRC hot path is one bin
+//! integral per (level, in-window bin) pair — the fused path and the
+//! SIMT kernel both iterate exactly that set — so the estimate here
+//! counts it exactly, reusing the same `level_window` /
+//! `window_bin_range` helpers the execution paths use. The absolute
+//! scale is irrelevant (the scheduler compares backlogs and calibrates
+//! seconds-per-unit online from observed completions); what matters is
+//! that the *ratios* track reality, and bins-touched tracks the fused
+//! path's work measure one-to-one.
+
+use std::ops::Range;
+
+use atomdb::AtomDatabase;
+use rrc_spectral::calculator::{level_window, window_bin_range};
+use rrc_spectral::params::GridPoint;
+
+/// Estimated work units of one ion task: the number of (level,
+/// in-window bin) integrals the task will evaluate, plus one unit per
+/// level for the per-level setup (integrand preparation), floored at 1
+/// so even an out-of-window task reserves nonzero weight.
+///
+/// An Fe-like ion with dozens of deeply bound levels sweeps wide bin
+/// windows and costs orders of magnitude more than ground-state H —
+/// exactly the skew that breaks count-based placement.
+#[must_use]
+pub fn ion_task_cost(
+    db: &AtomDatabase,
+    ion_index: usize,
+    level_range: Range<usize>,
+    point: &GridPoint,
+    bins: &[(f64, f64)],
+) -> u64 {
+    let levels = db.levels_by_index(ion_index);
+    let range = level_range.start.min(levels.len())..level_range.end.min(levels.len());
+    let kt = point.kt_ev();
+    let mut units = 0u64;
+    for level in &levels[range] {
+        let (threshold, cutoff) = level_window(level.binding_energy_ev, kt);
+        let (skip, end, _) = window_bin_range(bins, threshold, cutoff);
+        units += 1 + (end - skip) as u64;
+    }
+    units.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomdb::DatabaseConfig;
+    use rrc_spectral::grid::EnergyGrid;
+
+    fn db() -> AtomDatabase {
+        AtomDatabase::generate(DatabaseConfig::default())
+    }
+
+    fn point() -> GridPoint {
+        GridPoint {
+            temperature_k: 1.0e7,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn ion_costs_are_strongly_skewed_across_the_periodic_table() {
+        // The skew that breaks count-based placement: level count
+        // varies 4x across ions, and — more importantly — deeply bound
+        // levels of stripped heavy ions fall entirely outside the
+        // 10-45 Å waveband (zero in-window bins) while light-ion
+        // windows blanket it. Costs must therefore spread far wider
+        // than the level counts alone.
+        let db = db();
+        let grid = EnergyGrid::paper_waveband(128);
+        let bins = grid.bin_pairs();
+        let p = point();
+        let costs: Vec<u64> = (0..db.ions().len())
+            .map(|i| {
+                let n = db.levels_by_index(i).len();
+                ion_task_cost(&db, i, 0..n, &p, &bins)
+            })
+            .collect();
+        let max = *costs.iter().max().unwrap();
+        let min = *costs.iter().min().unwrap();
+        assert!(min >= 1);
+        assert!(
+            max >= 10 * min,
+            "expected strong skew across ions: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn empty_or_out_of_range_tasks_still_cost_one_unit() {
+        let db = db();
+        let grid = EnergyGrid::paper_waveband(128);
+        let bins = grid.bin_pairs();
+        let p = point();
+        assert_eq!(ion_task_cost(&db, 0, 0..0, &p, &bins), 1);
+        // A range past the level list clamps instead of panicking.
+        let n = db.levels_by_index(0).len();
+        assert_eq!(
+            ion_task_cost(&db, 0, n + 5..n + 9, &p, &bins),
+            1,
+            "clamped empty range"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_level_count() {
+        let db = db();
+        let grid = EnergyGrid::paper_waveband(128);
+        let bins = grid.bin_pairs();
+        let p = point();
+        // Pick an ion with several levels; more levels never cost less.
+        let (i, _) = db
+            .ions()
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, _)| db.levels_by_index(*i).len())
+            .unwrap();
+        let n = db.levels_by_index(i).len();
+        assert!(n >= 2, "need a multi-level ion");
+        let one = ion_task_cost(&db, i, 0..1, &p, &bins);
+        let all = ion_task_cost(&db, i, 0..n, &p, &bins);
+        assert!(all > one);
+    }
+
+    #[test]
+    fn hotter_plasma_widens_windows_and_cost() {
+        let db = db();
+        let grid = EnergyGrid::paper_waveband(128);
+        let bins = grid.bin_pairs();
+        let (i, _) = db
+            .ions()
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, _)| db.levels_by_index(*i).len())
+            .unwrap();
+        let n = db.levels_by_index(i).len();
+        let cold = GridPoint {
+            temperature_k: 1.0e5,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        };
+        let hot = GridPoint {
+            temperature_k: 1.0e8,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        };
+        let cold_cost = ion_task_cost(&db, i, 0..n, &cold, &bins);
+        let hot_cost = ion_task_cost(&db, i, 0..n, &hot, &bins);
+        assert!(
+            hot_cost >= cold_cost,
+            "wider 40kT window cannot shrink the bin count: {cold_cost} vs {hot_cost}"
+        );
+    }
+}

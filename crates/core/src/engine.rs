@@ -10,11 +10,33 @@
 //! [`hybrid_sched::Grant`], join every thread). [`Engine`] is that
 //! resident form; `HybridRunner::run` is now a thin batch client of it.
 //!
-//! Execution of one [`IonJob`] is exactly the paper's Algorithm 1 step:
-//! ask the scheduler for a device; granted tasks run the RRC kernel on
-//! a [`SimGpu`] worker, rejected tasks run the CPU integrator (QAGS in
-//! the paper) on the engine worker's own thread. Results are per-ion
-//! partial spectra delivered over the job's reply channel.
+//! ## Cost-aware staged execution
+//!
+//! Submission of one [`IonJob`] generalizes the paper's Algorithm 1
+//! step: a worker estimates the task's work with
+//! [`crate::cost::ion_task_cost`], asks the scheduler for a device
+//! under the configured [`SchedPolicy`], and **stages** the granted
+//! task on that device's [`StealQueues`] lane rather than launching it
+//! itself. One *pump* thread per device drains its lane in FIFO order —
+//! and when its own lane runs dry, steals the largest-cost task from
+//! the most-backlogged other lane (the grant moves with
+//! [`Scheduler::reassign`], so accounting never leaks). When every
+//! device queue is full, the worker runs the task on its own CPU
+//! (paper fallback) — first offering to *swap*: if some staged device
+//! task is heavier than the incoming one, the worker pulls that task
+//! back to its CPU ([`Scheduler::release_to_cpu`]) and stages the
+//! lighter incoming task in the freed slot.
+//!
+//! ## Stream-overlapped device execution
+//!
+//! Each pump drives its device through two [`gpu_sim::Stream`]s: the
+//! kernel of ion *k* launches in the compute stream; a recorded
+//! [`gpu_sim::StreamEvent`] gates the copy stream, whose D2H copy-back
+//! and outcome settle run **on the device's DMA engines**
+//! ([`gpu_sim::SimGpu::submit_dma`]). The pump launches ion *k+1* as
+//! soon as *k*'s settle is enqueued, so copy-back and settle overlap
+//! the next kernel even on a Fermi device with a single serial compute
+//! queue — the asynchronous executor the paper's §V names as missing.
 //!
 //! ## Placement-invariant numerics
 //!
@@ -24,29 +46,31 @@
 //! fused path ([`rrc_spectral::emissivity_into`] under the same bin
 //! rule). When the CPU integrator is that same bin rule, an ion
 //! partial is then **bitwise identical** no matter where the scheduler
-//! placed it — the property the service tier's cache and its
-//! bitwise-parity guarantees are built on. With it unset, device tasks
-//! use the covering launch geometry (higher simulated parallelism, bin
-//! chunks anchor the sampling recurrence at different edges, last-ulp
-//! placement dependence — the PR 1 behaviour, kept for the batch
-//! runtime and its benches).
+//! placed it — or whether a steal moved it — because overlap and
+//! stealing change *timing and placement*, never the operation
+//! sequence. With it unset, device tasks use the covering launch
+//! geometry (higher simulated parallelism, last-ulp placement
+//! dependence — the PR 1 behaviour, kept for the batch runtime and its
+//! benches).
 
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::mpsc::Sender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use atomdb::AtomDatabase;
 use gpu_sim::{
     BinIntegrationKernel, DevicePtr, DeviceRule, FusedBinKernel, LaunchConfig, Precision, SimGpu,
+    Stream, TaskHandle,
 };
-use hybrid_sched::{Grant, Scheduler, SchedulerSnapshot};
+use hybrid_sched::{DeviceId, Grant, Next, SchedPolicy, Scheduler, SchedulerSnapshot, StealQueues};
 use mpi_sim::{BoundedQueue, TryPushError};
 use rrc_spectral::{
     emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
     PreparedIntegrand,
 };
 
+use crate::cost::ion_task_cost;
 use crate::pool::WorkspacePool;
 use crate::runtime::HybridConfig;
 
@@ -61,6 +85,9 @@ pub struct EngineConfig {
     pub gpus: usize,
     /// Maximum queue length per device (paper Algorithm 1).
     pub max_queue_len: u64,
+    /// Placement policy: cost-aware weighted balancing (default) or
+    /// the paper's count policy for A/B ablation.
+    pub policy: SchedPolicy,
     /// Device-side integration rule.
     pub gpu_rule: DeviceRule,
     /// Device arithmetic precision.
@@ -70,8 +97,9 @@ pub struct EngineConfig {
     /// Route device tasks through the fused hot path (PR 1); `false`
     /// keeps the seed per-bin kernel for A/B runs.
     pub fused: bool,
-    /// Outstanding GPU submissions one worker may hold before settling
-    /// (`1` = the paper's synchronous mode).
+    /// Outstanding device settles one pump may hold before blocking.
+    /// The pump always double-buffers (floor 2) — that is the overlap
+    /// tentpole; larger values deepen the pipeline.
     pub async_window: usize,
     /// Capacity of the bounded ion-task queue feeding the workers —
     /// the engine-tier admission bound.
@@ -93,6 +121,7 @@ impl EngineConfig {
             workers: cfg.ranks.max(1),
             gpus: cfg.gpus,
             max_queue_len: cfg.max_queue_len,
+            policy: cfg.policy,
             gpu_rule: cfg.gpu_rule,
             gpu_precision: cfg.gpu_precision,
             cpu_integrator: cfg.cpu_integrator,
@@ -161,7 +190,13 @@ pub struct IonOutcome {
     pub evals: u64,
 }
 
-/// Counters one worker accumulates over its lifetime.
+/// A granted-but-not-yet-launched device task parked on a steal lane.
+struct StagedTask {
+    job: IonJob,
+    grant: Grant,
+}
+
+/// Counters one worker or pump accumulates over its lifetime.
 #[derive(Debug, Default, Clone, Copy)]
 struct WorkerStats {
     gpu_tasks: u64,
@@ -183,6 +218,11 @@ pub struct EngineReport {
     pub device_virtual_seconds: Vec<f64>,
     /// Per-device peak on-board memory over the engine's life (bytes).
     pub device_peak_memory: Vec<u64>,
+    /// Tasks each device stole from another device's staging lane.
+    pub steals: Vec<u64>,
+    /// Staged device tasks pulled back to worker CPUs by the fallback
+    /// swap.
+    pub cpu_steals: u64,
     /// QAGS workspaces constructed across the worker pools.
     pub workspaces_created: u64,
     /// Workspace acquisitions served by the worker pools.
@@ -198,13 +238,16 @@ pub struct EngineReport {
 pub struct Engine {
     config: EngineConfig,
     queue: BoundedQueue<IonJob>,
+    staged: StealQueues<StagedTask>,
     scheduler: Scheduler,
     devices: Arc<Vec<SimGpu>>,
     workers: Vec<std::thread::JoinHandle<WorkerStats>>,
+    pumps: Vec<std::thread::JoinHandle<WorkerStats>>,
 }
 
 impl Engine {
-    /// Bring the engine up: devices, scheduler, and worker threads.
+    /// Bring the engine up: devices, scheduler, staging lanes, worker
+    /// threads, and one pump thread per device.
     #[must_use]
     pub fn start(config: EngineConfig) -> Engine {
         let devices: Arc<Vec<SimGpu>> = Arc::new(
@@ -212,26 +255,41 @@ impl Engine {
                 .map(|_| SimGpu::new(gpu_sim::DeviceProps::tesla_c2075()))
                 .collect(),
         );
-        let scheduler = Scheduler::new(config.gpus, config.max_queue_len);
+        let scheduler = Scheduler::with_policy(config.gpus, config.max_queue_len, config.policy);
         let queue: BoundedQueue<IonJob> = BoundedQueue::new(config.queue_depth.max(1));
+        let staged: StealQueues<StagedTask> = StealQueues::new(config.gpus);
         let workers = (0..config.workers.max(1))
             .map(|w| {
                 let queue = queue.clone();
                 let scheduler = scheduler.clone();
-                let devices = Arc::clone(&devices);
+                let staged = staged.clone();
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("engine-worker-{w}"))
-                    .spawn(move || worker_loop(&config, &queue, &scheduler, &devices))
+                    .spawn(move || worker_loop(&config, &queue, &scheduler, &staged))
                     .expect("spawn engine worker")
+            })
+            .collect();
+        let pumps = (0..config.gpus)
+            .map(|d| {
+                let scheduler = scheduler.clone();
+                let staged = staged.clone();
+                let devices = Arc::clone(&devices);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("engine-pump-{d}"))
+                    .spawn(move || pump_loop(d, &config, &scheduler, &staged, &devices))
+                    .expect("spawn engine pump")
             })
             .collect();
         Engine {
             config,
             queue,
+            staged,
             scheduler,
             devices,
             workers,
+            pumps,
         }
     }
 
@@ -323,21 +381,25 @@ impl Engine {
         self.config.gpus
     }
 
-    /// Scheduler load/history read for the metrics layer.
+    /// Scheduler load/history/steal read for the metrics layer.
     #[must_use]
     pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
         self.scheduler.snapshot()
     }
 
     /// Graceful shutdown: refuse new work, drain queued jobs, settle
-    /// every in-flight device task (freeing its grant), join workers,
-    /// and report.
+    /// every in-flight device task (freeing its grant), join workers
+    /// and pumps, and report.
     #[must_use]
     pub fn shutdown(mut self) -> EngineReport {
         self.drain_and_join()
     }
 
     fn drain_and_join(&mut self) -> EngineReport {
+        // Order matters: close the job queue and join workers first, so
+        // no new tasks can be staged; then close the staging lanes and
+        // join pumps (they drain every remaining staged task, stealing
+        // across lanes if needed).
         self.queue.close();
         let mut totals = WorkerStats::default();
         for handle in self.workers.drain(..) {
@@ -346,6 +408,12 @@ impl Engine {
             totals.cpu_tasks += stats.cpu_tasks;
             totals.workspaces_created += stats.workspaces_created;
             totals.workspace_acquisitions += stats.workspace_acquisitions;
+        }
+        self.staged.close();
+        for handle in self.pumps.drain(..) {
+            let stats = handle.join().expect("engine pump panicked");
+            totals.gpu_tasks += stats.gpu_tasks;
+            totals.cpu_tasks += stats.cpu_tasks;
         }
         let snap = self.scheduler.snapshot();
         EngineReport {
@@ -358,6 +426,8 @@ impl Engine {
                 .map(SimGpu::virtual_busy_seconds)
                 .collect(),
             device_peak_memory: self.devices.iter().map(SimGpu::memory_peak).collect(),
+            steals: snap.steals,
+            cpu_steals: snap.cpu_steals,
             workspaces_created: totals.workspaces_created,
             workspace_acquisitions: totals.workspace_acquisitions,
             leaked_grants: self.scheduler.in_flight(),
@@ -369,145 +439,82 @@ impl Drop for Engine {
     /// Dropping without [`Engine::shutdown`] still drains and joins —
     /// a resident process must never strand device tasks or grants.
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        if !self.workers.is_empty() || !self.pumps.is_empty() {
             let _ = self.drain_and_join();
         }
     }
 }
 
-/// One in-flight device submission a worker is tracking.
-struct Pending {
-    handle: gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)>,
-    grant: Grant,
-    ptr: Option<DevicePtr>,
-    bytes_in: u64,
-    ion_index: usize,
-    level_start: usize,
-    tag: u64,
-    reply: Sender<IonOutcome>,
+/// Run one job on the calling worker's CPU and deliver its outcome.
+fn run_cpu_task(config: &EngineConfig, pool: &mut WorkspacePool, job: IonJob) {
+    let mut partial = vec![0.0f64; job.grid.bins()];
+    let mut ws = pool.acquire();
+    let evals = emissivity_into(
+        &config.db,
+        job.ion_index,
+        job.level_range.clone(),
+        &job.point,
+        &job.grid,
+        config.cpu_integrator,
+        &mut ws,
+        &mut partial,
+    );
+    pool.release(ws);
+    let _ = job.reply.send(IonOutcome {
+        ion_index: job.ion_index,
+        level_start: job.level_range.start,
+        tag: job.tag,
+        partial,
+        path: ExecPath::WorkerCpu,
+        evals,
+    });
 }
 
 fn worker_loop(
     config: &EngineConfig,
     queue: &BoundedQueue<IonJob>,
     scheduler: &Scheduler,
-    devices: &Arc<Vec<SimGpu>>,
+    staged: &StealQueues<StagedTask>,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut pool = WorkspacePool::new();
-    // Recycled device-side result buffers, one free list per device.
-    let mut dev_bufs: Vec<Vec<DevicePtr>> = vec![Vec::new(); config.gpus];
-    let window = config.async_window.max(1);
-    let mut pending: VecDeque<Pending> = VecDeque::new();
-
-    let settle = |pending: &mut VecDeque<Pending>, dev_bufs: &mut Vec<Vec<DevicePtr>>| {
-        if let Some(p) = pending.pop_front() {
-            let (partial, evals) = p.handle.wait();
-            let device = &devices[p.grant.device.0];
-            let bytes_out = p.ptr.map_or(0, |b| b.bytes);
-            if let Some(buf) = p.ptr {
-                dev_bufs[p.grant.device.0].push(buf);
-            }
-            device.charge_task(evals, p.bytes_in, bytes_out);
-            scheduler.free(p.grant);
-            let _ = p.reply.send(IonOutcome {
-                ion_index: p.ion_index,
-                level_start: p.level_start,
-                tag: p.tag,
-                partial,
-                path: ExecPath::Gpu(p.grant.device.0),
-                evals,
-            });
-        }
-    };
-
-    loop {
-        // With submissions in flight, never block on an idle queue —
-        // an unsettled task holds its grant and its caller's reply
-        // hostage. Prefer new work if it is already there; otherwise
-        // settle the oldest submission and look again.
-        let job = if pending.is_empty() {
-            match queue.pop() {
-                Some(job) => job,
-                None => break,
-            }
-        } else {
-            match queue.try_pop() {
-                Some(job) => job,
-                None => {
-                    settle(&mut pending, &mut dev_bufs);
-                    continue;
-                }
-            }
-        };
-        if pending.len() >= window {
-            settle(&mut pending, &mut dev_bufs);
-        }
-        match scheduler.alloc() {
+    while let Some(job) = queue.pop() {
+        let cost = ion_task_cost(
+            &config.db,
+            job.ion_index,
+            job.level_range.clone(),
+            &job.point,
+            &job.bins,
+        );
+        match scheduler.alloc_cost(cost) {
             Some(grant) => {
-                let device = &devices[grant.device.0];
-                let ptr = dev_bufs[grant.device.0]
-                    .pop()
-                    .or_else(|| device.malloc(8 * job.bins.len() as u64).ok());
-                let bytes_in = 64 + 16 * (job.level_range.end - job.level_range.start) as u64;
-                let handle = submit_gpu_task(
-                    device,
-                    &config.db,
-                    job.ion_index,
-                    job.level_range.clone(),
-                    job.point,
-                    &job.bins,
-                    config.gpu_rule,
-                    config.gpu_precision,
-                    config.fused,
-                    config.deterministic_kernel,
-                );
-                pending.push_back(Pending {
-                    handle,
-                    grant,
-                    ptr,
-                    bytes_in,
-                    ion_index: job.ion_index,
-                    level_start: job.level_range.start,
-                    tag: job.tag,
-                    reply: job.reply,
-                });
-                stats.gpu_tasks += 1;
+                staged.stage(grant.device.0, cost, StagedTask { job, grant });
             }
             None => {
-                let mut partial = vec![0.0f64; job.grid.bins()];
-                let mut ws = pool.acquire();
-                let evals = emissivity_into(
-                    &config.db,
-                    job.ion_index,
-                    job.level_range.clone(),
-                    &job.point,
-                    &job.grid,
-                    config.cpu_integrator,
-                    &mut ws,
-                    &mut partial,
-                );
-                pool.release(ws);
-                let _ = job.reply.send(IonOutcome {
-                    ion_index: job.ion_index,
-                    level_start: job.level_range.start,
-                    tag: job.tag,
-                    partial,
-                    path: ExecPath::WorkerCpu,
-                    evals,
-                });
-                stats.cpu_tasks += 1;
+                // All device queues full. Before burning this CPU on
+                // the incoming task, check whether a *heavier* task is
+                // still staged on a device: swapping it onto the CPU
+                // and staging the light task in its slot shortens the
+                // expected makespan (the slot the swap frees almost
+                // always admits the lighter task).
+                if let Some((_victim, heavy)) = staged.try_steal_over(cost) {
+                    scheduler.release_to_cpu(heavy.item.grant);
+                    match scheduler.alloc_cost(cost) {
+                        Some(grant) => {
+                            staged.stage(grant.device.0, cost, StagedTask { job, grant });
+                        }
+                        None => {
+                            run_cpu_task(config, &mut pool, job);
+                            stats.cpu_tasks += 1;
+                        }
+                    }
+                    run_cpu_task(config, &mut pool, heavy.item.job);
+                    stats.cpu_tasks += 1;
+                } else {
+                    run_cpu_task(config, &mut pool, job);
+                    stats.cpu_tasks += 1;
+                }
             }
-        }
-    }
-    // Drain: settle every outstanding submission (frees every grant).
-    while !pending.is_empty() {
-        settle(&mut pending, &mut dev_bufs);
-    }
-    // Return pooled device buffers to their arenas.
-    for (d, bufs) in dev_bufs.into_iter().enumerate() {
-        for ptr in bufs {
-            devices[d].free(ptr);
         }
     }
     stats.workspaces_created = pool.created();
@@ -515,13 +522,136 @@ fn worker_loop(
     stats
 }
 
-/// Submit one task to a device: build the level integrands, ship the
-/// kernel, return a completion handle. `single_chunk` selects the
-/// deterministic single-chunk launch (see the module docs); otherwise
-/// the covering geometry is used.
+/// Per-device pump: drain the device's staging lane (stealing when
+/// idle), launch kernels through a compute [`Stream`], and settle each
+/// task — copy-back accounting, grant free with the observed service
+/// time, reply delivery — on the DMA copy stream so it overlaps the
+/// next launch.
+fn pump_loop(
+    d: usize,
+    config: &EngineConfig,
+    scheduler: &Scheduler,
+    staged: &StealQueues<StagedTask>,
+    devices: &Arc<Vec<SimGpu>>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let device = &devices[d];
+    let compute = Stream::new();
+    let copy = Stream::new();
+    // Recycled device-side result buffers; settles return them here.
+    let bufs: Arc<Mutex<Vec<DevicePtr>>> = Arc::new(Mutex::new(Vec::new()));
+    // Double-buffer at minimum: one task settling on the copy engines
+    // while the next one launches on the compute queue.
+    let depth = config.async_window.max(2);
+    let mut inflight: VecDeque<TaskHandle<()>> = VecDeque::new();
+
+    loop {
+        // Steal only with room to hold the reassigned grant; `next`
+        // itself only steals once this lane is empty (device idle).
+        let can_steal = scheduler.load(DeviceId(d)) < config.max_queue_len;
+        let StagedTask { job, grant } = match staged.next(d, can_steal) {
+            Next::Local(t) => t.item,
+            Next::Stolen { victim, task } => match scheduler.reassign(task.item.grant, DeviceId(d))
+            {
+                Ok(grant) => StagedTask {
+                    job: task.item.job,
+                    grant,
+                },
+                Err(_) => {
+                    // Raced to the bound: hand the task back, settle
+                    // one in-flight task (guaranteed progress, no
+                    // spin), and look again.
+                    staged.stage(victim, task.cost, task.item);
+                    if let Some(h) = inflight.pop_front() {
+                        h.wait();
+                    }
+                    continue;
+                }
+            },
+            Next::Closed => break,
+        };
+
+        let ptr = {
+            let mut pool = bufs.lock().expect("buffer pool poisoned");
+            pool.pop()
+                .or_else(|| device.malloc(8 * job.bins.len() as u64).ok())
+        };
+        let bytes_in = 64 + 16 * (job.level_range.end - job.level_range.start) as u64;
+
+        // Launch the kernel in the compute stream.
+        let task = kernel_task(
+            &config.db,
+            job.ion_index,
+            job.level_range.clone(),
+            job.point,
+            &job.bins,
+            config.gpu_rule,
+            config.gpu_precision,
+            config.fused,
+            config.deterministic_kernel,
+        );
+        let handle = compute.submit(device, task);
+        let ev = compute.record_event(device);
+
+        // Settle on the copy stream's DMA lane: gated on the kernel's
+        // event, overlapping the next iteration's launch.
+        copy.wait_event_dma(device, ev);
+        let settle = {
+            let devices = Arc::clone(devices);
+            let scheduler = scheduler.clone();
+            let bufs = Arc::clone(&bufs);
+            let level_start = job.level_range.start;
+            let ion_index = job.ion_index;
+            let tag = job.tag;
+            let reply = job.reply;
+            move || {
+                let (partial, evals) = handle.wait();
+                let device = &devices[d];
+                let bytes_out = ptr.map_or(0, |b| b.bytes);
+                if let Some(buf) = ptr {
+                    bufs.lock().expect("buffer pool poisoned").push(buf);
+                }
+                let service_s = device.charge_task(evals, bytes_in, bytes_out);
+                // Free with the modeled service time: the per-device
+                // seconds-per-unit EWMA self-calibrates from completions.
+                scheduler.free_observed(grant, service_s);
+                let _ = reply.send(IonOutcome {
+                    ion_index,
+                    level_start,
+                    tag,
+                    partial,
+                    path: ExecPath::Gpu(d),
+                    evals,
+                });
+            }
+        };
+        inflight.push_back(copy.submit_dma(device, settle));
+        stats.gpu_tasks += 1;
+        while inflight.len() >= depth {
+            inflight
+                .pop_front()
+                .expect("inflight nonempty by loop guard")
+                .wait();
+        }
+    }
+    // Drain every outstanding settle (frees every grant).
+    while let Some(h) = inflight.pop_front() {
+        h.wait();
+    }
+    // Return pooled device buffers to the arena.
+    for ptr in bufs.lock().expect("buffer pool poisoned").drain(..) {
+        device.free(ptr);
+    }
+    stats
+}
+
+/// Build the closure that executes one ion task's kernel on a device
+/// worker: integrand construction, windowing, launch-geometry choice,
+/// and the fused (or seed per-bin) kernel execution. `single_chunk`
+/// selects the deterministic single-chunk launch (see the module
+/// docs); otherwise the covering geometry is used.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn submit_gpu_task(
-    device: &SimGpu,
+fn kernel_task(
     db: &Arc<AtomDatabase>,
     ion_index: usize,
     level_range: Range<usize>,
@@ -531,10 +661,10 @@ pub(crate) fn submit_gpu_task(
     precision: Precision,
     fused: bool,
     single_chunk: bool,
-) -> gpu_sim::runtime::TaskHandle<(Vec<f64>, u64)> {
+) -> impl FnOnce() -> (Vec<f64>, u64) + Send + 'static {
     let db = Arc::clone(db);
     let bin_pairs = Arc::clone(bin_pairs);
-    device.submit(move || {
+    move || {
         let mut emi = vec![0.0f64; bin_pairs.len()];
         let Some(integrands) = ion_integrands(&db, ion_index, level_range, &point) else {
             return (emi, 0);
@@ -583,7 +713,7 @@ pub(crate) fn submit_gpu_task(
             kernel.execute(cfg, &mut emi)
         };
         (emi, evals)
-    })
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +732,7 @@ mod tests {
             workers: 3,
             gpus,
             max_queue_len: 4,
+            policy: SchedPolicy::CostAware,
             gpu_rule: DeviceRule::Simpson { panels: 64 },
             gpu_precision: Precision::Double,
             cpu_integrator: Integrator::Simpson { panels: 64 },
@@ -654,6 +785,40 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.gpu_tasks + report.cpu_tasks, 3 * ions as u64);
         assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn both_policies_serve_and_leak_nothing() {
+        for policy in [SchedPolicy::CostAware, SchedPolicy::PaperCount] {
+            let mut cfg = small_config(2);
+            cfg.policy = policy;
+            let engine = Engine::start(cfg);
+            let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+            let bins = Arc::new(grid.bin_pairs());
+            let ions = engine.config().db.ions().len();
+            let (tx, rx) = channel();
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: 0,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .unwrap();
+            }
+            drop(tx);
+            let outcomes: Vec<IonOutcome> = rx.iter().collect();
+            assert_eq!(outcomes.len(), ions, "{policy:?}");
+            let report = engine.shutdown();
+            assert_eq!(report.leaked_grants, 0, "{policy:?}");
+            assert_eq!(report.gpu_tasks + report.cpu_tasks, ions as u64);
+        }
     }
 
     #[test]
@@ -792,5 +957,44 @@ mod tests {
         drop(engine); // must drain, free grants, join — not strand
         let delivered = rx.iter().count();
         assert!(delivered > 0);
+    }
+
+    #[test]
+    fn pipelined_pump_settles_every_task_in_a_deep_window() {
+        // Deep pipeline on one device: many tasks flow through the
+        // double-buffered pump; every outcome arrives, every grant is
+        // freed, and the device carries the whole load.
+        let mut cfg = small_config(1);
+        cfg.async_window = 4;
+        cfg.workers = 2;
+        let engine = Engine::start(cfg);
+        let grid = EnergyGrid::linear(50.0, 2000.0, 48);
+        let bins = Arc::new(grid.bin_pairs());
+        let ions = engine.config().db.ions().len();
+        let (tx, rx) = channel();
+        for round in 0..3usize {
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: round as u64,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .unwrap();
+            }
+        }
+        drop(tx);
+        let outcomes: Vec<IonOutcome> = rx.iter().collect();
+        assert_eq!(outcomes.len(), 3 * ions);
+        let report = engine.shutdown();
+        assert_eq!(report.gpu_tasks + report.cpu_tasks, 3 * ions as u64);
+        assert_eq!(report.leaked_grants, 0);
+        assert!(report.gpu_tasks > 0, "device path must be exercised");
     }
 }

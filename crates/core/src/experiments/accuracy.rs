@@ -88,6 +88,7 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
         ranks: cfg.ranks,
         gpus: cfg.gpus,
         max_queue_len: 6,
+        policy: hybrid_sched::SchedPolicy::CostAware,
         granularity: Granularity::Ion,
         gpu_rule: DeviceRule::Simpson { panels: 64 },
         // Fermi-era production kernels ran in single precision — that is

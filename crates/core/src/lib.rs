@@ -22,6 +22,7 @@
 //! one driver per paper table/figure.
 
 pub mod calib;
+pub mod cost;
 pub mod desmodel;
 pub mod engine;
 pub mod experiments;
@@ -33,8 +34,10 @@ pub mod task;
 pub mod workload;
 
 pub use calib::Calibration;
+pub use cost::ion_task_cost;
 pub use desmodel::{DesConfig, DesReport};
 pub use engine::{Engine, EngineConfig, EngineReport, ExecPath, IonJob, IonOutcome};
+pub use hybrid_sched::SchedPolicy;
 pub use hydro::SedovBlast;
 pub use pool::WorkspacePool;
 pub use runtime::{HybridConfig, HybridRunner, RunReport};

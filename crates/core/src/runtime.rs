@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use atomdb::AtomDatabase;
 use gpu_sim::{DeviceRule, Precision};
+use hybrid_sched::SchedPolicy;
 use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace, Spectrum};
 
 use crate::engine::{Engine, EngineConfig, IonJob, IonOutcome};
@@ -41,6 +42,10 @@ pub struct HybridConfig {
     pub gpus: usize,
     /// Maximum queue length per device.
     pub max_queue_len: u64,
+    /// Placement policy: cost-aware weighted balancing (default) or
+    /// the paper's task-count policy ([`SchedPolicy::PaperCount`]) for
+    /// A/B ablation.
+    pub policy: SchedPolicy,
     /// Task granularity.
     pub granularity: Granularity,
     /// Device-side integration rule (paper: Simpson over 64 pieces).
@@ -85,6 +90,7 @@ impl HybridConfig {
             ranks: 4,
             gpus: 2,
             max_queue_len: 6,
+            policy: SchedPolicy::CostAware,
             granularity: Granularity::Ion,
             gpu_rule: DeviceRule::Simpson { panels: 64 },
             gpu_precision: Precision::Double,

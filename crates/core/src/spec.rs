@@ -65,6 +65,10 @@ pub struct RunSpec {
     pub max_queue_len: u64,
     /// `"ion"` or `"level"`.
     pub granularity: String,
+    /// `"cost-aware"` (weighted placement, default) or `"paper-count"`
+    /// (the paper's Algorithm 1 task-count policy) — the scheduling A/B
+    /// switch.
+    pub policy: String,
     /// Device rule. Unlike the other fields this one is required in
     /// JSON, flattened into the top-level object: e.g.
     /// `"rule": "simpson", "panels": 64`.
@@ -93,6 +97,7 @@ impl Default for RunSpec {
             gpus: 2,
             max_queue_len: 6,
             granularity: "ion".to_string(),
+            policy: "cost-aware".to_string(),
             rule: RuleSpec::Simpson { panels: 64 },
             precision: "double".to_string(),
             async_window: 1,
@@ -182,6 +187,9 @@ impl RunSpec {
         if let Some(g) = str_field("granularity")? {
             spec.granularity = g.to_string();
         }
+        if let Some(p) = str_field("policy")? {
+            spec.policy = p.to_string();
+        }
         if let Some(p) = str_field("precision")? {
             spec.precision = p.to_string();
         }
@@ -228,6 +236,7 @@ impl RunSpec {
             .field("gpus", self.gpus)
             .field("max_queue_len", self.max_queue_len as f64)
             .field("granularity", self.granularity.as_str())
+            .field("policy", self.policy.as_str())
             .field("precision", self.precision.as_str())
             .field("async_window", self.async_window)
             .field("fused", self.fused);
@@ -258,6 +267,15 @@ impl RunSpec {
             "level" => Granularity::Level,
             other => return Err(format!("granularity must be ion|level, got '{other}'")),
         };
+        let policy = match self.policy.as_str() {
+            "cost-aware" => hybrid_sched::SchedPolicy::CostAware,
+            "paper-count" => hybrid_sched::SchedPolicy::PaperCount,
+            other => {
+                return Err(format!(
+                    "policy must be cost-aware|paper-count, got '{other}'"
+                ))
+            }
+        };
         let precision = match self.precision.as_str() {
             "double" => Precision::Double,
             "single" => Precision::Single,
@@ -278,6 +296,7 @@ impl RunSpec {
             ranks: self.ranks.max(1),
             gpus: self.gpus,
             max_queue_len: self.max_queue_len.max(1),
+            policy,
             granularity,
             gpu_rule: self.rule.into(),
             gpu_precision: precision,

@@ -84,11 +84,18 @@ pub struct DeviceCounters {
     pub busy_nanos: AtomicU64,
 }
 
-/// One simulated GPU: props + command queue + workers + on-board
-/// memory arena + virtual-time cost accounting.
+/// One simulated GPU: props + command queues (compute + DMA) + workers
+/// + on-board memory arena + virtual-time cost accounting.
+///
+/// The DMA queue models the card's dedicated copy engines: commands
+/// submitted through [`SimGpu::submit_dma`] drain on their own worker
+/// threads, so a D2H copy-back can overlap the next kernel even on a
+/// Fermi device whose *compute* queue is strictly serial
+/// (`concurrent_tasks == 1`).
 pub struct SimGpu {
     props: DeviceProps,
     queue: Arc<CommandQueue>,
+    dma_queue: Arc<CommandQueue>,
     workers: Vec<std::thread::JoinHandle<()>>,
     counters: Arc<DeviceCounters>,
     memory: Arc<Mutex<DeviceMemory>>,
@@ -118,13 +125,15 @@ impl<R> TaskHandle<R> {
 }
 
 impl SimGpu {
-    /// Bring up a device: spawns `props.concurrent_tasks` worker
-    /// threads sharing one FIFO queue.
+    /// Bring up a device: spawns `props.concurrent_tasks` compute
+    /// workers sharing one FIFO queue and `props.copy_engines` DMA
+    /// workers draining a second, independent queue.
     #[must_use]
     pub fn new(props: DeviceProps) -> SimGpu {
         let queue = Arc::new(CommandQueue::new());
+        let dma_queue = Arc::new(CommandQueue::new());
         let counters = Arc::new(DeviceCounters::default());
-        let workers = (0..props.concurrent_tasks.max(1))
+        let mut workers: Vec<std::thread::JoinHandle<()>> = (0..props.concurrent_tasks.max(1))
             .map(|w| {
                 let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
@@ -140,11 +149,23 @@ impl SimGpu {
                     .expect("spawn device worker")
             })
             .collect();
+        workers.extend((0..props.copy_engines.max(1)).map(|e| {
+            let dma_queue = Arc::clone(&dma_queue);
+            std::thread::Builder::new()
+                .name(format!("{}-dma-{e}", props.name))
+                .spawn(move || {
+                    while let Some(cmd) = dma_queue.pop() {
+                        cmd();
+                    }
+                })
+                .expect("spawn DMA worker")
+        }));
         let memory = Arc::new(Mutex::new(DeviceMemory::new(props.memory_bytes)));
         let cost = CostModel::from_props(&props);
         SimGpu {
             props,
             queue,
+            dma_queue,
             workers,
             counters,
             memory,
@@ -243,13 +264,41 @@ impl SimGpu {
     {
         self.submit(task).wait()
     }
+
+    /// Enqueue `task` on the DMA (copy-engine) queue. Same handle
+    /// semantics as [`SimGpu::submit`], but the work drains on the copy
+    /// engines, independent of — and concurrent with — the compute
+    /// queue. Busy-time counters are charged identically; callers who
+    /// need the compute/copy split apart can read
+    /// [`SimGpu::virtual_busy_seconds`], which only kernel charges
+    /// advance.
+    pub fn submit_dma<R, F>(&self, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let counters = Arc::clone(&self.counters);
+        let cmd: Command = Box::new(move || {
+            let start = Instant::now();
+            let result = task();
+            counters
+                .busy_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            counters.tasks.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(result);
+        });
+        self.dma_queue.push(cmd);
+        TaskHandle { result: rx }
+    }
 }
 
 impl Drop for SimGpu {
     fn drop(&mut self) {
-        // Close the queue, then join the workers (they drain what is
+        // Close both queues, then join the workers (they drain what is
         // already queued first).
         self.queue.close();
+        self.dma_queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -315,6 +364,48 @@ mod tests {
         let peak = peak.load(Ordering::SeqCst);
         assert!(peak >= 2, "expected concurrency, peak {peak}");
         assert!(peak <= 4, "bounded by worker count, peak {peak}");
+    }
+
+    #[test]
+    fn dma_queue_overlaps_a_serial_compute_queue() {
+        // Fermi: one compute worker. A copy submitted *after* a long
+        // kernel must still be able to finish *before* it, because it
+        // drains on the copy engines.
+        let gpu = SimGpu::new(fermi());
+        let kernel_done = Arc::new(AtomicU64::new(0));
+        let copy_saw_kernel_done = Arc::new(AtomicU64::new(0));
+        let kd = Arc::clone(&kernel_done);
+        let kernel = gpu.submit(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            kd.store(1, Ordering::SeqCst);
+        });
+        let kd = Arc::clone(&kernel_done);
+        let saw = Arc::clone(&copy_saw_kernel_done);
+        let copy = gpu.submit_dma(move || {
+            saw.store(kd.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        copy.wait();
+        kernel.wait();
+        assert_eq!(
+            copy_saw_kernel_done.load(Ordering::SeqCst),
+            0,
+            "the DMA command ran while the kernel was still executing"
+        );
+    }
+
+    #[test]
+    fn dma_drop_drains_like_compute() {
+        let flag = Arc::new(AtomicU64::new(0));
+        {
+            let gpu = SimGpu::new(fermi());
+            for _ in 0..3 {
+                let flag = Arc::clone(&flag);
+                let _ = gpu.submit_dma(move || {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(flag.load(Ordering::SeqCst), 3);
     }
 
     #[test]

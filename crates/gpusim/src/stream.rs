@@ -110,6 +110,40 @@ impl Stream {
         })
     }
 
+    /// [`Stream::submit`], but the command drains on the device's DMA
+    /// copy engines instead of its compute workers. Ordering within the
+    /// stream is unchanged (one sequence gate covers both lanes); what
+    /// changes is *which* workers execute — a copy-back submitted here
+    /// can run while a serial Fermi compute queue is still busy with
+    /// the next kernel.
+    ///
+    /// Gate-blocking a DMA worker is safe at any engine count: workers
+    /// pop their queue in FIFO = submission = sequence order, so the
+    /// stream's head command is always in a worker and can always run.
+    pub fn submit_dma<R, F>(&self, device: &SimGpu, task: F) -> TaskHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let seq = self.state.next_seq.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        device.submit_dma(move || {
+            {
+                let mut completed = state.completed.lock().expect("stream poisoned");
+                while *completed != seq {
+                    completed = state.signal.wait(completed).expect("stream poisoned");
+                }
+            }
+            let result = task();
+            {
+                let mut completed = state.completed.lock().expect("stream poisoned");
+                *completed = seq + 1;
+            }
+            state.signal.notify_all();
+            result
+        })
+    }
+
     /// Record an event after everything currently submitted: the
     /// returned [`StreamEvent`] fires once the stream reaches this
     /// point.
@@ -129,6 +163,16 @@ impl Stream {
     /// before running anything submitted after this call.
     pub fn wait_event(&self, device: &SimGpu, event: StreamEvent) {
         let _ = self.submit(device, move || {
+            event.synchronize();
+        });
+    }
+
+    /// [`Stream::wait_event`] parked on the DMA lane: the wait occupies
+    /// a copy engine, never a compute worker — the idiom for "this copy
+    /// stream waits for the compute stream's kernel, then copies back"
+    /// on a device whose compute queue is strictly serial.
+    pub fn wait_event_dma(&self, device: &SimGpu, event: StreamEvent) {
+        let _ = self.submit_dma(device, move || {
             event.synchronize();
         });
     }
@@ -228,6 +272,52 @@ mod tests {
         }
         stream.synchronize(&gpu);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn dma_copy_back_overlaps_next_kernel_on_fermi() {
+        // The engine's double-buffer pattern, on a device with ONE
+        // compute worker: kernel k runs in the compute stream; the copy
+        // stream waits on its event and settles k on the copy engines
+        // while kernel k+1 already occupies the compute worker.
+        let gpu = SimGpu::new(DeviceProps::tesla_c2075());
+        let compute = Stream::new();
+        let copy = Stream::new();
+
+        let data = Arc::new(AtomicU64::new(0));
+        let kernel2_running = Arc::new(AtomicU64::new(0));
+        let copy_overlapped = Arc::new(AtomicU64::new(0));
+
+        let d = Arc::clone(&data);
+        let _ = compute.submit(&gpu, move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            d.store(7, Ordering::SeqCst);
+        });
+        let ev = compute.record_event(&gpu);
+
+        let running = Arc::clone(&kernel2_running);
+        let k2 = compute.submit(&gpu, move || {
+            running.store(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            running.store(0, Ordering::SeqCst);
+        });
+
+        copy.wait_event_dma(&gpu, ev);
+        let d = Arc::clone(&data);
+        let running = Arc::clone(&kernel2_running);
+        let overlapped = Arc::clone(&copy_overlapped);
+        let copied = copy.submit_dma(&gpu, move || {
+            overlapped.store(running.load(Ordering::SeqCst), Ordering::SeqCst);
+            d.load(Ordering::SeqCst)
+        });
+
+        assert_eq!(copied.wait(), 7, "copy-back observes kernel 1's result");
+        k2.wait();
+        assert_eq!(
+            copy_overlapped.load(Ordering::SeqCst),
+            1,
+            "the copy-back ran while kernel 2 held the only compute worker"
+        );
     }
 
     #[test]

@@ -274,9 +274,8 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            self.samples.push(
-                elapsed / u32::try_from(batch_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
-            );
+            self.samples
+                .push(Self::per_iter_sample(elapsed, batch_iters));
             self.iterations += batch_iters;
         }
     }
@@ -299,11 +298,20 @@ impl Bencher {
         }
         for _ in 0..self.sample_count {
             let elapsed = routine(batch_iters);
-            self.samples.push(
-                elapsed / u32::try_from(batch_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
-            );
+            self.samples
+                .push(Self::per_iter_sample(elapsed, batch_iters));
             self.iterations += batch_iters;
         }
+    }
+
+    /// Divide a batch's elapsed time by its iteration count, flooring
+    /// the result at 1 ns: in release builds a trivial routine can run
+    /// a whole batch inside one clock tick, and a literal-zero sample
+    /// would make medians/means of real (just sub-resolution) work
+    /// report as zero.
+    fn per_iter_sample(elapsed: Duration, batch_iters: u64) -> Duration {
+        let per = elapsed / u32::try_from(batch_iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        per.max(Duration::from_nanos(1))
     }
 
     fn finish(&mut self, id: String) -> Measurement {
@@ -394,6 +402,21 @@ mod tests {
         assert_eq!(ms[0].id, "g/fixed/7");
         // Per-iteration time should come out near the synthetic 100ns.
         assert!(ms[0].median_ns() >= 50.0 && ms[0].median_ns() <= 200.0);
+    }
+
+    #[test]
+    fn sub_resolution_samples_floor_at_one_nanosecond() {
+        // A routine reporting zero elapsed time (sub-tick batches in
+        // release builds) must still yield a nonzero median — the
+        // 1 ns floor is the deflake contract for
+        // `iter_records_a_measurement`.
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("zero", |b| b.iter_custom(|_| Duration::ZERO));
+        g.finish();
+        let ms = c.take_measurements();
+        assert_eq!(ms[0].median, Duration::from_nanos(1));
+        assert!(ms[0].mean >= Duration::from_nanos(1));
     }
 
     #[test]

@@ -64,6 +64,14 @@ impl SharedRegion {
     /// value. Saturates at zero instead of wrapping (a load count must
     /// never underflow even under a buggy double-free).
     pub fn fetch_sub_saturating(&self, i: usize) -> u64 {
+        self.fetch_sub_saturating_by(i, 1)
+    }
+
+    /// Atomic saturating fetch-sub of `delta` on word `i`; returns the
+    /// previous value. Clamps at zero instead of wrapping — a weighted
+    /// load sum must never underflow even if a racing double-free
+    /// over-subtracts.
+    pub fn fetch_sub_saturating_by(&self, i: usize, delta: u64) -> u64 {
         let mut current = self.words[i].load(Ordering::SeqCst);
         loop {
             if current == 0 {
@@ -71,7 +79,25 @@ impl SharedRegion {
             }
             match self.words[i].compare_exchange_weak(
                 current,
-                current - 1,
+                current.saturating_sub(delta),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(prev) => return prev,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Atomic update of word `i` via `f` (CAS loop); returns the
+    /// previous value. The scheduler stores per-device EWMA rates as
+    /// `f64::to_bits` words and updates them through this.
+    pub fn fetch_update(&self, i: usize, mut f: impl FnMut(u64) -> u64) -> u64 {
+        let mut current = self.words[i].load(Ordering::SeqCst);
+        loop {
+            match self.words[i].compare_exchange_weak(
+                current,
+                f(current),
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             ) {
@@ -139,6 +165,26 @@ mod tests {
         assert_eq!(r.fetch_sub_saturating(0), 1);
         assert_eq!(r.fetch_sub_saturating(0), 0);
         assert_eq!(r.load(0), 0);
+    }
+
+    #[test]
+    fn fetch_sub_by_saturates_at_zero() {
+        let r = SharedRegion::new(1);
+        r.store(0, 10);
+        assert_eq!(r.fetch_sub_saturating_by(0, 4), 10);
+        assert_eq!(r.load(0), 6);
+        assert_eq!(r.fetch_sub_saturating_by(0, 100), 6);
+        assert_eq!(r.load(0), 0);
+        assert_eq!(r.fetch_sub_saturating_by(0, 1), 0);
+    }
+
+    #[test]
+    fn fetch_update_applies_closure_atomically() {
+        let r = SharedRegion::new(1);
+        r.store(0, 3.5f64.to_bits());
+        let prev = r.fetch_update(0, |bits| (f64::from_bits(bits) * 2.0).to_bits());
+        assert_eq!(f64::from_bits(prev), 3.5);
+        assert_eq!(f64::from_bits(r.load(0)), 7.0);
     }
 
     #[test]

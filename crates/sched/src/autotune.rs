@@ -176,6 +176,75 @@ mod tests {
     }
 
     #[test]
+    fn patience_two_still_stops_on_two_consecutive_regressions() {
+        // 4 is the genuine minimum; 6 and 8 both regress, so even the
+        // patient tuner must stop *without* probing 10.
+        let mut tuner = AutoTuner::new(2, 2, 14).with_patience(2);
+        let mut probes = Vec::new();
+        while let Some(q) = tuner.next_candidate() {
+            probes.push(q);
+            let t = match q {
+                2 => 50.0,
+                4 => 40.0,
+                _ => 60.0,
+            };
+            tuner.observe(q, t);
+        }
+        assert_eq!(probes, vec![2, 4, 6, 8]);
+        assert_eq!(tuner.best(), Some((4, 40.0)));
+    }
+
+    #[test]
+    fn patience_counter_resets_after_each_improvement() {
+        // Alternating blip/improve: every regression is isolated, so a
+        // patience-2 tuner rides the noise all the way to the cap.
+        let best = AutoTuner::new(1, 1, 6).with_patience(2).tune(|q| {
+            if q % 2 == 0 {
+                100.0
+            } else {
+                50.0 - q as f64
+            }
+        });
+        assert_eq!(best, 5);
+    }
+
+    #[test]
+    fn max_candidate_clamps_up_to_start() {
+        // A cap below the start is meaningless; the tuner probes the
+        // start exactly once and converges there.
+        let mut tuner = AutoTuner::new(8, 2, 3);
+        assert_eq!(tuner.next_candidate(), Some(8));
+        tuner.observe(8, 1.0);
+        assert!(tuner.next_candidate().is_none());
+        assert_eq!(tuner.best(), Some((8, 1.0)));
+    }
+
+    #[test]
+    fn candidates_never_exceed_max_candidate() {
+        // Step overshoots the cap mid-sweep: 3, 7, and then 11 > 9 must
+        // not be probed even though times keep improving.
+        let mut tuner = AutoTuner::new(3, 4, 9).with_patience(3);
+        let mut probes = Vec::new();
+        while let Some(q) = tuner.next_candidate() {
+            probes.push(q);
+            tuner.observe(q, 100.0 / q as f64);
+        }
+        assert_eq!(probes, vec![3, 7]);
+        assert!(probes.iter().all(|&q| q <= 9));
+        assert_eq!(tuner.best(), Some((7, 100.0 / 7.0)));
+    }
+
+    #[test]
+    fn zero_patience_is_clamped_to_one() {
+        // with_patience(0) must behave like patience 1, not loop or
+        // stop before any regression is seen.
+        let best = AutoTuner::new(2, 2, 10)
+            .with_patience(0)
+            .tune(|q| (q as f64 - 6.0).abs());
+        assert_eq!(best, 6);
+    }
+
+    #[test]
     fn observations_are_recorded_in_order() {
         let mut tuner = AutoTuner::new(1, 1, 3);
         tuner.observe(1, 3.0);

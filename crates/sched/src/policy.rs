@@ -5,6 +5,27 @@
 //! real mode and virtual-time mode can then never come from policy
 //! drift.
 
+/// Which placement rule the scheduler runs.
+///
+/// The paper's Algorithm 1 balances by *task count*; RRC ion tasks are
+/// wildly skewed (an Fe ion carries orders of magnitude more levels and
+/// wider bin windows than H/He), so min-count placement leaves one
+/// device grinding a heavy ion while the others idle. The cost-aware
+/// policy balances by *estimated work* instead; the count policy stays
+/// selectable for A/B ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Weighted placement: each task carries a `cost`, per-device loads
+    /// are weighted sums (scaled by the device's observed
+    /// service-time-per-unit EWMA), ties fall back to history then
+    /// index. The count-based queue bound still applies.
+    #[default]
+    CostAware,
+    /// Paper Algorithm 1 ablation: minimum task count, ties by minimum
+    /// history count. Ignores task costs entirely.
+    PaperCount,
+}
+
 /// How ties at the minimum load are broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TieBreak {
@@ -123,6 +144,31 @@ pub fn select_device_work_aware(
     }
 }
 
+/// Policy dispatch over the same per-device arrays: the cost-aware
+/// branch is [`select_device_work_aware`] on the (possibly
+/// EWMA-scaled) weighted backlogs, the paper branch is plain
+/// [`select_device`] on task counts. Keeping one entry point means the
+/// real-thread scheduler and any replica can never disagree about what
+/// a policy value does.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn select_device_for(
+    policy: SchedPolicy,
+    loads: &[u64],
+    weighted_backlogs: &[u64],
+    histories: &[u64],
+    max_queue_len: u64,
+) -> Selection {
+    match policy {
+        SchedPolicy::CostAware => {
+            select_device_work_aware(loads, weighted_backlogs, histories, max_queue_len)
+        }
+        SchedPolicy::PaperCount => select_device(loads, histories, max_queue_len),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +250,58 @@ mod tests {
         assert_eq!(
             select_device_work_aware(&[6, 6], &work, &histories, 6),
             Selection::AllBusy
+        );
+    }
+
+    /// Property: with unit costs the weighted backlog of a device *is*
+    /// its task count, so the cost-aware policy must degenerate to the
+    /// paper's count policy (load, then history, then index) on every
+    /// input. Exhaustive over a small domain, including full queues.
+    #[test]
+    fn unit_costs_degenerate_to_paper_policy() {
+        for l0 in 0..4u64 {
+            for l1 in 0..4u64 {
+                for l2 in 0..4u64 {
+                    for h0 in 0..3u64 {
+                        for h1 in 0..3u64 {
+                            let loads = [l0, l1, l2];
+                            let histories = [h0, h1, h0.wrapping_add(h1) % 3];
+                            for q in 1..=4u64 {
+                                let weighted = select_device_for(
+                                    SchedPolicy::CostAware,
+                                    &loads,
+                                    &loads, // unit costs: backlog == count
+                                    &histories,
+                                    q,
+                                );
+                                let paper =
+                                    select_device_with(&loads, &histories, q, TieBreak::History);
+                                assert_eq!(
+                                    weighted, paper,
+                                    "loads {loads:?} histories {histories:?} q {q}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_dispatch_diverges_only_on_costs() {
+        // Device 0 holds fewer but heavier tasks: the paper policy picks
+        // it, the cost-aware policy avoids it.
+        let loads = [1u64, 2];
+        let weighted = [900u64, 40];
+        let histories = [0u64, 0];
+        assert_eq!(
+            select_device_for(SchedPolicy::PaperCount, &loads, &weighted, &histories, 6),
+            Selection::Device(0)
+        );
+        assert_eq!(
+            select_device_for(SchedPolicy::CostAware, &loads, &weighted, &histories, 6),
+            Selection::Device(1)
         );
     }
 

@@ -54,6 +54,28 @@ pub struct MetricsSnapshot {
     pub compute: StageLatency,
     /// End-to-end latency quantiles/mean, seconds.
     pub total: StageLatency,
+    /// Per-device staged tasks stolen from another device's lane
+    /// (filled from the engine's scheduler by
+    /// [`crate::SpectralService::metrics`]; empty for a bare
+    /// [`ServiceMetrics::snapshot`]).
+    pub scheduler_steals: Vec<u64>,
+    /// Staged device tasks pulled back to worker CPUs by the fallback
+    /// swap.
+    pub scheduler_cpu_steals: u64,
+    /// Per-device outstanding weighted (cost-unit) backlog at snapshot
+    /// time.
+    pub scheduler_weighted_loads: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Fill the scheduler-view fields from a live scheduler snapshot.
+    #[must_use]
+    pub fn with_scheduler(mut self, sched: &hybrid_sched::SchedulerSnapshot) -> MetricsSnapshot {
+        self.scheduler_steals = sched.steals.clone();
+        self.scheduler_cpu_steals = sched.cpu_steals;
+        self.scheduler_weighted_loads = sched.weighted_loads.clone();
+        self
+    }
 }
 
 /// p50/p95/p99 + mean of one lifecycle stage, in seconds.
@@ -146,6 +168,9 @@ impl ServiceMetrics {
             queue: stage(&self.queue_latency),
             compute: stage(&self.compute_latency),
             total: stage(&self.total_latency),
+            scheduler_steals: Vec::new(),
+            scheduler_cpu_steals: 0,
+            scheduler_weighted_loads: Vec::new(),
         }
     }
 }

@@ -69,6 +69,7 @@ impl ServiceConfig {
                 workers,
                 gpus: 2,
                 max_queue_len: 6,
+                policy: hybrid_sched::SchedPolicy::CostAware,
                 gpu_rule: DeviceRule::Simpson { panels: 64 },
                 gpu_precision: Precision::Double,
                 cpu_integrator: Integrator::Simpson { panels: 64 },
@@ -222,10 +223,15 @@ impl SpectralService {
         self.shared().queue.capacity()
     }
 
-    /// Live metrics snapshot.
+    /// Live metrics snapshot, including the scheduler's steal counters
+    /// and weighted backlogs.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared().metrics.snapshot()
+        let shared = self.shared();
+        shared
+            .metrics
+            .snapshot()
+            .with_scheduler(&shared.engine.scheduler_snapshot())
     }
 
     /// Live cache counters.
@@ -257,7 +263,10 @@ impl SpectralService {
             .ok()
             .expect("batcher joined; no other holders of the service state");
         let cache = shared.cache.stats();
-        let metrics = shared.metrics.snapshot();
+        let metrics = shared
+            .metrics
+            .snapshot()
+            .with_scheduler(&shared.engine.scheduler_snapshot());
         let engine = shared.engine.shutdown();
         Some(ServiceReport {
             engine,

@@ -35,6 +35,7 @@ fn main() {
         ranks: 8,
         gpus: 3,
         max_queue_len: 6,
+        policy: hybridspec::sched::SchedPolicy::CostAware,
         granularity: Granularity::Ion,
         gpu_rule: hybridspec::gpu::DeviceRule::Simpson { panels: 64 },
         gpu_precision: hybridspec::gpu::Precision::Double,

@@ -40,6 +40,7 @@ fn main() {
         ranks: 8,
         gpus: 2,
         max_queue_len: 6,
+        policy: hybridspec::sched::SchedPolicy::CostAware,
         granularity: Granularity::Ion,
         gpu_rule: hybridspec::gpu::DeviceRule::Simpson { panels: 64 },
         gpu_precision: hybridspec::gpu::Precision::Double,

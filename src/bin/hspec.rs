@@ -66,7 +66,7 @@ fn print_usage() {
 USAGE:
   hspec spectrum [--temp K] [--density CM3] [--bins N] [--max-z Z]
                  [--ranks N] [--gpus N] [--qlen N] [--lines true]
-                 [--out FILE.tsv]
+                 [--policy cost-aware|paper-count] [--out FILE.tsv]
   hspec predict  [--gpus N] [--qlen N] [--granularity ion|level]
                  [--romberg-k K] [--async-window N]
   hspec tune     [--gpus N]
@@ -118,6 +118,15 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
     let qlen: u64 = args.get("qlen", 6)?;
     let with_lines: bool = args.get("lines", false)?;
     let out: String = args.get("out", String::new())?;
+    let policy = match args.get("policy", "cost-aware".to_string())?.as_str() {
+        "cost-aware" => hybridspec::sched::SchedPolicy::CostAware,
+        "paper-count" => hybridspec::sched::SchedPolicy::PaperCount,
+        other => {
+            return Err(format!(
+                "--policy must be cost-aware|paper-count, got '{other}'"
+            ))
+        }
+    };
 
     let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
         max_z,
@@ -135,6 +144,7 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         ranks,
         gpus,
         max_queue_len: qlen,
+        policy,
         granularity: Granularity::Ion,
         gpu_rule: hybridspec::gpu::DeviceRule::Simpson { panels: 64 },
         gpu_precision: hybridspec::gpu::Precision::Double,

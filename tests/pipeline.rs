@@ -31,6 +31,7 @@ fn sedov_to_folded_counts() {
         ranks: 2,
         gpus: 1,
         max_queue_len: 4,
+        policy: hybridspec::sched::SchedPolicy::CostAware,
         granularity: Granularity::Ion,
         gpu_rule: hybridspec::gpu::DeviceRule::Simpson { panels: 64 },
         gpu_precision: hybridspec::gpu::Precision::Double,
