@@ -134,6 +134,7 @@ fn bench_fused_vs_seed(c: &mut Criterion) {
                 precision: Precision::Double,
                 windows: Some(&windows),
                 rule: DeviceRule::Simpson { panels: 64 },
+                math: quadrature::MathMode::Exact,
             };
             let mut emi = vec![0.0; bins.len()];
             b.iter(|| black_box(kernel.execute(cfg, &mut emi)));

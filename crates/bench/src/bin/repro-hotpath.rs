@@ -87,6 +87,7 @@ fn main() {
         precision: Precision::Double,
         windows: Some(&windows),
         rule: DeviceRule::Simpson { panels: 64 },
+        math: quadrature::MathMode::Exact,
     };
     let fused_evals = fused_kernel.execute(cfg, &mut emi);
 

@@ -242,6 +242,9 @@ fn engine_parity(policy: SchedPolicy, max_z: u8, bins: usize) -> EngineRun {
         async_window: 2,
         queue_depth: 8,
         deterministic_kernel: true,
+        math: quadrature::MathMode::Exact,
+        pack_threshold: 0,
+        pack_max: 8,
     });
     let ions = db.ions().len();
     let (tx, rx) = channel();

@@ -65,9 +65,10 @@ use gpu_sim::{
 };
 use hybrid_sched::{DeviceId, Grant, Next, SchedPolicy, Scheduler, SchedulerSnapshot, StealQueues};
 use mpi_sim::{BoundedQueue, TryPushError};
+use quadrature::MathMode;
 use rrc_spectral::{
-    emissivity_into, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
-    PreparedIntegrand,
+    emissivity_into_mode, ion_integrands, level_window, EnergyGrid, GridPoint, Integrator,
+    PreparedIntegrand, VectorPrepared,
 };
 
 use crate::cost::ion_task_cost;
@@ -108,6 +109,21 @@ pub struct EngineConfig {
     /// (see the module docs). The service tier turns this on; the
     /// batch runtime leaves it off.
     pub deterministic_kernel: bool,
+    /// Math mode for the fused device kernels and the worker/caller CPU
+    /// paths: [`MathMode::Exact`] keeps the seed's scalar arithmetic
+    /// bitwise; [`MathMode::Vector`] routes exponentials and the f64
+    /// Simpson/Romberg accumulations through the lane-parallel
+    /// [`quadrature::simd`] layer.
+    pub math: MathMode,
+    /// Launch aggregation: staged device tasks whose estimated cost is
+    /// **strictly below** this many work units are packed with further
+    /// small tasks from the same lane into one kernel launch + one D2H
+    /// copy (amortizing the per-launch overheads that dominate
+    /// tiny-ion workloads). `0` disables aggregation.
+    pub pack_threshold: u64,
+    /// Upper bound on tasks per aggregated launch (floor 2 when
+    /// aggregation is enabled).
+    pub pack_max: usize,
 }
 
 impl EngineConfig {
@@ -129,6 +145,9 @@ impl EngineConfig {
             async_window: cfg.async_window,
             queue_depth: 2 * cfg.ranks.max(1),
             deterministic_kernel: false,
+            math: cfg.math,
+            pack_threshold: cfg.pack_threshold,
+            pack_max: 8,
         }
     }
 }
@@ -303,6 +322,9 @@ impl Engine {
     ///
     /// # Errors
     /// Returns the job back if the engine is shutting down.
+    // The Err variant is the job itself so callers keep ownership on
+    // shutdown; boxing it would push an allocation onto every submit.
+    #[allow(clippy::result_large_err)]
     pub fn submit(&self, job: IonJob) -> Result<(), IonJob> {
         self.queue.push(job)
     }
@@ -340,7 +362,7 @@ impl Engine {
         let evals = POOL.with(|pool| {
             let mut pool = pool.borrow_mut();
             let mut ws = pool.acquire();
-            let evals = emissivity_into(
+            let evals = emissivity_into_mode(
                 &self.config.db,
                 ion_index,
                 level_range.clone(),
@@ -349,6 +371,7 @@ impl Engine {
                 self.config.cpu_integrator,
                 &mut ws,
                 &mut partial,
+                self.config.math,
             );
             pool.release(ws);
             evals
@@ -449,7 +472,7 @@ impl Drop for Engine {
 fn run_cpu_task(config: &EngineConfig, pool: &mut WorkspacePool, job: IonJob) {
     let mut partial = vec![0.0f64; job.grid.bins()];
     let mut ws = pool.acquire();
-    let evals = emissivity_into(
+    let evals = emissivity_into_mode(
         &config.db,
         job.ion_index,
         job.level_range.clone(),
@@ -458,6 +481,7 @@ fn run_cpu_task(config: &EngineConfig, pool: &mut WorkspacePool, job: IonJob) {
         config.cpu_integrator,
         &mut ws,
         &mut partial,
+        config.math,
     );
     pool.release(ws);
     let _ = job.reply.send(IonOutcome {
@@ -549,14 +573,17 @@ fn pump_loop(
         // Steal only with room to hold the reassigned grant; `next`
         // itself only steals once this lane is empty (device idle).
         let can_steal = scheduler.load(DeviceId(d)) < config.max_queue_len;
-        let StagedTask { job, grant } = match staged.next(d, can_steal) {
-            Next::Local(t) => t.item,
+        let (first, was_local) = match staged.next(d, can_steal) {
+            Next::Local(t) => (t.item, true),
             Next::Stolen { victim, task } => match scheduler.reassign(task.item.grant, DeviceId(d))
             {
-                Ok(grant) => StagedTask {
-                    job: task.item.job,
-                    grant,
-                },
+                Ok(grant) => (
+                    StagedTask {
+                        job: task.item.job,
+                        grant,
+                    },
+                    false,
+                ),
                 Err(_) => {
                     // Raced to the bound: hand the task back, settle
                     // one in-flight task (guaranteed progress, no
@@ -570,6 +597,42 @@ fn pump_loop(
             },
             Next::Closed => break,
         };
+
+        // Launch aggregation: a small *local* head task greedily packs
+        // further small local tasks over the same bin table into one
+        // launch (one kernel submission, one D2H copy, one cost-model
+        // charge). Stolen heads never pack — their grant just moved and
+        // the victim's lane, not ours, holds the related backlog.
+        let mut pack: Vec<StagedTask> = vec![first];
+        if was_local && config.pack_threshold > 0 && pack[0].grant.cost < config.pack_threshold {
+            while pack.len() < config.pack_max.max(2) {
+                let Some(t) = staged.try_next_local_under(d, config.pack_threshold) else {
+                    break;
+                };
+                if Arc::ptr_eq(&t.item.job.bins, &pack[0].job.bins) {
+                    pack.push(t.item);
+                } else {
+                    // Different bin table: re-stage it (its grant is
+                    // untouched) and stop packing.
+                    staged.stage(d, t.cost, t.item);
+                    break;
+                }
+            }
+        }
+        if pack.len() > 1 {
+            stats.gpu_tasks += pack.len() as u64;
+            inflight.push_back(aggregated_launch(
+                d, config, scheduler, devices, device, &compute, &copy, pack,
+            ));
+            while inflight.len() >= depth {
+                inflight
+                    .pop_front()
+                    .expect("inflight nonempty by loop guard")
+                    .wait();
+            }
+            continue;
+        }
+        let StagedTask { job, grant } = pack.pop().expect("pack holds the head task");
 
         let ptr = {
             let mut pool = bufs.lock().expect("buffer pool poisoned");
@@ -589,6 +652,7 @@ fn pump_loop(
             config.gpu_precision,
             config.fused,
             config.deterministic_kernel,
+            config.math,
         );
         let handle = compute.submit(device, task);
         let ev = compute.record_event(device);
@@ -645,6 +709,103 @@ fn pump_loop(
     stats
 }
 
+/// Submit one aggregated launch for `pack` (≥ 2 small tasks): every
+/// packed ion's kernel runs sequentially inside **one** compute-stream
+/// submission writing its own region of one fresh device buffer, one
+/// event gates **one** DMA settle, and the settle makes **one**
+/// cost-model charge for the whole pack — amortizing the per-launch
+/// and per-transfer overheads that dominate tiny-ion workloads. The
+/// per-ion operation sequence is exactly the single-task path's, so
+/// Exact-mode partials are bitwise identical with aggregation on or
+/// off; the observed service time is apportioned to each grant by its
+/// cost fraction so the scheduler's seconds-per-unit EWMA stays
+/// calibrated.
+#[allow(clippy::too_many_arguments)]
+fn aggregated_launch(
+    d: usize,
+    config: &EngineConfig,
+    scheduler: &Scheduler,
+    devices: &Arc<Vec<SimGpu>>,
+    device: &SimGpu,
+    compute: &Stream,
+    copy: &Stream,
+    pack: Vec<StagedTask>,
+) -> TaskHandle<()> {
+    // Pooled single-task buffers are sized for one ion's bins; a pack
+    // allocates (and frees, in its settle) one buffer spanning every
+    // packed ion's output slice.
+    let nbins = pack[0].job.bins.len();
+    let ptr = device.malloc(8 * (nbins * pack.len()) as u64).ok();
+    let total_cost: u64 = pack.iter().map(|t| t.grant.cost.max(1)).sum();
+    let bytes_in: u64 = pack
+        .iter()
+        .map(|t| 64 + 16 * (t.job.level_range.end - t.job.level_range.start) as u64)
+        .sum();
+
+    let mut metas = Vec::with_capacity(pack.len());
+    let mut tasks = Vec::with_capacity(pack.len());
+    for StagedTask { job, grant } in pack {
+        tasks.push(kernel_task(
+            &config.db,
+            job.ion_index,
+            job.level_range.clone(),
+            job.point,
+            &job.bins,
+            config.gpu_rule,
+            config.gpu_precision,
+            config.fused,
+            config.deterministic_kernel,
+            config.math,
+        ));
+        metas.push((
+            grant,
+            job.ion_index,
+            job.level_range.start,
+            job.tag,
+            job.reply,
+        ));
+    }
+    let handle = compute.submit(device, move || {
+        tasks
+            .into_iter()
+            .map(|t| t())
+            .collect::<Vec<(Vec<f64>, u64)>>()
+    });
+    let ev = compute.record_event(device);
+    copy.wait_event_dma(device, ev);
+    let settle = {
+        let devices = Arc::clone(devices);
+        let scheduler = scheduler.clone();
+        move || {
+            let results = handle.wait();
+            let device = &devices[d];
+            let bytes_out = ptr.map_or(0, |b| b.bytes);
+            let evals_total: u64 = results.iter().map(|r| r.1).sum();
+            // ONE launch + ONE transfer for the whole pack — the
+            // amortization aggregation buys.
+            let service_s = device.charge_task(evals_total, bytes_in, bytes_out);
+            if let Some(buf) = ptr {
+                device.free(buf);
+            }
+            for ((grant, ion_index, level_start, tag, reply), (partial, evals)) in
+                metas.into_iter().zip(results)
+            {
+                let share = service_s * grant.cost.max(1) as f64 / total_cost as f64;
+                scheduler.free_observed(grant, share);
+                let _ = reply.send(IonOutcome {
+                    ion_index,
+                    level_start,
+                    tag,
+                    partial,
+                    path: ExecPath::Gpu(d),
+                    evals,
+                });
+            }
+        }
+    };
+    copy.submit_dma(device, settle)
+}
+
 /// Build the closure that executes one ion task's kernel on a device
 /// worker: integrand construction, windowing, launch-geometry choice,
 /// and the fused (or seed per-bin) kernel execution. `single_chunk`
@@ -661,6 +822,7 @@ fn kernel_task(
     precision: Precision,
     fused: bool,
     single_chunk: bool,
+    math: MathMode,
 ) -> impl FnOnce() -> (Vec<f64>, u64) + Send + 'static {
     let db = Arc::clone(db);
     let bin_pairs = Arc::clone(bin_pairs);
@@ -681,19 +843,38 @@ fn kernel_task(
         };
         let evals = if fused {
             // Hot path: prepared 24-byte integrands, fused bin runs,
-            // batched exponential-recurrence sampling per bin grid.
+            // batched sampling per bin grid — exponential recurrence in
+            // Exact mode, whole-grid `vexp` in Vector mode.
             let prepared: Vec<PreparedIntegrand> = integrands
                 .iter()
                 .map(rrc_spectral::RrcIntegrand::prepare)
                 .collect();
-            let kernel = FusedBinKernel {
-                integrands: &prepared,
-                bins: &bin_pairs,
-                precision,
-                windows: Some(&windows),
-                rule,
-            };
-            kernel.execute(cfg, &mut emi)
+            match math {
+                MathMode::Exact => {
+                    let kernel = FusedBinKernel {
+                        integrands: &prepared,
+                        bins: &bin_pairs,
+                        precision,
+                        windows: Some(&windows),
+                        rule,
+                        math,
+                    };
+                    kernel.execute(cfg, &mut emi)
+                }
+                MathMode::Vector => {
+                    let vectored: Vec<VectorPrepared> =
+                        prepared.into_iter().map(VectorPrepared).collect();
+                    let kernel = FusedBinKernel {
+                        integrands: &vectored,
+                        bins: &bin_pairs,
+                        precision,
+                        windows: Some(&windows),
+                        rule,
+                        math,
+                    };
+                    kernel.execute(cfg, &mut emi)
+                }
+            }
         } else {
             // Seed path, kept for A/B comparison.
             let closures: Vec<_> = integrands
@@ -740,6 +921,9 @@ mod tests {
             async_window: 1,
             queue_depth: 8,
             deterministic_kernel: true,
+            math: MathMode::Exact,
+            pack_threshold: 0,
+            pack_max: 8,
         }
     }
 
@@ -893,6 +1077,135 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.gpu_tasks, 0);
         assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn aggregated_launches_are_bitwise_invariant_in_exact_mode() {
+        // Property test (tentpole): with the deterministic kernel and a
+        // shared bin rule, turning launch aggregation on must leave
+        // every ion partial bitwise unchanged — across 0, 1 and 2
+        // devices — because packing changes launch/copy *accounting*,
+        // never the per-ion operation sequence. The serial calculator
+        // anchors the reference.
+        let grid = EnergyGrid::linear(50.0, 2000.0, 64);
+        let bins = Arc::new(grid.bin_pairs());
+        let run = |gpus: usize, pack_threshold: u64| -> Vec<Vec<f64>> {
+            let mut cfg = small_config(gpus);
+            cfg.pack_threshold = pack_threshold;
+            cfg.pack_max = 4;
+            let engine = Engine::start(cfg);
+            let ions = engine.config().db.ions().len();
+            let (tx, rx) = channel();
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: ion_index as u64,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .unwrap();
+            }
+            drop(tx);
+            let mut outcomes: Vec<IonOutcome> = rx.iter().collect();
+            outcomes.sort_by_key(|o| o.ion_index);
+            let report = engine.shutdown();
+            assert_eq!(report.leaked_grants, 0, "gpus={gpus} pack={pack_threshold}");
+            outcomes.into_iter().map(|o| o.partial).collect()
+        };
+
+        let db = {
+            let cfg = small_config(0);
+            cfg.db
+        };
+        let serial = SerialCalculator::new(
+            (*db).clone(),
+            grid.clone(),
+            Integrator::Simpson { panels: 64 },
+        );
+        let reference: Vec<Vec<f64>> = (0..db.ions().len())
+            .map(|i| serial.ion_spectrum(i, &point()).bins().to_vec())
+            .collect();
+
+        for gpus in [0usize, 1, 2] {
+            // u64::MAX threshold forces every task under the pack bound.
+            let packed = run(gpus, u64::MAX);
+            let unpacked = run(gpus, 0);
+            for (ion, (p, u)) in packed.iter().zip(&unpacked).enumerate() {
+                for (bin, ((&a, &b), &r)) in p.iter().zip(u.iter()).zip(&reference[ion]).enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "gpus={gpus} ion {ion} bin {bin}: packed vs unpacked"
+                    );
+                    assert_eq!(
+                        b.to_bits(),
+                        r.to_bits(),
+                        "gpus={gpus} ion {ion} bin {bin}: engine vs serial"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_modeled_device_time_on_tiny_tasks() {
+        // Tiny Level-granularity tasks are launch-overhead-bound; the
+        // cost model must show packing amortizing the per-launch and
+        // per-transfer charges (the deterministic gate repro-simd uses).
+        let run = |pack_threshold: u64| -> (f64, u64) {
+            let mut cfg = small_config(1);
+            cfg.workers = 1;
+            cfg.pack_threshold = pack_threshold;
+            cfg.pack_max = 8;
+            // Deep queues so the pump sees real backlog to pack.
+            cfg.max_queue_len = 64;
+            cfg.queue_depth = 64;
+            let engine = Engine::start(cfg);
+            let grid = EnergyGrid::linear(50.0, 2000.0, 16);
+            let bins = Arc::new(grid.bin_pairs());
+            let ions = engine.config().db.ions().len();
+            let (tx, rx) = channel();
+            let mut submitted = 0u64;
+            for round in 0..4u64 {
+                for ion_index in 0..ions {
+                    engine
+                        .submit(IonJob {
+                            ion_index,
+                            level_range: 0..1,
+                            point: point(),
+                            grid: grid.clone(),
+                            bins: Arc::clone(&bins),
+                            tag: round,
+                            reply: tx.clone(),
+                        })
+                        .ok()
+                        .unwrap();
+                    submitted += 1;
+                }
+            }
+            drop(tx);
+            let outcomes: Vec<IonOutcome> = rx.iter().collect();
+            assert_eq!(outcomes.len() as u64, submitted);
+            let report = engine.shutdown();
+            assert_eq!(report.leaked_grants, 0);
+            (report.device_virtual_seconds[0], report.gpu_tasks)
+        };
+        let (packed_s, packed_gpu) = run(u64::MAX);
+        let (unpacked_s, unpacked_gpu) = run(0);
+        // Both configurations must actually use the device; the packed
+        // run must model strictly less busy time per device task.
+        assert!(packed_gpu > 0 && unpacked_gpu > 0);
+        assert!(
+            packed_s / (packed_gpu as f64) < unpacked_s / (unpacked_gpu as f64),
+            "packed {packed_s}s/{packed_gpu} vs unpacked {unpacked_s}s/{unpacked_gpu}"
+        );
     }
 
     #[test]

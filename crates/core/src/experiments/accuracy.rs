@@ -97,6 +97,8 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
         fused: true,
+        math: quadrature::MathMode::Exact,
+        pack_threshold: 0,
     };
     let report = HybridRunner::new(hybrid_cfg).run();
     let hybrid_spectrum = &report.spectra[0];

@@ -21,6 +21,7 @@ use std::time::Instant;
 use atomdb::AtomDatabase;
 use gpu_sim::{DeviceRule, Precision};
 use hybrid_sched::SchedPolicy;
+use quadrature::MathMode;
 use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace, Spectrum};
 
 use crate::engine::{Engine, EngineConfig, IonJob, IonOutcome};
@@ -68,6 +69,16 @@ pub struct HybridConfig {
     /// results agree to within the fused pipeline's `1e-13`-relative
     /// budget.
     pub fused: bool,
+    /// Math mode for the fused kernels and CPU fallback:
+    /// [`MathMode::Exact`] (default) keeps the seed's scalar arithmetic
+    /// bitwise; [`MathMode::Vector`] routes exponentials and the f64
+    /// accumulations through the lane-parallel [`quadrature::simd`]
+    /// layer (max relative deviation ≤ 1e-12).
+    pub math: MathMode,
+    /// Pack staged device tasks with estimated cost strictly below this
+    /// many work units into one aggregated launch (`0` disables; see
+    /// [`crate::engine::EngineConfig::pack_threshold`]).
+    pub pack_threshold: u64,
 }
 
 impl HybridConfig {
@@ -97,6 +108,8 @@ impl HybridConfig {
             cpu_integrator: Integrator::paper_cpu(),
             async_window: 1,
             fused: true,
+            math: MathMode::Exact,
+            pack_threshold: 0,
         }
     }
 }

@@ -80,6 +80,12 @@ pub struct RunSpec {
     /// Use the fused prepared-integrand hot path (default). `false`
     /// selects the legacy per-bin path for A/B comparison.
     pub fused: bool,
+    /// `"exact"` (seed-bitwise scalar math, default) or `"vector"`
+    /// (lane-parallel SIMD exp + accumulation).
+    pub math: String,
+    /// Pack device tasks cheaper than this many cost units into one
+    /// aggregated launch (`0` disables aggregation).
+    pub pack_threshold: u64,
 }
 
 impl Default for RunSpec {
@@ -102,6 +108,8 @@ impl Default for RunSpec {
             precision: "double".to_string(),
             async_window: 1,
             fused: true,
+            math: "exact".to_string(),
+            pack_threshold: 0,
         }
     }
 }
@@ -201,6 +209,12 @@ impl RunSpec {
                 .as_bool()
                 .ok_or_else(|| "'fused' must be a boolean".to_string())?;
         }
+        if let Some(m) = str_field("math")? {
+            spec.math = m.to_string();
+        }
+        if let Some(p) = f64_field("pack_threshold")? {
+            spec.pack_threshold = p as u64;
+        }
 
         // The rule is the one required field: a flattened tagged enum.
         let rule = str_field("rule")?.ok_or("missing required field 'rule'")?;
@@ -239,7 +253,9 @@ impl RunSpec {
             .field("policy", self.policy.as_str())
             .field("precision", self.precision.as_str())
             .field("async_window", self.async_window)
-            .field("fused", self.fused);
+            .field("fused", self.fused)
+            .field("math", self.math.as_str())
+            .field("pack_threshold", self.pack_threshold as f64);
         b = match self.rule {
             RuleSpec::Simpson { panels } => b.field("rule", "simpson").field("panels", panels),
             RuleSpec::Romberg { k } => b.field("rule", "romberg").field("k", k),
@@ -281,6 +297,8 @@ impl RunSpec {
             "single" => Precision::Single,
             other => return Err(format!("precision must be single|double, got '{other}'")),
         };
+        let math = quadrature::MathMode::parse(&self.math)
+            .ok_or_else(|| format!("math must be exact|vector, got '{}'", self.math))?;
         let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
             max_z: self.max_z,
             ..atomdb::DatabaseConfig::default()
@@ -303,6 +321,8 @@ impl RunSpec {
             cpu_integrator: Integrator::paper_cpu(),
             async_window: self.async_window.max(1),
             fused: self.fused,
+            math,
+            pack_threshold: self.pack_threshold,
         })
     }
 }
@@ -366,6 +386,9 @@ mod tests {
         spec.max_z = 99;
         assert!(spec.clone().into_config().unwrap_err().contains("max_z"));
         spec.max_z = 8;
+        spec.math = "fuzzy".into();
+        assert!(spec.clone().into_config().unwrap_err().contains("math"));
+        spec.math = "vector".into();
         spec.temperatures_k.clear();
         assert!(spec.into_config().is_err());
     }
@@ -385,9 +408,26 @@ mod tests {
             let spec = RunSpec {
                 rule,
                 fused: false,
+                math: "vector".to_string(),
+                pack_threshold: 40,
                 ..RunSpec::default()
             };
             assert_eq!(spec, RunSpec::from_json(&spec.to_json()).unwrap());
         }
+    }
+
+    #[test]
+    fn math_and_pack_fields_materialize() {
+        let json = r#"{
+            "max_z": 4,
+            "bins": 16,
+            "math": "vector",
+            "pack_threshold": 25,
+            "rule": "simpson",
+            "panels": 32
+        }"#;
+        let cfg = RunSpec::from_json(json).unwrap().into_config().unwrap();
+        assert_eq!(cfg.math, quadrature::MathMode::Vector);
+        assert_eq!(cfg.pack_threshold, 25);
     }
 }

@@ -15,7 +15,9 @@
 //! chunk table is computed arithmetically per worker instead of being
 //! heap-allocated per launch.
 
-use quadrature::{integrate_bins_sampled, romberg, simpson, BatchSampler, BinRule, GaussLegendre};
+use quadrature::{
+    integrate_bins_sampled_mode, romberg, simpson, BatchSampler, BinRule, GaussLegendre, MathMode,
+};
 
 /// A CUDA-style launch configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -425,6 +427,12 @@ pub struct FusedBinKernel<'a, S> {
     pub windows: Option<&'a [(f64, f64)]>,
     /// Per-bin rule.
     pub rule: DeviceRule,
+    /// Accumulation math: [`MathMode::Exact`] keeps the seed's scalar
+    /// summation order bitwise; [`MathMode::Vector`] runs the f64
+    /// Simpson/Romberg weighted sums lane-parallel. f32 and
+    /// Gauss–Legendre paths ignore the mode (they have no fused f64
+    /// accumulation to vectorize).
+    pub math: MathMode,
 }
 
 impl<S> FusedBinKernel<'_, S>
@@ -448,6 +456,7 @@ where
         let windows = self.windows;
         let rule = self.rule;
         let precision = self.precision;
+        let math = self.math;
         let n = bins.len();
         let threads = cfg.total_threads();
         let base = n / threads;
@@ -468,7 +477,8 @@ where
                 // Private copy: sampling needs `&mut`, the slice is shared.
                 let mut f = *f;
                 let window = windows.map(|w| w[level]);
-                local_evals += integrate_chunk(rule, precision, &mut f, my_bins, window, chunk);
+                local_evals +=
+                    integrate_chunk(rule, precision, math, &mut f, my_bins, window, chunk);
             }
             evals.fetch_add(local_evals, std::sync::atomic::Ordering::Relaxed);
         });
@@ -481,6 +491,7 @@ where
 fn integrate_chunk<S: BatchSampler>(
     rule: DeviceRule,
     precision: Precision,
+    math: MathMode,
     s: &mut S,
     bins: &[(f64, f64)],
     window: Option<(f64, f64)>,
@@ -505,10 +516,10 @@ fn integrate_chunk<S: BatchSampler>(
     let out = &mut out[skip..end];
     match (rule, precision) {
         (DeviceRule::Simpson { panels }, Precision::Double) => {
-            fused_f64(BinRule::Simpson { panels }, s, bins, clamped_lo, out)
+            fused_f64(BinRule::Simpson { panels }, math, s, bins, clamped_lo, out)
         }
         (DeviceRule::Romberg { k }, Precision::Double) => {
-            fused_f64(BinRule::Romberg { k }, s, bins, clamped_lo, out)
+            fused_f64(BinRule::Romberg { k }, math, s, bins, clamped_lo, out)
         }
         (DeviceRule::Simpson { panels }, Precision::Single) => {
             fused_simpson_f32(s, bins, clamped_lo, out, panels)
@@ -542,6 +553,7 @@ fn integrate_chunk<S: BatchSampler>(
 /// [`quadrature::integrate_bins_sampled`].
 fn fused_f64<S: BatchSampler>(
     rule: BinRule,
+    math: MathMode,
     s: &mut S,
     bins: &[(f64, f64)],
     clamped_lo: Option<f64>,
@@ -550,10 +562,10 @@ fn fused_f64<S: BatchSampler>(
     match clamped_lo {
         Some(lo) => {
             let first = [(lo, bins[0].1)];
-            let evals = integrate_bins_sampled(rule, &mut *s, &first, &mut out[..1]);
-            evals + integrate_bins_sampled(rule, &mut *s, &bins[1..], &mut out[1..])
+            let evals = integrate_bins_sampled_mode(rule, &mut *s, &first, &mut out[..1], math);
+            evals + integrate_bins_sampled_mode(rule, &mut *s, &bins[1..], &mut out[1..], math)
         }
-        None => integrate_bins_sampled(rule, s, bins, out),
+        None => integrate_bins_sampled_mode(rule, s, bins, out, math),
     }
 }
 

@@ -147,6 +147,7 @@ fn run_pair(
         precision,
         windows: Some(&windows),
         rule,
+        math: quadrature::MathMode::Exact,
     };
     // Poison the fused buffer: the fused kernel owns initialization.
     let mut fused_emi = vec![f64::NAN; n_bins];
@@ -211,6 +212,7 @@ fn fused_kernel_saves_shared_edges() {
         precision: Precision::Double,
         windows: None,
         rule: DeviceRule::Simpson { panels: 8 },
+        math: quadrature::MathMode::Exact,
     };
     let mut emi = vec![0.0; n_bins];
     let evals = fused.execute(cfg, &mut emi);

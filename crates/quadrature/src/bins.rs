@@ -18,6 +18,7 @@
 //! to a fresh evaluation for that bin's lower node.
 
 use crate::sampler::{BatchSampler, FnSampler};
+use crate::simd::{MathMode, LANES};
 
 /// The composite rule applied per bin by [`integrate_bins`].
 ///
@@ -106,10 +107,28 @@ pub fn integrate_bins_sampled<S: BatchSampler>(
     bins: &[(f64, f64)],
     out: &mut [f64],
 ) -> u64 {
+    integrate_bins_sampled_mode(rule, s, bins, out, MathMode::Exact)
+}
+
+/// [`integrate_bins_sampled`] with an explicit [`MathMode`].
+///
+/// `Exact` is the seed behavior: the scalar accumulation loops, bitwise
+/// identical to the per-bin rules. `Vector` replaces the weighted
+/// accumulation with lane-parallel partial sums (explicit remainder
+/// handling for node counts not divisible by the lane width); per-bin
+/// relative deviation from `Exact` stays ≤ 1e−12 for well-conditioned
+/// integrands — it is a re-association of the same products.
+pub fn integrate_bins_sampled_mode<S: BatchSampler>(
+    rule: BinRule,
+    s: &mut S,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+    math: MathMode,
+) -> u64 {
     assert_eq!(out.len(), bins.len(), "out / bins length mismatch");
     match rule {
-        BinRule::Simpson { panels } => simpson_bins(s, bins, out, panels),
-        BinRule::Romberg { k } => romberg_bins(s, bins, out, k),
+        BinRule::Simpson { panels } => simpson_bins(s, bins, out, panels, math),
+        BinRule::Romberg { k } => romberg_bins(s, bins, out, k, math),
     }
 }
 
@@ -130,11 +149,68 @@ fn simpson_nodes(xs: &mut Vec<f64>, lo: f64, hi: f64, n: usize) {
     xs.push(hi);
 }
 
+/// Lane-parallel weighted sum of the interior Simpson nodes
+/// `vals[1..2n]`. The interior weights alternate `4, 2, 4, 2, …`
+/// starting and ending on `4`, so every aligned chunk of [`LANES`]
+/// nodes sees the constant weight vector `[4, 2, 4, 2]`; the trailing
+/// `(2n − 1) % LANES` nodes get an explicit scalar remainder pass.
+fn simpson_interior_lanes(interior: &[f64]) -> f64 {
+    const W: [f64; LANES] = [4.0, 2.0, 4.0, 2.0];
+    // Two accumulator vectors so the add-latency chains of consecutive
+    // chunks overlap.
+    let mut acc = [0.0f64; LANES];
+    let mut acc2 = [0.0f64; LANES];
+    let mut pairs = interior.chunks_exact(2 * LANES);
+    for pair in &mut pairs {
+        for j in 0..LANES {
+            acc[j] += pair[j] * W[j];
+        }
+        for j in 0..LANES {
+            acc2[j] += pair[LANES + j] * W[j];
+        }
+    }
+    let mut tail = pairs.remainder().chunks_exact(LANES);
+    for chunk in &mut tail {
+        for j in 0..LANES {
+            acc[j] += chunk[j] * W[j];
+        }
+    }
+    // Chunks have even length, so the remainder restarts on weight 4.
+    let mut rem = 0.0;
+    let mut w = 4.0;
+    for &v in tail.remainder() {
+        rem += w * v;
+        w = 6.0 - w;
+    }
+    for j in 0..LANES {
+        acc[j] += acc2[j];
+    }
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + rem
+}
+
+/// Lane-parallel plain sum with a scalar remainder, for the Romberg
+/// midpoint batches.
+fn sum_lanes(vals: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = vals.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for j in 0..LANES {
+            acc[j] += chunk[j];
+        }
+    }
+    let mut rem = 0.0;
+    for &v in chunks.remainder() {
+        rem += v;
+    }
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + rem
+}
+
 fn simpson_bins<S: BatchSampler>(
     s: &mut S,
     bins: &[(f64, f64)],
     out: &mut [f64],
     panels: usize,
+    math: MathMode,
 ) -> u64 {
     let n = panels.max(1);
     let mut evals: u64 = 0;
@@ -156,24 +232,36 @@ fn simpson_bins<S: BatchSampler>(
                 evals += 2 * n as u64 + 1;
             }
         }
-        // The accumulation mirrors `rules::simpson` exactly: endpoints
-        // first, then per panel 4x the midpoint and 2x the interior
-        // node, scaled by h/6.
         let h = (hi - lo) / n as f64;
-        let mut sum = vals[0] + vals[2 * n];
-        for i in 0..n {
-            sum += 4.0 * vals[2 * i + 1];
-            if i + 1 < n {
-                sum += 2.0 * vals[2 * i + 2];
+        let sum = match math {
+            // The accumulation mirrors `rules::simpson` exactly:
+            // endpoints first, then per panel 4x the midpoint and 2x
+            // the interior node, scaled by h/6.
+            MathMode::Exact => {
+                let mut sum = vals[0] + vals[2 * n];
+                for i in 0..n {
+                    sum += 4.0 * vals[2 * i + 1];
+                    if i + 1 < n {
+                        sum += 2.0 * vals[2 * i + 2];
+                    }
+                }
+                sum
             }
-        }
+            MathMode::Vector => vals[0] + vals[2 * n] + simpson_interior_lanes(&vals[1..2 * n]),
+        };
         *slot += sum * h / 6.0;
         edge = Some((hi, vals[2 * n]));
     }
     evals
 }
 
-fn romberg_bins<S: BatchSampler>(s: &mut S, bins: &[(f64, f64)], out: &mut [f64], k: u32) -> u64 {
+fn romberg_bins<S: BatchSampler>(
+    s: &mut S,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+    k: u32,
+    math: MathMode,
+) -> u64 {
     let k = k.clamp(1, 30) as usize;
     let mut evals: u64 = 0;
     let mut edge: Option<(f64, f64)> = None;
@@ -209,10 +297,16 @@ fn romberg_bins<S: BatchSampler>(s: &mut S, bins: &[(f64, f64)], out: &mut [f64]
             }
             vals.resize(panels_before, 0.0);
             s.sample_batch(&xs, &mut vals[..panels_before]);
-            let mut mid_sum = 0.0;
-            for &v in &vals[..panels_before] {
-                mid_sum += v;
-            }
+            let mid_sum = match math {
+                MathMode::Exact => {
+                    let mut mid_sum = 0.0;
+                    for &v in &vals[..panels_before] {
+                        mid_sum += v;
+                    }
+                    mid_sum
+                }
+                MathMode::Vector => sum_lanes(&vals[..panels_before]),
+            };
             evals += panels_before as u64;
             trap = 0.5 * (trap + h * mid_sum);
             row.clear();
@@ -327,6 +421,81 @@ mod tests {
         let mut out: Vec<f64> = Vec::new();
         let evals = integrate_bins(BinRule::Simpson { panels: 8 }, |x| x, &[], &mut out);
         assert_eq!(evals, 0);
+    }
+
+    #[test]
+    fn vector_mode_handles_every_lane_remainder() {
+        // Panel counts chosen so the interior node count 2n-1 covers
+        // every residue mod LANES, plus the paper's 64-panel rule; bin
+        // counts likewise not multiples of the lane width.
+        let f = |x: f64| (-(x * 0.47)).exp() * (x * 1.3).cos();
+        for panels in [1usize, 2, 3, 4, 5, 6, 7, 9, 64] {
+            for bins_n in [1usize, 2, 3, 5, 7, 13] {
+                let bins = grid(0.1, 6.3, bins_n);
+                let mut exact = vec![0.0; bins_n];
+                let mut vector = vec![0.0; bins_n];
+                let rule = BinRule::Simpson { panels };
+                let e1 = integrate_bins_sampled_mode(
+                    rule,
+                    &mut FnSampler(f),
+                    &bins,
+                    &mut exact,
+                    MathMode::Exact,
+                );
+                let e2 = integrate_bins_sampled_mode(
+                    rule,
+                    &mut FnSampler(f),
+                    &bins,
+                    &mut vector,
+                    MathMode::Vector,
+                );
+                assert_eq!(e1, e2, "same nodes regardless of mode");
+                // Exact mode must stay bitwise identical to the
+                // per-bin rule even at odd panel counts...
+                for (i, &(lo, hi)) in bins.iter().enumerate() {
+                    assert_eq!(exact[i], simpson(f, lo, hi, panels).value);
+                    // ...and Vector mode is a re-association of the
+                    // same products: ≤ 1e-12 relative.
+                    let scale = exact[i].abs().max(1e-300);
+                    assert!(
+                        ((vector[i] - exact[i]) / scale).abs() <= 1e-12,
+                        "panels {panels} bins {bins_n} bin {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn romberg_vector_mode_matches_exact_within_budget() {
+        let f = |x: f64| (0.4 * x).exp() + x.sin();
+        // k up to 6 gives midpoint batches of 1,2,4,8,16,32 — both
+        // sub-lane and multi-chunk sizes.
+        for k in [1u32, 2, 3, 4, 5, 6] {
+            let bins = grid(-0.5, 2.5, 7);
+            let mut exact = vec![0.0; 7];
+            let mut vector = vec![0.0; 7];
+            let rule = BinRule::Romberg { k };
+            integrate_bins_sampled_mode(
+                rule,
+                &mut FnSampler(f),
+                &bins,
+                &mut exact,
+                MathMode::Exact,
+            );
+            integrate_bins_sampled_mode(
+                rule,
+                &mut FnSampler(f),
+                &bins,
+                &mut vector,
+                MathMode::Vector,
+            );
+            for (i, (&a, &b)) in exact.iter().zip(&vector).enumerate() {
+                assert_eq!(a, romberg(f, bins[i].0, bins[i].1, k).value);
+                let scale = a.abs().max(1e-300);
+                assert!(((b - a) / scale).abs() <= 1e-12, "k {k} bin {i}");
+            }
+        }
     }
 
     #[test]

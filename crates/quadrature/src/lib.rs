@@ -17,6 +17,10 @@
 //!   staying bitwise identical to the per-bin rules. This is the
 //!   kernel-side hot path (what Algorithm 2's per-thread bin loop
 //!   compiles to).
+//! * [`simd`] — lane-parallel vector math ([`vexp`], a range-reduced
+//!   polynomial exponential with AVX2 runtime dispatch and a portable
+//!   fallback) and the [`MathMode`] switch between the bitwise-exact
+//!   scalar kernels and the vectorized ones.
 //! * [`adaptive`] — a QAGS-style globally adaptive quadrature (interval
 //!   bisection driven by a worst-first heap, Wynn ε-extrapolation), the
 //!   CPU fallback path of the scheduler, mirroring QUADPACK's `QAGS`
@@ -48,18 +52,20 @@ pub mod improper;
 pub mod romberg;
 pub mod rules;
 pub mod sampler;
+pub mod simd;
 pub mod wynn;
 
 mod error;
 
 pub use adaptive::{qags, qags_with, AdaptiveConfig, QagsWorkspace};
-pub use bins::{integrate_bins, integrate_bins_sampled, BinRule};
+pub use bins::{integrate_bins, integrate_bins_sampled, integrate_bins_sampled_mode, BinRule};
 pub use error::{QuadError, QuadResult};
 pub use gauss::GaussLegendre;
 pub use improper::{adaptive_simpson, qagi};
 pub use romberg::romberg;
 pub use rules::{boole, midpoint, simpson, trapezoid, CompositeRule};
 pub use sampler::{BatchSampler, FnSampler};
+pub use simd::{vexp, vexp1, MathMode};
 
 /// Outcome of a quadrature routine: the integral estimate together with an
 /// estimated absolute error.

@@ -77,6 +77,9 @@ impl ServiceConfig {
                 async_window: 1,
                 queue_depth: 2 * workers,
                 deterministic_kernel: true,
+                math: quadrature::MathMode::Exact,
+                pack_threshold: 0,
+                pack_max: 8,
             },
             grids,
             cache_capacity: 4096,

@@ -10,13 +10,14 @@
 
 use atomdb::AtomDatabase;
 use quadrature::{
-    integrate_bins_sampled, qags_with, romberg, simpson, AdaptiveConfig, BinRule, QagsWorkspace,
+    integrate_bins_sampled_mode, qags_with, romberg, simpson, AdaptiveConfig, BatchSampler,
+    BinRule, MathMode, QagsWorkspace,
 };
 
 use crate::grid::EnergyGrid;
 use crate::ionpop::ion_density;
 use crate::params::GridPoint;
-use crate::physics::RrcIntegrand;
+use crate::physics::{RrcIntegrand, VectorPrepared};
 use crate::spectrum::Spectrum;
 
 /// The integration back-end used for each energy-bin integral.
@@ -190,33 +191,82 @@ pub fn emissivity_fused_into(
     bins: &[(f64, f64)],
     out: &mut [f64],
 ) -> u64 {
+    emissivity_fused_into_mode(integrands, kt_ev, rule, bins, out, MathMode::Exact)
+}
+
+/// [`emissivity_fused_into`] with an explicit [`MathMode`].
+///
+/// `Exact` is the seed behavior (recurrence sampler, scalar
+/// accumulation, bitwise reproducible). `Vector` samples every level's
+/// node grids through the lane-parallel [`quadrature::vexp`]
+/// ([`VectorPrepared`]) and accumulates with chunked partial sums —
+/// per-bin relative deviation from `Exact` stays ≤ 1e−12.
+///
+/// # Panics
+/// Panics if `out.len() != bins.len()`.
+pub fn emissivity_fused_into_mode(
+    integrands: &[RrcIntegrand],
+    kt_ev: f64,
+    rule: BinRule,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+    math: MathMode,
+) -> u64 {
     assert_eq!(out.len(), bins.len(), "output slice / bins mismatch");
     let mut integrals = 0u64;
     for integrand in integrands {
-        let mut p = integrand.prepare();
-        let (threshold, cutoff) = level_window(integrand.binding_ev, kt_ev);
-        let (skip, end, clamped_lo) = window_bin_range(bins, threshold, cutoff);
-        if skip >= end {
-            continue;
-        }
-        let mut start = skip;
-        if clamped_lo > bins[skip].0 {
-            // The threshold bin: integrated alone over the clamped
-            // sub-interval, exactly as the per-bin path does.
-            integrate_bins_sampled(
+        let prepared = integrand.prepare();
+        integrals += match math {
+            MathMode::Exact => {
+                fused_level(prepared, integrand.binding_ev, kt_ev, rule, bins, out, math)
+            }
+            MathMode::Vector => fused_level(
+                VectorPrepared(prepared),
+                integrand.binding_ev,
+                kt_ev,
                 rule,
-                &mut p,
-                &[(clamped_lo, bins[skip].1)],
-                std::slice::from_mut(&mut out[skip]),
-            );
-            start += 1;
-        }
-        if start < end {
-            integrate_bins_sampled(rule, &mut p, &bins[start..end], &mut out[start..end]);
-        }
-        integrals += (end - skip) as u64;
+                bins,
+                out,
+                math,
+            ),
+        };
     }
     integrals
+}
+
+/// One level of the fused path, generic over the sampler the math mode
+/// selected.
+fn fused_level<S: BatchSampler>(
+    mut p: S,
+    binding_ev: f64,
+    kt_ev: f64,
+    rule: BinRule,
+    bins: &[(f64, f64)],
+    out: &mut [f64],
+    math: MathMode,
+) -> u64 {
+    let (threshold, cutoff) = level_window(binding_ev, kt_ev);
+    let (skip, end, clamped_lo) = window_bin_range(bins, threshold, cutoff);
+    if skip >= end {
+        return 0;
+    }
+    let mut start = skip;
+    if clamped_lo > bins[skip].0 {
+        // The threshold bin: integrated alone over the clamped
+        // sub-interval, exactly as the per-bin path does.
+        integrate_bins_sampled_mode(
+            rule,
+            &mut p,
+            &[(clamped_lo, bins[skip].1)],
+            std::slice::from_mut(&mut out[skip]),
+            math,
+        );
+        start += 1;
+    }
+    if start < end {
+        integrate_bins_sampled_mode(rule, &mut p, &bins[start..end], &mut out[start..end], math);
+    }
+    (end - skip) as u64
 }
 
 /// Accumulate the RRC emissivity of levels `level_range` of the
@@ -244,6 +294,41 @@ pub fn emissivity_into(
     ws: &mut QagsWorkspace,
     out: &mut [f64],
 ) -> u64 {
+    emissivity_into_mode(
+        db,
+        ion_index,
+        level_range,
+        point,
+        grid,
+        integrator,
+        ws,
+        out,
+        MathMode::Exact,
+    )
+}
+
+/// [`emissivity_into`] with an explicit [`MathMode`].
+///
+/// The mode only touches the fixed-rule fused path; adaptive QAGS stays
+/// scalar in either mode — its node placement is data-dependent (each
+/// bisection decision consumes the previous samples), so there is no
+/// whole-grid batch to hand to the vector layer.
+///
+/// # Panics
+/// Panics if `out.len() != grid.bins()`, `ion_index` is out of range,
+/// or `level_range` exceeds the ion's level list.
+#[allow(clippy::too_many_arguments)]
+pub fn emissivity_into_mode(
+    db: &AtomDatabase,
+    ion_index: usize,
+    level_range: std::ops::Range<usize>,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+    integrator: Integrator,
+    ws: &mut QagsWorkspace,
+    out: &mut [f64],
+    math: MathMode,
+) -> u64 {
     assert_eq!(out.len(), grid.bins(), "output slice / grid mismatch");
     let Some(integrands) = ion_integrands(db, ion_index, level_range, point) else {
         return 0;
@@ -251,7 +336,7 @@ pub fn emissivity_into(
     let kt = point.kt_ev();
     if let Some(rule) = integrator.bin_rule() {
         let bins = grid.bin_pairs();
-        return emissivity_fused_into(&integrands, kt, rule, &bins, out);
+        return emissivity_fused_into_mode(&integrands, kt, rule, &bins, out, math);
     }
     let mut integrals = 0u64;
     for integrand in &integrands {
@@ -323,6 +408,32 @@ pub fn ion_emissivity_into(
 ) -> u64 {
     let levels = db.levels_by_index(ion_index).len();
     emissivity_into(db, ion_index, 0..levels, point, grid, integrator, ws, out)
+}
+
+/// [`ion_emissivity_into`] with an explicit [`MathMode`].
+#[allow(clippy::too_many_arguments)]
+pub fn ion_emissivity_into_mode(
+    db: &AtomDatabase,
+    ion_index: usize,
+    point: &GridPoint,
+    grid: &EnergyGrid,
+    integrator: Integrator,
+    ws: &mut QagsWorkspace,
+    out: &mut [f64],
+    math: MathMode,
+) -> u64 {
+    let levels = db.levels_by_index(ion_index).len();
+    emissivity_into_mode(
+        db,
+        ion_index,
+        0..levels,
+        point,
+        grid,
+        integrator,
+        ws,
+        out,
+        math,
+    )
 }
 
 /// The "original serial APEC": computes the whole spectrum of a grid
@@ -511,6 +622,81 @@ mod tests {
             num / den
         };
         assert!(mean(&hot) > mean(&cold));
+    }
+
+    #[test]
+    fn vector_mode_tracks_exact_within_budget() {
+        // The Vector math mode re-associates sums and swaps libm exp
+        // for vexp: every populated bin must stay within 1e-12
+        // relative of the Exact path, for both fusable rules.
+        let db = small_db();
+        let g = grid();
+        let p = point();
+        for integrator in [Integrator::paper_gpu(), Integrator::Romberg { k: 5 }] {
+            let mut ws = QagsWorkspace::new();
+            let mut exact = vec![0.0; g.bins()];
+            let mut vector = vec![0.0; g.bins()];
+            let mut n_exact = 0;
+            let mut n_vector = 0;
+            for ion in 0..db.ions().len() {
+                n_exact += ion_emissivity_into_mode(
+                    &db,
+                    ion,
+                    &p,
+                    &g,
+                    integrator,
+                    &mut ws,
+                    &mut exact,
+                    MathMode::Exact,
+                );
+                n_vector += ion_emissivity_into_mode(
+                    &db,
+                    ion,
+                    &p,
+                    &g,
+                    integrator,
+                    &mut ws,
+                    &mut vector,
+                    MathMode::Vector,
+                );
+            }
+            assert_eq!(n_exact, n_vector, "same work in either mode");
+            assert!(exact.iter().sum::<f64>() > 0.0);
+            for (i, (&a, &b)) in exact.iter().zip(&vector).enumerate() {
+                let scale = a.abs().max(1e-300);
+                assert!(
+                    ((b - a) / scale).abs() <= 1e-12,
+                    "{integrator:?} bin {i}: {b} vs {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_the_default_bitwise() {
+        // The delegating wrappers must keep today's results untouched.
+        let db = small_db();
+        let g = grid();
+        let p = point();
+        let mut ws = QagsWorkspace::new();
+        let mut a = vec![0.0; g.bins()];
+        let mut b = vec![0.0; g.bins()];
+        for ion in 0..db.ions().len() {
+            ion_emissivity_into(&db, ion, &p, &g, Integrator::paper_gpu(), &mut ws, &mut a);
+            ion_emissivity_into_mode(
+                &db,
+                ion,
+                &p,
+                &g,
+                Integrator::paper_gpu(),
+                &mut ws,
+                &mut b,
+                MathMode::Exact,
+            );
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

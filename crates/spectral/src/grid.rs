@@ -14,9 +14,49 @@ pub struct EnergyGrid {
     max_ev: f64,
     bins: usize,
     log_spaced: bool,
+    /// The `bins + 1` edge values, materialized once at construction.
+    /// Log-spaced grids used to recompute `min_ev.ln()` / `max_ev.ln()`
+    /// (and an `exp`) on *every* edge call; now [`EnergyGrid::edge`] is
+    /// a table lookup with the same bit patterns.
+    edges: Vec<f64>,
+    /// `ln(min_ev)` and `ln(max_ev) - ln(min_ev)`, cached for
+    /// [`EnergyGrid::locate`] (zeros on linear grids, never read).
+    ln_min: f64,
+    ln_span: f64,
 }
 
 impl EnergyGrid {
+    fn build(min_ev: f64, max_ev: f64, bins: usize, log_spaced: bool) -> EnergyGrid {
+        // These cached values are exactly the subexpressions the seed
+        // evaluated per edge call, so the table entries are bitwise
+        // identical to what `edge()` used to return.
+        let ln_min = if log_spaced { min_ev.ln() } else { 0.0 };
+        let ln_span = if log_spaced {
+            max_ev.ln() - min_ev.ln()
+        } else {
+            0.0
+        };
+        let edges = (0..=bins)
+            .map(|i| {
+                let t = i as f64 / bins as f64;
+                if log_spaced {
+                    (ln_min + t * ln_span).exp()
+                } else {
+                    min_ev + t * (max_ev - min_ev)
+                }
+            })
+            .collect();
+        EnergyGrid {
+            min_ev,
+            max_ev,
+            bins,
+            log_spaced,
+            edges,
+            ln_min,
+            ln_span,
+        }
+    }
+
     /// A linear grid of `bins` bins over `[min_ev, max_ev]`.
     ///
     /// # Panics
@@ -28,12 +68,7 @@ impl EnergyGrid {
             "bad energy range [{min_ev}, {max_ev}]"
         );
         assert!(bins > 0, "grid needs at least one bin");
-        EnergyGrid {
-            min_ev,
-            max_ev,
-            bins,
-            log_spaced: false,
-        }
+        EnergyGrid::build(min_ev, max_ev, bins, false)
     }
 
     /// A logarithmic grid of `bins` bins over `[min_ev, max_ev]`
@@ -49,12 +84,7 @@ impl EnergyGrid {
             "bad energy range [{min_ev}, {max_ev}]"
         );
         assert!(bins > 0, "grid needs at least one bin");
-        EnergyGrid {
-            min_ev,
-            max_ev,
-            bins,
-            log_spaced: true,
-        }
+        EnergyGrid::build(min_ev, max_ev, bins, true)
     }
 
     /// The grid covering the paper's plotted wavelength range, 10–45 Å
@@ -82,16 +112,12 @@ impl EnergyGrid {
         self.max_ev
     }
 
-    /// The `i`-th bin edge, `i` in `0..=bins`.
+    /// The `i`-th bin edge, `i` in `0..=bins` — a lookup into the table
+    /// built at construction.
     #[must_use]
     pub fn edge(&self, i: usize) -> f64 {
         debug_assert!(i <= self.bins);
-        let t = i as f64 / self.bins as f64;
-        if self.log_spaced {
-            (self.min_ev.ln() + t * (self.max_ev.ln() - self.min_ev.ln())).exp()
-        } else {
-            self.min_ev + t * (self.max_ev - self.min_ev)
-        }
+        self.edges[i]
     }
 
     /// The `(lo, hi)` edges of bin `i`, `i` in `0..bins`.
@@ -143,7 +169,7 @@ impl EnergyGrid {
             return None;
         }
         let t = if self.log_spaced {
-            (energy_ev.ln() - self.min_ev.ln()) / (self.max_ev.ln() - self.min_ev.ln())
+            (energy_ev.ln() - self.ln_min) / self.ln_span
         } else {
             (energy_ev - self.min_ev) / (self.max_ev - self.min_ev)
         };
@@ -214,6 +240,22 @@ mod tests {
         for i in 0..4 {
             let wl = g.center_angstrom(i);
             assert!((wl * g.center_ev(i) - HC_EV_ANGSTROM).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edge_table_matches_the_seed_formula_bitwise() {
+        // The table must reproduce exactly what the per-call formula
+        // used to return, or every downstream bitwise-parity guarantee
+        // (shared bin edges, windowing) silently shifts.
+        let lin = EnergyGrid::linear(3.25, 47.5, 29);
+        let log = EnergyGrid::logarithmic(0.75, 99.5, 29);
+        for i in 0..=29usize {
+            let t = i as f64 / 29f64;
+            let lin_want = 3.25 + t * (47.5 - 3.25);
+            let log_want = (0.75f64.ln() + t * (99.5f64.ln() - 0.75f64.ln())).exp();
+            assert_eq!(lin.edge(i).to_bits(), lin_want.to_bits(), "linear edge {i}");
+            assert_eq!(log.edge(i).to_bits(), log_want.to_bits(), "log edge {i}");
         }
     }
 

@@ -34,15 +34,17 @@ pub fn cie_fractions(z: u8, temperature_k: f64) -> Vec<f64> {
         return out;
     }
     let log_t = temperature_k.log10();
-    let mut total = 0.0;
+    // Fill the Gaussian arguments -d²/2 for every stage, then take all
+    // the exponentials in one lane-parallel `vexp` pass (this loop used
+    // to pay one scalar `exp` per stage).
     for (charge, slot) in out.iter_mut().enumerate() {
         let stage = IonStage::new(z, charge as u8).expect("charge <= z");
         let peak = formation_temperature_k(stage).log10();
         let d = (log_t - peak) / PEAK_WIDTH_DEX;
-        let w = (-0.5 * d * d).exp();
-        *slot = w;
-        total += w;
+        *slot = -0.5 * d * d;
     }
+    quadrature::vexp(&mut out);
+    let total: f64 = out.iter().sum();
     if total <= f64::MIN_POSITIVE {
         // Far outside every peak: everything in the extreme stage.
         let idx = if log_t > formation_temperature_k(IonStage::new(z, z).expect("valid")).log10() {
@@ -131,6 +133,36 @@ mod tests {
         let d3 = dominant(5e8);
         assert!(d1 <= d2 && d2 <= d3);
         assert!(d3 > d1);
+    }
+
+    #[test]
+    fn batched_weights_match_scalar_exp_reference() {
+        // The vexp batch must reproduce the seed's per-stage scalar
+        // `(-0.5 d²).exp()` pipeline within the vector error budget.
+        for z in [1u8, 2, 6, 8, 14, 26, 30] {
+            for t in [3e3, 1e5, 2.5e6, 1e7, 4e8, 1e9] {
+                let got = cie_fractions(z, t);
+                // Scalar reference, same arithmetic up to the `exp`.
+                let log_t = t.log10();
+                let weights: Vec<f64> = (0..=z)
+                    .map(|charge| {
+                        let stage = IonStage::new(z, charge).expect("charge <= z");
+                        let peak = formation_temperature_k(stage).log10();
+                        let d = (log_t - peak) / PEAK_WIDTH_DEX;
+                        (-0.5 * d * d).exp()
+                    })
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                for (charge, (&g, &w)) in got.iter().zip(&weights).enumerate() {
+                    let want = w / total;
+                    let scale = want.abs().max(1e-300);
+                    assert!(
+                        ((g - want) / scale).abs() <= 1e-12,
+                        "z={z} t={t} charge={charge}: {g} vs {want}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,14 +29,15 @@ pub mod response;
 pub mod spectrum;
 
 pub use calculator::{
-    emissivity_fused_into, emissivity_into, emissivity_per_bin_into, ion_emissivity_into,
-    ion_integrands, level_window, window_bin_range, Integrator, SerialCalculator,
+    emissivity_fused_into, emissivity_fused_into_mode, emissivity_into, emissivity_into_mode,
+    emissivity_per_bin_into, ion_emissivity_into, ion_emissivity_into_mode, ion_integrands,
+    level_window, window_bin_range, Integrator, SerialCalculator,
 };
 pub use grid::EnergyGrid;
 pub use ionpop::cie_fractions;
 pub use lines::{full_spectrum, ion_lines_into, lines_for_ion, Line};
 pub use params::{GridPoint, ParameterSpace};
-pub use physics::{PreparedIntegrand, RrcIntegrand};
+pub use physics::{PreparedIntegrand, RrcIntegrand, VectorPrepared};
 pub use response::InstrumentResponse;
 pub use spectrum::{ErrorHistogram, Spectrum};
 

@@ -42,6 +42,8 @@ fn main() {
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
         fused: true,
+        math: hybridspec::quadrature::MathMode::Exact,
+        pack_threshold: 0,
     };
     println!(
         "computing {} survey spectra on {} ranks / {} simulated GPUs...",

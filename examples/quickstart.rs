@@ -47,6 +47,8 @@ fn main() {
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
         fused: true,
+        math: hybridspec::quadrature::MathMode::Exact,
+        pack_threshold: 0,
     };
     let report = HybridRunner::new(config).run();
     println!(

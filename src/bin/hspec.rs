@@ -66,7 +66,8 @@ fn print_usage() {
 USAGE:
   hspec spectrum [--temp K] [--density CM3] [--bins N] [--max-z Z]
                  [--ranks N] [--gpus N] [--qlen N] [--lines true]
-                 [--policy cost-aware|paper-count] [--out FILE.tsv]
+                 [--policy cost-aware|paper-count] [--math exact|vector]
+                 [--pack-threshold COST] [--out FILE.tsv]
   hspec predict  [--gpus N] [--qlen N] [--granularity ion|level]
                  [--romberg-k K] [--async-window N]
   hspec tune     [--gpus N]
@@ -118,6 +119,10 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
     let qlen: u64 = args.get("qlen", 6)?;
     let with_lines: bool = args.get("lines", false)?;
     let out: String = args.get("out", String::new())?;
+    let pack_threshold: u64 = args.get("pack-threshold", 0)?;
+    let math_raw = args.get("math", "exact".to_string())?;
+    let math = hybridspec::quadrature::MathMode::parse(&math_raw)
+        .ok_or_else(|| format!("--math must be exact|vector, got '{math_raw}'"))?;
     let policy = match args.get("policy", "cost-aware".to_string())?.as_str() {
         "cost-aware" => hybridspec::sched::SchedPolicy::CostAware,
         "paper-count" => hybridspec::sched::SchedPolicy::PaperCount,
@@ -151,6 +156,8 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 1,
         fused: true,
+        math,
+        pack_threshold,
     };
     let report = HybridRunner::new(config).run();
     let mut spectrum = report.spectra.into_iter().next().expect("one point");

@@ -38,6 +38,8 @@ fn sedov_to_folded_counts() {
         cpu_integrator: Integrator::paper_cpu(),
         async_window: 2,
         fused: true,
+        math: hybridspec::quadrature::MathMode::Exact,
+        pack_threshold: 0,
     };
     let report = HybridRunner::new(config).run();
     assert_eq!(report.spectra.len(), 4);
