@@ -1,0 +1,451 @@
+//! Regenerate `BENCH_chaos.json`: acceptance gates for the fault
+//! ladder — deterministic fault injection, bounded retries, health
+//! quarantine, and graceful degradation to the CPU path.
+//!
+//! Four trials, every one against the same workload (every ion of a
+//! reduced database, several waves, deterministic single-chunk
+//! kernel):
+//!
+//! 1. **Baseline** — fault-free run; its sorted outcome bits are the
+//!    reference every chaos trial must reproduce exactly.
+//! 2. **Rate sweep** — seeded mixed fault plans (launch errors, kernel
+//!    panics, DMA errors, stalls) at rates up to 30%. Gates per rate:
+//!    100% completion, bitwise parity with the baseline, zero leaked
+//!    grants, per-task attempts within the configured retry bound.
+//! 3. **Sticky loss** — one of two devices dies for good mid-run.
+//!    Gates: 100% completion, parity, the lost device ends
+//!    quarantined.
+//! 4. **Quarantine cycle** — a flapping device fails its first
+//!    launches, quarantines, and must earn its way back through
+//!    probation to `Healthy`. Gate: at least one full
+//!    `Quarantined → Probation → Healthy` cycle observed.
+//!
+//! `--smoke` shrinks the workload and the sweep for CI; every gate
+//! stays asserted and the JSON is still written.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use gpu_sim::{DeviceRule, FaultKind, FaultOp, FaultPlan, Precision};
+use hybrid_sched::{HealthConfig, HealthState, SchedPolicy};
+use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
+use hybrid_spectral::ResilienceConfig;
+use jsonlite::ObjectBuilder;
+use quadrature::MathMode;
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator};
+
+fn point() -> GridPoint {
+    GridPoint {
+        temperature_k: 1.0e7,
+        density_cm3: 1.0,
+        time_s: 0.0,
+        index: 0,
+    }
+}
+
+fn engine_config(
+    db: &Arc<AtomDatabase>,
+    gpus: usize,
+    resilience: ResilienceConfig,
+) -> EngineConfig {
+    EngineConfig {
+        db: Arc::clone(db),
+        workers: 3,
+        gpus,
+        max_queue_len: 4,
+        policy: SchedPolicy::CostAware,
+        gpu_rule: DeviceRule::Simpson { panels: 64 },
+        gpu_precision: Precision::Double,
+        cpu_integrator: Integrator::Simpson { panels: 64 },
+        fused: true,
+        async_window: 1,
+        queue_depth: 8,
+        deterministic_kernel: true,
+        math: MathMode::Exact,
+        pack_threshold: 0,
+        pack_max: 8,
+        resilience,
+    }
+}
+
+/// Microsecond-scale backoff so the sweep spends its time computing,
+/// not sleeping.
+fn fast_ladder() -> ResilienceConfig {
+    ResilienceConfig {
+        backoff: Duration::from_micros(20),
+        backoff_cap: Duration::from_micros(200),
+        ..ResilienceConfig::default()
+    }
+}
+
+/// Submit every ion `waves` times, collect all outcomes sorted
+/// (wave, ion) so runs are comparable position-by-position.
+fn run_all_ions(engine: &Engine, grid: &EnergyGrid, waves: u64) -> Vec<IonOutcome> {
+    let bins = Arc::new(grid.bin_pairs());
+    let ions = engine.config().db.ions().len();
+    let (tx, rx) = channel();
+    for wave in 0..waves {
+        for ion_index in 0..ions {
+            let levels = engine.config().db.levels_by_index(ion_index).len();
+            let accepted = engine.submit(IonJob {
+                ion_index,
+                level_range: 0..levels,
+                point: point(),
+                grid: grid.clone(),
+                bins: Arc::clone(&bins),
+                tag: wave,
+                reply: tx.clone(),
+            });
+            assert!(accepted.is_ok(), "engine accepts while live");
+        }
+    }
+    drop(tx);
+    let mut outcomes: Vec<IonOutcome> = rx.iter().collect();
+    outcomes.sort_by_key(|o| (o.tag, o.ion_index));
+    outcomes
+}
+
+/// Position-by-position bitwise comparison against the baseline run.
+fn bitwise_equal(outcomes: &[IonOutcome], baseline: &[IonOutcome]) -> bool {
+    outcomes.len() == baseline.len()
+        && outcomes.iter().zip(baseline).all(|(a, b)| {
+            a.ion_index == b.ion_index
+                && a.partial.len() == b.partial.len()
+                && a.partial
+                    .iter()
+                    .zip(&b.partial)
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+struct Trial {
+    label: String,
+    answered: u64,
+    expected: u64,
+    parity: bool,
+    report: EngineReport,
+    retry_bound: u64,
+}
+
+impl Trial {
+    fn completion_pass(&self) -> bool {
+        self.answered == self.expected
+    }
+    fn leak_pass(&self) -> bool {
+        self.report.leaked_grants == 0
+    }
+    fn retry_pass(&self) -> bool {
+        self.report.max_task_attempts <= self.retry_bound
+    }
+    fn pass(&self) -> bool {
+        self.completion_pass() && self.parity && self.leak_pass() && self.retry_pass()
+    }
+
+    fn json(&self) -> jsonlite::Value {
+        let r = &self.report;
+        ObjectBuilder::new()
+            .field("label", self.label.as_str())
+            .field("answered", self.answered)
+            .field("expected", self.expected)
+            .field("bitwise_parity", self.parity)
+            .field("gpu_tasks", r.gpu_tasks)
+            .field("cpu_tasks", r.cpu_tasks)
+            .field("leaked_grants", r.leaked_grants)
+            .field("task_faults", r.task_faults)
+            .field("task_retries", r.task_retries)
+            .field("task_timeouts", r.task_timeouts)
+            .field("fault_cpu_fallbacks", r.fault_cpu_fallbacks)
+            .field("max_task_attempts", r.max_task_attempts)
+            .field("retry_bound", self.retry_bound)
+            .field("worker_panics", r.worker_panics)
+            .field("quarantines", r.quarantines)
+            .field("probations", r.probations)
+            .field("recoveries", r.recoveries)
+            .field(
+                "device_health",
+                r.device_health
+                    .iter()
+                    .map(|h| format!("{h:?}"))
+                    .collect::<Vec<_>>(),
+            )
+            .field("pass", self.pass())
+            .build()
+    }
+}
+
+/// Run one chaos trial and gate it against the baseline.
+fn trial(
+    label: String,
+    db: &Arc<AtomDatabase>,
+    gpus: usize,
+    resilience: ResilienceConfig,
+    grid: &EnergyGrid,
+    waves: u64,
+    baseline: &[IonOutcome],
+) -> Trial {
+    let retry_bound = u64::from(resilience.max_retries) + 1;
+    let engine = Engine::start(engine_config(db, gpus, resilience));
+    let outcomes = run_all_ions(&engine, grid, waves);
+    let report = engine.shutdown();
+    let expected = waves * db.ions().len() as u64;
+    let t = Trial {
+        parity: bitwise_equal(&outcomes, baseline),
+        answered: outcomes.len() as u64,
+        expected,
+        report,
+        retry_bound,
+        label,
+    };
+    eprintln!(
+        "  {:<18} answered {}/{}  parity {}  faults {}  retries {}  cpu-fallbacks {}  \
+         attempts {}/{}  leaked {}",
+        t.label,
+        t.answered,
+        t.expected,
+        t.parity,
+        t.report.task_faults,
+        t.report.task_retries,
+        t.report.fault_cpu_fallbacks,
+        t.report.max_task_attempts,
+        t.retry_bound,
+        t.report.leaked_grants,
+    );
+    assert!(
+        t.completion_pass(),
+        "{}: answered {}/{}",
+        t.label,
+        t.answered,
+        t.expected
+    );
+    assert!(
+        t.parity,
+        "{}: bitwise parity vs fault-free baseline",
+        t.label
+    );
+    assert!(
+        t.leak_pass(),
+        "{}: leaked {} grants",
+        t.label,
+        t.report.leaked_grants
+    );
+    assert!(
+        t.retry_pass(),
+        "{}: attempts {} exceed bound {}",
+        t.label,
+        t.report.max_task_attempts,
+        t.retry_bound
+    );
+    t
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (max_z, bins, waves): (u8, usize, u64) = if smoke { (5, 32, 2) } else { (8, 64, 3) };
+    let rates: Vec<f64> = if smoke {
+        vec![0.10, 0.30]
+    } else {
+        vec![0.05, 0.10, 0.20, 0.30]
+    };
+    let db = Arc::new(AtomDatabase::generate(DatabaseConfig {
+        max_z,
+        ..DatabaseConfig::default()
+    }));
+    let grid = EnergyGrid::linear(50.0, 2000.0, bins);
+
+    // -- 1. fault-free baseline -------------------------------------------
+    eprintln!("baseline (fault-free) ...");
+    let engine = Engine::start(engine_config(&db, 2, ResilienceConfig::default()));
+    let baseline = run_all_ions(&engine, &grid, waves);
+    let baseline_report = engine.shutdown();
+    assert_eq!(baseline.len() as u64, waves * db.ions().len() as u64);
+    assert_eq!(baseline_report.leaked_grants, 0);
+
+    // -- 2. fault-rate sweep ----------------------------------------------
+    eprintln!("fault-rate sweep {rates:?} ...");
+    let mut sweep: Vec<Trial> = Vec::new();
+    for &rate in &rates {
+        let mut resilience = fast_ladder();
+        resilience.faults = (0..2)
+            .map(|d| {
+                FaultPlan::seeded(101 + d)
+                    .launch_error_rate(rate)
+                    .kernel_panic_rate(rate / 2.0)
+                    .dma_error_rate(rate / 2.0)
+                    .stall_rate(rate / 4.0, 1)
+            })
+            .collect();
+        sweep.push(trial(
+            format!("rate={rate:.2}"),
+            &db,
+            2,
+            resilience,
+            &grid,
+            waves,
+            &baseline,
+        ));
+    }
+
+    // -- 3. sticky device loss --------------------------------------------
+    eprintln!("sticky loss of device 1 of 2 ...");
+    let mut resilience = fast_ladder();
+    resilience.faults = vec![FaultPlan::default(), FaultPlan::default().lose_device_at(4)];
+    let sticky = trial(
+        "sticky-loss".into(),
+        &db,
+        2,
+        resilience,
+        &grid,
+        waves,
+        &baseline,
+    );
+    let sticky_lost = sticky.report.device_faults[1].lost;
+    let sticky_quarantined = sticky.report.device_health[1] == HealthState::Quarantined;
+    assert!(sticky_lost, "device 1 must be sticky-lost");
+    assert!(sticky_quarantined, "a lost device stays quarantined");
+
+    // -- 4. quarantine → probation → healthy cycle -------------------------
+    eprintln!("quarantine/probation cycle ...");
+    let mut resilience = fast_ladder();
+    resilience.health = HealthConfig {
+        degraded_after: 1,
+        quarantine_after: 2,
+        probation_cooldown: Duration::from_millis(2),
+        probation_successes: 1,
+        ..HealthConfig::default()
+    };
+    resilience.faults = vec![
+        FaultPlan::default()
+            .fire_at(FaultOp::Launch, 0, FaultKind::LaunchError)
+            .fire_at(FaultOp::Launch, 1, FaultKind::LaunchError),
+        FaultPlan::default(),
+    ];
+    let retry_bound = u64::from(resilience.max_retries) + 1;
+    let engine = Engine::start(engine_config(&db, 2, resilience));
+    let mut cycle_answered = 0u64;
+    let mut cycle_waves = 0u64;
+    // Keep feeding single waves (with the cooldown lapsing in between)
+    // until the ladder reports a full recovery, bounded at 25 rounds.
+    for _ in 0..25 {
+        cycle_answered += run_all_ions(&engine, &grid, 1).len() as u64;
+        cycle_waves += 1;
+        std::thread::sleep(Duration::from_millis(4));
+        let snap = engine.scheduler_snapshot();
+        if snap.recoveries >= 1 && cycle_waves >= 2 {
+            break;
+        }
+    }
+    let cycle_report = engine.shutdown();
+    let cycle_expected = cycle_waves * db.ions().len() as u64;
+    let cycle_pass = cycle_report.quarantines >= 1
+        && cycle_report.probations >= 1
+        && cycle_report.recoveries >= 1
+        && cycle_answered == cycle_expected
+        && cycle_report.leaked_grants == 0;
+    eprintln!(
+        "  cycle: waves {cycle_waves}  quarantines {}  probations {}  recoveries {}",
+        cycle_report.quarantines, cycle_report.probations, cycle_report.recoveries
+    );
+    assert!(
+        cycle_pass,
+        "full quarantine cycle not observed: {cycle_report:?}"
+    );
+
+    // -- bundle -------------------------------------------------------------
+    let all_retries_bounded = sweep.iter().all(Trial::retry_pass)
+        && sticky.retry_pass()
+        && cycle_report.max_task_attempts <= retry_bound;
+    let all_leak_free = sweep.iter().all(Trial::leak_pass)
+        && sticky.leak_pass()
+        && baseline_report.leaked_grants == 0
+        && cycle_report.leaked_grants == 0;
+    let sweep_parity = sweep.iter().all(|t| t.parity);
+
+    let bundle = ObjectBuilder::new()
+        .field("smoke", smoke)
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("max_z", u64::from(max_z))
+                .field("bins", bins as u64)
+                .field("waves", waves)
+                .field("ions", db.ions().len() as u64)
+                .field("gpus", 2u64)
+                .field("fault_rates", rates.clone())
+                .field(
+                    "kernel",
+                    "deterministic single-chunk, Simpson 64 both paths",
+                )
+                .build(),
+        )
+        .field(
+            "baseline",
+            ObjectBuilder::new()
+                .field("answered", baseline.len() as u64)
+                .field("gpu_tasks", baseline_report.gpu_tasks)
+                .field("cpu_tasks", baseline_report.cpu_tasks)
+                .field("leaked_grants", baseline_report.leaked_grants)
+                .build(),
+        )
+        .field("sweep", sweep.iter().map(Trial::json).collect::<Vec<_>>())
+        .field("sticky_loss", sticky.json())
+        .field(
+            "quarantine_cycle",
+            ObjectBuilder::new()
+                .field("waves", cycle_waves)
+                .field("answered", cycle_answered)
+                .field("expected", cycle_expected)
+                .field("quarantines", cycle_report.quarantines)
+                .field("probations", cycle_report.probations)
+                .field("recoveries", cycle_report.recoveries)
+                .field("leaked_grants", cycle_report.leaked_grants)
+                .field("pass", cycle_pass)
+                .build(),
+        )
+        .field(
+            "gates",
+            ObjectBuilder::new()
+                .field(
+                    "bitwise_parity_all_rates",
+                    ObjectBuilder::new().field("pass", sweep_parity).build(),
+                )
+                .field(
+                    "completion_under_sticky_loss",
+                    ObjectBuilder::new()
+                        .field("answered", sticky.answered)
+                        .field("expected", sticky.expected)
+                        .field("device_lost", sticky_lost)
+                        .field("device_quarantined", sticky_quarantined)
+                        .field("pass", sticky.pass() && sticky_lost && sticky_quarantined)
+                        .build(),
+                )
+                .field(
+                    "zero_leaked_grants",
+                    ObjectBuilder::new().field("pass", all_leak_free).build(),
+                )
+                .field(
+                    "bounded_retries",
+                    ObjectBuilder::new()
+                        .field("pass", all_retries_bounded)
+                        .build(),
+                )
+                .field(
+                    "full_quarantine_cycle",
+                    ObjectBuilder::new().field("pass", cycle_pass).build(),
+                )
+                .build(),
+        )
+        .build();
+
+    let path = "BENCH_chaos.json";
+    std::fs::write(path, bundle.to_pretty()).expect("write results");
+    println!("wrote {path}");
+    println!(
+        "chaos acceptance: parity at all {} rates, sticky-loss completion {}/{}, \
+         zero leaked grants, retries bounded, full quarantine cycle observed",
+        sweep.len(),
+        sticky.answered,
+        sticky.expected,
+    );
+}

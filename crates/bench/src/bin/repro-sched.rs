@@ -245,6 +245,7 @@ fn engine_parity(policy: SchedPolicy, max_z: u8, bins: usize) -> EngineRun {
         math: quadrature::MathMode::Exact,
         pack_threshold: 0,
         pack_max: 8,
+        resilience: hybrid_spectral::ResilienceConfig::default(),
     });
     let ions = db.ions().len();
     let (tx, rx) = channel();

@@ -101,6 +101,7 @@ fn engine_config(db: &Arc<AtomDatabase>, gpus: usize, pack_threshold: u64) -> En
         math: MathMode::Exact,
         pack_threshold,
         pack_max: 8,
+        resilience: hybrid_spectral::ResilienceConfig::default(),
     }
 }
 

@@ -55,15 +55,20 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use atomdb::AtomDatabase;
 use gpu_sim::{
-    BinIntegrationKernel, DevicePtr, DeviceRule, FusedBinKernel, LaunchConfig, Precision, SimGpu,
-    Stream, TaskHandle,
+    BinIntegrationKernel, DeviceFault, DevicePtr, DeviceRule, FaultCounters, FusedBinKernel,
+    LaunchConfig, Precision, SimGpu, Stream, TaskHandle,
 };
-use hybrid_sched::{DeviceId, Grant, Next, SchedPolicy, Scheduler, SchedulerSnapshot, StealQueues};
+use hybrid_sched::{
+    DeviceId, Grant, HealthState, Next, SchedPolicy, Scheduler, SchedulerSnapshot, StealQueues,
+};
 use mpi_sim::{BoundedQueue, TryPushError};
 use quadrature::MathMode;
 use rrc_spectral::{
@@ -73,6 +78,7 @@ use rrc_spectral::{
 
 use crate::cost::ion_task_cost;
 use crate::pool::WorkspacePool;
+use crate::resilience::{FaultStats, ResilienceConfig};
 use crate::runtime::HybridConfig;
 
 /// Configuration of a resident engine.
@@ -124,6 +130,10 @@ pub struct EngineConfig {
     /// Upper bound on tasks per aggregated launch (floor 2 when
     /// aggregation is enabled).
     pub pack_max: usize,
+    /// Fault injection, retry/backoff, deadline-watchdog and
+    /// device-health configuration. [`ResilienceConfig::default`] is
+    /// the fault-free production shape.
+    pub resilience: ResilienceConfig,
 }
 
 impl EngineConfig {
@@ -148,6 +158,7 @@ impl EngineConfig {
             math: cfg.math,
             pack_threshold: cfg.pack_threshold,
             pack_max: 8,
+            resilience: cfg.resilience.clone(),
         }
     }
 }
@@ -213,12 +224,14 @@ pub struct IonOutcome {
 struct StagedTask {
     job: IonJob,
     grant: Grant,
+    /// Launch attempts that already failed (0 on first staging); the
+    /// recovery ladder bounds this by `resilience.max_retries`.
+    attempts: u32,
 }
 
-/// Counters one worker or pump accumulates over its lifetime.
+/// Counters one worker accumulates over its lifetime.
 #[derive(Debug, Default, Clone, Copy)]
 struct WorkerStats {
-    gpu_tasks: u64,
     cpu_tasks: u64,
     workspaces_created: u64,
     workspace_acquisitions: u64,
@@ -250,6 +263,37 @@ pub struct EngineReport {
     /// nonzero value means queue capacity leaked (also debug-asserted
     /// by the scheduler's drop).
     pub leaked_grants: u64,
+    /// Device-task failures the recovery ladder handled (launch
+    /// refusals, kernel panics, DMA failures, deadline overruns).
+    pub task_faults: u64,
+    /// Retry attempts issued (same-device re-stage or cross-device
+    /// reassignment).
+    pub task_retries: u64,
+    /// Failures classified as deadline overruns by the settle watchdog.
+    pub task_timeouts: u64,
+    /// Tasks released to the host QAGS path after the ladder ran out of
+    /// device options.
+    pub fault_cpu_fallbacks: u64,
+    /// Highest launch-attempt count any single task consumed — bounded
+    /// by `resilience.max_retries + 1`.
+    pub max_task_attempts: u64,
+    /// Engine threads (workers or pumps) that died to a panic. The
+    /// drain survives these; nonzero means a bug worth chasing.
+    pub worker_panics: u64,
+    /// Per-device count of device tasks that panicked on a device
+    /// worker (injected kernel panics land here).
+    pub device_panics: Vec<u64>,
+    /// Per-device injected-fault counters from each device's
+    /// [`gpu_sim::FaultInjector`].
+    pub device_faults: Vec<FaultCounters>,
+    /// Final health state of every device.
+    pub device_health: Vec<HealthState>,
+    /// Healthy/Degraded → Quarantined transitions over the run.
+    pub quarantines: u64,
+    /// Quarantined → Probation re-admissions over the run.
+    pub probations: u64,
+    /// Probation → Healthy recoveries over the run.
+    pub recoveries: u64,
 }
 
 /// The resident engine handle. Submit [`IonJob`]s from any number of
@@ -261,7 +305,8 @@ pub struct Engine {
     scheduler: Scheduler,
     devices: Arc<Vec<SimGpu>>,
     workers: Vec<std::thread::JoinHandle<WorkerStats>>,
-    pumps: Vec<std::thread::JoinHandle<WorkerStats>>,
+    pumps: Vec<std::thread::JoinHandle<()>>,
+    fault_stats: Arc<FaultStats>,
 }
 
 impl Engine {
@@ -271,10 +316,21 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Engine {
         let devices: Arc<Vec<SimGpu>> = Arc::new(
             (0..config.gpus)
-                .map(|_| SimGpu::new(gpu_sim::DeviceProps::tesla_c2075()))
+                .map(|d| {
+                    SimGpu::with_faults(
+                        gpu_sim::DeviceProps::tesla_c2075(),
+                        config.resilience.plan_for(d),
+                    )
+                })
                 .collect(),
         );
-        let scheduler = Scheduler::with_policy(config.gpus, config.max_queue_len, config.policy);
+        let scheduler = Scheduler::with_health(
+            config.gpus,
+            config.max_queue_len,
+            config.policy,
+            config.resilience.health,
+        );
+        let fault_stats = Arc::new(FaultStats::default());
         let queue: BoundedQueue<IonJob> = BoundedQueue::new(config.queue_depth.max(1));
         let staged: StealQueues<StagedTask> = StealQueues::new(config.gpus);
         let workers = (0..config.workers.max(1))
@@ -295,9 +351,12 @@ impl Engine {
                 let staged = staged.clone();
                 let devices = Arc::clone(&devices);
                 let config = config.clone();
+                let fault_stats = Arc::clone(&fault_stats);
                 std::thread::Builder::new()
                     .name(format!("engine-pump-{d}"))
-                    .spawn(move || pump_loop(d, &config, &scheduler, &staged, &devices))
+                    .spawn(move || {
+                        pump_loop(d, &config, &scheduler, &staged, &devices, &fault_stats)
+                    })
                     .expect("spawn engine pump")
             })
             .collect();
@@ -309,6 +368,7 @@ impl Engine {
             devices,
             workers,
             pumps,
+            fault_stats,
         }
     }
 
@@ -422,26 +482,32 @@ impl Engine {
         // Order matters: close the job queue and join workers first, so
         // no new tasks can be staged; then close the staging lanes and
         // join pumps (they drain every remaining staged task, stealing
-        // across lanes if needed).
+        // across lanes if needed). A panicked thread is counted, not
+        // propagated — shutdown must complete even mid-fault.
         self.queue.close();
         let mut totals = WorkerStats::default();
+        let mut worker_panics = 0u64;
         for handle in self.workers.drain(..) {
-            let stats = handle.join().expect("engine worker panicked");
-            totals.gpu_tasks += stats.gpu_tasks;
-            totals.cpu_tasks += stats.cpu_tasks;
-            totals.workspaces_created += stats.workspaces_created;
-            totals.workspace_acquisitions += stats.workspace_acquisitions;
+            match handle.join() {
+                Ok(stats) => {
+                    totals.cpu_tasks += stats.cpu_tasks;
+                    totals.workspaces_created += stats.workspaces_created;
+                    totals.workspace_acquisitions += stats.workspace_acquisitions;
+                }
+                Err(_) => worker_panics += 1,
+            }
         }
         self.staged.close();
         for handle in self.pumps.drain(..) {
-            let stats = handle.join().expect("engine pump panicked");
-            totals.gpu_tasks += stats.gpu_tasks;
-            totals.cpu_tasks += stats.cpu_tasks;
+            if handle.join().is_err() {
+                worker_panics += 1;
+            }
         }
         let snap = self.scheduler.snapshot();
+        let fs = &self.fault_stats;
         EngineReport {
-            gpu_tasks: totals.gpu_tasks,
-            cpu_tasks: totals.cpu_tasks,
+            gpu_tasks: fs.gpu_completions.load(Ordering::Relaxed),
+            cpu_tasks: totals.cpu_tasks + fs.cpu_fallbacks.load(Ordering::Relaxed),
             device_history: snap.histories,
             device_virtual_seconds: self
                 .devices
@@ -454,6 +520,18 @@ impl Engine {
             workspaces_created: totals.workspaces_created,
             workspace_acquisitions: totals.workspace_acquisitions,
             leaked_grants: self.scheduler.in_flight(),
+            task_faults: fs.task_faults.load(Ordering::Relaxed),
+            task_retries: fs.task_retries.load(Ordering::Relaxed),
+            task_timeouts: fs.task_timeouts.load(Ordering::Relaxed),
+            fault_cpu_fallbacks: fs.cpu_fallbacks.load(Ordering::Relaxed),
+            max_task_attempts: fs.max_attempts.load(Ordering::Relaxed),
+            worker_panics,
+            device_panics: self.devices.iter().map(SimGpu::tasks_panicked).collect(),
+            device_faults: self.devices.iter().map(|g| g.faults().counters()).collect(),
+            device_health: snap.health,
+            quarantines: snap.quarantines,
+            probations: snap.probations,
+            recoveries: snap.recoveries,
         }
     }
 }
@@ -494,6 +572,83 @@ fn run_cpu_task(config: &EngineConfig, pool: &mut WorkspacePool, job: IonJob) {
     });
 }
 
+/// [`run_cpu_task`] callable from any engine thread — pump loops and
+/// DMA settles alike reach it when the recovery ladder falls through
+/// to the host path; each thread keeps its own workspace pool.
+fn fallback_cpu_task(config: &EngineConfig, job: IonJob) {
+    thread_local! {
+        static POOL: std::cell::RefCell<WorkspacePool> =
+            std::cell::RefCell::new(WorkspacePool::new());
+    }
+    POOL.with(|pool| run_cpu_task(config, &mut pool.borrow_mut(), job));
+}
+
+/// Record one device failure in the health ladder: sticky loss
+/// quarantines permanently, anything transient feeds the
+/// consecutive-failure and error-rate thresholds.
+fn note_device_failure(scheduler: &Scheduler, d: usize, fault: DeviceFault) {
+    if fault == DeviceFault::Lost {
+        scheduler.health().mark_lost(d);
+    } else {
+        scheduler.health().record_failure(d);
+    }
+}
+
+/// The recovery ladder for one failed device task: bounded exponential
+/// backoff, then reassignment to another placement-eligible device
+/// (exact grant accounting via [`Scheduler::reassign`]), then a
+/// same-device re-stage if this device may still receive work, then
+/// [`Scheduler::release_to_cpu`] and the host QAGS path. Runs on pump
+/// threads (launch refusals) and DMA settles (kernel/DMA/deadline
+/// failures) alike.
+fn recover_or_fallback(
+    mut task: StagedTask,
+    from: usize,
+    config: &EngineConfig,
+    scheduler: &Scheduler,
+    staged: &StealQueues<StagedTask>,
+    fault_stats: &FaultStats,
+) {
+    let res = &config.resilience;
+    let failures = task.attempts + 1; // the attempt that just failed
+    fault_stats.note_attempts(failures);
+    FaultStats::bump(&fault_stats.task_faults);
+    if failures <= res.max_retries {
+        std::thread::sleep(res.backoff_for(failures));
+        task.attempts = failures;
+        // Prefer moving the grant to a *different* eligible device —
+        // retrying in place is pointless against a sticky loss and
+        // counter-productive against a sick device.
+        for t in (0..scheduler.devices())
+            .filter(|&t| t != from && scheduler.device_eligible(DeviceId(t)))
+        {
+            match scheduler.reassign(task.grant, DeviceId(t)) {
+                Ok(grant) => {
+                    task.grant = grant;
+                    FaultStats::bump(&fault_stats.task_retries);
+                    staged.stage(t, grant.cost, task);
+                    return;
+                }
+                Err(grant) => task.grant = grant,
+            }
+        }
+        if scheduler.device_eligible(DeviceId(from)) {
+            FaultStats::bump(&fault_stats.task_retries);
+            staged.stage(from, task.grant.cost, task);
+            return;
+        }
+    }
+    // Ladder exhausted (or no device will take the task): drop the
+    // grant from device accounting and run on the host. With the
+    // fallback disabled (ladder tests only) the reply sender drops
+    // unsent and the caller observes a missing outcome.
+    scheduler.release_to_cpu(task.grant);
+    if res.cpu_fallback_on_fault {
+        FaultStats::bump(&fault_stats.cpu_fallbacks);
+        fallback_cpu_task(config, task.job);
+    }
+}
+
 fn worker_loop(
     config: &EngineConfig,
     queue: &BoundedQueue<IonJob>,
@@ -512,7 +667,15 @@ fn worker_loop(
         );
         match scheduler.alloc_cost(cost) {
             Some(grant) => {
-                staged.stage(grant.device.0, cost, StagedTask { job, grant });
+                staged.stage(
+                    grant.device.0,
+                    cost,
+                    StagedTask {
+                        job,
+                        grant,
+                        attempts: 0,
+                    },
+                );
             }
             None => {
                 // All device queues full. Before burning this CPU on
@@ -525,7 +688,15 @@ fn worker_loop(
                     scheduler.release_to_cpu(heavy.item.grant);
                     match scheduler.alloc_cost(cost) {
                         Some(grant) => {
-                            staged.stage(grant.device.0, cost, StagedTask { job, grant });
+                            staged.stage(
+                                grant.device.0,
+                                cost,
+                                StagedTask {
+                                    job,
+                                    grant,
+                                    attempts: 0,
+                                },
+                            );
                         }
                         None => {
                             run_cpu_task(config, &mut pool, job);
@@ -551,14 +722,24 @@ fn worker_loop(
 /// task — copy-back accounting, grant free with the observed service
 /// time, reply delivery — on the DMA copy stream so it overlaps the
 /// next launch.
+///
+/// Every fault point of the simulated device routes through here: a
+/// launch refusal is caught before submission, a kernel panic or
+/// injected stall surfaces in the settle's [`TaskHandle::wait_result`]
+/// (the device worker catches the unwind), a DMA failure or deadline
+/// overrun is detected by the settle itself — and all of them feed
+/// [`recover_or_fallback`]. The pump never exits while its own settles
+/// are in flight, because a settle may re-stage a retry; in closed
+/// mode [`StealQueues::next`] hands leftovers from *any* lane to any
+/// surviving pump, so retries staged during shutdown still drain.
 fn pump_loop(
     d: usize,
     config: &EngineConfig,
     scheduler: &Scheduler,
     staged: &StealQueues<StagedTask>,
     devices: &Arc<Vec<SimGpu>>,
-) -> WorkerStats {
-    let mut stats = WorkerStats::default();
+    fault_stats: &Arc<FaultStats>,
+) {
     let device = &devices[d];
     let compute = Stream::new();
     let copy = Stream::new();
@@ -570,9 +751,12 @@ fn pump_loop(
     let mut inflight: VecDeque<TaskHandle<()>> = VecDeque::new();
 
     loop {
-        // Steal only with room to hold the reassigned grant; `next`
-        // itself only steals once this lane is empty (device idle).
-        let can_steal = scheduler.load(DeviceId(d)) < config.max_queue_len;
+        // Steal only with room to hold the reassigned grant — and only
+        // while this device may receive work at all (a quarantined or
+        // lost device must not pull tasks toward itself); `next` itself
+        // only steals once this lane is empty (device idle).
+        let can_steal = scheduler.load(DeviceId(d)) < config.max_queue_len
+            && scheduler.device_eligible(DeviceId(d));
         let (first, was_local) = match staged.next(d, can_steal) {
             Next::Local(t) => (t.item, true),
             Next::Stolen { victim, task } => match scheduler.reassign(task.item.grant, DeviceId(d))
@@ -581,6 +765,7 @@ fn pump_loop(
                     StagedTask {
                         job: task.item.job,
                         grant,
+                        attempts: task.item.attempts,
                     },
                     false,
                 ),
@@ -590,13 +775,29 @@ fn pump_loop(
                     // spin), and look again.
                     staged.stage(victim, task.cost, task.item);
                     if let Some(h) = inflight.pop_front() {
-                        h.wait();
+                        let _ = h.wait_result();
                     }
                     continue;
                 }
             },
-            Next::Closed => break,
+            Next::Closed => {
+                // A settle may still re-stage a retry: wait one out and
+                // look again; exit only with nothing left in flight.
+                if let Some(h) = inflight.pop_front() {
+                    let _ = h.wait_result();
+                    continue;
+                }
+                break;
+            }
         };
+
+        // Fault point 1 — kernel launch refusal (or sticky loss),
+        // caught before anything is submitted.
+        if let Err(fault) = device.faults().check_launch() {
+            note_device_failure(scheduler, d, fault);
+            recover_or_fallback(first, d, config, scheduler, staged, fault_stats);
+            continue;
+        }
 
         // Launch aggregation: a small *local* head task greedily packs
         // further small local tasks over the same bin table into one
@@ -620,19 +821,28 @@ fn pump_loop(
             }
         }
         if pack.len() > 1 {
-            stats.gpu_tasks += pack.len() as u64;
             inflight.push_back(aggregated_launch(
-                d, config, scheduler, devices, device, &compute, &copy, pack,
+                d,
+                config,
+                scheduler,
+                devices,
+                device,
+                &compute,
+                &copy,
+                pack,
+                staged,
+                fault_stats,
             ));
             while inflight.len() >= depth {
-                inflight
+                let _ = inflight
                     .pop_front()
                     .expect("inflight nonempty by loop guard")
-                    .wait();
+                    .wait_result();
             }
             continue;
         }
-        let StagedTask { job, grant } = pack.pop().expect("pack holds the head task");
+        let task = pack.pop().expect("pack holds the head task");
+        let (job, grant, attempts) = (task.job, task.grant, task.attempts);
 
         let ptr = {
             let mut pool = bufs.lock().expect("buffer pool poisoned");
@@ -641,8 +851,11 @@ fn pump_loop(
         };
         let bytes_in = 64 + 16 * (job.level_range.end - job.level_range.start) as u64;
 
-        // Launch the kernel in the compute stream.
-        let task = kernel_task(
+        // Launch the kernel in the compute stream. Fault point 2 rides
+        // inside the closure: `fire_kernel` injects panics (caught by
+        // the device worker — the settle sees `TaskError::Lost`) and
+        // transient stalls (the settle's deadline watchdog sees those).
+        let kernel = kernel_task(
             &config.db,
             job.ion_index,
             job.level_range.clone(),
@@ -654,7 +867,12 @@ fn pump_loop(
             config.deterministic_kernel,
             config.math,
         );
-        let handle = compute.submit(device, task);
+        let injector = device.faults().clone();
+        let handle = compute.submit(device, move || {
+            injector.fire_kernel();
+            kernel()
+        });
+        let launched_at = Instant::now();
         let ev = compute.record_event(device);
 
         // Settle on the copy stream's DMA lane: gated on the kernel's
@@ -663,50 +881,101 @@ fn pump_loop(
         let settle = {
             let devices = Arc::clone(devices);
             let scheduler = scheduler.clone();
+            let staged = staged.clone();
+            let config = config.clone();
+            let fault_stats = Arc::clone(fault_stats);
             let bufs = Arc::clone(&bufs);
-            let level_start = job.level_range.start;
-            let ion_index = job.ion_index;
-            let tag = job.tag;
-            let reply = job.reply;
             move || {
-                let (partial, evals) = handle.wait();
+                let result = handle.wait_result();
                 let device = &devices[d];
                 let bytes_out = ptr.map_or(0, |b| b.bytes);
                 if let Some(buf) = ptr {
-                    bufs.lock().expect("buffer pool poisoned").push(buf);
+                    bufs.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(buf);
                 }
-                let service_s = device.charge_task(evals, bytes_in, bytes_out);
-                // Free with the modeled service time: the per-device
-                // seconds-per-unit EWMA self-calibrates from completions.
-                scheduler.free_observed(grant, service_s);
-                let _ = reply.send(IonOutcome {
-                    ion_index,
-                    level_start,
-                    tag,
-                    partial,
-                    path: ExecPath::Gpu(d),
-                    evals,
-                });
+                // Watchdog: the deadline is measured from launch and
+                // enforced here — injected stalls are finite, so the
+                // settle always runs; a late result is discarded and
+                // the task retried. Fault point 3 is the copy-back.
+                let timed_out = config
+                    .resilience
+                    .task_deadline
+                    .is_some_and(|dl| launched_at.elapsed() > dl);
+                let dma_fault = if result.is_ok() && !timed_out {
+                    device.faults().check_dma().err()
+                } else {
+                    None
+                };
+                match result {
+                    Ok((partial, evals)) if !timed_out && dma_fault.is_none() => {
+                        scheduler.health().record_success(d);
+                        FaultStats::bump(&fault_stats.gpu_completions);
+                        let service_s = device.charge_task(evals, bytes_in, bytes_out);
+                        // Free with the modeled service time: the
+                        // per-device seconds-per-unit EWMA
+                        // self-calibrates from completions.
+                        scheduler.free_observed(grant, service_s);
+                        let _ = job.reply.send(IonOutcome {
+                            ion_index: job.ion_index,
+                            level_start: job.level_range.start,
+                            tag: job.tag,
+                            partial,
+                            path: ExecPath::Gpu(d),
+                            evals,
+                        });
+                    }
+                    result => {
+                        if result.is_err() {
+                            // Kernel panic — or the whole device went.
+                            let fault = if device.faults().is_lost() {
+                                DeviceFault::Lost
+                            } else {
+                                DeviceFault::LaunchFailed
+                            };
+                            note_device_failure(&scheduler, d, fault);
+                        } else if timed_out {
+                            FaultStats::bump(&fault_stats.task_timeouts);
+                            scheduler.health().record_failure(d);
+                        } else if let Some(fault) = dma_fault {
+                            note_device_failure(&scheduler, d, fault);
+                        }
+                        recover_or_fallback(
+                            StagedTask {
+                                job,
+                                grant,
+                                attempts,
+                            },
+                            d,
+                            &config,
+                            &scheduler,
+                            &staged,
+                            &fault_stats,
+                        );
+                    }
+                }
             }
         };
         inflight.push_back(copy.submit_dma(device, settle));
-        stats.gpu_tasks += 1;
         while inflight.len() >= depth {
-            inflight
+            let _ = inflight
                 .pop_front()
                 .expect("inflight nonempty by loop guard")
-                .wait();
+                .wait_result();
         }
     }
     // Drain every outstanding settle (frees every grant).
     while let Some(h) = inflight.pop_front() {
-        h.wait();
+        let _ = h.wait_result();
     }
     // Return pooled device buffers to the arena.
-    for ptr in bufs.lock().expect("buffer pool poisoned").drain(..) {
+    for ptr in bufs
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+    {
         device.free(ptr);
     }
-    stats
 }
 
 /// Submit one aggregated launch for `pack` (≥ 2 small tasks): every
@@ -730,6 +999,8 @@ fn aggregated_launch(
     compute: &Stream,
     copy: &Stream,
     pack: Vec<StagedTask>,
+    staged: &StealQueues<StagedTask>,
+    fault_stats: &Arc<FaultStats>,
 ) -> TaskHandle<()> {
     // Pooled single-task buffers are sized for one ion's bins; a pack
     // allocates (and frees, in its settle) one buffer spanning every
@@ -742,9 +1013,9 @@ fn aggregated_launch(
         .map(|t| 64 + 16 * (t.job.level_range.end - t.job.level_range.start) as u64)
         .sum();
 
-    let mut metas = Vec::with_capacity(pack.len());
     let mut tasks = Vec::with_capacity(pack.len());
-    for StagedTask { job, grant } in pack {
+    for member in &pack {
+        let job = &member.job;
         tasks.push(kernel_task(
             &config.db,
             job.ion_index,
@@ -757,49 +1028,97 @@ fn aggregated_launch(
             config.deterministic_kernel,
             config.math,
         ));
-        metas.push((
-            grant,
-            job.ion_index,
-            job.level_range.start,
-            job.tag,
-            job.reply,
-        ));
     }
+    // Each packed ion gets its own kernel fault decision, and its own
+    // unwind boundary: one injected panic fails that member alone, not
+    // the whole pack.
+    let injector = device.faults().clone();
     let handle = compute.submit(device, move || {
         tasks
             .into_iter()
-            .map(|t| t())
-            .collect::<Vec<(Vec<f64>, u64)>>()
+            .map(|t| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    injector.fire_kernel();
+                    t()
+                }))
+                .ok()
+            })
+            .collect::<Vec<Option<(Vec<f64>, u64)>>>()
     });
+    let launched_at = Instant::now();
     let ev = compute.record_event(device);
     copy.wait_event_dma(device, ev);
     let settle = {
         let devices = Arc::clone(devices);
         let scheduler = scheduler.clone();
+        let staged = staged.clone();
+        let config = config.clone();
+        let fault_stats = Arc::clone(fault_stats);
         move || {
-            let results = handle.wait();
+            // The whole submission only errors if the device worker
+            // itself died; per-member panics were caught inside.
+            let results = handle.wait_result().unwrap_or_default();
             let device = &devices[d];
             let bytes_out = ptr.map_or(0, |b| b.bytes);
-            let evals_total: u64 = results.iter().map(|r| r.1).sum();
+            let timed_out = config
+                .resilience
+                .task_deadline
+                .is_some_and(|dl| launched_at.elapsed() > dl);
+            // One physical copy-back for the whole pack: a DMA fault
+            // (or deadline overrun) fails every member.
+            let dma_fault = if timed_out {
+                None
+            } else {
+                device.faults().check_dma().err()
+            };
+            if timed_out {
+                FaultStats::bump(&fault_stats.task_timeouts);
+                scheduler.health().record_failure(d);
+            } else if let Some(fault) = dma_fault {
+                note_device_failure(&scheduler, d, fault);
+            }
+            let evals_total: u64 = results
+                .iter()
+                .map(|r| r.as_ref().map_or(0, |(_, evals)| *evals))
+                .sum();
             // ONE launch + ONE transfer for the whole pack — the
             // amortization aggregation buys.
             let service_s = device.charge_task(evals_total, bytes_in, bytes_out);
             if let Some(buf) = ptr {
                 device.free(buf);
             }
-            for ((grant, ion_index, level_start, tag, reply), (partial, evals)) in
-                metas.into_iter().zip(results)
-            {
-                let share = service_s * grant.cost.max(1) as f64 / total_cost as f64;
-                scheduler.free_observed(grant, share);
-                let _ = reply.send(IonOutcome {
-                    ion_index,
-                    level_start,
-                    tag,
-                    partial,
-                    path: ExecPath::Gpu(d),
-                    evals,
-                });
+            let mut results = results.into_iter();
+            for member in pack {
+                let outcome = results.next().flatten();
+                match outcome {
+                    Some((partial, evals)) if !timed_out && dma_fault.is_none() => {
+                        scheduler.health().record_success(d);
+                        FaultStats::bump(&fault_stats.gpu_completions);
+                        let share = service_s * member.grant.cost.max(1) as f64 / total_cost as f64;
+                        scheduler.free_observed(member.grant, share);
+                        let _ = member.job.reply.send(IonOutcome {
+                            ion_index: member.job.ion_index,
+                            level_start: member.job.level_range.start,
+                            tag: member.job.tag,
+                            partial,
+                            path: ExecPath::Gpu(d),
+                            evals,
+                        });
+                    }
+                    outcome => {
+                        if outcome.is_none() && !timed_out && dma_fault.is_none() {
+                            // This member's kernel panicked (the pack's
+                            // other fault classes were noted above).
+                            let fault = if device.faults().is_lost() {
+                                DeviceFault::Lost
+                            } else {
+                                DeviceFault::LaunchFailed
+                            };
+                            note_device_failure(&scheduler, d, fault);
+                        }
+                        recover_or_fallback(member, d, &config, &scheduler, &staged, &fault_stats);
+                    }
+                }
             }
         }
     };
@@ -924,6 +1243,7 @@ mod tests {
             math: MathMode::Exact,
             pack_threshold: 0,
             pack_max: 8,
+            resilience: ResilienceConfig::default(),
         }
     }
 

@@ -99,6 +99,7 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
         fused: true,
         math: quadrature::MathMode::Exact,
         pack_threshold: 0,
+        resilience: crate::resilience::ResilienceConfig::default(),
     };
     let report = HybridRunner::new(hybrid_cfg).run();
     let hybrid_spectrum = &report.spectra[0];

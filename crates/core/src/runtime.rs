@@ -25,6 +25,7 @@ use quadrature::MathMode;
 use rrc_spectral::{EnergyGrid, Integrator, ParameterSpace, Spectrum};
 
 use crate::engine::{Engine, EngineConfig, IonJob, IonOutcome};
+use crate::resilience::ResilienceConfig;
 use crate::task::Granularity;
 
 /// Configuration of a real hybrid run.
@@ -79,6 +80,10 @@ pub struct HybridConfig {
     /// many work units into one aggregated launch (`0` disables; see
     /// [`crate::engine::EngineConfig::pack_threshold`]).
     pub pack_threshold: u64,
+    /// Fault injection, retry/backoff and device-health configuration
+    /// (see [`crate::resilience::ResilienceConfig`]; the default is
+    /// fault-free).
+    pub resilience: ResilienceConfig,
 }
 
 impl HybridConfig {
@@ -110,6 +115,7 @@ impl HybridConfig {
             fused: true,
             math: MathMode::Exact,
             pack_threshold: 0,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -140,6 +146,17 @@ pub struct RunReport {
     /// task); `workspace_acquisitions - workspaces_created` is the
     /// number of allocations the pooling avoided.
     pub workspace_acquisitions: u64,
+    /// Device-task failures the engine's recovery ladder handled
+    /// (zero on a fault-free run).
+    pub task_faults: u64,
+    /// Retry attempts the ladder issued.
+    pub task_retries: u64,
+    /// Tasks released to the host path after the ladder ran out.
+    pub fault_cpu_fallbacks: u64,
+    /// Final per-device health states.
+    pub device_health: Vec<hybrid_sched::HealthState>,
+    /// Healthy/Degraded → Quarantined transitions over the run.
+    pub quarantines: u64,
 }
 
 impl RunReport {
@@ -249,6 +266,11 @@ impl HybridRunner {
             device_peak_memory: report.device_peak_memory,
             workspaces_created: report.workspaces_created,
             workspace_acquisitions: report.workspace_acquisitions,
+            task_faults: report.task_faults,
+            task_retries: report.task_retries,
+            fault_cpu_fallbacks: report.fault_cpu_fallbacks,
+            device_health: report.device_health,
+            quarantines: report.quarantines,
         }
     }
 }

@@ -323,6 +323,7 @@ impl RunSpec {
             fused: self.fused,
             math,
             pack_threshold: self.pack_threshold,
+            resilience: crate::resilience::ResilienceConfig::default(),
         })
     }
 }

@@ -1,0 +1,330 @@
+//! Chaos tests: the engine under deterministic fault injection.
+//!
+//! The contract being proven: **faults change placement and timing,
+//! never numerics or completeness**. With the deterministic kernel and
+//! a shared bin rule, every ion partial must stay bitwise identical to
+//! the fault-free [`SerialCalculator`] reference no matter which
+//! injected launch refusals, kernel panics, stalls, DMA failures or
+//! sticky device losses fire — and every submitted task must be
+//! answered, with zero leaked scheduler grants, even while devices
+//! quarantine and retries bounce between lanes mid-shutdown.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gpu_sim::{DeviceRule, FaultKind, FaultOp, FaultPlan, Precision};
+use hybrid_sched::{HealthConfig, HealthState};
+use hybrid_spectral::engine::{Engine, EngineConfig, IonJob, IonOutcome};
+use hybrid_spectral::resilience::ResilienceConfig;
+use hybrid_spectral::SchedPolicy;
+use quadrature::MathMode;
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator, SerialCalculator};
+
+fn point() -> GridPoint {
+    GridPoint {
+        temperature_k: 1.0e7,
+        density_cm3: 1.0,
+        time_s: 0.0,
+        index: 0,
+    }
+}
+
+fn chaos_config(gpus: usize, resilience: ResilienceConfig) -> EngineConfig {
+    let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
+        max_z: 6,
+        ..atomdb::DatabaseConfig::default()
+    });
+    EngineConfig {
+        db: Arc::new(db),
+        workers: 3,
+        gpus,
+        max_queue_len: 4,
+        policy: SchedPolicy::CostAware,
+        gpu_rule: DeviceRule::Simpson { panels: 64 },
+        gpu_precision: Precision::Double,
+        cpu_integrator: Integrator::Simpson { panels: 64 },
+        fused: true,
+        async_window: 1,
+        queue_depth: 8,
+        deterministic_kernel: true,
+        math: MathMode::Exact,
+        pack_threshold: 0,
+        pack_max: 8,
+        resilience,
+    }
+}
+
+/// Fast ladder settings so tests spend microseconds, not milliseconds,
+/// in backoff sleeps.
+fn fast_ladder() -> ResilienceConfig {
+    ResilienceConfig {
+        backoff: Duration::from_micros(20),
+        backoff_cap: Duration::from_micros(200),
+        ..ResilienceConfig::default()
+    }
+}
+
+/// Submit every ion of the engine's database `waves` times and collect
+/// all outcomes, sorted (wave, ion) for deterministic comparison.
+fn run_all_ions(engine: &Engine, grid: &EnergyGrid, waves: u64) -> Vec<IonOutcome> {
+    let bins = Arc::new(grid.bin_pairs());
+    let ions = engine.config().db.ions().len();
+    let (tx, rx) = channel();
+    for wave in 0..waves {
+        for ion_index in 0..ions {
+            let levels = engine.config().db.levels_by_index(ion_index).len();
+            engine
+                .submit(IonJob {
+                    ion_index,
+                    level_range: 0..levels,
+                    point: point(),
+                    grid: grid.clone(),
+                    bins: Arc::clone(&bins),
+                    tag: wave,
+                    reply: tx.clone(),
+                })
+                .ok()
+                .expect("engine accepts while live");
+        }
+    }
+    drop(tx);
+    let mut outcomes: Vec<IonOutcome> = rx.iter().collect();
+    outcomes.sort_by_key(|o| (o.tag, o.ion_index));
+    outcomes
+}
+
+fn serial_reference(config: &EngineConfig, grid: &EnergyGrid) -> Vec<Vec<f64>> {
+    let serial = SerialCalculator::new(
+        (*config.db).clone(),
+        grid.clone(),
+        Integrator::Simpson { panels: 64 },
+    );
+    (0..config.db.ions().len())
+        .map(|i| serial.ion_spectrum(i, &point()).bins().to_vec())
+        .collect()
+}
+
+fn assert_bitwise(outcomes: &[IonOutcome], reference: &[Vec<f64>], label: &str) {
+    for outcome in outcomes {
+        let expect = &reference[outcome.ion_index];
+        assert_eq!(outcome.partial.len(), expect.len(), "{label}");
+        for (bin, (&got, &want)) in outcome.partial.iter().zip(expect).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{label}: ion {} bin {bin} diverged ({got:e} vs {want:e}, path {:?})",
+                outcome.ion_index,
+                outcome.path,
+            );
+        }
+    }
+}
+
+#[test]
+fn random_fault_schedules_preserve_bitwise_parity_and_accounting() {
+    // Property sweep: seeded random fault schedules × device counts ×
+    // policies. Whatever fires, every task completes, every partial is
+    // bitwise the serial reference, and scheduler accounting drains to
+    // exactly zero.
+    let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+    for seed in [11u64, 29] {
+        for gpus in [0usize, 1, 2] {
+            for policy in [SchedPolicy::CostAware, SchedPolicy::PaperCount] {
+                let mut resilience = fast_ladder();
+                resilience.faults = (0..gpus)
+                    .map(|d| {
+                        FaultPlan::seeded(seed.wrapping_mul(31).wrapping_add(d as u64))
+                            .launch_error_rate(0.15)
+                            .kernel_panic_rate(0.10)
+                            .dma_error_rate(0.10)
+                            .stall_rate(0.05, 1)
+                    })
+                    .collect();
+                let mut cfg = chaos_config(gpus, resilience);
+                cfg.policy = policy;
+                let engine = Engine::start(cfg);
+                let ions = engine.config().db.ions().len();
+                let reference = serial_reference(engine.config(), &grid);
+                let label = format!("seed={seed} gpus={gpus} policy={policy:?}");
+
+                let outcomes = run_all_ions(&engine, &grid, 2);
+                assert_eq!(outcomes.len(), 2 * ions, "{label}: every task answered");
+                assert_bitwise(&outcomes, &reference, &label);
+
+                let snap = engine.scheduler_snapshot();
+                assert!(
+                    snap.loads.iter().all(|&l| l == 0),
+                    "{label}: loads drained, got {:?}",
+                    snap.loads
+                );
+                assert!(
+                    snap.weighted_loads.iter().all(|&w| w == 0),
+                    "{label}: weighted backlog drained, got {:?}",
+                    snap.weighted_loads
+                );
+                let report = engine.shutdown();
+                assert_eq!(report.leaked_grants, 0, "{label}");
+                assert_eq!(
+                    report.gpu_tasks + report.cpu_tasks,
+                    2 * ions as u64,
+                    "{label}: completion accounting"
+                );
+                let retry_bound = u64::from(ResilienceConfig::default().max_retries) + 1;
+                assert!(
+                    report.max_task_attempts <= retry_bound,
+                    "{label}: attempts {} exceed bound {retry_bound}",
+                    report.max_task_attempts
+                );
+                assert_eq!(report.worker_panics, 0, "{label}: no engine thread died");
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_panic_mid_run_completes_without_deadlock() {
+    // Satellite regression: a panic inside a device kernel must become
+    // a task failure (retried, then recovered), never a poisoned lock
+    // or a wedged stream — the run completes and stays bitwise clean.
+    let mut resilience = fast_ladder();
+    resilience.faults = vec![FaultPlan::default()
+        .fire_at(FaultOp::Kernel, 0, FaultKind::KernelPanic)
+        .fire_at(FaultOp::Kernel, 3, FaultKind::KernelPanic)];
+    let engine = Engine::start(chaos_config(1, resilience));
+    let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+    let ions = engine.config().db.ions().len();
+    let reference = serial_reference(engine.config(), &grid);
+
+    let outcomes = run_all_ions(&engine, &grid, 2);
+    assert_eq!(outcomes.len(), 2 * ions);
+    assert_bitwise(&outcomes, &reference, "kernel panic");
+
+    let report = engine.shutdown();
+    assert!(
+        report.device_faults[0].kernel_panics >= 2,
+        "both indexed panics fired: {:?}",
+        report.device_faults[0]
+    );
+    assert!(report.task_faults >= 2, "failures rode the ladder");
+    assert_eq!(report.leaked_grants, 0);
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn sticky_loss_of_one_of_two_devices_completes_everything() {
+    // The headline degradation gate: one of two devices dies for good
+    // mid-run. Its tasks reassign to the surviving device (or the host
+    // path), the health ladder quarantines it permanently, and every
+    // task still answers with bitwise-clean partials.
+    let mut resilience = fast_ladder();
+    resilience.faults = vec![FaultPlan::default(), FaultPlan::default().lose_device_at(4)];
+    let engine = Engine::start(chaos_config(2, resilience));
+    let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+    let ions = engine.config().db.ions().len();
+    let reference = serial_reference(engine.config(), &grid);
+
+    let outcomes = run_all_ions(&engine, &grid, 3);
+    assert_eq!(outcomes.len(), 3 * ions, "100% completion under loss");
+    assert_bitwise(&outcomes, &reference, "sticky loss");
+
+    let report = engine.shutdown();
+    assert_eq!(report.leaked_grants, 0);
+    assert!(report.device_faults[1].lost, "device 1 was lost");
+    assert_eq!(
+        report.device_health[1],
+        HealthState::Quarantined,
+        "a lost device stays quarantined"
+    );
+    assert_eq!(report.worker_panics, 0);
+}
+
+#[test]
+fn shutdown_under_fault_does_not_hang() {
+    // Satellite regression: close-and-drain while a device is sick and
+    // retries are in flight. The drain must finish — a wedged pump or
+    // a stranded retry would hang this forever, so run the shutdown on
+    // a watchdog thread.
+    let mut resilience = fast_ladder();
+    resilience.health = HealthConfig {
+        probation_cooldown: Duration::from_millis(1),
+        ..HealthConfig::default()
+    };
+    resilience.faults = vec![
+        FaultPlan::seeded(7)
+            .launch_error_rate(0.5)
+            .kernel_panic_rate(0.2)
+            .dma_error_rate(0.2),
+        FaultPlan::default().lose_device_at(2),
+    ];
+    let engine = Engine::start(chaos_config(2, resilience));
+    let grid = EnergyGrid::linear(50.0, 2000.0, 24);
+    let ions = engine.config().db.ions().len();
+    let bins = Arc::new(grid.bin_pairs());
+    let (tx, rx) = channel();
+    for ion_index in 0..ions {
+        let levels = engine.config().db.levels_by_index(ion_index).len();
+        engine
+            .submit(IonJob {
+                ion_index,
+                level_range: 0..levels,
+                point: point(),
+                grid: grid.clone(),
+                bins: Arc::clone(&bins),
+                tag: 0,
+                reply: tx.clone(),
+            })
+            .ok()
+            .expect("live");
+    }
+    drop(tx);
+    // Shut down immediately — jobs are still queued, staged, launching
+    // and failing right now.
+    let (done_tx, done_rx) = channel();
+    std::thread::spawn(move || {
+        let report = engine.shutdown();
+        let _ = done_tx.send(report);
+    });
+    let report = done_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("shutdown under fault must complete, not hang");
+    assert_eq!(report.leaked_grants, 0);
+    // Every job was answered or is answerable: drain the reply stream.
+    let answered = rx.iter().count();
+    assert_eq!(answered, ions, "no task stranded by shutdown");
+}
+
+#[test]
+fn quarantine_and_probation_cycle_recovers_a_flapping_device() {
+    // Device 0 fails its first launches back-to-back, quarantines, sits
+    // out the cooldown, earns its way back through probation, and
+    // serves cleanly afterwards.
+    let mut resilience = fast_ladder();
+    resilience.health = HealthConfig {
+        degraded_after: 1,
+        quarantine_after: 2,
+        probation_cooldown: Duration::from_millis(2),
+        probation_successes: 1,
+        ..HealthConfig::default()
+    };
+    resilience.faults = vec![
+        FaultPlan::default()
+            .fire_at(FaultOp::Launch, 0, FaultKind::LaunchError)
+            .fire_at(FaultOp::Launch, 1, FaultKind::LaunchError),
+        FaultPlan::default(),
+    ];
+    let engine = Engine::start(chaos_config(2, resilience));
+    let grid = EnergyGrid::linear(50.0, 2000.0, 24);
+    let ions = engine.config().db.ions().len();
+    let mut total = 0usize;
+    for _ in 0..4 {
+        total += run_all_ions(&engine, &grid, 1).len();
+        // Let the probation cooldown lapse between waves.
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    assert_eq!(total, 4 * ions);
+    let report = engine.shutdown();
+    assert!(report.quarantines >= 1, "device 0 quarantined: {report:?}");
+    assert!(report.probations >= 1, "probation probe admitted");
+    assert_eq!(report.leaked_grants, 0);
+}

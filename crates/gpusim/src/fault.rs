@@ -1,0 +1,481 @@
+//! Seeded, deterministic fault injection for the simulated devices.
+//!
+//! Real accelerator fleets lose devices: kernel launches are refused,
+//! copy-backs error, kernels wedge, whole cards fall off the bus. The
+//! hybrid runtime above this crate has to degrade gracefully through
+//! retry → reassign → CPU fallback, and that ladder can only be tested
+//! if the device model can *produce* those failures on demand. A
+//! [`FaultPlan`] is a reproducible schedule of such failures for one
+//! device: faults fire either at chosen per-operation indices (exact
+//! replay of a specific scenario) or probabilistically from a seeded
+//! [`desim::SimRng`] (chaos sweeps), never from wall-clock entropy.
+//!
+//! The plan is attached at device bring-up
+//! ([`crate::SimGpu::with_faults`]); the runtime above consults the
+//! device's [`FaultInjector`] at its three fault points:
+//!
+//! * [`FaultInjector::check_launch`] before submitting a kernel,
+//! * [`FaultInjector::fire_kernel`] inside the kernel body (panics or
+//!   stalls there, where a real wedged kernel would),
+//! * [`FaultInjector::check_dma`] when settling the copy-back.
+//!
+//! [`FaultKind::DeviceLost`] is *sticky*: once fired, every subsequent
+//! check on the device fails, modeling a card gone from the bus until
+//! process restart.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use desim::SimRng;
+
+/// The operation classes a [`FaultPlan`] can target. Indexed triggers
+/// count per class (the 3rd `Dma` is independent of how many launches
+/// happened), which keeps handwritten schedules readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Kernel submission.
+    Launch,
+    /// Kernel body execution.
+    Kernel,
+    /// D2H copy-back / settle.
+    Dma,
+}
+
+/// What failure fires when a trigger matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The launch is refused (a `cudaErrorLaunchFailure` at submit).
+    LaunchError,
+    /// The copy-back fails; the kernel's result is unusable.
+    DmaError,
+    /// The kernel body panics mid-execution.
+    KernelPanic,
+    /// The kernel wedges for `millis` before completing normally — long
+    /// enough to trip a watchdog deadline, short enough to terminate.
+    Stall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Sticky whole-device loss: this and every later operation fails.
+    DeviceLost,
+}
+
+/// Typed failure of one device operation, surfaced to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The kernel launch was refused (transient).
+    LaunchFailed,
+    /// The copy-back failed (transient).
+    DmaFailed,
+    /// The device is gone (sticky; no retry on this device can help).
+    Lost,
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceFault::LaunchFailed => write!(f, "kernel launch failed"),
+            DeviceFault::DmaFailed => write!(f, "DMA copy-back failed"),
+            DeviceFault::Lost => write!(f, "device lost"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// A reproducible fault schedule for one device. [`Default`] is the
+/// empty plan (a healthy device); builders add indexed triggers and
+/// probabilistic rates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    launch_rate: f64,
+    panic_rate: f64,
+    stall_rate: f64,
+    stall_millis: u64,
+    dma_rate: f64,
+    /// Exact triggers: fire `kind` when the per-class counter of `op`
+    /// reaches the given index.
+    at: Vec<(FaultOp, u64, FaultKind)>,
+    /// Sticky device loss once the *total* operation counter (all
+    /// classes) reaches this index.
+    lose_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing probabilistic faults from `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Probability that any one launch is refused.
+    #[must_use]
+    pub fn launch_error_rate(mut self, rate: f64) -> FaultPlan {
+        self.launch_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that any one kernel body panics.
+    #[must_use]
+    pub fn kernel_panic_rate(mut self, rate: f64) -> FaultPlan {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that any one kernel stalls for `millis` first.
+    #[must_use]
+    pub fn stall_rate(mut self, rate: f64, millis: u64) -> FaultPlan {
+        self.stall_rate = rate.clamp(0.0, 1.0);
+        self.stall_millis = millis;
+        self
+    }
+
+    /// Probability that any one copy-back fails.
+    #[must_use]
+    pub fn dma_error_rate(mut self, rate: f64) -> FaultPlan {
+        self.dma_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fire `kind` exactly when operation class `op` reaches `index`
+    /// (0-based, counted per class on the device).
+    #[must_use]
+    pub fn fire_at(mut self, op: FaultOp, index: u64, kind: FaultKind) -> FaultPlan {
+        self.at.push((op, index, kind));
+        self
+    }
+
+    /// Sticky whole-device loss at total operation `index` (all classes
+    /// combined — "the card fell off the bus mid-run").
+    #[must_use]
+    pub fn lose_device_at(mut self, index: u64) -> FaultPlan {
+        self.lose_at = Some(index);
+        self
+    }
+
+    /// Whether this plan can ever fire anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.launch_rate == 0.0
+            && self.panic_rate == 0.0
+            && self.stall_rate == 0.0
+            && self.dma_rate == 0.0
+            && self.at.is_empty()
+            && self.lose_at.is_none()
+    }
+}
+
+/// Monotonic injected-fault counters of one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Launches refused.
+    pub launch_errors: u64,
+    /// Copy-backs failed.
+    pub dma_errors: u64,
+    /// Kernel bodies panicked.
+    pub kernel_panics: u64,
+    /// Kernels stalled (but completed).
+    pub stalls: u64,
+    /// Whether the device is (stickily) lost.
+    pub lost: bool,
+}
+
+#[derive(Debug)]
+struct Schedule {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Total operations across classes (drives `lose_at`).
+    ops: u64,
+    /// Per-class counters (drive indexed triggers).
+    launches: u64,
+    kernels: u64,
+    dmas: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// `None` for a fault-free device: every check is a branch on
+    /// `enabled`, no lock.
+    schedule: Option<Mutex<Schedule>>,
+    lost: AtomicBool,
+    launch_errors: AtomicU64,
+    dma_errors: AtomicU64,
+    kernel_panics: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// The per-device fault oracle: cheap to clone (shared state), safe to
+/// move into kernel closures. Fault-free devices carry an inert
+/// injector whose checks cost one branch.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    shared: Arc<Shared>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let schedule = if plan.is_empty() {
+            None
+        } else {
+            let rng = SimRng::seed_from_u64(plan.seed);
+            Some(Mutex::new(Schedule {
+                plan,
+                rng,
+                ops: 0,
+                launches: 0,
+                kernels: 0,
+                dmas: 0,
+            }))
+        };
+        FaultInjector {
+            shared: Arc::new(Shared {
+                schedule,
+                lost: AtomicBool::new(false),
+                launch_errors: AtomicU64::new(0),
+                dma_errors: AtomicU64::new(0),
+                kernel_panics: AtomicU64::new(0),
+                stalls: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The inert injector of a fault-free device.
+    #[must_use]
+    pub fn none() -> FaultInjector {
+        FaultInjector::new(FaultPlan::default())
+    }
+
+    /// Whether the device has been (stickily) lost.
+    #[must_use]
+    pub fn is_lost(&self) -> bool {
+        self.shared.lost.load(Ordering::Acquire)
+    }
+
+    /// Injected-fault counters so far.
+    #[must_use]
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            launch_errors: self.shared.launch_errors.load(Ordering::Relaxed),
+            dma_errors: self.shared.dma_errors.load(Ordering::Relaxed),
+            kernel_panics: self.shared.kernel_panics.load(Ordering::Relaxed),
+            stalls: self.shared.stalls.load(Ordering::Relaxed),
+            lost: self.is_lost(),
+        }
+    }
+
+    /// Advance the schedule one `op` and return the fault that fires,
+    /// if any. Exactly one RNG draw per decision keeps the schedule a
+    /// pure function of the seed and the operation sequence.
+    fn decide(&self, op: FaultOp) -> Option<FaultKind> {
+        let schedule = self.shared.schedule.as_ref()?;
+        let mut s = schedule.lock().unwrap_or_else(PoisonError::into_inner);
+        let total = s.ops;
+        s.ops += 1;
+        let class_index = match op {
+            FaultOp::Launch => {
+                let i = s.launches;
+                s.launches += 1;
+                i
+            }
+            FaultOp::Kernel => {
+                let i = s.kernels;
+                s.kernels += 1;
+                i
+            }
+            FaultOp::Dma => {
+                let i = s.dmas;
+                s.dmas += 1;
+                i
+            }
+        };
+        if s.plan.lose_at.is_some_and(|at| total >= at) {
+            return Some(FaultKind::DeviceLost);
+        }
+        if let Some(&(_, _, kind)) = s
+            .plan
+            .at
+            .iter()
+            .find(|&&(o, i, _)| o == op && i == class_index)
+        {
+            return Some(kind);
+        }
+        let draw = s.rng.next_f64();
+        match op {
+            FaultOp::Launch if draw < s.plan.launch_rate => Some(FaultKind::LaunchError),
+            FaultOp::Kernel if draw < s.plan.panic_rate => Some(FaultKind::KernelPanic),
+            FaultOp::Kernel if draw < s.plan.panic_rate + s.plan.stall_rate => {
+                Some(FaultKind::Stall {
+                    millis: s.plan.stall_millis,
+                })
+            }
+            FaultOp::Dma if draw < s.plan.dma_rate => Some(FaultKind::DmaError),
+            _ => None,
+        }
+    }
+
+    fn mark_lost(&self) {
+        self.shared.lost.store(true, Ordering::Release);
+    }
+
+    /// Consult the oracle before submitting a kernel.
+    ///
+    /// # Errors
+    /// [`DeviceFault::Lost`] on a lost device, [`DeviceFault::LaunchFailed`]
+    /// when the plan refuses this launch.
+    pub fn check_launch(&self) -> Result<(), DeviceFault> {
+        if self.is_lost() {
+            return Err(DeviceFault::Lost);
+        }
+        match self.decide(FaultOp::Launch) {
+            None => Ok(()),
+            Some(FaultKind::DeviceLost) => {
+                self.mark_lost();
+                Err(DeviceFault::Lost)
+            }
+            Some(_) => {
+                self.shared.launch_errors.fetch_add(1, Ordering::Relaxed);
+                Err(DeviceFault::LaunchFailed)
+            }
+        }
+    }
+
+    /// Consult the oracle inside the kernel body. Stalls sleep here;
+    /// panics fire here (to be caught by the runtime's `catch_unwind`).
+    ///
+    /// # Panics
+    /// Panics when the plan injects a kernel panic or the device is
+    /// lost — that is the injected failure itself, not a bug.
+    pub fn fire_kernel(&self) {
+        if self.is_lost() {
+            self.shared.kernel_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: kernel on lost device");
+        }
+        match self.decide(FaultOp::Kernel) {
+            None => {}
+            Some(FaultKind::Stall { millis }) => {
+                self.shared.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(FaultKind::DeviceLost) => {
+                self.mark_lost();
+                self.shared.kernel_panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected fault: device lost during kernel");
+            }
+            Some(_) => {
+                self.shared.kernel_panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected fault: kernel panic");
+            }
+        }
+    }
+
+    /// Consult the oracle when settling a copy-back.
+    ///
+    /// # Errors
+    /// [`DeviceFault::Lost`] on a lost device, [`DeviceFault::DmaFailed`]
+    /// when the plan fails this copy.
+    pub fn check_dma(&self) -> Result<(), DeviceFault> {
+        if self.is_lost() {
+            return Err(DeviceFault::Lost);
+        }
+        match self.decide(FaultOp::Dma) {
+            None => Ok(()),
+            Some(FaultKind::DeviceLost) => {
+                self.mark_lost();
+                Err(DeviceFault::Lost)
+            }
+            Some(_) => {
+                self.shared.dma_errors.fetch_add(1, Ordering::Relaxed);
+                Err(DeviceFault::DmaFailed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let inj = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(inj.check_launch().is_ok());
+            inj.fire_kernel();
+            assert!(inj.check_dma().is_ok());
+        }
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn indexed_launch_trigger_fires_exactly_once() {
+        let plan = FaultPlan::default().fire_at(FaultOp::Launch, 2, FaultKind::LaunchError);
+        let inj = FaultInjector::new(plan);
+        let results: Vec<bool> = (0..5).map(|_| inj.check_launch().is_ok()).collect();
+        assert_eq!(results, vec![true, true, false, true, true]);
+        assert_eq!(inj.counters().launch_errors, 1);
+    }
+
+    #[test]
+    fn device_loss_is_sticky() {
+        let plan = FaultPlan::default().lose_device_at(3);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.check_launch().is_ok());
+        assert!(inj.check_dma().is_ok());
+        assert!(inj.check_launch().is_ok());
+        // Total op 3: lost, and every later check keeps failing.
+        assert_eq!(inj.check_launch(), Err(DeviceFault::Lost));
+        assert!(inj.is_lost());
+        assert_eq!(inj.check_dma(), Err(DeviceFault::Lost));
+        assert_eq!(inj.check_launch(), Err(DeviceFault::Lost));
+    }
+
+    #[test]
+    fn injected_kernel_panic_is_a_panic() {
+        let plan = FaultPlan::default().fire_at(FaultOp::Kernel, 0, FaultKind::KernelPanic);
+        let inj = FaultInjector::new(plan);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.fire_kernel()));
+        assert!(caught.is_err());
+        assert_eq!(inj.counters().kernel_panics, 1);
+        // The panic was transient, not sticky.
+        inj.fire_kernel();
+        assert!(!inj.is_lost());
+    }
+
+    #[test]
+    fn stall_delays_but_completes() {
+        let plan =
+            FaultPlan::default().fire_at(FaultOp::Kernel, 0, FaultKind::Stall { millis: 30 });
+        let inj = FaultInjector::new(plan);
+        let t0 = std::time::Instant::now();
+        inj.fire_kernel();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(inj.counters().stalls, 1);
+    }
+
+    #[test]
+    fn seeded_probabilistic_schedule_is_reproducible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultPlan::seeded(seed).launch_error_rate(0.3));
+            (0..64).map(|_| inj.check_launch().is_ok()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let fails = run(7).iter().filter(|ok| !**ok).count();
+        assert!(fails > 5 && fails < 30, "rate roughly honored: {fails}");
+    }
+
+    #[test]
+    fn rates_apply_per_class() {
+        let inj = FaultInjector::new(FaultPlan::seeded(1).dma_error_rate(1.0));
+        assert!(inj.check_launch().is_ok(), "launch class unaffected");
+        assert_eq!(inj.check_dma(), Err(DeviceFault::DmaFailed));
+    }
+}

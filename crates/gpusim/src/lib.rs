@@ -24,6 +24,7 @@
 //! swapping.
 
 pub mod cost;
+pub mod fault;
 pub mod memory;
 pub mod props;
 pub mod runtime;
@@ -31,10 +32,10 @@ pub mod simt;
 pub mod stream;
 
 pub use cost::CostModel;
+pub use fault::{DeviceFault, FaultCounters, FaultInjector, FaultKind, FaultOp, FaultPlan};
 pub use memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 pub use props::{Architecture, DeviceProps};
-pub use runtime::TaskHandle;
-pub use runtime::{DeviceCounters, SimGpu};
+pub use runtime::{DeviceCounters, SimGpu, TaskError, TaskHandle};
 pub use simt::{
     launch, BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision, ThreadCtx,
 };

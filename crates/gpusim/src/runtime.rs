@@ -12,14 +12,23 @@
 //! is back").
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 use crate::props::DeviceProps;
+
+/// Poison-tolerant lock: a panic on another thread (e.g. an injected
+/// kernel panic) must degrade to a task failure, never to a poisoned
+/// mutex cascading `unwrap` panics through every later submitter.
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 type Command = Box<dyn FnOnce() + Send>;
 
@@ -48,7 +57,7 @@ impl CommandQueue {
     }
 
     fn push(&self, cmd: Command) {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_clean(&self.state);
         assert!(!state.closed, "device is live until drop");
         state.commands.push_back(cmd);
         drop(state);
@@ -57,7 +66,7 @@ impl CommandQueue {
 
     /// Blocking pop; `None` once the queue is closed *and* drained.
     fn pop(&self) -> Option<Command> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_clean(&self.state);
         loop {
             if let Some(cmd) = state.commands.pop_front() {
                 return Some(cmd);
@@ -65,12 +74,15 @@ impl CommandQueue {
             if state.closed {
                 return None;
             }
-            state = self.signal.wait(state).expect("queue poisoned");
+            state = self
+                .signal
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        lock_clean(&self.state).closed = true;
         self.signal.notify_all();
     }
 }
@@ -82,6 +94,9 @@ pub struct DeviceCounters {
     pub tasks: AtomicU64,
     /// Wall-clock nanoseconds workers spent executing task bodies.
     pub busy_nanos: AtomicU64,
+    /// Task bodies that panicked (caught on the worker; the submitter
+    /// observes [`TaskError::Lost`]).
+    pub panics: AtomicU64,
 }
 
 /// One simulated GPU: props + command queues (compute + DMA) + workers
@@ -101,7 +116,30 @@ pub struct SimGpu {
     memory: Arc<Mutex<DeviceMemory>>,
     cost: CostModel,
     virtual_nanos: Arc<AtomicU64>,
+    faults: FaultInjector,
 }
+
+/// Why a fallible wait on a [`TaskHandle`] returned no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskError {
+    /// The deadline elapsed before the task completed (watchdog). The
+    /// task may still finish later; its result is discarded.
+    Timeout,
+    /// The task's result can never arrive: its body panicked (caught on
+    /// the device worker) or the device was dropped with it queued.
+    Lost,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Timeout => write!(f, "task deadline elapsed"),
+            TaskError::Lost => write!(f, "task result lost"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
 
 /// Completion handle of a submitted task.
 #[must_use = "wait on the handle or the task result is lost"]
@@ -113,9 +151,32 @@ impl<R> TaskHandle<R> {
     /// Block until the task finishes and return its result.
     ///
     /// # Panics
-    /// Panics if the device was dropped with the task still queued.
+    /// Panics if the device was dropped with the task still queued or
+    /// the task body panicked — fault-tolerant callers use
+    /// [`TaskHandle::wait_result`] instead.
     pub fn wait(self) -> R {
         self.result.recv().expect("device dropped with task queued")
+    }
+
+    /// Block until the task finishes; [`TaskError::Lost`] if its result
+    /// can never arrive (task panicked or device dropped).
+    ///
+    /// # Errors
+    /// [`TaskError::Lost`] when the result channel disconnected.
+    pub fn wait_result(self) -> Result<R, TaskError> {
+        self.result.recv().map_err(|_| TaskError::Lost)
+    }
+
+    /// [`TaskHandle::wait_result`] with a watchdog deadline.
+    ///
+    /// # Errors
+    /// [`TaskError::Timeout`] once `deadline` elapses,
+    /// [`TaskError::Lost`] when the result channel disconnected.
+    pub fn wait_timeout(self, deadline: Duration) -> Result<R, TaskError> {
+        self.result.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TaskError::Timeout,
+            RecvTimeoutError::Disconnected => TaskError::Lost,
+        })
     }
 
     /// Non-blocking poll.
@@ -130,6 +191,14 @@ impl SimGpu {
     /// workers draining a second, independent queue.
     #[must_use]
     pub fn new(props: DeviceProps) -> SimGpu {
+        SimGpu::with_faults(props, FaultPlan::default())
+    }
+
+    /// [`SimGpu::new`] with a fault-injection schedule attached: the
+    /// device's [`FaultInjector`] executes `plan`, and the runtime
+    /// above consults it at its launch/kernel/DMA fault points.
+    #[must_use]
+    pub fn with_faults(props: DeviceProps, plan: FaultPlan) -> SimGpu {
         let queue = Arc::new(CommandQueue::new());
         let dma_queue = Arc::new(CommandQueue::new());
         let counters = Arc::new(DeviceCounters::default());
@@ -171,6 +240,7 @@ impl SimGpu {
             memory,
             cost,
             virtual_nanos: Arc::new(AtomicU64::new(0)),
+            faults: FaultInjector::new(plan),
         }
     }
 
@@ -180,10 +250,23 @@ impl SimGpu {
         &self.props
     }
 
+    /// The device's fault oracle (inert for fault-free devices). Clone
+    /// it into kernel closures for in-body injection points.
+    #[must_use]
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
     /// Completed-task count.
     #[must_use]
     pub fn tasks_completed(&self) -> u64 {
         self.counters.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Task bodies that panicked (caught on the device worker).
+    #[must_use]
+    pub fn tasks_panicked(&self) -> u64 {
+        self.counters.panics.load(Ordering::Relaxed)
     }
 
     /// Wall-clock seconds workers spent in task bodies.
@@ -197,24 +280,24 @@ impl SimGpu {
     /// # Errors
     /// [`OutOfDeviceMemory`] when the arena cannot fit the request.
     pub fn malloc(&self, bytes: u64) -> Result<DevicePtr, OutOfDeviceMemory> {
-        self.memory.lock().expect("memory poisoned").alloc(bytes)
+        lock_clean(&self.memory).alloc(bytes)
     }
 
     /// Free an on-board allocation (like `cudaFree`).
     pub fn free(&self, ptr: DevicePtr) {
-        self.memory.lock().expect("memory poisoned").free(ptr);
+        lock_clean(&self.memory).free(ptr);
     }
 
     /// Bytes currently allocated on the device.
     #[must_use]
     pub fn memory_used(&self) -> u64 {
-        self.memory.lock().expect("memory poisoned").used()
+        lock_clean(&self.memory).used()
     }
 
     /// High-water mark of on-board allocation.
     #[must_use]
     pub fn memory_peak(&self) -> u64 {
-        self.memory.lock().expect("memory poisoned").peak()
+        lock_clean(&self.memory).peak()
     }
 
     /// Charge the cost model for one task (launch + H2D + kernel + D2H)
@@ -241,18 +324,7 @@ impl SimGpu {
         F: FnOnce() -> R + Send + 'static,
     {
         let (tx, rx) = std::sync::mpsc::channel();
-        let counters = Arc::clone(&self.counters);
-        let cmd: Command = Box::new(move || {
-            let start = Instant::now();
-            let result = task();
-            counters
-                .busy_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            counters.tasks.fetch_add(1, Ordering::Relaxed);
-            // The submitter may have given up waiting; that is fine.
-            let _ = tx.send(result);
-        });
-        self.queue.push(cmd);
+        self.queue.push(make_command(&self.counters, tx, task));
         TaskHandle { result: rx }
     }
 
@@ -278,19 +350,45 @@ impl SimGpu {
         F: FnOnce() -> R + Send + 'static,
     {
         let (tx, rx) = std::sync::mpsc::channel();
-        let counters = Arc::clone(&self.counters);
-        let cmd: Command = Box::new(move || {
-            let start = Instant::now();
-            let result = task();
-            counters
-                .busy_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            counters.tasks.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(result);
-        });
-        self.dma_queue.push(cmd);
+        self.dma_queue.push(make_command(&self.counters, tx, task));
         TaskHandle { result: rx }
     }
+}
+
+/// Wrap a task into a queue command: charge counters, contain panics.
+/// A panicking task body must never kill a device worker (which would
+/// silently stop the whole queue) — the panic is caught, counted, and
+/// surfaced to the submitter as a disconnected result channel
+/// ([`TaskError::Lost`]).
+fn make_command<R, F>(
+    counters: &Arc<DeviceCounters>,
+    tx: std::sync::mpsc::Sender<R>,
+    task: F,
+) -> Command
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let counters = Arc::clone(counters);
+    Box::new(move || {
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(task));
+        counters
+            .busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        counters.tasks.fetch_add(1, Ordering::Relaxed);
+        match result {
+            // The submitter may have given up waiting; that is fine.
+            Ok(result) => {
+                let _ = tx.send(result);
+            }
+            Err(_) => {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                // Dropping `tx` without sending disconnects the
+                // receiver: the submitter's wait observes `Lost`.
+            }
+        }
+    })
 }
 
 impl Drop for SimGpu {
@@ -451,6 +549,40 @@ mod tests {
         props.memory_bytes = 1024;
         let gpu = SimGpu::new(props);
         assert!(gpu.malloc(2048).is_err());
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let gpu = SimGpu::new(fermi());
+        let h = gpu.submit(|| -> u32 { panic!("injected for test") });
+        assert_eq!(h.wait_result(), Err(TaskError::Lost));
+        assert_eq!(gpu.tasks_panicked(), 1);
+        // The worker survived and serves later submissions.
+        assert_eq!(gpu.execute_sync(|| 7), 7);
+    }
+
+    #[test]
+    fn wait_timeout_trips_on_slow_tasks() {
+        let gpu = SimGpu::new(fermi());
+        let h = gpu.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            1
+        });
+        assert_eq!(
+            h.wait_timeout(std::time::Duration::from_millis(5)),
+            Err(TaskError::Timeout)
+        );
+        let h = gpu.submit(|| 2);
+        assert_eq!(h.wait_timeout(std::time::Duration::from_secs(5)), Ok(2));
+    }
+
+    #[test]
+    fn faulted_device_exposes_its_injector() {
+        use crate::fault::{FaultKind, FaultOp};
+        let plan = FaultPlan::default().fire_at(FaultOp::Launch, 0, FaultKind::LaunchError);
+        let gpu = SimGpu::with_faults(fermi(), plan);
+        assert!(gpu.faults().check_launch().is_err());
+        assert!(gpu.faults().check_launch().is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! extension, complementing the host-side submission window.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 
 use std::cell::Cell;
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -27,6 +27,46 @@ struct StreamState {
     /// Highest completed sequence number + 1.
     completed: Mutex<u64>,
     signal: Condvar,
+}
+
+impl StreamState {
+    /// Block the calling device worker until the stream reaches `seq`.
+    /// Poison-tolerant: a panic elsewhere in the stream must not turn
+    /// into an unrelated `unwrap` panic here.
+    fn wait_turn(&self, seq: u64) {
+        let mut completed = self
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *completed != seq {
+            completed = self
+                .signal
+                .wait(completed)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Advances the stream gate on drop — including during unwind. Without
+/// this, a panicking task body (e.g. an injected kernel panic) would
+/// never publish `seq + 1` and every later submission to the stream
+/// would deadlock in its gate wait.
+struct GateAdvance {
+    state: Arc<StreamState>,
+    seq: u64,
+}
+
+impl Drop for GateAdvance {
+    fn drop(&mut self) {
+        let mut completed = self
+            .state
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *completed = self.seq + 1;
+        drop(completed);
+        self.state.signal.notify_all();
+    }
 }
 
 /// An ordered lane of device work. Cheap to clone; clones share the
@@ -94,19 +134,11 @@ impl Stream {
         let state = Arc::clone(&self.state);
         device.submit(move || {
             // Gate: wait for our turn in the stream.
-            {
-                let mut completed = state.completed.lock().expect("stream poisoned");
-                while *completed != seq {
-                    completed = state.signal.wait(completed).expect("stream poisoned");
-                }
-            }
-            let result = task();
-            {
-                let mut completed = state.completed.lock().expect("stream poisoned");
-                *completed = seq + 1;
-            }
-            state.signal.notify_all();
-            result
+            state.wait_turn(seq);
+            // The sentry publishes `seq + 1` whether `task` returns or
+            // unwinds, so one panicking task can never wedge the lane.
+            let _advance = GateAdvance { state, seq };
+            task()
         })
     }
 
@@ -128,19 +160,9 @@ impl Stream {
         let seq = self.state.next_seq.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
         device.submit_dma(move || {
-            {
-                let mut completed = state.completed.lock().expect("stream poisoned");
-                while *completed != seq {
-                    completed = state.signal.wait(completed).expect("stream poisoned");
-                }
-            }
-            let result = task();
-            {
-                let mut completed = state.completed.lock().expect("stream poisoned");
-                *completed = seq + 1;
-            }
-            state.signal.notify_all();
-            result
+            state.wait_turn(seq);
+            let _advance = GateAdvance { state, seq };
+            task()
         })
     }
 
@@ -318,6 +340,26 @@ mod tests {
             1,
             "the copy-back ran while kernel 2 held the only compute worker"
         );
+    }
+
+    #[test]
+    fn panicking_stream_task_does_not_wedge_the_lane() {
+        use crate::runtime::TaskError;
+        // A panic in the middle of an ordered stream must advance the
+        // sequence gate anyway: later submissions still run, on both
+        // the compute and the DMA lane.
+        let gpu = SimGpu::new(DeviceProps::tesla_c2075());
+        let stream = Stream::new();
+        let ok_before = stream.submit(&gpu, || 1u32);
+        let boom = stream.submit(&gpu, || -> u32 { panic!("injected for test") });
+        let ok_after = stream.submit(&gpu, || 3u32);
+        let dma_after = stream.submit_dma(&gpu, || 4u32);
+        assert_eq!(ok_before.wait(), 1);
+        assert_eq!(boom.wait_result(), Err(TaskError::Lost));
+        assert_eq!(ok_after.wait(), 3, "gate advanced past the panic");
+        assert_eq!(dma_after.wait(), 4);
+        stream.synchronize(&gpu);
+        assert_eq!(gpu.tasks_panicked(), 1);
     }
 
     #[test]

@@ -11,9 +11,16 @@
 //!
 //! Cloning a [`BoundedQueue`] clones the handle; all clones address the
 //! same queue.
+//!
+//! Lock acquisition is poison-tolerant: a producer or consumer thread
+//! that panics mid-operation (e.g. a worker killed by an injected
+//! kernel fault) must not wedge every other rank on a
+//! `PoisonError` — the queue state is a plain `VecDeque` plus a
+//! `closed` flag, both valid after any partial operation, so the
+//! poison flag carries no information here.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Why a non-blocking push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -85,7 +92,12 @@ impl<T> BoundedQueue<T> {
     /// Current occupancy (racy by nature, exact at the instant read).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.state.lock().expect("queue poisoned").items.len()
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// Whether the queue is currently empty.
@@ -100,7 +112,11 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     /// Returns the item back inside the error on refusal.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut state = self.inner.state.lock().expect("queue poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -119,7 +135,11 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     /// Returns the item when the queue is (or becomes) closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.inner.state.lock().expect("queue poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.closed {
                 return Err(item);
@@ -130,14 +150,22 @@ impl<T> BoundedQueue<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.inner.not_full.wait(state).expect("queue poisoned");
+            state = self
+                .inner
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Blocking pop: `None` once the queue is closed *and* drained —
     /// the worker-shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("queue poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -147,13 +175,21 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.inner.not_empty.wait(state).expect("queue poisoned");
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().expect("queue poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let item = state.items.pop_front();
         drop(state);
         if item.is_some() {
@@ -166,7 +202,11 @@ impl<T> BoundedQueue<T> {
     /// drain the remaining items and then observe end-of-stream.
     /// Idempotent.
     pub fn close(&self) {
-        self.inner.state.lock().expect("queue poisoned").closed = true;
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
     }
@@ -174,7 +214,11 @@ impl<T> BoundedQueue<T> {
     /// Whether [`close`](Self::close) has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.state.lock().expect("queue poisoned").closed
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
     }
 }
 

@@ -1,0 +1,421 @@
+//! Per-device health tracking: the quarantine ladder.
+//!
+//! Placement must react to device failures, not just queue depth: a
+//! device refusing every launch still looks attractively idle to the
+//! load arrays, so the scheduler would keep feeding it work that only
+//! comes back as retries. The tracker runs one small state machine per
+//! device:
+//!
+//! ```text
+//!            consecutive failures ≥ degraded_after
+//!   Healthy ──────────────────────────────────────▶ Degraded
+//!      ▲  ▲                                            │
+//!      │  │ one success                                │ consecutive ≥ quarantine_after
+//!      │  └────────────────────────────────────────────┤ or error rate ≥ threshold
+//!      │                                               ▼
+//!      │ probation_successes in a row            Quarantined ◀──┐
+//!      │                                               │        │ any failure
+//!      │            probation_cooldown elapsed         │        │ during probation
+//!      └───────────── Probation ◀──────────────────────┘        │
+//!                        └──────────────────────────────────────┘
+//! ```
+//!
+//! `Quarantined` devices are invisible to placement (the scheduler
+//! presents them as full); after a cooldown they re-enter as
+//! `Probation`, which admits **one probe task at a time** until a
+//! success streak re-earns `Healthy`. A device marked *lost* is
+//! quarantined forever — its cooldown never elapses.
+//!
+//! The tracker is deliberately advisory: it never touches grant
+//! accounting, so health decisions can never leak a queue slot.
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The ladder states (see the module diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HealthState {
+    /// Full placement eligibility.
+    #[default]
+    Healthy,
+    /// Failures observed; still placed, one more streak quarantines.
+    Degraded,
+    /// Out of placement until the cooldown elapses (forever if lost).
+    Quarantined,
+    /// Re-admitted on trial: one probe task at a time.
+    Probation,
+}
+
+/// Thresholds driving the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Consecutive failures before `Healthy → Degraded`.
+    pub degraded_after: u32,
+    /// Consecutive failures before `→ Quarantined`.
+    pub quarantine_after: u32,
+    /// Failure fraction over the observation window that quarantines
+    /// even without a consecutive streak (flapping devices).
+    pub error_rate_threshold: f64,
+    /// Minimum observations before the error-rate rule applies.
+    pub error_rate_window: u32,
+    /// How long a quarantined device rests before probation.
+    pub probation_cooldown: Duration,
+    /// Consecutive probe successes before `Probation → Healthy`.
+    pub probation_successes: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            degraded_after: 2,
+            quarantine_after: 5,
+            error_rate_threshold: 0.5,
+            error_rate_window: 8,
+            probation_cooldown: Duration::from_millis(25),
+            probation_successes: 3,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DeviceHealth {
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Failure/total counts since the last state change (error rate).
+    window_failures: u32,
+    window_total: u32,
+    probation_streak: u32,
+    quarantined_at: Option<Instant>,
+    lost: bool,
+    // Lifetime counters for observability.
+    failures: u64,
+    successes: u64,
+    quarantines: u64,
+    probations: u64,
+    recoveries: u64,
+}
+
+impl DeviceHealth {
+    fn reset_window(&mut self) {
+        self.window_failures = 0;
+        self.window_total = 0;
+    }
+
+    fn quarantine(&mut self, now: Instant) {
+        self.state = HealthState::Quarantined;
+        self.quarantines += 1;
+        self.quarantined_at = Some(now);
+        self.consecutive_failures = 0;
+        self.probation_streak = 0;
+        self.reset_window();
+    }
+}
+
+/// Read-only view of the tracker for reports and metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Current state per device.
+    pub states: Vec<HealthState>,
+    /// Lifetime failed task attempts per device.
+    pub failures: Vec<u64>,
+    /// Lifetime successful completions per device.
+    pub successes: Vec<u64>,
+    /// Total `→ Quarantined` transitions.
+    pub quarantines: u64,
+    /// Total `Quarantined → Probation` transitions.
+    pub probations: u64,
+    /// Total `Probation → Healthy` recoveries (full ladder cycles).
+    pub recoveries: u64,
+}
+
+impl HealthSnapshot {
+    /// An all-healthy snapshot for `devices` devices (the zero-GPU and
+    /// pre-observation default).
+    #[must_use]
+    pub fn healthy(devices: usize) -> HealthSnapshot {
+        HealthSnapshot {
+            states: vec![HealthState::Healthy; devices],
+            failures: vec![0; devices],
+            successes: vec![0; devices],
+            quarantines: 0,
+            probations: 0,
+            recoveries: 0,
+        }
+    }
+}
+
+/// Shared per-device health state machine. Cloning shares state (like
+/// the scheduler it rides in).
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    inner: Arc<Mutex<Vec<DeviceHealth>>>,
+    config: HealthConfig,
+}
+
+impl HealthTracker {
+    /// A tracker for `devices` devices under `config`.
+    #[must_use]
+    pub fn new(devices: usize, config: HealthConfig) -> HealthTracker {
+        HealthTracker {
+            inner: Arc::new(Mutex::new(
+                (0..devices).map(|_| DeviceHealth::default()).collect(),
+            )),
+            config,
+        }
+    }
+
+    /// The thresholds in force.
+    #[must_use]
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Vec<DeviceHealth>) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Record a successful completion on `device`.
+    pub fn record_success(&self, device: usize) {
+        self.with(|devices| {
+            let Some(d) = devices.get_mut(device) else {
+                return;
+            };
+            d.successes += 1;
+            d.consecutive_failures = 0;
+            d.window_total += 1;
+            match d.state {
+                HealthState::Probation => {
+                    d.probation_streak += 1;
+                    if d.probation_streak >= self.config.probation_successes {
+                        d.state = HealthState::Healthy;
+                        d.recoveries += 1;
+                        d.probation_streak = 0;
+                        d.reset_window();
+                    }
+                }
+                HealthState::Degraded => {
+                    d.state = HealthState::Healthy;
+                    d.reset_window();
+                }
+                // A task granted before quarantine may still complete;
+                // it counts but does not re-admit the device early.
+                HealthState::Quarantined | HealthState::Healthy => {}
+            }
+        });
+    }
+
+    /// Record a failed task attempt on `device`.
+    pub fn record_failure(&self, device: usize) {
+        let now = Instant::now();
+        self.with(|devices| {
+            let Some(d) = devices.get_mut(device) else {
+                return;
+            };
+            d.failures += 1;
+            d.consecutive_failures += 1;
+            d.window_total += 1;
+            d.window_failures += 1;
+            match d.state {
+                HealthState::Probation => d.quarantine(now),
+                HealthState::Healthy | HealthState::Degraded => {
+                    let streak = d.consecutive_failures >= self.config.quarantine_after;
+                    let rate = d.window_total >= self.config.error_rate_window
+                        && f64::from(d.window_failures)
+                            >= self.config.error_rate_threshold * f64::from(d.window_total);
+                    if streak || rate {
+                        d.quarantine(now);
+                    } else if d.consecutive_failures >= self.config.degraded_after {
+                        d.state = HealthState::Degraded;
+                    }
+                }
+                HealthState::Quarantined => {}
+            }
+        });
+    }
+
+    /// Mark `device` permanently lost: quarantined with a cooldown that
+    /// never elapses.
+    pub fn mark_lost(&self, device: usize) {
+        let now = Instant::now();
+        self.with(|devices| {
+            let Some(d) = devices.get_mut(device) else {
+                return;
+            };
+            if !d.lost {
+                d.lost = true;
+                if d.state != HealthState::Quarantined {
+                    d.quarantine(now);
+                }
+                d.quarantined_at = None;
+            }
+        });
+    }
+
+    /// Whether `device` may receive new placements right now, given its
+    /// current queue `load`. Quarantined devices whose cooldown has
+    /// elapsed transition to probation here (lazy re-admission);
+    /// probation devices accept only when idle (one probe at a time).
+    pub fn placement_eligible(&self, device: usize, load: u64) -> bool {
+        self.with(|devices| {
+            let Some(d) = devices.get_mut(device) else {
+                return false;
+            };
+            match d.state {
+                HealthState::Healthy | HealthState::Degraded => true,
+                HealthState::Probation => load == 0,
+                HealthState::Quarantined => {
+                    if d.lost {
+                        return false;
+                    }
+                    let rested = d
+                        .quarantined_at
+                        .is_none_or(|t| t.elapsed() >= self.config.probation_cooldown);
+                    if rested {
+                        d.state = HealthState::Probation;
+                        d.probations += 1;
+                        d.probation_streak = 0;
+                        d.reset_window();
+                        load == 0
+                    } else {
+                        false
+                    }
+                }
+            }
+        })
+    }
+
+    /// Current state of one device.
+    #[must_use]
+    pub fn state(&self, device: usize) -> HealthState {
+        self.with(|devices| {
+            devices
+                .get(device)
+                .map_or(HealthState::Healthy, |d| d.state)
+        })
+    }
+
+    /// Whether `device` was marked lost.
+    #[must_use]
+    pub fn is_lost(&self, device: usize) -> bool {
+        self.with(|devices| devices.get(device).is_some_and(|d| d.lost))
+    }
+
+    /// Read the full tracker state.
+    #[must_use]
+    pub fn snapshot(&self) -> HealthSnapshot {
+        self.with(|devices| HealthSnapshot {
+            states: devices.iter().map(|d| d.state).collect(),
+            failures: devices.iter().map(|d| d.failures).collect(),
+            successes: devices.iter().map(|d| d.successes).collect(),
+            quarantines: devices.iter().map(|d| d.quarantines).sum(),
+            probations: devices.iter().map(|d| d.probations).sum(),
+            recoveries: devices.iter().map(|d| d.recoveries).sum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> HealthConfig {
+        HealthConfig {
+            probation_cooldown: Duration::from_millis(1),
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn failures_walk_the_ladder_down() {
+        let t = HealthTracker::new(1, fast_config());
+        assert_eq!(t.state(0), HealthState::Healthy);
+        t.record_failure(0);
+        assert_eq!(t.state(0), HealthState::Healthy, "one failure tolerated");
+        t.record_failure(0);
+        assert_eq!(t.state(0), HealthState::Degraded);
+        for _ in 0..3 {
+            t.record_failure(0);
+        }
+        assert_eq!(t.state(0), HealthState::Quarantined);
+        assert!(!t.placement_eligible(0, 0), "cooldown not yet elapsed");
+    }
+
+    #[test]
+    fn success_heals_a_degraded_device() {
+        let t = HealthTracker::new(1, fast_config());
+        t.record_failure(0);
+        t.record_failure(0);
+        assert_eq!(t.state(0), HealthState::Degraded);
+        t.record_success(0);
+        assert_eq!(t.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn full_cycle_quarantine_probation_healthy() {
+        let t = HealthTracker::new(1, fast_config());
+        for _ in 0..5 {
+            t.record_failure(0);
+        }
+        assert_eq!(t.state(0), HealthState::Quarantined);
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(t.placement_eligible(0, 0), "cooldown elapsed: probation");
+        assert_eq!(t.state(0), HealthState::Probation);
+        assert!(!t.placement_eligible(0, 1), "one probe at a time");
+        for _ in 0..3 {
+            t.record_success(0);
+        }
+        assert_eq!(t.state(0), HealthState::Healthy);
+        let snap = t.snapshot();
+        assert_eq!(snap.quarantines, 1);
+        assert_eq!(snap.probations, 1);
+        assert_eq!(snap.recoveries, 1, "one full ladder cycle");
+    }
+
+    #[test]
+    fn failure_during_probation_re_quarantines() {
+        let t = HealthTracker::new(1, fast_config());
+        for _ in 0..5 {
+            t.record_failure(0);
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(t.placement_eligible(0, 0));
+        t.record_failure(0);
+        assert_eq!(t.state(0), HealthState::Quarantined);
+        assert_eq!(t.snapshot().quarantines, 2);
+    }
+
+    #[test]
+    fn error_rate_quarantines_a_flapping_device() {
+        // Alternating success/failure never builds a 5-streak, but the
+        // windowed error rate catches it.
+        let t = HealthTracker::new(1, fast_config());
+        for _ in 0..8 {
+            t.record_failure(0);
+            t.record_success(0);
+        }
+        assert_eq!(t.state(0), HealthState::Quarantined, "50% failure rate");
+    }
+
+    #[test]
+    fn lost_devices_never_return() {
+        let t = HealthTracker::new(2, fast_config());
+        t.mark_lost(0);
+        assert_eq!(t.state(0), HealthState::Quarantined);
+        assert!(t.is_lost(0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.placement_eligible(0, 0), "no probation for a lost card");
+        assert!(t.placement_eligible(1, 0), "the healthy peer is unaffected");
+    }
+
+    #[test]
+    fn snapshot_counts_lifetime_events() {
+        let t = HealthTracker::new(2, fast_config());
+        t.record_failure(0);
+        t.record_success(0);
+        t.record_success(1);
+        let snap = t.snapshot();
+        assert_eq!(snap.failures, vec![1, 0]);
+        assert_eq!(snap.successes, vec![1, 1]);
+        assert_eq!(snap.states, vec![HealthState::Healthy; 2]);
+    }
+}

@@ -33,10 +33,12 @@
 //!   queue length until the performance inflexion point.
 
 pub mod autotune;
+pub mod health;
 pub mod policy;
 pub mod steal;
 
 pub use autotune::AutoTuner;
+pub use health::{HealthConfig, HealthSnapshot, HealthState, HealthTracker};
 pub use policy::{
     select_device, select_device_for, select_device_with, select_device_work_aware, SchedPolicy,
     Selection, TieBreak,
@@ -88,6 +90,14 @@ pub struct SchedulerSnapshot {
     /// Staged device tasks pulled back to the CPU-fallback path
     /// ([`Scheduler::release_to_cpu`]).
     pub cpu_steals: u64,
+    /// Current health ladder state per device.
+    pub health: Vec<HealthState>,
+    /// Total `→ Quarantined` transitions across devices.
+    pub quarantines: u64,
+    /// Total `Quarantined → Probation` re-admissions.
+    pub probations: u64,
+    /// Total `Probation → Healthy` recoveries (full ladder cycles).
+    pub recoveries: u64,
 }
 
 impl SchedulerSnapshot {
@@ -160,6 +170,7 @@ pub struct Scheduler {
     devices: usize,
     max_queue_len: u64,
     policy: SchedPolicy,
+    health: HealthTracker,
 }
 
 impl Scheduler {
@@ -176,12 +187,44 @@ impl Scheduler {
     /// ([`SchedPolicy::PaperCount`] is the paper-ablation baseline).
     #[must_use]
     pub fn with_policy(devices: usize, max_queue_len: u64, policy: SchedPolicy) -> Scheduler {
+        Scheduler::with_health(devices, max_queue_len, policy, HealthConfig::default())
+    }
+
+    /// [`Scheduler::with_policy`] with explicit health-ladder
+    /// thresholds (tests and chaos runs shrink the cooldowns).
+    #[must_use]
+    pub fn with_health(
+        devices: usize,
+        max_queue_len: u64,
+        policy: SchedPolicy,
+        health: HealthConfig,
+    ) -> Scheduler {
         Scheduler {
             region: SharedRegion::new(6 * devices + 1),
             devices,
             max_queue_len: max_queue_len.max(1),
             policy,
+            health: HealthTracker::new(devices, health),
         }
+    }
+
+    /// The per-device health state machine. The runtime records task
+    /// successes/failures here; placement consults it automatically.
+    #[must_use]
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Whether `device` may receive new work right now (healthy or
+    /// degraded; on probation only while idle; never while
+    /// quarantined). Consumers check this before stealing for
+    /// themselves.
+    #[must_use]
+    pub fn device_eligible(&self, device: DeviceId) -> bool {
+        device.0 < self.devices
+            && self
+                .health
+                .placement_eligible(device.0, self.region.load(device.0))
     }
 
     /// Number of managed devices.
@@ -235,9 +278,25 @@ impl Scheduler {
                     (weighted * self.rate(i) * RATE_SCALE) as u64
                 })
                 .collect();
+            // Health mask: sick devices are presented to the (pure,
+            // health-unaware) policy as full, so quarantined cards drop
+            // out of placement and probation cards admit one probe. The
+            // CAS below still uses the *real* load — an eligible
+            // device's masked and real loads agree.
+            let masked: Vec<u64> = loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| {
+                    if self.health.placement_eligible(i, l) {
+                        l
+                    } else {
+                        self.max_queue_len
+                    }
+                })
+                .collect();
             match policy::select_device_for(
                 self.policy,
-                &loads,
+                &masked,
                 &backlogs,
                 &histories,
                 self.max_queue_len,
@@ -410,6 +469,7 @@ impl Scheduler {
     pub fn snapshot(&self) -> SchedulerSnapshot {
         let snap = self.region.snapshot();
         let d = self.devices;
+        let health = self.health.snapshot();
         SchedulerSnapshot {
             loads: snap[..d].to_vec(),
             histories: snap[d..2 * d].to_vec(),
@@ -417,6 +477,10 @@ impl Scheduler {
             weighted_histories: snap[3 * d..4 * d].to_vec(),
             steals: snap[4 * d..5 * d].to_vec(),
             cpu_steals: snap[6 * d],
+            health: health.states,
+            quarantines: health.quarantines,
+            probations: health.probations,
+            recoveries: health.recoveries,
         }
     }
 
@@ -708,6 +772,61 @@ mod tests {
             snap.weighted_loads
         );
         assert!(snap.total_steals() > 0, "contended run must have stolen");
+    }
+
+    #[test]
+    fn quarantined_devices_drop_out_of_placement() {
+        let cfg = HealthConfig {
+            probation_cooldown: std::time::Duration::from_secs(3600),
+            ..HealthConfig::default()
+        };
+        let s = Scheduler::with_health(2, 4, SchedPolicy::CostAware, cfg);
+        s.health().mark_lost(0);
+        for _ in 0..4 {
+            let g = s.alloc().expect("healthy peer has room");
+            assert_eq!(g.device, DeviceId(1), "lost device must not place");
+            s.free(g);
+        }
+        assert!(!s.device_eligible(DeviceId(0)));
+        assert!(s.device_eligible(DeviceId(1)));
+        s.health().mark_lost(1);
+        assert!(s.alloc().is_none(), "all devices sick -> CPU fallback");
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.health,
+            vec![HealthState::Quarantined, HealthState::Quarantined]
+        );
+        assert_eq!(snap.quarantines, 2);
+    }
+
+    #[test]
+    fn probation_admits_one_probe_at_a_time() {
+        let cfg = HealthConfig {
+            probation_cooldown: std::time::Duration::from_millis(1),
+            ..HealthConfig::default()
+        };
+        let s = Scheduler::with_health(2, 4, SchedPolicy::CostAware, cfg);
+        for _ in 0..5 {
+            s.health().record_failure(0);
+        }
+        assert_eq!(s.health().state(0), HealthState::Quarantined);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        // Past the cooldown the device re-enters as probation: it may
+        // take exactly one task until that probe completes.
+        let mut grants = Vec::new();
+        let mut on_zero = 0;
+        for _ in 0..4 {
+            let g = s.alloc().expect("room somewhere");
+            if g.device == DeviceId(0) {
+                on_zero += 1;
+            }
+            grants.push(g);
+        }
+        assert_eq!(on_zero, 1, "probation admits a single probe");
+        assert_eq!(s.health().state(0), HealthState::Probation);
+        for g in grants {
+            s.free(g);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! races.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// A staged task payload with its scheduling metadata.
@@ -111,7 +111,7 @@ impl<T> StealQueues<T> {
     /// Panics if `device` is out of range.
     pub fn stage(&self, device: usize, cost: u64, item: T) {
         let (lock, cvar) = &*self.inner;
-        let mut inner = lock.lock().unwrap();
+        let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.queues[device].push_back(Staged { cost, seq, item });
@@ -131,7 +131,7 @@ impl<T> StealQueues<T> {
     /// Panics if `device` is out of range.
     pub fn next(&self, device: usize, can_steal: bool) -> Next<T> {
         let (lock, cvar) = &*self.inner;
-        let mut inner = lock.lock().unwrap();
+        let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(task) = inner.queues[device].pop_front() {
                 inner.backlog[device] -= task.cost;
@@ -145,7 +145,9 @@ impl<T> StealQueues<T> {
             if inner.closed && inner.queues.iter().all(VecDeque::is_empty) {
                 return Next::Closed;
             }
-            let (guard, _timeout) = cvar.wait_timeout(inner, WAIT_INTERVAL).unwrap();
+            let (guard, _timeout) = cvar
+                .wait_timeout(inner, WAIT_INTERVAL)
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
         }
     }
@@ -160,7 +162,7 @@ impl<T> StealQueues<T> {
     /// Panics if `device` is out of range.
     pub fn try_next_local_under(&self, device: usize, max_cost: u64) -> Option<Staged<T>> {
         let (lock, _) = &*self.inner;
-        let mut inner = lock.lock().unwrap();
+        let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.queues[device].front()?.cost >= max_cost {
             return None;
         }
@@ -176,7 +178,7 @@ impl<T> StealQueues<T> {
     /// the caller is about to run there anyway.
     pub fn try_steal_over(&self, cost_floor: u64) -> Option<(usize, Staged<T>)> {
         let (lock, _) = &*self.inner;
-        let mut inner = lock.lock().unwrap();
+        let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         let mut best: Option<(usize, usize)> = None; // (queue, position)
         for (q, queue) in inner.queues.iter().enumerate() {
             for (p, task) in queue.iter().enumerate() {
@@ -203,7 +205,7 @@ impl<T> StealQueues<T> {
     /// every blocked consumer receives [`Next::Closed`].
     pub fn close(&self) {
         let (lock, cvar) = &*self.inner;
-        lock.lock().unwrap().closed = true;
+        lock.lock().unwrap_or_else(PoisonError::into_inner).closed = true;
         cvar.notify_all();
     }
 
@@ -211,7 +213,12 @@ impl<T> StealQueues<T> {
     #[must_use]
     pub fn staged_len(&self) -> usize {
         let (lock, _) = &*self.inner;
-        lock.lock().unwrap().queues.iter().map(VecDeque::len).sum()
+        lock.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queues
+            .iter()
+            .map(VecDeque::len)
+            .sum()
     }
 }
 
@@ -395,6 +402,27 @@ mod tests {
             }
             other => panic!("expected steal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_deadlock_consumers() {
+        // An out-of-range stage panics while holding the queue mutex,
+        // poisoning it — exactly what a worker panic mid-operation
+        // does. Every later operation must keep working on the
+        // recovered state instead of cascading unwrap panics.
+        let q: StealQueues<u32> = StealQueues::new(1);
+        q.stage(0, 1, 7);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.stage(5, 1, 99); // out of range: panics under the lock
+        }));
+        assert!(poison.is_err());
+        assert_eq!(q.staged_len(), 1, "pre-panic state intact");
+        match q.next(0, false) {
+            Next::Local(t) => assert_eq!(t.item, 7),
+            other => panic!("{other:?}"),
+        }
+        q.close();
+        assert_eq!(q.next(0, false), Next::Closed);
     }
 
     #[test]

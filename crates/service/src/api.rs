@@ -65,6 +65,12 @@ pub enum ServiceError {
     UnknownGrid,
     /// The service is shutting down (or has shut down).
     Closed,
+    /// The engine could not complete one of the request's ion partials
+    /// within the service's fan-out retry budget — devices failed or
+    /// were quarantined and CPU fallback was disabled. Distinct from
+    /// [`ServiceError::Overloaded`]: the request was admitted and
+    /// computation was attempted.
+    DeviceFailed,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -73,6 +79,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Overloaded => write!(f, "request queue full (load shed)"),
             ServiceError::UnknownGrid => write!(f, "unknown energy grid id"),
             ServiceError::Closed => write!(f, "service closed"),
+            ServiceError::DeviceFailed => {
+                write!(f, "device failure exhausted the fan-out retry budget")
+            }
         }
     }
 }

@@ -25,6 +25,8 @@ pub struct ServiceMetrics {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     queue_depth_peak: AtomicU64,
+    fanout_retried_ions: AtomicU64,
+    device_failures: AtomicU64,
     queue_latency: Mutex<LatencyHistogram>,
     compute_latency: Mutex<LatencyHistogram>,
     total_latency: Mutex<LatencyHistogram>,
@@ -48,6 +50,12 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     /// Highest request-queue occupancy observed at submit time.
     pub queue_depth_peak: u64,
+    /// Ion partials the engine left unanswered (device faults with CPU
+    /// fallback disabled) that the batcher re-fanned-out.
+    pub fanout_retried_ions: u64,
+    /// Requests refused with [`crate::ServiceError::DeviceFailed`]
+    /// after the fan-out retry budget was exhausted.
+    pub device_failures: u64,
     /// Queue-stage latency quantiles/mean, seconds.
     pub queue: StageLatency,
     /// Compute-stage latency quantiles/mean, seconds.
@@ -65,6 +73,14 @@ pub struct MetricsSnapshot {
     /// Per-device outstanding weighted (cost-unit) backlog at snapshot
     /// time.
     pub scheduler_weighted_loads: Vec<u64>,
+    /// Per-device health state (fault ladder) at snapshot time.
+    pub scheduler_health: Vec<hybrid_sched::HealthState>,
+    /// Healthy/Degraded → Quarantined transitions across all devices.
+    pub scheduler_quarantines: u64,
+    /// Quarantined → Probation re-admissions across all devices.
+    pub scheduler_probations: u64,
+    /// Probation → Healthy recoveries across all devices.
+    pub scheduler_recoveries: u64,
 }
 
 impl MetricsSnapshot {
@@ -74,6 +90,10 @@ impl MetricsSnapshot {
         self.scheduler_steals = sched.steals.clone();
         self.scheduler_cpu_steals = sched.cpu_steals;
         self.scheduler_weighted_loads = sched.weighted_loads.clone();
+        self.scheduler_health = sched.health.clone();
+        self.scheduler_quarantines = sched.quarantines;
+        self.scheduler_probations = sched.probations;
+        self.scheduler_recoveries = sched.recoveries;
         self
     }
 }
@@ -129,6 +149,14 @@ impl ServiceMetrics {
             .record(total_s);
     }
 
+    pub(crate) fn on_fanout_retry(&self, ions: u64) {
+        self.fanout_retried_ions.fetch_add(ions, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_device_failure(&self) {
+        self.device_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn on_batch(&self, requests: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
@@ -165,12 +193,18 @@ impl ServiceMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            fanout_retried_ions: self.fanout_retried_ions.load(Ordering::Relaxed),
+            device_failures: self.device_failures.load(Ordering::Relaxed),
             queue: stage(&self.queue_latency),
             compute: stage(&self.compute_latency),
             total: stage(&self.total_latency),
             scheduler_steals: Vec::new(),
             scheduler_cpu_steals: 0,
             scheduler_weighted_loads: Vec::new(),
+            scheduler_health: Vec::new(),
+            scheduler_quarantines: 0,
+            scheduler_probations: 0,
+            scheduler_recoveries: 0,
         }
     }
 }

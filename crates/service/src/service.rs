@@ -52,6 +52,13 @@ pub struct ServiceConfig {
     pub request_queue_depth: usize,
     /// Most requests one batch may coalesce.
     pub max_batch: usize,
+    /// How many times a batch re-fans-out ion partials the engine
+    /// failed to answer (device faults with CPU fallback disabled)
+    /// before affected requests are refused with
+    /// [`ServiceError::DeviceFailed`]. The engine's own per-task retry
+    /// ladder runs *inside* each fan-out; this budget bounds the
+    /// service's attempts above it.
+    pub fanout_retries: u32,
 }
 
 impl ServiceConfig {
@@ -80,6 +87,7 @@ impl ServiceConfig {
                 math: quadrature::MathMode::Exact,
                 pack_threshold: 0,
                 pack_max: 8,
+                resilience: hybrid_spectral::ResilienceConfig::default(),
             },
             grids,
             cache_capacity: 4096,
@@ -88,6 +96,7 @@ impl ServiceConfig {
             admission: AdmissionPolicy::Shed,
             request_queue_depth: 64,
             max_batch: 16,
+            fanout_retries: 2,
         }
     }
 }
@@ -115,6 +124,7 @@ struct Shared {
     bin_tables: Vec<Arc<Vec<(f64, f64)>>>,
     quantizer: Quantizer,
     max_batch: usize,
+    fanout_retries: u32,
     queue: BoundedQueue<QueuedRequest>,
     engine: Engine,
     cache: ShardedLruCache,
@@ -147,6 +157,7 @@ impl SpectralService {
             bin_tables,
             quantizer: Quantizer::new(config.quantize_drop_bits),
             max_batch: config.max_batch.max(1),
+            fanout_retries: config.fanout_retries,
             queue: BoundedQueue::new(config.request_queue_depth.max(1)),
             engine: Engine::start(config.engine),
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
@@ -396,49 +407,77 @@ fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant)
 
         let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
         let mut computed: BTreeSet<usize> = BTreeSet::new();
-        let (tx, rx) = channel();
+        let mut pending: Vec<usize> = Vec::new();
         for &ion in &union {
             let cache_key = CacheKey {
                 ion_index: ion,
                 state: key,
             };
-            if let Some(hit) = shared.cache.get(&cache_key) {
-                partials.insert(ion, hit);
-                continue;
+            match shared.cache.get(&cache_key) {
+                Some(hit) => {
+                    partials.insert(ion, hit);
+                }
+                None => {
+                    computed.insert(ion);
+                    pending.push(ion);
+                }
             }
-            computed.insert(ion);
-            let levels = db.levels_by_index(ion).len();
-            let job = IonJob {
-                ion_index: ion,
-                level_range: 0..levels,
-                point,
-                grid: grid.clone(),
-                bins: Arc::clone(bins),
-                tag: ion as u64,
-                reply: tx.clone(),
-            };
-            assert!(
-                shared.engine.submit(job).is_ok(),
-                "engine outlives the batcher"
-            );
         }
-        drop(tx);
-        let outcomes: Vec<IonOutcome> = rx.iter().collect();
-        assert_eq!(outcomes.len(), computed.len(), "every fan-out answered");
-        for outcome in outcomes {
-            let value = Arc::new(outcome.partial);
-            shared.cache.insert(
-                CacheKey {
-                    ion_index: outcome.ion_index,
-                    state: key,
-                },
-                Arc::clone(&value),
-            );
-            partials.insert(outcome.ion_index, value);
+
+        // Fan the cache-missing ions out to the engine. Under the
+        // engine's recovery ladder every job normally answers (retry →
+        // reassign → CPU fallback), but with CPU fallback disabled a
+        // job that exhausts its device retries is dropped without a
+        // reply; re-fan the unanswered ions out up to `fanout_retries`
+        // times before refusing the affected requests.
+        let mut refanouts = 0u32;
+        while !pending.is_empty() {
+            let (tx, rx) = channel();
+            for &ion in &pending {
+                let levels = db.levels_by_index(ion).len();
+                let job = IonJob {
+                    ion_index: ion,
+                    level_range: 0..levels,
+                    point,
+                    grid: grid.clone(),
+                    bins: Arc::clone(bins),
+                    tag: ion as u64,
+                    reply: tx.clone(),
+                };
+                assert!(
+                    shared.engine.submit(job).is_ok(),
+                    "engine outlives the batcher"
+                );
+            }
+            drop(tx);
+            let outcomes: Vec<IonOutcome> = rx.iter().collect();
+            for outcome in outcomes {
+                let value = Arc::new(outcome.partial);
+                shared.cache.insert(
+                    CacheKey {
+                        ion_index: outcome.ion_index,
+                        state: key,
+                    },
+                    Arc::clone(&value),
+                );
+                partials.insert(outcome.ion_index, value);
+            }
+            pending.retain(|ion| !partials.contains_key(ion));
+            if pending.is_empty() || refanouts >= shared.fanout_retries {
+                break;
+            }
+            refanouts += 1;
+            shared.metrics.on_fanout_retry(pending.len() as u64);
         }
+        let failed: BTreeSet<usize> = pending.into_iter().collect();
 
         for (&i, ions) in members.iter().zip(&member_ions) {
             let queued = &batch[i];
+            if ions.iter().any(|ion| failed.contains(ion)) {
+                shared.metrics.on_device_failure();
+                let _ = queued.reply.send(Err(ServiceError::DeviceFailed));
+                continue;
+            }
             let from_cache = ions.iter().filter(|ion| !computed.contains(ion)).count();
             let response = SpectrumResponse {
                 bins: assemble(grid.bins(), ions, &partials),

@@ -44,6 +44,7 @@ fn main() {
         fused: true,
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
+        resilience: hybridspec::hybrid::ResilienceConfig::default(),
     };
     println!(
         "computing {} survey spectra on {} ranks / {} simulated GPUs...",

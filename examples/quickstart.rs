@@ -49,6 +49,7 @@ fn main() {
         fused: true,
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
+        resilience: hybridspec::hybrid::ResilienceConfig::default(),
     };
     let report = HybridRunner::new(config).run();
     println!(

@@ -68,6 +68,7 @@ USAGE:
                  [--ranks N] [--gpus N] [--qlen N] [--lines true]
                  [--policy cost-aware|paper-count] [--math exact|vector]
                  [--pack-threshold COST] [--out FILE.tsv]
+                 [--faults seed=N,launch=P,panic=P,dma=P,stall=P:MS,lose=DEV@OP]
   hspec predict  [--gpus N] [--qlen N] [--granularity ion|level]
                  [--romberg-k K] [--async-window N]
   hspec tune     [--gpus N]
@@ -109,6 +110,73 @@ impl Args {
     }
 }
 
+/// Parse a `--faults` spec into per-device fault plans.
+///
+/// Comma-separated `key=value` terms, all optional:
+/// `seed=N` (default 42, each device derives `seed + d`),
+/// `launch=P` / `panic=P` / `dma=P` (probabilistic rates),
+/// `stall=P:MS` (rate and stall length, default 5 ms),
+/// `lose=DEV@OP` (device `DEV` goes away for good at its `OP`-th
+/// operation). Example: `--faults launch=0.1,dma=0.05,lose=1@40`.
+fn parse_fault_spec(spec: &str, gpus: usize) -> Result<Vec<hybridspec::gpu::FaultPlan>, String> {
+    use hybridspec::gpu::FaultPlan;
+    let mut seed = 42u64;
+    let mut launch = 0.0f64;
+    let mut panic_rate = 0.0f64;
+    let mut dma = 0.0f64;
+    let mut stall = (0.0f64, 5u64);
+    let mut lose: Option<(usize, u64)> = None;
+    for term in spec.split(',').filter(|t| !t.is_empty()) {
+        let (key, value) = term
+            .split_once('=')
+            .ok_or_else(|| format!("--faults term '{term}' is not key=value"))?;
+        let bad = || format!("--faults {key}: cannot parse '{value}'");
+        match key {
+            "seed" => seed = value.parse().map_err(|_| bad())?,
+            "launch" => launch = value.parse().map_err(|_| bad())?,
+            "panic" => panic_rate = value.parse().map_err(|_| bad())?,
+            "dma" => dma = value.parse().map_err(|_| bad())?,
+            "stall" => {
+                if let Some((rate, ms)) = value.split_once(':') {
+                    stall = (
+                        rate.parse().map_err(|_| bad())?,
+                        ms.parse().map_err(|_| bad())?,
+                    );
+                } else {
+                    stall.0 = value.parse().map_err(|_| bad())?;
+                }
+            }
+            "lose" => {
+                let (dev, op) = value
+                    .split_once('@')
+                    .ok_or_else(|| format!("--faults lose wants DEV@OP, got '{value}'"))?;
+                lose = Some((
+                    dev.parse()
+                        .map_err(|_| format!("--faults lose: '{value}'"))?,
+                    op.parse()
+                        .map_err(|_| format!("--faults lose: '{value}'"))?,
+                ));
+            }
+            other => return Err(format!("--faults: unknown key '{other}'")),
+        }
+    }
+    Ok((0..gpus)
+        .map(|d| {
+            let mut plan = FaultPlan::seeded(seed.wrapping_add(d as u64))
+                .launch_error_rate(launch)
+                .kernel_panic_rate(panic_rate)
+                .dma_error_rate(dma)
+                .stall_rate(stall.0, stall.1);
+            if let Some((dev, op)) = lose {
+                if dev == d {
+                    plan = plan.lose_device_at(op);
+                }
+            }
+            plan
+        })
+        .collect())
+}
+
 fn cmd_spectrum(args: &Args) -> Result<(), String> {
     let temp: f64 = args.get("temp", 3.5e6)?;
     let density: f64 = args.get("density", 1.0)?;
@@ -132,6 +200,11 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
             ))
         }
     };
+    let faults_raw: String = args.get("faults", String::new())?;
+    let mut resilience = hybridspec::hybrid::ResilienceConfig::default();
+    if !faults_raw.is_empty() {
+        resilience.faults = parse_fault_spec(&faults_raw, gpus)?;
+    }
 
     let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
         max_z,
@@ -158,6 +231,7 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         fused: true,
         math,
         pack_threshold,
+        resilience,
     };
     let report = HybridRunner::new(config).run();
     let mut spectrum = report.spectra.into_iter().next().expect("one point");
@@ -184,6 +258,17 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         "hybrid run: {} GPU tasks / {} CPU tasks in {:.2}s wall",
         report.gpu_tasks, report.cpu_tasks, report.wall_s
     );
+    if !faults_raw.is_empty() {
+        println!(
+            "fault ladder: {} faults, {} retries, {} CPU fallbacks, \
+             {} quarantine(s); device health {:?}",
+            report.task_faults,
+            report.task_retries,
+            report.fault_cpu_fallbacks,
+            report.quarantines,
+            report.device_health
+        );
+    }
     let series = spectrum.normalized().wavelength_series();
     if out.is_empty() {
         let peak = series

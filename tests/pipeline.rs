@@ -40,6 +40,7 @@ fn sedov_to_folded_counts() {
         fused: true,
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
+        resilience: hybridspec::hybrid::ResilienceConfig::default(),
     };
     let report = HybridRunner::new(config).run();
     assert_eq!(report.spectra.len(), 4);
