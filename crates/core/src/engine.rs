@@ -294,6 +294,26 @@ pub struct EngineReport {
     pub probations: u64,
     /// Probation → Healthy recoveries over the run.
     pub recoveries: u64,
+    /// Bytes of per-ion partial state resident on devices at shutdown
+    /// (see [`crate::resident::ResidentSpectrum`]).
+    pub resident_bytes: u64,
+    /// Peak bytes of resident partial state over the engine's life.
+    pub resident_bytes_peak: u64,
+    /// Delta recalculations served from resident state.
+    pub resident_delta_recalcs: u64,
+    /// Full recomputations (cold computes and invalidation recoveries).
+    pub resident_full_recomputes: u64,
+    /// Ions whose resident partials were reused verbatim across all
+    /// delta recalcs.
+    pub resident_reused_ions: u64,
+    /// Ions re-integrated across all delta recalcs (the summed
+    /// affected-set sizes).
+    pub resident_recomputed_ions: u64,
+    /// Largest single affected-ion set any delta recalc re-integrated.
+    pub resident_affected_max: u64,
+    /// Resident-state invalidations (device loss detected before
+    /// reuse), each followed by a full recompute.
+    pub resident_invalidations: u64,
 }
 
 /// The resident engine handle. Submit [`IonJob`]s from any number of
@@ -307,6 +327,7 @@ pub struct Engine {
     workers: Vec<std::thread::JoinHandle<WorkerStats>>,
     pumps: Vec<std::thread::JoinHandle<()>>,
     fault_stats: Arc<FaultStats>,
+    resident: Arc<crate::resident::ResidentCounters>,
 }
 
 impl Engine {
@@ -369,6 +390,7 @@ impl Engine {
             workers,
             pumps,
             fault_stats,
+            resident: Arc::new(crate::resident::ResidentCounters::default()),
         }
     }
 
@@ -464,6 +486,34 @@ impl Engine {
         self.config.gpus
     }
 
+    /// The simulated devices, for the resident-state layer's memory
+    /// accounting and fold charging.
+    pub(crate) fn devices(&self) -> &[SimGpu] {
+        &self.devices
+    }
+
+    /// Whether device `device` has been (stickily) lost. Out-of-range
+    /// indices read as not lost.
+    #[must_use]
+    pub fn device_lost(&self, device: usize) -> bool {
+        self.devices
+            .get(device)
+            .is_some_and(|g| g.faults().is_lost())
+    }
+
+    /// The fault injector of device `device` — the chaos hook tests and
+    /// benches use to force deterministic device loss
+    /// ([`gpu_sim::FaultInjector::force_lose`]).
+    #[must_use]
+    pub fn device_faults(&self, device: usize) -> Option<&gpu_sim::FaultInjector> {
+        self.devices.get(device).map(SimGpu::faults)
+    }
+
+    /// The shared resident-state counters (reported at shutdown).
+    pub(crate) fn resident_counters(&self) -> &Arc<crate::resident::ResidentCounters> {
+        &self.resident
+    }
+
     /// Scheduler load/history/steal read for the metrics layer.
     #[must_use]
     pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
@@ -532,6 +582,14 @@ impl Engine {
             quarantines: snap.quarantines,
             probations: snap.probations,
             recoveries: snap.recoveries,
+            resident_bytes: self.resident.bytes(),
+            resident_bytes_peak: self.resident.bytes_peak(),
+            resident_delta_recalcs: self.resident.delta_recalcs(),
+            resident_full_recomputes: self.resident.full_recomputes(),
+            resident_reused_ions: self.resident.reused_ions(),
+            resident_recomputed_ions: self.resident.recomputed_ions(),
+            resident_affected_max: self.resident.affected_max(),
+            resident_invalidations: self.resident.invalidations(),
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod experiments;
 pub mod hydro;
 pub mod pool;
+pub mod resident;
 pub mod resilience;
 pub mod runtime;
 pub mod spec;
@@ -41,6 +42,7 @@ pub use engine::{Engine, EngineConfig, EngineReport, ExecPath, IonJob, IonOutcom
 pub use hybrid_sched::SchedPolicy;
 pub use hydro::SedovBlast;
 pub use pool::WorkspacePool;
+pub use resident::{RecalcSummary, ResidentError, ResidentSpectrum};
 pub use resilience::ResilienceConfig;
 pub use runtime::{HybridConfig, HybridRunner, RunReport};
 pub use spec::{RuleSpec, RunSpec};

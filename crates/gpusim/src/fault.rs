@@ -253,6 +253,15 @@ impl FaultInjector {
         FaultInjector::new(FaultPlan::default())
     }
 
+    /// Deterministically mark the device lost *now*, regardless of any
+    /// scheduled plan — the chaos hook for tests and benches that need
+    /// a loss at an exact point in their own control flow rather than
+    /// at an operation index. Loss is sticky, exactly as if a
+    /// [`FaultPlan::lose_device_at`] trigger had fired.
+    pub fn force_lose(&self) {
+        self.mark_lost();
+    }
+
     /// Whether the device has been (stickily) lost.
     #[must_use]
     pub fn is_lost(&self) -> bool {
@@ -412,6 +421,16 @@ mod tests {
             assert!(inj.check_dma().is_ok());
         }
         assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn force_lose_is_sticky_even_without_a_plan() {
+        let inj = FaultInjector::none();
+        assert!(inj.check_launch().is_ok());
+        inj.force_lose();
+        assert!(inj.is_lost());
+        assert_eq!(inj.check_launch(), Err(DeviceFault::Lost));
+        assert_eq!(inj.check_dma(), Err(DeviceFault::Lost));
     }
 
     #[test]

@@ -38,5 +38,6 @@ pub use props::{Architecture, DeviceProps};
 pub use runtime::{DeviceCounters, SimGpu, TaskError, TaskHandle};
 pub use simt::{
     launch, BinIntegrationKernel, DeviceRule, FusedBinKernel, LaunchConfig, Precision, ThreadCtx,
+    WeightedFoldKernel,
 };
 pub use stream::{Stream, StreamEvent};

@@ -306,30 +306,44 @@ mod tests {
         let compute = Stream::new();
         let copy = Stream::new();
 
+        // Handshake instead of sleeps: kernel 2 parks on the compute
+        // worker until the copy has sampled it, so the overlap window
+        // cannot close early no matter how loaded the test host is.
         let data = Arc::new(AtomicU64::new(0));
         let kernel2_running = Arc::new(AtomicU64::new(0));
+        let copy_sampled = Arc::new(AtomicU64::new(0));
         let copy_overlapped = Arc::new(AtomicU64::new(0));
+        let deadline = std::time::Duration::from_secs(10);
 
         let d = Arc::clone(&data);
         let _ = compute.submit(&gpu, move || {
-            std::thread::sleep(std::time::Duration::from_millis(15));
             d.store(7, Ordering::SeqCst);
         });
         let ev = compute.record_event(&gpu);
 
         let running = Arc::clone(&kernel2_running);
+        let sampled = Arc::clone(&copy_sampled);
         let k2 = compute.submit(&gpu, move || {
             running.store(1, Ordering::SeqCst);
-            std::thread::sleep(std::time::Duration::from_millis(40));
+            let start = std::time::Instant::now();
+            while sampled.load(Ordering::SeqCst) == 0 && start.elapsed() < deadline {
+                std::thread::yield_now();
+            }
             running.store(0, Ordering::SeqCst);
         });
 
         copy.wait_event_dma(&gpu, ev);
         let d = Arc::clone(&data);
         let running = Arc::clone(&kernel2_running);
+        let sampled = Arc::clone(&copy_sampled);
         let overlapped = Arc::clone(&copy_overlapped);
         let copied = copy.submit_dma(&gpu, move || {
+            let start = std::time::Instant::now();
+            while running.load(Ordering::SeqCst) == 0 && start.elapsed() < deadline {
+                std::thread::yield_now();
+            }
             overlapped.store(running.load(Ordering::SeqCst), Ordering::SeqCst);
+            sampled.store(1, Ordering::SeqCst);
             d.load(Ordering::SeqCst)
         });
 

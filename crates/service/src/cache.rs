@@ -162,6 +162,20 @@ impl ShardedLruCache {
         }
     }
 
+    /// Look `key` up **without** refreshing recency or counting a
+    /// hit/miss — the probe the neighbor-seeded delta path uses while
+    /// scanning candidate buckets, so speculative scans neither skew
+    /// the hit-rate statistics nor protect entries the caller may not
+    /// even use from eviction.
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<Vec<f64>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.map.get(key).map(|entry| Arc::clone(&entry.value))
+    }
+
     /// Store `value` under `key`, evicting the shard's least recently
     /// touched entry if the shard is at capacity.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<f64>>) {
@@ -239,6 +253,21 @@ mod tests {
         assert!(c.get(&key(1, 1)).is_none(), "disabled cache stores nothing");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (0, 2, 0));
+    }
+
+    #[test]
+    fn peek_neither_counts_nor_touches() {
+        let c = ShardedLruCache::new(2, 1);
+        c.insert(key(0, 0), Arc::new(vec![0.0]));
+        c.insert(key(1, 0), Arc::new(vec![1.0]));
+        // Peeking 0 must NOT refresh it: 0 stays LRU and is evicted.
+        assert!(c.peek(&key(0, 0)).is_some());
+        assert!(c.peek(&key(9, 9)).is_none());
+        c.insert(key(2, 0), Arc::new(vec![2.0]));
+        assert!(c.peek(&key(0, 0)).is_none(), "peek must not protect LRU");
+        assert!(c.peek(&key(1, 0)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek is stats-neutral");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct ServiceMetrics {
     queue_depth_peak: AtomicU64,
     fanout_retried_ions: AtomicU64,
     device_failures: AtomicU64,
+    neighbor_hits: AtomicU64,
+    neighbor_rejects: AtomicU64,
     queue_latency: Mutex<LatencyHistogram>,
     compute_latency: Mutex<LatencyHistogram>,
     total_latency: Mutex<LatencyHistogram>,
@@ -56,6 +58,14 @@ pub struct MetricsSnapshot {
     /// Requests refused with [`crate::ServiceError::DeviceFailed`]
     /// after the fan-out retry budget was exhausted.
     pub device_failures: u64,
+    /// Ion cache misses answered by a delta recalc seeded from a
+    /// cached neighbor bucket within the configured radius (see
+    /// [`crate::ServiceConfig::neighbor_radius`]).
+    pub neighbor_hits: u64,
+    /// Neighbor candidates found in the cache but rejected because the
+    /// classified delta bound exceeded
+    /// [`crate::ServiceConfig::neighbor_tolerance`].
+    pub neighbor_rejects: u64,
     /// Queue-stage latency quantiles/mean, seconds.
     pub queue: StageLatency,
     /// Compute-stage latency quantiles/mean, seconds.
@@ -157,6 +167,14 @@ impl ServiceMetrics {
         self.device_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_neighbor_hit(&self) {
+        self.neighbor_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_neighbor_reject(&self) {
+        self.neighbor_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn on_batch(&self, requests: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
@@ -195,6 +213,8 @@ impl ServiceMetrics {
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             fanout_retried_ions: self.fanout_retried_ions.load(Ordering::Relaxed),
             device_failures: self.device_failures.load(Ordering::Relaxed),
+            neighbor_hits: self.neighbor_hits.load(Ordering::Relaxed),
+            neighbor_rejects: self.neighbor_rejects.load(Ordering::Relaxed),
             queue: stage(&self.queue_latency),
             compute: stage(&self.compute_latency),
             total: stage(&self.total_latency),
@@ -225,7 +245,11 @@ mod tests {
         m.on_responded(5e-4, 7e-4);
         m.on_responded(5e-4, 9e-4);
         m.on_caller_run(3e-3);
+        m.on_neighbor_hit();
+        m.on_neighbor_hit();
+        m.on_neighbor_reject();
         let s = m.snapshot();
+        assert_eq!((s.neighbor_hits, s.neighbor_rejects), (2, 1));
         assert_eq!(s.submitted, 2);
         assert_eq!(s.shed, 1);
         assert_eq!(s.caller_runs, 1);

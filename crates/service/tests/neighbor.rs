@@ -1,0 +1,154 @@
+//! Neighbor-seeded delta recalc at the service tier: a cache miss
+//! whose quantization bucket has a cached neighbor within the
+//! configured radius is answered by reusing the neighbor's partials —
+//! when (and only when) the classified delta bound passes the
+//! configured tolerance.
+//!
+//! The quantizer drops 16 mantissa bits here, so adjacent buckets are
+//! ~2^-36 apart in relative value; the classified per-ion bound for
+//! that step is ~1e-9, comfortably inside a 1e-8 tolerance and
+//! hopelessly outside a 1e-14 one — which is exactly the accept/reject
+//! pair these tests probe.
+
+use std::sync::Arc;
+
+use atomdb::{AtomDatabase, DatabaseConfig};
+use rrc_service::{
+    ElementSelection, ServiceConfig, SpectralService, SpectrumRequest, SpectrumResponse,
+};
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator, SerialCalculator};
+
+const DROP_BITS: u32 = 16;
+
+fn db() -> Arc<AtomDatabase> {
+    Arc::new(AtomDatabase::generate(DatabaseConfig {
+        max_z: 6,
+        ..DatabaseConfig::default()
+    }))
+}
+
+fn grid() -> EnergyGrid {
+    EnergyGrid::linear(50.0, 2000.0, 48)
+}
+
+fn config(radius: u32, tolerance: f64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::deterministic(db(), vec![grid()]);
+    cfg.quantize_drop_bits = DROP_BITS;
+    cfg.neighbor_radius = radius;
+    cfg.neighbor_tolerance = tolerance;
+    cfg
+}
+
+/// The representative temperature of the bucket holding `t`, shifted
+/// `offset` buckets up the positive axis.
+fn bucket_temperature(t: f64, offset: u64) -> f64 {
+    let mask = !0u64 << DROP_BITS;
+    f64::from_bits((t.to_bits() & mask) + offset * (1u64 << DROP_BITS))
+}
+
+fn request_at(temperature_k: f64) -> SpectrumRequest {
+    SpectrumRequest {
+        point: GridPoint {
+            temperature_k,
+            // 1.0 has an all-zero low mantissa: its own representative.
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: 0,
+        },
+        elements: ElementSelection::All,
+        grid_id: 0,
+    }
+}
+
+fn submit(service: &SpectralService, request: SpectrumRequest) -> SpectrumResponse {
+    service
+        .submit(request)
+        .expect("admitted")
+        .wait()
+        .expect("answered")
+}
+
+/// Serial reference at the (already-representative) request point.
+fn reference(database: &AtomDatabase, request: &SpectrumRequest) -> Vec<f64> {
+    let serial =
+        SerialCalculator::new(database.clone(), grid(), Integrator::Simpson { panels: 64 });
+    let mut out = vec![0.0f64; grid().bins()];
+    for (ion_index, _) in database.ions().iter().enumerate() {
+        let spectrum = serial.ion_spectrum(ion_index, &request.point);
+        for (acc, v) in out.iter_mut().zip(spectrum.bins()) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+#[test]
+fn adjacent_bucket_seeds_a_delta_recalc_within_tolerance() {
+    let database = db();
+    let service = SpectralService::start(config(1, 1e-8));
+    // Warm the cache at one bucket, then query the next bucket up.
+    let warm = submit(&service, request_at(bucket_temperature(1e7, 0)));
+    assert!(warm.ions_computed > 0, "cold bucket computes");
+    let near = request_at(bucket_temperature(1e7, 1));
+    let seeded = submit(&service, near.clone());
+    assert_eq!(
+        seeded.ions_computed, 0,
+        "adjacent-bucket miss must be fully neighbor-seeded"
+    );
+    let metrics = service.metrics();
+    assert_eq!(metrics.neighbor_hits, warm.ions_computed);
+    // Reused bits stand in for the neighbor's state; the classified
+    // bound caps the per-bin relative deviation from a fresh compute.
+    let want = reference(&database, &near);
+    for (i, (got, want)) in seeded.bins.iter().zip(&want).enumerate() {
+        let scale = want.abs().max(f64::MIN_POSITIVE);
+        assert!(
+            ((got - want) / scale).abs() <= 1e-8,
+            "bin {i}: {got} vs {want}"
+        );
+    }
+    // Seeding re-inserted under the missed key: a repeat is a plain
+    // cache hit, no further neighbor scanning.
+    let repeat = submit(&service, near);
+    assert_eq!(repeat.ions_computed, 0);
+    assert_eq!(service.metrics().neighbor_hits, metrics.neighbor_hits);
+    let report = service.shutdown();
+    assert_eq!(report.engine.leaked_grants, 0);
+}
+
+#[test]
+fn tight_tolerance_rejects_the_neighbor_and_recomputes() {
+    let database = db();
+    // 1e-14 sits below the classifier's noise floor: every cross-bucket
+    // bound is rejected and the miss takes the cold path.
+    let service = SpectralService::start(config(1, 1e-14));
+    let warm = submit(&service, request_at(bucket_temperature(1e7, 0)));
+    let near = request_at(bucket_temperature(1e7, 1));
+    let fresh = submit(&service, near.clone());
+    assert_eq!(
+        fresh.ions_computed, warm.ions_computed,
+        "rejected neighbors must not suppress the compute"
+    );
+    let metrics = service.metrics();
+    assert_eq!(metrics.neighbor_hits, 0);
+    assert!(metrics.neighbor_rejects > 0, "candidates were considered");
+    // The cold path keeps the bitwise guarantee.
+    let want = reference(&database, &near);
+    for (i, (got, want)) in fresh.bins.iter().zip(&want).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "bin {i}: {got} vs {want}");
+    }
+    let report = service.shutdown();
+    assert_eq!(report.engine.leaked_grants, 0);
+}
+
+#[test]
+fn radius_zero_disables_the_scan() {
+    let service = SpectralService::start(config(0, 1e-8));
+    let warm = submit(&service, request_at(bucket_temperature(1e7, 0)));
+    let fresh = submit(&service, request_at(bucket_temperature(1e7, 1)));
+    assert_eq!(fresh.ions_computed, warm.ions_computed);
+    let metrics = service.metrics();
+    assert_eq!((metrics.neighbor_hits, metrics.neighbor_rejects), (0, 0));
+    let report = service.shutdown();
+    assert_eq!(report.engine.leaked_grants, 0);
+}

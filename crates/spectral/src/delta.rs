@@ -1,0 +1,400 @@
+//! Delta classification for incremental spectrum recalculation.
+//!
+//! A parameter sweep or a fan-out of *similar* requests changes the
+//! plasma state `(T, n_e)` by small amounts between spectra. Because
+//! the prepared RRC integrand is a pure decaying exponential above its
+//! threshold,
+//!
+//! ```text
+//! f(E) = coeff · exp(-(E - I) / kT)      for E ≥ I,   0 below,
+//! ```
+//!
+//! the pointwise ratio between the *new* and *old* state of one level is
+//!
+//! ```text
+//! r(E) = (coeff'/coeff) · exp(-(E - I) · (1/kT' - 1/kT)),
+//! ```
+//!
+//! which is **monotone in `E`** — its extremes over a level's
+//! integration domain sit exactly at the domain endpoints. That gives a
+//! cheap, *analytic* bound on how much an ion's per-bin partial can
+//! have changed, with no integration at all: evaluate the ratio at the
+//! clamped window start and at the upper edge of the last in-window bin
+//! (the hydrogenic level windows of
+//! [`window_bin_range`](crate::calculator::window_bin_range)), take the
+//! worst deviation from 1 across levels, and compare against a
+//! tolerance. Ions within tolerance keep their resident partials
+//! verbatim; only the rest are re-integrated.
+//!
+//! Soundness notes:
+//!
+//! - The bound is exact for the continuum integral under any
+//!   positive-weight rule (Simpson, Gauss–Legendre, adaptive QAGS):
+//!   nonnegative integrands scaled pointwise by `r(E) ∈ [lo, hi]`
+//!   produce integrals scaled by a factor in `[lo, hi]`. Romberg's
+//!   Richardson extrapolation mixes estimates with signed weights, so
+//!   its *numerical* value can wiggle slightly outside the continuum
+//!   bound; [`BOUND_SAFETY`] absorbs that (and FP slop in the bound
+//!   arithmetic itself).
+//! - A computed bound of zero does **not** imply bitwise-equal
+//!   partials (a ratio can round to exactly 1.0 while the partials
+//!   differ in their last ulp), and the *measured* difference between
+//!   two computed partials carries the kernels' own rounding noise, so
+//!   inexact levels add [`BOUND_NOISE_FLOOR`] to the bound. Bitwise
+//!   reuse is only ever granted through [`DeltaClass::Identical`],
+//!   which demands provably identical arithmetic: both populations
+//!   zero, all windows empty, or bitwise equal `(coeff, 1/kT)` with
+//!   identical bin ranges.
+//! - Any structural change — the ion's population flipping between
+//!   zero and nonzero, or a level's `(skip, end, clamped_lo)` bin range
+//!   moving — is [`DeltaClass::Affected`]: the zero set of the partial
+//!   changes and no ratio bound applies.
+
+use atomdb::AtomDatabase;
+
+use crate::calculator::{ion_integrands, level_window, window_bin_range};
+use crate::params::GridPoint;
+
+/// Multiplier applied to the analytic ratio bound before it is
+/// compared with a tolerance, absorbing floating-point slop in the
+/// bound arithmetic and rule-level wiggle (see module docs).
+pub const BOUND_SAFETY: f64 = 1.01;
+
+/// Additive floor on the bound of any inexact level. The *measured*
+/// per-bin difference between two computed partials carries the
+/// accumulated rounding noise of the ~129-sample kernels (sequential
+/// positive sums: worst case a few hundred ulp ≈ 6e-14 relative) on
+/// top of the analytic ratio, so a sound bound must cover that noise.
+/// Consequently tolerances below this floor behave like tolerance
+/// zero: only provably bitwise-identical ions are reused.
+pub const BOUND_NOISE_FLOOR: f64 = 1e-13;
+
+/// How one ion's partial spectrum relates across two plasma states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaClass {
+    /// The partial is provably **bitwise identical** at both states
+    /// (zero population at both, all level windows empty, or bitwise
+    /// equal prepared parameters with identical bin ranges). Reusable
+    /// at any tolerance, including zero.
+    Identical,
+    /// Every bin of the partial changes by at most this relative
+    /// factor. Reusable when the bound is within the caller's
+    /// tolerance; never below [`BOUND_NOISE_FLOOR`], so a tolerance of
+    /// zero always recomputes inexact ions.
+    Bounded(f64),
+    /// No bound applies: the population flipped between zero and
+    /// nonzero, a level's bin range moved, or the ratio arithmetic
+    /// degenerated. Must be recomputed.
+    Affected,
+}
+
+impl DeltaClass {
+    /// Whether a resident partial classified as `self` may be reused
+    /// in place of recomputation at `tolerance` (the maximum per-bin
+    /// relative deviation the caller accepts).
+    #[must_use]
+    pub fn reusable(&self, tolerance: f64) -> bool {
+        match *self {
+            DeltaClass::Identical => true,
+            DeltaClass::Bounded(b) => b <= tolerance,
+            DeltaClass::Affected => false,
+        }
+    }
+
+    /// The relative-change bound, if one applies (`Identical` ⇒ 0).
+    #[must_use]
+    pub fn bound(&self) -> Option<f64> {
+        match *self {
+            DeltaClass::Identical => Some(0.0),
+            DeltaClass::Bounded(b) => Some(b),
+            DeltaClass::Affected => None,
+        }
+    }
+}
+
+/// Classify how ion `ion_index`'s partial spectrum over `bins` changes
+/// between plasma states `old` and `new`.
+///
+/// `bins` must be the same ascending `(lo, hi)` bin list the partials
+/// were integrated over — the classification keys on the exact
+/// `(skip, end, clamped_lo)` window resolution the kernels use.
+///
+/// # Panics
+/// Panics if `ion_index` is out of range for `db`.
+#[must_use]
+pub fn classify_ion(
+    db: &AtomDatabase,
+    ion_index: usize,
+    old: &GridPoint,
+    new: &GridPoint,
+    bins: &[(f64, f64)],
+) -> DeltaClass {
+    let levels = db.levels_by_index(ion_index).len();
+    let old_int = ion_integrands(db, ion_index, 0..levels, old);
+    let new_int = ion_integrands(db, ion_index, 0..levels, new);
+    let (old_int, new_int) = match (old_int, new_int) {
+        // Zero population at both states: the partial is all zeros both
+        // times — bitwise identical by construction.
+        (None, None) => return DeltaClass::Identical,
+        // Population flipped between zero and nonzero.
+        (Some(_), None) | (None, Some(_)) => return DeltaClass::Affected,
+        (Some(o), Some(n)) => (o, n),
+    };
+    debug_assert_eq!(old_int.len(), new_int.len(), "same level list");
+
+    let kt_old = old.kt_ev();
+    let kt_new = new.kt_ev();
+    let mut bound = 0.0f64;
+    let mut exact = true;
+    for (o, n) in old_int.iter().zip(&new_int) {
+        let w_old = level_window(o.binding_ev, kt_old);
+        let w_new = level_window(n.binding_ev, kt_new);
+        let (s_o, e_o, c_o) = window_bin_range(bins, w_old.0, w_old.1);
+        let (s_n, e_n, c_n) = window_bin_range(bins, w_new.0, w_new.1);
+        let empty_o = s_o >= e_o;
+        let empty_n = s_n >= e_n;
+        if empty_o && empty_n {
+            // The level touches no bin at either state: identically
+            // zero contribution both times.
+            continue;
+        }
+        if empty_o != empty_n || s_o != s_n || e_o != e_n || c_o.to_bits() != c_n.to_bits() {
+            // The zero set of the contribution moved; no ratio bound.
+            return DeltaClass::Affected;
+        }
+        let p_o = o.prepare();
+        let p_n = n.prepare();
+        debug_assert_eq!(
+            p_o.threshold_ev.to_bits(),
+            p_n.threshold_ev.to_bits(),
+            "same level, same binding energy"
+        );
+        if p_o.coeff.to_bits() == p_n.coeff.to_bits()
+            && p_o.inv_kt.to_bits() == p_n.inv_kt.to_bits()
+        {
+            // Bitwise-equal prepared parameters over an identical bin
+            // range: the level's contribution is bitwise identical.
+            continue;
+        }
+        let positive = |c: f64| matches!(c.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater));
+        if !positive(p_o.coeff) || !positive(p_n.coeff) {
+            // Degenerate prefactor (zero, negative, or NaN): the ratio
+            // argument collapses.
+            return DeltaClass::Affected;
+        }
+        // The integration domain of this level is [clamped window
+        // start, upper edge of the last in-window bin]; the ratio is
+        // monotone in E, so these endpoints bracket it exactly.
+        let e_lo = c_o;
+        let e_hi = bins[e_o - 1].1;
+        let r0 = p_n.coeff / p_o.coeff;
+        let d_ik = p_n.inv_kt - p_o.inv_kt;
+        let r_lo = r0 * (-(e_lo - p_o.threshold_ev) * d_ik).exp();
+        let r_hi = r0 * (-(e_hi - p_o.threshold_ev) * d_ik).exp();
+        if !r_lo.is_finite() || !r_hi.is_finite() {
+            return DeltaClass::Affected;
+        }
+        let lo = r_lo.min(r_hi);
+        let hi = r_lo.max(r_hi);
+        bound = bound.max((hi - 1.0).max(1.0 - lo));
+        exact = false;
+    }
+    if exact {
+        DeltaClass::Identical
+    } else {
+        DeltaClass::Bounded(bound * BOUND_SAFETY + BOUND_NOISE_FLOOR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculator::{emissivity_into_mode, Integrator};
+    use crate::grid::EnergyGrid;
+    use quadrature::{MathMode, QagsWorkspace};
+
+    fn db() -> AtomDatabase {
+        AtomDatabase::generate(atomdb::DatabaseConfig {
+            max_z: 8,
+            ..Default::default()
+        })
+    }
+
+    fn grid() -> EnergyGrid {
+        EnergyGrid::linear(50.0, 2000.0, 96)
+    }
+
+    fn point(t: f64, n: f64) -> GridPoint {
+        GridPoint {
+            temperature_k: t,
+            density_cm3: n,
+            time_s: 0.0,
+            index: 0,
+        }
+    }
+
+    /// Reference partial: the same fused Simpson path the engine uses.
+    fn partial(db: &AtomDatabase, ion: usize, p: &GridPoint, grid: &EnergyGrid) -> Vec<f64> {
+        let mut out = vec![0.0; grid.bins()];
+        let mut ws = QagsWorkspace::new();
+        let levels = db.levels_by_index(ion).len();
+        emissivity_into_mode(
+            db,
+            ion,
+            0..levels,
+            p,
+            grid,
+            Integrator::Simpson { panels: 64 },
+            &mut ws,
+            &mut out,
+            MathMode::Exact,
+        );
+        out
+    }
+
+    #[test]
+    fn identical_states_classify_identical() {
+        let db = db();
+        let grid = grid();
+        let bins = grid.bin_pairs();
+        let p = point(1.0e7, 1.0);
+        for ion in 0..db.ions().len() {
+            assert_eq!(
+                classify_ion(&db, ion, &p, &p, &bins),
+                DeltaClass::Identical,
+                "ion {ion}"
+            );
+        }
+    }
+
+    /// Satellite property (a): whenever an ion's contribution actually
+    /// changes by more than the classifier's bound, the classifier must
+    /// not have authorized reuse at that bound — i.e. the affected set
+    /// at any tolerance is a superset of the truly-changed-beyond-
+    /// tolerance set. Checked in its strongest form: the measured
+    /// per-bin relative change never exceeds the claimed bound, and
+    /// `Identical` ions are bitwise unchanged.
+    #[test]
+    fn bound_dominates_measured_change() {
+        let db = db();
+        let grid = grid();
+        let bins = grid.bin_pairs();
+        let base = point(1.0e7, 1.0);
+        let deltas = [
+            (1.0 + 1e-14, 1.0),
+            (1.0 + 1e-10, 1.0),
+            (1.0 + 1e-6, 1.0 + 1e-6),
+            (1.0, 1.0 + 1e-8),
+            (1.0 - 3e-11, 1.0 + 2e-9),
+        ];
+        let mut bounded_seen = 0usize;
+        for (ft, fd) in deltas {
+            let new = point(base.temperature_k * ft, base.density_cm3 * fd);
+            for ion in 0..db.ions().len() {
+                let class = classify_ion(&db, ion, &base, &new, &bins);
+                let old_p = partial(&db, ion, &base, &grid);
+                let new_p = partial(&db, ion, &new, &grid);
+                match class {
+                    DeltaClass::Identical => {
+                        for (b, (o, n)) in old_p.iter().zip(&new_p).enumerate() {
+                            assert_eq!(o.to_bits(), n.to_bits(), "ion {ion} bin {b}");
+                        }
+                    }
+                    DeltaClass::Bounded(bound) => {
+                        bounded_seen += 1;
+                        for (b, (o, n)) in old_p.iter().zip(&new_p).enumerate() {
+                            if *o == 0.0 && *n == 0.0 {
+                                continue;
+                            }
+                            assert!(
+                                *o > 0.0 && *n > 0.0,
+                                "ranges equal ⇒ zero sets equal (ion {ion} bin {b})"
+                            );
+                            let rel = (n - o).abs() / o;
+                            assert!(
+                                rel <= bound,
+                                "ion {ion} bin {b}: measured {rel:e} > bound {bound:e}"
+                            );
+                        }
+                    }
+                    DeltaClass::Affected => {}
+                }
+            }
+        }
+        assert!(bounded_seen > 0, "fixture too degenerate to test bounds");
+    }
+
+    #[test]
+    fn tiny_steps_stay_within_default_tolerance() {
+        // The bench sweep relies on this: a 1e-15 relative temperature
+        // step bounds every populated ion well under 1e-12.
+        let db = db();
+        let bins = grid().bin_pairs();
+        let base = point(1.0e7, 1.0);
+        let new = point(1.0e7 * (1.0 + 1e-15), 1.0);
+        for ion in 0..db.ions().len() {
+            let class = classify_ion(&db, ion, &base, &new, &bins);
+            assert!(
+                class.reusable(1e-12),
+                "ion {ion}: {class:?} not reusable at 1e-12"
+            );
+        }
+    }
+
+    #[test]
+    fn large_steps_are_not_reusable_at_tight_tolerance() {
+        let db = db();
+        let bins = grid().bin_pairs();
+        let base = point(1.0e7, 1.0);
+        let new = point(2.0e7, 1.0);
+        let any_blocked = (0..db.ions().len())
+            .any(|ion| !classify_ion(&db, ion, &base, &new, &bins).reusable(1e-12));
+        assert!(any_blocked, "doubling T must affect someone");
+    }
+
+    #[test]
+    fn tolerance_zero_reuses_only_identical() {
+        let db = db();
+        let bins = grid().bin_pairs();
+        let base = point(1.0e7, 1.0);
+        let new = point(1.0e7 * (1.0 + 1e-15), 1.0);
+        for ion in 0..db.ions().len() {
+            let class = classify_ion(&db, ion, &base, &new, &bins);
+            if class.reusable(0.0) {
+                assert_eq!(class, DeltaClass::Identical, "ion {ion}");
+            }
+        }
+    }
+
+    #[test]
+    fn population_flip_is_affected() {
+        // The CIE log-normal never underflows a stage's fraction to an
+        // exact zero across temperature, so the real zero↔nonzero flip
+        // is the electron density dropping to zero ("plasma off"):
+        // classify must refuse to bound across it.
+        let db = db();
+        let bins = grid().bin_pairs();
+        let on = point(1.0e7, 1.0);
+        let off = point(1.0e7, 0.0);
+        let mut flips = 0usize;
+        for ion in 0..db.ions().len() {
+            let levels = db.levels_by_index(ion).len();
+            let at_on = ion_integrands(&db, ion, 0..levels, &on).is_some();
+            let at_off = ion_integrands(&db, ion, 0..levels, &off).is_some();
+            if at_on != at_off {
+                flips += 1;
+                assert_eq!(
+                    classify_ion(&db, ion, &on, &off, &bins),
+                    DeltaClass::Affected,
+                    "ion {ion}"
+                );
+                assert_eq!(
+                    classify_ion(&db, ion, &off, &on, &bins),
+                    DeltaClass::Affected,
+                    "ion {ion} reversed"
+                );
+            }
+        }
+        assert!(flips > 0, "fixture should produce population flips");
+    }
+}

@@ -20,6 +20,7 @@
 //!   being one small definite integral (paper Eq. 2).
 
 pub mod calculator;
+pub mod delta;
 pub mod grid;
 pub mod ionpop;
 pub mod lines;
@@ -33,6 +34,7 @@ pub use calculator::{
     emissivity_per_bin_into, ion_emissivity_into, ion_emissivity_into_mode, ion_integrands,
     level_window, window_bin_range, Integrator, SerialCalculator,
 };
+pub use delta::{classify_ion, DeltaClass};
 pub use grid::EnergyGrid;
 pub use ionpop::cie_fractions;
 pub use lines::{full_spectrum, ion_lines_into, lines_for_ion, Line};
