@@ -520,6 +520,14 @@ impl Engine {
         self.scheduler.snapshot()
     }
 
+    /// The device-health ladder's current view — the routing tier's
+    /// demotion signal (a shard whose devices are all quarantined is
+    /// demoted in the ring and traffic prefers its replicas).
+    #[must_use]
+    pub fn health_snapshot(&self) -> hybrid_sched::HealthSnapshot {
+        self.scheduler.health().snapshot()
+    }
+
     /// Graceful shutdown: refuse new work, drain queued jobs, settle
     /// every in-flight device task (freeing its grant), join workers
     /// and pumps, and report.

@@ -1,0 +1,371 @@
+//! Scatter/gather collectives over [`BoundedQueue`] lanes.
+//!
+//! The sharded service tier fans one request out to many engine shards
+//! and folds their partial answers back together. [`RankCtx`]'s
+//! collectives assume a fixed rank world created by [`crate::run`];
+//! shard workers are long-lived threads with independent lifetimes, so
+//! the router needs the same scatter/gather *shape* over the queue
+//! primitive instead:
+//!
+//! * [`ScatterGather`] owns one bounded lane per destination. A
+//!   [`ScatterGather::scatter`] call splits a request into parts, each
+//!   addressed to a lane, and returns a [`Gather`] that blocks until
+//!   **every** part is resolved.
+//! * Workers loop `while let Some(env) = lane.pop()` and answer each
+//!   [`Envelope`] through its [`Promise`]. A promise that is dropped
+//!   unfulfilled — worker panic, shutdown drain, refused push —
+//!   resolves its part as `None`, so a gather can never hang on a dead
+//!   shard: missing parts surface to the caller, which re-routes them.
+//! * Close-and-drain semantics come from the underlying queues:
+//!   [`ScatterGather::close`] refuses further scatters and drains every
+//!   lane, resolving any still-queued envelope as missing.
+//!
+//! Lock poisoning is tolerated throughout (inherited from
+//! [`BoundedQueue`]): a worker that panics mid-operation never wedges
+//! the other shards or the gathering caller.
+//!
+//! [`RankCtx`]: crate::RankCtx
+
+use crate::queue::BoundedQueue;
+
+/// A worker-facing lane handle: pop [`Envelope`]s until `None`.
+pub type Lane<Req, Resp> = BoundedQueue<Envelope<Req, Resp>>;
+
+/// The write-once resolution slot of one scattered part. Fulfil it
+/// with the worker's answer; dropping it unfulfilled resolves the part
+/// as missing (`None` at the gather).
+pub struct Promise<Resp> {
+    seq: usize,
+    reply: BoundedQueue<(usize, Option<Resp>)>,
+    fulfilled: bool,
+}
+
+impl<Resp> Promise<Resp> {
+    /// Deliver the answer for this part.
+    pub fn fulfill(mut self, resp: Resp) {
+        // The reply queue's capacity is the part count and every part
+        // resolves exactly once, so this push cannot be refused as
+        // full; the queue is never closed.
+        let _ = self.reply.try_push((self.seq, Some(resp)));
+        self.fulfilled = true;
+    }
+}
+
+impl<Resp> Drop for Promise<Resp> {
+    /// An abandoned part — worker panic, shutdown drain, refused
+    /// push — still resolves, as missing, so the gather terminates.
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let _ = self.reply.try_push((self.seq, None));
+        }
+    }
+}
+
+/// One scattered part in flight: the request payload plus the promise
+/// that routes its answer back to the gather.
+pub struct Envelope<Req, Resp> {
+    lane: usize,
+    req: Req,
+    promise: Promise<Resp>,
+}
+
+impl<Req, Resp> Envelope<Req, Resp> {
+    /// The lane this part was addressed to.
+    #[must_use]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Borrow the request payload.
+    #[must_use]
+    pub fn request(&self) -> &Req {
+        &self.req
+    }
+
+    /// Take ownership of the payload and the reply promise.
+    #[must_use]
+    pub fn split(self) -> (Req, Promise<Resp>) {
+        (self.req, self.promise)
+    }
+
+    /// Answer in place (convenience for workers that borrow the
+    /// request while computing).
+    pub fn reply(self, resp: Resp) {
+        self.promise.fulfill(resp);
+    }
+}
+
+/// The pending result of one [`ScatterGather::scatter`].
+#[must_use = "gather() must run, or the scattered parts' answers are dropped"]
+pub struct Gather<Resp> {
+    reply: BoundedQueue<(usize, Option<Resp>)>,
+    expected: usize,
+}
+
+impl<Resp> Gather<Resp> {
+    /// How many parts were scattered.
+    #[must_use]
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Block until every part has resolved; `out[i]` is part `i`'s
+    /// answer in scatter order, `None` for parts whose promise was
+    /// dropped unfulfilled (dead worker, closed lane).
+    pub fn gather(self) -> Vec<Option<Resp>> {
+        let mut out: Vec<Option<Resp>> = (0..self.expected).map(|_| None).collect();
+        for _ in 0..self.expected {
+            let (seq, resp) = self
+                .reply
+                .pop()
+                .expect("every part resolves exactly once (fulfil or drop)");
+            out[seq] = resp;
+        }
+        out
+    }
+}
+
+/// Fan-out/fan-in over per-destination bounded lanes (module docs).
+pub struct ScatterGather<Req, Resp> {
+    lanes: Vec<Lane<Req, Resp>>,
+}
+
+impl<Req, Resp> ScatterGather<Req, Resp> {
+    /// A collective with `lanes` destinations, each lane buffering at
+    /// most `depth` parts (the shard-tier backpressure bound).
+    ///
+    /// # Panics
+    /// Panics when `lanes == 0` — a collective needs a destination.
+    #[must_use]
+    pub fn new(lanes: usize, depth: usize) -> ScatterGather<Req, Resp> {
+        assert!(lanes >= 1, "a collective needs at least one lane");
+        ScatterGather {
+            lanes: (0..lanes).map(|_| BoundedQueue::new(depth)).collect(),
+        }
+    }
+
+    /// Number of destination lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// A worker handle for lane `lane`.
+    ///
+    /// # Panics
+    /// Panics when `lane` is out of range.
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> Lane<Req, Resp> {
+        self.lanes[lane].clone()
+    }
+
+    /// Scatter `parts` (each a `(lane, request)` pair) and return the
+    /// gather for their answers. Pushes block for lane backpressure; a
+    /// part addressed to a closed lane resolves as missing instead of
+    /// blocking forever.
+    ///
+    /// # Panics
+    /// Panics when a part addresses an out-of-range lane.
+    pub fn scatter(&self, parts: Vec<(usize, Req)>) -> Gather<Resp> {
+        let expected = parts.len();
+        let reply: BoundedQueue<(usize, Option<Resp>)> = BoundedQueue::new(expected.max(1));
+        for (seq, (lane, req)) in parts.into_iter().enumerate() {
+            assert!(lane < self.lanes.len(), "lane {lane} out of range");
+            let envelope = Envelope {
+                lane,
+                req,
+                promise: Promise {
+                    seq,
+                    reply: reply.clone(),
+                    fulfilled: false,
+                },
+            };
+            // A refused push (lane closed) drops the envelope, whose
+            // promise resolves the part as missing.
+            let _ = self.lanes[lane].push(envelope);
+        }
+        Gather { reply, expected }
+    }
+
+    /// Close every lane and drain what they still hold: producers are
+    /// refused from now on, workers observe end-of-stream after the
+    /// drain, and every still-queued envelope resolves its part as
+    /// missing. Idempotent.
+    pub fn close(&self) {
+        for lane in &self.lanes {
+            lane.close();
+            // Dropping the leftover envelopes fires their promises.
+            while lane.try_pop().is_some() {}
+        }
+    }
+
+    /// Whether [`ScatterGather::close`] has run.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lanes.iter().all(BoundedQueue::is_closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_gathers_in_part_order() {
+        let sg: ScatterGather<u64, u64> = ScatterGather::new(3, 4);
+        let workers: Vec<_> = (0..3)
+            .map(|l| {
+                let lane = sg.lane(l);
+                std::thread::spawn(move || {
+                    while let Some(env) = lane.pop() {
+                        let (req, promise) = env.split();
+                        promise.fulfill(req * 10 + l as u64);
+                    }
+                })
+            })
+            .collect();
+        // Parts deliberately hit lanes out of order; answers come back
+        // in part order regardless of which worker finishes first.
+        let gather = sg.scatter(vec![(2, 1), (0, 2), (1, 3), (0, 4)]);
+        let got = gather.gather();
+        assert_eq!(
+            got,
+            vec![Some(12), Some(20), Some(31), Some(40)],
+            "answers keyed by scatter order, not completion order"
+        );
+        sg.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_envelope_resolves_as_missing() {
+        let sg: ScatterGather<u32, u32> = ScatterGather::new(2, 4);
+        let dead = sg.lane(0);
+        let live = sg.lane(1);
+        let worker = std::thread::spawn(move || {
+            while let Some(env) = live.pop() {
+                let (req, promise) = env.split();
+                promise.fulfill(req + 1);
+            }
+        });
+        let gather = sg.scatter(vec![(0, 7), (1, 8)]);
+        // Lane 0's "worker" drops the envelope without replying.
+        drop(dead.pop().expect("part queued"));
+        assert_eq!(
+            gather.gather(),
+            vec![None, Some(9)],
+            "the dead lane's part is missing, the live one answered"
+        );
+        sg.close();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_and_resolves_everything_missing() {
+        let sg: ScatterGather<u8, u8> = ScatterGather::new(2, 4);
+        // No workers: parts sit queued until close drains them.
+        let pending = sg.scatter(vec![(0, 1), (1, 2), (0, 3)]);
+        sg.close();
+        assert!(sg.is_closed());
+        assert_eq!(pending.gather(), vec![None, None, None]);
+        // Scatter after close: pushes are refused, parts resolve
+        // missing immediately instead of blocking.
+        let refused = sg.scatter(vec![(0, 4), (1, 5)]);
+        assert_eq!(refused.gather(), vec![None, None]);
+    }
+
+    #[test]
+    fn concurrent_scatters_do_not_crosstalk() {
+        let sg = std::sync::Arc::new(ScatterGather::<u64, u64>::new(2, 8));
+        let workers: Vec<_> = (0..2)
+            .map(|l| {
+                let lane = sg.lane(l);
+                std::thread::spawn(move || {
+                    while let Some(env) = lane.pop() {
+                        let (req, promise) = env.split();
+                        promise.fulfill(req);
+                    }
+                })
+            })
+            .collect();
+        let callers: Vec<_> = (0..4u64)
+            .map(|c| {
+                let sg = std::sync::Arc::clone(&sg);
+                std::thread::spawn(move || {
+                    let base = c * 100;
+                    let gather =
+                        sg.scatter(vec![(0, base), (1, base + 1), (0, base + 2), (1, base + 3)]);
+                    let got = gather.gather();
+                    // Each caller's gather sees exactly its own echoes.
+                    assert_eq!(
+                        got,
+                        (0..4).map(|i| Some(base + i)).collect::<Vec<_>>(),
+                        "caller {c} crosstalked"
+                    );
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().unwrap();
+        }
+        sg.close();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_panic_resolves_its_part_and_spares_the_rest() {
+        let sg: ScatterGather<u32, u32> = ScatterGather::new(1, 4);
+        let lane = sg.lane(0);
+        let panicker = std::thread::spawn(move || {
+            let env = lane.pop().expect("first part queued");
+            let (_req, _promise) = env.split();
+            panic!("injected worker death");
+        });
+        let gather = sg.scatter(vec![(0, 1)]);
+        assert_eq!(
+            gather.gather(),
+            vec![None],
+            "the unwound promise resolves the part as missing"
+        );
+        assert!(panicker.join().is_err(), "the worker did panic");
+        // The collective survives the poisoned thread: a fresh worker
+        // keeps serving the same lane.
+        let lane = sg.lane(0);
+        let worker = std::thread::spawn(move || {
+            while let Some(env) = lane.pop() {
+                let (req, promise) = env.split();
+                promise.fulfill(req * 2);
+            }
+        });
+        assert_eq!(sg.scatter(vec![(0, 21)]).gather(), vec![Some(42)]);
+        sg.close();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn lane_backpressure_bounds_queued_parts() {
+        let sg: ScatterGather<usize, usize> = ScatterGather::new(1, 2);
+        let lane = sg.lane(0);
+        // A slow worker: scatter's blocking push must wait for lane
+        // slots, never drop or reorder parts.
+        let worker = std::thread::spawn(move || {
+            let mut served = 0usize;
+            while let Some(env) = lane.pop() {
+                let (req, promise) = env.split();
+                assert_eq!(req, served, "FIFO per lane");
+                served += 1;
+                promise.fulfill(req);
+            }
+            served
+        });
+        let gather = sg.scatter((0..16).map(|i| (0, i)).collect());
+        let got = gather.gather();
+        assert_eq!(got, (0..16).map(Some).collect::<Vec<_>>());
+        sg.close();
+        assert_eq!(worker.join().unwrap(), 16);
+    }
+}

@@ -15,14 +15,21 @@
 //! * [`BoundedQueue`] is a bounded, closable MPMC work queue — the
 //!   admission-control primitive of the resident engine and the
 //!   service tier (queue depth is the backpressure lever).
+//! * [`ScatterGather`] lifts the scatter/gather collectives onto
+//!   [`BoundedQueue`] lanes for long-lived shard workers outside a
+//!   fixed rank world: every scattered part resolves exactly once
+//!   (answered, or missing when its worker died), so gathers never
+//!   hang on a dead shard.
 //!
 //! Messages are typed at the call site; a `recv::<T>` matching a message
 //! of a different payload type panics — message misrouting is a bug, not
 //! a recoverable condition.
 
+pub mod collective;
 pub mod queue;
 pub mod shared;
 
+pub use collective::{Envelope, Gather, Lane, Promise, ScatterGather};
 pub use queue::{BoundedQueue, TryPushError};
 pub use shared::SharedRegion;
 
@@ -35,14 +42,14 @@ pub const ANY_SOURCE: usize = usize::MAX;
 
 type Payload = Box<dyn Any + Send>;
 
-struct Envelope {
+struct Mail {
     src: usize,
     tag: u64,
     payload: Payload,
 }
 
 struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    queue: Mutex<VecDeque<Mail>>,
     signal: Condvar,
 }
 
@@ -80,7 +87,7 @@ impl RankCtx {
         assert!(to < self.state.size, "rank {to} out of range");
         let mailbox = &self.state.mailboxes[to];
         let mut queue = mailbox.queue.lock().expect("mailbox poisoned");
-        queue.push_back(Envelope {
+        queue.push_back(Mail {
             src: self.rank,
             tag,
             payload: Box::new(value),

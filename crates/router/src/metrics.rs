@@ -1,0 +1,253 @@
+//! Router-level observability: request/re-route/rebalance counters and
+//! the per-segment, per-replica rollup of each shard's
+//! [`rrc_service::ServiceMetrics`].
+//!
+//! [`RouterSnapshot::to_json`] is the operator-facing document for the
+//! whole tier — a **stable contract** (keys sorted by `jsonlite`'s
+//! object ordering) covered by a golden-file test in this crate. Every
+//! shard contributes its own [`rrc_service::MetricsSnapshot`] JSON
+//! under `segments[].replicas[].service`, so one document answers both
+//! "how is the tier doing" and "which replica is hurting".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use desim::LatencyHistogram;
+use rrc_service::{CacheStats, MetricsSnapshot, StageLatency};
+
+/// Shared router counters; every field is updated concurrently.
+#[derive(Default)]
+pub struct RouterMetrics {
+    requests: AtomicU64,
+    responded: AtomicU64,
+    device_failed: AtomicU64,
+    reroutes: AtomicU64,
+    demoted_skips: AtomicU64,
+    rebalances: AtomicU64,
+    migrated_ions: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl RouterMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> RouterMetrics {
+        RouterMetrics::default()
+    }
+
+    /// Record one request accepted for routing.
+    pub fn on_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one assembled response and its end-to-end latency.
+    pub fn on_responded(&self, total_s: f64) {
+        self.responded.fetch_add(1, Ordering::Relaxed);
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(total_s);
+    }
+
+    /// Record one request refused after the re-route budget ran out.
+    pub fn on_device_failed(&self) {
+        self.device_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `parts` shard sub-requests sent to a different replica
+    /// after a failed or missing first answer.
+    pub fn on_reroute(&self, parts: u64) {
+        self.reroutes.fetch_add(parts, Ordering::Relaxed);
+    }
+
+    /// Record a replica passed over during selection because its
+    /// health ladder had every device quarantined or lost.
+    pub fn on_demoted_skip(&self) {
+        self.demoted_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one rebalance pass that migrated `ions` ion ownerships.
+    pub fn on_rebalance(&self, ions: u64) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        self.migrated_ions.fetch_add(ions, Ordering::Relaxed);
+    }
+
+    /// Copy the counters and latency summary out (segments are filled
+    /// in by the router, which owns the replica handles).
+    #[must_use]
+    pub fn snapshot(&self) -> RouterCounters {
+        let latency = {
+            let h = self.latency.lock().expect("latency histogram poisoned");
+            StageLatency {
+                count: h.count(),
+                mean_s: h.mean_s(),
+                p50_s: h.quantile_s(0.50),
+                p95_s: h.quantile_s(0.95),
+                p99_s: h.quantile_s(0.99),
+            }
+        };
+        RouterCounters {
+            requests: self.requests.load(Ordering::Relaxed),
+            responded: self.responded.load(Ordering::Relaxed),
+            device_failed: self.device_failed.load(Ordering::Relaxed),
+            reroutes: self.reroutes.load(Ordering::Relaxed),
+            demoted_skips: self.demoted_skips.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            migrated_ions: self.migrated_ions.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+}
+
+/// Point-in-time copy of the router's own counters.
+#[derive(Debug, Clone)]
+pub struct RouterCounters {
+    /// Requests accepted for routing (unknown-grid rejects excluded).
+    pub requests: u64,
+    /// Responses assembled and returned.
+    pub responded: u64,
+    /// Requests refused with `DeviceFailed` after re-route retries.
+    pub device_failed: u64,
+    /// Shard sub-requests re-sent to an alternate replica.
+    pub reroutes: u64,
+    /// Replica selections that skipped a fault-demoted replica.
+    pub demoted_skips: u64,
+    /// Rebalance passes that migrated at least one ion.
+    pub rebalances: u64,
+    /// Total ion ownerships migrated across all rebalances.
+    pub migrated_ions: u64,
+    /// End-to-end router latency quantiles/mean, seconds.
+    pub latency: StageLatency,
+}
+
+/// One replica's view inside a [`SegmentSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    /// Replica index within its segment.
+    pub replica: usize,
+    /// Whether the health ladder currently demotes this replica
+    /// (every device quarantined or lost; a CPU-only replica is never
+    /// demoted).
+    pub demoted: bool,
+    /// Shard sub-requests in flight on this replica right now.
+    pub outstanding: u64,
+    /// This replica's per-ion cache counters.
+    pub cache: CacheStats,
+    /// This replica's service metrics with its engine's scheduler
+    /// view (health ladder states live under `scheduler.health`).
+    pub service: MetricsSnapshot,
+}
+
+/// One ring segment's view inside a [`RouterSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SegmentSnapshot {
+    /// Segment id (ring position).
+    pub segment: usize,
+    /// Ions the routing table currently assigns to this segment.
+    pub owned_ions: u64,
+    /// Sum of the static per-ion cost estimates over the owned ions —
+    /// the capacity-accounting figure the rebalancer levels.
+    pub capacity_cost: u64,
+    /// Every replica serving this segment.
+    pub replicas: Vec<ReplicaSnapshot>,
+}
+
+/// The router-level rollup: tier shape, router counters, and all
+/// per-segment/per-replica detail.
+#[derive(Debug, Clone)]
+pub struct RouterSnapshot {
+    /// Ring segments (shards).
+    pub shards: usize,
+    /// Replicas per segment.
+    pub replicas_per_shard: usize,
+    /// The router's own counters and latency.
+    pub counters: RouterCounters,
+    /// Per-segment detail, ascending segment id.
+    pub segments: Vec<SegmentSnapshot>,
+}
+
+fn cache_json(stats: &CacheStats) -> jsonlite::Value {
+    jsonlite::ObjectBuilder::new()
+        .field("hits", stats.hits)
+        .field("misses", stats.misses)
+        .field("insertions", stats.insertions)
+        .field("evictions", stats.evictions)
+        .field("hit_rate", stats.hit_rate())
+        .build()
+}
+
+impl RouterSnapshot {
+    /// The operator-facing JSON rendering of the whole tier — a
+    /// **stable contract**: keys are sorted by `jsonlite`'s object
+    /// ordering, segments and replicas appear in ascending id order,
+    /// and each replica embeds its service's own stable
+    /// [`MetricsSnapshot::to_json`] document. Changing a key or shape
+    /// here (or in the service document) must update
+    /// `tests/golden/router_snapshot.json`.
+    #[must_use]
+    pub fn to_json(&self) -> jsonlite::Value {
+        let segments: Vec<jsonlite::Value> = self
+            .segments
+            .iter()
+            .map(|seg| {
+                let replicas: Vec<jsonlite::Value> = seg
+                    .replicas
+                    .iter()
+                    .map(|r| {
+                        jsonlite::ObjectBuilder::new()
+                            .field("replica", r.replica)
+                            .field("demoted", r.demoted)
+                            .field("outstanding", r.outstanding)
+                            .field("cache", cache_json(&r.cache))
+                            .field("service", r.service.to_json())
+                            .build()
+                    })
+                    .collect();
+                jsonlite::ObjectBuilder::new()
+                    .field("segment", seg.segment)
+                    .field("owned_ions", seg.owned_ions)
+                    .field("capacity_cost", seg.capacity_cost)
+                    .field("replicas", replicas)
+                    .build()
+            })
+            .collect();
+        jsonlite::ObjectBuilder::new()
+            .field("shards", self.shards)
+            .field("replicas_per_shard", self.replicas_per_shard)
+            .field("requests", self.counters.requests)
+            .field("responded", self.counters.responded)
+            .field("device_failed", self.counters.device_failed)
+            .field("reroutes", self.counters.reroutes)
+            .field("demoted_skips", self.counters.demoted_skips)
+            .field("rebalances", self.counters.rebalances)
+            .field("migrated_ions", self.counters.migrated_ions)
+            .field("latency", self.counters.latency.to_json())
+            .field("segments", segments)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = RouterMetrics::new();
+        m.on_request();
+        m.on_request();
+        m.on_responded(1e-3);
+        m.on_reroute(3);
+        m.on_demoted_skip();
+        m.on_device_failed();
+        m.on_rebalance(12);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.responded, 1);
+        assert_eq!(s.reroutes, 3);
+        assert_eq!(s.demoted_skips, 1);
+        assert_eq!(s.device_failed, 1);
+        assert_eq!((s.rebalances, s.migrated_ions), (1, 12));
+        assert_eq!(s.latency.count, 1);
+    }
+}

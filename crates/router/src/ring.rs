@@ -1,0 +1,176 @@
+//! A seeded consistent-hash ring mapping ion indices to shard
+//! segments.
+//!
+//! Each segment contributes `vnodes` virtual points to the ring; a key
+//! is owned by the first point clockwise from its hash. Two properties
+//! matter to the router and are tested here:
+//!
+//! * **Determinism** — the ring is a pure function of `(seed, segments,
+//!   vnodes)`, so a restarted router (same configuration) routes every
+//!   key to the same segment as its predecessor. No state has to
+//!   survive the restart.
+//! * **Minimal disruption** — adding or removing one segment moves only
+//!   the keys whose successor point changed: on the order of `K / N` of
+//!   `K` keys across `N` segments, not a full reshuffle. Cached per-ion
+//!   partials on the untouched segments stay useful.
+
+/// The `splitmix64` mixer — cheap, stateless, and full-avalanche; the
+/// same generator the deterministic traffic/fault seeds in this
+/// workspace use.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over shard segment ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    /// `(point hash, segment)` sorted by hash; ties broken by segment
+    /// id so construction order never matters.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` virtual points per segment
+    /// (`0..segments`). Clamps `vnodes` to at least 1.
+    ///
+    /// # Panics
+    /// Panics if `segments == 0` — an empty ring can own nothing.
+    #[must_use]
+    pub fn new(seed: u64, segments: usize, vnodes: u32) -> HashRing {
+        assert!(segments > 0, "a hash ring needs at least one segment");
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(segments * vnodes as usize);
+        for segment in 0..segments {
+            for v in 0..u64::from(vnodes) {
+                let h = splitmix64(seed ^ splitmix64(((segment as u64) << 32) | v));
+                points.push((h, segment));
+            }
+        }
+        points.sort_unstable();
+        HashRing { seed, points }
+    }
+
+    /// The segment owning `key`: hash the key onto the circle and walk
+    /// clockwise to the first virtual point (wrapping past the top).
+    #[must_use]
+    pub fn owner(&self, key: u64) -> usize {
+        let h = splitmix64(self.seed ^ key);
+        let idx = self.points.partition_point(|p| p.0 < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+
+    /// Number of virtual points on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (never true for a constructed
+    /// ring; kept for the conventional `len`/`is_empty` pair).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEYS: u64 = 496; // the paper's ion count
+
+    fn owners(ring: &HashRing) -> Vec<usize> {
+        (0..KEYS).map(|k| ring.owner(k)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_segments_same_routing_across_restarts() {
+        // A "restart" constructs a brand-new ring from config alone.
+        let a = HashRing::new(17, 4, 64);
+        let b = HashRing::new(17, 4, 64);
+        assert_eq!(owners(&a), owners(&b));
+    }
+
+    #[test]
+    fn different_seeds_route_differently() {
+        let a = HashRing::new(17, 4, 64);
+        let b = HashRing::new(18, 4, 64);
+        assert_ne!(owners(&a), owners(&b), "seed must matter");
+    }
+
+    #[test]
+    fn every_segment_owns_a_reasonable_share() {
+        let ring = HashRing::new(17, 4, 128);
+        let mut counts = [0usize; 4];
+        for k in 0..KEYS {
+            counts[ring.owner(k)] += 1;
+        }
+        let expected = KEYS as usize / 4;
+        for (seg, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 4 && c < expected * 4,
+                "segment {seg} owns {c} of {KEYS} keys — too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_segment_moves_about_one_nth_of_the_keys() {
+        // Property over several seeds: growing N -> N+1 segments moves
+        // ~K/(N+1) keys in expectation. Allow generous slack (3x) for
+        // vnode placement variance, but fail on anything resembling a
+        // full reshuffle.
+        for seed in [3u64, 17, 101, 20_260_808] {
+            let n = 4usize;
+            let before = HashRing::new(seed, n, 64);
+            let after = HashRing::new(seed, n + 1, 64);
+            let moved = (0..KEYS)
+                .filter(|&k| before.owner(k) != after.owner(k))
+                .count();
+            let expected = KEYS as usize / (n + 1);
+            assert!(
+                moved <= expected * 3,
+                "seed {seed}: {moved} of {KEYS} keys moved; expected about {expected}"
+            );
+            // And every moved key must land on the new segment — an
+            // old->old move would be gratuitous disruption.
+            for k in 0..KEYS {
+                if before.owner(k) != after.owner(k) {
+                    assert_eq!(after.owner(k), n, "key {k} moved between old segments");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn removing_the_last_segment_only_reassigns_its_keys() {
+        for seed in [3u64, 17, 101] {
+            let n = 5usize;
+            let before = HashRing::new(seed, n, 64);
+            let after = HashRing::new(seed, n - 1, 64);
+            for k in 0..KEYS {
+                if before.owner(k) != n - 1 {
+                    assert_eq!(
+                        before.owner(k),
+                        after.owner(k),
+                        "key {k} moved although its segment survived"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_segment_owns_everything() {
+        let ring = HashRing::new(0, 1, 8);
+        for k in 0..KEYS {
+            assert_eq!(ring.owner(k), 0);
+        }
+    }
+}

@@ -1,0 +1,623 @@
+//! The shard router: consistent-hash ion ownership, replica
+//! selection, scatter/gather fan-out, health-aware re-routing, and the
+//! capacity rebalancer.
+//!
+//! # Routing
+//!
+//! A [`HashRing`] seeded from [`RouterConfig::ring_seed`] maps every
+//! ion index onto a segment; the live assignment is materialised in a
+//! routing **table** (`ion -> segment`) so the rebalancer can migrate
+//! individual ions off the ring's default placement. A request reads
+//! the table **once**: all its ions' owners are fixed for the
+//! request's lifetime even if a rebalance swaps the table mid-flight,
+//! which is what makes migration exactly-once — a request computes on
+//! the owner it saw, never on both.
+//!
+//! # Bitwise parity with the single-engine service
+//!
+//! Shards answer **per-ion partials**; the router folds them itself
+//! through [`rrc_service::assemble`] in ascending ion order from a
+//! zero vector — the identical floating-point op sequence the
+//! single-engine service executes. With the engines configured for
+//! the deterministic kernel (single-chunk launches make each partial
+//! placement-invariant), a sharded response is bitwise identical to
+//! the unsharded one regardless of shard count, replica choice, or
+//! migration history.
+//!
+//! # Replication and health
+//!
+//! Each segment is served by `replicas` identical engines. A read
+//! picks the least-loaded replica (in-flight envelope count, ties
+//! broken by a consistent hash of the quantized state) among those the
+//! health ladder has not demoted — a replica whose devices are all
+//! quarantined/lost routes around until its CPU-fallback siblings are
+//! also exhausted, in which case it still serves (its CPU path
+//! answers). Failed or unanswered ions re-route to a different
+//! replica up to [`RouterConfig::reroute_retries`] times.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use atomdb::AtomDatabase;
+use gpu_sim::{DeviceRule, Precision};
+use hybrid_spectral::engine::{EngineConfig, EngineReport};
+use hybrid_spectral::ion_task_cost;
+use mpi_sim::ScatterGather;
+use rrc_service::{
+    assemble, selected_ions, Quantizer, ServiceError, SpectrumRequest, SpectrumResponse, StateKey,
+};
+use rrc_spectral::{EnergyGrid, GridPoint, Integrator};
+
+use crate::metrics::{ReplicaSnapshot, RouterMetrics, RouterSnapshot, SegmentSnapshot};
+use crate::ring::{splitmix64, HashRing};
+use crate::shard::{ReplicaSpec, ShardReplica, ShardRequest, ShardResponse};
+
+/// Configuration of a [`ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-replica engine template (every replica starts an identical
+    /// engine; the `Arc`ed atomic database is shared, devices are not).
+    pub engine: EngineConfig,
+    /// Energy grids a request may name by index.
+    pub grids: Vec<EnergyGrid>,
+    /// Ring segments (shards).
+    pub shards: usize,
+    /// Replicas per segment.
+    pub replicas: usize,
+    /// Per-replica ion-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-replica cache shard count.
+    pub cache_shards: usize,
+    /// Mantissa bits dropped when quantizing plasma states.
+    pub quantize_drop_bits: u32,
+    /// Capacity of each replica's request lane.
+    pub lane_depth: usize,
+    /// Shard-internal engine re-fan-out budget (mirrors
+    /// [`rrc_service::ServiceConfig::fanout_retries`]).
+    pub fanout_retries: u32,
+    /// How many times the router re-routes failed/unanswered ions to a
+    /// different replica before refusing with
+    /// [`ServiceError::DeviceFailed`].
+    pub reroute_retries: u32,
+    /// Hash-ring seed: restarts must reuse the seed for stable
+    /// key-to-shard routing.
+    pub ring_seed: u64,
+    /// Virtual ring points per segment.
+    pub vnodes: u32,
+    /// A segment whose capacity cost exceeds `rebalance_factor x` the
+    /// mean triggers migration in [`ShardRouter::rebalance`].
+    pub rebalance_factor: f64,
+    /// Longest a rebalance waits for the migrated-from segment to
+    /// drain its in-flight envelopes.
+    pub drain_timeout: Duration,
+}
+
+impl RouterConfig {
+    /// A bitwise-deterministic sharded tier over `db` and `grids`:
+    /// each replica runs the fused deterministic kernel with the same
+    /// Simpson rule on devices and the CPU fallback, so responses are
+    /// identical regardless of shard count or placement (and equal to
+    /// the single-engine [`rrc_service::SpectralService`] under
+    /// [`rrc_service::ServiceConfig::deterministic`]).
+    #[must_use]
+    pub fn deterministic(db: Arc<AtomDatabase>, grids: Vec<EnergyGrid>) -> RouterConfig {
+        let workers = 2;
+        RouterConfig {
+            engine: EngineConfig {
+                db,
+                workers,
+                gpus: 2,
+                max_queue_len: 6,
+                policy: hybrid_sched::SchedPolicy::CostAware,
+                gpu_rule: DeviceRule::Simpson { panels: 64 },
+                gpu_precision: Precision::Double,
+                cpu_integrator: Integrator::Simpson { panels: 64 },
+                fused: true,
+                async_window: 1,
+                queue_depth: 2 * workers,
+                deterministic_kernel: true,
+                math: quadrature::MathMode::Exact,
+                pack_threshold: 0,
+                pack_max: 8,
+                resilience: hybrid_spectral::ResilienceConfig::default(),
+            },
+            grids,
+            shards: 2,
+            replicas: 1,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            quantize_drop_bits: 0,
+            lane_depth: 16,
+            fanout_retries: 2,
+            reroute_retries: 2,
+            ring_seed: 17,
+            vnodes: 64,
+            rebalance_factor: 1.25,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one [`ShardRouter::rebalance`] pass migrated.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Segment the ions moved off (the heavy one).
+    pub from: usize,
+    /// Segment that took them over (the lightest one).
+    pub to: usize,
+    /// Migrated ion indices, ascending.
+    pub ions: Vec<usize>,
+    /// Capacity cost that moved with them.
+    pub cost_moved: u64,
+    /// Whether the old owner drained its in-flight envelopes within
+    /// the configured timeout (the handoff is correct either way — a
+    /// straggler request that routed before the swap still completes
+    /// on the old owner; `false` only means overlap lasted longer
+    /// than the drain window).
+    pub drained: bool,
+}
+
+/// Everything [`ShardRouter::shutdown`] reports after draining.
+#[derive(Debug, Clone)]
+pub struct RouterReport {
+    /// The tier rollup taken just before teardown.
+    pub snapshot: RouterSnapshot,
+    /// Every replica engine's drained report, in flat
+    /// `segment * replicas + replica` order.
+    pub engines: Vec<EngineReport>,
+    /// Sum of the engines' leaked memory grants — must be zero.
+    pub leaked_grants: u64,
+}
+
+/// The running sharded tier. Submit queries from any thread; shut
+/// down (or drop) to close the lanes, join the workers, and drain
+/// every engine.
+pub struct ShardRouter {
+    db: Arc<AtomDatabase>,
+    grids: Vec<EnergyGrid>,
+    quantizer: Quantizer,
+    replicas_per_segment: usize,
+    reroute_retries: u32,
+    rebalance_factor: f64,
+    drain_timeout: Duration,
+    ring: HashRing,
+    /// Live ion ownership: `table[ion] = segment`. Starts at the
+    /// ring's placement; the rebalancer migrates entries.
+    table: RwLock<Vec<usize>>,
+    /// Static per-ion capacity costs at the reference plasma state.
+    costs: Vec<u64>,
+    sg: ScatterGather<ShardRequest, ShardResponse>,
+    replicas: Vec<ShardReplica>,
+    metrics: RouterMetrics,
+}
+
+/// The fixed plasma state the capacity model prices ions at. Absolute
+/// scale is irrelevant to balancing — only the ratios matter — so one
+/// representative mid-range coronal state serves all workloads.
+const CAPACITY_REF_POINT: GridPoint = GridPoint {
+    temperature_k: 1.0e7,
+    density_cm3: 1.0,
+    time_s: 0.0,
+    index: 0,
+};
+
+/// A stable 64-bit digest of a quantized state, used only to spread
+/// equal-load replica ties deterministically.
+fn state_hash(key: &StateKey) -> u64 {
+    splitmix64(key.kt_q ^ splitmix64(key.density_q ^ splitmix64(key.grid_id as u64)))
+}
+
+impl ShardRouter {
+    /// Bring the tier up: ring, routing table, capacity model, one
+    /// scatter/gather fabric, and `shards x replicas` engines.
+    ///
+    /// # Panics
+    /// Panics if `config.grids` is empty or `shards`/`replicas` is 0.
+    #[must_use]
+    pub fn start(config: RouterConfig) -> ShardRouter {
+        assert!(!config.grids.is_empty(), "router needs at least one grid");
+        assert!(config.shards >= 1, "router needs at least one shard");
+        assert!(
+            config.replicas >= 1,
+            "each shard needs at least one replica"
+        );
+        let db = Arc::clone(&config.engine.db);
+        let bin_tables: Vec<Arc<Vec<(f64, f64)>>> = config
+            .grids
+            .iter()
+            .map(|g| Arc::new(g.bin_pairs()))
+            .collect();
+        let ring = HashRing::new(config.ring_seed, config.shards, config.vnodes);
+        let table: Vec<usize> = (0..db.ions().len())
+            .map(|ion| ring.owner(ion as u64))
+            .collect();
+        let capacity_bins = &bin_tables[0];
+        let costs: Vec<u64> = (0..db.ions().len())
+            .map(|ion| {
+                let levels = db.levels_by_index(ion).len();
+                ion_task_cost(&db, ion, 0..levels, &CAPACITY_REF_POINT, capacity_bins)
+            })
+            .collect();
+        let sg = ScatterGather::new(config.shards * config.replicas, config.lane_depth.max(1));
+        let mut replicas = Vec::with_capacity(config.shards * config.replicas);
+        for segment in 0..config.shards {
+            for replica in 0..config.replicas {
+                let lane = sg.lane(segment * config.replicas + replica);
+                replicas.push(ShardReplica::start(
+                    ReplicaSpec {
+                        segment,
+                        replica,
+                        engine: config.engine.clone(),
+                        cache_capacity: config.cache_capacity,
+                        cache_shards: config.cache_shards,
+                        fanout_retries: config.fanout_retries,
+                        grids: config.grids.clone(),
+                        bin_tables: bin_tables.clone(),
+                    },
+                    lane,
+                ));
+            }
+        }
+        ShardRouter {
+            db,
+            grids: config.grids,
+            quantizer: Quantizer::new(config.quantize_drop_bits),
+            replicas_per_segment: config.replicas,
+            reroute_retries: config.reroute_retries,
+            rebalance_factor: config.rebalance_factor.max(1.0),
+            drain_timeout: config.drain_timeout,
+            ring,
+            table: RwLock::new(table),
+            costs,
+            sg,
+            replicas,
+            metrics: RouterMetrics::new(),
+        }
+    }
+
+    /// Ring segments (shards).
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.ring_segments()
+    }
+
+    fn ring_segments(&self) -> usize {
+        self.replicas.len() / self.replicas_per_segment
+    }
+
+    /// Replicas per segment.
+    #[must_use]
+    pub fn replicas_per_segment(&self) -> usize {
+        self.replicas_per_segment
+    }
+
+    /// The seeded consistent-hash ring (the routing table's initial
+    /// placement; restarts with the same seed reproduce it).
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The segment currently owning `ion`.
+    ///
+    /// # Panics
+    /// Panics if `ion` is out of range for the database.
+    #[must_use]
+    pub fn segment_of(&self, ion: usize) -> usize {
+        self.table.read().expect("routing table poisoned")[ion]
+    }
+
+    /// A replica handle (fault injection, health and scheduler
+    /// introspection for tests, benches, and chaos drills).
+    ///
+    /// # Panics
+    /// Panics if `segment`/`replica` is out of range.
+    #[must_use]
+    pub fn replica(&self, segment: usize, replica: usize) -> &ShardReplica {
+        assert!(replica < self.replicas_per_segment, "replica out of range");
+        &self.replicas[segment * self.replicas_per_segment + replica]
+    }
+
+    /// Answer one spectral query through the sharded tier.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownGrid`] for an out-of-range grid id;
+    /// [`ServiceError::DeviceFailed`] when some ion stayed unanswered
+    /// after the re-route budget (every owning segment's replicas
+    /// failed it); [`ServiceError::Closed`] after shutdown began.
+    pub fn query(&self, request: &SpectrumRequest) -> Result<SpectrumResponse, ServiceError> {
+        if request.grid_id >= self.grids.len() {
+            return Err(ServiceError::UnknownGrid);
+        }
+        if self.sg.is_closed() {
+            return Err(ServiceError::Closed);
+        }
+        let started = Instant::now();
+        self.metrics.on_request();
+        let key = self.quantizer.state_key(&request.point, request.grid_id);
+        let point = self.quantizer.representative(&key);
+        let ions = selected_ions(&self.db, request);
+        let grid = &self.grids[request.grid_id];
+
+        // ONE routing-table read per request: each ion's owner is
+        // fixed for this request's lifetime even if a rebalance swaps
+        // the table mid-flight. Exactly-once migration follows — a
+        // request computes on the owner it saw, never on both.
+        let owner: BTreeMap<usize, usize> = {
+            let table = self.table.read().expect("routing table poisoned");
+            ions.iter().map(|&ion| (ion, table[ion])).collect()
+        };
+
+        let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
+        let mut computed = 0u64;
+        let mut from_cache = 0u64;
+        let mut pending: Vec<usize> = ions.clone();
+        let mut tried: Vec<Vec<usize>> = vec![Vec::new(); self.ring_segments()];
+        let mut attempt = 0u32;
+        loop {
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &ion in &pending {
+                groups.entry(owner[&ion]).or_default().push(ion);
+            }
+            let mut parts: Vec<(usize, ShardRequest)> = Vec::with_capacity(groups.len());
+            let mut part_ions: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+            for (segment, seg_ions) in groups {
+                let replica = self.pick_replica(segment, &key, &tried[segment]);
+                tried[segment].push(replica);
+                let flat = segment * self.replicas_per_segment + replica;
+                self.replicas[flat].add_outstanding();
+                parts.push((
+                    flat,
+                    ShardRequest {
+                        key,
+                        point,
+                        ions: seg_ions.clone(),
+                    },
+                ));
+                part_ions.push(seg_ions);
+            }
+            if attempt > 0 {
+                self.metrics.on_reroute(parts.len() as u64);
+            }
+            let answers = self.sg.scatter(parts).gather();
+            pending.clear();
+            for (slot, answer) in answers.into_iter().enumerate() {
+                match answer {
+                    Some(resp) => {
+                        computed += resp.computed;
+                        from_cache += resp.from_cache;
+                        for (ion, partial) in resp.partials {
+                            partials.insert(ion, partial);
+                        }
+                        pending.extend(resp.failed);
+                    }
+                    // Lane refused or the worker died before replying:
+                    // the whole part re-routes to a sibling replica.
+                    None => pending.extend(part_ions[slot].iter().copied()),
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            if attempt >= self.reroute_retries {
+                self.metrics.on_device_failed();
+                return Err(ServiceError::DeviceFailed);
+            }
+            attempt += 1;
+        }
+
+        let response = SpectrumResponse {
+            bins: assemble(grid.bins(), &ions, &partials),
+            grid_id: request.grid_id,
+            ions_computed: computed,
+            ions_from_cache: from_cache,
+            caller_ran: false,
+        };
+        self.metrics.on_responded(started.elapsed().as_secs_f64());
+        Ok(response)
+    }
+
+    /// Pick a replica of `segment` for a read: prefer replicas not yet
+    /// tried this request, among those prefer ones the health ladder
+    /// has not demoted, and take the least-loaded (ties spread by a
+    /// consistent hash of the quantized state). When every replica is
+    /// demoted the least-loaded one still serves — its CPU fallback
+    /// answers (graceful degradation, not refusal).
+    fn pick_replica(&self, segment: usize, key: &StateKey, tried: &[usize]) -> usize {
+        let base = segment * self.replicas_per_segment;
+        let fresh: Vec<usize> = (0..self.replicas_per_segment)
+            .filter(|r| !tried.contains(r))
+            .collect();
+        let pool: Vec<usize> = if fresh.is_empty() {
+            (0..self.replicas_per_segment).collect()
+        } else {
+            fresh
+        };
+        let healthy: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|&r| !self.replicas[base + r].demoted())
+            .collect();
+        let pool = if healthy.is_empty() {
+            pool
+        } else {
+            if healthy.len() < pool.len() {
+                self.metrics.on_demoted_skip();
+            }
+            healthy
+        };
+        pool.into_iter()
+            .min_by_key(|&r| {
+                (
+                    self.replicas[base + r].outstanding(),
+                    splitmix64(state_hash(key) ^ r as u64),
+                )
+            })
+            .expect("segment has at least one replica")
+    }
+
+    /// One capacity-rebalance pass: if the costliest segment exceeds
+    /// `rebalance_factor x` the mean capacity cost, migrate its
+    /// costliest ions to the lightest segment (greedily, while each
+    /// move narrows the gap without reversing it), then wait for the
+    /// old owner to drain its in-flight envelopes.
+    ///
+    /// Returns `None` when the tier is already balanced (or has a
+    /// single segment). Run repeatedly to converge.
+    ///
+    /// # Panics
+    /// Panics if the routing-table lock is poisoned.
+    pub fn rebalance(&self) -> Option<MigrationReport> {
+        let (from, to, ions, cost_moved) = {
+            let mut table = self.table.write().expect("routing table poisoned");
+            let nseg = self.ring_segments();
+            if nseg < 2 {
+                return None;
+            }
+            let mut seg_cost = vec![0u64; nseg];
+            for (ion, &seg) in table.iter().enumerate() {
+                seg_cost[seg] += self.costs[ion];
+            }
+            let total: u64 = seg_cost.iter().sum();
+            let mean = total as f64 / nseg as f64;
+            let heavy = (0..nseg)
+                .max_by_key(|&s| seg_cost[s])
+                .expect("nseg >= 2 checked above");
+            let light = (0..nseg)
+                .min_by_key(|&s| seg_cost[s])
+                .expect("nseg >= 2 checked above");
+            if heavy == light || (seg_cost[heavy] as f64) <= self.rebalance_factor * mean {
+                return None;
+            }
+            let mut owned: Vec<usize> = (0..table.len())
+                .filter(|&ion| table[ion] == heavy)
+                .collect();
+            owned.sort_by_key(|&ion| std::cmp::Reverse(self.costs[ion]));
+            let mut heavy_cost = seg_cost[heavy];
+            let mut light_cost = seg_cost[light];
+            let mut moved = Vec::new();
+            let mut cost_moved = 0u64;
+            for ion in owned {
+                let c = self.costs[ion];
+                // Moving c keeps heavy' = heavy - c >= light + c =
+                // light', so the gap narrows monotonically and the
+                // pass cannot oscillate.
+                if heavy_cost >= light_cost + 2 * c {
+                    table[ion] = light;
+                    heavy_cost -= c;
+                    light_cost += c;
+                    moved.push(ion);
+                    cost_moved += c;
+                }
+            }
+            if moved.is_empty() {
+                return None;
+            }
+            moved.sort_unstable();
+            (heavy, light, moved, cost_moved)
+            // Write lock drops here: from now on every new request
+            // routes the moved ions to their new owner.
+        };
+        let drained = self.drain_segment(from);
+        self.metrics.on_rebalance(ions.len() as u64);
+        Some(MigrationReport {
+            from,
+            to,
+            ions,
+            cost_moved,
+            drained,
+        })
+    }
+
+    /// Wait (bounded) until every replica of `segment` has zero
+    /// in-flight envelopes.
+    fn drain_segment(&self, segment: usize) -> bool {
+        let base = segment * self.replicas_per_segment;
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            let busy =
+                (0..self.replicas_per_segment).any(|r| self.replicas[base + r].outstanding() > 0);
+            if !busy {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// The tier rollup: router counters plus per-segment ownership,
+    /// capacity cost, and every replica's cache/health/service view.
+    ///
+    /// # Panics
+    /// Panics if the routing-table lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> RouterSnapshot {
+        let table = self.table.read().expect("routing table poisoned").clone();
+        let nseg = self.ring_segments();
+        let mut owned = vec![0u64; nseg];
+        let mut cost = vec![0u64; nseg];
+        for (ion, &seg) in table.iter().enumerate() {
+            owned[seg] += 1;
+            cost[seg] += self.costs[ion];
+        }
+        let segments = (0..nseg)
+            .map(|seg| SegmentSnapshot {
+                segment: seg,
+                owned_ions: owned[seg],
+                capacity_cost: cost[seg],
+                replicas: (0..self.replicas_per_segment)
+                    .map(|r| {
+                        let rep = &self.replicas[seg * self.replicas_per_segment + r];
+                        ReplicaSnapshot {
+                            replica: r,
+                            demoted: rep.demoted(),
+                            outstanding: rep.outstanding(),
+                            cache: rep.cache_stats(),
+                            service: rep.metrics(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        RouterSnapshot {
+            shards: nseg,
+            replicas_per_shard: self.replicas_per_segment,
+            counters: self.metrics.snapshot(),
+            segments,
+        }
+    }
+
+    /// Graceful shutdown: refuse new queries, resolve everything
+    /// in-flight (queued envelopes resolve as missing; already-popped
+    /// ones are answered), join every worker, drain every engine.
+    #[must_use]
+    pub fn shutdown(mut self) -> RouterReport {
+        self.do_shutdown().expect("router not yet shut down")
+    }
+
+    fn do_shutdown(&mut self) -> Option<RouterReport> {
+        if self.replicas.is_empty() {
+            return None;
+        }
+        let snapshot = self.snapshot();
+        self.sg.close();
+        let engines: Vec<EngineReport> = self.replicas.drain(..).map(ShardReplica::stop).collect();
+        let leaked_grants = engines.iter().map(|e| e.leaked_grants).sum();
+        Some(RouterReport {
+            snapshot,
+            engines,
+            leaked_grants,
+        })
+    }
+}
+
+impl Drop for ShardRouter {
+    /// Dropping without [`ShardRouter::shutdown`] still closes the
+    /// lanes, joins the workers, and drains the engines.
+    fn drop(&mut self) {
+        let _ = self.do_shutdown();
+    }
+}

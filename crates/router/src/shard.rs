@@ -1,0 +1,292 @@
+//! One shard replica: a private [`Engine`] (rank pool, simulated
+//! devices, scheduler, fault ladder), a private per-ion cache, and a
+//! worker thread popping [`ShardRequest`] envelopes off its
+//! [`mpi_sim::collective`] lane.
+//!
+//! A replica answers **per-ion partials**, never pre-summed spectra:
+//! floating-point addition is non-associative, so the fold must happen
+//! in exactly one place — the router, via [`rrc_service::assemble`] in
+//! ascending ion order — for the sharded answer to be bitwise
+//! identical to the single-engine one. The worker's fan-out mirrors
+//! the service batcher's: submit one [`IonJob`] per cache-missing ion,
+//! collect outcomes, re-fan unanswered ions up to the retry budget,
+//! and report whatever is still missing as `failed` so the router can
+//! re-route those ions to a sibling replica.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
+use mpi_sim::Lane;
+use rrc_service::{CacheKey, ServiceMetrics, ShardedLruCache, StateKey};
+use rrc_spectral::{EnergyGrid, GridPoint};
+
+/// One shard-scoped sub-request: the quantized state (and its
+/// representative point) plus the ion indices this shard must answer.
+#[derive(Debug, Clone)]
+pub struct ShardRequest {
+    /// Quantized plasma state + grid — the replica's cache key space.
+    pub key: StateKey,
+    /// The representative plasma point of `key` (computed once by the
+    /// router so every shard evaluates the identical state).
+    pub point: GridPoint,
+    /// Ions this shard owns for the request, ascending.
+    pub ions: Vec<usize>,
+}
+
+/// A shard's answer: per-ion partial spectra plus accounting.
+#[derive(Debug, Clone)]
+pub struct ShardResponse {
+    /// `(ion, partial)` pairs for every ion that was answered. The
+    /// `Arc` is the cache entry itself, so repeated hits return the
+    /// identical allocation (bitwise-stable responses).
+    pub partials: Vec<(usize, Arc<Vec<f64>>)>,
+    /// Ions computed by the engine this time.
+    pub computed: u64,
+    /// Ions answered from this replica's cache.
+    pub from_cache: u64,
+    /// Ions the engine never answered (device faults with the retry
+    /// budget exhausted) — the router re-routes these.
+    pub failed: Vec<usize>,
+}
+
+/// State shared between a replica's worker thread and its handle.
+pub(crate) struct ReplicaCtx {
+    engine: Engine,
+    cache: ShardedLruCache,
+    grids: Vec<EnergyGrid>,
+    bin_tables: Vec<Arc<Vec<(f64, f64)>>>,
+    metrics: ServiceMetrics,
+    outstanding: AtomicU64,
+    fanout_retries: u32,
+}
+
+impl ReplicaCtx {
+    /// Serve one shard sub-request: cache lookups, engine fan-out with
+    /// re-fan retries, cache fills. Mirrors the service batcher's
+    /// group path so a shard's partial bits match the single-engine
+    /// service's exactly (deterministic kernel assumed).
+    fn handle(&self, req: &ShardRequest) -> ShardResponse {
+        let started = Instant::now();
+        let db = &self.engine.config().db;
+        let grid = &self.grids[req.key.grid_id];
+        let bins = &self.bin_tables[req.key.grid_id];
+
+        let mut partials: Vec<(usize, Arc<Vec<f64>>)> = Vec::with_capacity(req.ions.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for &ion in &req.ions {
+            let cache_key = CacheKey {
+                ion_index: ion,
+                state: req.key,
+            };
+            match self.cache.get(&cache_key) {
+                Some(hit) => partials.push((ion, hit)),
+                None => pending.push(ion),
+            }
+        }
+        let from_cache = partials.len() as u64;
+
+        let mut answered: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
+        let mut refanouts = 0u32;
+        while !pending.is_empty() {
+            let (tx, rx) = channel();
+            for &ion in &pending {
+                let levels = db.levels_by_index(ion).len();
+                let job = IonJob {
+                    ion_index: ion,
+                    level_range: 0..levels,
+                    point: req.point,
+                    grid: grid.clone(),
+                    bins: Arc::clone(bins),
+                    tag: ion as u64,
+                    reply: tx.clone(),
+                };
+                if self.engine.submit(job).is_err() {
+                    // Engine closing underneath us (shutdown race):
+                    // whatever is still pending becomes `failed`.
+                    break;
+                }
+            }
+            drop(tx);
+            let outcomes: Vec<IonOutcome> = rx.iter().collect();
+            for outcome in outcomes {
+                let value = Arc::new(outcome.partial);
+                self.cache.insert(
+                    CacheKey {
+                        ion_index: outcome.ion_index,
+                        state: req.key,
+                    },
+                    Arc::clone(&value),
+                );
+                answered.insert(outcome.ion_index, value);
+            }
+            pending.retain(|ion| !answered.contains_key(ion));
+            if pending.is_empty() || refanouts >= self.fanout_retries {
+                break;
+            }
+            refanouts += 1;
+            self.metrics.on_fanout_retry(pending.len() as u64);
+        }
+        let computed = answered.len() as u64;
+        partials.extend(answered);
+
+        if !pending.is_empty() {
+            self.metrics.on_device_failure();
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        self.metrics.on_responded(elapsed, elapsed);
+        ShardResponse {
+            partials,
+            computed,
+            from_cache,
+            failed: pending,
+        }
+    }
+}
+
+/// Everything a replica needs at startup besides its lane. Bundled so
+/// the router can stamp one spec per `(segment, replica)` slot.
+pub(crate) struct ReplicaSpec {
+    pub segment: usize,
+    pub replica: usize,
+    pub engine: EngineConfig,
+    pub cache_capacity: usize,
+    pub cache_shards: usize,
+    pub fanout_retries: u32,
+    pub grids: Vec<EnergyGrid>,
+    pub bin_tables: Vec<Arc<Vec<(f64, f64)>>>,
+}
+
+/// A running shard replica and its worker thread. Stop by closing the
+/// lane (the router's scatter/gather `close()` does this for every
+/// replica at once) and calling [`ShardReplica::stop`].
+pub struct ShardReplica {
+    segment: usize,
+    replica: usize,
+    ctx: Arc<ReplicaCtx>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardReplica {
+    /// Bring the replica up: engine, cache, worker thread on `lane`.
+    pub(crate) fn start(
+        spec: ReplicaSpec,
+        lane: Lane<ShardRequest, ShardResponse>,
+    ) -> ShardReplica {
+        let ReplicaSpec {
+            segment,
+            replica,
+            engine,
+            cache_capacity,
+            cache_shards,
+            fanout_retries,
+            grids,
+            bin_tables,
+        } = spec;
+        let ctx = Arc::new(ReplicaCtx {
+            engine: Engine::start(engine),
+            cache: ShardedLruCache::new(cache_capacity, cache_shards),
+            grids,
+            bin_tables,
+            metrics: ServiceMetrics::new(),
+            outstanding: AtomicU64::new(0),
+            fanout_retries,
+        });
+        let worker = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("shard-{segment}.{replica}"))
+                .spawn(move || {
+                    while let Some(envelope) = lane.pop() {
+                        let (req, promise) = envelope.split();
+                        let resp = ctx.handle(&req);
+                        promise.fulfill(resp);
+                        ctx.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    }
+                })
+                .expect("spawn shard worker")
+        };
+        ShardReplica {
+            segment,
+            replica,
+            ctx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Segment id this replica serves.
+    #[must_use]
+    pub fn segment(&self) -> usize {
+        self.segment
+    }
+
+    /// Replica index within its segment.
+    #[must_use]
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Sub-requests scattered to this replica and not yet answered.
+    /// The router increments before scatter; the worker decrements
+    /// after fulfilling, so a zero reading after a routing-table swap
+    /// means the replica has drained its in-flight work.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.ctx.outstanding.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn add_outstanding(&self) {
+        self.ctx.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether the health ladder currently demotes this replica:
+    /// every simulated device is quarantined or lost. A CPU-only
+    /// replica (no devices) is never demoted — its CPU path answers.
+    #[must_use]
+    pub fn demoted(&self) -> bool {
+        self.ctx.engine.gpus() > 0 && self.ctx.engine.health_snapshot().all_quarantined()
+    }
+
+    /// This replica's engine (fault injection, health, scheduler
+    /// introspection for tests and benches).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.ctx.engine
+    }
+
+    /// This replica's cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> rrc_service::CacheStats {
+        self.ctx.cache.stats()
+    }
+
+    /// This replica's service metrics joined with its engine's live
+    /// scheduler view.
+    #[must_use]
+    pub fn metrics(&self) -> rrc_service::MetricsSnapshot {
+        self.ctx
+            .metrics
+            .snapshot()
+            .with_scheduler(&self.ctx.engine.scheduler_snapshot())
+    }
+
+    /// Join the worker (the lane must already be closed, or the worker
+    /// would never exit) and drain the engine.
+    ///
+    /// # Panics
+    /// Panics if the worker thread panicked, or if called while other
+    /// clones of the replica context are still alive.
+    #[must_use]
+    pub(crate) fn stop(mut self) -> EngineReport {
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("shard worker panicked");
+        }
+        let ctx = Arc::try_unwrap(self.ctx)
+            .ok()
+            .expect("worker joined; no other holders of the replica context");
+        ctx.engine.shutdown()
+    }
+}

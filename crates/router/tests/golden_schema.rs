@@ -1,0 +1,146 @@
+//! Golden-file lock on the operator-facing JSON contract of
+//! [`rrc_router::RouterSnapshot::to_json`] (which embeds the service
+//! tier's [`rrc_service::MetricsSnapshot::to_json`] per replica).
+//!
+//! The fixture is a hand-built snapshot with distinctive values so a
+//! renamed/retyped/reordered key anywhere in the document fails the
+//! byte comparison. To bless an intentional schema change, delete
+//! `tests/golden/router_snapshot.json` and re-run this test once — it
+//! rewrites the file and fails, and the next run passes. Commit the
+//! regenerated file with the change that motivated it.
+
+use hybrid_sched::HealthState;
+use rrc_router::{ReplicaSnapshot, RouterCounters, RouterSnapshot, SegmentSnapshot};
+use rrc_service::{CacheStats, MetricsSnapshot, StageLatency};
+
+fn stage(count: u64, scale: f64) -> StageLatency {
+    StageLatency {
+        count,
+        mean_s: 0.002 * scale,
+        p50_s: 0.0015 * scale,
+        p95_s: 0.004 * scale,
+        p99_s: 0.005 * scale,
+    }
+}
+
+fn service_metrics(demoted: bool) -> MetricsSnapshot {
+    MetricsSnapshot {
+        submitted: 40,
+        responded: 39,
+        shed: 1,
+        caller_runs: 0,
+        batches: 13,
+        batched_requests: 39,
+        queue_depth_peak: 5,
+        fanout_retried_ions: 2,
+        device_failures: 0,
+        neighbor_hits: 3,
+        neighbor_rejects: 1,
+        queue: stage(39, 0.5),
+        compute: stage(39, 1.0),
+        total: stage(39, 1.5),
+        scheduler_steals: vec![4, 0],
+        scheduler_cpu_steals: 1,
+        scheduler_weighted_loads: vec![120, 80],
+        scheduler_health: if demoted {
+            vec![HealthState::Quarantined, HealthState::Quarantined]
+        } else {
+            vec![HealthState::Healthy, HealthState::Degraded]
+        },
+        scheduler_quarantines: u64::from(demoted) * 2,
+        scheduler_probations: 0,
+        scheduler_recoveries: 0,
+    }
+}
+
+fn fixture() -> RouterSnapshot {
+    RouterSnapshot {
+        shards: 2,
+        replicas_per_shard: 2,
+        counters: RouterCounters {
+            requests: 80,
+            responded: 79,
+            device_failed: 1,
+            reroutes: 3,
+            demoted_skips: 12,
+            rebalances: 1,
+            migrated_ions: 7,
+            latency: stage(79, 2.0),
+        },
+        segments: vec![
+            SegmentSnapshot {
+                segment: 0,
+                owned_ions: 30,
+                capacity_cost: 61_234,
+                replicas: vec![
+                    ReplicaSnapshot {
+                        replica: 0,
+                        demoted: false,
+                        outstanding: 1,
+                        cache: CacheStats {
+                            hits: 25,
+                            misses: 15,
+                            insertions: 15,
+                            evictions: 0,
+                        },
+                        service: service_metrics(false),
+                    },
+                    ReplicaSnapshot {
+                        replica: 1,
+                        demoted: true,
+                        outstanding: 0,
+                        cache: CacheStats {
+                            hits: 10,
+                            misses: 30,
+                            insertions: 30,
+                            evictions: 4,
+                        },
+                        service: service_metrics(true),
+                    },
+                ],
+            },
+            SegmentSnapshot {
+                segment: 1,
+                owned_ions: 14,
+                capacity_cost: 9_876,
+                replicas: vec![ReplicaSnapshot {
+                    replica: 0,
+                    demoted: false,
+                    outstanding: 2,
+                    cache: CacheStats {
+                        hits: 0,
+                        misses: 0,
+                        insertions: 0,
+                        evictions: 0,
+                    },
+                    service: service_metrics(false),
+                }],
+            },
+        ],
+    }
+}
+
+#[test]
+fn router_snapshot_json_matches_the_golden_file() {
+    let rendered = fixture().to_json().to_pretty();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("router_snapshot.json");
+    if !path.exists() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, format!("{rendered}\n")).expect("write golden");
+        panic!(
+            "golden file was missing; wrote {} — re-run and commit it",
+            path.display()
+        );
+    }
+    let golden = std::fs::read_to_string(&path).expect("read golden");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "RouterSnapshot::to_json drifted from the golden schema; if the \
+         change is intentional, delete the golden file, re-run, and \
+         commit the regenerated one"
+    );
+}

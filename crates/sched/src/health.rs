@@ -142,6 +142,25 @@ impl HealthSnapshot {
             recoveries: 0,
         }
     }
+
+    /// How many devices are currently quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| **s == HealthState::Quarantined)
+            .count()
+    }
+
+    /// Whether **every** device is quarantined — the routing tier's
+    /// demotion signal: a shard in this state can still answer through
+    /// its CPU-fallback path but should stop receiving preferred
+    /// placements. `false` when there are no devices at all (a
+    /// CPU-only shard is degraded by construction, not by faults).
+    #[must_use]
+    pub fn all_quarantined(&self) -> bool {
+        !self.states.is_empty() && self.quarantined() == self.states.len()
+    }
 }
 
 /// Shared per-device health state machine. Cloning shares state (like

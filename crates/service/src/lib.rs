@@ -35,9 +35,9 @@ pub use api::{
     AdmissionPolicy, ElementSelection, ServiceError, SpectrumRequest, SpectrumResponse, Ticket,
 };
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
-pub use metrics::{MetricsSnapshot, ServiceMetrics, StageLatency};
+pub use metrics::{health_label, MetricsSnapshot, ServiceMetrics, StageLatency};
 pub use quantize::{Quantizer, StateKey};
-pub use service::{ServiceConfig, ServiceReport, SpectralService};
+pub use service::{assemble, selected_ions, ServiceConfig, ServiceReport, SpectralService};
 pub use traffic::{
     cycling_requests, poisson_arrivals, run_closed_loop, run_open_loop, TrafficReport,
 };

@@ -106,6 +106,65 @@ impl MetricsSnapshot {
         self.scheduler_recoveries = sched.recoveries;
         self
     }
+
+    /// The operator-facing JSON rendering of this snapshot — a
+    /// **stable contract** (keys sorted by `jsonlite`'s object
+    /// ordering, health states lowercased). The router rolls these
+    /// per-shard documents into its own snapshot; changing a key or
+    /// shape here must update the golden file in `rrc-router`.
+    #[must_use]
+    pub fn to_json(&self) -> jsonlite::Value {
+        jsonlite::ObjectBuilder::new()
+            .field("submitted", self.submitted)
+            .field("responded", self.responded)
+            .field("shed", self.shed)
+            .field("caller_runs", self.caller_runs)
+            .field("batches", self.batches)
+            .field("batched_requests", self.batched_requests)
+            .field("queue_depth_peak", self.queue_depth_peak)
+            .field("fanout_retried_ions", self.fanout_retried_ions)
+            .field("device_failures", self.device_failures)
+            .field("neighbor_hits", self.neighbor_hits)
+            .field("neighbor_rejects", self.neighbor_rejects)
+            .field(
+                "latency",
+                jsonlite::ObjectBuilder::new()
+                    .field("queue", self.queue.to_json())
+                    .field("compute", self.compute.to_json())
+                    .field("total", self.total.to_json())
+                    .build(),
+            )
+            .field(
+                "scheduler",
+                jsonlite::ObjectBuilder::new()
+                    .field("steals", self.scheduler_steals.clone())
+                    .field("cpu_steals", self.scheduler_cpu_steals)
+                    .field("weighted_loads", self.scheduler_weighted_loads.clone())
+                    .field(
+                        "health",
+                        self.scheduler_health
+                            .iter()
+                            .map(|h| health_label(*h))
+                            .collect::<Vec<_>>(),
+                    )
+                    .field("quarantines", self.scheduler_quarantines)
+                    .field("probations", self.scheduler_probations)
+                    .field("recoveries", self.scheduler_recoveries)
+                    .build(),
+            )
+            .build()
+    }
+}
+
+/// The stable lowercase label of a health state in JSON exports.
+#[must_use]
+pub fn health_label(state: hybrid_sched::HealthState) -> &'static str {
+    match state {
+        hybrid_sched::HealthState::Healthy => "healthy",
+        hybrid_sched::HealthState::Degraded => "degraded",
+        hybrid_sched::HealthState::Quarantined => "quarantined",
+        hybrid_sched::HealthState::Probation => "probation",
+    }
 }
 
 /// p50/p95/p99 + mean of one lifecycle stage, in seconds.
@@ -121,6 +180,21 @@ pub struct StageLatency {
     pub p95_s: f64,
     /// 99th percentile.
     pub p99_s: f64,
+}
+
+impl StageLatency {
+    /// Stable JSON rendering of one stage (see
+    /// [`MetricsSnapshot::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> jsonlite::Value {
+        jsonlite::ObjectBuilder::new()
+            .field("count", self.count)
+            .field("mean_s", self.mean_s)
+            .field("p50_s", self.p50_s)
+            .field("p95_s", self.p95_s)
+            .field("p99_s", self.p99_s)
+            .build()
+    }
 }
 
 fn stage(h: &Mutex<LatencyHistogram>) -> StageLatency {
@@ -141,17 +215,20 @@ impl ServiceMetrics {
         ServiceMetrics::default()
     }
 
-    pub(crate) fn on_submitted(&self, queue_len_after: usize) {
+    /// Record one accepted request and the queue occupancy it saw.
+    pub fn on_submitted(&self, queue_len_after: usize) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.queue_depth_peak
             .fetch_max(queue_len_after as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_shed(&self) {
+    /// Record one request refused by the shed admission policy.
+    pub fn on_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_caller_run(&self, total_s: f64) {
+    /// Record one caller-runs inline answer and its end-to-end time.
+    pub fn on_caller_run(&self, total_s: f64) {
         self.caller_runs.fetch_add(1, Ordering::Relaxed);
         self.total_latency
             .lock()
@@ -159,36 +236,43 @@ impl ServiceMetrics {
             .record(total_s);
     }
 
-    pub(crate) fn on_fanout_retry(&self, ions: u64) {
+    /// Record `ions` unanswered ion partials being re-fanned-out.
+    pub fn on_fanout_retry(&self, ions: u64) {
         self.fanout_retried_ions.fetch_add(ions, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_device_failure(&self) {
+    /// Record one request refused with [`crate::ServiceError::DeviceFailed`].
+    pub fn on_device_failure(&self) {
         self.device_failures.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_neighbor_hit(&self) {
+    /// Record one cache miss answered from a classified neighbor bucket.
+    pub fn on_neighbor_hit(&self) {
         self.neighbor_hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_neighbor_reject(&self) {
+    /// Record one neighbor candidate rejected by the delta classifier.
+    pub fn on_neighbor_reject(&self) {
         self.neighbor_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_batch(&self, requests: usize) {
+    /// Record one batch of `requests` coalesced requests.
+    pub fn on_batch(&self, requests: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(requests as u64, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_picked_up(&self, queue_s: f64) {
+    /// Record one request's queue-stage latency at batcher pickup.
+    pub fn on_picked_up(&self, queue_s: f64) {
         self.queue_latency
             .lock()
             .expect("latency histogram poisoned")
             .record(queue_s);
     }
 
-    pub(crate) fn on_responded(&self, compute_s: f64, total_s: f64) {
+    /// Record one delivered response with its compute and total times.
+    pub fn on_responded(&self, compute_s: f64, total_s: f64) {
         self.responded.fetch_add(1, Ordering::Relaxed);
         self.compute_latency
             .lock()

@@ -321,8 +321,13 @@ impl Drop for SpectralService {
     }
 }
 
-/// The ions of the database a request selects, ascending.
-fn selected_ions(db: &AtomDatabase, request: &SpectrumRequest) -> Vec<usize> {
+/// The ions of the database a request selects, ascending. Public
+/// because the shard router must partition exactly this set: the
+/// sharded fold reproduces the single-engine response bitwise only
+/// when both tiers agree on which ions a request names and in which
+/// order their partials are summed.
+#[must_use]
+pub fn selected_ions(db: &AtomDatabase, request: &SpectrumRequest) -> Vec<usize> {
     db.ions()
         .iter()
         .enumerate()
@@ -332,8 +337,21 @@ fn selected_ions(db: &AtomDatabase, request: &SpectrumRequest) -> Vec<usize> {
 }
 
 /// Sum `ions`' partials (ascending order is the caller's contract)
-/// into a fresh bin vector.
-fn assemble(bins: usize, ions: &[usize], partials: &BTreeMap<usize, Arc<Vec<f64>>>) -> Vec<f64> {
+/// into a fresh bin vector. Public for the shard router: gathering
+/// per-ion partials from shards and folding them **here**, in the same
+/// ascending order starting from the same zero vector, is what makes a
+/// sharded response bitwise identical to the single-engine one —
+/// floating-point addition is non-associative, so folding per-shard
+/// pre-sums instead would change the bits.
+///
+/// # Panics
+/// Panics if any of `ions` has no entry in `partials`.
+#[must_use]
+pub fn assemble(
+    bins: usize,
+    ions: &[usize],
+    partials: &BTreeMap<usize, Arc<Vec<f64>>>,
+) -> Vec<f64> {
     let mut out = vec![0.0f64; bins];
     for ion in ions {
         let partial = &partials[ion];

@@ -6,6 +6,7 @@
 //! hspec tune     --gpus 2
 //! hspec nei      --element 8 --temp 1e7 --span 1e10
 //! hspec recalc   --temp 1e7 --dtemp-rel 1e-12 --steps 8 --gpus 2
+//! hspec serve    --shards 4 --replicas 2 --requests 16
 //! ```
 //!
 //! Arguments are `--key value` pairs parsed by a small hand-rolled
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&args),
         "nei" => cmd_nei(&args),
         "recalc" => cmd_recalc(&args),
+        "serve" => cmd_serve(&args),
         "remnant" => cmd_remnant(&args),
         "run" => cmd_run(&args),
         "help" | "--help" | "-h" => {
@@ -77,6 +79,9 @@ USAGE:
   hspec nei      [--element Z] [--temp K] [--density CM3] [--span S]
   hspec recalc   [--temp K] [--dtemp-rel R] [--steps N] [--density CM3]
                  [--bins N] [--max-z Z] [--gpus N] [--tolerance TOL]
+  hspec serve    [--shards N] [--replicas R] [--requests N] [--max-z Z]
+                 [--bins N] [--gpus N] [--cache N] [--rebalance true|false]
+                 [--snapshot FILE.json]
   hspec remnant  [--age-yr YR] [--ambient CM3] [--shells N]
   hspec run      --spec FILE.json [--out FILE.tsv]
 "
@@ -470,6 +475,121 @@ fn cmd_recalc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Bring up the sharded service tier, optionally level it with the
+/// capacity rebalancer, drive a deterministic open-loop load of
+/// distinct plasma states through it, and print (or dump as JSON) the
+/// router-level snapshot.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use hybridspec::router::{RouterConfig, ShardRouter};
+    use hybridspec::service::{ElementSelection, SpectrumRequest};
+
+    let shards: usize = args.get("shards", 2)?;
+    let replicas: usize = args.get("replicas", 1)?;
+    let requests: usize = args.get("requests", 12)?;
+    let max_z: u8 = args.get("max-z", 8)?;
+    let bins: usize = args.get("bins", 64)?;
+    let gpus: usize = args.get("gpus", 2)?;
+    let cache: usize = args.get("cache", 4096)?;
+    let rebalance: bool = args.get("rebalance", true)?;
+    let snapshot_out: String = args.get("snapshot", String::new())?;
+    if shards == 0 || replicas == 0 {
+        return Err("--shards and --replicas must be at least 1".into());
+    }
+
+    let db = Arc::new(atomdb::AtomDatabase::generate(atomdb::DatabaseConfig {
+        max_z,
+        ..atomdb::DatabaseConfig::default()
+    }));
+    let ions = db.ions().len();
+    let grids = vec![EnergyGrid::paper_waveband(bins)];
+    let mut cfg = RouterConfig::deterministic(db, grids);
+    cfg.shards = shards;
+    cfg.replicas = replicas;
+    cfg.engine.gpus = gpus;
+    cfg.cache_capacity = cache;
+    let tier = ShardRouter::start(cfg);
+    println!(
+        "sharded tier up: {shards} shard(s) x {replicas} replica(s), {ions} ions, \
+         {bins} bins, {gpus} device(s) per replica"
+    );
+    if rebalance {
+        let mut passes = 0;
+        while let Some(m) = tier.rebalance() {
+            println!(
+                "  rebalance: moved {} ion(s) (cost {}) from shard {} to {}",
+                m.ions.len(),
+                m.cost_moved,
+                m.from,
+                m.to
+            );
+            passes += 1;
+            if passes >= 32 {
+                break;
+            }
+        }
+        if passes == 0 {
+            println!("  rebalance: already level");
+        }
+    }
+    for i in 0..requests {
+        let request = SpectrumRequest {
+            point: rrc_spectral::GridPoint {
+                temperature_k: 9.0e6 + 6.7e5 * i as f64,
+                density_cm3: 1.0,
+                time_s: 0.0,
+                index: i,
+            },
+            elements: ElementSelection::All,
+            grid_id: 0,
+        };
+        let response = tier
+            .query(&request)
+            .map_err(|e| format!("request {i}: {e:?}"))?;
+        println!(
+            "  request {i:3}: {} computed / {} cached; flux sum {:.6e}",
+            response.ions_computed,
+            response.ions_from_cache,
+            response.bins.iter().sum::<f64>()
+        );
+    }
+    let snapshot = tier.snapshot();
+    println!(
+        "tier: {} responded / {} requests, {} reroute(s), {} demoted skip(s), \
+         {} rebalance(s)",
+        snapshot.counters.responded,
+        snapshot.counters.requests,
+        snapshot.counters.reroutes,
+        snapshot.counters.demoted_skips,
+        snapshot.counters.rebalances
+    );
+    for seg in &snapshot.segments {
+        let demoted = seg.replicas.iter().filter(|r| r.demoted).count();
+        println!(
+            "  shard {}: {} ion(s), capacity cost {}, {} replica(s) ({} demoted)",
+            seg.segment,
+            seg.owned_ions,
+            seg.capacity_cost,
+            seg.replicas.len(),
+            demoted
+        );
+    }
+    if !snapshot_out.is_empty() {
+        std::fs::write(&snapshot_out, snapshot.to_json().to_pretty())
+            .map_err(|e| format!("writing {snapshot_out}: {e}"))?;
+        println!("wrote tier snapshot to {snapshot_out}");
+    }
+    let report = tier.shutdown();
+    println!(
+        "tier drained: {} engine(s), {} leaked grant(s)",
+        report.engines.len(),
+        report.leaked_grants
+    );
+    if report.leaked_grants != 0 {
+        return Err(format!("{} leaked grants", report.leaked_grants));
+    }
+    Ok(())
+}
+
 fn cmd_remnant(args: &Args) -> Result<(), String> {
     const YEAR_S: f64 = 3.156e7;
     let age_yr: f64 = args.get("age-yr", 500.0)?;
@@ -585,6 +705,19 @@ mod tests {
             ("dtemp-rel", "1e-13"),
         ]);
         cmd_recalc(&a).unwrap();
+    }
+
+    #[test]
+    fn serve_command_runs() {
+        let a = args(&[
+            ("shards", "2"),
+            ("replicas", "1"),
+            ("requests", "2"),
+            ("max-z", "4"),
+            ("bins", "16"),
+            ("gpus", "1"),
+        ]);
+        cmd_serve(&a).unwrap();
     }
 
     #[test]

@@ -15,13 +15,19 @@
 //! * [`nei`] — non-equilibrium ionization ODE substrate.
 //! * [`hybrid`] — the hybrid CPU/GPU framework (the paper's contribution)
 //!   plus per-figure experiment drivers.
+//! * [`service`] — the long-lived single-engine spectral query service.
+//! * [`router`] — the sharded multi-engine service tier (consistent-hash
+//!   routing, replication, health-aware re-routing, rebalancing).
 
 pub use atomdb;
 pub use desim;
 pub use gpu_sim as gpu;
 pub use hybrid_sched as sched;
 pub use hybrid_spectral as hybrid;
+pub use jsonlite;
 pub use mpi_sim as mpi;
 pub use nei;
 pub use quadrature;
+pub use rrc_router as router;
+pub use rrc_service as service;
 pub use rrc_spectral as spectral;
