@@ -67,6 +67,7 @@ fn engine_config(
         pack_threshold: 0,
         pack_max: 8,
         resilience,
+        tuning: hybrid_sched::TuningConfig::default(),
     }
 }
 

@@ -51,6 +51,7 @@ fn engine_config(db: &Arc<AtomDatabase>, gpus: usize, policy: SchedPolicy) -> En
         pack_threshold: 0,
         pack_max: 8,
         resilience: ResilienceConfig::default(),
+        tuning: hybrid_sched::TuningConfig::default(),
     }
 }
 

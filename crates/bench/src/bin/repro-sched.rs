@@ -246,6 +246,7 @@ fn engine_parity(policy: SchedPolicy, max_z: u8, bins: usize) -> EngineRun {
         pack_threshold: 0,
         pack_max: 8,
         resilience: hybrid_spectral::ResilienceConfig::default(),
+        tuning: hybrid_sched::TuningConfig::default(),
     });
     let ions = db.ions().len();
     let (tx, rx) = channel();

@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use atomdb::{AtomDatabase, DatabaseConfig};
 use gpu_sim::{DeviceRule, Precision};
-use hybrid_sched::{AutoTuner, SchedPolicy};
+use hybrid_sched::{AutoTuner, SchedPolicy, TuningConfig};
 use hybrid_spectral::engine::{Engine, EngineConfig, IonJob, IonOutcome};
 use jsonlite::ObjectBuilder;
 use microbench::{black_box, Criterion};
@@ -102,6 +102,7 @@ fn engine_config(db: &Arc<AtomDatabase>, gpus: usize, pack_threshold: u64) -> En
         pack_threshold,
         pack_max: 8,
         resilience: hybrid_spectral::ResilienceConfig::default(),
+        tuning: TuningConfig::default(),
     }
 }
 
@@ -301,8 +302,11 @@ fn main() {
     // Pick the pack threshold with the paper's inflexion-style tuner:
     // probe increasing thresholds until modeled device time stops
     // improving.
+    // The sweep shares the runtime knob surface: same probe step and
+    // patience budget as the resident controller's defaults.
     eprintln!("autotuning pack threshold ...");
-    let mut tuner = AutoTuner::new(8, 8, 64).with_patience(2);
+    let sweep = TuningConfig::default();
+    let mut tuner = AutoTuner::new(sweep.step, sweep.step, 64).with_patience(sweep.patience);
     while let Some(threshold) = tuner.next_candidate() {
         let (seconds, _) = tiny_mix_device_time(&agg_db, rounds, threshold);
         tuner.observe(threshold, seconds);

@@ -56,10 +56,10 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use atomdb::AtomDatabase;
 use gpu_sim::{
@@ -67,7 +67,8 @@ use gpu_sim::{
     LaunchConfig, Precision, SimGpu, Stream, TaskHandle,
 };
 use hybrid_sched::{
-    DeviceId, Grant, HealthState, Next, SchedPolicy, Scheduler, SchedulerSnapshot, StealQueues,
+    CostKey, CostModel, DeviceId, Grant, HealthState, Knob, Next, OnlineTuner, SchedPolicy,
+    Scheduler, SchedulerSnapshot, StealQueues, TunerDim, TunerKnobs, TuningConfig,
 };
 use mpi_sim::{BoundedQueue, TryPushError};
 use quadrature::MathMode;
@@ -134,6 +135,13 @@ pub struct EngineConfig {
     /// device-health configuration. [`ResilienceConfig::default`] is
     /// the fault-free production shape.
     pub resilience: ResilienceConfig,
+    /// Online autotuning: when enabled, a resident
+    /// [`hybrid_sched::OnlineTuner`] controller thread retunes the live
+    /// knob block (pack threshold, async window, active ranks — plus
+    /// service-registered dimensions) against decision-epoch signals.
+    /// Off by default; every knob it can move is placement/batching
+    /// only, so deterministic-kernel numerics stay bitwise invariant.
+    pub tuning: TuningConfig,
 }
 
 impl EngineConfig {
@@ -159,6 +167,7 @@ impl EngineConfig {
             pack_threshold: cfg.pack_threshold,
             pack_max: 8,
             resilience: cfg.resilience.clone(),
+            tuning: cfg.tuning,
         }
     }
 }
@@ -227,6 +236,41 @@ struct StagedTask {
     /// Launch attempts that already failed (0 on first staging); the
     /// recovery ladder bounds this by `resilience.max_retries`.
     attempts: u32,
+    /// Workload class of the task — the settle reports measured device
+    /// seconds against this key.
+    key: CostKey,
+    /// The static (a-priori) cost estimate, kept alongside the grant's
+    /// possibly-blended cost so measured-vs-static residuals compare
+    /// like with like.
+    static_cost: u64,
+}
+
+/// Shared adaptive state: the live knob block the hot paths read, the
+/// online measured-cost blend, and (when tuning is enabled) the
+/// resident controller — one allocation handed to every worker, pump,
+/// and the controller thread.
+struct Adaptive {
+    knobs: Arc<TunerKnobs>,
+    cost: Arc<CostModel>,
+    tuner: Option<Arc<OnlineTuner>>,
+    /// Tasks settled (device) or completed (worker CPU) — the decision
+    /// epoch clock.
+    completed: AtomicU64,
+    /// Tells the controller thread to exit during drain.
+    stop: AtomicBool,
+    /// Optional externally-supplied epoch signal (the service tier
+    /// installs a live-latency reader here); `None` falls back to the
+    /// engine-internal modeled-seconds-per-task signal.
+    #[allow(clippy::type_complexity)]
+    signal: Mutex<Option<Box<dyn Fn() -> Option<f64> + Send>>>,
+}
+
+impl Adaptive {
+    /// Number of worker ranks currently allowed to pull work (≥ 1 so
+    /// the pool can never park itself completely).
+    fn active_ranks(&self) -> u64 {
+        self.knobs.active_ranks().max(1)
+    }
 }
 
 /// Counters one worker accumulates over its lifetime.
@@ -328,6 +372,8 @@ pub struct Engine {
     pumps: Vec<std::thread::JoinHandle<()>>,
     fault_stats: Arc<FaultStats>,
     resident: Arc<crate::resident::ResidentCounters>,
+    adaptive: Arc<Adaptive>,
+    tuner_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Engine {
@@ -354,15 +400,56 @@ impl Engine {
         let fault_stats = Arc::new(FaultStats::default());
         let queue: BoundedQueue<IonJob> = BoundedQueue::new(config.queue_depth.max(1));
         let staged: StealQueues<StagedTask> = StealQueues::new(config.gpus);
+        // The live knob block seeds from the frozen configuration; with
+        // tuning disabled nothing ever writes it, so the hot paths read
+        // exactly the configured values.
+        let knobs = Arc::new(TunerKnobs::new(
+            config.pack_threshold,
+            config.async_window as u64,
+            0,
+            0,
+            config.workers.max(1) as u64,
+        ));
+        let tuner = config.tuning.enabled.then(|| {
+            let tuner = Arc::new(OnlineTuner::new(Arc::clone(&knobs), config.tuning.patience));
+            tuner.add_dim(TunerDim {
+                knob: Knob::PackThreshold,
+                min: 0,
+                max: 4096,
+                step: config.tuning.step.max(1),
+            });
+            tuner.add_dim(TunerDim {
+                knob: Knob::AsyncWindow,
+                min: 1,
+                max: config.queue_depth.max(4) as u64,
+                step: 1,
+            });
+            tuner.add_dim(TunerDim {
+                knob: Knob::ActiveRanks,
+                min: 1,
+                max: config.workers.max(1) as u64,
+                step: 1,
+            });
+            tuner
+        });
+        let adaptive = Arc::new(Adaptive {
+            knobs,
+            cost: Arc::new(CostModel::new()),
+            tuner,
+            completed: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            signal: Mutex::new(None),
+        });
         let workers = (0..config.workers.max(1))
             .map(|w| {
                 let queue = queue.clone();
                 let scheduler = scheduler.clone();
                 let staged = staged.clone();
                 let config = config.clone();
+                let adaptive = Arc::clone(&adaptive);
                 std::thread::Builder::new()
                     .name(format!("engine-worker-{w}"))
-                    .spawn(move || worker_loop(&config, &queue, &scheduler, &staged))
+                    .spawn(move || worker_loop(w, &config, &queue, &scheduler, &staged, &adaptive))
                     .expect("spawn engine worker")
             })
             .collect();
@@ -373,14 +460,32 @@ impl Engine {
                 let devices = Arc::clone(&devices);
                 let config = config.clone();
                 let fault_stats = Arc::clone(&fault_stats);
+                let adaptive = Arc::clone(&adaptive);
                 std::thread::Builder::new()
                     .name(format!("engine-pump-{d}"))
                     .spawn(move || {
-                        pump_loop(d, &config, &scheduler, &staged, &devices, &fault_stats)
+                        pump_loop(
+                            d,
+                            &config,
+                            &scheduler,
+                            &staged,
+                            &devices,
+                            &fault_stats,
+                            &adaptive,
+                        )
                     })
                     .expect("spawn engine pump")
             })
             .collect();
+        let tuner_thread = adaptive.tuner.is_some().then(|| {
+            let adaptive = Arc::clone(&adaptive);
+            let devices = Arc::clone(&devices);
+            let epoch_tasks = config.tuning.epoch_tasks.max(1);
+            std::thread::Builder::new()
+                .name("engine-tuner".into())
+                .spawn(move || tuner_loop(&adaptive, &devices, epoch_tasks))
+                .expect("spawn engine tuner")
+        });
         Engine {
             config,
             queue,
@@ -391,6 +496,8 @@ impl Engine {
             pumps,
             fault_stats,
             resident: Arc::new(crate::resident::ResidentCounters::default()),
+            adaptive,
+            tuner_thread,
         }
     }
 
@@ -514,10 +621,52 @@ impl Engine {
         &self.resident
     }
 
-    /// Scheduler load/history/steal read for the metrics layer.
+    /// Scheduler load/history/steal read for the metrics layer, with
+    /// the engine-held adaptive state overlaid: measured-vs-static cost
+    /// residual, observation count, and (when a resident controller is
+    /// attached) the live tuner snapshot.
     #[must_use]
     pub fn scheduler_snapshot(&self) -> SchedulerSnapshot {
-        self.scheduler.snapshot()
+        let mut snap = self.scheduler.snapshot();
+        snap.cost_residual_milli = self.adaptive.cost.residual_milli();
+        snap.cost_observations = self.adaptive.cost.observations();
+        snap.tuner = self.adaptive.tuner.as_ref().map(|t| t.snapshot());
+        snap
+    }
+
+    /// The live autotuning knob block (reads the frozen configured
+    /// values when tuning is disabled).
+    #[must_use]
+    pub fn tuner_knobs(&self) -> &Arc<TunerKnobs> {
+        &self.adaptive.knobs
+    }
+
+    /// The resident controller, when `tuning.enabled` — the service
+    /// tier registers its own dimensions (batch size, quantizer drop
+    /// bits) here.
+    #[must_use]
+    pub fn tuner(&self) -> Option<&Arc<OnlineTuner>> {
+        self.adaptive.tuner.as_ref()
+    }
+
+    /// The online measured-cost blend placement consults.
+    #[must_use]
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.adaptive.cost
+    }
+
+    /// Install an external decision-epoch signal (lower = better): the
+    /// service tier points this at its live latency metrics so the
+    /// controller optimizes end-to-end behaviour instead of the
+    /// engine-internal modeled-seconds-per-task fallback. Returning
+    /// `None` from the reader falls back to the internal signal for
+    /// that epoch.
+    pub fn set_tuner_signal(&self, reader: impl Fn() -> Option<f64> + Send + 'static) {
+        *self
+            .adaptive
+            .signal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Box::new(reader));
     }
 
     /// The device-health ladder's current view — the routing tier's
@@ -557,6 +706,12 @@ impl Engine {
         }
         self.staged.close();
         for handle in self.pumps.drain(..) {
+            if handle.join().is_err() {
+                worker_panics += 1;
+            }
+        }
+        self.adaptive.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.tuner_thread.take() {
             if handle.join().is_err() {
                 worker_panics += 1;
             }
@@ -716,21 +871,41 @@ fn recover_or_fallback(
 }
 
 fn worker_loop(
+    w: usize,
     config: &EngineConfig,
     queue: &BoundedQueue<IonJob>,
     scheduler: &Scheduler,
     staged: &StealQueues<StagedTask>,
+    adaptive: &Adaptive,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut pool = WorkspacePool::new();
-    while let Some(job) = queue.pop() {
-        let cost = ion_task_cost(
+    loop {
+        // Elastic capacity: ranks at or above the live `active_ranks`
+        // knob park instead of pulling work (rank 0 never parks — the
+        // knob floors at 1). A parked rank keeps polling so the
+        // controller can unpark it within a knob write, and shutdown
+        // unparks everyone to help drain the closed queue.
+        while w as u64 >= adaptive.active_ranks() && !queue.is_closed() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let Some(job) = queue.pop() else { break };
+        let static_cost = ion_task_cost(
             &config.db,
             job.ion_index,
             job.level_range.clone(),
             &job.point,
             &job.bins,
         );
+        let key = CostKey::bucketed(
+            config.db.ions()[job.ion_index].z,
+            job.level_range.len(),
+            job.bins.len(),
+        );
+        // Placement compares *blended* units: static shape estimate
+        // rescaled by the class's measured seconds-per-unit (exactly
+        // the static units until the class has been observed).
+        let cost = adaptive.cost.blended(&key, static_cost);
         match scheduler.alloc_cost(cost) {
             Some(grant) => {
                 staged.stage(
@@ -740,6 +915,8 @@ fn worker_loop(
                         job,
                         grant,
                         attempts: 0,
+                        key,
+                        static_cost,
                     },
                 );
             }
@@ -761,19 +938,24 @@ fn worker_loop(
                                     job,
                                     grant,
                                     attempts: 0,
+                                    key,
+                                    static_cost,
                                 },
                             );
                         }
                         None => {
                             run_cpu_task(config, &mut pool, job);
                             stats.cpu_tasks += 1;
+                            adaptive.completed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     run_cpu_task(config, &mut pool, heavy.item.job);
                     stats.cpu_tasks += 1;
+                    adaptive.completed.fetch_add(1, Ordering::Relaxed);
                 } else {
                     run_cpu_task(config, &mut pool, job);
                     stats.cpu_tasks += 1;
+                    adaptive.completed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -781,6 +963,41 @@ fn worker_loop(
     stats.workspaces_created = pool.created();
     stats.workspace_acquisitions = pool.acquired();
     stats
+}
+
+/// The resident controller thread: once `epoch_tasks` tasks have
+/// completed since the last decision, feed the tuner one epoch signal —
+/// the externally-installed reader when the service registered one,
+/// else modeled device seconds per completed task — and let it probe,
+/// commit, roll back, or stay parked.
+fn tuner_loop(adaptive: &Adaptive, devices: &[SimGpu], epoch_tasks: u64) {
+    let tuner = adaptive
+        .tuner
+        .as_ref()
+        .expect("tuner thread spawns only with a controller");
+    let device_secs =
+        |devices: &[SimGpu]| -> f64 { devices.iter().map(SimGpu::virtual_busy_seconds).sum() };
+    let mut last_tasks = adaptive.completed.load(Ordering::Relaxed);
+    let mut last_secs = device_secs(devices);
+    while !adaptive.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_micros(200));
+        let tasks = adaptive.completed.load(Ordering::Relaxed);
+        let done = tasks.saturating_sub(last_tasks);
+        if done < epoch_tasks {
+            continue;
+        }
+        let secs = device_secs(devices);
+        let external = adaptive
+            .signal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .and_then(|reader| reader());
+        let signal = external.unwrap_or((secs - last_secs).max(0.0) / done as f64);
+        tuner.observe_epoch(signal);
+        last_tasks = tasks;
+        last_secs = secs;
+    }
 }
 
 /// Per-device pump: drain the device's staging lane (stealing when
@@ -805,18 +1022,22 @@ fn pump_loop(
     staged: &StealQueues<StagedTask>,
     devices: &Arc<Vec<SimGpu>>,
     fault_stats: &Arc<FaultStats>,
+    adaptive: &Arc<Adaptive>,
 ) {
     let device = &devices[d];
     let compute = Stream::new();
     let copy = Stream::new();
     // Recycled device-side result buffers; settles return them here.
     let bufs: Arc<Mutex<Vec<DevicePtr>>> = Arc::new(Mutex::new(Vec::new()));
-    // Double-buffer at minimum: one task settling on the copy engines
-    // while the next one launches on the compute queue.
-    let depth = config.async_window.max(2);
     let mut inflight: VecDeque<TaskHandle<()>> = VecDeque::new();
 
     loop {
+        // Both pipelining knobs are read fresh each iteration from the
+        // live block (they equal the frozen config when tuning is off).
+        // Double-buffer at minimum: one task settling on the copy
+        // engines while the next one launches on the compute queue.
+        let depth = (adaptive.knobs.async_window() as usize).max(2);
+        let pack_threshold = adaptive.knobs.pack_threshold();
         // Steal only with room to hold the reassigned grant — and only
         // while this device may receive work at all (a quarantined or
         // lost device must not pull tasks toward itself); `next` itself
@@ -832,6 +1053,8 @@ fn pump_loop(
                         job: task.item.job,
                         grant,
                         attempts: task.item.attempts,
+                        key: task.item.key,
+                        static_cost: task.item.static_cost,
                     },
                     false,
                 ),
@@ -871,9 +1094,9 @@ fn pump_loop(
         // charge). Stolen heads never pack — their grant just moved and
         // the victim's lane, not ours, holds the related backlog.
         let mut pack: Vec<StagedTask> = vec![first];
-        if was_local && config.pack_threshold > 0 && pack[0].grant.cost < config.pack_threshold {
+        if was_local && pack_threshold > 0 && pack[0].grant.cost < pack_threshold {
             while pack.len() < config.pack_max.max(2) {
-                let Some(t) = staged.try_next_local_under(d, config.pack_threshold) else {
+                let Some(t) = staged.try_next_local_under(d, pack_threshold) else {
                     break;
                 };
                 if Arc::ptr_eq(&t.item.job.bins, &pack[0].job.bins) {
@@ -898,6 +1121,7 @@ fn pump_loop(
                 pack,
                 staged,
                 fault_stats,
+                adaptive,
             ));
             while inflight.len() >= depth {
                 let _ = inflight
@@ -909,6 +1133,7 @@ fn pump_loop(
         }
         let task = pack.pop().expect("pack holds the head task");
         let (job, grant, attempts) = (task.job, task.grant, task.attempts);
+        let (key, static_cost) = (task.key, task.static_cost);
 
         let ptr = {
             let mut pool = bufs.lock().expect("buffer pool poisoned");
@@ -934,6 +1159,9 @@ fn pump_loop(
             config.math,
         );
         let injector = device.faults().clone();
+        // Virtual-clock read at submission: the settle's measured
+        // record reports how long the task sat behind earlier charges.
+        let submitted_virtual_s = device.virtual_busy_seconds();
         let handle = compute.submit(device, move || {
             injector.fire_kernel();
             kernel()
@@ -951,6 +1179,7 @@ fn pump_loop(
             let config = config.clone();
             let fault_stats = Arc::clone(fault_stats);
             let bufs = Arc::clone(&bufs);
+            let adaptive = Arc::clone(adaptive);
             move || {
                 let result = handle.wait_result();
                 let device = &devices[d];
@@ -977,11 +1206,20 @@ fn pump_loop(
                     Ok((partial, evals)) if !timed_out && dma_fault.is_none() => {
                         scheduler.health().record_success(d);
                         FaultStats::bump(&fault_stats.gpu_completions);
-                        let service_s = device.charge_task(evals, bytes_in, bytes_out);
-                        // Free with the modeled service time: the
-                        // per-device seconds-per-unit EWMA
-                        // self-calibrates from completions.
-                        scheduler.free_observed(grant, service_s);
+                        let measured = device.charge_task_measured(
+                            evals,
+                            bytes_in,
+                            bytes_out,
+                            submitted_virtual_s,
+                        );
+                        // The in-situ measurement feeds both calibration
+                        // loops: the per-class blend placement consults
+                        // and the per-device seconds-per-unit EWMA.
+                        adaptive
+                            .cost
+                            .observe(&key, static_cost, measured.device_s());
+                        scheduler.free_observed(grant, measured.device_s());
+                        adaptive.completed.fetch_add(1, Ordering::Relaxed);
                         let _ = job.reply.send(IonOutcome {
                             ion_index: job.ion_index,
                             level_start: job.level_range.start,
@@ -1011,6 +1249,8 @@ fn pump_loop(
                                 job,
                                 grant,
                                 attempts,
+                                key,
+                                static_cost,
                             },
                             d,
                             &config,
@@ -1067,6 +1307,7 @@ fn aggregated_launch(
     pack: Vec<StagedTask>,
     staged: &StealQueues<StagedTask>,
     fault_stats: &Arc<FaultStats>,
+    adaptive: &Arc<Adaptive>,
 ) -> TaskHandle<()> {
     // Pooled single-task buffers are sized for one ion's bins; a pack
     // allocates (and frees, in its settle) one buffer spanning every
@@ -1099,6 +1340,7 @@ fn aggregated_launch(
     // unwind boundary: one injected panic fails that member alone, not
     // the whole pack.
     let injector = device.faults().clone();
+    let submitted_virtual_s = device.virtual_busy_seconds();
     let handle = compute.submit(device, move || {
         tasks
             .into_iter()
@@ -1120,6 +1362,7 @@ fn aggregated_launch(
         let staged = staged.clone();
         let config = config.clone();
         let fault_stats = Arc::clone(fault_stats);
+        let adaptive = Arc::clone(adaptive);
         move || {
             // The whole submission only errors if the device worker
             // itself died; per-member panics were caught inside.
@@ -1149,7 +1392,9 @@ fn aggregated_launch(
                 .sum();
             // ONE launch + ONE transfer for the whole pack — the
             // amortization aggregation buys.
-            let service_s = device.charge_task(evals_total, bytes_in, bytes_out);
+            let measured =
+                device.charge_task_measured(evals_total, bytes_in, bytes_out, submitted_virtual_s);
+            let service_s = measured.device_s();
             if let Some(buf) = ptr {
                 device.free(buf);
             }
@@ -1161,7 +1406,14 @@ fn aggregated_launch(
                         scheduler.health().record_success(d);
                         FaultStats::bump(&fault_stats.gpu_completions);
                         let share = service_s * member.grant.cost.max(1) as f64 / total_cost as f64;
+                        // Each packed member observes its cost-fraction
+                        // share of the measured pack time, so packed
+                        // classes learn the *amortized* per-unit rate.
+                        adaptive
+                            .cost
+                            .observe(&member.key, member.static_cost, share);
                         scheduler.free_observed(member.grant, share);
+                        adaptive.completed.fetch_add(1, Ordering::Relaxed);
                         let _ = member.job.reply.send(IonOutcome {
                             ion_index: member.job.ion_index,
                             level_start: member.job.level_range.start,
@@ -1310,6 +1562,7 @@ mod tests {
             pack_threshold: 0,
             pack_max: 8,
             resilience: ResilienceConfig::default(),
+            tuning: TuningConfig::default(),
         }
     }
 
@@ -1592,6 +1845,158 @@ mod tests {
             packed_s / (packed_gpu as f64) < unpacked_s / (unpacked_gpu as f64),
             "packed {packed_s}s/{packed_gpu} vs unpacked {unpacked_s}s/{unpacked_gpu}"
         );
+    }
+
+    #[test]
+    fn tuner_and_measured_cost_keep_partials_bitwise_serial() {
+        // Property test (satellite c): with the resident tuner ON — a
+        // tiny epoch so it actually moves knobs mid-run — and the
+        // measured-cost blend feeding placement, every deterministic-
+        // kernel partial stays bitwise identical to the serial
+        // calculator across {0, 1, 2} devices and both policies,
+        // because tuner and blend only move *where/when* work runs.
+        let grid = EnergyGrid::linear(50.0, 2000.0, 64);
+        let bins = Arc::new(grid.bin_pairs());
+        let db = small_config(0).db;
+        let serial = SerialCalculator::new(
+            (*db).clone(),
+            grid.clone(),
+            Integrator::Simpson { panels: 64 },
+        );
+        let reference: Vec<Vec<f64>> = (0..db.ions().len())
+            .map(|i| serial.ion_spectrum(i, &point()).bins().to_vec())
+            .collect();
+
+        for gpus in [0usize, 1, 2] {
+            for policy in [SchedPolicy::CostAware, SchedPolicy::PaperCount] {
+                let mut cfg = small_config(gpus);
+                cfg.policy = policy;
+                cfg.tuning = hybrid_sched::TuningConfig {
+                    epoch_tasks: 4,
+                    ..hybrid_sched::TuningConfig::enabled()
+                };
+                let engine = Engine::start(cfg);
+                let ions = engine.config().db.ions().len();
+                let (tx, rx) = channel();
+                // Several waves so the measured-cost blend has
+                // observations (and the tuner has epochs) by the time
+                // the later waves place.
+                let waves = 4u64;
+                for wave in 0..waves {
+                    for ion_index in 0..ions {
+                        let levels = engine.config().db.levels_by_index(ion_index).len();
+                        engine
+                            .submit(IonJob {
+                                ion_index,
+                                level_range: 0..levels,
+                                point: point(),
+                                grid: grid.clone(),
+                                bins: Arc::clone(&bins),
+                                tag: wave,
+                                reply: tx.clone(),
+                            })
+                            .ok()
+                            .unwrap();
+                    }
+                }
+                drop(tx);
+                let outcomes: Vec<IonOutcome> = rx.iter().collect();
+                assert_eq!(outcomes.len(), (waves as usize) * ions);
+                for o in &outcomes {
+                    for (bin, (&got, &want)) in
+                        o.partial.iter().zip(&reference[o.ion_index]).enumerate()
+                    {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "gpus={gpus} {policy:?} ion {} bin {bin}: tuned vs serial",
+                            o.ion_index
+                        );
+                    }
+                }
+                let snap = engine.scheduler_snapshot();
+                if gpus > 0 {
+                    assert!(
+                        snap.cost_observations > 0,
+                        "gpus={gpus} {policy:?}: settles must feed the blend"
+                    );
+                }
+                let tuner = snap.tuner.expect("tuner enabled -> snapshot present");
+                assert!(
+                    tuner.epoch > 0,
+                    "gpus={gpus} {policy:?}: epochs must have elapsed"
+                );
+                let report = engine.shutdown();
+                assert_eq!(report.leaked_grants, 0, "gpus={gpus} {policy:?}");
+                assert_eq!(report.gpu_tasks + report.cpu_tasks, waves * ions as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_blend_places_identically_to_static_cost() {
+        // Property test (satellite a), engine level: with zero
+        // measured-cost observations the blended model must hand the
+        // scheduler exactly the static units — so a cold engine's
+        // placement accounting (weighted histories) is identical to
+        // what raw ion_task_cost produces.
+        let cfg = small_config(2);
+        let engine = Engine::start(cfg);
+        let grid = EnergyGrid::linear(50.0, 2000.0, 48);
+        let bins = Arc::new(grid.bin_pairs());
+        let model = CostModel::new();
+        for ion_index in 0..engine.config().db.ions().len() {
+            let levels = engine.config().db.levels_by_index(ion_index).len();
+            let static_units =
+                ion_task_cost(&engine.config().db, ion_index, 0..levels, &point(), &bins);
+            let key = CostKey::bucketed(engine.config().db.ions()[ion_index].z, levels, bins.len());
+            assert_eq!(
+                model.blended(&key, static_units),
+                static_units,
+                "ion {ion_index}: cold blend must degenerate to static"
+            );
+        }
+        assert_eq!(engine.scheduler_snapshot().cost_observations, 0);
+        let report = engine.shutdown();
+        assert_eq!(report.leaked_grants, 0);
+    }
+
+    #[test]
+    fn elastic_parking_still_drains_everything() {
+        // Force the rank pool down to one active rank mid-run: parked
+        // ranks must not strand queued jobs, and shutdown must unpark
+        // everyone to drain.
+        let mut cfg = small_config(1);
+        cfg.workers = 4;
+        let engine = Engine::start(cfg);
+        engine.tuner_knobs().set(Knob::ActiveRanks, 1);
+        let grid = EnergyGrid::linear(50.0, 2000.0, 32);
+        let bins = Arc::new(grid.bin_pairs());
+        let ions = engine.config().db.ions().len();
+        let (tx, rx) = channel();
+        for wave in 0..3u64 {
+            for ion_index in 0..ions {
+                let levels = engine.config().db.levels_by_index(ion_index).len();
+                engine
+                    .submit(IonJob {
+                        ion_index,
+                        level_range: 0..levels,
+                        point: point(),
+                        grid: grid.clone(),
+                        bins: Arc::clone(&bins),
+                        tag: wave,
+                        reply: tx.clone(),
+                    })
+                    .ok()
+                    .unwrap();
+            }
+        }
+        drop(tx);
+        let outcomes: Vec<IonOutcome> = rx.iter().collect();
+        assert_eq!(outcomes.len(), 3 * ions);
+        let report = engine.shutdown();
+        assert_eq!(report.gpu_tasks + report.cpu_tasks, 3 * ions as u64);
+        assert_eq!(report.leaked_grants, 0);
     }
 
     #[test]

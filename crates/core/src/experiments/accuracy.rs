@@ -100,6 +100,7 @@ pub fn run(cfg: AccuracyConfig) -> AccuracyReport {
         math: quadrature::MathMode::Exact,
         pack_threshold: 0,
         resilience: crate::resilience::ResilienceConfig::default(),
+        tuning: hybrid_sched::TuningConfig::default(),
     };
     let report = HybridRunner::new(hybrid_cfg).run();
     let hybrid_spectrum = &report.spectra[0];

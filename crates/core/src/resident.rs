@@ -580,6 +580,7 @@ mod tests {
             pack_threshold: 0,
             pack_max: 8,
             resilience: ResilienceConfig::default(),
+            tuning: hybrid_sched::TuningConfig::default(),
         }
     }
 

@@ -84,6 +84,9 @@ pub struct HybridConfig {
     /// (see [`crate::resilience::ResilienceConfig`]; the default is
     /// fault-free).
     pub resilience: ResilienceConfig,
+    /// Online autotuning knob surface (see
+    /// [`crate::engine::EngineConfig::tuning`]; disabled by default).
+    pub tuning: hybrid_sched::TuningConfig,
 }
 
 impl HybridConfig {
@@ -116,6 +119,7 @@ impl HybridConfig {
             math: MathMode::Exact,
             pack_threshold: 0,
             resilience: ResilienceConfig::default(),
+            tuning: hybrid_sched::TuningConfig::default(),
         }
     }
 }

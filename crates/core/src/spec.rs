@@ -86,10 +86,23 @@ pub struct RunSpec {
     /// Pack device tasks cheaper than this many cost units into one
     /// aggregated launch (`0` disables aggregation).
     pub pack_threshold: u64,
+    /// Run the resident online autotuner (continuous retuning of pack
+    /// threshold, async window and rank pool against live epochs).
+    pub tune: bool,
+    /// Completed tasks per tuner decision epoch.
+    pub tune_epoch: u64,
+    /// Non-improving probes of one candidate before the tuner abandons
+    /// a direction.
+    pub tuner_patience: u32,
+    /// Tuner probe step for cost-unit-valued knobs.
+    pub tuner_step: u64,
 }
 
 impl Default for RunSpec {
     fn default() -> Self {
+        // The spec's tuner defaults ARE the shared knob surface — one
+        // source of truth for every entry point.
+        let tuning = hybrid_sched::TuningConfig::default();
         RunSpec {
             max_z: 31,
             bins: 400,
@@ -110,6 +123,10 @@ impl Default for RunSpec {
             fused: true,
             math: "exact".to_string(),
             pack_threshold: 0,
+            tune: tuning.enabled,
+            tune_epoch: tuning.epoch_tasks,
+            tuner_patience: tuning.patience,
+            tuner_step: tuning.step,
         }
     }
 }
@@ -215,6 +232,21 @@ impl RunSpec {
         if let Some(p) = f64_field("pack_threshold")? {
             spec.pack_threshold = p as u64;
         }
+        if let Some(t) = obj.get("tune") {
+            spec.tune = t
+                .as_bool()
+                .ok_or_else(|| "'tune' must be a boolean".to_string())?;
+        }
+        if let Some(e) = f64_field("tune_epoch")? {
+            spec.tune_epoch = e as u64;
+        }
+        if let Some(p) = usize_field("tuner_patience")? {
+            spec.tuner_patience =
+                u32::try_from(p).map_err(|_| "'tuner_patience' out of range".to_string())?;
+        }
+        if let Some(s) = f64_field("tuner_step")? {
+            spec.tuner_step = s as u64;
+        }
 
         // The rule is the one required field: a flattened tagged enum.
         let rule = str_field("rule")?.ok_or("missing required field 'rule'")?;
@@ -255,7 +287,11 @@ impl RunSpec {
             .field("async_window", self.async_window)
             .field("fused", self.fused)
             .field("math", self.math.as_str())
-            .field("pack_threshold", self.pack_threshold as f64);
+            .field("pack_threshold", self.pack_threshold as f64)
+            .field("tune", self.tune)
+            .field("tune_epoch", self.tune_epoch as f64)
+            .field("tuner_patience", self.tuner_patience as usize)
+            .field("tuner_step", self.tuner_step as f64);
         b = match self.rule {
             RuleSpec::Simpson { panels } => b.field("rule", "simpson").field("panels", panels),
             RuleSpec::Romberg { k } => b.field("rule", "romberg").field("k", k),
@@ -324,6 +360,12 @@ impl RunSpec {
             math,
             pack_threshold: self.pack_threshold,
             resilience: crate::resilience::ResilienceConfig::default(),
+            tuning: hybrid_sched::TuningConfig {
+                enabled: self.tune,
+                epoch_tasks: self.tune_epoch.max(1),
+                patience: self.tuner_patience.max(1),
+                step: self.tuner_step.max(1),
+            },
         })
     }
 }
@@ -411,10 +453,42 @@ mod tests {
                 fused: false,
                 math: "vector".to_string(),
                 pack_threshold: 40,
+                tune: true,
+                tune_epoch: 32,
+                tuner_patience: 3,
+                tuner_step: 16,
                 ..RunSpec::default()
             };
             assert_eq!(spec, RunSpec::from_json(&spec.to_json()).unwrap());
         }
+    }
+
+    #[test]
+    fn tuner_fields_materialize_and_share_the_default_surface() {
+        // The spec's defaults must be exactly the shared TuningConfig
+        // surface (satellite: one knob surface for every entry point).
+        let d = RunSpec::default();
+        let shared = hybrid_sched::TuningConfig::default();
+        assert_eq!(d.tune, shared.enabled);
+        assert_eq!(d.tune_epoch, shared.epoch_tasks);
+        assert_eq!(d.tuner_patience, shared.patience);
+        assert_eq!(d.tuner_step, shared.step);
+
+        let json = r#"{
+            "max_z": 4,
+            "bins": 16,
+            "tune": true,
+            "tune_epoch": 16,
+            "tuner_patience": 4,
+            "tuner_step": 2,
+            "rule": "simpson",
+            "panels": 32
+        }"#;
+        let cfg = RunSpec::from_json(json).unwrap().into_config().unwrap();
+        assert!(cfg.tuning.enabled);
+        assert_eq!(cfg.tuning.epoch_tasks, 16);
+        assert_eq!(cfg.tuning.patience, 4);
+        assert_eq!(cfg.tuning.step, 2);
     }
 
     #[test]

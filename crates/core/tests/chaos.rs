@@ -52,6 +52,7 @@ fn chaos_config(gpus: usize, resilience: ResilienceConfig) -> EngineConfig {
         pack_threshold: 0,
         pack_max: 8,
         resilience,
+        tuning: hybrid_sched::TuningConfig::default(),
     }
 }
 

@@ -29,6 +29,33 @@ pub struct CostModel {
     pub host_overhead_s: f64,
 }
 
+/// Measured device-side work of one completed task, split into the
+/// components placement cares about: kernel time (launch + compute),
+/// DMA time (both transfers), and how long the submission waited
+/// behind earlier work on the device's virtual clock. This is the
+/// record that flows back through task settle into the scheduler's
+/// online cost blend — in-situ assessment instead of a-priori
+/// estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeasuredCost {
+    /// Kernel launch + compute seconds.
+    pub kernel_s: f64,
+    /// H2D + D2H transfer seconds.
+    pub dma_s: f64,
+    /// Virtual seconds the submission spent queued behind earlier
+    /// charges on the same device (0 for an idle device).
+    pub queue_wait_s: f64,
+}
+
+impl MeasuredCost {
+    /// Device-side service seconds (kernel + DMA), excluding queue
+    /// wait — the quantity per-unit cost rates are learned from.
+    #[must_use]
+    pub fn device_s(&self) -> f64 {
+        self.kernel_s + self.dma_s
+    }
+}
+
 /// FLOPs one RRC integrand evaluation costs (exp + sqrt + arithmetic);
 /// used to derive `evals_per_sec` from a device's peak GFLOP/s.
 pub const FLOPS_PER_EVAL: f64 = 40.0;
@@ -71,6 +98,18 @@ impl CostModel {
             + self.transfer_time(bytes_in)
             + self.compute_time(evals)
             + self.transfer_time(bytes_out)
+    }
+
+    /// [`CostModel::task_time`] split into its kernel/DMA components
+    /// (queue wait is filled in by the device, which knows its virtual
+    /// clock — see `SimGpu::charge_task_measured`).
+    #[must_use]
+    pub fn task_cost_measured(&self, evals: u64, bytes_in: u64, bytes_out: u64) -> MeasuredCost {
+        MeasuredCost {
+            kernel_s: self.kernel_launch_s + self.compute_time(evals),
+            dma_s: self.transfer_time(bytes_in) + self.transfer_time(bytes_out),
+            queue_wait_s: 0.0,
+        }
     }
 }
 

@@ -31,7 +31,7 @@ pub mod runtime;
 pub mod simt;
 pub mod stream;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, MeasuredCost};
 pub use fault::{DeviceFault, FaultCounters, FaultInjector, FaultKind, FaultOp, FaultPlan};
 pub use memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 pub use props::{Architecture, DeviceProps};

@@ -18,7 +18,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, MeasuredCost};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::memory::{DeviceMemory, DevicePtr, OutOfDeviceMemory};
 use crate::props::DeviceProps;
@@ -311,6 +311,28 @@ impl SimGpu {
         t
     }
 
+    /// [`SimGpu::charge_task`] with the per-component measurement kept:
+    /// returns the kernel/DMA split plus how long the submission waited
+    /// behind earlier charges on this device's virtual clock.
+    /// `submitted_virtual_s` is the caller's read of
+    /// [`SimGpu::virtual_busy_seconds`] at submission time; the wait is
+    /// the virtual time other tasks charged between then and this
+    /// settle, floored at zero.
+    pub fn charge_task_measured(
+        &self,
+        evals: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        submitted_virtual_s: f64,
+    ) -> MeasuredCost {
+        let mut m = self.cost.task_cost_measured(evals, bytes_in, bytes_out);
+        let before_s = self.virtual_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        m.queue_wait_s = (before_s - submitted_virtual_s).max(0.0);
+        self.virtual_nanos
+            .fetch_add((m.device_s() * 1e9) as u64, Ordering::Relaxed);
+        m
+    }
+
     /// Total virtual seconds charged via [`SimGpu::charge_task`].
     #[must_use]
     pub fn virtual_busy_seconds(&self) -> f64 {
@@ -541,6 +563,22 @@ mod tests {
         let t = gpu.charge_task(1_000_000, 1024, 400_000);
         assert!(t > 0.0);
         assert!((gpu.virtual_busy_seconds() - t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_charge_splits_components_and_tracks_queue_wait() {
+        let gpu = SimGpu::new(fermi());
+        let t0 = gpu.virtual_busy_seconds();
+        let m1 = gpu.charge_task_measured(1_000_000, 1024, 4096, t0);
+        assert!(m1.kernel_s > 0.0 && m1.dma_s > 0.0);
+        assert_eq!(m1.queue_wait_s, 0.0, "idle device: no queue wait");
+        // A second task submitted at the same timestamp waited behind
+        // the first one's device seconds.
+        let m2 = gpu.charge_task_measured(1_000_000, 1024, 4096, t0);
+        assert!((m2.queue_wait_s - m1.device_s()).abs() < 1e-6);
+        // The split sums to the plain cost model's end-to-end time.
+        let whole = CostModel::from_props(gpu.props()).task_time(1_000_000, 1024, 4096);
+        assert!((m1.device_s() - whole).abs() < 1e-12);
     }
 
     #[test]

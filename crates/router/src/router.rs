@@ -121,6 +121,7 @@ impl RouterConfig {
                 pack_threshold: 0,
                 pack_max: 8,
                 resilience: hybrid_spectral::ResilienceConfig::default(),
+                tuning: hybrid_sched::TuningConfig::default(),
             },
             grids,
             shards: 2,

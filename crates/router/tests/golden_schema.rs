@@ -9,7 +9,7 @@
 //! rewrites the file and fails, and the next run passes. Commit the
 //! regenerated file with the change that motivated it.
 
-use hybrid_sched::HealthState;
+use hybrid_sched::{DimSnapshot, HealthState, Knob, TunerSnapshot};
 use rrc_router::{ReplicaSnapshot, RouterCounters, RouterSnapshot, SegmentSnapshot};
 use rrc_service::{CacheStats, MetricsSnapshot, StageLatency};
 
@@ -50,6 +50,28 @@ fn service_metrics(demoted: bool) -> MetricsSnapshot {
         scheduler_quarantines: u64::from(demoted) * 2,
         scheduler_probations: 0,
         scheduler_recoveries: 0,
+        scheduler_cost_residual_milli: 37,
+        scheduler_cost_observations: 210,
+        scheduler_tuner: if demoted {
+            None
+        } else {
+            Some(TunerSnapshot {
+                epoch: 11,
+                settled: false,
+                dims: vec![
+                    DimSnapshot {
+                        knob: Knob::PackThreshold,
+                        value: 24,
+                        last_move: 1,
+                    },
+                    DimSnapshot {
+                        knob: Knob::MaxBatch,
+                        value: 12,
+                        last_move: -1,
+                    },
+                ],
+            })
+        },
     }
 }
 

@@ -1,0 +1,257 @@
+//! Blended static + measured task cost.
+//!
+//! Placement starts from the *a-priori* static estimate (the engine's
+//! `ion_task_cost`: levels × in-window bins). That model is exact about
+//! the **count** of bin integrals but blind to how expensive a unit is
+//! for a given workload class — integrand shape, window position, and
+//! cache behaviour all vary by element and level structure, so two
+//! tasks with equal static units can differ several-fold in measured
+//! device seconds (the "mispredicted mix" failure mode).
+//!
+//! [`CostModel`] closes that gap online: every settled task reports its
+//! measured device seconds, which are folded into a per-class
+//! seconds-per-unit EWMA keyed by [`CostKey`] (element, log2 level
+//! bucket, log2 bin bucket) plus a global seconds-per-unit EWMA. The
+//! blended estimate rescales the static units by the class's measured
+//! speed relative to the global mean — classes that run slower than
+//! the static model predicts grow heavier, faster classes grow
+//! lighter, and the *ratios* placement compares track reality.
+//!
+//! Degeneracy contract (relied on by the engine's bitwise tests): with
+//! **zero observations** — and for any **unobserved class** — the
+//! blend returns the static units exactly, so a cold scheduler places
+//! identically to one without measured-cost feedback.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// EWMA weight of each new observation (matches the scheduler's
+/// per-device rate EWMA).
+const ALPHA: f64 = 0.25;
+
+/// Workload-class key of the online cost regression: element plus
+/// log2-bucketed level count and bin count. Bucketing keeps the table
+/// tiny (a few hundred classes for the full census) while separating
+/// the shapes whose per-unit cost genuinely differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostKey {
+    /// Element (nuclear charge) of the task's ion.
+    pub z: u8,
+    /// `floor(log2(levels))` of the task's level range.
+    pub level_bucket: u8,
+    /// `floor(log2(bins))` of the task's energy grid.
+    pub bin_bucket: u8,
+}
+
+impl CostKey {
+    /// Build a key from raw task shape (counts are clamped to ≥ 1
+    /// before bucketing).
+    #[must_use]
+    pub fn bucketed(z: u8, levels: usize, bins: usize) -> CostKey {
+        CostKey {
+            z,
+            level_bucket: log2_bucket(levels),
+            bin_bucket: log2_bucket(bins),
+        }
+    }
+}
+
+fn log2_bucket(n: usize) -> u8 {
+    (usize::BITS - 1 - n.max(1).leading_zeros()) as u8
+}
+
+#[derive(Debug, Default)]
+struct Regression {
+    /// Per-class measured seconds-per-unit EWMA.
+    per_key: HashMap<CostKey, f64>,
+    /// Global measured seconds-per-unit EWMA across all classes.
+    global_spu: f64,
+    /// EWMA of the relative residual between what the *static* model
+    /// predicts (units × global seconds-per-unit) and the measured
+    /// seconds — the "how wrong is the a-priori model" gauge surfaced
+    /// in `SchedulerSnapshot`.
+    residual: f64,
+}
+
+/// Online blend of the static task-cost model with measured per-task
+/// device seconds. Thread-safe; `observe` is called from settle paths,
+/// `blended` from placement paths.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    state: Mutex<Regression>,
+    observations: AtomicU64,
+}
+
+impl CostModel {
+    /// Fresh model with no observations (blend ≡ static).
+    #[must_use]
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Regression> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Measured-cost observations folded in so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// The measured-vs-static relative residual EWMA in milli-units
+    /// (1000 = the static model mispredicts by 100%). Integer so
+    /// snapshots stay `Eq`-comparable.
+    #[must_use]
+    pub fn residual_milli(&self) -> u64 {
+        let r = self.lock().residual;
+        if r.is_finite() && r > 0.0 {
+            (r * 1000.0).round() as u64
+        } else {
+            0
+        }
+    }
+
+    /// The blended cost estimate for a task of `static_units` in class
+    /// `key`: static units rescaled by the class's measured
+    /// seconds-per-unit relative to the global mean. Exactly
+    /// `static_units` when nothing has been observed (globally or for
+    /// this class), and never below 1.
+    #[must_use]
+    pub fn blended(&self, key: &CostKey, static_units: u64) -> u64 {
+        if self.observations.load(Ordering::Relaxed) == 0 {
+            return static_units;
+        }
+        let state = self.lock();
+        let Some(&key_spu) = state.per_key.get(key) else {
+            return static_units;
+        };
+        if state.global_spu <= 0.0 || key_spu <= 0.0 {
+            return static_units;
+        }
+        let scaled = static_units as f64 * (key_spu / state.global_spu);
+        if scaled.is_finite() {
+            (scaled.round() as u64).max(1)
+        } else {
+            static_units.max(1)
+        }
+    }
+
+    /// Fold one settled task's measured device seconds into the
+    /// regression. Non-finite or non-positive measurements are ignored
+    /// (a faulted task settles without useful timing).
+    pub fn observe(&self, key: &CostKey, static_units: u64, measured_s: f64) {
+        if !measured_s.is_finite() || measured_s <= 0.0 {
+            return;
+        }
+        let spu = measured_s / static_units.max(1) as f64;
+        let mut state = self.lock();
+        let first = self.observations.fetch_add(1, Ordering::Relaxed) == 0;
+        if first {
+            state.global_spu = spu;
+            state.per_key.insert(*key, spu);
+            return;
+        }
+        // Residual of the *static* prediction at the pre-update global
+        // rate, so the gauge reflects what placement would have assumed.
+        let predicted_s = static_units.max(1) as f64 * state.global_spu;
+        let rel = ((predicted_s - measured_s) / measured_s).abs();
+        state.residual += ALPHA * (rel - state.residual);
+        state.global_spu += ALPHA * (spu - state.global_spu);
+        let entry = state.per_key.entry(*key).or_insert(spu);
+        *entry += ALPHA * (spu - *entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_observations_degenerate_to_static_exactly() {
+        let model = CostModel::new();
+        for units in [1u64, 7, 120, 9999, u64::MAX / 4] {
+            for z in [1u8, 8, 26] {
+                let key = CostKey::bucketed(z, 12, 400);
+                assert_eq!(model.blended(&key, units), units);
+            }
+        }
+        assert_eq!(model.observations(), 0);
+        assert_eq!(model.residual_milli(), 0);
+    }
+
+    #[test]
+    fn unobserved_class_degenerates_even_after_other_observations() {
+        let model = CostModel::new();
+        let seen = CostKey::bucketed(26, 16, 400);
+        for _ in 0..32 {
+            model.observe(&seen, 100, 0.5);
+        }
+        let unseen = CostKey::bucketed(2, 1, 400);
+        assert_eq!(model.blended(&unseen, 777), 777);
+    }
+
+    #[test]
+    fn slow_class_grows_heavier_than_static() {
+        let model = CostModel::new();
+        let fast = CostKey::bucketed(1, 2, 128);
+        let slow = CostKey::bucketed(26, 16, 128);
+        // Equal static units, 4x difference in measured seconds.
+        for _ in 0..64 {
+            model.observe(&fast, 100, 0.1);
+            model.observe(&slow, 100, 0.4);
+        }
+        let fast_cost = model.blended(&fast, 100);
+        let slow_cost = model.blended(&slow, 100);
+        assert!(
+            slow_cost > 100 && fast_cost < 100,
+            "blend must separate the classes: fast {fast_cost}, slow {slow_cost}"
+        );
+        assert!(
+            slow_cost as f64 / fast_cost as f64 > 3.0,
+            "ratio should approach the measured 4x: {fast_cost} vs {slow_cost}"
+        );
+    }
+
+    #[test]
+    fn residual_tracks_static_mispredict_and_never_zero_cost() {
+        let model = CostModel::new();
+        let a = CostKey::bucketed(3, 4, 64);
+        let b = CostKey::bucketed(20, 8, 64);
+        for _ in 0..32 {
+            model.observe(&a, 100, 0.1);
+            model.observe(&b, 100, 0.9);
+        }
+        assert!(
+            model.residual_milli() > 100,
+            "a 9x spread across classes must show up in the residual: {}",
+            model.residual_milli()
+        );
+        // A tiny task in a fast class still reserves at least one unit.
+        assert!(model.blended(&a, 1) >= 1);
+    }
+
+    #[test]
+    fn bad_measurements_are_ignored() {
+        let model = CostModel::new();
+        let key = CostKey::bucketed(5, 2, 32);
+        model.observe(&key, 10, f64::NAN);
+        model.observe(&key, 10, -1.0);
+        model.observe(&key, 10, 0.0);
+        assert_eq!(model.observations(), 0);
+        assert_eq!(model.blended(&key, 10), 10);
+    }
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(CostKey::bucketed(1, 0, 1).level_bucket, 0);
+        assert_eq!(CostKey::bucketed(1, 1, 1).level_bucket, 0);
+        assert_eq!(CostKey::bucketed(1, 2, 1).level_bucket, 1);
+        assert_eq!(CostKey::bucketed(1, 3, 1).level_bucket, 1);
+        assert_eq!(CostKey::bucketed(1, 4, 1).level_bucket, 2);
+        assert_eq!(CostKey::bucketed(1, 1, 400).bin_bucket, 8);
+    }
+}

@@ -30,20 +30,68 @@
 //! * [`steal`] — per-device staging queues with largest-cost work
 //!   stealing for granted-but-not-yet-launched tasks;
 //! * [`autotune`] — the paper's "automatic test" that raises the maximum
-//!   queue length until the performance inflexion point.
+//!   queue length until the performance inflexion point;
+//! * [`cost`] — the online blend of the static task-cost model with
+//!   measured per-task device seconds, keyed by workload class;
+//! * [`tuner`] — the resident [`OnlineTuner`] controller that promotes
+//!   the one-shot autotune sweep to continuous epoch-based retuning of
+//!   the live runtime knobs ([`TunerKnobs`]).
 
 pub mod autotune;
+pub mod cost;
 pub mod health;
 pub mod policy;
 pub mod steal;
+pub mod tuner;
 
 pub use autotune::AutoTuner;
+pub use cost::{CostKey, CostModel};
 pub use health::{HealthConfig, HealthSnapshot, HealthState, HealthTracker};
 pub use policy::{
     select_device, select_device_for, select_device_with, select_device_work_aware, SchedPolicy,
     Selection, TieBreak,
 };
 pub use steal::{Next, Staged, StealQueues};
+pub use tuner::{DimSnapshot, Knob, OnlineTuner, TunerDim, TunerKnobs, TunerSnapshot};
+
+/// The shared autotuning knob surface: one set of defaults used by the
+/// engine config, the run-spec JSON dialect, the CLI, and the bench
+/// sweeps, so every entry point probes with the same machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningConfig {
+    /// Run the resident [`OnlineTuner`] controller.
+    pub enabled: bool,
+    /// Completed tasks per decision epoch.
+    pub epoch_tasks: u64,
+    /// Consecutive non-improving probes of one candidate before the
+    /// controller abandons a direction (the one-shot
+    /// [`AutoTuner::with_patience`] budget, shared).
+    pub patience: u32,
+    /// Probe step for cost-unit-valued knobs (pack threshold).
+    pub step: u64,
+}
+
+impl Default for TuningConfig {
+    fn default() -> TuningConfig {
+        TuningConfig {
+            enabled: false,
+            epoch_tasks: 64,
+            patience: 2,
+            step: 8,
+        }
+    }
+}
+
+impl TuningConfig {
+    /// Default knob surface with the controller switched on.
+    #[must_use]
+    pub fn enabled() -> TuningConfig {
+        TuningConfig {
+            enabled: true,
+            ..TuningConfig::default()
+        }
+    }
+}
 
 use mpi_sim::SharedRegion;
 
@@ -98,6 +146,17 @@ pub struct SchedulerSnapshot {
     pub probations: u64,
     /// Total `Probation → Healthy` recoveries (full ladder cycles).
     pub recoveries: u64,
+    /// Measured-vs-static cost residual EWMA in milli-units (1000 =
+    /// the static model mispredicts by 100%); `0` until the engine's
+    /// [`CostModel`] has observations. Filled by the engine layer — a
+    /// bare [`Scheduler::snapshot`] reports `0`.
+    pub cost_residual_milli: u64,
+    /// Measured-cost observations folded into the blend so far (filled
+    /// by the engine layer).
+    pub cost_observations: u64,
+    /// Live [`OnlineTuner`] state, when a resident controller is
+    /// attached (filled by the engine layer).
+    pub tuner: Option<TunerSnapshot>,
 }
 
 impl SchedulerSnapshot {
@@ -481,6 +540,9 @@ impl Scheduler {
             quarantines: health.quarantines,
             probations: health.probations,
             recoveries: health.recoveries,
+            cost_residual_milli: 0,
+            cost_observations: 0,
+            tuner: None,
         }
     }
 

@@ -91,6 +91,15 @@ pub struct MetricsSnapshot {
     pub scheduler_probations: u64,
     /// Probation → Healthy recoveries across all devices.
     pub scheduler_recoveries: u64,
+    /// Mean absolute measured-vs-static cost residual across the
+    /// online cost model's tracked classes, in milli cost units
+    /// (`0` until the first measured settle).
+    pub scheduler_cost_residual_milli: u64,
+    /// Measured-cost samples the online cost model has folded in.
+    pub scheduler_cost_observations: u64,
+    /// The resident tuner's per-dimension view (`None` when the
+    /// engine runs with tuning disabled).
+    pub scheduler_tuner: Option<hybrid_sched::TunerSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -104,6 +113,9 @@ impl MetricsSnapshot {
         self.scheduler_quarantines = sched.quarantines;
         self.scheduler_probations = sched.probations;
         self.scheduler_recoveries = sched.recoveries;
+        self.scheduler_cost_residual_milli = sched.cost_residual_milli;
+        self.scheduler_cost_observations = sched.cost_observations;
+        self.scheduler_tuner = sched.tuner.clone();
         self
     }
 
@@ -150,10 +162,40 @@ impl MetricsSnapshot {
                     .field("quarantines", self.scheduler_quarantines)
                     .field("probations", self.scheduler_probations)
                     .field("recoveries", self.scheduler_recoveries)
+                    .field("cost_observations", self.scheduler_cost_observations)
+                    .field("cost_residual_milli", self.scheduler_cost_residual_milli)
+                    .field("tuner", tuner_json(self.scheduler_tuner.as_ref()))
                     .build(),
             )
             .build()
     }
+}
+
+/// The stable JSON rendering of the tuner view: `enabled` plus, for a
+/// live controller, its epoch, settled flag, and per-dimension value
+/// and last committed move direction (keyed by [`hybrid_sched::Knob::label`]).
+#[must_use]
+pub fn tuner_json(tuner: Option<&hybrid_sched::TunerSnapshot>) -> jsonlite::Value {
+    let mut builder = jsonlite::ObjectBuilder::new().field("enabled", tuner.is_some());
+    if let Some(t) = tuner {
+        builder = builder
+            .field("epoch", t.epoch)
+            .field("settled", t.settled)
+            .field(
+                "dims",
+                t.dims
+                    .iter()
+                    .map(|d| {
+                        jsonlite::ObjectBuilder::new()
+                            .field("knob", d.knob.label())
+                            .field("value", d.value)
+                            .field("last_move", f64::from(d.last_move))
+                            .build()
+                    })
+                    .collect::<Vec<_>>(),
+            );
+    }
+    builder.build()
 }
 
 /// The stable lowercase label of a health state in JSON exports.
@@ -309,6 +351,9 @@ impl ServiceMetrics {
             scheduler_quarantines: 0,
             scheduler_probations: 0,
             scheduler_recoveries: 0,
+            scheduler_cost_residual_milli: 0,
+            scheduler_cost_observations: 0,
+            scheduler_tuner: None,
         }
     }
 }

@@ -17,12 +17,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use atomdb::AtomDatabase;
 use gpu_sim::{DeviceRule, Precision};
-use hybrid_sched::SchedulerSnapshot;
+use hybrid_sched::{Knob, SchedulerSnapshot, TunerDim};
 use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
 use mpi_sim::{BoundedQueue, TryPushError};
 use rrc_spectral::{EnergyGrid, Integrator};
@@ -105,6 +105,7 @@ impl ServiceConfig {
                 pack_threshold: 0,
                 pack_max: 8,
                 resilience: hybrid_spectral::ResilienceConfig::default(),
+                tuning: hybrid_sched::TuningConfig::default(),
             },
             grids,
             cache_capacity: 4096,
@@ -141,15 +142,33 @@ struct QueuedRequest {
 struct Shared {
     grids: Vec<EnergyGrid>,
     bin_tables: Vec<Arc<Vec<(f64, f64)>>>,
-    quantizer: Quantizer,
-    max_batch: usize,
     fanout_retries: u32,
     neighbor_radius: u32,
     neighbor_tolerance: f64,
     queue: BoundedQueue<QueuedRequest>,
     engine: Engine,
     cache: ShardedLruCache,
-    metrics: ServiceMetrics,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl Shared {
+    /// The live batch bound — the controller's `MaxBatch` knob, seeded
+    /// from [`ServiceConfig::max_batch`] at start and retuned each
+    /// decision epoch when the engine runs with tuning enabled.
+    fn max_batch(&self) -> usize {
+        (self.engine.tuner_knobs().max_batch() as usize).max(1)
+    }
+
+    /// The live quantizer — built from the controller's `DropBits`
+    /// knob, seeded from [`ServiceConfig::quantize_drop_bits`] at
+    /// start. The tuner may only *lower* the dropped bits (its
+    /// dimension is bounded by the configured value), so a tuned
+    /// service never answers lossier than it was configured to.
+    /// Callers snapshot once per batch/request so key, representative,
+    /// and neighbor scans stay mutually consistent.
+    fn quantizer(&self) -> Quantizer {
+        Quantizer::new(self.engine.tuner_knobs().drop_bits() as u32)
+    }
 }
 
 /// The running service. Submit from any thread; shut down (or drop)
@@ -174,17 +193,63 @@ impl SpectralService {
             .iter()
             .map(|g| Arc::new(g.bin_pairs()))
             .collect();
+        let engine = Engine::start(config.engine);
+        // Seed the service-tier knobs with the configured values, then
+        // hand the dimensions to the resident controller (when tuning):
+        // batch size probes up to the admission bound, and quantizer
+        // drop bits — only when the profile is lossy to begin with —
+        // probe *downward* from the configured value, so the
+        // deterministic exact-key profile never grows a lossy knob.
+        let knobs = engine.tuner_knobs();
+        knobs.set(Knob::MaxBatch, config.max_batch.max(1) as u64);
+        knobs.set(Knob::DropBits, u64::from(config.quantize_drop_bits));
+        if let Some(tuner) = engine.tuner() {
+            tuner.add_dim(TunerDim {
+                knob: Knob::MaxBatch,
+                min: 1,
+                max: config.request_queue_depth.max(config.max_batch).max(1) as u64,
+                step: 1,
+            });
+            if config.quantize_drop_bits > 0 {
+                tuner.add_dim(TunerDim {
+                    knob: Knob::DropBits,
+                    min: 0,
+                    max: u64::from(config.quantize_drop_bits),
+                    step: 1,
+                });
+            }
+        }
+        let metrics = Arc::new(ServiceMetrics::new());
+        {
+            // Point the controller's decision-epoch signal at the live
+            // end-to-end latency: mean seconds per response delivered
+            // since the previous epoch (lower = better). Until the
+            // first response lands the reader yields `None` and the
+            // engine falls back to its internal modeled-seconds signal.
+            let metrics = Arc::clone(&metrics);
+            let last = Mutex::new((0u64, 0.0f64));
+            engine.set_tuner_signal(move || {
+                let total = metrics.snapshot().total;
+                let sum_s = total.mean_s * total.count as f64;
+                let mut guard = last.lock().ok()?;
+                let (count0, sum0) = *guard;
+                let delivered = total.count.saturating_sub(count0);
+                if delivered == 0 {
+                    return None;
+                }
+                *guard = (total.count, sum_s);
+                Some(((sum_s - sum0) / delivered as f64).max(0.0))
+            });
+        }
         let shared = Arc::new(Shared {
             bin_tables,
-            quantizer: Quantizer::new(config.quantize_drop_bits),
-            max_batch: config.max_batch.max(1),
             fanout_retries: config.fanout_retries,
             neighbor_radius: config.neighbor_radius,
             neighbor_tolerance: config.neighbor_tolerance.max(0.0),
             queue: BoundedQueue::new(config.request_queue_depth.max(1)),
-            engine: Engine::start(config.engine),
+            engine,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
-            metrics: ServiceMetrics::new(),
+            metrics,
             grids: config.grids,
         });
         let batcher = {
@@ -372,21 +437,26 @@ pub fn assemble(
 /// now on) and returned. Probing uses [`ShardedLruCache::peek`] so the
 /// speculative scan neither skews hit-rate statistics nor refreshes
 /// entries the scan rejects.
-fn neighbor_seed(shared: &Shared, ion: usize, key: &StateKey) -> Option<Arc<Vec<f64>>> {
+fn neighbor_seed(
+    shared: &Shared,
+    quantizer: &Quantizer,
+    ion: usize,
+    key: &StateKey,
+) -> Option<Arc<Vec<f64>>> {
     if shared.neighbor_radius == 0 {
         return None;
     }
     let db = &shared.engine.config().db;
     let bins = &shared.bin_tables[key.grid_id];
-    let target = shared.quantizer.representative(key);
-    for neighbor in shared.quantizer.neighbors(key, shared.neighbor_radius) {
+    let target = quantizer.representative(key);
+    for neighbor in quantizer.neighbors(key, shared.neighbor_radius) {
         let Some(partial) = shared.cache.peek(&CacheKey {
             ion_index: ion,
             state: neighbor,
         }) else {
             continue;
         };
-        let origin = shared.quantizer.representative(&neighbor);
+        let origin = quantizer.representative(&neighbor);
         let class = rrc_spectral::classify_ion(db, ion, &origin, &target, bins);
         if class.reusable(shared.neighbor_tolerance) {
             shared.metrics.on_neighbor_hit();
@@ -410,8 +480,9 @@ fn neighbor_seed(shared: &Shared, ion: usize, key: &StateKey) -> Option<Arc<Vec<
 /// queries stays cheap).
 fn caller_run(shared: &Shared, request: &SpectrumRequest) -> SpectrumResponse {
     let db = &shared.engine.config().db;
-    let key = shared.quantizer.state_key(&request.point, request.grid_id);
-    let point = shared.quantizer.representative(&key);
+    let quantizer = shared.quantizer();
+    let key = quantizer.state_key(&request.point, request.grid_id);
+    let point = quantizer.representative(&key);
     let grid = &shared.grids[request.grid_id];
     let ions = selected_ions(db, request);
     let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
@@ -423,7 +494,7 @@ fn caller_run(shared: &Shared, request: &SpectrumRequest) -> SpectrumResponse {
         };
         let partial = match shared.cache.get(&cache_key) {
             Some(hit) => hit,
-            None => match neighbor_seed(shared, ion, &key) {
+            None => match neighbor_seed(shared, &quantizer, ion, &key) {
                 Some(seeded) => seeded,
                 None => {
                     let levels = db.levels_by_index(ion).len();
@@ -449,7 +520,7 @@ fn caller_run(shared: &Shared, request: &SpectrumRequest) -> SpectrumResponse {
 fn batcher_loop(shared: &Shared) {
     while let Some(first) = shared.queue.pop() {
         let mut batch = vec![first];
-        while batch.len() < shared.max_batch {
+        while batch.len() < shared.max_batch() {
             match shared.queue.try_pop() {
                 Some(next) => batch.push(next),
                 None => break,
@@ -468,18 +539,19 @@ fn batcher_loop(shared: &Shared) {
 
 fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant) {
     let db = &shared.engine.config().db;
+    // One quantizer snapshot per batch: a mid-batch DropBits retune
+    // must not split a group between key and representative.
+    let quantizer = shared.quantizer();
     // Group requests sharing a quantized plasma state + grid; BTreeMap
     // so group processing order is deterministic.
     let mut groups: BTreeMap<StateKey, Vec<usize>> = BTreeMap::new();
     for (i, queued) in batch.iter().enumerate() {
-        let key = shared
-            .quantizer
-            .state_key(&queued.request.point, queued.request.grid_id);
+        let key = quantizer.state_key(&queued.request.point, queued.request.grid_id);
         groups.entry(key).or_default().push(i);
     }
 
     for (key, members) in groups {
-        let point = shared.quantizer.representative(&key);
+        let point = quantizer.representative(&key);
         let grid = &shared.grids[key.grid_id];
         let bins = &shared.bin_tables[key.grid_id];
 
@@ -502,7 +574,7 @@ fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant)
             match shared
                 .cache
                 .get(&cache_key)
-                .or_else(|| neighbor_seed(shared, ion, &key))
+                .or_else(|| neighbor_seed(shared, &quantizer, ion, &key))
             {
                 Some(hit) => {
                     partials.insert(ion, hit);

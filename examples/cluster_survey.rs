@@ -45,6 +45,7 @@ fn main() {
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
         resilience: hybridspec::hybrid::ResilienceConfig::default(),
+        tuning: hybridspec::sched::TuningConfig::default(),
     };
     println!(
         "computing {} survey spectra on {} ranks / {} simulated GPUs...",

@@ -50,6 +50,7 @@ fn main() {
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
         resilience: hybridspec::hybrid::ResilienceConfig::default(),
+        tuning: hybridspec::sched::TuningConfig::default(),
     };
     let report = HybridRunner::new(config).run();
     println!(

@@ -72,6 +72,7 @@ USAGE:
                  [--ranks N] [--gpus N] [--qlen N] [--lines true]
                  [--policy cost-aware|paper-count] [--math exact|vector]
                  [--pack-threshold COST] [--out FILE.tsv]
+                 [--tune] [--no-tune] [--tune-epoch N]
                  [--faults seed=N,launch=P,panic=P,dma=P,stall=P:MS,lose=DEV@OP]
   hspec predict  [--gpus N] [--qlen N] [--granularity ion|level]
                  [--romberg-k K] [--async-window N]
@@ -81,7 +82,7 @@ USAGE:
                  [--bins N] [--max-z Z] [--gpus N] [--tolerance TOL]
   hspec serve    [--shards N] [--replicas R] [--requests N] [--max-z Z]
                  [--bins N] [--gpus N] [--cache N] [--rebalance true|false]
-                 [--snapshot FILE.json]
+                 [--tune] [--no-tune] [--tune-epoch N] [--snapshot FILE.json]
   hspec remnant  [--age-yr YR] [--ambient CM3] [--shells N]
   hspec run      --spec FILE.json [--out FILE.tsv]
 "
@@ -93,6 +94,10 @@ struct Args {
     map: HashMap<String, String>,
 }
 
+/// The only flags that stand alone without a value; everything else
+/// keeps the strict `--key value` shape.
+const BARE_FLAGS: &[&str] = &["tune", "no-tune"];
+
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
         let mut map = HashMap::new();
@@ -101,12 +106,33 @@ impl Args {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --flag, got '{key}'"));
             };
+            if BARE_FLAGS.contains(&name) {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let Some(value) = iter.next() else {
                 return Err(format!("--{name} needs a value"));
             };
             map.insert(name.to_string(), value.clone());
         }
         Ok(Args { map })
+    }
+
+    /// Resolve `--tune` / `--no-tune` / `--tune-epoch N` over the
+    /// shared knob surface (`--no-tune` wins when both are given).
+    fn tuning(
+        &self,
+        default: hybridspec::sched::TuningConfig,
+    ) -> Result<hybridspec::sched::TuningConfig, String> {
+        let mut tuning = default;
+        if self.map.contains_key("tune") {
+            tuning.enabled = true;
+        }
+        if self.map.contains_key("no-tune") {
+            tuning.enabled = false;
+        }
+        tuning.epoch_tasks = self.get("tune-epoch", tuning.epoch_tasks)?.max(1);
+        Ok(tuning)
     }
 
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -241,6 +267,7 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         math,
         pack_threshold,
         resilience,
+        tuning: args.tuning(hybridspec::sched::TuningConfig::default())?,
     };
     let report = HybridRunner::new(config).run();
     let mut spectrum = report.spectra.into_iter().next().expect("one point");
@@ -343,7 +370,10 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let db = atomdb::AtomDatabase::generate(atomdb::DatabaseConfig::default());
     let workload = SpectralWorkload::paper(&db);
     let calib = Calibration::paper();
-    let mut tuner = AutoTuner::paper_sweep().with_patience(2);
+    // The one-shot sweep shares its patience budget with the resident
+    // controller's knob surface.
+    let tuning = hybridspec::sched::TuningConfig::default();
+    let mut tuner = AutoTuner::paper_sweep().with_patience(tuning.patience);
     while let Some(q) = tuner.next_candidate() {
         let t = desmodel::run(spectral_config(
             &workload,
@@ -432,6 +462,7 @@ fn cmd_recalc(args: &Args) -> Result<(), String> {
         pack_threshold: 0,
         pack_max: 8,
         resilience: hybridspec::hybrid::ResilienceConfig::default(),
+        tuning: hybridspec::sched::TuningConfig::default(),
     });
     println!(
         "resident sweep: {steps} step(s) of dT/T = {dtemp_rel:.1e} from {temp:.3e} K \
@@ -506,6 +537,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.shards = shards;
     cfg.replicas = replicas;
     cfg.engine.gpus = gpus;
+    cfg.engine.tuning = args.tuning(cfg.engine.tuning)?;
     cfg.cache_capacity = cache;
     let tier = ShardRouter::start(cfg);
     println!(
@@ -681,6 +713,24 @@ mod tests {
         assert!(Args::parse(&["--temp".to_string()]).is_err());
         let a = args(&[("gpus", "three")]);
         assert!(a.get("gpus", 0usize).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_bare_tune_flags() {
+        use hybridspec::sched::TuningConfig;
+        let argv: Vec<String> = ["--tune", "--tune-epoch", "32"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let a = Args::parse(&argv).unwrap();
+        let tuning = a.tuning(TuningConfig::default()).unwrap();
+        assert!(tuning.enabled);
+        assert_eq!(tuning.epoch_tasks, 32);
+        // --no-tune overrides an enabled default (and --tune, if both).
+        let b = Args::parse(&["--no-tune".to_string()]).unwrap();
+        assert!(!b.tuning(TuningConfig::enabled()).unwrap().enabled);
+        // Only the allowlisted flags are bare; others still need values.
+        assert!(Args::parse(&["--lines".to_string()]).is_err());
     }
 
     #[test]

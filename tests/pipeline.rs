@@ -41,6 +41,7 @@ fn sedov_to_folded_counts() {
         math: hybridspec::quadrature::MathMode::Exact,
         pack_threshold: 0,
         resilience: hybridspec::hybrid::ResilienceConfig::default(),
+        tuning: hybridspec::sched::TuningConfig::default(),
     };
     let report = HybridRunner::new(config).run();
     assert_eq!(report.spectra.len(), 4);
