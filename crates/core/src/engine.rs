@@ -358,6 +358,12 @@ pub struct EngineReport {
     /// Resident-state invalidations (device loss detected before
     /// reuse), each followed by a full recompute.
     pub resident_invalidations: u64,
+    /// Ion partials pushed into this engine's tier from outside its own
+    /// compute path — hot-state replication and migration cache handoff
+    /// (see [`Engine::note_warm_insert`]). These ions were *never
+    /// computed here*; accounting them separately keeps exactly-once
+    /// audits honest (`computed + handed-off + cached == total`).
+    pub warmed_ions: u64,
 }
 
 /// The resident engine handle. Submit [`IonJob`]s from any number of
@@ -374,6 +380,7 @@ pub struct Engine {
     resident: Arc<crate::resident::ResidentCounters>,
     adaptive: Arc<Adaptive>,
     tuner_thread: Option<std::thread::JoinHandle<()>>,
+    warm_inserts: AtomicU64,
 }
 
 impl Engine {
@@ -498,7 +505,17 @@ impl Engine {
             resident: Arc::new(crate::resident::ResidentCounters::default()),
             adaptive,
             tuner_thread,
+            warm_inserts: AtomicU64::new(0),
         }
+    }
+
+    /// Record `n` ion partials warmed into this engine's tier from
+    /// outside its own compute path (hot-state replication, migration
+    /// cache handoff). The engine never computes these; the hook exists
+    /// so [`EngineReport::warmed_ions`] can attribute warmed work in
+    /// the same report that attributes computed work.
+    pub fn note_warm_insert(&self, n: u64) {
+        self.warm_inserts.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The configuration.
@@ -753,6 +770,7 @@ impl Engine {
             resident_recomputed_ions: self.resident.recomputed_ions(),
             resident_affected_max: self.resident.affected_max(),
             resident_invalidations: self.resident.invalidations(),
+            warmed_ions: self.warm_inserts.load(Ordering::Relaxed),
         }
     }
 }

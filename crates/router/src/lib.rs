@@ -25,15 +25,28 @@
 //!   migrates ion ranges off heavy segments with an exactly-once
 //!   handoff (single routing-table read per request) and a bounded
 //!   drain of the old owner;
+//! * **locality tier** ([`locality`]): a bounded router-level
+//!   [`RouteCache`] of assembled spectra keyed on the quantized
+//!   plasma state (a hit replays identical bits with zero
+//!   scatter/gather), [`SingleFlight`] coalescing so racing identical
+//!   misses admit exactly one fan-out, rendezvous state→replica
+//!   affinity ([`preferred_replica`]), a seeded count-min
+//!   [`HotTracker`] that replicates hot states' partials to sibling
+//!   replica caches, and a migration cache handoff that ships the
+//!   donor's cached partials to the new owner during a rebalance;
 //! * **observability** ([`metrics`]): per-shard
 //!   [`rrc_service::ServiceMetrics`] roll up into one
 //!   [`RouterSnapshot`] with a stable operator-facing JSON rendering.
 
+pub mod locality;
 pub mod metrics;
 pub mod ring;
 pub mod router;
 pub mod shard;
 
+pub use locality::{
+    preferred_replica, CachedRoute, HotTracker, Join, RouteCache, RouteKey, SingleFlight,
+};
 pub use metrics::{
     ReplicaSnapshot, RouterCounters, RouterMetrics, RouterSnapshot, SegmentSnapshot,
 };

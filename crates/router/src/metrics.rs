@@ -25,6 +25,14 @@ pub struct RouterMetrics {
     demoted_skips: AtomicU64,
     rebalances: AtomicU64,
     migrated_ions: AtomicU64,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+    coalesced: AtomicU64,
+    fanouts: AtomicU64,
+    affinity_picks: AtomicU64,
+    affinity_fallbacks: AtomicU64,
+    warmed_partials: AtomicU64,
+    handoff_partials: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -72,6 +80,52 @@ impl RouterMetrics {
         self.migrated_ions.fetch_add(ions, Ordering::Relaxed);
     }
 
+    /// Record one request answered entirely from the route cache.
+    pub fn on_route_hit(&self) {
+        self.route_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one route-cache lookup that missed.
+    pub fn on_route_miss(&self) {
+        self.route_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request answered by following another request's
+    /// in-flight fan-out (single-flight coalescing).
+    pub fn on_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one scatter/gather fan-out actually performed.
+    pub fn on_fanout(&self) {
+        self.fanouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one replica selection that took the rendezvous-preferred
+    /// replica.
+    pub fn on_affinity_pick(&self) {
+        self.affinity_picks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one replica selection where affinity was enabled but the
+    /// preferred replica was tried, demoted, or saturated, so the
+    /// baseline untried→non-demoted→least-outstanding order decided.
+    pub fn on_affinity_fallback(&self) {
+        self.affinity_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` partials actually inserted into sibling replicas by
+    /// hot-state replication.
+    pub fn on_warmed(&self, n: u64) {
+        self.warmed_partials.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` unique donor cache entries shipped to the new owner
+    /// by a migration cache handoff.
+    pub fn on_handoff(&self, n: u64) {
+        self.handoff_partials.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copy the counters and latency summary out (segments are filled
     /// in by the router, which owns the replica handles).
     #[must_use]
@@ -94,6 +148,14 @@ impl RouterMetrics {
             demoted_skips: self.demoted_skips.load(Ordering::Relaxed),
             rebalances: self.rebalances.load(Ordering::Relaxed),
             migrated_ions: self.migrated_ions.load(Ordering::Relaxed),
+            route_hits: self.route_hits.load(Ordering::Relaxed),
+            route_misses: self.route_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            fanouts: self.fanouts.load(Ordering::Relaxed),
+            affinity_picks: self.affinity_picks.load(Ordering::Relaxed),
+            affinity_fallbacks: self.affinity_fallbacks.load(Ordering::Relaxed),
+            warmed_partials: self.warmed_partials.load(Ordering::Relaxed),
+            handoff_partials: self.handoff_partials.load(Ordering::Relaxed),
             latency,
         }
     }
@@ -116,6 +178,28 @@ pub struct RouterCounters {
     pub rebalances: u64,
     /// Total ion ownerships migrated across all rebalances.
     pub migrated_ions: u64,
+    /// Requests answered entirely from the route-level assembled-
+    /// spectrum cache (zero scatter/gather).
+    pub route_hits: u64,
+    /// Route-cache lookups that missed.
+    pub route_misses: u64,
+    /// Requests answered by following another request's in-flight
+    /// fan-out (single-flight coalescing).
+    pub coalesced: u64,
+    /// Scatter/gather fan-outs actually performed — with the route
+    /// cache on, `requests = route_hits + coalesced + fanouts` for
+    /// successful traffic.
+    pub fanouts: u64,
+    /// Replica selections that took the rendezvous-preferred replica.
+    pub affinity_picks: u64,
+    /// Replica selections where the preferred replica was unavailable
+    /// (tried/demoted/saturated) and the baseline order decided.
+    pub affinity_fallbacks: u64,
+    /// Partials inserted into sibling replicas by hot-state
+    /// replication.
+    pub warmed_partials: u64,
+    /// Unique donor cache entries shipped by migration cache handoffs.
+    pub handoff_partials: u64,
     /// End-to-end router latency quantiles/mean, seconds.
     pub latency: StageLatency,
 }
@@ -131,8 +215,11 @@ pub struct ReplicaSnapshot {
     pub demoted: bool,
     /// Shard sub-requests in flight on this replica right now.
     pub outstanding: u64,
-    /// This replica's per-ion cache counters.
+    /// This replica's per-ion cache counters, totalled across cache
+    /// shards.
     pub cache: CacheStats,
+    /// The same counters per cache shard, in shard order.
+    pub cache_shards: Vec<CacheStats>,
     /// This replica's service metrics with its engine's scheduler
     /// view (health ladder states live under `scheduler.health`).
     pub service: MetricsSnapshot,
@@ -166,16 +253,6 @@ pub struct RouterSnapshot {
     pub segments: Vec<SegmentSnapshot>,
 }
 
-fn cache_json(stats: &CacheStats) -> jsonlite::Value {
-    jsonlite::ObjectBuilder::new()
-        .field("hits", stats.hits)
-        .field("misses", stats.misses)
-        .field("insertions", stats.insertions)
-        .field("evictions", stats.evictions)
-        .field("hit_rate", stats.hit_rate())
-        .build()
-}
-
 impl RouterSnapshot {
     /// The operator-facing JSON rendering of the whole tier — a
     /// **stable contract**: keys are sorted by `jsonlite`'s object
@@ -198,7 +275,14 @@ impl RouterSnapshot {
                             .field("replica", r.replica)
                             .field("demoted", r.demoted)
                             .field("outstanding", r.outstanding)
-                            .field("cache", cache_json(&r.cache))
+                            .field("cache", r.cache.to_json())
+                            .field(
+                                "cache_shards",
+                                r.cache_shards
+                                    .iter()
+                                    .map(CacheStats::to_json)
+                                    .collect::<Vec<_>>(),
+                            )
                             .field("service", r.service.to_json())
                             .build()
                     })
@@ -221,6 +305,14 @@ impl RouterSnapshot {
             .field("demoted_skips", self.counters.demoted_skips)
             .field("rebalances", self.counters.rebalances)
             .field("migrated_ions", self.counters.migrated_ions)
+            .field("route_hits", self.counters.route_hits)
+            .field("route_misses", self.counters.route_misses)
+            .field("coalesced", self.counters.coalesced)
+            .field("fanouts", self.counters.fanouts)
+            .field("affinity_picks", self.counters.affinity_picks)
+            .field("affinity_fallbacks", self.counters.affinity_fallbacks)
+            .field("warmed_partials", self.counters.warmed_partials)
+            .field("handoff_partials", self.counters.handoff_partials)
             .field("latency", self.counters.latency.to_json())
             .field("segments", segments)
             .build()
@@ -241,6 +333,16 @@ mod tests {
         m.on_demoted_skip();
         m.on_device_failed();
         m.on_rebalance(12);
+        m.on_route_hit();
+        m.on_route_miss();
+        m.on_route_miss();
+        m.on_coalesced();
+        m.on_fanout();
+        m.on_affinity_pick();
+        m.on_affinity_pick();
+        m.on_affinity_fallback();
+        m.on_warmed(5);
+        m.on_handoff(7);
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.responded, 1);
@@ -248,6 +350,10 @@ mod tests {
         assert_eq!(s.demoted_skips, 1);
         assert_eq!(s.device_failed, 1);
         assert_eq!((s.rebalances, s.migrated_ions), (1, 12));
+        assert_eq!((s.route_hits, s.route_misses, s.coalesced), (1, 2, 1));
+        assert_eq!(s.fanouts, 1);
+        assert_eq!((s.affinity_picks, s.affinity_fallbacks), (2, 1));
+        assert_eq!((s.warmed_partials, s.handoff_partials), (5, 7));
         assert_eq!(s.latency.count, 1);
     }
 }

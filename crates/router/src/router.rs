@@ -45,13 +45,20 @@ use hybrid_spectral::engine::{EngineConfig, EngineReport};
 use hybrid_spectral::ion_task_cost;
 use mpi_sim::ScatterGather;
 use rrc_service::{
-    assemble, selected_ions, Quantizer, ServiceError, SpectrumRequest, SpectrumResponse, StateKey,
+    assemble, selected_ions, CacheKey, Quantizer, ServiceError, SpectrumRequest, SpectrumResponse,
+    StateKey,
 };
 use rrc_spectral::{EnergyGrid, GridPoint, Integrator};
 
+use crate::locality::{
+    preferred_replica, CachedRoute, HotTracker, Join, RouteCache, RouteKey, SingleFlight,
+};
 use crate::metrics::{ReplicaSnapshot, RouterMetrics, RouterSnapshot, SegmentSnapshot};
 use crate::ring::{splitmix64, HashRing};
 use crate::shard::{ReplicaSpec, ShardReplica, ShardRequest, ShardResponse};
+
+/// Cache entries to warm-push, grouped by owning segment.
+type WarmBatches = BTreeMap<usize, Vec<(CacheKey, Arc<Vec<f64>>)>>;
 
 /// Configuration of a [`ShardRouter`].
 #[derive(Debug, Clone)]
@@ -91,6 +98,29 @@ pub struct RouterConfig {
     /// Longest a rebalance waits for the migrated-from segment to
     /// drain its in-flight envelopes.
     pub drain_timeout: Duration,
+    /// Route reads to the rendezvous-preferred replica of each segment
+    /// (state affinity) instead of spreading purely by load. Falls
+    /// back to the baseline untried→non-demoted→least-outstanding
+    /// order whenever the preferred replica is already tried, demoted,
+    /// or saturated — so affinity can only relocate work, never strand
+    /// it.
+    pub affinity: bool,
+    /// In-flight envelopes on the preferred replica at or above which
+    /// affinity falls back to the baseline order (backpressure so a
+    /// hot state cannot bury its home replica).
+    pub affinity_saturation: u64,
+    /// Assembled-route cache entries at the router (0 disables — the
+    /// default, since whole-response caching is only sound per
+    /// normalized route key and costs memory per distinct route).
+    pub route_cache_capacity: usize,
+    /// Hot-state promotion budget: the top-K sketch-estimated states
+    /// get their per-ion partials replicated to every sibling replica
+    /// after a fan-out (0 disables hot-state replication).
+    pub hot_state_k: usize,
+    /// Ship the donor's cached partials for migrated ions to the new
+    /// owner's replicas during [`ShardRouter::rebalance`], so a
+    /// migration does not manufacture a cold start.
+    pub migration_handoff: bool,
 }
 
 impl RouterConfig {
@@ -136,6 +166,11 @@ impl RouterConfig {
             vnodes: 64,
             rebalance_factor: 1.25,
             drain_timeout: Duration::from_secs(5),
+            affinity: true,
+            affinity_saturation: 4,
+            route_cache_capacity: 0,
+            hot_state_k: 0,
+            migration_handoff: true,
         }
     }
 }
@@ -151,6 +186,11 @@ pub struct MigrationReport {
     pub ions: Vec<usize>,
     /// Capacity cost that moved with them.
     pub cost_moved: u64,
+    /// Unique donor cache entries (one per `(ion, state)`) shipped to
+    /// the new owner's replicas before the drain — 0 when
+    /// [`RouterConfig::migration_handoff`] is off or the donor held
+    /// nothing for the migrated ions.
+    pub handed_off: u64,
     /// Whether the old owner drained its in-flight envelopes within
     /// the configured timeout (the handoff is correct either way — a
     /// straggler request that routed before the swap still completes
@@ -191,6 +231,13 @@ pub struct ShardRouter {
     sg: ScatterGather<ShardRequest, ShardResponse>,
     replicas: Vec<ShardReplica>,
     metrics: RouterMetrics,
+    ring_seed: u64,
+    affinity: bool,
+    affinity_saturation: u64,
+    migration_handoff: bool,
+    route_cache: RouteCache,
+    flight: SingleFlight,
+    hot: HotTracker,
 }
 
 /// The fixed plasma state the capacity model prices ions at. Absolute
@@ -203,10 +250,20 @@ const CAPACITY_REF_POINT: GridPoint = GridPoint {
     index: 0,
 };
 
-/// A stable 64-bit digest of a quantized state, used only to spread
-/// equal-load replica ties deterministically.
-fn state_hash(key: &StateKey) -> u64 {
-    splitmix64(key.kt_q ^ splitmix64(key.density_q ^ splitmix64(key.grid_id as u64)))
+/// What one fan-out produced, before response assembly decides what to
+/// cache, warm, or return.
+struct FanOutcome {
+    /// Folded spectrum bins.
+    bins: Vec<f64>,
+    /// Ions the engines computed this time.
+    computed: u64,
+    /// Ions answered from replica caches.
+    from_cache: u64,
+    /// Per-ion partials (the replicas' cache entries), for hot-state
+    /// warming.
+    partials: BTreeMap<usize, Arc<Vec<f64>>>,
+    /// The owner segment each ion routed to this request.
+    owner: BTreeMap<usize, usize>,
 }
 
 impl ShardRouter {
@@ -274,6 +331,16 @@ impl ShardRouter {
             sg,
             replicas,
             metrics: RouterMetrics::new(),
+            ring_seed: config.ring_seed,
+            affinity: config.affinity,
+            affinity_saturation: config.affinity_saturation.max(1),
+            migration_handoff: config.migration_handoff,
+            route_cache: RouteCache::new(config.route_cache_capacity),
+            flight: SingleFlight::new(),
+            // The hot tracker reuses the ring seed: one seed in the
+            // config reproduces the whole routing + locality state on
+            // restart.
+            hot: HotTracker::new(config.hot_state_k, config.ring_seed),
         }
     }
 
@@ -322,6 +389,14 @@ impl ShardRouter {
 
     /// Answer one spectral query through the sharded tier.
     ///
+    /// With the route cache enabled, a request whose normalized route
+    /// key was answered before returns a clone of the cached bins with
+    /// **zero** scatter/gather; concurrent misses for one key coalesce
+    /// into a single fan-out (the followers reuse the leader's
+    /// result). Both shortcuts return the exact bits a fresh fan-out
+    /// would have produced (deterministic kernel assumed), so the
+    /// bitwise-parity invariant survives every path.
+    ///
     /// # Errors
     /// [`ServiceError::UnknownGrid`] for an out-of-range grid id;
     /// [`ServiceError::DeviceFailed`] when some ion stayed unanswered
@@ -338,6 +413,108 @@ impl ShardRouter {
         self.metrics.on_request();
         let key = self.quantizer.state_key(&request.point, request.grid_id);
         let point = self.quantizer.representative(&key);
+
+        if !self.route_cache.enabled() {
+            let outcome = self.fan_out(request, &key, &point)?;
+            let response = self.finish(request, &key, outcome);
+            self.metrics.on_responded(started.elapsed().as_secs_f64());
+            return Ok(response);
+        }
+
+        let route_key = RouteKey::new(key, &request.elements);
+        if let Some(hit) = self.route_cache.get(&route_key) {
+            self.metrics.on_route_hit();
+            let response = Self::replay(request, &hit);
+            self.metrics.on_responded(started.elapsed().as_secs_f64());
+            return Ok(response);
+        }
+        self.metrics.on_route_miss();
+        loop {
+            match self.flight.join(route_key.clone()) {
+                Join::Leader(guard) => {
+                    // Re-probe before fanning out: a leader elected
+                    // after a predecessor published necessarily sees
+                    // the predecessor's insert (insertion precedes
+                    // flight retirement), so a thread whose first
+                    // probe raced the publish coalesces here instead
+                    // of duplicating the fan-out.
+                    if let Some(hit) = self.route_cache.get(&route_key) {
+                        self.metrics.on_route_hit();
+                        guard.publish(Some(hit.clone()));
+                        let response = Self::replay(request, &hit);
+                        self.metrics.on_responded(started.elapsed().as_secs_f64());
+                        return Ok(response);
+                    }
+                    // An erroring fan-out drops the guard, which
+                    // publishes failure — a waiting follower retries
+                    // as the next leader instead of inheriting the
+                    // refusal.
+                    let outcome = self.fan_out(request, &key, &point)?;
+                    let response = self.finish(request, &key, outcome);
+                    let cached = CachedRoute {
+                        bins: Arc::new(response.bins.clone()),
+                        ions: response.ions_computed + response.ions_from_cache,
+                    };
+                    self.route_cache.insert(route_key, cached.clone());
+                    guard.publish(Some(cached));
+                    self.metrics.on_responded(started.elapsed().as_secs_f64());
+                    return Ok(response);
+                }
+                Join::Follower(Some(route)) => {
+                    self.metrics.on_coalesced();
+                    let response = Self::replay(request, &route);
+                    self.metrics.on_responded(started.elapsed().as_secs_f64());
+                    return Ok(response);
+                }
+                // The leader failed: loop to re-join — this caller
+                // becomes the next leader (or follows a newer one).
+                Join::Follower(None) => {}
+            }
+        }
+    }
+
+    /// A response replayed from a cached route: the shared bins cloned
+    /// (identical bits), every covered ion accounted as cached.
+    fn replay(request: &SpectrumRequest, route: &CachedRoute) -> SpectrumResponse {
+        SpectrumResponse {
+            bins: route.bins.as_ref().clone(),
+            grid_id: request.grid_id,
+            ions_computed: 0,
+            ions_from_cache: route.ions,
+            caller_ran: false,
+        }
+    }
+
+    /// Turn a fan-out's outcome into the response; on the way, feed
+    /// the hot-state tracker and replicate a hot state's partials to
+    /// sibling replicas.
+    fn finish(
+        &self,
+        request: &SpectrumRequest,
+        key: &StateKey,
+        outcome: FanOutcome,
+    ) -> SpectrumResponse {
+        if self.hot.k() > 0 && self.hot.observe(key) {
+            self.warm_hot(key, &outcome);
+        }
+        SpectrumResponse {
+            bins: outcome.bins,
+            grid_id: request.grid_id,
+            ions_computed: outcome.computed,
+            ions_from_cache: outcome.from_cache,
+            caller_ran: false,
+        }
+    }
+
+    /// One full scatter/gather fan-out with health-aware re-routing —
+    /// the only place shard queries are issued.
+    fn fan_out(
+        &self,
+        request: &SpectrumRequest,
+        key: &StateKey,
+        point: &GridPoint,
+    ) -> Result<FanOutcome, ServiceError> {
+        self.metrics.on_fanout();
         let ions = selected_ions(&self.db, request);
         let grid = &self.grids[request.grid_id];
 
@@ -364,15 +541,15 @@ impl ShardRouter {
             let mut parts: Vec<(usize, ShardRequest)> = Vec::with_capacity(groups.len());
             let mut part_ions: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
             for (segment, seg_ions) in groups {
-                let replica = self.pick_replica(segment, &key, &tried[segment]);
+                let replica = self.pick_replica(segment, key, &tried[segment]);
                 tried[segment].push(replica);
                 let flat = segment * self.replicas_per_segment + replica;
                 self.replicas[flat].add_outstanding();
                 parts.push((
                     flat,
-                    ShardRequest {
-                        key,
-                        point,
+                    ShardRequest::Query {
+                        key: *key,
+                        point: *point,
                         ions: seg_ions.clone(),
                     },
                 ));
@@ -408,25 +585,97 @@ impl ShardRouter {
             attempt += 1;
         }
 
-        let response = SpectrumResponse {
-            bins: assemble(grid.bins(), &ions, &partials),
-            grid_id: request.grid_id,
-            ions_computed: computed,
-            ions_from_cache: from_cache,
-            caller_ran: false,
-        };
-        self.metrics.on_responded(started.elapsed().as_secs_f64());
-        Ok(response)
+        let bins = assemble(grid.bins(), &ions, &partials);
+        Ok(FanOutcome {
+            bins,
+            computed,
+            from_cache,
+            partials,
+            owner,
+        })
     }
 
-    /// Pick a replica of `segment` for a read: prefer replicas not yet
-    /// tried this request, among those prefer ones the health ladder
-    /// has not demoted, and take the least-loaded (ties spread by a
-    /// consistent hash of the quantized state). When every replica is
-    /// demoted the least-loaded one still serves — its CPU fallback
-    /// answers (graceful degradation, not refusal).
+    /// Replicate a hot state's per-ion partials to every replica of
+    /// each owning segment. The serving replica already holds them —
+    /// its `warm_insert` no-ops — so the push only fills siblings.
+    fn warm_hot(&self, key: &StateKey, outcome: &FanOutcome) {
+        let mut per_segment = WarmBatches::new();
+        for (&ion, partial) in &outcome.partials {
+            per_segment.entry(outcome.owner[&ion]).or_default().push((
+                CacheKey {
+                    ion_index: ion,
+                    state: *key,
+                },
+                Arc::clone(partial),
+            ));
+        }
+        let warmed = self.warm_segments(&per_segment);
+        if warmed > 0 {
+            self.metrics.on_warmed(warmed);
+        }
+    }
+
+    /// Scatter warm pushes to every replica of each listed segment
+    /// over the same lanes queries use, and gather the insert counts.
+    /// Returns how many entries were actually inserted (absent-only).
+    fn warm_segments(&self, entries: &WarmBatches) -> u64 {
+        if self.sg.is_closed() {
+            return 0;
+        }
+        let mut parts: Vec<(usize, ShardRequest)> = Vec::new();
+        for (&segment, seg_entries) in entries {
+            if seg_entries.is_empty() {
+                continue;
+            }
+            for r in 0..self.replicas_per_segment {
+                let flat = segment * self.replicas_per_segment + r;
+                self.replicas[flat].add_outstanding();
+                parts.push((
+                    flat,
+                    ShardRequest::Warm {
+                        entries: seg_entries.clone(),
+                    },
+                ));
+            }
+        }
+        if parts.is_empty() {
+            return 0;
+        }
+        self.sg
+            .scatter(parts)
+            .gather()
+            .into_iter()
+            .flatten()
+            .map(|resp| resp.warmed)
+            .sum()
+    }
+
+    /// Pick a replica of `segment` for a read. With affinity enabled,
+    /// the rendezvous-preferred replica serves whenever it is untried,
+    /// healthy, and below the saturation bound — concentrating each
+    /// state's partials (and resident spectra) on one home replica
+    /// instead of diluting them across R caches. Otherwise — and
+    /// always with affinity disabled — fall back to the baseline:
+    /// prefer replicas not yet tried this request, among those prefer
+    /// ones the health ladder has not demoted, and take the
+    /// least-loaded (ties spread by a consistent hash of the quantized
+    /// state). When every replica is demoted the least-loaded one
+    /// still serves — its CPU fallback answers (graceful degradation,
+    /// not refusal).
     fn pick_replica(&self, segment: usize, key: &StateKey, tried: &[usize]) -> usize {
         let base = segment * self.replicas_per_segment;
+        if self.affinity {
+            let pref = preferred_replica(key, segment, self.replicas_per_segment, self.ring_seed);
+            let rep = &self.replicas[base + pref];
+            if !tried.contains(&pref)
+                && !rep.demoted()
+                && rep.outstanding() < self.affinity_saturation
+            {
+                self.metrics.on_affinity_pick();
+                return pref;
+            }
+            self.metrics.on_affinity_fallback();
+        }
         let fresh: Vec<usize> = (0..self.replicas_per_segment)
             .filter(|r| !tried.contains(r))
             .collect();
@@ -452,7 +701,7 @@ impl ShardRouter {
             .min_by_key(|&r| {
                 (
                     self.replicas[base + r].outstanding(),
-                    splitmix64(state_hash(key) ^ r as u64),
+                    splitmix64(key.stable_hash(self.ring_seed) ^ r as u64),
                 )
             })
             .expect("segment has at least one replica")
@@ -520,6 +769,16 @@ impl ShardRouter {
             // Write lock drops here: from now on every new request
             // routes the moved ions to their new owner.
         };
+        // Cache handoff before the drain: new requests already route
+        // to `to`, so the sooner its replicas hold the donor's
+        // partials the fewer migrated ions cold-start. Entries are
+        // absent-only inserts of the donor's exact cache values —
+        // bitwise the same partials, so parity is unaffected.
+        let handed_off = if self.migration_handoff {
+            self.handoff(from, to, &ions)
+        } else {
+            0
+        };
         let drained = self.drain_segment(from);
         self.metrics.on_rebalance(ions.len() as u64);
         Some(MigrationReport {
@@ -527,8 +786,30 @@ impl ShardRouter {
             to,
             ions,
             cost_moved,
+            handed_off,
             drained,
         })
+    }
+
+    /// Ship the donor segment's cached partials for the migrated ions
+    /// to every replica of the new owner. Returns the unique entries
+    /// (one per `(ion, state)`) shipped.
+    fn handoff(&self, from: usize, to: usize, ions: &[usize]) -> u64 {
+        let base = from * self.replicas_per_segment;
+        let mut entries: Vec<(CacheKey, Arc<Vec<f64>>)> = (0..self.replicas_per_segment)
+            .flat_map(|r| self.replicas[base + r].export_ions(ions))
+            .collect();
+        // Donor replicas overlap in what they cached; ship one copy
+        // per key, in deterministic order.
+        entries.sort_by_key(|(k, _)| (k.ion_index, k.state));
+        entries.dedup_by_key(|(k, _)| *k);
+        if entries.is_empty() {
+            return 0;
+        }
+        let unique = entries.len() as u64;
+        let _ = self.warm_segments(&BTreeMap::from([(to, entries)]));
+        self.metrics.on_handoff(unique);
+        unique
     }
 
     /// Wait (bounded) until every replica of `segment` has zero
@@ -577,6 +858,7 @@ impl ShardRouter {
                             demoted: rep.demoted(),
                             outstanding: rep.outstanding(),
                             cache: rep.cache_stats(),
+                            cache_shards: rep.cache_shard_stats(),
                             service: rep.metrics(),
                         }
                     })

@@ -24,17 +24,33 @@ use mpi_sim::Lane;
 use rrc_service::{CacheKey, ServiceMetrics, ShardedLruCache, StateKey};
 use rrc_spectral::{EnergyGrid, GridPoint};
 
-/// One shard-scoped sub-request: the quantized state (and its
-/// representative point) plus the ion indices this shard must answer.
+/// One envelope on a replica's lane: either a query for per-ion
+/// partials or a cache-warming push. Both ride the same
+/// [`mpi_sim::collective`] lanes and the same worker loop, so warming
+/// needs no second fabric and is naturally serialized with queries on
+/// each replica.
 #[derive(Debug, Clone)]
-pub struct ShardRequest {
-    /// Quantized plasma state + grid — the replica's cache key space.
-    pub key: StateKey,
-    /// The representative plasma point of `key` (computed once by the
-    /// router so every shard evaluates the identical state).
-    pub point: GridPoint,
-    /// Ions this shard owns for the request, ascending.
-    pub ions: Vec<usize>,
+pub enum ShardRequest {
+    /// Compute/fetch per-ion partials for one quantized state.
+    Query {
+        /// Quantized plasma state + grid — the replica's cache key
+        /// space.
+        key: StateKey,
+        /// The representative plasma point of `key` (computed once by
+        /// the router so every shard evaluates the identical state).
+        point: GridPoint,
+        /// Ions this shard owns for the request, ascending.
+        ions: Vec<usize>,
+    },
+    /// Push already-computed partials into this replica's cache
+    /// (hot-state replication to siblings, migration cache handoff).
+    /// The values are the donor's cache entries themselves; under the
+    /// deterministic kernel they are the exact bits this replica would
+    /// have computed.
+    Warm {
+        /// `(key, partial)` pairs to insert if absent.
+        entries: Vec<(CacheKey, Arc<Vec<f64>>)>,
+    },
 }
 
 /// A shard's answer: per-ion partial spectra plus accounting.
@@ -51,6 +67,9 @@ pub struct ShardResponse {
     /// Ions the engine never answered (device faults with the retry
     /// budget exhausted) — the router re-routes these.
     pub failed: Vec<usize>,
+    /// Warm entries actually inserted (absent-only) by a
+    /// [`ShardRequest::Warm`]; always 0 for queries.
+    pub warmed: u64,
 }
 
 /// State shared between a replica's worker thread and its handle.
@@ -65,22 +84,57 @@ pub(crate) struct ReplicaCtx {
 }
 
 impl ReplicaCtx {
-    /// Serve one shard sub-request: cache lookups, engine fan-out with
-    /// re-fan retries, cache fills. Mirrors the service batcher's
-    /// group path so a shard's partial bits match the single-engine
-    /// service's exactly (deterministic kernel assumed).
+    /// Serve one envelope: queries go through the batcher-mirroring
+    /// compute path, warm pushes go straight into the cache.
     fn handle(&self, req: &ShardRequest) -> ShardResponse {
+        match req {
+            ShardRequest::Query { key, point, ions } => self.handle_query(*key, point, ions),
+            ShardRequest::Warm { entries } => self.handle_warm(entries),
+        }
+    }
+
+    /// Insert pushed partials if absent. An entry the replica already
+    /// holds is skipped — the local bits are the same bits under the
+    /// deterministic kernel, and warming must never steal recency from
+    /// entries real traffic is using.
+    fn handle_warm(&self, entries: &[(CacheKey, Arc<Vec<f64>>)]) -> ShardResponse {
+        let mut warmed = 0u64;
+        for (key, value) in entries {
+            if self.cache.warm_insert(*key, Arc::clone(value)) {
+                warmed += 1;
+            }
+        }
+        if warmed > 0 {
+            // Attribute warmed ions in the engine's own report so
+            // exactly-once audits (computed + warmed vs. total) can be
+            // settled per engine, not just per router.
+            self.engine.note_warm_insert(warmed);
+        }
+        ShardResponse {
+            partials: Vec::new(),
+            computed: 0,
+            from_cache: 0,
+            failed: Vec::new(),
+            warmed,
+        }
+    }
+
+    /// Serve one query: cache lookups, engine fan-out with re-fan
+    /// retries, cache fills. Mirrors the service batcher's group path
+    /// so a shard's partial bits match the single-engine service's
+    /// exactly (deterministic kernel assumed).
+    fn handle_query(&self, key: StateKey, point: &GridPoint, ions: &[usize]) -> ShardResponse {
         let started = Instant::now();
         let db = &self.engine.config().db;
-        let grid = &self.grids[req.key.grid_id];
-        let bins = &self.bin_tables[req.key.grid_id];
+        let grid = &self.grids[key.grid_id];
+        let bins = &self.bin_tables[key.grid_id];
 
-        let mut partials: Vec<(usize, Arc<Vec<f64>>)> = Vec::with_capacity(req.ions.len());
+        let mut partials: Vec<(usize, Arc<Vec<f64>>)> = Vec::with_capacity(ions.len());
         let mut pending: Vec<usize> = Vec::new();
-        for &ion in &req.ions {
+        for &ion in ions {
             let cache_key = CacheKey {
                 ion_index: ion,
-                state: req.key,
+                state: key,
             };
             match self.cache.get(&cache_key) {
                 Some(hit) => partials.push((ion, hit)),
@@ -98,7 +152,7 @@ impl ReplicaCtx {
                 let job = IonJob {
                     ion_index: ion,
                     level_range: 0..levels,
-                    point: req.point,
+                    point: *point,
                     grid: grid.clone(),
                     bins: Arc::clone(bins),
                     tag: ion as u64,
@@ -117,7 +171,7 @@ impl ReplicaCtx {
                 self.cache.insert(
                     CacheKey {
                         ion_index: outcome.ion_index,
-                        state: req.key,
+                        state: key,
                     },
                     Arc::clone(&value),
                 );
@@ -143,6 +197,7 @@ impl ReplicaCtx {
             computed,
             from_cache,
             failed: pending,
+            warmed: 0,
         }
     }
 }
@@ -257,20 +312,35 @@ impl ShardReplica {
         &self.ctx.engine
     }
 
-    /// This replica's cache counters.
+    /// This replica's cache counters, totalled across cache shards.
     #[must_use]
     pub fn cache_stats(&self) -> rrc_service::CacheStats {
         self.ctx.cache.stats()
     }
 
+    /// This replica's cache counters per cache shard, in shard order.
+    #[must_use]
+    pub fn cache_shard_stats(&self) -> Vec<rrc_service::CacheStats> {
+        self.ctx.cache.shard_stats()
+    }
+
+    /// Every cached entry for the given ions, in deterministic
+    /// `(ion_index, state)` order — the donor side of migration cache
+    /// handoff. Stats- and recency-neutral.
+    #[must_use]
+    pub fn export_ions(&self, ions: &[usize]) -> Vec<(CacheKey, Arc<Vec<f64>>)> {
+        self.ctx.cache.export_ions(ions)
+    }
+
     /// This replica's service metrics joined with its engine's live
-    /// scheduler view.
+    /// scheduler view and its cache counters.
     #[must_use]
     pub fn metrics(&self) -> rrc_service::MetricsSnapshot {
         self.ctx
             .metrics
             .snapshot()
             .with_scheduler(&self.ctx.engine.scheduler_snapshot())
+            .with_cache(&self.ctx.cache)
     }
 
     /// Join the worker (the lane must already be closed, or the worker

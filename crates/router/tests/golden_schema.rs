@@ -23,6 +23,16 @@ fn stage(count: u64, scale: f64) -> StageLatency {
     }
 }
 
+fn cache_stats(hits: u64, misses: u64, insertions: u64, warm: u64, evictions: u64) -> CacheStats {
+    CacheStats {
+        hits,
+        misses,
+        insertions,
+        warm_insertions: warm,
+        evictions,
+    }
+}
+
 fn service_metrics(demoted: bool) -> MetricsSnapshot {
     MetricsSnapshot {
         submitted: 40,
@@ -72,6 +82,8 @@ fn service_metrics(demoted: bool) -> MetricsSnapshot {
                 ],
             })
         },
+        cache: cache_stats(25, 15, 13, 2, 0),
+        cache_shards: vec![cache_stats(20, 10, 9, 1, 0), cache_stats(5, 5, 4, 1, 0)],
     }
 }
 
@@ -87,6 +99,14 @@ fn fixture() -> RouterSnapshot {
             demoted_skips: 12,
             rebalances: 1,
             migrated_ions: 7,
+            route_hits: 21,
+            route_misses: 58,
+            coalesced: 5,
+            fanouts: 53,
+            affinity_picks: 48,
+            affinity_fallbacks: 5,
+            warmed_partials: 18,
+            handoff_partials: 6,
             latency: stage(79, 2.0),
         },
         segments: vec![
@@ -99,24 +119,19 @@ fn fixture() -> RouterSnapshot {
                         replica: 0,
                         demoted: false,
                         outstanding: 1,
-                        cache: CacheStats {
-                            hits: 25,
-                            misses: 15,
-                            insertions: 15,
-                            evictions: 0,
-                        },
+                        cache: cache_stats(25, 15, 13, 2, 0),
+                        cache_shards: vec![
+                            cache_stats(20, 10, 9, 1, 0),
+                            cache_stats(5, 5, 4, 1, 0),
+                        ],
                         service: service_metrics(false),
                     },
                     ReplicaSnapshot {
                         replica: 1,
                         demoted: true,
                         outstanding: 0,
-                        cache: CacheStats {
-                            hits: 10,
-                            misses: 30,
-                            insertions: 30,
-                            evictions: 4,
-                        },
+                        cache: cache_stats(10, 30, 30, 0, 4),
+                        cache_shards: vec![cache_stats(10, 30, 30, 0, 4)],
                         service: service_metrics(true),
                     },
                 ],
@@ -129,12 +144,8 @@ fn fixture() -> RouterSnapshot {
                     replica: 0,
                     demoted: false,
                     outstanding: 2,
-                    cache: CacheStats {
-                        hits: 0,
-                        misses: 0,
-                        insertions: 0,
-                        evictions: 0,
-                    },
+                    cache: cache_stats(0, 0, 0, 0, 0),
+                    cache_shards: vec![cache_stats(0, 0, 0, 0, 0)],
                     service: service_metrics(false),
                 }],
             },

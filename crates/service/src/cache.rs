@@ -14,8 +14,7 @@
 //! per-shard LRU by a monotone touch tick; capacity 0 disables the
 //! cache entirely (every get is a miss, inserts are dropped).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use crate::quantize::StateKey;
@@ -37,17 +36,30 @@ struct Entry {
 struct Shard {
     map: HashMap<CacheKey, Entry>,
     clock: u64,
+    /// Per-shard effectiveness counters, updated under this shard's
+    /// own lock — so the cost of counting is the lock the operation
+    /// already holds, and [`ShardedLruCache::shard_stats`] can show an
+    /// operator *which* shard is thrashing, not just that one is.
+    stats: CacheStats,
 }
 
-/// Counter snapshot of cache effectiveness.
+/// Counter snapshot of cache effectiveness — per shard (see
+/// [`ShardedLruCache::shard_stats`]) or totalled across the cache
+/// ([`ShardedLruCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that missed (including all lookups when disabled).
     pub misses: u64,
-    /// Values stored.
+    /// Values stored by the owning engine's compute path.
     pub insertions: u64,
+    /// Values pushed in from outside — hot-state replication to
+    /// sibling replicas and migration cache handoff (see
+    /// [`ShardedLruCache::warm_insert`]). Counted separately from
+    /// `insertions` so warming traffic never masquerades as locally
+    /// computed fills.
+    pub warm_insertions: u64,
     /// Values displaced by LRU pressure.
     pub evictions: u64,
 }
@@ -63,16 +75,40 @@ impl CacheStats {
             self.hits as f64 / lookups as f64
         }
     }
+
+    /// Element-wise sum — folds per-shard counters into a total.
+    #[must_use]
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            warm_insertions: self.warm_insertions + other.warm_insertions,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
+    /// Stable JSON rendering of one counter block (the same shape for
+    /// cache totals and per-shard entries; part of the operator-facing
+    /// metrics contract — changing a key must update the golden file
+    /// in `rrc-router`).
+    #[must_use]
+    pub fn to_json(&self) -> jsonlite::Value {
+        jsonlite::ObjectBuilder::new()
+            .field("hits", self.hits)
+            .field("misses", self.misses)
+            .field("insertions", self.insertions)
+            .field("warm_insertions", self.warm_insertions)
+            .field("evictions", self.evictions)
+            .field("hit_rate", self.hit_rate())
+            .build()
+    }
 }
 
 /// The sharded LRU described in the module docs.
 pub struct ShardedLruCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl ShardedLruCache {
@@ -88,14 +124,11 @@ impl ShardedLruCache {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         clock: 0,
+                        stats: CacheStats::default(),
                     })
                 })
                 .collect(),
             per_shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -139,24 +172,24 @@ impl ShardedLruCache {
     /// Look `key` up, refreshing its recency on a hit.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<f64>>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         if !self.enabled() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            // A disabled cache still attributes the miss to the key's
+            // shard so `stats()` keeps counting lookups.
+            shard.stats.misses += 1;
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         shard.clock += 1;
         let tick = shard.clock;
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.touched = tick;
                 let value = Arc::clone(&entry.value);
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.stats.hits += 1;
                 Some(value)
             }
             None => {
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.stats.misses += 1;
                 None
             }
         }
@@ -185,17 +218,7 @@ impl ShardedLruCache {
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         shard.clock += 1;
         let tick = shard.clock;
-        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
-            if let Some(&victim) = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.touched)
-                .map(|(k, _)| k)
-            {
-                shard.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        Self::evict_if_full(&mut shard, &key, self.per_shard_capacity);
         shard.map.insert(
             key,
             Entry {
@@ -203,19 +226,88 @@ impl ShardedLruCache {
                 touched: tick,
             },
         );
-        drop(shard);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        shard.stats.insertions += 1;
     }
 
-    /// Counter snapshot.
+    /// Store `value` under `key` **only if absent**, counting it as a
+    /// warm insertion rather than a local fill. This is the entry point
+    /// for partials pushed in from outside the owning compute path —
+    /// hot-state replication to sibling replicas and migration cache
+    /// handoff — where an existing entry is already the right bits
+    /// (deterministic kernel) and must not have its recency stolen by
+    /// warming traffic. Returns whether the value was actually stored.
+    pub fn warm_insert(&self, key: CacheKey, value: Arc<Vec<f64>>) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&key) {
+            return false;
+        }
+        shard.clock += 1;
+        let tick = shard.clock;
+        Self::evict_if_full(&mut shard, &key, self.per_shard_capacity);
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                touched: tick,
+            },
+        );
+        shard.stats.warm_insertions += 1;
+        true
+    }
+
+    fn evict_if_full(shard: &mut Shard, key: &CacheKey, per_shard_capacity: usize) {
+        if !shard.map.contains_key(key) && shard.map.len() >= per_shard_capacity {
+            if let Some(&victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&victim);
+                shard.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Every cached entry whose `ion_index` is in `ions`, in a
+    /// deterministic `(ion_index, state)` order. Stats- and
+    /// recency-neutral, like [`ShardedLruCache::peek`]: exporting a
+    /// donor's entries for migration handoff must not distort the
+    /// donor's own hit-rate picture or protect entries from eviction.
+    #[must_use]
+    pub fn export_ions(&self, ions: &[usize]) -> Vec<(CacheKey, Arc<Vec<f64>>)> {
+        let wanted: HashSet<usize> = ions.iter().copied().collect();
+        let mut out: Vec<(CacheKey, Arc<Vec<f64>>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for (key, entry) in &shard.map {
+                if wanted.contains(&key.ion_index) {
+                    out.push((*key, Arc::clone(&entry.value)));
+                }
+            }
+        }
+        out.sort_by_key(|(key, _)| (key.ion_index, key.state));
+        out
+    }
+
+    /// Counter snapshot per shard, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").stats)
+            .collect()
+    }
+
+    /// Counter snapshot totalled across all shards.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s))
     }
 }
 
@@ -283,6 +375,77 @@ mod tests {
         assert!(c.get(&key(2, 0)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn warm_insert_is_absent_only_and_counted_separately() {
+        let c = ShardedLruCache::new(4, 1);
+        let warm = Arc::new(vec![1.0]);
+        assert!(c.warm_insert(key(0, 0), Arc::clone(&warm)));
+        let local = Arc::new(vec![2.0]);
+        c.insert(key(1, 0), Arc::clone(&local));
+        // A warm push for an already-present key is a no-op: the local
+        // bits stay (they are the same bits anyway) and nothing counts.
+        assert!(!c.warm_insert(key(1, 0), Arc::new(vec![9.0])));
+        let got = c.get(&key(1, 0)).expect("hit");
+        assert!(Arc::ptr_eq(&got, &local));
+        let s = c.stats();
+        assert_eq!((s.insertions, s.warm_insertions), (1, 1), "{s:?}");
+        // Disabled cache refuses warming entirely.
+        let off = ShardedLruCache::new(0, 1);
+        assert!(!off.warm_insert(key(0, 0), warm));
+        assert_eq!(off.stats().warm_insertions, 0);
+    }
+
+    #[test]
+    fn warm_insert_respects_capacity_and_evicts_lru() {
+        let c = ShardedLruCache::new(2, 1);
+        c.insert(key(0, 0), Arc::new(vec![0.0]));
+        c.insert(key(1, 0), Arc::new(vec![1.0]));
+        let _ = c.get(&key(0, 0)); // refresh 0; 1 is now LRU
+        assert!(c.warm_insert(key(2, 0), Arc::new(vec![2.0])));
+        assert!(c.peek(&key(1, 0)).is_none(), "warm insert evicts LRU");
+        assert!(c.peek(&key(0, 0)).is_some());
+        assert!(c.peek(&key(2, 0)).is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn export_is_scoped_sorted_and_stats_neutral() {
+        let c = ShardedLruCache::new(64, 4);
+        for ion in 0..6 {
+            for kt in [3u64, 1] {
+                c.insert(key(ion, kt), Arc::new(vec![ion as f64]));
+            }
+        }
+        let before = c.stats();
+        let exported = c.export_ions(&[4, 1]);
+        assert_eq!(exported.len(), 4, "two states per requested ion");
+        let order: Vec<(usize, u64)> = exported
+            .iter()
+            .map(|(k, _)| (k.ion_index, k.state.kt_q))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (1, 3), (4, 1), (4, 3)]);
+        assert_eq!(c.stats(), before, "export is stats-neutral");
+        assert!(c.export_ions(&[]).is_empty());
+    }
+
+    #[test]
+    fn per_shard_stats_fold_into_the_total() {
+        let c = ShardedLruCache::new(64, 8);
+        for i in 0..16 {
+            c.insert(key(i, 0), Arc::new(vec![]));
+            let _ = c.get(&key(i, 0));
+        }
+        let _ = c.get(&key(99, 0));
+        let shards = c.shard_stats();
+        assert_eq!(shards.len(), 8);
+        let folded = shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        assert_eq!(folded, c.stats());
+        assert_eq!((folded.hits, folded.misses, folded.insertions), (16, 1, 16));
     }
 
     #[test]

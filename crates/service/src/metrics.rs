@@ -100,9 +100,27 @@ pub struct MetricsSnapshot {
     /// The resident tuner's per-dimension view (`None` when the
     /// engine runs with tuning disabled).
     pub scheduler_tuner: Option<hybrid_sched::TunerSnapshot>,
+    /// Ion-partial cache effectiveness, totalled across shards (filled
+    /// by [`MetricsSnapshot::with_cache`]; all-zero for a bare
+    /// [`ServiceMetrics::snapshot`]).
+    pub cache: crate::cache::CacheStats,
+    /// The same counters, per cache shard in shard order — shows
+    /// *which* shard is thrashing, not just that one is.
+    pub cache_shards: Vec<crate::cache::CacheStats>,
 }
 
 impl MetricsSnapshot {
+    /// Fill the cache-view fields from the live ion-partial cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &crate::cache::ShardedLruCache) -> MetricsSnapshot {
+        self.cache_shards = cache.shard_stats();
+        self.cache = self
+            .cache_shards
+            .iter()
+            .fold(crate::cache::CacheStats::default(), |acc, s| acc.merged(s));
+        self
+    }
+
     /// Fill the scheduler-view fields from a live scheduler snapshot.
     #[must_use]
     pub fn with_scheduler(mut self, sched: &hybrid_sched::SchedulerSnapshot) -> MetricsSnapshot {
@@ -138,6 +156,14 @@ impl MetricsSnapshot {
             .field("device_failures", self.device_failures)
             .field("neighbor_hits", self.neighbor_hits)
             .field("neighbor_rejects", self.neighbor_rejects)
+            .field("cache", self.cache.to_json())
+            .field(
+                "cache_shards",
+                self.cache_shards
+                    .iter()
+                    .map(crate::cache::CacheStats::to_json)
+                    .collect::<Vec<_>>(),
+            )
             .field(
                 "latency",
                 jsonlite::ObjectBuilder::new()
@@ -354,6 +380,8 @@ impl ServiceMetrics {
             scheduler_cost_residual_milli: 0,
             scheduler_cost_observations: 0,
             scheduler_tuner: None,
+            cache: crate::cache::CacheStats::default(),
+            cache_shards: Vec::new(),
         }
     }
 }

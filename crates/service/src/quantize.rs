@@ -47,6 +47,14 @@ impl Quantizer {
     }
 
     /// The batching/cache key of a plasma state on one grid.
+    ///
+    /// This is **the** stable key derivation shared by every tier: the
+    /// service batcher groups requests by it, the per-ion caches key on
+    /// it, and the shard router's route cache, affinity placement, and
+    /// hot-state tracker all consume the same key (via
+    /// [`StateKey::stable_hash`] where a digest is needed). Deriving
+    /// the key anywhere else would let two tiers disagree on
+    /// quantization; don't.
     #[must_use]
     pub fn state_key(&self, point: &GridPoint, grid_id: usize) -> StateKey {
         StateKey {
@@ -153,6 +161,27 @@ pub struct StateKey {
     pub density_q: u64,
     /// The requested energy grid.
     pub grid_id: usize,
+}
+
+impl StateKey {
+    /// A seeded, stable 64-bit digest of this key — a pure function of
+    /// `(seed, key)`, so restarts reproduce it exactly. Every consumer
+    /// that hashes quantized states (the router's rendezvous affinity
+    /// weights, replica tie-breaks, and the hot-state sketch rows) goes
+    /// through here, so no two tiers can disagree on how a state
+    /// digests.
+    #[must_use]
+    pub fn stable_hash(&self, seed: u64) -> u64 {
+        // splitmix64 chain — cheap, stateless, full-avalanche; the
+        // same mixer the routing ring and seeded traffic use.
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        mix(seed ^ mix(self.kt_q ^ mix(self.density_q ^ mix(self.grid_id as u64))))
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +306,22 @@ mod tests {
             assert!(q.dequantize(n.kt_q).is_finite());
             assert!(q.dequantize(n.density_q).is_finite());
         }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_seed_sensitive() {
+        let q = Quantizer::new(0);
+        let a = key_of(&q, 1e7, 1.0);
+        let b = key_of(&q, 1.1e7, 1.0);
+        // Deterministic: the digest is a pure function of (seed, key),
+        // so a restarted tier reproduces every routing decision.
+        assert_eq!(a.stable_hash(17), a.stable_hash(17));
+        // Both the seed and the key must matter.
+        assert_ne!(a.stable_hash(17), a.stable_hash(18));
+        assert_ne!(a.stable_hash(17), b.stable_hash(17));
+        // Grid id participates too (distinct grids must not collide).
+        let c = StateKey { grid_id: 1, ..a };
+        assert_ne!(a.stable_hash(17), c.stable_hash(17));
     }
 
     #[test]

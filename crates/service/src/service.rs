@@ -334,6 +334,7 @@ impl SpectralService {
             .metrics
             .snapshot()
             .with_scheduler(&shared.engine.scheduler_snapshot())
+            .with_cache(&shared.cache)
     }
 
     /// Live cache counters.
@@ -368,7 +369,8 @@ impl SpectralService {
         let metrics = shared
             .metrics
             .snapshot()
-            .with_scheduler(&shared.engine.scheduler_snapshot());
+            .with_scheduler(&shared.engine.scheduler_snapshot())
+            .with_cache(&shared.cache);
         let engine = shared.engine.shutdown();
         Some(ServiceReport {
             engine,

@@ -82,6 +82,7 @@ USAGE:
                  [--bins N] [--max-z Z] [--gpus N] [--tolerance TOL]
   hspec serve    [--shards N] [--replicas R] [--requests N] [--max-z Z]
                  [--bins N] [--gpus N] [--cache N] [--rebalance true|false]
+                 [--affinity] [--no-affinity] [--router-cache N] [--hot-k K]
                  [--tune] [--no-tune] [--tune-epoch N] [--snapshot FILE.json]
   hspec remnant  [--age-yr YR] [--ambient CM3] [--shells N]
   hspec run      --spec FILE.json [--out FILE.tsv]
@@ -96,7 +97,7 @@ struct Args {
 
 /// The only flags that stand alone without a value; everything else
 /// keeps the strict `--key value` shape.
-const BARE_FLAGS: &[&str] = &["tune", "no-tune"];
+const BARE_FLAGS: &[&str] = &["tune", "no-tune", "affinity", "no-affinity"];
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
@@ -522,6 +523,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let gpus: usize = args.get("gpus", 2)?;
     let cache: usize = args.get("cache", 4096)?;
     let rebalance: bool = args.get("rebalance", true)?;
+    let router_cache: usize = args.get("router-cache", 0)?;
+    let hot_k: usize = args.get("hot-k", 0)?;
     let snapshot_out: String = args.get("snapshot", String::new())?;
     if shards == 0 || replicas == 0 {
         return Err("--shards and --replicas must be at least 1".into());
@@ -539,10 +542,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.engine.gpus = gpus;
     cfg.engine.tuning = args.tuning(cfg.engine.tuning)?;
     cfg.cache_capacity = cache;
+    cfg.route_cache_capacity = router_cache;
+    cfg.hot_state_k = hot_k;
+    // --no-affinity overrides the enabled default (and --affinity, if both).
+    if args.map.contains_key("no-affinity") {
+        cfg.affinity = false;
+    } else if args.map.contains_key("affinity") {
+        cfg.affinity = true;
+    }
+    let affinity_on = cfg.affinity;
     let tier = ShardRouter::start(cfg);
     println!(
         "sharded tier up: {shards} shard(s) x {replicas} replica(s), {ions} ions, \
-         {bins} bins, {gpus} device(s) per replica"
+         {bins} bins, {gpus} device(s) per replica \
+         (affinity {}, router cache {router_cache}, hot-k {hot_k})",
+        if affinity_on { "on" } else { "off" }
     );
     if rebalance {
         let mut passes = 0;
@@ -593,6 +607,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         snapshot.counters.reroutes,
         snapshot.counters.demoted_skips,
         snapshot.counters.rebalances
+    );
+    println!(
+        "locality: {} route hit(s), {} coalesced, {} fan-out(s), \
+         {} affinity pick(s) / {} fallback(s), {} warmed, {} handed off",
+        snapshot.counters.route_hits,
+        snapshot.counters.coalesced,
+        snapshot.counters.fanouts,
+        snapshot.counters.affinity_picks,
+        snapshot.counters.affinity_fallbacks,
+        snapshot.counters.warmed_partials,
+        snapshot.counters.handoff_partials
     );
     for seg in &snapshot.segments {
         let demoted = seg.replicas.iter().filter(|r| r.demoted).count();
@@ -766,6 +791,8 @@ mod tests {
             ("max-z", "4"),
             ("bins", "16"),
             ("gpus", "1"),
+            ("router-cache", "32"),
+            ("hot-k", "2"),
         ]);
         cmd_serve(&a).unwrap();
     }
