@@ -282,6 +282,7 @@ fn parity_run(
                     grid: grid.clone(),
                     bins: Arc::clone(&bins),
                     tag: wave,
+                    deadline: f64::INFINITY,
                     reply: tx.clone(),
                 })
                 .ok()

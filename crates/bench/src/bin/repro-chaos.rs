@@ -97,6 +97,7 @@ fn run_all_ions(engine: &Engine, grid: &EnergyGrid, waves: u64) -> Vec<IonOutcom
                 grid: grid.clone(),
                 bins: Arc::clone(&bins),
                 tag: wave,
+                deadline: f64::INFINITY,
                 reply: tx.clone(),
             });
             assert!(accepted.is_ok(), "engine accepts while live");

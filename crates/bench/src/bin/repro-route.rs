@@ -76,11 +76,7 @@ fn point_at(index: usize) -> GridPoint {
 }
 
 fn all_request(index: usize) -> SpectrumRequest {
-    SpectrumRequest {
-        point: point_at(index),
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+    SpectrumRequest::new(point_at(index), ElementSelection::All, 0)
 }
 
 fn bitwise_equal(a: &[f64], b: &[f64]) -> bool {

@@ -259,6 +259,7 @@ fn engine_parity(policy: SchedPolicy, max_z: u8, bins: usize) -> EngineRun {
             grid: grid.clone(),
             bins: Arc::clone(&bin_pairs),
             tag: ion as u64,
+            deadline: f64::INFINITY,
             reply: tx.clone(),
         });
         assert!(accepted.is_ok(), "engine accepts while live");

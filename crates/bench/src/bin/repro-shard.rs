@@ -77,11 +77,7 @@ fn point_at(index: usize) -> GridPoint {
 }
 
 fn all_request(index: usize) -> SpectrumRequest {
-    SpectrumRequest {
-        point: point_at(index),
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+    SpectrumRequest::new(point_at(index), ElementSelection::All, 0)
 }
 
 /// Mixed-element open-loop load: rotate between the full selection and
@@ -93,11 +89,7 @@ fn mixed_request(index: usize, max_z: u8) -> SpectrumRequest {
         1 => ElementSelection::Elements((1..=max_z / 2).collect()),
         _ => ElementSelection::Elements((max_z / 2 + 1..=max_z).collect()),
     };
-    SpectrumRequest {
-        point: point_at(index),
-        elements,
-        grid_id: 0,
-    }
+    SpectrumRequest::new(point_at(index), elements, 0)
 }
 
 fn bitwise_equal(a: &[f64], b: &[f64]) -> bool {

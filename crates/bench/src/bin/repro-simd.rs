@@ -126,6 +126,7 @@ fn tiny_mix_device_time(db: &Arc<AtomDatabase>, rounds: u64, pack_threshold: u64
                     grid: grid.clone(),
                     bins: Arc::clone(&bins),
                     tag: round,
+                    deadline: f64::INFINITY,
                     reply: tx.clone(),
                 })
                 .ok()
@@ -163,6 +164,7 @@ fn engine_partials(
                 grid: grid.clone(),
                 bins: Arc::clone(&bins),
                 tag: ion_index as u64,
+                deadline: f64::INFINITY,
                 reply: tx.clone(),
             })
             .ok()

@@ -206,6 +206,13 @@ pub struct IonJob {
     /// stores the grid-point index here; the service stores the batch
     /// slot).
     pub tag: u64,
+    /// Absolute completion deadline in clock seconds
+    /// ([`f64::INFINITY`] = no deadline). Propagated from the request
+    /// tier into the staging lanes, where local dequeue is
+    /// earliest-deadline-first — a deadline never changes *where* a
+    /// task runs (placement stays cost-aware) or its bits, only the
+    /// order a device's staged backlog launches in.
+    pub deadline: f64,
     /// Where to deliver the result.
     pub reply: Sender<IonOutcome>,
 }
@@ -672,6 +679,35 @@ impl Engine {
         &self.adaptive.cost
     }
 
+    /// Optimistic wall-seconds estimate for one ion task: the blended
+    /// cost units of the task's class rescaled by the **fastest**
+    /// device's observed seconds-per-unit EWMA. Optimistic on purpose —
+    /// SLO admission uses this to shed only requests that are
+    /// infeasible even under the best placement, so admission can
+    /// never refuse work the engine might still have finished in time.
+    #[must_use]
+    pub fn estimate_task_seconds(
+        &self,
+        ion_index: usize,
+        level_range: Range<usize>,
+        point: &GridPoint,
+        bins: &Arc<Vec<(f64, f64)>>,
+    ) -> f64 {
+        let static_cost =
+            ion_task_cost(&self.config.db, ion_index, level_range.clone(), point, bins);
+        let key = CostKey::bucketed(
+            self.config.db.ions()[ion_index].z,
+            level_range.len(),
+            bins.len(),
+        );
+        let units = self.adaptive.cost.blended(&key, static_cost);
+        // Until a first settle there is no absolute time scale: the
+        // estimate is 0 (admit everything) rather than pricing work
+        // off the placement prior.
+        let rate = self.scheduler.min_observed_secs_per_unit().unwrap_or(0.0);
+        units as f64 * rate
+    }
+
     /// Install an external decision-epoch signal (lower = better): the
     /// service tier points this at its live latency metrics so the
     /// controller optimizes end-to-end behaviour instead of the
@@ -865,7 +901,8 @@ fn recover_or_fallback(
                 Ok(grant) => {
                     task.grant = grant;
                     FaultStats::bump(&fault_stats.task_retries);
-                    staged.stage(t, grant.cost, task);
+                    let deadline = task.job.deadline;
+                    staged.stage_deadline(t, grant.cost, deadline, task);
                     return;
                 }
                 Err(grant) => task.grant = grant,
@@ -873,7 +910,8 @@ fn recover_or_fallback(
         }
         if scheduler.device_eligible(DeviceId(from)) {
             FaultStats::bump(&fault_stats.task_retries);
-            staged.stage(from, task.grant.cost, task);
+            let deadline = task.job.deadline;
+            staged.stage_deadline(from, task.grant.cost, deadline, task);
             return;
         }
     }
@@ -926,9 +964,11 @@ fn worker_loop(
         let cost = adaptive.cost.blended(&key, static_cost);
         match scheduler.alloc_cost(cost) {
             Some(grant) => {
-                staged.stage(
+                let deadline = job.deadline;
+                staged.stage_deadline(
                     grant.device.0,
                     cost,
+                    deadline,
                     StagedTask {
                         job,
                         grant,
@@ -949,9 +989,11 @@ fn worker_loop(
                     scheduler.release_to_cpu(heavy.item.grant);
                     match scheduler.alloc_cost(cost) {
                         Some(grant) => {
-                            staged.stage(
+                            let deadline = job.deadline;
+                            staged.stage_deadline(
                                 grant.device.0,
                                 cost,
+                                deadline,
                                 StagedTask {
                                     job,
                                     grant,
@@ -1613,6 +1655,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: wave,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()
@@ -1648,6 +1691,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: 0,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()
@@ -1685,6 +1729,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: ion_index as u64,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()
@@ -1763,6 +1808,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: ion_index as u64,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()
@@ -1840,6 +1886,7 @@ mod tests {
                             grid: grid.clone(),
                             bins: Arc::clone(&bins),
                             tag: round,
+                            deadline: f64::INFINITY,
                             reply: tx.clone(),
                         })
                         .ok()
@@ -1911,6 +1958,7 @@ mod tests {
                                 grid: grid.clone(),
                                 bins: Arc::clone(&bins),
                                 tag: wave,
+                                deadline: f64::INFINITY,
                                 reply: tx.clone(),
                             })
                             .ok()
@@ -2003,6 +2051,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: wave,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()
@@ -2038,6 +2087,7 @@ mod tests {
                 grid: grid.clone(),
                 bins: Arc::clone(&bins),
                 tag: i as u64,
+                deadline: f64::INFINITY,
                 reply: tx.clone(),
             };
             match engine.try_submit(job) {
@@ -2070,6 +2120,7 @@ mod tests {
                     grid: grid.clone(),
                     bins: Arc::clone(&bins),
                     tag: 0,
+                    deadline: f64::INFINITY,
                     reply: tx.clone(),
                 })
                 .ok()
@@ -2105,6 +2156,7 @@ mod tests {
                         grid: grid.clone(),
                         bins: Arc::clone(&bins),
                         tag: round as u64,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     })
                     .ok()

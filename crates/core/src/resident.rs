@@ -423,6 +423,7 @@ impl<'e> ResidentSpectrum<'e> {
                     grid: self.grid.clone(),
                     bins: Arc::clone(&self.bins),
                     tag: ion as u64,
+                    deadline: f64::INFINITY,
                     reply: tx.clone(),
                 };
                 if self.engine.submit(job).is_err() {

@@ -230,6 +230,7 @@ impl HybridRunner {
                         grid: cfg.grid.clone(),
                         bins: Arc::clone(&bin_pairs),
                         tag: point_idx as u64,
+                        deadline: f64::INFINITY,
                         reply: tx.clone(),
                     };
                     assert!(

@@ -83,6 +83,7 @@ fn run_all_ions(engine: &Engine, grid: &EnergyGrid, waves: u64) -> Vec<IonOutcom
                     grid: grid.clone(),
                     bins: Arc::clone(&bins),
                     tag: wave,
+                    deadline: f64::INFINITY,
                     reply: tx.clone(),
                 })
                 .ok()
@@ -273,6 +274,7 @@ fn shutdown_under_fault_does_not_hang() {
                 grid: grid.clone(),
                 bins: Arc::clone(&bins),
                 tag: 0,
+                deadline: f64::INFINITY,
                 reply: tx.clone(),
             })
             .ok()

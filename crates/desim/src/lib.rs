@@ -25,10 +25,12 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
+pub mod clock;
 pub mod rng;
 pub mod stats;
 pub mod timeseries;
 
+pub use clock::{Deadline, Priority, VirtualClock};
 pub use rng::{rng, SimRng};
 pub use stats::{LatencyHistogram, LoadHistogram};
 pub use timeseries::TimeSeries;

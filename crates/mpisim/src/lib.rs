@@ -29,7 +29,9 @@ pub mod collective;
 pub mod queue;
 pub mod shared;
 
-pub use collective::{Envelope, Gather, Lane, Promise, ScatterGather};
+pub use collective::{
+    Envelope, Gather, Lane, LaneFault, LaneFaultPlan, OpenGather, Promise, ScatterGather,
+};
 pub use queue::{BoundedQueue, TryPushError};
 pub use shared::SharedRegion;
 

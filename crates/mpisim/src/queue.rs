@@ -183,6 +183,43 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Pop with a bounded wait: blocks up to `timeout` for an item,
+    /// then returns `None` — either because the queue is closed and
+    /// drained (check [`is_closed`](Self::is_closed)) or because the
+    /// wait expired. The hedged-gather path uses this to poll for
+    /// straggling replies without committing to a full blocking pop.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            let left = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())?;
+            let (next, result) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if result.timed_out() && state.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self
@@ -286,6 +323,29 @@ mod tests {
             q.close();
             assert_eq!(pusher.join().unwrap(), Err(8));
         });
+    }
+
+    #[test]
+    fn pop_timeout_returns_item_or_expires() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1u32).unwrap();
+        assert_eq!(q.pop_timeout(std::time::Duration::from_millis(5)), Some(1));
+        // Empty queue: the wait expires without an item.
+        let started = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(std::time::Duration::from_millis(10)), None);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        // A concurrent push wakes the waiter before the timeout.
+        std::thread::scope(|scope| {
+            let q2 = q.clone();
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                q2.try_push(2u32).unwrap();
+            });
+            assert_eq!(q.pop_timeout(std::time::Duration::from_secs(5)), Some(2));
+        });
+        // Closed and drained: immediate None.
+        q.close();
+        assert_eq!(q.pop_timeout(std::time::Duration::from_secs(5)), None);
     }
 
     #[test]

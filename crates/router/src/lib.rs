@@ -40,6 +40,7 @@
 
 pub mod locality;
 pub mod metrics;
+pub mod resilience;
 pub mod ring;
 pub mod router;
 pub mod shard;
@@ -50,6 +51,7 @@ pub use locality::{
 pub use metrics::{
     ReplicaSnapshot, RouterCounters, RouterMetrics, RouterSnapshot, SegmentSnapshot,
 };
+pub use resilience::{QuantileWindow, TokenBucket};
 pub use ring::{splitmix64, HashRing};
 pub use router::{MigrationReport, RouterConfig, RouterReport, ShardRouter};
 pub use shard::{ShardReplica, ShardRequest, ShardResponse};

@@ -33,6 +33,10 @@ pub struct RouterMetrics {
     affinity_fallbacks: AtomicU64,
     warmed_partials: AtomicU64,
     handoff_partials: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    hedge_denied: AtomicU64,
+    breaker_skips: AtomicU64,
     latency: Mutex<LatencyHistogram>,
 }
 
@@ -126,6 +130,30 @@ impl RouterMetrics {
         self.handoff_partials.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one hedge actually sent (a straggling part speculatively
+    /// re-scattered to a sibling replica).
+    pub fn on_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one hedge that resolved its part before the original
+    /// (the speculation paid off).
+    pub fn on_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one hedge the token bucket refused (duplicate-load
+    /// budget exhausted).
+    pub fn on_hedge_denied(&self) {
+        self.hedge_denied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a replica passed over during selection because its
+    /// circuit breaker refused traffic.
+    pub fn on_breaker_skip(&self) {
+        self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters and latency summary out (segments are filled
     /// in by the router, which owns the replica handles).
     #[must_use]
@@ -156,6 +184,10 @@ impl RouterMetrics {
             affinity_fallbacks: self.affinity_fallbacks.load(Ordering::Relaxed),
             warmed_partials: self.warmed_partials.load(Ordering::Relaxed),
             handoff_partials: self.handoff_partials.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            hedge_denied: self.hedge_denied.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
             latency,
         }
     }
@@ -200,6 +232,14 @@ pub struct RouterCounters {
     pub warmed_partials: u64,
     /// Unique donor cache entries shipped by migration cache handoffs.
     pub handoff_partials: u64,
+    /// Straggling parts speculatively re-scattered to a sibling.
+    pub hedges: u64,
+    /// Hedges whose answer beat the original part's.
+    pub hedge_wins: u64,
+    /// Hedge attempts refused by the token bucket.
+    pub hedge_denied: u64,
+    /// Replica selections that skipped a breaker-blocked replica.
+    pub breaker_skips: u64,
     /// End-to-end router latency quantiles/mean, seconds.
     pub latency: StageLatency,
 }
@@ -215,6 +255,15 @@ pub struct ReplicaSnapshot {
     pub demoted: bool,
     /// Shard sub-requests in flight on this replica right now.
     pub outstanding: u64,
+    /// The replica's circuit-breaker state label
+    /// (`"closed"`/`"open"`/`"half_open"`).
+    pub breaker: &'static str,
+    /// Lifetime Closed/HalfOpen → Open breaker transitions.
+    pub breaker_opens: u64,
+    /// Lifetime Open → HalfOpen transitions (probes granted).
+    pub breaker_half_opens: u64,
+    /// Lifetime HalfOpen → Closed transitions (probes succeeded).
+    pub breaker_closes: u64,
     /// This replica's per-ion cache counters, totalled across cache
     /// shards.
     pub cache: CacheStats,
@@ -275,6 +324,10 @@ impl RouterSnapshot {
                             .field("replica", r.replica)
                             .field("demoted", r.demoted)
                             .field("outstanding", r.outstanding)
+                            .field("breaker", r.breaker)
+                            .field("breaker_opens", r.breaker_opens)
+                            .field("breaker_half_opens", r.breaker_half_opens)
+                            .field("breaker_closes", r.breaker_closes)
                             .field("cache", r.cache.to_json())
                             .field(
                                 "cache_shards",
@@ -313,6 +366,10 @@ impl RouterSnapshot {
             .field("affinity_fallbacks", self.counters.affinity_fallbacks)
             .field("warmed_partials", self.counters.warmed_partials)
             .field("handoff_partials", self.counters.handoff_partials)
+            .field("hedges", self.counters.hedges)
+            .field("hedge_wins", self.counters.hedge_wins)
+            .field("hedge_denied", self.counters.hedge_denied)
+            .field("breaker_skips", self.counters.breaker_skips)
             .field("latency", self.counters.latency.to_json())
             .field("segments", segments)
             .build()
@@ -343,6 +400,11 @@ mod tests {
         m.on_affinity_fallback();
         m.on_warmed(5);
         m.on_handoff(7);
+        m.on_hedge();
+        m.on_hedge();
+        m.on_hedge_win();
+        m.on_hedge_denied();
+        m.on_breaker_skip();
         let s = m.snapshot();
         assert_eq!(s.requests, 2);
         assert_eq!(s.responded, 1);
@@ -354,6 +416,8 @@ mod tests {
         assert_eq!(s.fanouts, 1);
         assert_eq!((s.affinity_picks, s.affinity_fallbacks), (2, 1));
         assert_eq!((s.warmed_partials, s.handoff_partials), (5, 7));
+        assert_eq!((s.hedges, s.hedge_wins, s.hedge_denied), (2, 1, 1));
+        assert_eq!(s.breaker_skips, 1);
         assert_eq!(s.latency.count, 1);
     }
 }

@@ -1,0 +1,246 @@
+//! Request-level resilience primitives for the router: the hedge
+//! token bucket and the per-replica straggler-latency window.
+//!
+//! Hedged re-scatter trades duplicate work for tail latency: when a
+//! part has waited longer than a high quantile of its replica's recent
+//! latencies, the router speculatively re-sends the same work to a
+//! sibling and takes whichever answer lands first. Two guards keep the
+//! speculation honest:
+//!
+//! * a [`TokenBucket`] caps the *rate* of hedges — under a full
+//!   straggler storm the duplicate load is bounded by the bucket, so
+//!   hedging can never double the tier's load for long; and
+//! * a [`QuantileWindow`] per replica tracks what "straggling" even
+//!   means — the hedge trigger adapts to each replica's own recent
+//!   latency distribution instead of a fixed magic timeout.
+//!
+//! Both are deterministic given a deterministic clock: the bucket's
+//! refill is a pure function of elapsed clock seconds, and the window
+//! is a plain rolling sample set with no randomness.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// A deterministic token bucket over explicit clock seconds.
+///
+/// Starts full. [`TokenBucket::try_take`] refills by
+/// `refill_per_sec x elapsed` (capped at `capacity`) and then takes one
+/// token if at least one is available. All state transitions are pure
+/// functions of the `now` values passed in, so a manual clock replays
+/// the exact grant/deny sequence.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    inner: Mutex<BucketInner>,
+}
+
+#[derive(Debug)]
+struct BucketInner {
+    tokens: f64,
+    last: f64,
+    granted: u64,
+    denied: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket holding `capacity` tokens, refilling at
+    /// `refill_per_sec` (both floored at 0).
+    #[must_use]
+    pub fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        let capacity = capacity.max(0.0);
+        TokenBucket {
+            capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            inner: Mutex::new(BucketInner {
+                tokens: capacity,
+                last: 0.0,
+                granted: 0,
+                denied: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BucketInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Refill for the elapsed time and take one token if available.
+    /// A `now` earlier than the last call refills nothing (the bucket
+    /// never goes backwards).
+    pub fn try_take(&self, now: f64) -> bool {
+        let mut inner = self.lock();
+        let elapsed = (now - inner.last).max(0.0);
+        inner.last = inner.last.max(now);
+        inner.tokens = (inner.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if inner.tokens >= 1.0 {
+            inner.tokens -= 1.0;
+            inner.granted += 1;
+            true
+        } else {
+            inner.denied += 1;
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`), without
+    /// taking any.
+    #[must_use]
+    pub fn available(&self, now: f64) -> f64 {
+        let mut inner = self.lock();
+        let elapsed = (now - inner.last).max(0.0);
+        inner.last = inner.last.max(now);
+        inner.tokens = (inner.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        inner.tokens
+    }
+
+    /// Lifetime `(granted, denied)` take counts.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.granted, inner.denied)
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+/// A bounded rolling window of latency samples with on-demand
+/// quantiles — the per-replica view the hedge trigger reads.
+///
+/// Until [`QuantileWindow::MIN_SAMPLES`] observations exist the
+/// quantile is `None`: a cold replica must not be declared a straggler
+/// off one or two samples, so callers fall back to their configured
+/// minimum wait.
+#[derive(Debug)]
+pub struct QuantileWindow {
+    samples: Mutex<VecDeque<f64>>,
+    cap: usize,
+}
+
+impl QuantileWindow {
+    /// Observations required before a quantile is reported.
+    pub const MIN_SAMPLES: usize = 8;
+
+    /// An empty window keeping the last `cap` samples (floored at
+    /// [`Self::MIN_SAMPLES`]).
+    #[must_use]
+    pub fn new(cap: usize) -> QuantileWindow {
+        QuantileWindow {
+            samples: Mutex::new(VecDeque::new()),
+            cap: cap.max(Self::MIN_SAMPLES),
+        }
+    }
+
+    /// Record one latency observation in seconds.
+    pub fn record(&self, secs: f64) {
+        let mut samples = self.samples.lock().unwrap_or_else(PoisonError::into_inner);
+        samples.push_back(secs);
+        while samples.len() > self.cap {
+            samples.pop_front();
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank) of the current window, `None`
+    /// until [`Self::MIN_SAMPLES`] observations exist.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let samples = self.samples.lock().unwrap_or_else(PoisonError::into_inner);
+        if samples.len() < Self::MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Observations currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the window holds no observations yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_grants_up_to_capacity_then_denies() {
+        let b = TokenBucket::new(3.0, 0.0);
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(!b.try_take(0.0), "capacity is a hard budget");
+        assert!(!b.try_take(100.0), "zero refill never mints tokens");
+        assert_eq!(b.counts(), (3, 2));
+    }
+
+    #[test]
+    fn bucket_refills_deterministically_and_caps_at_capacity() {
+        let b = TokenBucket::new(2.0, 1.0);
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(!b.try_take(0.5), "only half a token refilled");
+        // 0.5 elapsed more: the half token from before plus this half.
+        assert!(b.try_take(1.0));
+        // A long idle stretch refills to capacity, not beyond.
+        assert!((b.available(100.0) - 2.0).abs() < 1e-12);
+        assert!(b.try_take(100.0));
+        assert!(b.try_take(100.0));
+        assert!(!b.try_take(100.0));
+    }
+
+    #[test]
+    fn bucket_ignores_backwards_time() {
+        let b = TokenBucket::new(1.0, 10.0);
+        assert!(b.try_take(5.0));
+        assert!(!b.try_take(4.0), "earlier now refills nothing");
+        assert!(b.try_take(5.2), "forward time refills normally");
+    }
+
+    #[test]
+    fn quantile_window_needs_min_samples_then_tracks() {
+        let w = QuantileWindow::new(16);
+        for i in 0..QuantileWindow::MIN_SAMPLES - 1 {
+            w.record(i as f64);
+            assert_eq!(w.quantile(0.9), None, "cold window reports nothing");
+        }
+        w.record(100.0);
+        assert_eq!(w.len(), QuantileWindow::MIN_SAMPLES);
+        let p99 = w.quantile(0.99).unwrap();
+        assert!((p99 - 100.0).abs() < 1e-12, "outlier owns the tail");
+        let p50 = w.quantile(0.5).unwrap();
+        assert!(p50 < 100.0);
+    }
+
+    #[test]
+    fn quantile_window_rolls_old_samples_out() {
+        let w = QuantileWindow::new(8);
+        for _ in 0..8 {
+            w.record(1000.0);
+        }
+        for _ in 0..8 {
+            w.record(1.0);
+        }
+        assert_eq!(w.len(), 8);
+        assert!(
+            (w.quantile(0.99).unwrap() - 1.0).abs() < 1e-12,
+            "the slow epoch aged out of the window"
+        );
+    }
+}

@@ -40,10 +40,12 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use atomdb::AtomDatabase;
+use desim::{Priority, VirtualClock};
 use gpu_sim::{DeviceRule, Precision};
+use hybrid_sched::{BreakerConfig, BreakerState, CircuitBreaker};
 use hybrid_spectral::engine::{EngineConfig, EngineReport};
 use hybrid_spectral::ion_task_cost;
-use mpi_sim::ScatterGather;
+use mpi_sim::{OpenGather, ScatterGather};
 use rrc_service::{
     assemble, selected_ions, CacheKey, Quantizer, ServiceError, SpectrumRequest, SpectrumResponse,
     StateKey,
@@ -54,6 +56,7 @@ use crate::locality::{
     preferred_replica, CachedRoute, HotTracker, Join, RouteCache, RouteKey, SingleFlight,
 };
 use crate::metrics::{ReplicaSnapshot, RouterMetrics, RouterSnapshot, SegmentSnapshot};
+use crate::resilience::{QuantileWindow, TokenBucket};
 use crate::ring::{splitmix64, HashRing};
 use crate::shard::{ReplicaSpec, ShardReplica, ShardRequest, ShardResponse};
 
@@ -121,6 +124,27 @@ pub struct RouterConfig {
     /// owner's replicas during [`ShardRouter::rebalance`], so a
     /// migration does not manufacture a cold start.
     pub migration_handoff: bool,
+    /// Straggler quantile of a replica's recent latencies at which an
+    /// unanswered part is hedged to a sibling (0 disables hedging;
+    /// hedging also needs `replicas >= 2`).
+    pub hedge_quantile: f64,
+    /// Floor on the straggler wait — no part hedges before waiting at
+    /// least this long, even when a replica's latency window says it
+    /// is usually faster.
+    pub hedge_min_wait: Duration,
+    /// Hedge token-bucket capacity: the burst of speculative
+    /// duplicates the router may have in flight before refilling.
+    pub hedge_tokens: f64,
+    /// Hedge tokens minted per clock second (the sustained duplicate
+    /// rate bound).
+    pub hedge_refill_per_sec: f64,
+    /// Per-replica circuit-breaker tuning (rolling failure window,
+    /// trip threshold, probe cooldown).
+    pub breaker: BreakerConfig,
+    /// The clock breaker cooldowns and the hedge bucket read — a
+    /// manual [`VirtualClock`] makes their decisions replayable in
+    /// tests.
+    pub clock: VirtualClock,
 }
 
 impl RouterConfig {
@@ -171,6 +195,12 @@ impl RouterConfig {
             route_cache_capacity: 0,
             hot_state_k: 0,
             migration_handoff: true,
+            hedge_quantile: 0.0,
+            hedge_min_wait: Duration::from_millis(10),
+            hedge_tokens: 32.0,
+            hedge_refill_per_sec: 8.0,
+            breaker: BreakerConfig::default(),
+            clock: VirtualClock::real(),
         }
     }
 }
@@ -238,6 +268,18 @@ pub struct ShardRouter {
     route_cache: RouteCache,
     flight: SingleFlight,
     hot: HotTracker,
+    clock: VirtualClock,
+    hedge_quantile: f64,
+    hedge_min_wait_s: f64,
+    hedge_bucket: TokenBucket,
+    /// One breaker per flat `segment * replicas + replica` slot.
+    breakers: Vec<CircuitBreaker>,
+    /// Tier-wide rolling window of part latencies. Deliberately global,
+    /// not per-lane: a straggler is a part that is slow relative to how
+    /// the *tier* usually answers — a per-lane baseline would let a
+    /// persistently slow replica normalize its own slowness and never
+    /// be hedged.
+    lat: QuantileWindow,
 }
 
 /// The fixed plasma state the capacity model prices ions at. Absolute
@@ -249,6 +291,33 @@ const CAPACITY_REF_POINT: GridPoint = GridPoint {
     time_s: 0.0,
     index: 0,
 };
+
+/// One logical scattered part of a gather round: the ions it covers
+/// and whether a winner has landed / a hedge has been attempted.
+struct Slot {
+    /// Owning segment (where a hedge must find a sibling).
+    segment: usize,
+    /// Ions this part covers, ascending.
+    ions: Vec<usize>,
+    /// Whether a first writer already resolved this slot.
+    resolved: bool,
+    /// Whether this slot has spent its one hedge attempt.
+    hedged: bool,
+}
+
+/// Bookkeeping for one sent part (primary or hedge), indexed by the
+/// gather's resolution seq.
+#[derive(Clone, Copy)]
+struct SeqInfo {
+    /// Flat replica lane the part went to.
+    lane: usize,
+    /// Logical slot the part serves.
+    slot: usize,
+    /// Seconds after the round started that this part was sent.
+    sent: f64,
+    /// Whether this part is a speculative duplicate.
+    hedge: bool,
+}
 
 /// What one fan-out produced, before response assembly decides what to
 /// cache, warm, or return.
@@ -341,6 +410,14 @@ impl ShardRouter {
             // config reproduces the whole routing + locality state on
             // restart.
             hot: HotTracker::new(config.hot_state_k, config.ring_seed),
+            clock: config.clock,
+            hedge_quantile: config.hedge_quantile.clamp(0.0, 1.0),
+            hedge_min_wait_s: config.hedge_min_wait.as_secs_f64(),
+            hedge_bucket: TokenBucket::new(config.hedge_tokens, config.hedge_refill_per_sec),
+            breakers: (0..config.shards * config.replicas)
+                .map(|_| CircuitBreaker::new(config.breaker))
+                .collect(),
+            lat: QuantileWindow::new(256),
         }
     }
 
@@ -385,6 +462,40 @@ impl ShardRouter {
     pub fn replica(&self, segment: usize, replica: usize) -> &ShardReplica {
         assert!(replica < self.replicas_per_segment, "replica out of range");
         &self.replicas[segment * self.replicas_per_segment + replica]
+    }
+
+    /// The circuit breaker guarding one replica (state/counters for
+    /// tests and benches).
+    ///
+    /// # Panics
+    /// Panics if `segment`/`replica` is out of range.
+    #[must_use]
+    pub fn breaker(&self, segment: usize, replica: usize) -> &CircuitBreaker {
+        assert!(replica < self.replicas_per_segment, "replica out of range");
+        &self.breakers[segment * self.replicas_per_segment + replica]
+    }
+
+    /// The clock breaker cooldowns and the hedge token bucket read.
+    #[must_use]
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Hedge tokens currently available (refilled to the clock's now).
+    #[must_use]
+    pub fn hedge_tokens_available(&self) -> f64 {
+        self.hedge_bucket.available(self.clock.now())
+    }
+
+    /// The scatter/gather fabric's fault hook: install a seeded
+    /// [`mpi_sim::LaneFaultPlan`] on the flat
+    /// `segment * replicas + replica` lane (chaos drills: stalls,
+    /// drops, slow-replica skew).
+    ///
+    /// # Panics
+    /// Panics if `lane` is out of range.
+    pub fn set_lane_faults(&self, lane: usize, plan: mpi_sim::LaneFaultPlan) {
+        self.sg.set_lane_faults(lane, plan);
     }
 
     /// Answer one spectral query through the sharded tier.
@@ -506,8 +617,9 @@ impl ShardRouter {
         }
     }
 
-    /// One full scatter/gather fan-out with health-aware re-routing —
-    /// the only place shard queries are issued.
+    /// One full scatter/gather fan-out with health-aware re-routing,
+    /// straggler hedging, and per-replica breaker accounting — the
+    /// only place shard queries are issued.
     fn fan_out(
         &self,
         request: &SpectrumRequest,
@@ -517,6 +629,12 @@ impl ShardRouter {
         self.metrics.on_fanout();
         let ions = selected_ions(&self.db, request);
         let grid = &self.grids[request.grid_id];
+        let priority = request.priority;
+        let deadline = request.deadline_secs();
+        // Hedging needs a sibling to hedge onto and an enabled
+        // quantile; with either missing the round degenerates to the
+        // plain blocking gather.
+        let hedging = self.hedge_quantile > 0.0 && self.replicas_per_segment > 1;
 
         // ONE routing-table read per request: each ion's owner is
         // fixed for this request's lifetime even if a rebalance swaps
@@ -539,7 +657,8 @@ impl ShardRouter {
                 groups.entry(owner[&ion]).or_default().push(ion);
             }
             let mut parts: Vec<(usize, ShardRequest)> = Vec::with_capacity(groups.len());
-            let mut part_ions: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+            let mut slots: Vec<Slot> = Vec::with_capacity(groups.len());
+            let mut seq_info: Vec<SeqInfo> = Vec::with_capacity(groups.len());
             for (segment, seg_ions) in groups {
                 let replica = self.pick_replica(segment, key, &tried[segment]);
                 tried[segment].push(replica);
@@ -551,30 +670,45 @@ impl ShardRouter {
                         key: *key,
                         point: *point,
                         ions: seg_ions.clone(),
+                        priority,
+                        deadline,
                     },
                 ));
-                part_ions.push(seg_ions);
+                seq_info.push(SeqInfo {
+                    lane: flat,
+                    slot: slots.len(),
+                    sent: 0.0,
+                    hedge: false,
+                });
+                slots.push(Slot {
+                    segment,
+                    ions: seg_ions,
+                    resolved: false,
+                    hedged: false,
+                });
             }
             if attempt > 0 {
                 self.metrics.on_reroute(parts.len() as u64);
             }
-            let answers = self.sg.scatter(parts).gather();
+            // Each slot may hedge at most once per round.
+            let hedge_slots = if hedging { parts.len() } else { 0 };
+            let open = self.sg.scatter_open(parts, hedge_slots);
             pending.clear();
-            for (slot, answer) in answers.into_iter().enumerate() {
-                match answer {
-                    Some(resp) => {
-                        computed += resp.computed;
-                        from_cache += resp.from_cache;
-                        for (ion, partial) in resp.partials {
-                            partials.insert(ion, partial);
-                        }
-                        pending.extend(resp.failed);
-                    }
-                    // Lane refused or the worker died before replying:
-                    // the whole part re-routes to a sibling replica.
-                    None => pending.extend(part_ions[slot].iter().copied()),
-                }
-            }
+            self.gather_round(
+                open,
+                key,
+                point,
+                priority,
+                deadline,
+                &mut slots,
+                &mut seq_info,
+                &mut tried,
+                &mut partials,
+                &mut pending,
+                &mut computed,
+                &mut from_cache,
+                hedging,
+            );
             if pending.is_empty() {
                 break;
             }
@@ -593,6 +727,202 @@ impl ShardRouter {
             partials,
             owner,
         })
+    }
+
+    /// Drain one scatter round: receive resolutions (**first writer
+    /// wins** per slot — a later duplicate from a hedge or its
+    /// straggling original is discarded, so hedging can reorder timing
+    /// but never bits), hedge overdue parts under the token budget,
+    /// and record each resolution's latency and breaker outcome
+    /// against the replica that produced it. Unanswered ions land in
+    /// `pending` for the caller's re-route pass.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_round(
+        &self,
+        mut open: OpenGather<ShardResponse>,
+        key: &StateKey,
+        point: &GridPoint,
+        priority: Priority,
+        deadline: f64,
+        slots: &mut [Slot],
+        seq_info: &mut Vec<SeqInfo>,
+        tried: &mut [Vec<usize>],
+        partials: &mut BTreeMap<usize, Arc<Vec<f64>>>,
+        pending: &mut Vec<usize>,
+        computed: &mut u64,
+        from_cache: &mut u64,
+        hedging: bool,
+    ) {
+        let started = Instant::now();
+        let mut unresolved = slots.len();
+        // Exit as soon as every slot has a winner: straggling
+        // duplicates resolve into the (refcounted) reply queue after
+        // this gather is dropped and are simply never read.
+        while unresolved > 0 {
+            let hedge_armed = hedging
+                && open.hedge_slots_left() > 0
+                && slots.iter().any(|s| !s.resolved && !s.hedged);
+            let (seq, answer) = if hedge_armed {
+                match open.recv_timeout(self.next_hedge_wait(slots, seq_info, started)) {
+                    Some(resolution) => resolution,
+                    None => {
+                        self.hedge_due(
+                            &mut open, key, point, priority, deadline, slots, seq_info, tried,
+                            started,
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                open.recv()
+            };
+            let info = seq_info[seq];
+            let now = self.clock.now();
+            self.lat.record(started.elapsed().as_secs_f64() - info.sent);
+            // A reply with failed ions still counts against the
+            // replica: its devices are erring even though the lane is
+            // alive.
+            match &answer {
+                Some(resp) if resp.failed.is_empty() => {
+                    self.breakers[info.lane].record_success(now);
+                }
+                _ => self.breakers[info.lane].record_failure(now),
+            }
+            if answer.is_none() {
+                // The envelope never reached the worker (dropped at
+                // delivery, closed lane, dead worker), so the worker
+                // cannot balance the router's in-flight increment.
+                self.replicas[info.lane].sub_outstanding();
+            }
+            if slots[info.slot].resolved {
+                continue;
+            }
+            slots[info.slot].resolved = true;
+            unresolved -= 1;
+            if info.hedge && answer.is_some() {
+                self.metrics.on_hedge_win();
+            }
+            match answer {
+                Some(resp) => {
+                    *computed += resp.computed;
+                    *from_cache += resp.from_cache;
+                    for (ion, partial) in resp.partials {
+                        partials.insert(ion, partial);
+                    }
+                    pending.extend(resp.failed);
+                }
+                // Lane refused or the worker died before replying: the
+                // whole part re-routes to a sibling replica.
+                None => pending.extend(slots[info.slot].ions.iter().copied()),
+            }
+        }
+        // Every slot has a winner; drain whatever straggler duplicates
+        // already resolved so their breaker/latency/in-flight
+        // accounting is not lost (later ones are simply never read —
+        // their workers balance the in-flight count themselves).
+        while let Some((seq, answer)) = open.recv_timeout(Duration::ZERO) {
+            let info = seq_info[seq];
+            let now = self.clock.now();
+            self.lat.record(started.elapsed().as_secs_f64() - info.sent);
+            match &answer {
+                Some(resp) if resp.failed.is_empty() => {
+                    self.breakers[info.lane].record_success(now);
+                }
+                _ => self.breakers[info.lane].record_failure(now),
+            }
+            if answer.is_none() {
+                self.replicas[info.lane].sub_outstanding();
+            }
+        }
+    }
+
+    /// How long to wait for the next resolution before re-checking
+    /// stragglers: until the earliest un-hedged slot crosses its
+    /// replica's straggler threshold (clamped to a sane polling band).
+    fn next_hedge_wait(&self, slots: &[Slot], seq_info: &[SeqInfo], started: Instant) -> Duration {
+        let elapsed = started.elapsed().as_secs_f64();
+        let mut earliest = f64::INFINITY;
+        for info in seq_info {
+            if info.hedge || slots[info.slot].resolved || slots[info.slot].hedged {
+                continue;
+            }
+            earliest = earliest.min(info.sent + self.straggler_threshold());
+        }
+        Duration::from_secs_f64((earliest - elapsed).clamp(5e-4, 0.05))
+    }
+
+    /// Hedge every overdue slot: speculatively re-send its work to an
+    /// untried sibling replica, spending one token per hedge. A slot
+    /// gets exactly one hedge attempt per round — denied tokens and
+    /// exhausted siblings are final for the round, not retried in a
+    /// loop.
+    #[allow(clippy::too_many_arguments)]
+    fn hedge_due(
+        &self,
+        open: &mut OpenGather<ShardResponse>,
+        key: &StateKey,
+        point: &GridPoint,
+        priority: Priority,
+        deadline: f64,
+        slots: &mut [Slot],
+        seq_info: &mut Vec<SeqInfo>,
+        tried: &mut [Vec<usize>],
+        started: Instant,
+    ) {
+        let elapsed = started.elapsed().as_secs_f64();
+        let primaries = seq_info.len();
+        for seq in 0..primaries {
+            let info = seq_info[seq];
+            if info.hedge || slots[info.slot].resolved || slots[info.slot].hedged {
+                continue;
+            }
+            if elapsed < info.sent + self.straggler_threshold() {
+                continue;
+            }
+            slots[info.slot].hedged = true;
+            let segment = slots[info.slot].segment;
+            let sibling = self.pick_replica(segment, key, &tried[segment]);
+            if tried[segment].contains(&sibling) {
+                // Every sibling already carries this work — nothing
+                // fresh to hedge onto.
+                continue;
+            }
+            if !self.hedge_bucket.try_take(self.clock.now()) {
+                self.metrics.on_hedge_denied();
+                continue;
+            }
+            let flat = segment * self.replicas_per_segment + sibling;
+            let req = ShardRequest::Query {
+                key: *key,
+                point: *point,
+                ions: slots[info.slot].ions.clone(),
+                priority,
+                deadline,
+            };
+            let Some(new_seq) = open.send_more(&self.sg, flat, req) else {
+                continue;
+            };
+            tried[segment].push(sibling);
+            self.replicas[flat].add_outstanding();
+            seq_info.push(SeqInfo {
+                lane: flat,
+                slot: info.slot,
+                sent: elapsed,
+                hedge: true,
+            });
+            debug_assert_eq!(new_seq + 1, seq_info.len());
+            self.metrics.on_hedge();
+        }
+    }
+
+    /// The wait beyond which a part counts as straggling: the
+    /// configured quantile of the tier's recent part latencies,
+    /// floored at the configured minimum wait (which also covers the
+    /// cold window at startup).
+    fn straggler_threshold(&self) -> f64 {
+        self.lat
+            .quantile(self.hedge_quantile)
+            .map_or(self.hedge_min_wait_s, |q| q.max(self.hedge_min_wait_s))
     }
 
     /// Replicate a hot state's per-ion partials to every replica of
@@ -641,13 +971,18 @@ impl ShardRouter {
         if parts.is_empty() {
             return 0;
         }
-        self.sg
-            .scatter(parts)
-            .gather()
-            .into_iter()
-            .flatten()
-            .map(|resp| resp.warmed)
-            .sum()
+        let lanes: Vec<usize> = parts.iter().map(|&(lane, _)| lane).collect();
+        let results = self.sg.scatter(parts).gather();
+        let mut warmed = 0u64;
+        for (answer, &lane) in results.into_iter().zip(&lanes) {
+            match answer {
+                Some(resp) => warmed += resp.warmed,
+                // A warm push that never reached its worker (dropped or
+                // closed lane) must still balance the in-flight count.
+                None => self.replicas[lane].sub_outstanding(),
+            }
+        }
+        warmed
     }
 
     /// Pick a replica of `segment` for a read. With affinity enabled,
@@ -664,11 +999,26 @@ impl ShardRouter {
     /// not refusal).
     fn pick_replica(&self, segment: usize, key: &StateKey, tried: &[usize]) -> usize {
         let base = segment * self.replicas_per_segment;
+        let now = self.clock.now();
+        // Probes outrank everything: an Open breaker whose cooldown
+        // elapsed gets exactly this one request to prove itself —
+        // granting the probe and then routing elsewhere would strand
+        // the breaker HalfOpen forever.
+        for r in 0..self.replicas_per_segment {
+            if tried.contains(&r) {
+                continue;
+            }
+            let breaker = &self.breakers[base + r];
+            if breaker.state() == BreakerState::Open && breaker.allow(now) {
+                return r;
+            }
+        }
         if self.affinity {
             let pref = preferred_replica(key, segment, self.replicas_per_segment, self.ring_seed);
             let rep = &self.replicas[base + pref];
             if !tried.contains(&pref)
                 && !rep.demoted()
+                && self.breakers[base + pref].state() == BreakerState::Closed
                 && rep.outstanding() < self.affinity_saturation
             {
                 self.metrics.on_affinity_pick();
@@ -696,6 +1046,22 @@ impl ShardRouter {
                 self.metrics.on_demoted_skip();
             }
             healthy
+        };
+        // Breaker-blocked replicas route around like demoted ones —
+        // and like demotion, when every candidate is blocked the
+        // least-loaded one still serves (degrade, never strand).
+        let flowing: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|&r| self.breakers[base + r].state() == BreakerState::Closed)
+            .collect();
+        let pool = if flowing.is_empty() {
+            pool
+        } else {
+            if flowing.len() < pool.len() {
+                self.metrics.on_breaker_skip();
+            }
+            flowing
         };
         pool.into_iter()
             .min_by_key(|&r| {
@@ -852,11 +1218,18 @@ impl ShardRouter {
                 capacity_cost: cost[seg],
                 replicas: (0..self.replicas_per_segment)
                     .map(|r| {
-                        let rep = &self.replicas[seg * self.replicas_per_segment + r];
+                        let flat = seg * self.replicas_per_segment + r;
+                        let rep = &self.replicas[flat];
+                        let breaker = &self.breakers[flat];
+                        let transitions = breaker.counters();
                         ReplicaSnapshot {
                             replica: r,
                             demoted: rep.demoted(),
                             outstanding: rep.outstanding(),
+                            breaker: breaker.state().label(),
+                            breaker_opens: transitions.opens,
+                            breaker_half_opens: transitions.half_opens,
+                            breaker_closes: transitions.closes,
                             cache: rep.cache_stats(),
                             cache_shards: rep.cache_shard_stats(),
                             service: rep.metrics(),

@@ -19,6 +19,7 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Instant;
 
+use desim::Priority;
 use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
 use mpi_sim::Lane;
 use rrc_service::{CacheKey, ServiceMetrics, ShardedLruCache, StateKey};
@@ -41,6 +42,14 @@ pub enum ShardRequest {
         point: GridPoint,
         /// Ions this shard owns for the request, ascending.
         ions: Vec<usize>,
+        /// The originating request's priority class, carried through
+        /// for per-class latency accounting on the replica.
+        priority: Priority,
+        /// Absolute virtual-clock deadline of the originating request
+        /// (`f64::INFINITY` when none): propagated into every
+        /// [`IonJob`] so the engine's EDF staging orders urgent work
+        /// first even inside a shard.
+        deadline: f64,
     },
     /// Push already-computed partials into this replica's cache
     /// (hot-state replication to siblings, migration cache handoff).
@@ -88,7 +97,13 @@ impl ReplicaCtx {
     /// compute path, warm pushes go straight into the cache.
     fn handle(&self, req: &ShardRequest) -> ShardResponse {
         match req {
-            ShardRequest::Query { key, point, ions } => self.handle_query(*key, point, ions),
+            ShardRequest::Query {
+                key,
+                point,
+                ions,
+                priority,
+                deadline,
+            } => self.handle_query(*key, point, ions, *priority, *deadline),
             ShardRequest::Warm { entries } => self.handle_warm(entries),
         }
     }
@@ -123,7 +138,14 @@ impl ReplicaCtx {
     /// retries, cache fills. Mirrors the service batcher's group path
     /// so a shard's partial bits match the single-engine service's
     /// exactly (deterministic kernel assumed).
-    fn handle_query(&self, key: StateKey, point: &GridPoint, ions: &[usize]) -> ShardResponse {
+    fn handle_query(
+        &self,
+        key: StateKey,
+        point: &GridPoint,
+        ions: &[usize],
+        priority: Priority,
+        deadline: f64,
+    ) -> ShardResponse {
         let started = Instant::now();
         let db = &self.engine.config().db;
         let grid = &self.grids[key.grid_id];
@@ -156,6 +178,7 @@ impl ReplicaCtx {
                     grid: grid.clone(),
                     bins: Arc::clone(bins),
                     tag: ion as u64,
+                    deadline,
                     reply: tx.clone(),
                 };
                 if self.engine.submit(job).is_err() {
@@ -191,7 +214,7 @@ impl ReplicaCtx {
             self.metrics.on_device_failure();
         }
         let elapsed = started.elapsed().as_secs_f64();
-        self.metrics.on_responded(elapsed, elapsed);
+        self.metrics.on_responded(priority, elapsed, elapsed);
         ShardResponse {
             partials,
             computed,
@@ -295,6 +318,15 @@ impl ShardReplica {
 
     pub(crate) fn add_outstanding(&self) {
         self.ctx.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Router-side decrement for a part that resolved as missing
+    /// (dropped at delivery, closed lane, dead worker): the worker
+    /// never saw the envelope, so it cannot balance the increment
+    /// itself — without this the victim replica's in-flight count
+    /// would drift upward forever.
+    pub(crate) fn sub_outstanding(&self) {
+        self.ctx.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Whether the health ladder currently demotes this replica:

@@ -37,7 +37,9 @@ fn service_metrics(demoted: bool) -> MetricsSnapshot {
     MetricsSnapshot {
         submitted: 40,
         responded: 39,
-        shed: 1,
+        shed: 3,
+        shed_queue_full: 1,
+        shed_infeasible: 2,
         caller_runs: 0,
         batches: 13,
         batched_requests: 39,
@@ -49,6 +51,7 @@ fn service_metrics(demoted: bool) -> MetricsSnapshot {
         queue: stage(39, 0.5),
         compute: stage(39, 1.0),
         total: stage(39, 1.5),
+        per_priority: [stage(30, 1.2), stage(9, 3.0)],
         scheduler_steals: vec![4, 0],
         scheduler_cpu_steals: 1,
         scheduler_weighted_loads: vec![120, 80],
@@ -107,6 +110,10 @@ fn fixture() -> RouterSnapshot {
             affinity_fallbacks: 5,
             warmed_partials: 18,
             handoff_partials: 6,
+            hedges: 9,
+            hedge_wins: 4,
+            hedge_denied: 2,
+            breaker_skips: 3,
             latency: stage(79, 2.0),
         },
         segments: vec![
@@ -119,6 +126,10 @@ fn fixture() -> RouterSnapshot {
                         replica: 0,
                         demoted: false,
                         outstanding: 1,
+                        breaker: "closed",
+                        breaker_opens: 0,
+                        breaker_half_opens: 0,
+                        breaker_closes: 0,
                         cache: cache_stats(25, 15, 13, 2, 0),
                         cache_shards: vec![
                             cache_stats(20, 10, 9, 1, 0),
@@ -130,6 +141,10 @@ fn fixture() -> RouterSnapshot {
                         replica: 1,
                         demoted: true,
                         outstanding: 0,
+                        breaker: "open",
+                        breaker_opens: 2,
+                        breaker_half_opens: 1,
+                        breaker_closes: 0,
                         cache: cache_stats(10, 30, 30, 0, 4),
                         cache_shards: vec![cache_stats(10, 30, 30, 0, 4)],
                         service: service_metrics(true),
@@ -144,6 +159,10 @@ fn fixture() -> RouterSnapshot {
                     replica: 0,
                     demoted: false,
                     outstanding: 2,
+                    breaker: "half_open",
+                    breaker_opens: 1,
+                    breaker_half_opens: 1,
+                    breaker_closes: 1,
                     cache: cache_stats(0, 0, 0, 0, 0),
                     cache_shards: vec![cache_stats(0, 0, 0, 0, 0)],
                     service: service_metrics(false),

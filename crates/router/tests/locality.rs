@@ -43,11 +43,7 @@ fn point(i: usize) -> GridPoint {
 }
 
 fn request(i: usize) -> SpectrumRequest {
-    SpectrumRequest {
-        point: point(i),
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+    SpectrumRequest::new(point(i), ElementSelection::All, 0)
 }
 
 /// Single-engine ground truth for `requests`, leak-checked.

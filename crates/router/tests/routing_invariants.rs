@@ -41,11 +41,7 @@ fn point(i: usize) -> GridPoint {
 }
 
 fn request(i: usize) -> SpectrumRequest {
-    SpectrumRequest {
-        point: point(i),
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+    SpectrumRequest::new(point(i), ElementSelection::All, 0)
 }
 
 /// Single-engine ground truth for `requests`, leak-checked.
@@ -113,11 +109,7 @@ fn sharded_response_is_bitwise_identical_to_single_engine() {
 #[test]
 fn element_subset_requests_keep_parity_too() {
     let db = db();
-    let subset = SpectrumRequest {
-        point: point(1),
-        elements: ElementSelection::Elements(vec![2, 7]),
-        grid_id: 0,
-    };
+    let subset = SpectrumRequest::new(point(1), ElementSelection::Elements(vec![2, 7]), 0);
     let expected = baseline(&db, std::slice::from_ref(&subset));
     let mut cfg = RouterConfig::deterministic(Arc::clone(&db), grids());
     cfg.shards = 3;
@@ -318,11 +310,7 @@ fn unknown_grid_is_refused_and_closed_router_reports_closed() {
     let mut cfg = RouterConfig::deterministic(Arc::clone(&db), grids());
     cfg.shards = 1;
     let router = ShardRouter::start(cfg);
-    let bad = SpectrumRequest {
-        point: point(0),
-        elements: ElementSelection::All,
-        grid_id: 9,
-    };
+    let bad = SpectrumRequest::new(point(0), ElementSelection::All, 9);
     assert!(matches!(
         router.query(&bad),
         Err(rrc_service::ServiceError::UnknownGrid)

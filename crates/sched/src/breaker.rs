@@ -1,0 +1,331 @@
+//! Per-target circuit breakers over a rolling outcome window.
+//!
+//! The health ladder ([`crate::health`]) reacts to *device* failures
+//! observed inside one engine; a routing tier also needs protection
+//! against a **replica** that keeps erring or straggling while its
+//! devices still look individually healthy. A [`CircuitBreaker`]
+//! generalizes the demotion bit into the classic three-state machine:
+//!
+//! ```text
+//!            failure rate ≥ threshold
+//!            (≥ min_samples in window)
+//!   Closed ───────────────────────────► Open
+//!     ▲                                  │ cooldown elapses
+//!     │ probe succeeds                   ▼
+//!     └────────────────────────────── HalfOpen ──► Open (probe fails)
+//! ```
+//!
+//! While Open, every [`CircuitBreaker::allow`] is refused; once the
+//! cooldown elapses the breaker moves to HalfOpen and grants exactly
+//! **one** probe. The probe's outcome decides: success closes the
+//! breaker (window reset), failure re-opens it for another cooldown.
+//!
+//! Time is an explicit `now` in clock seconds (a
+//! [`desim::VirtualClock`] reading) rather than `Instant`, so breaker
+//! decisions replay deterministically under a manual test clock.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// The breaker's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes feed the rolling window.
+    Closed,
+    /// Traffic refused until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case label for JSON snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Tuning knobs of one breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Rolling window length in outcomes.
+    pub window: usize,
+    /// Failure fraction within the window that trips the breaker.
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before it may trip (a single
+    /// early failure must not open a cold breaker).
+    pub min_samples: usize,
+    /// Seconds the breaker stays Open before granting a probe.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 16,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            cooldown_s: 0.25,
+        }
+    }
+}
+
+/// Lifetime transition counters (snapshot observability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    /// Closed/HalfOpen → Open transitions.
+    pub opens: u64,
+    /// Open → HalfOpen transitions (probes granted).
+    pub half_opens: u64,
+    /// HalfOpen → Closed transitions (probes succeeded).
+    pub closes: u64,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Rolling outcomes, `true` = failure.
+    window: VecDeque<bool>,
+    failures: usize,
+    /// Clock second the breaker last opened.
+    opened_at: f64,
+    counters: BreakerCounters,
+}
+
+/// One breaker guarding one target (module docs). Thread-safe; every
+/// method takes the current clock seconds explicitly.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config`.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                window: VecDeque::new(),
+                failures: 0,
+                opened_at: 0.0,
+                counters: BreakerCounters::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// May traffic flow to the target right now? Closed: yes. Open:
+    /// no — unless the cooldown has elapsed, which moves the breaker to
+    /// HalfOpen and grants this caller the single probe. HalfOpen: no
+    /// (the probe is already out).
+    pub fn allow(&self, now: f64) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                if now - inner.opened_at >= self.config.cooldown_s {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.counters.half_opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful outcome against the target.
+    pub fn record_success(&self, now: f64) {
+        self.record(now, false);
+    }
+
+    /// Record a failed (or timed-out) outcome against the target.
+    pub fn record_failure(&self, now: f64) {
+        self.record(now, true);
+    }
+
+    fn record(&self, now: f64, failed: bool) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                // The probe's verdict.
+                if failed {
+                    inner.open(now);
+                } else {
+                    inner.state = BreakerState::Closed;
+                    inner.window.clear();
+                    inner.failures = 0;
+                    inner.counters.closes += 1;
+                }
+            }
+            BreakerState::Closed => {
+                inner.window.push_back(failed);
+                if failed {
+                    inner.failures += 1;
+                }
+                while inner.window.len() > self.config.window {
+                    if inner.window.pop_front() == Some(true) {
+                        inner.failures -= 1;
+                    }
+                }
+                let n = inner.window.len();
+                if n >= self.config.min_samples.max(1)
+                    && inner.failures as f64 >= self.config.failure_threshold * n as f64
+                {
+                    inner.open(now);
+                }
+            }
+            // Late outcomes of requests that were in flight when the
+            // breaker opened carry no new information.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The current state (Open is reported as-is even when the cooldown
+    /// has elapsed — only [`allow`](Self::allow) moves the machine).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Lifetime transition counters.
+    #[must_use]
+    pub fn counters(&self) -> BreakerCounters {
+        self.lock().counters
+    }
+}
+
+impl BreakerInner {
+    fn open(&mut self, now: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.window.clear();
+        self.failures = 0;
+        self.counters.opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            cooldown_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn stays_closed_under_sparse_failures() {
+        let b = CircuitBreaker::new(fast());
+        for i in 0..32 {
+            assert!(b.allow(i as f64 * 0.01));
+            if i % 4 == 0 {
+                b.record_failure(i as f64 * 0.01);
+            } else {
+                b.record_success(i as f64 * 0.01);
+            }
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.counters().opens, 0);
+    }
+
+    #[test]
+    fn trips_after_min_samples_at_threshold() {
+        let b = CircuitBreaker::new(fast());
+        // Three failures: under min_samples, must not trip.
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(0.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.counters().opens, 1);
+        assert!(!b.allow(0.5), "cooldown not elapsed");
+    }
+
+    #[test]
+    fn half_open_grants_exactly_one_probe() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..4 {
+            b.record_failure(0.0);
+        }
+        assert!(b.allow(1.5), "cooldown elapsed: the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(1.6), "second caller refused while probing");
+        assert!(!b.allow(99.0), "time alone cannot mint more probes");
+        assert_eq!(b.counters().half_opens, 1);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..4 {
+            b.record_failure(0.0);
+        }
+        assert!(b.allow(1.5));
+        b.record_failure(1.6); // probe fails
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(2.0), "new cooldown restarts from the re-open");
+        assert!(b.allow(2.7));
+        b.record_success(2.8); // probe succeeds
+        assert_eq!(b.state(), BreakerState::Closed);
+        let c = b.counters();
+        assert_eq!((c.opens, c.half_opens, c.closes), (2, 2, 1));
+        // The window reset: old failures don't haunt the fresh state.
+        b.record_failure(3.0);
+        b.record_failure(3.0);
+        b.record_failure(3.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_outcomes() {
+        let b = CircuitBreaker::new(fast());
+        // A healthy prefix, two failures, then a run of successes
+        // longer than the window: the failures age out, later failures
+        // count alone.
+        for _ in 0..4 {
+            b.record_success(0.0);
+        }
+        b.record_failure(0.0);
+        b.record_failure(0.0);
+        for _ in 0..8 {
+            b.record_success(0.1);
+        }
+        b.record_failure(0.2);
+        b.record_failure(0.2);
+        b.record_failure(0.2);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "3 of 8 in-window failures is under the 0.5 threshold"
+        );
+    }
+
+    #[test]
+    fn outcomes_while_open_are_ignored() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..4 {
+            b.record_failure(0.0);
+        }
+        b.record_success(0.1); // straggler reply from before the trip
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(1.5), "cooldown still measured from the open");
+    }
+}

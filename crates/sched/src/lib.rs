@@ -38,6 +38,7 @@
 //!   the live runtime knobs ([`TunerKnobs`]).
 
 pub mod autotune;
+pub mod breaker;
 pub mod cost;
 pub mod health;
 pub mod policy;
@@ -45,6 +46,7 @@ pub mod steal;
 pub mod tuner;
 
 pub use autotune::AutoTuner;
+pub use breaker::{BreakerConfig, BreakerCounters, BreakerState, CircuitBreaker};
 pub use cost::{CostKey, CostModel};
 pub use health::{HealthConfig, HealthSnapshot, HealthState, HealthTracker};
 pub use policy::{
@@ -521,6 +523,22 @@ impl Scheduler {
     #[must_use]
     pub fn ewma_secs_per_unit(&self) -> Vec<f64> {
         (0..self.devices).map(|i| self.rate(i)).collect()
+    }
+
+    /// The fastest **observed** service rate across devices, seconds
+    /// per cost unit — `None` until some device has settled a task.
+    /// Placement can use the `1.0` prior of [`Self::ewma_secs_per_unit`]
+    /// because only ratios matter there; absolute-time consumers (SLO
+    /// admission pricing a deadline) must not mistake the prior for a
+    /// measurement, so the unobserved state is explicit here.
+    #[must_use]
+    pub fn min_observed_secs_per_unit(&self) -> Option<f64> {
+        (0..self.devices)
+            .filter_map(|i| {
+                let bits = self.region.load(5 * self.devices + i);
+                (bits != 0).then(|| f64::from_bits(bits))
+            })
+            .reduce(f64::min)
     }
 
     /// Read the per-device load, history, weighted and steal arrays.

@@ -22,19 +22,40 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// A staged task payload with its scheduling metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Staged<T> {
     /// Estimated work units (same scale as [`crate::Grant::cost`]).
     pub cost: u64,
     /// Global staging sequence number — ties on cost steal the oldest
     /// entry first, which keeps every selection deterministic.
     pub seq: u64,
+    /// Absolute deadline in clock seconds ([`f64::INFINITY`] = none).
+    /// Local dequeue is earliest-deadline-first with `seq` breaking
+    /// ties, so all-equal deadlines degrade exactly to FIFO.
+    pub deadline: f64,
     /// The task payload.
     pub item: T,
 }
 
+impl<T> Staged<T> {
+    /// EDF ordering key: earliest deadline first, oldest entry on ties.
+    fn edf_key(&self) -> (f64, u64) {
+        (self.deadline, self.seq)
+    }
+}
+
+/// `(deadline, seq)` comparison with a total order on the deadline
+/// (`NaN` never occurs; infinities must compare).
+fn edf_less(a: (f64, u64), b: (f64, u64)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
 /// What [`StealQueues::next`] handed the consumer.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum Next<T> {
     /// A task from the consumer's own queue (FIFO order).
     Local(Staged<T>),
@@ -105,27 +126,44 @@ impl<T> StealQueues<T> {
     }
 
     /// Stage a task of `cost` units on `device`'s queue and wake
-    /// consumers.
+    /// consumers (no deadline: dequeued after every deadlined task,
+    /// FIFO among its peers).
     ///
     /// # Panics
     /// Panics if `device` is out of range.
     pub fn stage(&self, device: usize, cost: u64, item: T) {
+        self.stage_deadline(device, cost, f64::INFINITY, item);
+    }
+
+    /// Stage a task carrying an absolute `deadline` (clock seconds) on
+    /// `device`'s queue and wake consumers. Local dequeue is EDF over
+    /// these deadlines; [`f64::INFINITY`] marks deadline-free work.
+    ///
+    /// # Panics
+    /// Panics if `device` is out of range.
+    pub fn stage_deadline(&self, device: usize, cost: u64, deadline: f64, item: T) {
         let (lock, cvar) = &*self.inner;
         let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.queues[device].push_back(Staged { cost, seq, item });
+        inner.queues[device].push_back(Staged {
+            cost,
+            seq,
+            deadline,
+            item,
+        });
         inner.backlog[device] += cost;
         drop(inner);
         cvar.notify_all();
     }
 
-    /// Blocking fetch for `device`'s consumer: its own queue in FIFO
-    /// order first; when that is empty and `can_steal` holds (or the
-    /// queues are closed — draining leftovers is always worth it), the
-    /// largest-cost task from the most-backlogged other queue. Blocks
-    /// until work arrives or [`StealQueues::close`] has been called and
-    /// every queue is empty.
+    /// Blocking fetch for `device`'s consumer: its own queue in EDF
+    /// order first (earliest deadline, then staging order — plain FIFO
+    /// when no deadlines are in play); when that is empty and
+    /// `can_steal` holds (or the queues are closed — draining leftovers
+    /// is always worth it), the largest-cost task from the
+    /// most-backlogged other queue. Blocks until work arrives or
+    /// [`StealQueues::close`] has been called and every queue is empty.
     ///
     /// # Panics
     /// Panics if `device` is out of range.
@@ -133,7 +171,7 @@ impl<T> StealQueues<T> {
         let (lock, cvar) = &*self.inner;
         let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(task) = inner.queues[device].pop_front() {
+            if let Some(task) = inner.pop_edf(device) {
                 inner.backlog[device] -= task.cost;
                 return Next::Local(task);
             }
@@ -152,21 +190,25 @@ impl<T> StealQueues<T> {
         }
     }
 
-    /// Non-blocking fetch of `device`'s **own** queue head, but only if
-    /// its cost is strictly under `max_cost` — the launch-aggregation
-    /// probe: a pump that just dequeued a small task asks for more
-    /// small local work to pack into the same launch, without ever
-    /// blocking, stealing, or pulling a heavy task out of FIFO turn.
+    /// Non-blocking fetch of `device`'s **own** next-up task (EDF
+    /// order), but only if its cost is strictly under `max_cost` — the
+    /// launch-aggregation probe: a pump that just dequeued a small task
+    /// asks for more small local work to pack into the same launch,
+    /// without ever blocking, stealing, or pulling a heavy task out of
+    /// deadline turn.
     ///
     /// # Panics
     /// Panics if `device` is out of range.
     pub fn try_next_local_under(&self, device: usize, max_cost: u64) -> Option<Staged<T>> {
         let (lock, _) = &*self.inner;
         let mut inner = lock.lock().unwrap_or_else(PoisonError::into_inner);
-        if inner.queues[device].front()?.cost >= max_cost {
+        let pos = inner.edf_pos(device)?;
+        if inner.queues[device][pos].cost >= max_cost {
             return None;
         }
-        let task = inner.queues[device].pop_front().expect("front just seen");
+        let task = inner.queues[device]
+            .remove(pos)
+            .expect("position just scanned");
         inner.backlog[device] -= task.cost;
         Some(task)
     }
@@ -223,6 +265,25 @@ impl<T> StealQueues<T> {
 }
 
 impl<T> Inner<T> {
+    /// Position of `device`'s EDF-next entry (earliest deadline, then
+    /// oldest), or `None` on an empty queue.
+    fn edf_pos(&self, device: usize) -> Option<usize> {
+        let queue = &self.queues[device];
+        let mut best: Option<usize> = None;
+        for (p, task) in queue.iter().enumerate() {
+            if best.is_none_or(|b| edf_less(task.edf_key(), queue[b].edf_key())) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+
+    /// Remove and return `device`'s EDF-next entry.
+    fn pop_edf(&mut self, device: usize) -> Option<Staged<T>> {
+        let pos = self.edf_pos(device)?;
+        self.queues[device].remove(pos)
+    }
+
     /// Take the largest-cost task (oldest wins ties) from the
     /// most-backlogged queue other than `thief`'s own.
     fn steal_from_busiest(&mut self, thief: usize) -> Option<(usize, Staged<T>)> {
@@ -258,6 +319,50 @@ mod tests {
             }
         }
         assert_eq!(q.staged_len(), 0);
+    }
+
+    #[test]
+    fn local_fetch_is_edf_when_deadlines_differ() {
+        let q: StealQueues<&str> = StealQueues::new(1);
+        q.stage_deadline(0, 1, 5.0, "later");
+        q.stage(0, 1, "never"); // INFINITY: always last
+        q.stage_deadline(0, 1, 2.0, "soon");
+        q.stage_deadline(0, 1, 2.0, "soon-but-younger");
+        for expected in ["soon", "soon-but-younger", "later", "never"] {
+            match q.next(0, false) {
+                Next::Local(t) => assert_eq!(t.item, expected),
+                other => panic!("expected Local({expected}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edf_degenerates_to_fifo_on_equal_deadlines() {
+        // Property (seeded sweep): under any staging order, when every
+        // deadline is the same value — finite or not — EDF dequeue is
+        // indistinguishable from plain FIFO.
+        let mut rng = desim::rng(11);
+        for trial in 0..50 {
+            let deadline = match trial % 3 {
+                0 => f64::INFINITY,
+                1 => 0.0,
+                _ => rng.gen_range(0.1..100.0),
+            };
+            let n = 1 + (rng.next_u64() % 24) as usize;
+            let q: StealQueues<usize> = StealQueues::new(2);
+            for i in 0..n {
+                let cost = 1 + rng.next_u64() % 97; // cost must not matter
+                q.stage_deadline(0, cost, deadline, i);
+            }
+            for i in 0..n {
+                match q.next(0, false) {
+                    Next::Local(t) => {
+                        assert_eq!(t.item, i, "trial {trial}: FIFO order broken at {i}");
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Request/response types of the spectral query service.
 
+use desim::{Deadline, Priority};
 use rrc_spectral::GridPoint;
 
 /// Which ions of the database a request wants in its spectrum.
@@ -24,7 +25,10 @@ impl ElementSelection {
 }
 
 /// One spectral query: a plasma state, an element selection, and the
-/// id of one of the service's registered energy grids.
+/// id of one of the service's registered energy grids — plus the SLO
+/// metadata (priority class and optional deadline) that rides with the
+/// request through every scheduling layer. Neither SLO field affects
+/// the numerical answer; they only steer admission and ordering.
 #[derive(Debug, Clone)]
 pub struct SpectrumRequest {
     /// Plasma state to evaluate at (`index` is caller metadata and
@@ -34,6 +38,50 @@ pub struct SpectrumRequest {
     pub elements: ElementSelection,
     /// Index into the grids the service was configured with.
     pub grid_id: usize,
+    /// Priority class: interactive requests dequeue ahead of bulk
+    /// under the weighted-fair policy.
+    pub priority: Priority,
+    /// Absolute completion deadline on the service's clock. `None`
+    /// (the default) means no SLO: never shed at admission, dequeued
+    /// after every deadlined peer of the same class.
+    pub deadline: Option<Deadline>,
+}
+
+impl SpectrumRequest {
+    /// A deadline-free interactive request — the common case; set
+    /// [`priority`](Self::priority) / [`deadline`](Self::deadline) to
+    /// attach an SLO.
+    #[must_use]
+    pub fn new(point: GridPoint, elements: ElementSelection, grid_id: usize) -> SpectrumRequest {
+        SpectrumRequest {
+            point,
+            elements,
+            grid_id,
+            priority: Priority::default(),
+            deadline: None,
+        }
+    }
+
+    /// This request with `priority`.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> SpectrumRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// This request with an absolute `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> SpectrumRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The EDF staging key: the absolute deadline in clock seconds,
+    /// [`f64::INFINITY`] when the request carries none.
+    #[must_use]
+    pub fn deadline_secs(&self) -> f64 {
+        self.deadline.map_or(f64::INFINITY, |d| d.at_s)
+    }
 }
 
 /// The answer to one [`SpectrumRequest`].
@@ -71,6 +119,13 @@ pub enum ServiceError {
     /// [`ServiceError::Overloaded`]: the request was admitted and
     /// computation was attempted.
     DeviceFailed,
+    /// SLO-driven admission: the request's remaining deadline budget
+    /// cannot cover the cost model's estimate of its compute time, so
+    /// it was shed *before* any fan-out. Distinct from
+    /// [`ServiceError::Overloaded`] (a capacity refusal — retrying
+    /// later can succeed); an infeasible deadline needs a larger
+    /// budget, not a retry.
+    DeadlineInfeasible,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -81,6 +136,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Closed => write!(f, "service closed"),
             ServiceError::DeviceFailed => {
                 write!(f, "device failure exhausted the fan-out retry budget")
+            }
+            ServiceError::DeadlineInfeasible => {
+                write!(f, "remaining deadline budget below the cost estimate")
             }
         }
     }

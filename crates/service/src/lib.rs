@@ -7,10 +7,13 @@
 //! [`SpectrumRequest`]s (plasma state + element selection + energy
 //! grid id) at any time and receive [`SpectrumResponse`]s, with
 //!
-//! * **admission control** ([`AdmissionPolicy`]): a bounded request
-//!   queue that either sheds with a typed [`ServiceError::Overloaded`]
-//!   or computes on the caller's thread (the paper's full-queue CPU
-//!   fallback lifted one tier up);
+//! * **admission control** ([`AdmissionPolicy`], [`pqueue`]): one
+//!   bounded queue per [`desim::Priority`] class with weighted-fair
+//!   dequeue, an SLO gate that sheds deadline-infeasible requests with
+//!   a typed [`ServiceError::DeadlineInfeasible`] before any fan-out,
+//!   and a full-queue policy that either sheds with
+//!   [`ServiceError::Overloaded`] or computes on the caller's thread
+//!   (the paper's full-queue CPU fallback lifted one tier up);
 //! * **batching** ([`service`]): in-flight requests that share a
 //!   quantized plasma state ([`quantize`]) coalesce into one per-ion
 //!   fan-out over the resident [`hybrid_spectral::engine::Engine`];
@@ -27,6 +30,7 @@
 pub mod api;
 pub mod cache;
 pub mod metrics;
+pub mod pqueue;
 pub mod quantize;
 pub mod service;
 pub mod traffic;
@@ -36,6 +40,7 @@ pub use api::{
 };
 pub use cache::{CacheKey, CacheStats, ShardedLruCache};
 pub use metrics::{health_label, MetricsSnapshot, ServiceMetrics, StageLatency};
+pub use pqueue::PriorityQueues;
 pub use quantize::{Quantizer, StateKey};
 pub use service::{assemble, selected_ions, ServiceConfig, ServiceReport, SpectralService};
 pub use traffic::{

@@ -13,14 +13,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use desim::LatencyHistogram;
+use desim::{LatencyHistogram, Priority};
 
 /// Shared counters + histograms; every field is updated concurrently.
 #[derive(Default)]
 pub struct ServiceMetrics {
     submitted: AtomicU64,
     responded: AtomicU64,
-    shed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_infeasible: AtomicU64,
     caller_runs: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
@@ -32,6 +33,10 @@ pub struct ServiceMetrics {
     queue_latency: Mutex<LatencyHistogram>,
     compute_latency: Mutex<LatencyHistogram>,
     total_latency: Mutex<LatencyHistogram>,
+    /// End-to-end latency split by request class, indexed by
+    /// [`Priority::index`] — the per-tier SLO view (interactive p95
+    /// must hold while bulk absorbs overload).
+    priority_latency: [Mutex<LatencyHistogram>; 2],
 }
 
 /// Point-in-time copy of the metrics for reporting.
@@ -41,8 +46,18 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Responses delivered by the batcher.
     pub responded: u64,
-    /// Requests refused by the shed admission policy.
+    /// Requests refused at admission for any reason (the sum of the
+    /// two split counters below).
     pub shed: u64,
+    /// Requests refused because their class queue was at capacity
+    /// under the shed policy ([`crate::ServiceError::Overloaded`] —
+    /// retrying later can succeed).
+    pub shed_queue_full: u64,
+    /// Requests refused because the remaining deadline budget could
+    /// not cover the cost model's estimate
+    /// ([`crate::ServiceError::DeadlineInfeasible`] — shed *before*
+    /// any fan-out, so an impossible SLO wastes zero compute).
+    pub shed_infeasible: u64,
     /// Requests answered inline by the caller-runs admission policy.
     pub caller_runs: u64,
     /// Batches the batcher processed.
@@ -72,6 +87,9 @@ pub struct MetricsSnapshot {
     pub compute: StageLatency,
     /// End-to-end latency quantiles/mean, seconds.
     pub total: StageLatency,
+    /// End-to-end latency split by request class, indexed by
+    /// [`Priority::index`] (`[interactive, bulk]`).
+    pub per_priority: [StageLatency; 2],
     /// Per-device staged tasks stolen from another device's lane
     /// (filled from the engine's scheduler by
     /// [`crate::SpectralService::metrics`]; empty for a bare
@@ -148,6 +166,8 @@ impl MetricsSnapshot {
             .field("submitted", self.submitted)
             .field("responded", self.responded)
             .field("shed", self.shed)
+            .field("shed_queue_full", self.shed_queue_full)
+            .field("shed_infeasible", self.shed_infeasible)
             .field("caller_runs", self.caller_runs)
             .field("batches", self.batches)
             .field("batched_requests", self.batched_requests)
@@ -170,6 +190,11 @@ impl MetricsSnapshot {
                     .field("queue", self.queue.to_json())
                     .field("compute", self.compute.to_json())
                     .field("total", self.total.to_json())
+                    .field(
+                        "interactive",
+                        self.per_priority[Priority::Interactive.index()].to_json(),
+                    )
+                    .field("bulk", self.per_priority[Priority::Bulk.index()].to_json())
                     .build(),
             )
             .field(
@@ -290,15 +315,26 @@ impl ServiceMetrics {
             .fetch_max(queue_len_after as u64, Ordering::Relaxed);
     }
 
-    /// Record one request refused by the shed admission policy.
-    pub fn on_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+    /// Record one request refused because its class queue was full
+    /// under the shed policy.
+    pub fn on_shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request refused at SLO admission (remaining deadline
+    /// budget below the cost estimate).
+    pub fn on_shed_infeasible(&self) {
+        self.shed_infeasible.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one caller-runs inline answer and its end-to-end time.
-    pub fn on_caller_run(&self, total_s: f64) {
+    pub fn on_caller_run(&self, priority: Priority, total_s: f64) {
         self.caller_runs.fetch_add(1, Ordering::Relaxed);
         self.total_latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(total_s);
+        self.priority_latency[priority.index()]
             .lock()
             .expect("latency histogram poisoned")
             .record(total_s);
@@ -339,8 +375,9 @@ impl ServiceMetrics {
             .record(queue_s);
     }
 
-    /// Record one delivered response with its compute and total times.
-    pub fn on_responded(&self, compute_s: f64, total_s: f64) {
+    /// Record one delivered response with its class, compute, and
+    /// total times.
+    pub fn on_responded(&self, priority: Priority, compute_s: f64, total_s: f64) {
         self.responded.fetch_add(1, Ordering::Relaxed);
         self.compute_latency
             .lock()
@@ -350,15 +387,23 @@ impl ServiceMetrics {
             .lock()
             .expect("latency histogram poisoned")
             .record(total_s);
+        self.priority_latency[priority.index()]
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(total_s);
     }
 
     /// Copy every counter and histogram summary out.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let shed_queue_full = self.shed_queue_full.load(Ordering::Relaxed);
+        let shed_infeasible = self.shed_infeasible.load(Ordering::Relaxed);
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             responded: self.responded.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            shed: shed_queue_full + shed_infeasible,
+            shed_queue_full,
+            shed_infeasible,
             caller_runs: self.caller_runs.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
@@ -370,6 +415,10 @@ impl ServiceMetrics {
             queue: stage(&self.queue_latency),
             compute: stage(&self.compute_latency),
             total: stage(&self.total_latency),
+            per_priority: [
+                stage(&self.priority_latency[0]),
+                stage(&self.priority_latency[1]),
+            ],
             scheduler_steals: Vec::new(),
             scheduler_cpu_steals: 0,
             scheduler_weighted_loads: Vec::new(),
@@ -395,22 +444,39 @@ mod tests {
         let m = ServiceMetrics::new();
         m.on_submitted(3);
         m.on_submitted(7);
-        m.on_shed();
+        m.on_shed_queue_full();
+        m.on_shed_infeasible();
+        m.on_shed_infeasible();
         m.on_batch(2);
         m.on_picked_up(1e-4);
         m.on_picked_up(2e-4);
-        m.on_responded(5e-4, 7e-4);
-        m.on_responded(5e-4, 9e-4);
-        m.on_caller_run(3e-3);
+        m.on_responded(Priority::Interactive, 5e-4, 7e-4);
+        m.on_responded(Priority::Bulk, 5e-4, 9e-4);
+        m.on_caller_run(Priority::Interactive, 3e-3);
         m.on_neighbor_hit();
         m.on_neighbor_hit();
         m.on_neighbor_reject();
         let s = m.snapshot();
         assert_eq!((s.neighbor_hits, s.neighbor_rejects), (2, 1));
         assert_eq!(s.submitted, 2);
-        assert_eq!(s.shed, 1);
+        assert_eq!(s.shed, 3, "shed is the sum of the split counters");
+        assert_eq!(s.shed_queue_full, 1);
+        assert_eq!(s.shed_infeasible, 2);
+        assert_eq!(
+            (
+                s.per_priority[Priority::Interactive.index()].count,
+                s.per_priority[Priority::Bulk.index()].count
+            ),
+            (2, 1),
+            "per-class histograms split what total aggregates"
+        );
         assert_eq!(s.caller_runs, 1);
         assert_eq!(s.responded, 2);
+        assert_eq!(
+            s.per_priority.iter().map(|p| p.count).sum::<u64>(),
+            s.total.count,
+            "every total-latency sample lands in exactly one class"
+        );
         assert_eq!(s.batches, 1);
         assert_eq!(s.batched_requests, 2);
         assert_eq!(s.queue_depth_peak, 7);

@@ -1,0 +1,266 @@
+//! Priority-tiered request admission: one bounded queue per
+//! [`Priority`] class and a weighted-fair dequeue across them.
+//!
+//! A single shared queue lets a bulk precompute sweep bury interactive
+//! traffic — head-of-line blocking at the admission edge. Splitting the
+//! classes gives each its **own** capacity bound (bulk saturating its
+//! queue sheds bulk, never interactive) and lets the dequeue side
+//! enforce a service ratio: when both classes are backlogged, the
+//! batcher takes `interactive_weight` interactive requests for every
+//! bulk one, so bulk work keeps flowing (no starvation) while
+//! interactive latency stays bounded by its own arrival rate, not the
+//! bulk backlog.
+//!
+//! Close-and-drain semantics mirror [`mpi_sim::BoundedQueue`]: after
+//! [`PriorityQueues::close`], pushes are refused with the item returned,
+//! while pops drain whatever is still queued before reporting
+//! end-of-stream.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use desim::Priority;
+use mpi_sim::TryPushError;
+
+struct PqInner<T> {
+    queues: [VecDeque<T>; 2],
+    closed: bool,
+    /// Consecutive interactive dequeues while bulk was waiting — the
+    /// weighted-fair credit counter.
+    streak: u32,
+}
+
+/// Per-priority bounded queues with weighted-fair dequeue (module
+/// docs).
+pub struct PriorityQueues<T> {
+    inner: Mutex<PqInner<T>>,
+    available: Condvar,
+    caps: [usize; 2],
+    interactive_weight: u32,
+}
+
+impl<T> PriorityQueues<T> {
+    /// Queues bounded at `caps[class.index()]` items each (floored at
+    /// 1), serving `interactive_weight` interactive requests per bulk
+    /// one when both classes are backlogged (floored at 1).
+    #[must_use]
+    pub fn new(caps: [usize; 2], interactive_weight: u32) -> PriorityQueues<T> {
+        PriorityQueues {
+            inner: Mutex::new(PqInner {
+                queues: [VecDeque::new(), VecDeque::new()],
+                closed: false,
+                streak: 0,
+            }),
+            available: Condvar::new(),
+            caps: caps.map(|c| c.max(1)),
+            interactive_weight: interactive_weight.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PqInner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue `item` into its class queue without blocking.
+    ///
+    /// # Errors
+    /// [`TryPushError::Full`] when the class queue is at its bound,
+    /// [`TryPushError::Closed`] after [`close`](Self::close); the item
+    /// rides back inside the error either way.
+    pub fn try_push(&self, priority: Priority, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        let idx = priority.index();
+        if inner.queues[idx].len() >= self.caps[idx] {
+            return Err(TryPushError::Full(item));
+        }
+        inner.queues[idx].push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// The weighted-fair choice over the current occupancy: which class
+    /// the next dequeue should take, `None` when both queues are empty.
+    fn pick(&self, inner: &mut PqInner<T>) -> Option<Priority> {
+        let has_interactive = !inner.queues[0].is_empty();
+        let has_bulk = !inner.queues[1].is_empty();
+        if has_interactive && (!has_bulk || inner.streak < self.interactive_weight) {
+            inner.streak = if has_bulk { inner.streak + 1 } else { 0 };
+            Some(Priority::Interactive)
+        } else if has_bulk {
+            inner.streak = 0;
+            Some(Priority::Bulk)
+        } else {
+            None
+        }
+    }
+
+    /// Dequeue the next request under the weighted-fair policy,
+    /// blocking while both queues are empty. `None` means closed *and*
+    /// fully drained.
+    pub fn pop(&self) -> Option<(Priority, T)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(class) = self.pick(&mut inner) {
+                let item = inner.queues[class.index()]
+                    .pop_front()
+                    .expect("pick saw a non-empty queue");
+                return Some((class, item));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeue without blocking: `None` when both queues are empty
+    /// (whether or not the queues are closed).
+    pub fn try_pop(&self) -> Option<(Priority, T)> {
+        let mut inner = self.lock();
+        let class = self.pick(&mut inner)?;
+        let item = inner.queues[class.index()]
+            .pop_front()
+            .expect("pick saw a non-empty queue");
+        Some((class, item))
+    }
+
+    /// Total queued items across both classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Queued items of one class.
+    #[must_use]
+    pub fn class_len(&self, priority: Priority) -> usize {
+        self.lock().queues[priority.index()].len()
+    }
+
+    /// Whether both class queues are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound of one class queue.
+    #[must_use]
+    pub fn capacity(&self, priority: Priority) -> usize {
+        self.caps[priority.index()]
+    }
+
+    /// Refuse new pushes from now on; queued items keep draining.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has run.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_class_bounds_are_independent() {
+        let q: PriorityQueues<u32> = PriorityQueues::new([2, 1], 4);
+        assert!(q.try_push(Priority::Interactive, 1).is_ok());
+        assert!(q.try_push(Priority::Interactive, 2).is_ok());
+        assert!(matches!(
+            q.try_push(Priority::Interactive, 3),
+            Err(TryPushError::Full(3))
+        ));
+        // Bulk's bound is its own: interactive being full is irrelevant.
+        assert!(q.try_push(Priority::Bulk, 10).is_ok());
+        assert!(matches!(
+            q.try_push(Priority::Bulk, 11),
+            Err(TryPushError::Full(11))
+        ));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.class_len(Priority::Interactive), 2);
+        assert_eq!(q.class_len(Priority::Bulk), 1);
+    }
+
+    #[test]
+    fn weighted_fair_serves_bulk_through_interactive_pressure() {
+        let q: PriorityQueues<u32> = PriorityQueues::new([64, 64], 3);
+        for i in 0..12 {
+            q.try_push(Priority::Interactive, i).unwrap();
+        }
+        for i in 100..104 {
+            q.try_push(Priority::Bulk, i).unwrap();
+        }
+        let order: Vec<Priority> = (0..16).map(|_| q.try_pop().unwrap().0).collect();
+        // 3 interactive per bulk while both are backlogged.
+        assert_eq!(
+            order[..4].iter().filter(|p| **p == Priority::Bulk).count(),
+            1
+        );
+        let bulk_served = order.iter().filter(|p| **p == Priority::Bulk).count();
+        assert_eq!(bulk_served, 4, "bulk never starves");
+        assert_eq!(
+            order[3],
+            Priority::Bulk,
+            "the 4th dequeue is bulk's weighted turn"
+        );
+    }
+
+    #[test]
+    fn interactive_only_traffic_never_waits_on_credits() {
+        let q: PriorityQueues<u32> = PriorityQueues::new([8, 8], 2);
+        for i in 0..6 {
+            q.try_push(Priority::Interactive, i).unwrap();
+        }
+        for i in 0..6 {
+            assert_eq!(q.try_pop(), Some((Priority::Interactive, i)));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_pops() {
+        let q: PriorityQueues<u32> = PriorityQueues::new([4, 4], 4);
+        q.try_push(Priority::Bulk, 7).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert!(matches!(
+            q.try_push(Priority::Interactive, 1),
+            Err(TryPushError::Closed(1))
+        ));
+        assert_eq!(q.pop(), Some((Priority::Bulk, 7)));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_on_close() {
+        let q = std::sync::Arc::new(PriorityQueues::<u32>::new([4, 4], 4));
+        let popper = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                let first = q.pop();
+                let second = q.pop();
+                (first, second)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(Priority::Interactive, 42).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        let (first, second) = popper.join().unwrap();
+        assert_eq!(first, Some((Priority::Interactive, 42)));
+        assert_eq!(second, None);
+    }
+}

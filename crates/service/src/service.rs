@@ -21,15 +21,17 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use atomdb::AtomDatabase;
+use desim::{Priority, VirtualClock};
 use gpu_sim::{DeviceRule, Precision};
 use hybrid_sched::{Knob, SchedulerSnapshot, TunerDim};
 use hybrid_spectral::engine::{Engine, EngineConfig, EngineReport, IonJob, IonOutcome};
-use mpi_sim::{BoundedQueue, TryPushError};
+use mpi_sim::TryPushError;
 use rrc_spectral::{EnergyGrid, Integrator};
 
 use crate::api::{AdmissionPolicy, ServiceError, SpectrumRequest, SpectrumResponse, Ticket};
 use crate::cache::{CacheKey, CacheStats, ShardedLruCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::pqueue::PriorityQueues;
 use crate::quantize::{Quantizer, StateKey};
 
 /// Configuration of a [`SpectralService`].
@@ -48,8 +50,21 @@ pub struct ServiceConfig {
     pub quantize_drop_bits: u32,
     /// What to do with requests that arrive while the queue is full.
     pub admission: AdmissionPolicy,
-    /// Request-queue capacity — the service-tier admission bound.
+    /// Interactive-class request-queue capacity — the service-tier
+    /// admission bound for latency-sensitive traffic.
     pub request_queue_depth: usize,
+    /// Bulk-class request-queue capacity. Separate from the
+    /// interactive bound so a bulk sweep saturating its own queue
+    /// sheds bulk, never interactive.
+    pub bulk_queue_depth: usize,
+    /// Weighted-fair service ratio: interactive requests dequeued per
+    /// bulk one while both classes are backlogged (floored at 1 — bulk
+    /// never starves).
+    pub interactive_weight: u32,
+    /// The clock request deadlines are measured against. Production
+    /// uses [`VirtualClock::real`]; deterministic tests install a
+    /// manual clock and advance it explicitly.
+    pub clock: VirtualClock,
     /// Most requests one batch may coalesce.
     pub max_batch: usize,
     /// How many times a batch re-fans-out ion partials the engine
@@ -113,6 +128,9 @@ impl ServiceConfig {
             quantize_drop_bits: 0,
             admission: AdmissionPolicy::Shed,
             request_queue_depth: 64,
+            bulk_queue_depth: 64,
+            interactive_weight: 4,
+            clock: VirtualClock::real(),
             max_batch: 16,
             fanout_retries: 2,
             neighbor_radius: 0,
@@ -145,7 +163,8 @@ struct Shared {
     fanout_retries: u32,
     neighbor_radius: u32,
     neighbor_tolerance: f64,
-    queue: BoundedQueue<QueuedRequest>,
+    queue: PriorityQueues<QueuedRequest>,
+    clock: VirtualClock,
     engine: Engine,
     cache: ShardedLruCache,
     metrics: Arc<ServiceMetrics>,
@@ -246,7 +265,14 @@ impl SpectralService {
             fanout_retries: config.fanout_retries,
             neighbor_radius: config.neighbor_radius,
             neighbor_tolerance: config.neighbor_tolerance.max(0.0),
-            queue: BoundedQueue::new(config.request_queue_depth.max(1)),
+            queue: PriorityQueues::new(
+                [
+                    config.request_queue_depth.max(1),
+                    config.bulk_queue_depth.max(1),
+                ],
+                config.interactive_weight,
+            ),
+            clock: config.clock,
             engine,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             metrics,
@@ -275,24 +301,41 @@ impl SpectralService {
     /// Submit one request. Returns a [`Ticket`] for the response, or an
     /// admission/validation error.
     ///
+    /// Admission runs two gates in order. First the **SLO gate**: a
+    /// request carrying a [`desim::Deadline`] whose remaining budget
+    /// cannot cover the cost model's blended compute estimate is shed
+    /// with [`ServiceError::DeadlineInfeasible`] *before* touching any
+    /// queue — an impossible deadline must waste zero fan-outs. Then
+    /// the **capacity gate**: the request's class queue either accepts
+    /// it or the configured [`AdmissionPolicy`] decides.
+    ///
     /// # Errors
     /// [`ServiceError::UnknownGrid`] for an out-of-range grid id;
-    /// [`ServiceError::Overloaded`] when the queue is full under the
-    /// shed policy; [`ServiceError::Closed`] during shutdown. Under the
-    /// caller-runs policy a full queue computes the answer on this
+    /// [`ServiceError::DeadlineInfeasible`] from the SLO gate;
+    /// [`ServiceError::Overloaded`] when the class queue is full under
+    /// the shed policy; [`ServiceError::Closed`] during shutdown. Under
+    /// the caller-runs policy a full queue computes the answer on this
     /// thread and returns an already-resolved ticket.
     pub fn submit(&self, request: SpectrumRequest) -> Result<Ticket, ServiceError> {
         let shared = self.shared();
         if request.grid_id >= shared.grids.len() {
             return Err(ServiceError::UnknownGrid);
         }
+        if let Some(deadline) = request.deadline {
+            let estimate = estimate_request_seconds(shared, &request);
+            if deadline.remaining(&shared.clock) < estimate {
+                shared.metrics.on_shed_infeasible();
+                return Err(ServiceError::DeadlineInfeasible);
+            }
+        }
+        let priority = request.priority;
         let (tx, rx) = channel();
         let queued = QueuedRequest {
             request,
             submitted_at: Instant::now(),
             reply: tx,
         };
-        match shared.queue.try_push(queued) {
+        match shared.queue.try_push(priority, queued) {
             Ok(()) => {
                 shared.metrics.on_submitted(shared.queue.len());
                 Ok(Ticket { rx })
@@ -300,29 +343,43 @@ impl SpectralService {
             Err(TryPushError::Closed(_)) => Err(ServiceError::Closed),
             Err(TryPushError::Full(queued)) => match self.admission {
                 AdmissionPolicy::Shed => {
-                    shared.metrics.on_shed();
+                    shared.metrics.on_shed_queue_full();
                     Err(ServiceError::Overloaded)
                 }
                 AdmissionPolicy::CallerRuns => {
                     let start = queued.submitted_at;
                     let response = caller_run(shared, &queued.request);
-                    shared.metrics.on_caller_run(start.elapsed().as_secs_f64());
+                    shared
+                        .metrics
+                        .on_caller_run(priority, start.elapsed().as_secs_f64());
                     Ok(Ticket::resolved(Ok(response)))
                 }
             },
         }
     }
 
-    /// Current request-queue occupancy.
+    /// Current request-queue occupancy across both priority classes.
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.shared().queue.len()
     }
 
-    /// The request-queue capacity (admission bound).
+    /// Current occupancy of one priority class's queue.
+    #[must_use]
+    pub fn class_queue_len(&self, priority: Priority) -> usize {
+        self.shared().queue.class_len(priority)
+    }
+
+    /// The interactive-class request-queue capacity (admission bound).
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shared().queue.capacity()
+        self.shared().queue.capacity(Priority::Interactive)
+    }
+
+    /// The clock this service measures request deadlines against.
+    #[must_use]
+    pub fn clock(&self) -> &VirtualClock {
+        &self.shared().clock
     }
 
     /// Live metrics snapshot, including the scheduler's steal counters
@@ -519,12 +576,34 @@ fn caller_run(shared: &Shared, request: &SpectrumRequest) -> SpectrumResponse {
     }
 }
 
+/// The optimistic wall-seconds estimate SLO admission prices a request
+/// at: blended per-ion cost units rescaled by the fastest observed
+/// device rate, summed over the selected ions, divided by the device
+/// count (the fan-out runs ions in parallel). Optimistic on purpose —
+/// admission must only shed requests that are infeasible even under
+/// the best placement. Before the first measured settle the estimate
+/// is 0 (no absolute time scale yet → admit).
+fn estimate_request_seconds(shared: &Shared, request: &SpectrumRequest) -> f64 {
+    let db = &shared.engine.config().db;
+    let bins = &shared.bin_tables[request.grid_id];
+    let serial: f64 = selected_ions(db, request)
+        .into_iter()
+        .map(|ion| {
+            let levels = db.levels_by_index(ion).len();
+            shared
+                .engine
+                .estimate_task_seconds(ion, 0..levels, &request.point, bins)
+        })
+        .sum();
+    serial / shared.engine.gpus().max(1) as f64
+}
+
 fn batcher_loop(shared: &Shared) {
-    while let Some(first) = shared.queue.pop() {
+    while let Some((_, first)) = shared.queue.pop() {
         let mut batch = vec![first];
         while batch.len() < shared.max_batch() {
             match shared.queue.try_pop() {
-                Some(next) => batch.push(next),
+                Some((_, next)) => batch.push(next),
                 None => break,
             }
         }
@@ -564,6 +643,13 @@ fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant)
             .map(|&i| selected_ions(db, &batch[i].request))
             .collect();
         let union: BTreeSet<usize> = member_ions.iter().flatten().copied().collect();
+        // The group's earliest deadline rides on every fanned-out ion:
+        // one fan-out serves all members, so EDF staging must honour
+        // the most urgent of them (INFINITY when none carries an SLO).
+        let group_deadline = members
+            .iter()
+            .map(|&i| batch[i].request.deadline_secs())
+            .fold(f64::INFINITY, f64::min);
 
         let mut partials: BTreeMap<usize, Arc<Vec<f64>>> = BTreeMap::new();
         let mut computed: BTreeSet<usize> = BTreeSet::new();
@@ -606,6 +692,7 @@ fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant)
                     grid: grid.clone(),
                     bins: Arc::clone(bins),
                     tag: ion as u64,
+                    deadline: group_deadline,
                     reply: tx.clone(),
                 };
                 assert!(
@@ -653,6 +740,7 @@ fn process_batch(shared: &Shared, batch: Vec<QueuedRequest>, picked_at: Instant)
             let _ = queued.reply.send(Ok(response));
             let now = Instant::now();
             shared.metrics.on_responded(
+                queued.request.priority,
                 now.duration_since(picked_at).as_secs_f64(),
                 now.duration_since(queued.submitted_at).as_secs_f64(),
             );

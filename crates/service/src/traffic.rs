@@ -67,11 +67,7 @@ pub fn cycling_requests(
     count: usize,
 ) -> Vec<SpectrumRequest> {
     (0..count)
-        .map(|i| SpectrumRequest {
-            point: points[i % points.len()],
-            elements: ElementSelection::All,
-            grid_id,
-        })
+        .map(|i| SpectrumRequest::new(points[i % points.len()], ElementSelection::All, grid_id))
         .collect()
 }
 

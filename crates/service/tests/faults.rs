@@ -24,16 +24,16 @@ fn db() -> Arc<AtomDatabase> {
 }
 
 fn request(i: usize) -> SpectrumRequest {
-    SpectrumRequest {
-        point: GridPoint {
+    SpectrumRequest::new(
+        GridPoint {
             temperature_k: 8.0e6 + 5.0e5 * i as f64,
             density_cm3: 1.0,
             time_s: 0.0,
             index: i,
         },
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+        ElementSelection::All,
+        0,
+    )
 }
 
 fn reference(database: &AtomDatabase, grid: &EnergyGrid, req: &SpectrumRequest) -> Vec<f64> {

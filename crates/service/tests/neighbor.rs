@@ -47,17 +47,17 @@ fn bucket_temperature(t: f64, offset: u64) -> f64 {
 }
 
 fn request_at(temperature_k: f64) -> SpectrumRequest {
-    SpectrumRequest {
-        point: GridPoint {
+    SpectrumRequest::new(
+        GridPoint {
             temperature_k,
             // 1.0 has an all-zero low mantissa: its own representative.
             density_cm3: 1.0,
             time_s: 0.0,
             index: 0,
         },
-        elements: ElementSelection::All,
-        grid_id: 0,
-    }
+        ElementSelection::All,
+        0,
+    )
 }
 
 fn submit(service: &SpectralService, request: SpectrumRequest) -> SpectrumResponse {

@@ -101,11 +101,7 @@ fn run_matrix(gpus: usize, cache_capacity: usize) {
             );
             for point in points(3) {
                 for selection in &selections {
-                    let request = SpectrumRequest {
-                        point,
-                        elements: selection.clone(),
-                        grid_id,
-                    };
+                    let request = SpectrumRequest::new(point, selection.clone(), grid_id);
                     let response: SpectrumResponse = service
                         .submit(request.clone())
                         .expect("admitted")
@@ -198,21 +194,13 @@ fn coalesced_batch_matches_solo_submissions() {
         .iter()
         .map(|selection| {
             service
-                .submit(SpectrumRequest {
-                    point,
-                    elements: selection.clone(),
-                    grid_id: 0,
-                })
+                .submit(SpectrumRequest::new(point, selection.clone(), 0))
                 .expect("admitted")
         })
         .collect();
     for (selection, ticket) in burst.iter().zip(tickets) {
         let response = ticket.wait().expect("answered");
-        let request = SpectrumRequest {
-            point,
-            elements: selection.clone(),
-            grid_id: 0,
-        };
+        let request = SpectrumRequest::new(point, selection.clone(), 0);
         let want = reference(&database, &serial, &request, &grid);
         assert_bitwise(&format!("burst {selection:?}"), &response.bins, &want);
     }

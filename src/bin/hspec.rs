@@ -525,7 +525,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let rebalance: bool = args.get("rebalance", true)?;
     let router_cache: usize = args.get("router-cache", 0)?;
     let hot_k: usize = args.get("hot-k", 0)?;
+    let deadline_ms: f64 = args.get("deadline-ms", 0.0)?;
+    let priority_name: String = args.get("priority", "interactive".to_string())?;
+    let hedge_quantile: f64 = args.get("hedge-quantile", 0.0)?;
     let snapshot_out: String = args.get("snapshot", String::new())?;
+    let priority = desim::Priority::parse(&priority_name)
+        .ok_or_else(|| format!("--priority must be interactive or bulk, got {priority_name}"))?;
     if shards == 0 || replicas == 0 {
         return Err("--shards and --replicas must be at least 1".into());
     }
@@ -544,6 +549,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     cfg.cache_capacity = cache;
     cfg.route_cache_capacity = router_cache;
     cfg.hot_state_k = hot_k;
+    cfg.hedge_quantile = hedge_quantile;
     // --no-affinity overrides the enabled default (and --affinity, if both).
     if args.map.contains_key("no-affinity") {
         cfg.affinity = false;
@@ -578,16 +584,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     }
     for i in 0..requests {
-        let request = SpectrumRequest {
-            point: rrc_spectral::GridPoint {
-                temperature_k: 9.0e6 + 6.7e5 * i as f64,
-                density_cm3: 1.0,
-                time_s: 0.0,
-                index: i,
-            },
-            elements: ElementSelection::All,
-            grid_id: 0,
+        let point = rrc_spectral::GridPoint {
+            temperature_k: 9.0e6 + 6.7e5 * i as f64,
+            density_cm3: 1.0,
+            time_s: 0.0,
+            index: i,
         };
+        let mut request =
+            SpectrumRequest::new(point, ElementSelection::All, 0).with_priority(priority);
+        if deadline_ms > 0.0 {
+            request = request.with_deadline(tier.clock().deadline_in(deadline_ms / 1e3));
+        }
         let response = tier
             .query(&request)
             .map_err(|e| format!("request {i}: {e:?}"))?;
@@ -618,6 +625,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         snapshot.counters.affinity_fallbacks,
         snapshot.counters.warmed_partials,
         snapshot.counters.handoff_partials
+    );
+    println!(
+        "resilience: {} hedge(s) ({} win(s), {} denied), {} breaker skip(s)",
+        snapshot.counters.hedges,
+        snapshot.counters.hedge_wins,
+        snapshot.counters.hedge_denied,
+        snapshot.counters.breaker_skips
     );
     for seg in &snapshot.segments {
         let demoted = seg.replicas.iter().filter(|r| r.demoted).count();
